@@ -1,0 +1,142 @@
+//! Cole–Vishkin deterministic ring 3-coloring (paper Sect. 3, \[3\]).
+//!
+//! On an oriented ring with unique `O(log n)`-bit identifiers,
+//! "deterministic coin tossing" shrinks the color space from `n` to 6
+//! in `O(log* n)` rounds: each node compares its current color with its
+//! predecessor's, finds the lowest differing bit index `i` with value
+//! `b`, and adopts `2i + b` as its new color. Three final rounds
+//! eliminate colors 5, 4, 3. This is the asymptotically optimal bound
+//! (Linial's `Ω(log* n)` lower bound) — in the *message-passing* model;
+//! it needs everything the unstructured radio model withholds.
+
+use radio_graph::analysis::Coloring;
+
+/// One Cole–Vishkin bit-compression step: `color' = 2i + bit_i(color)`
+/// where `i` is the lowest bit position at which `color` and
+/// `pred_color` differ.
+///
+/// # Panics
+/// Panics if `color == pred_color` (a proper input coloring never has
+/// equal adjacent colors).
+pub fn cv_step(color: u64, pred_color: u64) -> u64 {
+    assert_ne!(color, pred_color, "adjacent colors must differ");
+    let i = (color ^ pred_color).trailing_zeros() as u64;
+    2 * i + ((color >> i) & 1)
+}
+
+/// Statistics of a full run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CvOutcome {
+    /// The final coloring with colors in `{0, 1, 2}`.
+    pub colors: Coloring,
+    /// Rounds of bit compression used.
+    pub compression_rounds: u32,
+    /// Total synchronous rounds (compression + 3 reduction rounds).
+    pub total_rounds: u32,
+}
+
+/// Runs Cole–Vishkin on the oriented ring `0 → 1 → … → n−1 → 0` with
+/// identifiers `ids` (must be unique; they are the initial colors).
+///
+/// # Panics
+/// Panics if `n < 3` or if two adjacent ring nodes share an ID.
+pub fn cole_vishkin_ring(ids: &[u64]) -> CvOutcome {
+    let n = ids.len();
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut colors: Vec<u64> = ids.to_vec();
+    let mut rounds = 0u32;
+    // Compress until every color is in {0..5}. Each round is fully
+    // synchronous: all nodes look at their predecessor's *old* color.
+    while colors.iter().any(|&c| c > 5) {
+        let prev = colors.clone();
+        for v in 0..n {
+            let pred = prev[(v + n - 1) % n];
+            colors[v] = cv_step(prev[v], pred);
+        }
+        rounds += 1;
+        assert!(rounds < 64 + 8, "compression failed to converge");
+    }
+    // Reduce 6 → 3: for c ∈ {5, 4, 3}, nodes of color c pick the
+    // smallest color unused by both ring neighbors (≤ 2 since only two
+    // neighbors). One synchronous round per eliminated color.
+    let mut extra = 0u32;
+    for c in (3..=5u64).rev() {
+        let prev = colors.clone();
+        for v in 0..n {
+            if prev[v] == c {
+                let left = prev[(v + n - 1) % n];
+                let right = prev[(v + 1) % n];
+                colors[v] = (0..3).find(|&x| x != left && x != right).expect("3 colors, 2 neighbors");
+            }
+        }
+        extra += 1;
+    }
+    CvOutcome {
+        colors: colors.into_iter().map(|c| Some(c as u32)).collect(),
+        compression_rounds: rounds,
+        total_rounds: rounds + extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::analysis::check_coloring;
+    use radio_graph::generators::special::cycle;
+    use radio_sim::rng::random_ids;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cv_step_examples() {
+        // colors 0b1010 vs 0b1000 differ at bit 1; bit 1 of 0b1010 is 1.
+        assert_eq!(cv_step(0b1010, 0b1000), 3);
+        // Differ at bit 0: new color is bit 0 of own color.
+        assert_eq!(cv_step(7, 6), 1);
+        assert_eq!(cv_step(6, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn cv_step_rejects_equal() {
+        let _ = cv_step(5, 5);
+    }
+
+    #[test]
+    fn colors_ring_with_sequential_ids() {
+        for n in [3usize, 4, 5, 10, 100, 1000] {
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let out = cole_vishkin_ring(&ids);
+            let g = cycle(n);
+            let r = check_coloring(&g, &out.colors);
+            assert!(r.valid(), "n = {n}");
+            assert!(r.max_color.unwrap() <= 2, "n = {n}: {:?}", r.max_color);
+        }
+    }
+
+    #[test]
+    fn colors_ring_with_random_ids() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [16usize, 128, 512] {
+            let mut ids = random_ids(n, &mut rng);
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.len() < 3 {
+                continue;
+            }
+            let out = cole_vishkin_ring(&ids);
+            let g = cycle(ids.len());
+            assert!(check_coloring(&g, &out.colors).valid(), "n = {}", ids.len());
+        }
+    }
+
+    #[test]
+    fn round_complexity_is_log_star_like() {
+        // log*(2^64) ≈ 5; compression should take very few rounds even
+        // for large rings with 64-bit IDs, certainly < 12.
+        let ids: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let out = cole_vishkin_ring(&ids);
+        assert!(out.compression_rounds <= 12, "rounds = {}", out.compression_rounds);
+        assert_eq!(out.total_rounds, out.compression_rounds + 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Centralized greedy coloring — the yardstick for color counts.
+//!
+//! Greedy with any order uses at most `Δ_open + 1` colors; the
+//! smallest-last (degeneracy) order achieves the degeneracy + 1. The
+//! paper's algorithm pays a constant factor over these (κ₂·Δ bound) in
+//! exchange for working distributed, from scratch, under collisions.
+
+use radio_graph::analysis::Coloring;
+use radio_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Vertex orders for greedy coloring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GreedyOrder {
+    /// Natural node-index order.
+    Natural,
+    /// Uniformly random order (seeded).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Non-increasing degree (Welsh–Powell).
+    DecreasingDegree,
+    /// Smallest-last / degeneracy order.
+    SmallestLast,
+}
+
+/// Greedy-colors `graph` in the given order: each node takes the
+/// smallest color unused by already-colored neighbors.
+pub fn greedy_coloring(graph: &Graph, order: GreedyOrder) -> Coloring {
+    let order = build_order(graph, order);
+    let n = graph.len();
+    let mut colors: Coloring = vec![None; n];
+    let mut used: Vec<bool> = Vec::new();
+    for &v in &order {
+        used.clear();
+        used.resize(graph.degree(v) + 1, false);
+        for &u in graph.neighbors(v) {
+            if let Some(c) = colors[u as usize] {
+                if (c as usize) < used.len() {
+                    used[c as usize] = true;
+                }
+            }
+        }
+        let c = used.iter().position(|&b| !b).expect("deg+1 colors always suffice");
+        colors[v as usize] = Some(c as u32);
+    }
+    colors
+}
+
+fn build_order(graph: &Graph, order: GreedyOrder) -> Vec<NodeId> {
+    let n = graph.len();
+    let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    match order {
+        GreedyOrder::Natural => nodes,
+        GreedyOrder::Random { seed } => {
+            let mut rng = radio_sim::rng::node_rng(seed, 0);
+            for i in (1..n).rev() {
+                nodes.swap(i, rng.gen_range(0..=i));
+            }
+            nodes
+        }
+        GreedyOrder::DecreasingDegree => {
+            nodes.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+            nodes
+        }
+        GreedyOrder::SmallestLast => smallest_last_order(graph),
+    }
+}
+
+/// Smallest-last order: repeatedly remove a minimum-degree vertex; color
+/// in reverse removal order. Also yields the graph's degeneracy.
+pub fn smallest_last_order(graph: &Graph) -> Vec<NodeId> {
+    let n = graph.len();
+    let mut degree: Vec<usize> = (0..n as NodeId).map(|v| graph.degree(v)).collect();
+    let mut removed = vec![false; n];
+    // Bucket queue over degrees.
+    let maxd = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as NodeId);
+    }
+    let mut removal: Vec<NodeId> = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket (cursor may need to back up
+        // by one after degree decrements).
+        cursor = cursor.saturating_sub(1);
+        let v = loop {
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize] && degree[v as usize] == cursor => break v,
+                Some(_) => continue, // stale entry
+                None => cursor += 1,
+            }
+        };
+        removed[v as usize] = true;
+        removal.push(v);
+        for &u in graph.neighbors(v) {
+            if !removed[u as usize] {
+                degree[u as usize] -= 1;
+                buckets[degree[u as usize]].push(u);
+            }
+        }
+    }
+    removal.reverse();
+    removal
+}
+
+/// The degeneracy of `graph` (max over the smallest-last removal of the
+/// degree at removal time). Greedy in smallest-last order uses at most
+/// `degeneracy + 1` colors.
+pub fn degeneracy(graph: &Graph) -> usize {
+    let n = graph.len();
+    if n == 0 {
+        return 0;
+    }
+    let order = smallest_last_order(graph);
+    // Degeneracy = max back-degree in the coloring order: the number of
+    // neighbors that appear *before* a vertex (i.e. were removed after
+    // it and are already colored when it is processed).
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    (0..n)
+        .map(|v| {
+            graph
+                .neighbors(v as NodeId)
+                .iter()
+                .filter(|&&u| pos[u as usize] < pos[v])
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::analysis::check_coloring;
+    use radio_graph::generators::gnp;
+    use radio_graph::generators::special::{complete, cycle, path, star};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const ALL_ORDERS: [GreedyOrder; 4] = [
+        GreedyOrder::Natural,
+        GreedyOrder::Random { seed: 3 },
+        GreedyOrder::DecreasingDegree,
+        GreedyOrder::SmallestLast,
+    ];
+
+    #[test]
+    fn greedy_is_proper_and_within_delta_plus_one() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let graphs = vec![path(10), cycle(9), star(8), complete(6), gnp(70, 0.1, &mut rng)];
+        for g in &graphs {
+            for order in ALL_ORDERS {
+                let c = greedy_coloring(g, order);
+                let r = check_coloring(g, &c);
+                assert!(r.valid(), "{order:?}");
+                assert!(
+                    r.max_color.map_or(0, |x| x as usize) <= g.max_degree(),
+                    "{order:?} exceeded Δ+1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_last_respects_degeneracy_bound() {
+        // A tree has degeneracy 1: smallest-last greedy must 2-color it.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let tree = radio_graph::generators::random_tree(50, &mut rng);
+        assert_eq!(degeneracy(&tree), 1);
+        let c = greedy_coloring(&tree, GreedyOrder::SmallestLast);
+        let r = check_coloring(&tree, &c);
+        assert!(r.valid());
+        assert!(r.max_color.unwrap() <= 1, "tree needed {:?}", r.max_color);
+    }
+
+    #[test]
+    fn degeneracy_examples() {
+        assert_eq!(degeneracy(&complete(5)), 4);
+        assert_eq!(degeneracy(&cycle(6)), 2);
+        assert_eq!(degeneracy(&path(6)), 1);
+        assert_eq!(degeneracy(&star(9)), 1);
+        assert_eq!(degeneracy(&Graph::empty(3)), 0);
+        assert_eq!(degeneracy(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn clique_needs_exactly_n_colors() {
+        let g = complete(7);
+        for order in ALL_ORDERS {
+            let c = greedy_coloring(&g, order);
+            let r = check_coloring(&g, &c);
+            assert_eq!(r.distinct_colors, 7, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = Graph::empty(0);
+        assert!(greedy_coloring(&g, GreedyOrder::Natural).is_empty());
+        let g = Graph::empty(4);
+        let c = greedy_coloring(&g, GreedyOrder::SmallestLast);
+        assert!(c.iter().all(|&x| x == Some(0)));
+    }
+}

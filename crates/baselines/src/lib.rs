@@ -1,0 +1,48 @@
+//! Baseline algorithms the paper compares against or builds upon
+//! (Sect. 3, related work).
+//!
+//! * [`message_passing`] — the synchronous LOCAL-model substrate that
+//!   classic distributed coloring assumes (and the unstructured radio
+//!   model denies);
+//! * [`luby`] — Luby's randomized MIS;
+//! * [`mis_coloring`] — `(Δ+1)`-colorings via layered MIS and via
+//!   Linial's `G × K_{Δ+1}` reduction;
+//! * [`cole_vishkin`] — deterministic `O(log* n)` ring 3-coloring;
+//! * [`greedy`] — centralized greedy colorings and degeneracy;
+//! * [`mod@mw_mis`] — maximal independent sets from scratch in the radio
+//!   model (the paper's sibling result \[21\]; experiment E17);
+//! * [`rand_verify`] — the radio-model select-and-verify baseline
+//!   standing in for Busch et al. \[2\] (experiment E8).
+
+//! # Example
+//!
+//! ```
+//! use radio_baselines::{greedy_coloring, luby_mis, GreedyOrder};
+//! use radio_graph::analysis::independence::is_maximal_independent_set;
+//! use radio_graph::analysis::check_coloring;
+//!
+//! let g = radio_graph::generators::special::cycle(9);
+//! let (mis, rounds) = luby_mis(&g, 42, 1000);
+//! assert!(is_maximal_independent_set(&g, &mis));
+//! assert!(rounds < 100);
+//!
+//! let colors = greedy_coloring(&g, GreedyOrder::SmallestLast);
+//! assert!(check_coloring(&g, &colors).valid());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cole_vishkin;
+pub mod greedy;
+pub mod luby;
+pub mod message_passing;
+pub mod mis_coloring;
+pub mod mw_mis;
+pub mod rand_verify;
+
+pub use cole_vishkin::{cole_vishkin_ring, CvOutcome};
+pub use greedy::{degeneracy, greedy_coloring, GreedyOrder};
+pub use luby::{luby_mis, LubyNode, MisStatus};
+pub use mis_coloring::{layered_mis_coloring, linial_reduction_coloring};
+pub use mw_mis::{mw_mis, MwMisNode};
+pub use rand_verify::{VerifyNode, VerifyParams};

@@ -1,0 +1,169 @@
+//! Coloring via maximal independent sets in the message-passing model.
+//!
+//! Two classic reductions (paper Sect. 3, citing Linial \[16\] and Luby
+//! \[17\]):
+//!
+//! * **Layered MIS** — repeatedly compute an MIS of the still-uncolored
+//!   subgraph; layer `k` becomes color `k`. A node can lose to a
+//!   distinct neighbor at most `deg(v)` times, so at most `Δ + 1` colors
+//!   and `O(Δ·log n)` rounds w.h.p.
+//! * **Linial's reduction** — one MIS of the product graph
+//!   `G × K_{Δ+1}` (node set `V × {0..Δ}`; copies of a vertex form a
+//!   clique, same-color copies of adjacent vertices are adjacent).
+//!   Every MIS of that graph picks exactly one `(v, c)` per `v`, and the
+//!   picks form a proper `(Δ+1)`-coloring — `O(log n)` rounds w.h.p.
+
+use crate::luby::luby_mis;
+use radio_graph::analysis::Coloring;
+use radio_graph::{Graph, GraphBuilder, NodeId};
+
+/// Colors `graph` by layered MIS. Returns the coloring and the total
+/// number of synchronous rounds consumed across layers.
+pub fn layered_mis_coloring(graph: &Graph, seed: u64) -> (Coloring, u32) {
+    let n = graph.len();
+    let mut colors: Coloring = vec![None; n];
+    let mut remaining: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut total_rounds = 0;
+    let mut layer = 0u32;
+    while !remaining.is_empty() {
+        let (sub, map) = graph.induced_subgraph(&remaining);
+        let (mis, rounds) = luby_mis(&sub, seed.wrapping_add(u64::from(layer)), 10_000);
+        total_rounds += rounds;
+        for &local in &mis {
+            colors[map[local as usize] as usize] = Some(layer);
+        }
+        remaining.retain(|&v| colors[v as usize].is_none());
+        layer += 1;
+        assert!(layer as usize <= n + 1, "layered MIS failed to make progress");
+    }
+    (colors, total_rounds)
+}
+
+/// Builds the product graph `G × K_{q}` used by Linial's reduction.
+/// Node `(v, c)` has index `v·q + c`.
+pub fn color_product_graph(graph: &Graph, q: usize) -> Graph {
+    let n = graph.len();
+    let mut b = GraphBuilder::new(n * q);
+    for v in 0..n {
+        // Copies of v form a clique.
+        for c1 in 0..q {
+            for c2 in (c1 + 1)..q {
+                b.add_edge((v * q + c1) as NodeId, (v * q + c2) as NodeId);
+            }
+        }
+    }
+    for (u, v) in graph.edges() {
+        // Same-color copies of adjacent vertices are adjacent.
+        for c in 0..q {
+            b.add_edge((u as usize * q + c) as NodeId, (v as usize * q + c) as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Colors `graph` with at most `Δ + 1` colors via one MIS of the
+/// product graph. Returns the coloring and the rounds of the single
+/// Luby run.
+pub fn linial_reduction_coloring(graph: &Graph, seed: u64) -> (Coloring, u32) {
+    let n = graph.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let q = graph.max_degree() + 1; // Δ_open + 1 colors suffice
+    let product = color_product_graph(graph, q);
+    let (mis, rounds) = luby_mis(&product, seed, 10_000);
+    let mut colors: Coloring = vec![None; n];
+    for &node in &mis {
+        let v = node as usize / q;
+        let c = node as usize % q;
+        debug_assert!(colors[v].is_none(), "MIS picked two copies of node {v}");
+        colors[v] = Some(c as u32);
+    }
+    (colors, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::analysis::check_coloring;
+    use radio_graph::generators::gnp;
+    use radio_graph::generators::special::{complete, cycle, path, star};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn assert_proper(g: &Graph, colors: &Coloring, max_colors: usize, tag: &str) {
+        let r = check_coloring(g, colors);
+        assert!(r.valid(), "{tag}: invalid coloring {colors:?}");
+        assert!(
+            r.max_color.map_or(0, |c| c as usize + 1) <= max_colors,
+            "{tag}: used {:?} > {max_colors} colors",
+            r.max_color
+        );
+    }
+
+    #[test]
+    fn layered_on_standard_graphs() {
+        for (name, g) in [
+            ("path", path(12)),
+            ("cycle", cycle(9)),
+            ("star", star(7)),
+            ("complete", complete(5)),
+        ] {
+            let delta_plus_1 = g.max_degree() + 1;
+            for seed in 0..3 {
+                let (colors, _) = layered_mis_coloring(&g, seed);
+                assert_proper(&g, &colors, delta_plus_1, name);
+            }
+        }
+    }
+
+    #[test]
+    fn linial_on_standard_graphs() {
+        for (name, g) in
+            [("path", path(10)), ("cycle", cycle(8)), ("star", star(6)), ("complete", complete(5))]
+        {
+            let delta_plus_1 = g.max_degree() + 1;
+            for seed in 0..3 {
+                let (colors, _) = linial_reduction_coloring(&g, seed);
+                assert_proper(&g, &colors, delta_plus_1, name);
+            }
+        }
+    }
+
+    #[test]
+    fn both_reductions_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for seed in 0..3 {
+            let g = gnp(60, 0.08, &mut rng);
+            let bound = g.max_degree() + 1;
+            let (c1, _) = layered_mis_coloring(&g, seed);
+            assert_proper(&g, &c1, bound, "layered/gnp");
+            let (c2, _) = linial_reduction_coloring(&g, seed);
+            assert_proper(&g, &c2, bound, "linial/gnp");
+        }
+    }
+
+    #[test]
+    fn product_graph_shape() {
+        let g = path(2); // one edge, q = 2
+        let prod = color_product_graph(&g, 2);
+        assert_eq!(prod.len(), 4);
+        // Cliques: (0,0)-(0,1), (1,0)-(1,1); cross: (0,c)-(1,c).
+        assert_eq!(prod.num_edges(), 4);
+        assert!(prod.has_edge(0, 1));
+        assert!(prod.has_edge(2, 3));
+        assert!(prod.has_edge(0, 2));
+        assert!(prod.has_edge(1, 3));
+        assert!(!prod.has_edge(0, 3));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::empty(0);
+        assert_eq!(layered_mis_coloring(&g, 1).0, Vec::<Option<u32>>::new());
+        assert_eq!(linial_reduction_coloring(&g, 1).0, Vec::<Option<u32>>::new());
+        let g = Graph::empty(3);
+        let (c, _) = layered_mis_coloring(&g, 1);
+        assert_eq!(c, vec![Some(0); 3]);
+    }
+}

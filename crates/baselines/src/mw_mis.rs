@@ -1,0 +1,278 @@
+//! Maximal independent set from scratch in the unstructured radio
+//! network model — the paper's closest sibling (\[21\] in its
+//! bibliography: Moscibroda & Wattenhofer, *Maximal independent sets in
+//! radio networks*, PODC 2005). The coloring paper "goes one step
+//! further" than MIS: its leader election (states `A_0`/`C_0`) *is* an
+//! MIS computation, extended by cluster colors and verification chains.
+//!
+//! This module implements the MIS part as a standalone protocol using
+//! the same counter/critical-range/competitor-list machinery, so
+//! experiment E17 can measure what the "one step further" costs: time
+//! to a usable MIS versus time to the full coloring.
+//!
+//! States: waiting (listen `⌈αΔ̂log n̂⌉` slots) → competing (counter to
+//! threshold, reset into `χ(P)` on critical-range hits) → **In** (MIS
+//! member, announces forever) or **Out** (heard a neighboring member).
+
+use radio_sim::{Behavior, RadioProtocol, Slot};
+use rand::rngs::SmallRng;
+use urn_coloring::chi::chi;
+use urn_coloring::{AlgorithmParams, ProtoId};
+
+/// Messages of the standalone MIS protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MisMsg {
+    /// Competing node's counter report (the `M_A^0` analogue).
+    Compete {
+        /// Sender ID.
+        sender: ProtoId,
+        /// Counter value at the sending slot.
+        counter: i64,
+    },
+    /// "I joined the MIS" (the `M_C^0` analogue).
+    Member {
+        /// Sender ID.
+        sender: ProtoId,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum MisPhase {
+    Waiting,
+    Competing { anchor: i64 },
+    In,
+    Out { dominator: ProtoId },
+}
+
+/// One node of the from-scratch MIS protocol.
+#[derive(Clone, Debug)]
+pub struct MwMisNode {
+    id: ProtoId,
+    params: AlgorithmParams,
+    phase: MisPhase,
+    /// Competitor copies `d_v(w)` as anchors (`value = slot − anchor`).
+    competitors: Vec<(ProtoId, i64)>,
+    resets: u32,
+}
+
+impl MwMisNode {
+    /// Creates a sleeping node. Only the class-0 machinery of `params`
+    /// is used (waiting window, threshold, `critical_range(0)`,
+    /// `p_active`, `p_leader`).
+    pub fn new(id: ProtoId, params: AlgorithmParams) -> Self {
+        MwMisNode { id, params, phase: MisPhase::Waiting, competitors: Vec::new(), resets: 0 }
+    }
+
+    /// `true` once the node is an MIS member.
+    pub fn is_member(&self) -> bool {
+        matches!(self.phase, MisPhase::In)
+    }
+
+    /// The dominating neighbor's ID, for covered nodes.
+    pub fn dominator(&self) -> Option<ProtoId> {
+        match self.phase {
+            MisPhase::Out { dominator } => Some(dominator),
+            _ => None,
+        }
+    }
+
+    /// Number of counter resets performed (instrumentation).
+    pub fn resets(&self) -> u32 {
+        self.resets
+    }
+
+    fn values_at(&self, now: Slot) -> Vec<i64> {
+        self.competitors.iter().map(|&(_, a)| now as i64 - a).collect()
+    }
+
+    fn record(&mut self, sender: ProtoId, counter: i64, now: Slot) {
+        let anchor = now as i64 - counter;
+        if let Some(c) = self.competitors.iter_mut().find(|c| c.0 == sender) {
+            c.1 = anchor;
+        } else {
+            self.competitors.push((sender, anchor));
+        }
+    }
+
+    fn competing_behavior(&self, anchor: i64) -> Behavior {
+        let t = anchor + self.params.threshold();
+        debug_assert!(t >= 0);
+        Behavior::Transmit { p: self.params.p_active(), until: Some(t as Slot) }
+    }
+}
+
+impl RadioProtocol for MwMisNode {
+    type Message = MisMsg;
+
+    fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+        self.phase = MisPhase::Waiting;
+        Behavior::Silent { until: Some(now + self.params.waiting_slots()) }
+    }
+
+    fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+        match self.phase {
+            MisPhase::Waiting => {
+                let x = chi(&self.values_at(now), self.params.critical_range(0));
+                let anchor = now as i64 - x - 1;
+                self.phase = MisPhase::Competing { anchor };
+                self.competing_behavior(anchor)
+            }
+            MisPhase::Competing { .. } => {
+                // Threshold reached: join the MIS and announce forever.
+                self.phase = MisPhase::In;
+                Behavior::Transmit { p: self.params.p_leader(), until: None }
+            }
+            MisPhase::In | MisPhase::Out { .. } => unreachable!("terminal states set no deadline"),
+        }
+    }
+
+    fn message(&mut self, now: Slot, _rng: &mut SmallRng) -> MisMsg {
+        match self.phase {
+            MisPhase::Competing { anchor } => {
+                MisMsg::Compete { sender: self.id, counter: now as i64 - anchor }
+            }
+            MisPhase::In => MisMsg::Member { sender: self.id },
+            _ => unreachable!("waiting/out nodes are silent"),
+        }
+    }
+
+    fn on_receive(&mut self, now: Slot, msg: &MisMsg, _rng: &mut SmallRng) -> Option<Behavior> {
+        match (*msg, &self.phase) {
+            (MisMsg::Member { sender }, MisPhase::Waiting | MisPhase::Competing { .. }) => {
+                self.phase = MisPhase::Out { dominator: sender };
+                Some(Behavior::Silent { until: None })
+            }
+            (MisMsg::Compete { sender, counter }, MisPhase::Waiting) => {
+                self.record(sender, counter, now);
+                None
+            }
+            (MisMsg::Compete { sender, counter }, MisPhase::Competing { anchor }) => {
+                let anchor = *anchor;
+                self.record(sender, counter, now);
+                let c_own = now as i64 - anchor;
+                let range = self.params.critical_range(0);
+                if (c_own - counter).abs() <= range {
+                    self.resets += 1;
+                    let x = chi(&self.values_at(now), range);
+                    let new_anchor = now as i64 - x;
+                    self.phase = MisPhase::Competing { anchor: new_anchor };
+                    return Some(self.competing_behavior(new_anchor));
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn is_decided(&self) -> bool {
+        matches!(self.phase, MisPhase::In | MisPhase::Out { .. })
+    }
+}
+
+/// Runs the MIS protocol and returns `(members, outcome)`.
+pub fn mw_mis(
+    graph: &radio_graph::Graph,
+    wake: &[Slot],
+    params: AlgorithmParams,
+    seed: u64,
+    max_slots: Slot,
+) -> (Vec<radio_graph::NodeId>, radio_sim::SimOutcome<MwMisNode>) {
+    let protos: Vec<MwMisNode> =
+        (0..graph.len()).map(|v| MwMisNode::new(v as u64 + 1, params)).collect();
+    let out = radio_sim::run_event(graph, wake, protos, seed, &radio_sim::SimConfig { max_slots });
+    let members: Vec<radio_graph::NodeId> = out
+        .protocols
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_member())
+        .map(|(v, _)| v as radio_graph::NodeId)
+        .collect();
+    (members, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::analysis::independence::is_maximal_independent_set;
+    use radio_graph::generators::special::{complete, cycle, path, star};
+    use radio_graph::generators::{build_udg, uniform_square};
+    use radio_sim::rng::node_rng;
+    use radio_sim::WakePattern;
+
+    fn params_for(g: &radio_graph::Graph) -> AlgorithmParams {
+        let k = radio_graph::analysis::kappa(g);
+        AlgorithmParams::practical(k.k2.max(2), g.max_closed_degree().max(2), 256)
+    }
+
+    #[test]
+    fn mis_on_standard_graphs() {
+        for (name, g) in [
+            ("path", path(7)),
+            ("cycle", cycle(8)),
+            ("star", star(7)),
+            ("clique", complete(5)),
+        ] {
+            for seed in 0..3 {
+                let (mis, out) =
+                    mw_mis(&g, &vec![0; g.len()], params_for(&g), seed, 20_000_000);
+                assert!(out.all_decided, "{name} seed {seed}");
+                assert!(
+                    is_maximal_independent_set(&g, &mis),
+                    "{name} seed {seed}: {mis:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_always_join() {
+        let g = radio_graph::Graph::empty(3);
+        let (mis, out) = mw_mis(&g, &[0, 5, 9], params_for(&g), 1, 1_000_000);
+        assert!(out.all_decided);
+        assert_eq!(mis, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn covered_nodes_know_their_dominator() {
+        let g = star(5);
+        let (mis, out) = mw_mis(&g, &vec![0; 5], params_for(&g), 2, 20_000_000);
+        assert!(out.all_decided);
+        assert!(is_maximal_independent_set(&g, &mis));
+        for (v, p) in out.protocols.iter().enumerate() {
+            if !p.is_member() {
+                let d = p.dominator().expect("covered node has a dominator");
+                // Dominator is an actual MIS-member neighbor (IDs are v+1).
+                let dom_node = (d - 1) as u32;
+                assert!(g.has_edge(v as u32, dom_node), "node {v} dominated by non-neighbor");
+                assert!(mis.contains(&dom_node));
+            }
+        }
+    }
+
+    #[test]
+    fn asynchronous_wakeup_mis() {
+        let mut rng = node_rng(5, 5);
+        let pts = uniform_square(60, 4.0, &mut rng);
+        let g = build_udg(&pts, 1.0);
+        let params = params_for(&g);
+        for seed in 0..3 {
+            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                .generate(g.len(), &mut node_rng(seed, 6));
+            let (mis, out) = mw_mis(&g, &wake, params, seed, 50_000_000);
+            assert!(out.all_decided, "seed {seed}");
+            assert!(is_maximal_independent_set(&g, &mis), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn member_set_matches_decided_flags() {
+        let g = cycle(9);
+        let (mis, out) = mw_mis(&g, &vec![0; 9], params_for(&g), 7, 20_000_000);
+        assert_eq!(
+            mis.len(),
+            out.protocols.iter().filter(|p| p.is_member()).count()
+        );
+        // In + Out partition all nodes.
+        assert!(out.protocols.iter().all(|p| p.is_decided()));
+    }
+}

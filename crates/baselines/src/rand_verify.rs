@@ -1,0 +1,285 @@
+//! Randomized *select-and-verify* coloring in the radio model — the
+//! comparison baseline standing in for Busch et al. \[2\] (paper Sect. 3).
+//!
+//! Each node, after a listening warm-up, repeatedly
+//!
+//! 1. **selects** a uniformly random candidate color from a palette of
+//!    size `2Δ̂` (avoiding colors it has heard locked) plus a random
+//!    priority,
+//! 2. **verifies** it by broadcasting `Claim(color, prio)` with
+//!    probability `1/Δ̂` for a window of `⌈v·Δ̂·log n̂⌉` slots, backing
+//!    off to a fresh selection whenever it hears a conflicting claim of
+//!    higher priority or a lock on its color,
+//! 3. **locks** the color if the window passes quietly, broadcasting
+//!    `Locked(color)` thereafter.
+//!
+//! Like \[2\] (and unlike the paper's algorithm) every undecided node
+//! keeps contending in a shared arena for its whole verification run,
+//! so the expected time per node grows roughly a factor Δ faster; the
+//! restriction of \[2\] to one-hop coloring is `O(Δ³ log n)` vs the
+//! paper's `O(κ₂⁴ Δ log n)`. Experiment E8 measures exactly this gap.
+//! Correctness is probabilistic in the same sense as the paper's: two
+//! neighbors can only keep the same color if an entire verification
+//! window passes without the loser hearing the winner.
+
+use radio_sim::{Behavior, RadioProtocol, Slot};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Messages of the select-and-verify baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyMsg {
+    /// A candidate claim under verification.
+    Claim {
+        /// Candidate color.
+        color: u32,
+        /// Random tie-breaking priority (higher wins).
+        prio: u64,
+        /// Claimant ID.
+        id: u64,
+    },
+    /// An irrevocably locked color.
+    Locked {
+        /// The locked color.
+        color: u32,
+        /// Owner ID.
+        id: u64,
+    },
+}
+
+/// Tunables of the baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyParams {
+    /// Palette size factor: palette = `⌈palette_factor·Δ̂⌉` colors.
+    pub palette_factor: f64,
+    /// Warm-up listen window constant (`⌈w·Δ̂·log n̂⌉` slots).
+    pub warmup: f64,
+    /// Verification window constant (`⌈v·Δ̂·log n̂⌉` slots).
+    pub verify: f64,
+    /// Estimated maximum closed degree `Δ̂`.
+    pub delta_est: usize,
+    /// Estimated network size `n̂`.
+    pub n_est: usize,
+}
+
+impl VerifyParams {
+    /// Defaults matching the E8 experiment. The verification window
+    /// constant is sized so a pair-delivery miss within a window (the
+    /// event that can produce a monochromatic edge) is a ≪1% tail: a
+    /// neighbor's claim gets through a given slot with probability
+    /// ≈ `p·(1−p)^Δ ≈ 1/(eΔ̂)`, so `6·Δ̂·log₂ n̂` slots drive the miss
+    /// probability below `n̂⁻²`-ish for the sizes exercised here.
+    pub fn new(delta_est: usize, n_est: usize) -> Self {
+        VerifyParams { palette_factor: 2.0, warmup: 1.0, verify: 6.0, delta_est: delta_est.max(2), n_est }
+    }
+
+    fn log_n(&self) -> f64 {
+        (self.n_est.max(2) as f64).log2()
+    }
+
+    /// Palette size (≥ 2).
+    pub fn palette(&self) -> u32 {
+        ((self.palette_factor * self.delta_est as f64).ceil() as u32).max(2)
+    }
+
+    /// Warm-up slots.
+    pub fn warmup_slots(&self) -> Slot {
+        ((self.warmup * self.delta_est as f64 * self.log_n()).ceil() as Slot).max(1)
+    }
+
+    /// Verification window slots.
+    pub fn verify_slots(&self) -> Slot {
+        ((self.verify * self.delta_est as f64 * self.log_n()).ceil() as Slot).max(2)
+    }
+
+    /// Claim/lock transmission probability `1/Δ̂`.
+    pub fn p_tx(&self) -> f64 {
+        1.0 / self.delta_est as f64
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Phase {
+    Warmup,
+    Verifying { color: u32, prio: u64 },
+    Locked { color: u32 },
+}
+
+/// A node running select-and-verify.
+#[derive(Clone, Debug)]
+pub struct VerifyNode {
+    params: VerifyParams,
+    id: u64,
+    phase: Phase,
+    /// Colors heard `Locked` by neighbors (bitmap over the palette).
+    taken: Vec<bool>,
+    /// Number of selection attempts (instrumentation).
+    attempts: u32,
+}
+
+impl VerifyNode {
+    /// Creates a sleeping node.
+    pub fn new(id: u64, params: VerifyParams) -> Self {
+        VerifyNode {
+            taken: vec![false; params.palette() as usize],
+            params,
+            id,
+            phase: Phase::Warmup,
+            attempts: 0,
+        }
+    }
+
+    /// The locked color, once decided.
+    pub fn color(&self) -> Option<u32> {
+        match self.phase {
+            Phase::Locked { color } => Some(color),
+            _ => None,
+        }
+    }
+
+    /// Selection attempts used.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Picks a fresh candidate (avoiding known-taken colors when
+    /// possible) and returns the verification behavior.
+    fn select(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
+        self.attempts += 1;
+        let palette = self.params.palette();
+        let free: Vec<u32> = (0..palette).filter(|&c| !self.taken[c as usize]).collect();
+        let color = if free.is_empty() {
+            // Every palette color heard locked — can only happen under a
+            // badly underestimated Δ̂; fall back to a uniform pick.
+            rng.gen_range(0..palette)
+        } else {
+            free[rng.gen_range(0..free.len())]
+        };
+        self.phase = Phase::Verifying { color, prio: rng.gen() };
+        Behavior::Transmit {
+            p: self.params.p_tx(),
+            until: Some(now + self.params.verify_slots()),
+        }
+    }
+}
+
+impl RadioProtocol for VerifyNode {
+    type Message = VerifyMsg;
+
+    fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+        self.phase = Phase::Warmup;
+        Behavior::Silent { until: Some(now + self.params.warmup_slots()) }
+    }
+
+    fn on_deadline(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
+        match self.phase {
+            // Warm-up over: first selection.
+            Phase::Warmup => self.select(now, rng),
+            // Verification window survived: lock the color.
+            Phase::Verifying { color, .. } => {
+                self.phase = Phase::Locked { color };
+                Behavior::Transmit { p: self.params.p_tx(), until: None }
+            }
+            Phase::Locked { .. } => unreachable!("locked nodes set no deadline"),
+        }
+    }
+
+    fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> VerifyMsg {
+        match self.phase {
+            Phase::Verifying { color, prio } => VerifyMsg::Claim { color, prio, id: self.id },
+            Phase::Locked { color } => VerifyMsg::Locked { color, id: self.id },
+            Phase::Warmup => unreachable!("warm-up is silent"),
+        }
+    }
+
+    fn on_receive(&mut self, now: Slot, msg: &VerifyMsg, rng: &mut SmallRng) -> Option<Behavior> {
+        match (*msg, &self.phase) {
+            (VerifyMsg::Locked { color, .. }, _) => {
+                if (color as usize) < self.taken.len() {
+                    self.taken[color as usize] = true;
+                }
+                match self.phase {
+                    // Our candidate just got locked by a neighbor: yield.
+                    Phase::Verifying { color: mine, .. } if mine == color => {
+                        Some(self.select(now + 1, rng))
+                    }
+                    _ => None,
+                }
+            }
+            (VerifyMsg::Claim { color, prio, id }, Phase::Verifying { color: mine, prio: my_prio })
+                if color == *mine && (prio, id) > (*my_prio, self.id) =>
+            {
+                // Higher-priority claim on our color: back off and retry.
+                Some(self.select(now + 1, rng))
+            }
+            _ => None,
+        }
+    }
+
+    fn is_decided(&self) -> bool {
+        matches!(self.phase, Phase::Locked { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::analysis::check_coloring;
+    use radio_graph::generators::special::{complete, cycle, path, star};
+    use radio_graph::Graph;
+    use radio_sim::{run_event, run_lockstep, SimConfig};
+
+    fn run(g: &Graph, seed: u64) -> Vec<Option<u32>> {
+        let params = VerifyParams::new(g.max_closed_degree().max(2), g.len().max(4));
+        let protos: Vec<VerifyNode> =
+            (0..g.len()).map(|v| VerifyNode::new(v as u64 + 1, params)).collect();
+        let out = run_event(g, &vec![0; g.len()], protos, seed, &SimConfig { max_slots: 5_000_000 });
+        assert!(out.all_decided, "baseline did not converge");
+        out.protocols.iter().map(VerifyNode::color).collect()
+    }
+
+    #[test]
+    fn colors_standard_graphs_properly() {
+        for (name, g) in
+            [("path", path(6)), ("cycle", cycle(7)), ("star", star(6)), ("complete", complete(4))]
+        {
+            for seed in 0..3 {
+                let colors = run(&g, seed);
+                let r = check_coloring(&g, &colors);
+                assert!(r.valid(), "{name} seed {seed}: {colors:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_locks_first_pick() {
+        let g = Graph::empty(1);
+        let params = VerifyParams::new(2, 4);
+        let protos = vec![VerifyNode::new(1, params)];
+        let out = run_lockstep(&g, &[0], protos, 1, &SimConfig::default());
+        assert!(out.all_decided);
+        assert_eq!(out.protocols[0].attempts(), 1);
+        assert!(out.protocols[0].color().unwrap() < params.palette());
+    }
+
+    #[test]
+    fn palette_and_windows_sane() {
+        let p = VerifyParams::new(10, 256);
+        assert_eq!(p.palette(), 20);
+        assert_eq!(p.warmup_slots(), 80);
+        assert_eq!(p.verify_slots(), 480);
+        assert!((p.p_tx() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attempts_grow_under_contention() {
+        // On a clique, many re-selections happen before everyone locks.
+        let g = complete(6);
+        let params = VerifyParams::new(6, 8);
+        let protos: Vec<VerifyNode> = (0..6).map(|v| VerifyNode::new(v + 1, params)).collect();
+        let out = run_event(&g, &[0; 6], protos, 3, &SimConfig { max_slots: 5_000_000 });
+        assert!(out.all_decided);
+        let total: u32 = out.protocols.iter().map(|p| p.attempts()).sum();
+        assert!(total >= 6, "at least one attempt each");
+    }
+}

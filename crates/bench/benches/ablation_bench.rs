@@ -1,0 +1,39 @@
+//! Benchmark form of the reset-policy ablation: wall-clock (and
+//! implicitly simulated-slot) cost of the paper's counter mechanism vs
+//! the naive schemes on a dense deployment. `NoCompetitorList` runs are
+//! capped — they may starve, which is the point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::experiments::slot_cap;
+use radio_bench::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{SimConfig, WakePattern};
+use urn_coloring::{color_graph, ColoringConfig, ResetPolicy};
+
+fn bench_reset_policies(c: &mut Criterion) {
+    let w = udg_workload(80, 16.0, 0xAB1);
+    let mut g = c.benchmark_group("reset_policy");
+    g.sample_size(10);
+    for policy in [ResetPolicy::Paper, ResetPolicy::AlwaysReset, ResetPolicy::NoCompetitorList] {
+        let mut params = w.params();
+        params.reset_policy = policy;
+        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+            .generate(w.n(), &mut node_rng(5, 5));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{policy:?}")), &wake, |b, wake| {
+            let mut config = ColoringConfig::new(params);
+            // Cap starving runs at a fraction of the usual budget so the
+            // bench finishes; slots_run tells the story either way.
+            config.sim = SimConfig { max_slots: slot_cap(&params) / 10 };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = color_graph(&w.graph, wake, &config, seed);
+                out.slots_run
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reset_policies);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E8's benchmark form plus message-passing baselines: wall-clock of
+//! every coloring route on a shared workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use radio_baselines::{
+    cole_vishkin_ring, greedy_coloring, layered_mis_coloring, linial_reduction_coloring, luby_mis,
+    GreedyOrder, VerifyNode, VerifyParams,
+};
+use radio_bench::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{run_event, SimConfig, WakePattern};
+
+fn bench_baselines(c: &mut Criterion) {
+    let w = udg_workload(96, 10.0, 0xBA);
+    let n = w.n();
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+
+    g.bench_function("greedy_smallest_last", |b| {
+        b.iter(|| greedy_coloring(&w.graph, GreedyOrder::SmallestLast));
+    });
+
+    g.bench_function("luby_mis", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            luby_mis(&w.graph, seed, 10_000)
+        });
+    });
+
+    g.bench_function("layered_mis_coloring", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            layered_mis_coloring(&w.graph, seed)
+        });
+    });
+
+    g.bench_function("linial_reduction", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            linial_reduction_coloring(&w.graph, seed)
+        });
+    });
+
+    g.bench_function("cole_vishkin_ring_10k", |b| {
+        let ids: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        b.iter(|| cole_vishkin_ring(&ids));
+    });
+
+    g.bench_function("select_and_verify_radio", |b| {
+        let vp = VerifyParams::new(w.delta.max(2), n);
+        let wake = WakePattern::UniformWindow { window: 2 * vp.warmup_slots() }
+            .generate(n, &mut node_rng(4, 4));
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let protos: Vec<VerifyNode> =
+                (0..n).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
+            let out = run_event(&w.graph, &wake, protos, seed, &SimConfig { max_slots: 50_000_000 });
+            assert!(out.all_decided);
+            out.slots_run
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

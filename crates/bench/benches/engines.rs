@@ -1,0 +1,44 @@
+//! E14's benchmark form: lock-step vs event-driven engine throughput on
+//! identical coloring workloads. The event engine's advantage grows
+//! with the idle fraction (low sending probabilities ⇒ most slots are
+//! silent for most nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::experiments::slot_cap;
+use radio_bench::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, SimConfig, WakePattern};
+use urn_coloring::{color_graph, ColoringConfig};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let w = udg_workload(n, 10.0, 0xBE);
+        let params = w.params();
+        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+            .generate(n, &mut node_rng(1, 1));
+        for engine in [Engine::Lockstep, Engine::Event] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), n),
+                &(&w, &wake),
+                |b, (w, wake)| {
+                    let mut config = ColoringConfig::new(params);
+                    config.engine = engine;
+                    config.sim = SimConfig { max_slots: slot_cap(&params) };
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let out = color_graph(&w.graph, wake, &config, seed);
+                        assert!(out.all_decided);
+                        out.slots_run
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

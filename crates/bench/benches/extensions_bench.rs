@@ -1,0 +1,68 @@
+//! Benchmarks for the extension modules: the degree estimator, the
+//! standalone MIS protocol, and the jittered (non-aligned slots)
+//! engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use radio_baselines::mw_mis::mw_mis;
+use radio_bench::experiments::slot_cap;
+use radio_bench::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{random_phases, run_event, run_jittered, SimConfig, WakePattern};
+use urn_coloring::{ColoringNode, DegreeEstimator, EstimatorParams};
+
+fn bench_extensions(c: &mut Criterion) {
+    let w = udg_workload(96, 10.0, 0xEB);
+    let n = w.n();
+    let params = w.params();
+    let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+        .generate(n, &mut node_rng(9, 9));
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    g.bench_function("degree_estimation", |b| {
+        let est = EstimatorParams::new(n, 4 * w.delta.max(4));
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let protos: Vec<DegreeEstimator> =
+                (0..n).map(|_| DegreeEstimator::new(est)).collect();
+            let out = run_event(&w.graph, &wake, protos, seed, &SimConfig::default());
+            assert!(out.all_decided);
+            out.slots_run
+        });
+    });
+
+    g.bench_function("mw_mis", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let (mis, out) = mw_mis(&w.graph, &wake, params, seed, slot_cap(&params));
+            assert!(out.all_decided);
+            mis.len()
+        });
+    });
+
+    g.bench_function("jittered_coloring", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let protos: Vec<ColoringNode> =
+                (0..n).map(|v| ColoringNode::new(v as u64 + 1, params)).collect();
+            let phases = random_phases(n, seed);
+            let out = run_jittered(
+                &w.graph,
+                &wake,
+                protos,
+                &phases,
+                seed,
+                &SimConfig { max_slots: slot_cap(&params) },
+            );
+            assert!(out.all_decided);
+            out.slots_run
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks for the hot kernels: χ(P_v) computation, geometric
+//! skip sampling, spatial indexing and graph construction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_graph::generators::{build_udg, uniform_square};
+use radio_graph::spatial::GridIndex;
+use radio_sim::rng::{geometric_failures, node_rng};
+use urn_coloring::chi::chi;
+
+fn bench_chi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chi");
+    for k in [4usize, 16, 64] {
+        let centers: Vec<i64> = (0..k as i64).map(|i| -17 * i + 5).collect();
+        g.bench_with_input(BenchmarkId::new("competitors", k), &centers, |b, centers| {
+            b.iter(|| chi(black_box(centers), black_box(24)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometric_skip");
+    for p in [0.5f64, 0.01, 1e-5] {
+        g.bench_with_input(BenchmarkId::new("p", p), &p, |b, &p| {
+            let mut rng = node_rng(1, 2);
+            b.iter(|| geometric_failures(black_box(p), &mut rng));
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_build");
+    for n in [256usize, 1024, 4096] {
+        let mut rng = node_rng(3, n as u32);
+        let side = (n as f64 / 10.0).sqrt();
+        let pts = uniform_square(n, side, &mut rng);
+        g.bench_with_input(BenchmarkId::new("grid_index", n), &pts, |b, pts| {
+            b.iter(|| GridIndex::build(black_box(pts), 1.0));
+        });
+        g.bench_with_input(BenchmarkId::new("udg", n), &pts, |b, pts| {
+            b.iter(|| build_udg(black_box(pts), 1.0));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chi, bench_geometric, bench_graph_build
+}
+criterion_main!(benches);

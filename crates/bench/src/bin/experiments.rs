@@ -1,0 +1,98 @@
+//! Experiment harness binary: regenerates every quantitative claim of
+//! the paper (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! ```text
+//! experiments [--quick] [--seeds N] [--threads N] [--out DIR] [IDS...]
+//!
+//!   IDS: all | e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 ablation
+//! ```
+//!
+//! Tables are printed to stdout and written as CSV under `--out`
+//! (default `results/`).
+
+use radio_bench::experiments as exp;
+use radio_bench::experiments::ExpOpts;
+use radio_bench::table::Table;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seeds: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir = "results".to_string();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seeds" => seeds = Some(it.next().expect("--seeds N").parse().expect("number")),
+            "--threads" => threads = Some(it.next().expect("--threads N").parse().expect("number")),
+            "--out" => out_dir = it.next().expect("--out DIR"),
+            "--help" | "-h" => {
+                println!("usage: experiments [--quick] [--seeds N] [--threads N] [--out DIR] [IDS...]");
+                println!("  IDS: all e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 ablation");
+                return;
+            }
+            other => ids.push(other.to_lowercase()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ["e1", "e2", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "ablation"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let mut opts = ExpOpts::new(quick, &out_dir);
+    if let Some(s) = seeds {
+        opts.seeds = s;
+    }
+    if let Some(t) = threads {
+        opts.threads = t;
+    }
+    println!(
+        "# coloring-unstructured-radio-networks experiments (quick={quick}, seeds={}, threads={})\n",
+        opts.seeds, opts.threads
+    );
+
+    let emit = |tables: Vec<Table>, name: &str, opts: &ExpOpts| {
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render());
+            let suffix = if tables.len() > 1 { format!("{name}_{i}") } else { name.to_string() };
+            match t.write_csv(&opts.out_dir, &suffix) {
+                Ok(p) => println!("  → {}\n", p.display()),
+                Err(e) => eprintln!("  ! CSV write failed: {e}\n"),
+            }
+        }
+    };
+
+    for id in &ids {
+        let start = Instant::now();
+        match id.as_str() {
+            "e1" => emit(vec![exp::e01_correctness::run(&opts)], "e01_correctness", &opts),
+            "e2" => emit(exp::e02_time_scaling::run(&opts), "e02_time_scaling", &opts),
+            "e3" => emit(vec![exp::e03_colors::run(&opts)], "e03_colors", &opts),
+            "e4" => emit(exp::e04_locality::run(&opts), "e04_locality", &opts),
+            "e5" => emit(vec![exp::e05_constants::run(&opts)], "e05_constants", &opts),
+            // E6 (the UDG corollary) is the normalized view of E2: the
+            // T̄/(Δ·log n) columns of e2a/e2b being ~constant is its claim.
+            "e6" => emit(exp::e02_time_scaling::run(&opts), "e06_udg_corollary", &opts),
+            "e7" => emit(vec![exp::e07_ubg::run(&opts)], "e07_ubg", &opts),
+            "e8" => emit(exp::e08_baseline::run(&opts), "e08_baseline", &opts),
+            "e9" => emit(vec![exp::e09_wakeup::run(&opts)], "e09_wakeup", &opts),
+            "e10" => emit(vec![exp::e10_obstacles::run(&opts)], "e10_obstacles", &opts),
+            "e11" => emit(vec![exp::e11_ids::run(&opts)], "e11_ids", &opts),
+            "e12" => emit(exp::e12_tdma::run(&opts), "e12_tdma", &opts),
+            "e13" => emit(exp::e13_states::run(&opts), "e13_states", &opts),
+            "e14" => emit(vec![exp::e14_engines::run(&opts)], "e14_engines", &opts),
+            "e15" => emit(exp::e15_estimation::run(&opts), "e15_estimation", &opts),
+            "e16" => emit(vec![exp::e16_jitter::run(&opts)], "e16_jitter", &opts),
+            "e17" => emit(vec![exp::e17_mis::run(&opts)], "e17_mis", &opts),
+            "e18" => emit(vec![exp::e18_scalability::run(&opts)], "e18_scalability", &opts),
+            "ablation" => emit(exp::ablation::run(&opts), "ablation_reset", &opts),
+            other => eprintln!("unknown experiment id: {other}"),
+        }
+        println!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

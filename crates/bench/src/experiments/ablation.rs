@@ -1,0 +1,108 @@
+//! Ablation — the counter-handling design choices of Sect. 4. The
+//! paper argues plain "reset on higher counter" causes cascading resets
+//! and starvation, and that critical ranges must be combined with the
+//! competitor list (`χ(P_v)`) to avoid repeated mutual resets. We run
+//! all three policies on a dense deployment and compare tail latencies
+//! and reset counts.
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
+use urn_coloring::ResetPolicy;
+
+/// Runs the ablations and returns their tables.
+pub fn run(opts: &ExpOpts) -> Vec<Table> {
+    let mut t = Table::new(
+        "Ablation · counter reset policies (paper's χ/critical-range vs naive schemes)",
+        &["policy", "runs", "valid", "finished", "mean T̄", "mean maxT", "mean resets/node"],
+    );
+    let n = if opts.quick { 80 } else { 160 };
+    // Dense: high contention is where the mechanisms differ.
+    let w = udg_workload(n, 20.0, 0xAB);
+    for policy in [ResetPolicy::Paper, ResetPolicy::NoCompetitorList, ResetPolicy::AlwaysReset] {
+        let mut params = w.params();
+        params.reset_policy = policy;
+        // Cap runtime well above the paper policy's worst case but far
+        // below the liveness budget: starving policies would otherwise
+        // burn hours proving the point. "finished" < 1 IS the result.
+        let cap = slot_cap(&params) / 20;
+        let rs = run_many(
+            &w,
+            params,
+            |seed| {
+                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                    .generate(n, &mut node_rng(seed, 61))
+            },
+            Engine::Event,
+            opts,
+            0xABA,
+            cap,
+        );
+        t.row(vec![
+            format!("{policy:?}"),
+            rs.len().to_string(),
+            fnum(fraction(&rs, |r| r.valid)),
+            fnum(fraction(&rs, |r| r.all_decided)),
+            fnum(mean_of(&rs, |r| r.mean_t)),
+            fnum(mean_of(&rs, |r| r.max_t)),
+            fnum(mean_of(&rs, |r| r.total_resets as f64 / n as f64)),
+        ]);
+    }
+
+    // Second ablation: Algorithm 3's "transmit until the protocol is
+    // stopped". With a finite announce window, nodes that wake after
+    // their neighbors' windows closed hear nothing, count to the
+    // threshold undisturbed, and duplicate an in-use color.
+    let mut a = Table::new(
+        "Ablation · announce window (Alg. 3 line 3: decided nodes must keep transmitting)",
+        &["announce window", "wake pattern", "runs", "valid", "mean sent/node"],
+    );
+    let w2 = udg_workload(if opts.quick { 64 } else { 128 }, 10.0, 0xAB2);
+    let base = w2.params();
+    let n2 = w2.n();
+    let threshold = base.threshold().unsigned_abs();
+    // Stragglers wake long after the first wave has decided *and* after
+    // any finite announce window below has closed.
+    let late = base.waiting_slots() + 16 * threshold;
+    for (label, announce) in [
+        ("∞ (paper)", None),
+        ("8·threshold", Some(8 * threshold)),
+        ("threshold/2", Some(threshold / 2)),
+    ] {
+        for (pname, straggle) in [("all within window", false), ("⅛ very late stragglers", true)] {
+            let mut params = base;
+            params.announce_slots = announce;
+            let rs = run_many(
+                &w2,
+                params,
+                |seed| {
+                    let mut wake = WakePattern::UniformWindow { window: params.waiting_slots() }
+                        .generate(n2, &mut node_rng(seed, 62));
+                    if straggle {
+                        // Every 8th node wakes after the windows closed.
+                        for (v, w) in wake.iter_mut().enumerate() {
+                            if v % 8 == 3 {
+                                *w = late + (v as u64 % 7) * 11;
+                            }
+                        }
+                    }
+                    wake
+                },
+                Engine::Event,
+                opts,
+                0xAB3,
+                slot_cap(&params) * 8,
+            );
+            a.row(vec![
+                label.to_string(),
+                pname.to_string(),
+                rs.len().to_string(),
+                fnum(fraction(&rs, |r| r.valid)),
+                fnum(mean_of(&rs, |r| r.total_sent as f64 / n2 as f64)),
+            ]);
+        }
+    }
+    vec![t, a]
+}

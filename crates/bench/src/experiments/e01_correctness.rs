@@ -1,0 +1,81 @@
+//! E1 — Theorem 2: the algorithm produces a correct (proper, complete)
+//! coloring w.h.p., on every topology and wake-up pattern.
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::{udg_workload, Workload};
+use radio_graph::generators::big::{build_big, random_walls};
+use radio_graph::generators::{gnp, uniform_square};
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
+
+/// Runs E1 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E1 · Theorem 2: correctness across topologies and wake-up patterns",
+        &["topology", "n", "Δ", "κ₂", "pattern", "runs", "valid", "theorems", "mean colors", "mean T̄"],
+    );
+
+    let sizes: &[usize] = if opts.quick { &[64] } else { &[64, 128, 256] };
+    let mut workloads: Vec<Workload> = Vec::new();
+    for &n in sizes {
+        workloads.push(udg_workload(n, 10.0, 42 + n as u64));
+    }
+    // G(n,p) with expected closed degree ≈ 8 — not a BIG model, shows
+    // correctness is model-independent (only the bounds need κ₂).
+    {
+        let n = if opts.quick { 64 } else { 128 };
+        let p = 7.0 / (n as f64 - 1.0);
+        let mut rng = node_rng(7, 1);
+        workloads.push(Workload::from_graph(format!("gnp(n={n})"), gnp(n, p, &mut rng), None));
+    }
+    // UDG + walls (BIG of Fig. 1).
+    {
+        let n = if opts.quick { 64 } else { 128 };
+        let mut rng = node_rng(8, 2);
+        let side = radio_graph::generators::udg_side_for_target_degree(n, 10.0);
+        let pts = uniform_square(n, side, &mut rng);
+        let walls = random_walls(n / 2, 0.8, side, &mut rng);
+        workloads.push(Workload::from_graph(
+            format!("big-walls(n={n})"),
+            build_big(&pts, 1.0, &walls),
+            Some(pts),
+        ));
+    }
+
+    for w in &workloads {
+        let params = w.params();
+        let window = 4 * params.waiting_slots();
+        let patterns = [
+            ("sync", WakePattern::Synchronous),
+            ("uniform", WakePattern::UniformWindow { window }),
+            ("sequential", WakePattern::Sequential { gap: params.serve_slots() * 4 }),
+            ("poisson", WakePattern::Poisson { mean_gap: params.waiting_slots() as f64 / 8.0 }),
+        ];
+        for (pname, pattern) in patterns {
+            let n = w.n();
+            let rs = run_many(
+                w,
+                params,
+                |seed| pattern.generate(n, &mut node_rng(seed, 99)),
+                Engine::Event,
+                opts,
+                0xE1 + n as u64,
+                slot_cap(&params),
+            );
+            t.row(vec![
+                w.label.clone(),
+                w.n().to_string(),
+                w.delta.to_string(),
+                format!("{}{}", w.kappa.k2, if w.kappa_exact { "" } else { "+" }),
+                pname.to_string(),
+                rs.len().to_string(),
+                fnum(fraction(&rs, |r| r.valid)),
+                fnum(fraction(&rs, |r| r.theorems_hold)),
+                fnum(mean_of(&rs, |r| r.distinct_colors as f64)),
+                fnum(mean_of(&rs, |r| r.mean_t)),
+            ]);
+        }
+    }
+    t
+}

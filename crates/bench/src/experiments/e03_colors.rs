@@ -1,0 +1,50 @@
+//! E3 — Theorems 4/5: the algorithm uses at most `κ₂·Δ` colors
+//! (`O(Δ)` on UDGs), compared against centralized greedy and the clique
+//! lower bound.
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_baselines::{greedy_coloring, GreedyOrder};
+use radio_graph::analysis::{check_coloring, clique_lower_bound};
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
+
+/// Runs E3 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E3 · Theorems 4/5: colors used vs the κ₂·Δ bound, greedy, and the clique lower bound",
+        &["n", "Δ", "κ₂", "κ₂·Δ bound", "mean span", "mean distinct", "≤bound", "greedy(SL)", "clique LB"],
+    );
+    let n = if opts.quick { 96 } else { 256 };
+    let deltas: &[f64] = if opts.quick { &[8.0] } else { &[6.0, 10.0, 16.0, 24.0] };
+    for (i, &target) in deltas.iter().enumerate() {
+        let w = udg_workload(n, target, 0xE3 + i as u64);
+        let params = w.params();
+        let rs = run_many(
+            &w,
+            params,
+            |seed| {
+                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                    .generate(n, &mut node_rng(seed, 7))
+            },
+            Engine::Event,
+            opts,
+            0xE3A + i as u64,
+            slot_cap(&params),
+        );
+        let greedy = check_coloring(&w.graph, &greedy_coloring(&w.graph, GreedyOrder::SmallestLast));
+        t.row(vec![
+            n.to_string(),
+            w.delta.to_string(),
+            w.kappa.k2.to_string(),
+            (w.kappa.k2 * w.delta).to_string(),
+            fnum(mean_of(&rs, |r| r.palette_span as f64)),
+            fnum(mean_of(&rs, |r| r.distinct_colors as f64)),
+            fnum(fraction(&rs, |r| u64::from(r.palette_span) <= (w.kappa.k2 * w.delta) as u64)),
+            greedy.distinct_colors.to_string(),
+            clique_lower_bound(&w.graph).to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,58 @@
+//! E5 — the paper's Sect. 4 remark: "Simulation results show that in
+//! networks whose nodes are uniformly distributed at random
+//! significantly smaller values suffice." We sweep a global scale
+//! factor on (α, β, γ, σ) below and above the practical preset and
+//! report where correctness starts to erode, plus the speed payoff.
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
+use urn_coloring::AlgorithmParams;
+
+/// Runs E5 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E5 · practical constants: scale factor sweep on (α,β,γ,σ) — theory values are ~100× larger",
+        &["scale", "γ·log n (slots)", "runs", "valid", "mean T̄", "vs theory T̄ est."],
+    );
+    let n = if opts.quick { 96 } else { 192 };
+    let w = udg_workload(n, 10.0, 0xE5);
+    let base = w.params();
+    let theory = AlgorithmParams::theory(w.kappa.k1.max(2), w.kappa.k2.max(2), w.delta.max(2), n);
+    // Theory decision time estimate: dominated by the waiting phase +
+    // threshold run-up of the first class.
+    let theory_t = (theory.waiting_slots() + theory.threshold().unsigned_abs()) as f64;
+
+    let scales: &[f64] = if opts.quick {
+        &[0.25, 1.0]
+    } else {
+        &[0.125, 0.25, 0.5, 1.0, 2.0, 4.0]
+    };
+    for &s in scales {
+        let params = base.scaled(s);
+        let rs = run_many(
+            &w,
+            params,
+            |seed| {
+                WakePattern::UniformWindow { window: 2 * params.waiting_slots().max(64) }
+                    .generate(n, &mut node_rng(seed, 11))
+            },
+            Engine::Event,
+            opts,
+            0xE5A + (s * 1000.0) as u64,
+            slot_cap(&base.scaled(s.max(1.0))),
+        );
+        let mean_t = mean_of(&rs, |r| r.mean_t);
+        t.row(vec![
+            fnum(s),
+            params.critical_range(0).to_string(),
+            rs.len().to_string(),
+            fnum(fraction(&rs, |r| r.valid)),
+            fnum(mean_t),
+            format!("{}× faster", fnum(theory_t / mean_t)),
+        ]);
+    }
+    t
+}

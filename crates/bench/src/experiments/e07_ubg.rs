@@ -1,0 +1,93 @@
+//! E7 — Lemma 9 / Corollary 3: unit ball graphs over a metric with
+//! doubling dimension ρ have `κ₂ ≤ 4^ρ`, and the algorithm's bounds
+//! follow with that constant.
+
+use super::{fraction, run_many, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::Workload;
+use radio_graph::generators::build_ubg;
+use radio_graph::geometry::{ChebyshevN, Metric, PointN, Snowflake};
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
+use rand::Rng;
+
+fn random_points<const D: usize>(n: usize, side: f64, rng: &mut impl Rng) -> Vec<PointN<D>> {
+    (0..n).map(|_| PointN::new(std::array::from_fn(|_| rng.gen::<f64>() * side))).collect()
+}
+
+/// Runs E7 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E7 · Lemma 9/Corollary 3: unit ball graphs — measured κ₂ vs the 4^ρ bound",
+        &["metric", "ρ", "4^ρ", "n", "Δ", "κ₂ measured", "κ₂ ≤ 4^ρ", "runs", "valid"],
+    );
+    let n = if opts.quick { 60 } else { 120 };
+    let mut rng = node_rng(0xE7, 0);
+
+    // Chebyshev balls are cubes: ρ = D exactly; densities chosen so the
+    // graphs stay connected-ish but sparse enough for exact κ.
+    let mut cases: Vec<(String, f64, Workload)> = Vec::new();
+    {
+        let pts = random_points::<1>(n, n as f64 / 6.0, &mut rng);
+        let m = ChebyshevN::<1>;
+        let g = build_ubg(&pts, &m, 1.0);
+        cases.push(("ℓ∞, D=1".into(), m.doubling_dimension(), Workload::from_graph("ubg-1d", g, None)));
+    }
+    {
+        let side = (n as f64 / 3.0).sqrt() * 1.6;
+        let pts = random_points::<2>(n, side, &mut rng);
+        let m = ChebyshevN::<2>;
+        let g = build_ubg(&pts, &m, 1.0);
+        cases.push(("ℓ∞, D=2".into(), m.doubling_dimension(), Workload::from_graph("ubg-2d", g, None)));
+    }
+    {
+        let side = (n as f64 / 2.0).cbrt() * 2.0;
+        let pts = random_points::<3>(n, side, &mut rng);
+        let m = ChebyshevN::<3>;
+        let g = build_ubg(&pts, &m, 1.0);
+        cases.push(("ℓ∞, D=3".into(), m.doubling_dimension(), Workload::from_graph("ubg-3d", g, None)));
+    }
+    {
+        // Snowflake doubles the doubling dimension: ρ = 2·2 = 4. Radius
+        // 1 under d^0.5 equals radius 1 under d, so reuse the 2-D density.
+        let side = (n as f64 / 3.0).sqrt() * 1.6;
+        let pts = random_points::<2>(n, side, &mut rng);
+        let m = Snowflake::new(ChebyshevN::<2>, 0.5);
+        let g = build_ubg(&pts, &m, 1.0);
+        cases.push((
+            "snowflake(ℓ∞ D=2, ε=½)".into(),
+            m.doubling_dimension(),
+            Workload::from_graph("ubg-snow", g, None),
+        ));
+    }
+
+    for (name, rho, w) in &cases {
+        let bound = 4f64.powf(*rho);
+        let params = w.params();
+        let nn = w.n();
+        let rs = run_many(
+            w,
+            params,
+            |seed| {
+                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                    .generate(nn, &mut node_rng(seed, 13))
+            },
+            Engine::Event,
+            opts,
+            0xE7A,
+            slot_cap(&params),
+        );
+        t.row(vec![
+            name.clone(),
+            fnum(*rho),
+            fnum(bound),
+            w.n().to_string(),
+            w.delta.to_string(),
+            format!("{}{}", w.kappa.k2, if w.kappa_exact { "" } else { "+" }),
+            (w.kappa.k2 as f64 <= bound).to_string(),
+            rs.len().to_string(),
+            fnum(fraction(&rs, |r| r.valid)),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,213 @@
+//! E8 — Sect. 3 comparison against Busch et al. \[2\]: restricted to
+//! one-hop coloring, \[2\] achieves `O(Δ)` colors in `O(Δ³ log n)` time,
+//! vs the paper's `O(κ₂⁴ Δ log n)`.
+//!
+//! \[2\]'s algorithm itself is not reconstructible from this paper, so
+//! the comparison is run two ways (substitution documented in
+//! DESIGN.md):
+//!
+//! 1. against our faithful-in-spirit **select-and-verify** stand-in —
+//!    which empirically *outperforms* the `Δ³ log n` bound attributed
+//!    to \[2\] (it is a simpler, stronger baseline; honesty first);
+//! 2. against a **bound playback** curve `T(Δ) = T₀·(Δ/Δ₀)³`: the
+//!    `O(Δ³ log n)` growth calibrated optimistically to the stand-in's
+//!    measured time at the smallest Δ. The paper's claim corresponds to
+//!    the MW curve staying below this playback for growing Δ.
+//!
+//! The dimension where the paper's advantage is structural — *locality*
+//! of colors — is compared directly: the stand-in draws colors
+//! uniformly from a global `2Δ` palette, so sparse-area nodes see high
+//! colors, while MW's highest local color tracks local density
+//! (Theorem 4, E4, E12).
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::stats::power_fit;
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_baselines::{VerifyNode, VerifyParams};
+use radio_graph::analysis::check_coloring;
+use radio_graph::analysis::coloring_check::locality_points;
+use radio_sim::parallel::run_seeds;
+use radio_sim::rng::node_rng;
+use radio_sim::{run_event, Engine, SimConfig, WakePattern};
+
+struct SvResult {
+    valid: bool,
+    mean_t: f64,
+    distinct: usize,
+    span: u32,
+}
+
+/// Runs E8 and returns its tables.
+pub fn run(opts: &ExpOpts) -> Vec<Table> {
+    let mut t = Table::new(
+        "E8 · MW vs select-and-verify stand-in vs the Δ³·log n bound attributed to [2]",
+        &["n", "Δ", "MW T̄", "MW valid", "SV T̄", "SV valid", "[2]-bound playback", "MW < playback"],
+    );
+    let n = if opts.quick { 96 } else { 192 };
+    let deltas: &[f64] = if opts.quick { &[6.0, 12.0] } else { &[6.0, 10.0, 16.0, 24.0, 32.0] };
+    let mut rows: Vec<(f64, f64, f64, SvStats)> = Vec::new();
+    struct SvStats {
+        valid: f64,
+        distinct: f64,
+        span: f64,
+        mw_valid: f64,
+        mw_distinct: f64,
+        mw_span: f64,
+    }
+
+    // Fix κ̂₂ across the sweep (model constant of the UDG family).
+    let workloads: Vec<_> =
+        deltas.iter().enumerate().map(|(i, &d)| udg_workload(n, d, 0xE8 + i as u64)).collect();
+    let kappa2 = workloads.iter().map(|w| w.kappa.k2).max().unwrap_or(2);
+    for (i, w) in workloads.iter().enumerate() {
+        let params = w.params_with_kappa(kappa2);
+        let mw = run_many(
+            w,
+            params,
+            |seed| {
+                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                    .generate(n, &mut node_rng(seed, 17))
+            },
+            Engine::Event,
+            opts,
+            0xE8A + i as u64,
+            slot_cap(&params),
+        );
+        let vp = VerifyParams::new(w.delta.max(2), n);
+        let seeds = opts.seed_list(0xE8B + i as u64);
+        let graph = &w.graph;
+        let sv: Vec<SvResult> = run_seeds(&seeds, opts.threads, |seed| {
+            let wake = WakePattern::UniformWindow { window: 2 * vp.warmup_slots() }
+                .generate(n, &mut node_rng(seed, 18));
+            let protos: Vec<VerifyNode> =
+                (0..n).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
+            let out = run_event(graph, &wake, protos, seed, &SimConfig { max_slots: 100_000_000 });
+            let colors: Vec<Option<u32>> = out.protocols.iter().map(VerifyNode::color).collect();
+            let report = check_coloring(graph, &colors);
+            let mean_t = {
+                let ts: Vec<u64> =
+                    out.stats.iter().filter_map(radio_sim::NodeStats::decision_time).collect();
+                if ts.is_empty() { f64::NAN } else { ts.iter().sum::<u64>() as f64 / ts.len() as f64 }
+            };
+            SvResult {
+                valid: out.all_decided && report.valid(),
+                mean_t,
+                distinct: report.distinct_colors,
+                span: report.max_color.map_or(0, |c| c + 1),
+            }
+        });
+
+        let mw_t = mean_of(&mw, |r| r.mean_t);
+        let sv_t = sv.iter().map(|x| x.mean_t).sum::<f64>() / sv.len() as f64;
+        rows.push((
+            w.delta as f64,
+            mw_t,
+            sv_t,
+            SvStats {
+                valid: sv.iter().filter(|x| x.valid).count() as f64 / sv.len() as f64,
+                distinct: sv.iter().map(|x| x.distinct as f64).sum::<f64>() / sv.len() as f64,
+                span: sv.iter().map(|x| x.span as f64).sum::<f64>() / sv.len() as f64,
+                mw_valid: fraction(&mw, |r| r.valid),
+                mw_distinct: mean_of(&mw, |r| r.distinct_colors as f64),
+                mw_span: mean_of(&mw, |r| r.palette_span as f64),
+            },
+        ));
+    }
+
+    // Playback: Δ³ growth calibrated to the stand-in's time at Δ₀
+    // (optimistic for [2]: same constant as our stronger stand-in).
+    let (d0, _, sv0, _) = rows[0];
+    for (d, mw_t, sv_t, s) in &rows {
+        let playback = sv0 * (d / d0).powi(3);
+        t.row(vec![
+            n.to_string(),
+            fnum(*d),
+            fnum(*mw_t),
+            fnum(s.mw_valid),
+            fnum(*sv_t),
+            fnum(s.valid),
+            fnum(playback),
+            (*mw_t < playback).to_string(),
+        ]);
+    }
+
+    let xs: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let mw_ts: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let sv_ts: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    let mut fit = Table::new(
+        "E8b · growth exponents T ∝ Δ^e (κ₂ varies slightly across densities)",
+        &["algorithm", "e", "r²", "reference"],
+    );
+    let (e_mw, r2_mw) = power_fit(&xs, &mw_ts);
+    let (e_sv, r2_sv) = power_fit(&xs, &sv_ts);
+    fit.row(vec![
+        "Moscibroda–Wattenhofer (measured)".into(),
+        fnum(e_mw),
+        fnum(r2_mw),
+        "O(κ₂⁴·Δ·log n): e ≈ 1 at fixed κ₂".into(),
+    ]);
+    fit.row(vec![
+        "select-and-verify stand-in (measured)".into(),
+        fnum(e_sv),
+        fnum(r2_sv),
+        "stronger than [2]; see DESIGN.md substitution".into(),
+    ]);
+    fit.row(vec!["[2] as stated in the paper".into(), "3".into(), "—".into(), "O(Δ³ log n)".into()]);
+
+    let mut q = Table::new(
+        "E8c · color counts per density (both O(Δ) palettes)",
+        &["Δ", "MW span", "SV span", "MW distinct", "SV distinct"],
+    );
+    for (d, _, _, s) in &rows {
+        q.row(vec![fnum(*d), fnum(s.mw_span), fnum(s.span), fnum(s.mw_distinct), fnum(s.distinct)]);
+    }
+
+    // E8d: the *structural* advantage — locality. On a dense-core +
+    // sparse-halo deployment, MW's sparse nodes see only low colors
+    // (their TDMA frames stay short); SV draws from a global palette,
+    // so sparse nodes are stuck with arbitrary high colors.
+    let mut l = Table::new(
+        "E8d · locality on dense-core/sparse-halo: mean φ_v among sparse nodes (θ_v ≤ 6)",
+        &["algorithm", "mean φ (sparse)", "max φ (sparse)", "global span"],
+    );
+    {
+        let mut rng = node_rng(0xE8D, 0);
+        let (nc, nh) = if opts.quick { (40, 60) } else { (100, 150) };
+        let pts = radio_graph::generators::dense_core_sparse_halo(nc, nh, 1.0, 12.0, &mut rng);
+        let g = radio_graph::generators::build_udg(&pts, 1.0);
+        let hw = crate::workloads::Workload::from_graph("halo", g, Some(pts));
+        let params = hw.params();
+        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+            .generate(hw.n(), &mut node_rng(3, 19));
+        let mut cfg = urn_coloring::ColoringConfig::new(params);
+        cfg.sim = SimConfig { max_slots: slot_cap(&params) };
+        let out = urn_coloring::color_graph(&hw.graph, &wake, &cfg, 3);
+        let mw_pts = locality_points(&hw.graph, &out.colors);
+        let sparse_mw: Vec<f64> =
+            mw_pts.iter().filter(|p| p.theta <= 6).map(|p| p.phi as f64).collect();
+        l.row(vec![
+            "Moscibroda–Wattenhofer".into(),
+            fnum(sparse_mw.iter().sum::<f64>() / sparse_mw.len().max(1) as f64),
+            fnum(sparse_mw.iter().copied().fold(0.0, f64::max)),
+            out.report.max_color.map_or(0, |c| c + 1).to_string(),
+        ]);
+        let vp = VerifyParams::new(hw.delta.max(2), hw.n());
+        let protos: Vec<VerifyNode> =
+            (0..hw.n()).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
+        let svo =
+            run_event(&hw.graph, &wake, protos, 3, &SimConfig { max_slots: 100_000_000 });
+        let sv_colors: Vec<Option<u32>> = svo.protocols.iter().map(VerifyNode::color).collect();
+        let sv_pts = locality_points(&hw.graph, &sv_colors);
+        let sparse_sv: Vec<f64> =
+            sv_pts.iter().filter(|p| p.theta <= 6).map(|p| p.phi as f64).collect();
+        let sv_report = check_coloring(&hw.graph, &sv_colors);
+        l.row(vec![
+            "select-and-verify".into(),
+            fnum(sparse_sv.iter().sum::<f64>() / sparse_sv.len().max(1) as f64),
+            fnum(sparse_sv.iter().copied().fold(0.0, f64::max)),
+            sv_report.max_color.map_or(0, |c| c + 1).to_string(),
+        ]);
+    }
+    vec![t, fit, q, l]
+}

@@ -1,0 +1,56 @@
+//! E10 — Fig. 1 / Sect. 2: obstacles break the unit-disk geometry but
+//! "typically cause only small increases in κ₁ or κ₂", and the
+//! algorithm's bounds degrade only through those parameters. We sweep
+//! wall density over a fixed deployment.
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::Workload;
+use radio_graph::generators::big::{build_big, random_walls};
+use radio_graph::generators::{udg_side_for_target_degree, uniform_square};
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
+
+/// Runs E10 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E10 · BIG with obstacles: κ grows mildly with wall density; bounds track κ₂·Δ",
+        &["walls", "edges kept", "Δ", "κ₁", "κ₂", "runs", "valid", "mean span", "κ₂·Δ"],
+    );
+    let n = if opts.quick { 80 } else { 160 };
+    let mut rng = node_rng(0xE10, 0);
+    let side = udg_side_for_target_degree(n, 12.0);
+    let pts = uniform_square(n, side, &mut rng);
+    let udg_edges = build_big(&pts, 1.0, &[]).num_edges().max(1);
+    let wall_counts: &[usize] = if opts.quick { &[0, 60] } else { &[0, 40, 120, 300] };
+    for (i, &count) in wall_counts.iter().enumerate() {
+        let walls = random_walls(count, 0.8, side, &mut node_rng(0xE10 + 1, i as u32));
+        let graph = build_big(&pts, 1.0, &walls);
+        let w = Workload::from_graph(format!("walls={count}"), graph, Some(pts.clone()));
+        let params = w.params();
+        let rs = run_many(
+            &w,
+            params,
+            |seed| {
+                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                    .generate(n, &mut node_rng(seed, 31))
+            },
+            Engine::Event,
+            opts,
+            0xE10A + i as u64,
+            slot_cap(&params),
+        );
+        t.row(vec![
+            count.to_string(),
+            fnum(w.graph.num_edges() as f64 / udg_edges as f64),
+            w.delta.to_string(),
+            w.kappa.k1.to_string(),
+            format!("{}{}", w.kappa.k2, if w.kappa_exact { "" } else { "+" }),
+            rs.len().to_string(),
+            fnum(fraction(&rs, |r| r.valid)),
+            fnum(mean_of(&rs, |r| r.palette_span as f64)),
+            (w.kappa.k2 * w.delta).to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,34 @@
+//! E11 — Sect. 2: drawing IDs uniformly from `[1, n³]` makes the
+//! probability of any duplicate `P ≤ C(n,2)/n³ ∈ O(1/n)`. We measure
+//! the empirical collision rate against that bound.
+
+use super::ExpOpts;
+use crate::table::{fnum, Table};
+use radio_sim::parallel::run_seeds;
+use radio_sim::rng::{has_duplicate_ids, node_rng, random_ids};
+
+/// Runs E11 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E11 · random IDs from [1, n³]: collision probability vs the C(n,2)/n³ bound",
+        &["n", "trials", "collision rate", "bound C(n,2)/n³", "≈ 1/(2n)"],
+    );
+    let trials: u64 = if opts.quick { 400 } else { 4000 };
+    for (i, &n) in [16usize, 64, 256, 1024].iter().enumerate() {
+        let seeds: Vec<u64> = (0..trials).collect();
+        let hits: Vec<bool> = run_seeds(&seeds, opts.threads, |seed| {
+            let mut rng = node_rng(seed, 0xE11 + i as u32);
+            has_duplicate_ids(&random_ids(n, &mut rng))
+        });
+        let rate = hits.iter().filter(|&&h| h).count() as f64 / trials as f64;
+        let bound = (n as f64) * (n as f64 - 1.0) / 2.0 / (n as f64).powi(3);
+        t.row(vec![
+            n.to_string(),
+            trials.to_string(),
+            format!("{rate:.5}"),
+            format!("{bound:.5}"),
+            fnum(1.0 / (2.0 * n as f64)),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,77 @@
+//! E14 — engine cross-validation: the lock-step reference engine and
+//! the event-driven engine implement the same semantics; their outcome
+//! distributions must agree and the event engine should be much faster
+//! in wall-clock terms.
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::stats::{ks_critical, ks_statistic};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, SimConfig, WakePattern};
+use urn_coloring::{color_graph, ColoringConfig};
+use std::time::Instant;
+
+/// Runs E14 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E14 · lock-step vs event engine: identical semantics, different cost",
+        &["engine", "runs", "valid", "mean T̄", "mean maxT", "mean span", "wall-clock (s)"],
+    );
+    let n = if opts.quick { 64 } else { 128 };
+    let w = udg_workload(n, 10.0, 0xE14);
+    let params = w.params();
+    // Per-node decision-time samples for the distributional test.
+    let mut samples: Vec<Vec<f64>> = Vec::new();
+    for engine in [Engine::Lockstep, Engine::Event] {
+        let mut ts: Vec<f64> = Vec::new();
+        for seed in opts.seed_list(0xE14B) {
+            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                .generate(n, &mut node_rng(seed, 52));
+            let mut config = ColoringConfig::new(params);
+            config.engine = engine;
+            config.sim = SimConfig { max_slots: slot_cap(&params) };
+            let out = color_graph(&w.graph, &wake, &config, seed);
+            ts.extend(out.stats.iter().filter_map(radio_sim::NodeStats::decision_time).map(|t| t as f64));
+        }
+        samples.push(ts);
+        let start = Instant::now();
+        let rs = run_many(
+            &w,
+            params,
+            |seed| {
+                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                    .generate(n, &mut node_rng(seed, 51))
+            },
+            engine,
+            opts,
+            0xE14A,
+            slot_cap(&params),
+        );
+        let wall = start.elapsed().as_secs_f64();
+        t.row(vec![
+            format!("{engine:?}"),
+            rs.len().to_string(),
+            fnum(fraction(&rs, |r| r.valid)),
+            fnum(mean_of(&rs, |r| r.mean_t)),
+            fnum(mean_of(&rs, |r| r.max_t)),
+            fnum(mean_of(&rs, |r| r.palette_span as f64)),
+            fnum(wall),
+        ]);
+    }
+    // Kolmogorov–Smirnov on the pooled per-node decision times: the two
+    // engines implement the same semantics, so the distributions must
+    // agree (D below the α = 0.01 critical value).
+    let d = ks_statistic(&samples[0], &samples[1]);
+    let crit = ks_critical(samples[0].len(), samples[1].len(), 0.01);
+    t.row(vec![
+        format!("KS test: D={} vs crit(α=0.01)={}", fnum(d), fnum(crit)),
+        (samples[0].len() + samples[1].len()).to_string(),
+        if d < crit { "same distribution ✓".into() } else { "DIVERGED ✗".into() },
+        "—".into(),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+    ]);
+    t
+}

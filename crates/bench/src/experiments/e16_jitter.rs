@@ -1,0 +1,72 @@
+//! E16 — non-aligned slots (paper Sect. 2): "all analytical results
+//! carry over to the practical non-aligned case with an additional
+//! small constant factor, since each time slot can overlap with at most
+//! two time-slots of a neighbor." We run the same coloring workload
+//! under aligned slots and under random half-slot phase offsets and
+//! compare validity and decision times.
+
+use super::{slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_graph::analysis::check_coloring;
+use radio_sim::parallel::run_seeds;
+use radio_sim::rng::node_rng;
+use radio_sim::{random_phases, run_jittered, run_lockstep, NodeStats, SimConfig, WakePattern};
+use urn_coloring::ColoringNode;
+
+/// Runs E16 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E16 · aligned vs non-aligned slots (half-slot phase offsets; expect a small constant factor)",
+        &["slot model", "runs", "valid", "mean T̄", "mean maxT", "T̄ vs aligned"],
+    );
+    let n = if opts.quick { 80 } else { 160 };
+    let w = udg_workload(n, 10.0, 0xE16);
+    let params = w.params();
+    let graph = w.graph.clone();
+    let cap = slot_cap(&params);
+    let seeds = opts.seed_list(0xE16A);
+
+    let mut aligned_mean = f64::NAN;
+    for (label, jitter) in [("aligned", false), ("jittered (random ½-slot phases)", true)] {
+        let results: Vec<(bool, f64, f64)> = run_seeds(&seeds, opts.threads, |seed| {
+            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                .generate(n, &mut node_rng(seed, 81));
+            let protos: Vec<ColoringNode> =
+                (0..n).map(|v| ColoringNode::new(v as u64 + 1, params)).collect();
+            let out = if jitter {
+                let phases = random_phases(n, seed);
+                run_jittered(&graph, &wake, protos, &phases, seed, &SimConfig { max_slots: cap })
+            } else {
+                run_lockstep(&graph, &wake, protos, seed, &SimConfig { max_slots: cap })
+            };
+            let colors: Vec<Option<u32>> =
+                out.protocols.iter().map(ColoringNode::color).collect();
+            let report = check_coloring(&graph, &colors);
+            let ts: Vec<u64> =
+                out.stats.iter().filter_map(NodeStats::decision_time).collect();
+            let mean_t = if ts.is_empty() {
+                f64::NAN
+            } else {
+                ts.iter().sum::<u64>() as f64 / ts.len() as f64
+            };
+            let max_t = ts.iter().copied().max().map_or(f64::NAN, |x| x as f64);
+            (out.all_decided && report.valid(), mean_t, max_t)
+        });
+        let valid = results.iter().filter(|r| r.0).count() as f64 / results.len() as f64;
+        let mean_t = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
+        let max_t = results.iter().map(|r| r.2).sum::<f64>() / results.len() as f64;
+        if !jitter {
+            aligned_mean = mean_t;
+        }
+        t.row(vec![
+            label.to_string(),
+            results.len().to_string(),
+            fnum(valid),
+            fnum(mean_t),
+            fnum(max_t),
+            format!("{}×", fnum(mean_t / aligned_mean)),
+        ]);
+    }
+    t
+}

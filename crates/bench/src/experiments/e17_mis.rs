@@ -1,0 +1,76 @@
+//! E17 — the cost of "one step further" (paper Sect. 3): \[21\] computes
+//! an MIS from scratch; this paper's algorithm additionally hands out
+//! `O(Δ)` colors. We run the standalone MIS protocol (same counter
+//! machinery, class 0 only) and the full coloring on identical
+//! workloads and compare decision times, message counts and what the
+//! resulting structure gives you.
+
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_baselines::mw_mis::mw_mis;
+use radio_graph::analysis::independence::is_maximal_independent_set;
+use radio_sim::parallel::run_seeds;
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, NodeStats, WakePattern};
+
+/// Runs E17 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E17 · MIS from scratch [21] vs the full coloring: the price of \"one step further\"",
+        &["protocol", "runs", "correct", "mean T̄", "mean maxT", "mean sent/node", "structure"],
+    );
+    let n = if opts.quick { 96 } else { 192 };
+    let w = udg_workload(n, 12.0, 0xE17);
+    let params = w.params();
+    let cap = slot_cap(&params);
+
+    // Standalone MIS.
+    let graph = w.graph.clone();
+    let seeds = opts.seed_list(0xE17A);
+    let mis_runs: Vec<(bool, f64, f64, f64)> = run_seeds(&seeds, opts.threads, |seed| {
+        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+            .generate(n, &mut node_rng(seed, 91));
+        let (mis, out) = mw_mis(&graph, &wake, params, seed, cap);
+        let ok = out.all_decided && is_maximal_independent_set(&graph, &mis);
+        let ts: Vec<u64> = out.stats.iter().filter_map(NodeStats::decision_time).collect();
+        let mean_t =
+            if ts.is_empty() { f64::NAN } else { ts.iter().sum::<u64>() as f64 / ts.len() as f64 };
+        let max_t = ts.iter().copied().max().map_or(f64::NAN, |x| x as f64);
+        let sent = out.total_sent() as f64 / n as f64;
+        (ok, mean_t, max_t, sent)
+    });
+    t.row(vec![
+        "MIS (leader election only)".into(),
+        mis_runs.len().to_string(),
+        fnum(mis_runs.iter().filter(|r| r.0).count() as f64 / mis_runs.len() as f64),
+        fnum(mis_runs.iter().map(|r| r.1).sum::<f64>() / mis_runs.len() as f64),
+        fnum(mis_runs.iter().map(|r| r.2).sum::<f64>() / mis_runs.len() as f64),
+        fnum(mis_runs.iter().map(|r| r.3).sum::<f64>() / mis_runs.len() as f64),
+        "dominating independent set".into(),
+    ]);
+
+    // Full coloring.
+    let col = run_many(
+        &w,
+        params,
+        |seed| {
+            WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+                .generate(n, &mut node_rng(seed, 91))
+        },
+        Engine::Event,
+        opts,
+        0xE17B,
+        cap,
+    );
+    t.row(vec![
+        "full coloring".into(),
+        col.len().to_string(),
+        fnum(fraction(&col, |r| r.valid)),
+        fnum(mean_of(&col, |r| r.mean_t)),
+        fnum(mean_of(&col, |r| r.max_t)),
+        fnum(mean_of(&col, |r| r.total_sent as f64 / n as f64)),
+        "O(Δ) colors (⊇ an MIS: the leaders)".into(),
+    ]);
+    t
+}

@@ -1,0 +1,44 @@
+//! E18 — simulator scalability: how far the event engine stretches.
+//! Not a paper claim but a production-quality requirement: initializing
+//! thousands of nodes must be simulable on a laptop. Reports
+//! wall-clock, simulated slots, and event counts across network sizes.
+
+use super::{run_once, slot_cap, ExpOpts};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
+use std::time::Instant;
+
+/// Runs E18 and returns its table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E18 · event-engine scalability (single full run per size)",
+        &["n", "Δ", "valid", "max T (slots)", "tx total", "wall-clock (s)", "slots/s ×n"],
+    );
+    let sizes: &[usize] = if opts.quick { &[256, 1024] } else { &[256, 1024, 4096, 8192] };
+    for (i, &n) in sizes.iter().enumerate() {
+        let w = udg_workload(n, 12.0, 0xE18 + i as u64);
+        let params = w.params();
+        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+            .generate(n, &mut node_rng(1, 95));
+        let start = Instant::now();
+        let r = run_once(&w, params, &wake, Engine::Event, 1, slot_cap(&params));
+        let wall = start.elapsed().as_secs_f64();
+        let node_slots_per_sec = if wall > 0.0 {
+            r.max_t.max(1.0) * n as f64 / wall
+        } else {
+            f64::NAN
+        };
+        t.row(vec![
+            n.to_string(),
+            w.delta.to_string(),
+            r.valid.to_string(),
+            fnum(r.max_t),
+            r.total_sent.to_string(),
+            fnum(wall),
+            fnum(node_slots_per_sec),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,159 @@
+//! The experiment suite: one module per experiment in DESIGN.md §3.
+//!
+//! Every experiment returns [`crate::table::Table`]s that the
+//! `experiments` binary prints and writes to `results/*.csv`;
+//! EXPERIMENTS.md records paper-claim vs measured for each.
+
+pub mod ablation;
+pub mod e01_correctness;
+pub mod e02_time_scaling;
+pub mod e03_colors;
+pub mod e04_locality;
+pub mod e05_constants;
+pub mod e07_ubg;
+pub mod e08_baseline;
+pub mod e09_wakeup;
+pub mod e10_obstacles;
+pub mod e11_ids;
+pub mod e12_tdma;
+pub mod e13_states;
+pub mod e14_engines;
+pub mod e15_estimation;
+pub mod e16_jitter;
+pub mod e17_mis;
+pub mod e18_scalability;
+
+use crate::workloads::Workload;
+use radio_sim::parallel::run_seeds;
+use radio_sim::{Engine, SimConfig, Slot};
+use urn_coloring::{color_graph, verify_outcome, AlgorithmParams, ColoringConfig};
+
+/// Global experiment options.
+#[derive(Clone, Debug)]
+pub struct ExpOpts {
+    /// Shrink sizes and repetition counts for a fast smoke pass.
+    pub quick: bool,
+    /// Seeds (= repetitions) per configuration.
+    pub seeds: u64,
+    /// Worker threads for seed fan-out.
+    pub threads: usize,
+    /// Directory for CSV output.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl ExpOpts {
+    /// Default options: full sizes, `seeds` repetitions, all cores.
+    pub fn new(quick: bool, out_dir: impl Into<std::path::PathBuf>) -> Self {
+        ExpOpts {
+            quick,
+            seeds: if quick { 5 } else { 12 },
+            threads: radio_sim::parallel::default_threads(),
+            out_dir: out_dir.into(),
+        }
+    }
+
+    /// The seed list for one configuration, decorrelated by `salt`.
+    pub fn seed_list(&self, salt: u64) -> Vec<u64> {
+        (0..self.seeds).map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(salt)).collect()
+    }
+}
+
+/// Flat per-run summary used by most experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Proper and complete.
+    pub valid: bool,
+    /// Every guarantee of Theorems 2/4/5 + Corollary 1 held.
+    pub theorems_hold: bool,
+    /// Every node decided before the slot cap.
+    pub all_decided: bool,
+    /// Max per-node decision time `T_v` (slots); NaN if undecided.
+    pub max_t: f64,
+    /// Mean per-node decision time (slots).
+    pub mean_t: f64,
+    /// Distinct colors used.
+    pub distinct_colors: usize,
+    /// Highest color + 1 (0 if none).
+    pub palette_span: u32,
+    /// Number of leaders elected.
+    pub leaders: usize,
+    /// Total transmissions.
+    pub total_sent: u64,
+    /// Max `A_i` states entered by any node.
+    pub max_states: u32,
+    /// Total counter resets across nodes.
+    pub total_resets: u64,
+}
+
+/// Runs the coloring algorithm once on a workload and summarizes.
+pub fn run_once(
+    w: &Workload,
+    params: AlgorithmParams,
+    wake: &[Slot],
+    engine: Engine,
+    seed: u64,
+    max_slots: Slot,
+) -> RunSummary {
+    let mut config = ColoringConfig::new(params);
+    config.engine = engine;
+    config.sim = SimConfig { max_slots };
+    let out = color_graph(&w.graph, wake, &config, seed);
+    let verdict = verify_outcome(&w.graph, &out, params.kappa2);
+    RunSummary {
+        valid: out.valid(),
+        theorems_hold: verdict.all_hold(),
+        all_decided: out.all_decided,
+        max_t: out.max_decision_time().map_or(f64::NAN, |t| t as f64),
+        mean_t: out.mean_decision_time(),
+        distinct_colors: out.report.distinct_colors,
+        palette_span: out.report.max_color.map_or(0, |c| c + 1),
+        leaders: out.leaders.len(),
+        total_sent: out.stats.iter().map(|s| s.sent).sum(),
+        max_states: out.traces.iter().map(|t| t.states_entered).max().unwrap_or(0),
+        total_resets: out.traces.iter().map(|t| u64::from(t.resets)).sum(),
+    }
+}
+
+/// Fans `run_once` out over seeds with a fresh wake schedule per seed.
+pub fn run_many(
+    w: &Workload,
+    params: AlgorithmParams,
+    wake_of: impl Fn(u64) -> Vec<Slot> + Sync,
+    engine: Engine,
+    opts: &ExpOpts,
+    salt: u64,
+    max_slots: Slot,
+) -> Vec<RunSummary> {
+    let seeds = opts.seed_list(salt);
+    run_seeds(&seeds, opts.threads, |seed| {
+        let wake = wake_of(seed);
+        run_once(w, params, &wake, engine, seed, max_slots)
+    })
+}
+
+/// Fraction of runs for which `f` holds.
+pub fn fraction(rs: &[RunSummary], f: impl Fn(&RunSummary) -> bool) -> f64 {
+    if rs.is_empty() {
+        return f64::NAN;
+    }
+    rs.iter().filter(|r| f(r)).count() as f64 / rs.len() as f64
+}
+
+/// Mean of a per-run metric.
+pub fn mean_of(rs: &[RunSummary], f: impl Fn(&RunSummary) -> f64) -> f64 {
+    if rs.is_empty() {
+        return f64::NAN;
+    }
+    rs.iter().map(f).sum::<f64>() / rs.len() as f64
+}
+
+/// A generous slot cap for a workload: far beyond any sane decision
+/// time, so hitting it flags a liveness bug rather than truncating.
+pub fn slot_cap(params: &AlgorithmParams) -> Slot {
+    let per_class = params.waiting_slots() + 2 * params.threshold().unsigned_abs();
+    // ≤ κ₂+2 classes per node, plus leader-serving time Δ·serve, with a
+    // 50× engineering margin for contention and asynchrony.
+    50 * ((params.kappa2 as u64 + 2) * per_class
+        + params.delta_est as u64 * params.serve_slots()
+        + 1000)
+}

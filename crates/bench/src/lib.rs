@@ -1,0 +1,15 @@
+//! Experiment harness and benchmark support for the *Coloring
+//! Unstructured Radio Networks* reproduction.
+//!
+//! The `experiments` binary (`cargo run --release -p radio-bench --bin
+//! experiments -- all`) regenerates every quantitative claim of the
+//! paper; criterion benches in `benches/` cover the kernels and one
+//! end-to-end run per comparison. See DESIGN.md §3 for the experiment
+//! index and EXPERIMENTS.md for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+pub mod workloads;

@@ -1,0 +1,228 @@
+//! Small statistics toolkit for the experiment harness: summaries,
+//! percentiles and least-squares fits used to check the paper's scaling
+//! claims (e.g. `T = O(Δ log n)` on UDGs).
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (interpolated).
+    pub median: f64,
+    /// 95th percentile (interpolated).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarizes `xs`. Returns NaN-filled summary for an empty sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    if xs.is_empty() {
+        return Summary { n: 0, mean: f64::NAN, std: f64::NAN, min: f64::NAN, median: f64::NAN, p95: f64::NAN, max: f64::NAN };
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    Summary {
+        n,
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        median: percentile_sorted(&sorted, 50.0),
+        p95: percentile_sorted(&sorted, 95.0),
+        max: sorted[n - 1],
+    }
+}
+
+/// Interpolated percentile of an ascending-sorted sample.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Least-squares line `y = a + b·x`; returns `(a, b, r²)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (a, b, r2)
+}
+
+/// Fits a power law `y = c·x^e` via regression in log-log space;
+/// returns `(e, r²)`. All inputs must be positive. The exponent `e` is
+/// how we check growth orders: measured decision time vs Δ should fit
+/// `e ≈ 1` for the paper's algorithm and `e ≈ 2–3` for the baseline.
+pub fn power_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let lx: Vec<f64> = xs.iter().map(|&x| { assert!(x > 0.0); x.ln() }).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| { assert!(y > 0.0); y.ln() }).collect();
+    let (_, b, r2) = linear_fit(&lx, &ly);
+    (b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std - 1.5811388).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(summarize(&[]).n, 0);
+        let one = summarize(&[7.0]);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.std, 0.0);
+        assert_eq!(one.p95, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&xs, 50.0), 5.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 10.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_fit_recovers_exponent() {
+        let xs: Vec<f64> = (1..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x.powf(1.8)).collect();
+        let (e, r2) = power_fit(&xs, &ys);
+        assert!((e - 1.8).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn flat_data_r2_is_one_by_convention() {
+        let (_, b, r2) = linear_fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(b, 0.0);
+        assert_eq!(r2, 1.0);
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `D = sup |F₁ − F₂|`.
+///
+/// Used to compare decision-time distributions across engines (E14):
+/// identical semantics ⇒ samples from the same distribution ⇒ `D` below
+/// the critical value except with probability α.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaNs"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaNs"));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Critical value for the two-sample KS test at significance `alpha`
+/// (asymptotic form `c(α)·sqrt((n+m)/(n·m))` with
+/// `c(α) = sqrt(−ln(α/2)/2)`).
+pub fn ks_critical(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && m > 0, "empty sample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / (n as f64 * m as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod ks_tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_d() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_d_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+        assert_eq!(ks_statistic(&b, &a), 1.0);
+    }
+
+    #[test]
+    fn shifted_uniform_detected() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| i as f64 / 500.0 + 0.3).collect();
+        let d = ks_statistic(&a, &b);
+        assert!((d - 0.3).abs() < 0.02, "D = {d}");
+        assert!(d > ks_critical(500, 500, 0.01));
+    }
+
+    #[test]
+    fn same_distribution_passes_at_alpha() {
+        // Two halves of a deterministic low-discrepancy sequence.
+        let seq: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.6180339887) % 1.0).collect();
+        let (a, b) = seq.split_at(500);
+        let d = ks_statistic(a, b);
+        assert!(d < ks_critical(a.len(), b.len(), 0.01), "D = {d}");
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_samples() {
+        assert!(ks_critical(1000, 1000, 0.05) < ks_critical(10, 10, 0.05));
+        assert!(ks_critical(50, 50, 0.01) > ks_critical(50, 50, 0.10));
+    }
+}

@@ -1,0 +1,161 @@
+//! Console tables and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table with a title, built row by row and
+/// rendered to the console and/or CSV.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + claim).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned console representation.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i] - c.chars().count();
+                let _ = write!(out, "{}{}", c, " ".repeat(pad));
+                if i + 1 < ncols {
+                    let _ = write!(out, "  ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Serializes to CSV (RFC-4180-ish; quotes cells containing commas,
+    /// quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV to `dir/<name>.csv`, creating `dir` if needed.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with a sensible number of digits for table cells.
+pub fn fnum(x: f64) -> String {
+    if x.is_nan() {
+        "—".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["100".into(), "x".into(), "y".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header and rows have equal length (alignment).
+        assert!(lines[1].trim_end().len() <= lines[2].len());
+        assert!(r.contains("100"));
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = Table::new("x", &["h1", "h,2"]);
+        t.row(vec!["plain".into(), "with \"quote\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"h,2\""));
+        assert!(csv.contains("\"with \"\"quote\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("radio-bench-test");
+        let p = t.write_csv(&dir, "demo").unwrap();
+        let back = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(back, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(f64::NAN), "—");
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(42.123), "42.1");
+        assert_eq!(fnum(12345.6), "12346");
+    }
+}

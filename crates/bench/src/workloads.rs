@@ -1,0 +1,102 @@
+//! Shared experiment workloads: graphs with measured parameters and
+//! matching algorithm configurations.
+
+use radio_graph::analysis::independence::{kappa_bounded, kappa_greedy};
+use radio_graph::analysis::Kappa;
+use radio_graph::generators::{build_udg, udg_side_for_target_degree, uniform_square};
+use radio_graph::{Graph, Point2};
+use radio_sim::rng::node_rng;
+use urn_coloring::AlgorithmParams;
+
+/// A generated network together with everything experiments report on.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable label for tables.
+    pub label: String,
+    /// The network graph.
+    pub graph: Graph,
+    /// Node positions, when geometric.
+    pub points: Option<Vec<Point2>>,
+    /// Measured independence parameters (exact when `kappa_exact`).
+    pub kappa: Kappa,
+    /// `true` if `kappa` came from the exact solver.
+    pub kappa_exact: bool,
+    /// Measured maximum closed degree.
+    pub delta: usize,
+}
+
+/// Measures κ exactly with a fuel cap, falling back to the greedy lower
+/// bound on pathological instances.
+pub fn measure_kappa(graph: &Graph) -> (Kappa, bool) {
+    match kappa_bounded(graph, 5_000_000) {
+        Some(k) => (k, true),
+        None => (kappa_greedy(graph), false),
+    }
+}
+
+impl Workload {
+    /// Wraps a graph, measuring Δ and κ.
+    pub fn from_graph(label: impl Into<String>, graph: Graph, points: Option<Vec<Point2>>) -> Self {
+        let (kappa, kappa_exact) = measure_kappa(&graph);
+        let delta = graph.max_closed_degree();
+        Workload { label: label.into(), graph, points, kappa, kappa_exact, delta }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Algorithm parameters for this workload: practical preset with the
+    /// measured κ₂ and Δ as the estimates every node is given.
+    pub fn params(&self) -> AlgorithmParams {
+        self.params_with_kappa(self.kappa.k2)
+    }
+
+    /// Like [`Workload::params`] but with an externally fixed κ̂₂ — used
+    /// by sweeps that treat κ₂ as the model constant of the graph
+    /// family (e.g. "UDG is a BIG with κ₂ ≤ 18"), so the algorithm's
+    /// constants do not drift across the sweep.
+    pub fn params_with_kappa(&self, kappa2: usize) -> AlgorithmParams {
+        AlgorithmParams::practical(kappa2.max(2), self.delta.max(2), self.n().max(16))
+    }
+}
+
+/// A random uniform UDG sized for expected closed degree
+/// `target_delta`.
+pub fn udg_workload(n: usize, target_delta: f64, seed: u64) -> Workload {
+    let mut rng = node_rng(seed, 0xF00D);
+    let side = udg_side_for_target_degree(n, target_delta);
+    let points = uniform_square(n, side, &mut rng);
+    let graph = build_udg(&points, 1.0);
+    Workload::from_graph(
+        format!("udg(n={n},Δ*≈{target_delta})"),
+        graph,
+        Some(points),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udg_workload_measures_parameters() {
+        let w = udg_workload(150, 10.0, 1);
+        assert_eq!(w.n(), 150);
+        assert!(w.delta >= 2, "Δ = {}", w.delta);
+        assert!(w.kappa.k1 <= 5, "UDG κ₁ bound");
+        assert!(w.kappa.k2 <= 18, "UDG κ₂ bound");
+        let p = w.params();
+        assert_eq!(p.n_est, 150);
+        assert_eq!(p.delta_est, w.delta);
+    }
+
+    #[test]
+    fn measure_kappa_exact_on_small() {
+        let g = radio_graph::generators::special::cycle(8);
+        let (k, exact) = measure_kappa(&g);
+        assert!(exact);
+        assert_eq!(k.k1, 2);
+    }
+}

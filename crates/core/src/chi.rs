@@ -1,0 +1,118 @@
+//! The counter reset target `χ(P_v)` (Algorithm 1, line 15).
+//!
+//! `χ(P_v)` is the **maximum** value `x ≤ 0` such that `x` is outside
+//! the critical range of every locally stored competitor counter copy:
+//! `x ∉ [d_v(w) − r, d_v(w) + r]` for all `w ∈ P_v`, where
+//! `r = ⌈γ·ζ_i·log n⌉`. Lemma 6 shows `χ ≥ −2·|P|·r − 1`, which keeps
+//! counters (and thus message sizes) bounded.
+
+/// Computes `χ` for the stored copies `centers` (the current values
+/// `d_v(w)`) and critical range `range`.
+///
+/// Runs in `O(k log k)` for `k = centers.len()`.
+///
+/// # Panics
+/// Panics if `range < 0`.
+pub fn chi(centers: &[i64], range: i64) -> i64 {
+    assert!(range >= 0, "critical range must be non-negative");
+    // Forbidden closed intervals [c − r, c + r], visited in decreasing
+    // order of their upper end. The candidate only ever decreases, and
+    // once the candidate exceeds every remaining upper end no remaining
+    // interval can contain it — a single pass suffices.
+    let mut intervals: Vec<(i64, i64)> = centers
+        .iter()
+        .map(|&c| (c.saturating_sub(range), c.saturating_add(range)))
+        .collect();
+    intervals.sort_unstable_by_key(|&(_, hi)| std::cmp::Reverse(hi));
+    let mut candidate: i64 = 0;
+    for (lo, hi) in intervals {
+        if candidate > hi {
+            break;
+        }
+        if candidate >= lo {
+            candidate = lo - 1;
+        }
+    }
+    candidate
+}
+
+/// `true` iff `x` avoids every critical range — the defining property of
+/// `χ` (used by the property tests to check maximality as well).
+pub fn avoids_all(x: i64, centers: &[i64], range: i64) -> bool {
+    centers
+        .iter()
+        .all(|&c| x < c.saturating_sub(range) || x > c.saturating_add(range))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_competitors_gives_zero() {
+        assert_eq!(chi(&[], 5), 0);
+    }
+
+    #[test]
+    fn zero_free_stays_zero() {
+        assert_eq!(chi(&[100], 5), 0);
+        assert_eq!(chi(&[-100], 5), 0);
+        assert_eq!(chi(&[6], 5), 0); // interval [1, 11] excludes 0
+    }
+
+    #[test]
+    fn single_blocking_interval() {
+        // Interval [-5, 5] blocks 0; next candidate is -6.
+        assert_eq!(chi(&[0], 5), -6);
+        // Interval [-2, 8]: candidate -3.
+        assert_eq!(chi(&[3], 5), -3);
+    }
+
+    #[test]
+    fn chained_intervals_cascade() {
+        // [-4, 0] then [-10, -5] chain: 0 → -5 → wait: centers -2 (r=2)
+        // gives [-4, 0] → candidate -5; center -7 (r=2) gives [-9,-5]
+        // → candidate -10.
+        assert_eq!(chi(&[-2, -7], 2), -10);
+    }
+
+    #[test]
+    fn gap_between_intervals_found() {
+        // [-2, 0] and [-10, -8]: the gap -3 is the answer.
+        assert_eq!(chi(&[-1, -9], 1), -3);
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_centers() {
+        assert_eq!(chi(&[0, 0, 0], 3), -4);
+        assert_eq!(chi(&[0, -1, -2], 1), -4);
+    }
+
+    #[test]
+    fn lemma6_bound_holds() {
+        // χ ≥ −2·k·r − 1 for k competitors with range r.
+        let centers: Vec<i64> = (0..10).map(|i| -3 * i).collect();
+        let r = 2;
+        let x = chi(&centers, r);
+        assert!(avoids_all(x, &centers, r));
+        assert!(x >= -(2 * centers.len() as i64 * r) - 1, "x = {x}");
+    }
+
+    #[test]
+    fn result_is_maximal() {
+        let centers = [-3, -8, 4, 0];
+        let r = 2;
+        let x = chi(&centers, r);
+        assert!(x <= 0);
+        assert!(avoids_all(x, &centers, r));
+        for better in (x + 1)..=0 {
+            assert!(!avoids_all(better, &centers, r), "{better} also avoids all");
+        }
+    }
+
+    #[test]
+    fn zero_range_blocks_single_points() {
+        assert_eq!(chi(&[0], 0), -1);
+        assert_eq!(chi(&[0, -1, -2], 0), -3);
+    }
+}

@@ -1,0 +1,696 @@
+//! The per-node coloring state machine — Algorithms 1, 2 and 3 of the
+//! paper, implemented against [`radio_sim::RadioProtocol`].
+//!
+//! # Counter representation
+//!
+//! The paper's counters `c_v` and the locally stored competitor copies
+//! `d_v(w)` increment by one in *every* slot (Algorithm 1, lines 5, 12,
+//! 17, 18). We store each as an *anchor*: `value(t) = t − anchor`. A
+//! slot tick is then free, resets just move the anchor, and the values
+//! are bit-for-bit the ones the paper's per-slot increments produce.
+//! With `s₀` the first active slot, `c_v(s₀) = χ + 1` (line 15 sets
+//! `c_v = χ`, line 17 increments before anything else), so
+//! `anchor = s₀ − χ − 1` and the threshold `c_v ≥ σΔlog n` is crossed
+//! exactly at slot `anchor + threshold`.
+//!
+//! # State walk
+//!
+//! `A_0 → C_0` (leader) or `A_0 → R → A_{tc(κ₂+1)} → … → C_i` — see
+//! Fig. 2 of the paper. Every transition is driven by `on_deadline`
+//! (waiting phase over, threshold crossed, serve window over) or
+//! `on_receive` (heard `M_C^i`, got an intra-cluster color, counter
+//! reset).
+
+use crate::chi::chi;
+use crate::messages::{ColoringMsg, ProtoId};
+use crate::params::{AlgorithmParams, ResetPolicy};
+use radio_sim::{Behavior, RadioProtocol, Slot};
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// A stored competitor copy `d_v(w)`: `d(t) = t − anchor`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Competitor {
+    id: ProtoId,
+    anchor: i64,
+}
+
+/// Phase within a verification state `A_i`.
+#[derive(Clone, Debug, PartialEq)]
+enum VerifyPhase {
+    /// Passive listening for `⌈αΔ̂log n̂⌉` slots (Algorithm 1, lines 4–14).
+    Waiting,
+    /// Competing: counter live, transmitting `M_A^i` (lines 16–31).
+    Active,
+}
+
+/// Leader bookkeeping (Algorithm 3, `i = 0` branch).
+#[derive(Clone, Debug, Default)]
+struct LeaderState {
+    /// FIFO request queue `Q` (IDs of requesters; the head is the node
+    /// currently being served, removed at the end of its window).
+    queue: VecDeque<ProtoId>,
+    /// Intra-cluster color counter `tc` (incremented per served node).
+    tc: u32,
+    /// `Some(tc)` while a serve window is open for `queue.front()`.
+    serving: Option<u32>,
+}
+
+/// The full node state (Fig. 2 of the paper).
+#[derive(Clone, Debug)]
+enum State {
+    /// `A_i` — verifying color `i`.
+    Verify {
+        class: u32,
+        phase: VerifyPhase,
+        /// Competitor list `P_v` with live copies `d_v(w)`.
+        competitors: Vec<Competitor>,
+        /// Counter anchor (meaningful in `Active` phase).
+        anchor: i64,
+    },
+    /// `R` — requesting an intra-cluster color from `leader`.
+    Request { leader: ProtoId },
+    /// `C_i`, `i > 0`.
+    Colored { class: u32 },
+    /// `C_0` — leader.
+    Leader(LeaderState),
+}
+
+/// Per-node instrumentation (experiment E13 and the ablations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeTrace {
+    /// Number of distinct `A_i` states entered.
+    pub states_entered: u32,
+    /// Number of counter resets executed (Algorithm 1, line 29).
+    pub resets: u32,
+    /// The intra-cluster color received from the leader, if any.
+    pub intra_cluster_color: Option<u32>,
+    /// Number of `M_R` → `M_C^0` round trips (re-requests mean the first
+    /// assignment was lost).
+    pub assignments_heard: u32,
+    /// `L(v)`: the leader this node associated with (its cluster).
+    pub leader_id: Option<crate::messages::ProtoId>,
+}
+
+/// One node running the coloring algorithm.
+#[derive(Clone, Debug)]
+pub struct ColoringNode {
+    params: AlgorithmParams,
+    id: ProtoId,
+    state: State,
+    decided: Option<u32>,
+    trace: NodeTrace,
+}
+
+impl ColoringNode {
+    /// Creates a sleeping node with protocol-level identifier `id`.
+    pub fn new(id: ProtoId, params: AlgorithmParams) -> Self {
+        ColoringNode {
+            params,
+            id,
+            state: State::Verify {
+                class: 0,
+                phase: VerifyPhase::Waiting,
+                competitors: Vec::new(),
+                anchor: 0,
+            },
+            decided: None,
+            trace: NodeTrace::default(),
+        }
+    }
+
+    /// The node's protocol-level identifier.
+    pub fn id(&self) -> ProtoId {
+        self.id
+    }
+
+    /// The irrevocably chosen color, once decided.
+    pub fn color(&self) -> Option<u32> {
+        self.decided
+    }
+
+    /// `true` if this node became a leader (color 0).
+    pub fn is_leader(&self) -> bool {
+        matches!(self.state, State::Leader(_))
+    }
+
+    /// Instrumentation counters.
+    pub fn trace(&self) -> &NodeTrace {
+        &self.trace
+    }
+
+    /// The parameters this node runs with.
+    pub fn params(&self) -> &AlgorithmParams {
+        &self.params
+    }
+
+    /// Enters verification state `A_class`, starting its waiting phase
+    /// at slot `start`. Returns the waiting behavior.
+    fn enter_verify(&mut self, class: u32, start: Slot) -> Behavior {
+        self.trace.states_entered += 1;
+        self.state = State::Verify {
+            class,
+            phase: VerifyPhase::Waiting,
+            competitors: Vec::new(),
+            anchor: 0,
+        };
+        Behavior::Silent { until: Some(start + self.params.waiting_slots()) }
+    }
+
+    /// Threshold slot for the current anchor: the slot at which
+    /// `c_v(t) = t − anchor` first reaches the decision threshold.
+    fn threshold_slot(&self, anchor: i64) -> Slot {
+        let t = anchor + self.params.threshold();
+        debug_assert!(t >= 0, "threshold slot must be non-negative");
+        t as Slot
+    }
+
+    /// The active-phase behavior for the current anchor.
+    fn active_behavior(&self, anchor: i64) -> Behavior {
+        Behavior::Transmit {
+            p: self.params.p_active(),
+            until: Some(self.threshold_slot(anchor)),
+        }
+    }
+
+    /// Records/updates a competitor copy `d_v(w) := c_w` heard at `now`.
+    fn record_competitor(competitors: &mut Vec<Competitor>, id: ProtoId, counter: i64, now: Slot) {
+        let anchor = now as i64 - counter;
+        if let Some(c) = competitors.iter_mut().find(|c| c.id == id) {
+            c.anchor = anchor;
+        } else {
+            competitors.push(Competitor { id, anchor });
+        }
+    }
+
+    /// Current values `d_v(w)` of all stored copies at slot `now`.
+    fn competitor_values(competitors: &[Competitor], now: Slot) -> Vec<i64> {
+        competitors.iter().map(|c| now as i64 - c.anchor).collect()
+    }
+
+    /// Decides color `class` (enters `C_class`) at slot `now` and
+    /// returns the decided-state behavior.
+    fn decide(&mut self, class: u32, now: Slot) -> Behavior {
+        self.decided = Some(class);
+        if class == 0 {
+            self.state = State::Leader(LeaderState::default());
+            // Idle leader: beacon M_C^0(v) with probability 1/κ₂.
+            Behavior::Transmit { p: self.params.p_leader(), until: None }
+        } else {
+            self.state = State::Colored { class };
+            // Paper: announce until the protocol is stopped. The
+            // finite-window ablation stops after `announce_slots`.
+            let until = self.params.announce_slots.map(|a| now + a.max(1));
+            Behavior::Transmit { p: self.params.p_active(), until }
+        }
+    }
+}
+
+impl RadioProtocol for ColoringNode {
+    type Message = ColoringMsg;
+
+    fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+        // Fresh nodes start in A_0's waiting phase.
+        self.trace = NodeTrace::default();
+        self.enter_verify(0, now)
+    }
+
+    fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+        match &mut self.state {
+            State::Verify { phase: phase @ VerifyPhase::Waiting, competitors, anchor, class } => {
+                // Waiting phase over: become active (Algorithm 1, line 15).
+                let range = self.params.critical_range(*class);
+                let x = chi(&Self::competitor_values(competitors, now), range);
+                // First active slot is `now`: c(now) = χ + 1.
+                *anchor = now as i64 - x - 1;
+                *phase = VerifyPhase::Active;
+                let a = *anchor;
+                self.active_behavior(a)
+            }
+            State::Verify { phase: VerifyPhase::Active, class, .. } => {
+                // Counter reached the threshold: join C_i (line 19–20).
+                let class = *class;
+                self.decide(class, now)
+            }
+            State::Leader(ls) => {
+                // Serve window over: drop the head, move on (Alg. 3 l.21).
+                debug_assert!(ls.serving.is_some(), "leader deadline implies open window");
+                ls.queue.pop_front();
+                if ls.queue.is_empty() {
+                    ls.serving = None;
+                    Behavior::Transmit { p: self.params.p_leader(), until: None }
+                } else {
+                    ls.tc += 1;
+                    ls.serving = Some(ls.tc);
+                    Behavior::Transmit {
+                        p: self.params.p_leader(),
+                        until: Some(now + self.params.serve_slots()),
+                    }
+                }
+            }
+            State::Colored { .. } => {
+                // Only reachable under the finite announce-window
+                // ablation: the window closed, go silent for good.
+                debug_assert!(self.params.announce_slots.is_some());
+                Behavior::Silent { until: None }
+            }
+            State::Request { .. } => unreachable!("state R sets no deadline"),
+        }
+    }
+
+    fn message(&mut self, now: Slot, _rng: &mut SmallRng) -> ColoringMsg {
+        match &self.state {
+            State::Verify { phase: VerifyPhase::Active, class, anchor, .. } => {
+                ColoringMsg::Compete { class: *class, sender: self.id, counter: now as i64 - anchor }
+            }
+            State::Verify { phase: VerifyPhase::Waiting, .. } => {
+                unreachable!("waiting nodes are silent")
+            }
+            State::Request { leader } => ColoringMsg::Request { sender: self.id, leader: *leader },
+            State::Colored { class } => ColoringMsg::Decided { class: *class, sender: self.id },
+            State::Leader(ls) => match ls.serving {
+                Some(tc) => ColoringMsg::Assign {
+                    leader: self.id,
+                    to: *ls.queue.front().expect("serving implies non-empty queue"),
+                    tc,
+                },
+                None => ColoringMsg::Decided { class: 0, sender: self.id },
+            },
+        }
+    }
+
+    fn on_receive(&mut self, now: Slot, msg: &ColoringMsg, _rng: &mut SmallRng) -> Option<Behavior> {
+        /// State-replacing follow-ups, applied after the borrow of
+        /// `self.state` ends.
+        enum Act {
+            /// `A_0 → R` with the heard leader (Fig. 2).
+            ToRequest(ProtoId),
+            /// Enter the waiting phase of `A_class`.
+            EnterVerify(u32),
+            /// Counter was reset to the contained anchor.
+            Reset(i64),
+            /// Leader opened a serve window (starting next slot).
+            OpenWindow,
+        }
+
+        let id = self.id;
+        let act: Act = match &mut self.state {
+            State::Verify { class, phase, competitors, anchor } => {
+                let class_v = *class;
+                // A message proving a neighbor joined C_i for our class i
+                // moves us to A_suc (Algorithm 1, lines 10–13 / 23–26).
+                if let Some((j, w)) = msg.decided_evidence() {
+                    if j != class_v {
+                        return None; // other classes are irrelevant here
+                    }
+                    if class_v == 0 {
+                        Act::ToRequest(w)
+                    } else {
+                        Act::EnterVerify(class_v + 1)
+                    }
+                } else if let ColoringMsg::Compete { class: j, sender, counter } = *msg {
+                    if j != class_v {
+                        return None;
+                    }
+                    // Record/update the copy d_v(w) (lines 7–8 / 28).
+                    Self::record_competitor(competitors, sender, counter, now);
+                    if *phase != VerifyPhase::Active {
+                        return None;
+                    }
+                    let range = self.params.critical_range(class_v);
+                    let c_own = now as i64 - *anchor;
+                    let triggered = match self.params.reset_policy {
+                        ResetPolicy::Paper | ResetPolicy::NoCompetitorList => {
+                            (c_own - counter).abs() <= range
+                        }
+                        ResetPolicy::AlwaysReset => counter > c_own,
+                    };
+                    if !triggered {
+                        return None;
+                    }
+                    self.trace.resets += 1;
+                    let new_counter = match self.params.reset_policy {
+                        ResetPolicy::Paper => {
+                            chi(&Self::competitor_values(competitors, now), range)
+                        }
+                        ResetPolicy::AlwaysReset | ResetPolicy::NoCompetitorList => 0,
+                    };
+                    // The new value holds "at slot now"; the next slot
+                    // increments it: c(now+1) = χ + 1 ⇒ anchor = now − χ.
+                    *anchor = now as i64 - new_counter;
+                    Act::Reset(*anchor)
+                } else {
+                    return None;
+                }
+            }
+            State::Request { leader } => {
+                let ColoringMsg::Assign { leader: l, to, tc } = *msg else { return None };
+                if l != *leader || to != id {
+                    return None;
+                }
+                // Got our intra-cluster color: verify tc·(κ₂+1) next
+                // (Algorithm 2, line 4).
+                self.trace.intra_cluster_color = Some(tc);
+                self.trace.assignments_heard += 1;
+                Act::EnterVerify(tc * self.params.color_stride())
+            }
+            State::Leader(ls) => {
+                let ColoringMsg::Request { sender, leader } = *msg else { return None };
+                if leader != id || ls.queue.contains(&sender) {
+                    return None;
+                }
+                ls.queue.push_back(sender);
+                if ls.serving.is_some() {
+                    return None; // queued behind the open window
+                }
+                ls.tc += 1;
+                ls.serving = Some(ls.tc);
+                Act::OpenWindow
+            }
+            State::Colored { .. } => return None,
+        };
+
+        Some(match act {
+            Act::ToRequest(w) => {
+                self.trace.leader_id = Some(w);
+                self.state = State::Request { leader: w };
+                Behavior::Transmit { p: self.params.p_active(), until: None }
+            }
+            Act::EnterVerify(class) => self.enter_verify(class, now + 1),
+            Act::Reset(anchor) => self.active_behavior(anchor),
+            Act::OpenWindow => Behavior::Transmit {
+                p: self.params.p_leader(),
+                until: Some(now + 1 + self.params.serve_slots()),
+            },
+        })
+    }
+
+    fn is_decided(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn params() -> AlgorithmParams {
+        AlgorithmParams::practical(3, 4, 16) // log n = 4
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn wakes_into_waiting_phase() {
+        let p = params();
+        let mut node = ColoringNode::new(42, p);
+        let b = node.on_wake(10, &mut rng());
+        assert_eq!(b, Behavior::Silent { until: Some(10 + p.waiting_slots()) });
+        assert!(!node.is_decided());
+        assert_eq!(node.trace().states_entered, 1);
+    }
+
+    #[test]
+    fn lone_node_becomes_leader() {
+        let p = params();
+        let mut node = ColoringNode::new(1, p);
+        let b = node.on_wake(0, &mut rng());
+        let w = b.until().unwrap();
+        // Waiting deadline → active with χ = 0 (no competitors), so
+        // c(w) = 1 and the threshold hits at w + threshold − 1.
+        let b = node.on_deadline(w, &mut rng());
+        let t = b.until().unwrap();
+        assert_eq!(t, w + p.threshold() as u64 - 1);
+        assert_eq!(b.probability(), p.p_active());
+        // Threshold deadline → C_0.
+        let b = node.on_deadline(t, &mut rng());
+        assert!(node.is_decided());
+        assert_eq!(node.color(), Some(0));
+        assert!(node.is_leader());
+        assert_eq!(b, Behavior::Transmit { p: p.p_leader(), until: None });
+    }
+
+    #[test]
+    fn hearing_leader_moves_a0_node_to_request() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        let b = node
+            .on_receive(3, &ColoringMsg::Decided { class: 0, sender: 77 }, &mut rng())
+            .expect("behavior change");
+        assert_eq!(b, Behavior::Transmit { p: p.p_active(), until: None });
+        assert_eq!(node.message(4, &mut rng()), ColoringMsg::Request { sender: 2, leader: 77 });
+    }
+
+    #[test]
+    fn assign_message_doubles_as_leader_evidence() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        let b = node
+            .on_receive(3, &ColoringMsg::Assign { leader: 77, to: 5, tc: 1 }, &mut rng())
+            .expect("behavior change");
+        assert_eq!(b.probability(), p.p_active());
+        assert_eq!(node.message(4, &mut rng()), ColoringMsg::Request { sender: 2, leader: 77 });
+    }
+
+    #[test]
+    fn request_state_acts_only_on_own_assignment() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        node.on_receive(3, &ColoringMsg::Decided { class: 0, sender: 77 }, &mut rng());
+        // Assignment to someone else: ignored.
+        assert!(node
+            .on_receive(5, &ColoringMsg::Assign { leader: 77, to: 9, tc: 1 }, &mut rng())
+            .is_none());
+        // Assignment from a different leader: ignored.
+        assert!(node
+            .on_receive(6, &ColoringMsg::Assign { leader: 88, to: 2, tc: 1 }, &mut rng())
+            .is_none());
+        // Our assignment: enter A_{tc·(κ₂+1)} = A_{2·4} waiting phase.
+        let b = node
+            .on_receive(7, &ColoringMsg::Assign { leader: 77, to: 2, tc: 2 }, &mut rng())
+            .expect("enter verification");
+        assert_eq!(b, Behavior::Silent { until: Some(8 + p.waiting_slots()) });
+        assert_eq!(node.trace().intra_cluster_color, Some(2));
+        // Verify the class: competing message for class 8 is recorded.
+        let w = 8 + p.waiting_slots();
+        let active = node.on_deadline(w, &mut rng());
+        assert_eq!(active.probability(), p.p_active());
+        // Decides color 8 at the threshold.
+        node.on_deadline(active.until().unwrap(), &mut rng());
+        assert_eq!(node.color(), Some(8));
+        assert!(!node.is_leader());
+    }
+
+    #[test]
+    fn counter_reset_on_critical_range_hit() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        let w = p.waiting_slots();
+        let b = node.on_deadline(w, &mut rng());
+        let t0 = b.until().unwrap();
+        // Hear a competitor whose counter equals ours: reset (range ≥ 1).
+        let c_own = 1 + 5; // c(w) = 1, five slots later
+        let nb = node
+            .on_receive(
+                w + 5,
+                &ColoringMsg::Compete { class: 0, sender: 9, counter: c_own },
+                &mut rng(),
+            )
+            .expect("reset must reschedule");
+        let t1 = nb.until().unwrap();
+        assert!(t1 > t0, "threshold pushed out: {t0} → {t1}");
+        assert_eq!(node.trace().resets, 1);
+        // Far-away counter: recorded but no reset.
+        assert!(node
+            .on_receive(
+                w + 6,
+                &ColoringMsg::Compete { class: 0, sender: 10, counter: 10_000 },
+                &mut rng(),
+            )
+            .is_none());
+        assert_eq!(node.trace().resets, 1);
+    }
+
+    #[test]
+    fn reset_lands_outside_all_critical_ranges() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        let w = p.waiting_slots();
+        // Competitors heard during the waiting phase.
+        node.on_receive(2, &ColoringMsg::Compete { class: 0, sender: 5, counter: 40 }, &mut rng());
+        node.on_receive(3, &ColoringMsg::Compete { class: 0, sender: 6, counter: -2 }, &mut rng());
+        let b = node.on_deadline(w, &mut rng());
+        // χ avoids both copies' ranges: thresholds shifted accordingly;
+        // the schedule must still be in the future.
+        assert!(b.until().unwrap() > w);
+    }
+
+    #[test]
+    fn hearing_decided_same_class_moves_to_next_class() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        node.on_receive(1, &ColoringMsg::Decided { class: 0, sender: 50 }, &mut rng());
+        node.on_receive(2, &ColoringMsg::Assign { leader: 50, to: 2, tc: 1 }, &mut rng());
+        // Now in A_4's waiting phase (stride = κ₂+1 = 4).
+        let b = node
+            .on_receive(5, &ColoringMsg::Decided { class: 4, sender: 60 }, &mut rng())
+            .expect("move to A_5");
+        assert_eq!(b, Behavior::Silent { until: Some(6 + p.waiting_slots()) });
+        // Irrelevant classes are ignored.
+        assert!(node
+            .on_receive(7, &ColoringMsg::Decided { class: 9, sender: 61 }, &mut rng())
+            .is_none());
+        assert_eq!(node.trace().states_entered, 3); // A_0, A_4, A_5
+    }
+
+    #[test]
+    fn leader_queues_and_serves_fifo() {
+        let p = params();
+        let mut node = ColoringNode::new(7, p);
+        node.on_wake(0, &mut rng());
+        let w = p.waiting_slots();
+        let b = node.on_deadline(w, &mut rng());
+        let t = b.until().unwrap();
+        node.on_deadline(t, &mut rng()); // becomes leader
+        assert!(node.is_leader());
+        // Idle: beacons.
+        assert_eq!(node.message(t + 1, &mut rng()), ColoringMsg::Decided { class: 0, sender: 7 });
+        // First request opens a serve window.
+        let b = node
+            .on_receive(t + 2, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .expect("serve window opens");
+        assert_eq!(b.until(), Some(t + 3 + p.serve_slots()));
+        assert_eq!(
+            node.message(t + 3, &mut rng()),
+            ColoringMsg::Assign { leader: 7, to: 100, tc: 1 }
+        );
+        // Second request while serving: queued, no behavior change.
+        assert!(node
+            .on_receive(t + 4, &ColoringMsg::Request { sender: 200, leader: 7 }, &mut rng())
+            .is_none());
+        // Duplicate request: ignored.
+        assert!(node
+            .on_receive(t + 5, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .is_none());
+        // Requests addressed to another leader: ignored.
+        assert!(node
+            .on_receive(t + 6, &ColoringMsg::Request { sender: 300, leader: 8 }, &mut rng())
+            .is_none());
+        // Serve window ends: next request gets tc = 2.
+        let end = t + 3 + p.serve_slots();
+        let b = node.on_deadline(end, &mut rng());
+        assert_eq!(b.until(), Some(end + p.serve_slots()));
+        assert_eq!(
+            node.message(end, &mut rng()),
+            ColoringMsg::Assign { leader: 7, to: 200, tc: 2 }
+        );
+        // Second window ends, queue empty: back to beaconing.
+        let b = node.on_deadline(end + p.serve_slots(), &mut rng());
+        assert_eq!(b.until(), None);
+        assert_eq!(
+            node.message(end + p.serve_slots() + 1, &mut rng()),
+            ColoringMsg::Decided { class: 0, sender: 7 }
+        );
+    }
+
+    #[test]
+    fn served_node_rerequest_gets_fresh_tc() {
+        let p = params();
+        let mut node = ColoringNode::new(7, p);
+        node.on_wake(0, &mut rng());
+        let w = p.waiting_slots();
+        let t = node.on_deadline(w, &mut rng()).until().unwrap();
+        node.on_deadline(t, &mut rng());
+        // Serve node 100 (tc = 1), window closes, 100 re-requests (it
+        // never heard the assignment): re-enqueued and served as tc = 2.
+        let b = node
+            .on_receive(t + 1, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .unwrap();
+        let end = b.until().unwrap();
+        node.on_deadline(end, &mut rng());
+        let b2 = node
+            .on_receive(end + 1, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .expect("re-request reopens window");
+        assert_eq!(
+            node.message(b2.until().unwrap() - 1, &mut rng()),
+            ColoringMsg::Assign { leader: 7, to: 100, tc: 2 }
+        );
+    }
+
+    #[test]
+    fn always_reset_policy_resets_on_higher_counter_only() {
+        let mut p = params();
+        p.reset_policy = ResetPolicy::AlwaysReset;
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        let w = p.waiting_slots();
+        node.on_deadline(w, &mut rng());
+        // Lower counter heard: no reset even though inside range.
+        assert!(node
+            .on_receive(w + 5, &ColoringMsg::Compete { class: 0, sender: 9, counter: -100 }, &mut rng())
+            .is_none());
+        // Higher counter, even far outside any range: reset to 0.
+        let nb = node
+            .on_receive(
+                w + 6,
+                &ColoringMsg::Compete { class: 0, sender: 9, counter: 100_000 },
+                &mut rng(),
+            )
+            .expect("naive reset");
+        assert_eq!(nb.until(), Some(w + 6 + p.threshold() as u64));
+        assert_eq!(node.trace().resets, 1);
+    }
+
+    #[test]
+    fn finite_announce_window_goes_silent() {
+        let mut p = params();
+        p.announce_slots = Some(50);
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        // Walk into a colored (non-leader) state: leader heard, tc
+        // assigned, waiting, active, threshold.
+        node.on_receive(1, &ColoringMsg::Decided { class: 0, sender: 9 }, &mut rng());
+        node.on_receive(2, &ColoringMsg::Assign { leader: 9, to: 2, tc: 1 }, &mut rng());
+        let w = 3 + p.waiting_slots();
+        let b = node.on_deadline(w, &mut rng());
+        let t = b.until().unwrap();
+        let b = node.on_deadline(t, &mut rng()); // decide color 4
+        assert_eq!(node.color(), Some(4));
+        assert_eq!(b.until(), Some(t + 50), "announce window scheduled");
+        // Window closes: silent forever.
+        let b = node.on_deadline(t + 50, &mut rng());
+        assert_eq!(b, Behavior::Silent { until: None });
+    }
+
+    #[test]
+    fn infinite_announce_is_default() {
+        let p = params();
+        assert_eq!(p.announce_slots, None);
+        let mut node = ColoringNode::new(1, p);
+        node.on_wake(0, &mut rng());
+        let w = p.waiting_slots();
+        let t = node.on_deadline(w, &mut rng()).until().unwrap();
+        let b = node.on_deadline(t, &mut rng()); // leader
+        assert_eq!(b.until(), None, "paper behavior: announce forever");
+    }
+
+    #[test]
+    fn colored_node_ignores_everything() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        node.on_receive(1, &ColoringMsg::Decided { class: 0, sender: 50 }, &mut rng());
+        node.on_receive(2, &ColoringMsg::Assign { leader: 50, to: 2, tc: 1 }, &mut rng());
+        let w = node.on_receive(2, &ColoringMsg::Assign { leader: 50, to: 2, tc: 1 }, &mut rng());
+        assert!(w.is_none(), "duplicate assignment while already in A_i is ignored");
+    }
+}

@@ -1,0 +1,304 @@
+//! High-level entry point: color a network from scratch.
+
+use crate::messages::ProtoId;
+use crate::node::{ColoringNode, NodeTrace};
+use crate::params::AlgorithmParams;
+use radio_graph::analysis::{check_coloring, Coloring, ColoringReport};
+use radio_graph::{Graph, NodeId};
+use radio_sim::rng::{node_rng, random_ids};
+use radio_sim::{Engine, NodeStats, SimConfig, Slot};
+
+/// How protocol-level node IDs are assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IdAssignment {
+    /// `1..=n` in node order (unique by construction).
+    #[default]
+    Sequential,
+    /// Uniform draws from `[1, n³]`, the paper's suggestion for
+    /// networks without built-in identifiers (collides w.p. `O(1/n)`;
+    /// a collision can break correctness — experiment E11).
+    RandomCube,
+}
+
+/// Everything needed to run the coloring algorithm once.
+#[derive(Clone, Copy, Debug)]
+pub struct ColoringConfig {
+    /// Algorithm constants and network estimates.
+    pub params: AlgorithmParams,
+    /// Which simulation engine executes the run.
+    pub engine: Engine,
+    /// Engine limits.
+    pub sim: SimConfig,
+    /// Protocol-level ID scheme.
+    pub ids: IdAssignment,
+}
+
+impl ColoringConfig {
+    /// A configuration with the given parameters, the event engine and
+    /// default limits.
+    pub fn new(params: AlgorithmParams) -> Self {
+        ColoringConfig {
+            params,
+            engine: Engine::Event,
+            sim: SimConfig::default(),
+            ids: IdAssignment::Sequential,
+        }
+    }
+}
+
+/// The result of one coloring run.
+#[derive(Clone, Debug)]
+pub struct ColoringOutcome {
+    /// Per-node colors (`None` = node never decided; only possible when
+    /// the run hit `max_slots`).
+    pub colors: Coloring,
+    /// Validation of the final coloring.
+    pub report: ColoringReport,
+    /// Per-node simulation statistics.
+    pub stats: Vec<NodeStats>,
+    /// Per-node protocol instrumentation.
+    pub traces: Vec<NodeTrace>,
+    /// Nodes that became leaders (color 0).
+    pub leaders: Vec<NodeId>,
+    /// Protocol-level IDs, indexed by node (maps `NodeTrace::leader_id`
+    /// back to a [`NodeId`] via [`ColoringOutcome::clusters`]).
+    pub ids: Vec<ProtoId>,
+    /// `true` if every node decided before the slot limit.
+    pub all_decided: bool,
+    /// Slots processed by the engine.
+    pub slots_run: Slot,
+}
+
+impl ColoringOutcome {
+    /// The algorithm's time complexity: max over nodes of (decision slot
+    /// − wake slot). `None` if some node never decided.
+    pub fn max_decision_time(&self) -> Option<Slot> {
+        self.stats
+            .iter()
+            .map(NodeStats::decision_time)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
+    }
+
+    /// Mean decision time over nodes that decided.
+    pub fn mean_decision_time(&self) -> f64 {
+        let times: Vec<u64> = self.stats.iter().filter_map(NodeStats::decision_time).collect();
+        if times.is_empty() {
+            return f64::NAN;
+        }
+        times.iter().sum::<u64>() as f64 / times.len() as f64
+    }
+
+    /// Proper and complete.
+    pub fn valid(&self) -> bool {
+        self.report.valid()
+    }
+
+    /// Per-node cluster assignment: `Some(w)` = this node associated
+    /// with leader node `w`; `None` for leaders themselves (and for
+    /// undecided nodes in aborted runs).
+    pub fn clusters(&self) -> Vec<Option<NodeId>> {
+        // Protocol IDs are unique; build the reverse map once.
+        let mut by_id: std::collections::HashMap<ProtoId, NodeId> =
+            std::collections::HashMap::with_capacity(self.ids.len());
+        for (v, &id) in self.ids.iter().enumerate() {
+            by_id.insert(id, v as NodeId);
+        }
+        self.traces
+            .iter()
+            .map(|t| t.leader_id.and_then(|l| by_id.get(&l).copied()))
+            .collect()
+    }
+}
+
+/// Runs the coloring algorithm on `graph` with per-node wake-up slots
+/// `wake`, under `config`, using `seed` for all randomness.
+///
+/// # Panics
+/// Panics if `wake.len() != graph.len()`.
+pub fn color_graph(
+    graph: &Graph,
+    wake: &[Slot],
+    config: &ColoringConfig,
+    seed: u64,
+) -> ColoringOutcome {
+    let n = graph.len();
+    assert_eq!(wake.len(), n, "wake schedule length mismatch");
+    let ids: Vec<ProtoId> = match config.ids {
+        IdAssignment::Sequential => (1..=n as ProtoId).collect(),
+        IdAssignment::RandomCube => {
+            let mut rng = node_rng(seed ^ 0x1D5_C0DE, u32::MAX);
+            random_ids(n, &mut rng)
+        }
+    };
+    let protocols: Vec<ColoringNode> =
+        ids.iter().map(|&id| ColoringNode::new(id, config.params)).collect();
+    let out = config.engine.run(graph, wake, protocols, seed, &config.sim);
+
+    let colors: Coloring = out.protocols.iter().map(ColoringNode::color).collect();
+    let report = check_coloring(graph, &colors);
+    let leaders: Vec<NodeId> = out
+        .protocols
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_leader())
+        .map(|(v, _)| v as NodeId)
+        .collect();
+    let traces = out.protocols.iter().map(|p| *p.trace()).collect();
+    ColoringOutcome {
+        colors,
+        report,
+        stats: out.stats,
+        traces,
+        leaders,
+        ids,
+        all_decided: out.all_decided,
+        slots_run: out.slots_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators::special::{complete, path, star};
+    use radio_sim::WakePattern;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, delta: usize) -> ColoringConfig {
+        // A generous n̂ over-estimate keeps the w.h.p. windows honest on
+        // tiny test graphs (the paper assumes large n).
+        let _ = n;
+        ColoringConfig::new(AlgorithmParams::practical(2, delta.max(2), 256))
+    }
+
+    #[test]
+    fn single_node_gets_color_zero() {
+        let g = Graph::empty(1);
+        let out = color_graph(&g, &[0], &cfg(1, 2), 1);
+        assert!(out.all_decided);
+        assert_eq!(out.colors, vec![Some(0)]);
+        assert_eq!(out.leaders, vec![0]);
+        assert!(out.valid());
+    }
+
+    #[test]
+    fn two_isolated_nodes_both_lead() {
+        let g = Graph::empty(2);
+        let out = color_graph(&g, &[0, 50], &cfg(2, 2), 2);
+        assert!(out.all_decided);
+        assert_eq!(out.colors, vec![Some(0), Some(0)]);
+        assert_eq!(out.leaders, vec![0, 1]);
+        assert!(out.valid());
+    }
+
+    #[test]
+    fn edge_yields_two_distinct_colors() {
+        let g = path(2);
+        for seed in 0..5 {
+            let out = color_graph(&g, &[0, 0], &cfg(2, 2), seed);
+            assert!(out.all_decided, "seed {seed}");
+            assert!(out.valid(), "seed {seed}: {:?}", out.colors);
+            assert_eq!(out.leaders.len(), 1, "seed {seed}: exactly one leader on an edge");
+        }
+    }
+
+    #[test]
+    fn path_colors_properly_both_engines() {
+        let g = path(6);
+        for engine in [Engine::Event, Engine::Lockstep] {
+            let mut c = cfg(6, 3);
+            c.engine = engine;
+            let out = color_graph(&g, &[0; 6], &c, 7);
+            assert!(out.all_decided, "{engine:?}");
+            assert!(out.valid(), "{engine:?}: {:?}", out.colors);
+        }
+    }
+
+    #[test]
+    fn star_center_conflicts_resolved() {
+        let g = star(6);
+        let out = color_graph(&g, &[0; 6], &cfg(6, 6), 11);
+        assert!(out.all_decided);
+        assert!(out.valid(), "{:?}", out.colors);
+    }
+
+    #[test]
+    fn clique_gets_all_distinct_colors() {
+        let g = complete(5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let wake = WakePattern::UniformWindow { window: 40 }.generate(5, &mut rng);
+        let out = color_graph(&g, &wake, &cfg(5, 5), 13);
+        assert!(out.all_decided);
+        assert!(out.valid(), "{:?}", out.colors);
+        assert_eq!(out.report.distinct_colors, 5);
+    }
+
+    #[test]
+    fn asynchronous_wakeup_stays_correct() {
+        let g = path(5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for pattern in [
+            WakePattern::Synchronous,
+            WakePattern::UniformWindow { window: 500 },
+            WakePattern::Sequential { gap: 300 },
+        ] {
+            let wake = pattern.generate(5, &mut rng);
+            let out = color_graph(&g, &wake, &cfg(5, 3), 17);
+            assert!(out.all_decided, "{pattern:?}");
+            assert!(out.valid(), "{pattern:?}: {:?}", out.colors);
+        }
+    }
+
+    #[test]
+    fn random_ids_still_color() {
+        let g = path(4);
+        let mut c = cfg(4, 3);
+        c.ids = IdAssignment::RandomCube;
+        let out = color_graph(&g, &[0; 4], &c, 19);
+        assert!(out.all_decided);
+        assert!(out.valid());
+    }
+
+    #[test]
+    fn decision_times_recorded() {
+        let g = path(3);
+        let out = color_graph(&g, &[0, 10, 20], &cfg(3, 3), 23);
+        assert!(out.all_decided);
+        let t = out.max_decision_time().unwrap();
+        assert!(t > 0);
+        assert!(out.mean_decision_time() > 0.0);
+        assert!(out.mean_decision_time() <= t as f64);
+    }
+
+    #[test]
+    fn clusters_map_to_adjacent_leaders() {
+        let g = star(6);
+        let out = color_graph(&g, &[0; 6], &cfg(6, 6), 31);
+        assert!(out.all_decided && out.valid());
+        let clusters = out.clusters();
+        for v in g.nodes() {
+            match clusters[v as usize] {
+                None => assert!(out.leaders.contains(&v), "non-leader {v} without cluster"),
+                Some(w) => {
+                    assert!(g.has_edge(v, w));
+                    assert!(out.leaders.contains(&w));
+                }
+            }
+        }
+        // IDs are sequential 1..=n by default.
+        assert_eq!(out.ids, (1..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_slots_abort_reports_incomplete() {
+        let g = path(4);
+        let mut c = cfg(4, 3);
+        c.sim = SimConfig { max_slots: 10 }; // far too few
+        let out = color_graph(&g, &[0; 4], &c, 29);
+        assert!(!out.all_decided);
+        assert!(!out.report.complete);
+        assert_eq!(out.max_decision_time(), None);
+    }
+}

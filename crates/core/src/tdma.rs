@@ -1,0 +1,261 @@
+//! TDMA schedules from vertex colorings — the paper's motivating
+//! application (Sect. 1).
+//!
+//! Associating colors with time slots turns a correct coloring into a
+//! MAC layer without *direct* interference: no two neighbors send
+//! simultaneously. A 1-hop coloring does **not** eliminate hidden-
+//! terminal interference — two non-adjacent neighbors of a receiver may
+//! share a color — but the paper observes the number of co-channel
+//! senders around any receiver is then bounded by κ₁ (they form an
+//! independent set inside one neighborhood), which suffices for simple
+//! randomized MAC protocols with constant per-slot success probability.
+
+use radio_graph::analysis::Coloring;
+use radio_graph::{Graph, NodeId};
+
+/// Comparison of schedule regimes (paper Sect. 1's discussion):
+/// a 1-hop coloring gives short frames with ≤ κ₁ residual co-channel
+/// senders per receiver, while a distance-2 coloring eliminates
+/// co-channel senders entirely at the cost of a frame as long as a
+/// `G²` palette.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleComparison {
+    /// Frame length of the 1-hop schedule.
+    pub one_hop_frame: u32,
+    /// Max *interferers* (co-channel senders beyond the intended one)
+    /// at any receiver under the 1-hop schedule; ≤ κ₁ − 1.
+    pub one_hop_interferers: usize,
+    /// Frame length of the distance-2 schedule.
+    pub dist2_frame: u32,
+    /// Max co-channel senders under the distance-2 schedule: at most 1
+    /// (the intended sender; zero *interferers*), since a receiver's
+    /// neighbors are pairwise within distance 2 and thus all differ.
+    pub dist2_interferers: usize,
+}
+
+/// A periodic TDMA frame derived from a coloring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TdmaSchedule {
+    /// Frame length = number of slots = highest color + 1.
+    pub frame_len: u32,
+    /// `slot_of[v]` — the slot in which node `v` transmits.
+    pub slot_of: Vec<u32>,
+}
+
+impl TdmaSchedule {
+    /// Builds the schedule from a *complete* coloring.
+    ///
+    /// # Panics
+    /// Panics if any node is uncolored.
+    pub fn from_coloring(colors: &Coloring) -> Self {
+        let slot_of: Vec<u32> = colors
+            .iter()
+            .map(|c| c.expect("TDMA schedule needs a complete coloring"))
+            .collect();
+        let frame_len = slot_of.iter().max().map_or(0, |&m| m + 1);
+        TdmaSchedule { frame_len, slot_of }
+    }
+
+    /// `true` if no two adjacent nodes share a slot (direct-interference
+    /// freedom — equivalent to the coloring being proper).
+    pub fn direct_interference_free(&self, g: &Graph) -> bool {
+        g.edges().all(|(u, v)| self.slot_of[u as usize] != self.slot_of[v as usize])
+    }
+
+    /// For receiver `v` and slot `s`: the senders in `N(v)` scheduled on
+    /// `s`. More than one means hidden-terminal interference at `v`.
+    pub fn cochannel_senders(&self, g: &Graph, v: NodeId, s: u32) -> Vec<NodeId> {
+        g.neighbors(v).iter().copied().filter(|&u| self.slot_of[u as usize] == s).collect()
+    }
+
+    /// The maximum number of co-channel senders any receiver sees in any
+    /// slot. The paper's Sect. 1 argument bounds this by κ₁ for a proper
+    /// coloring of a BIG.
+    pub fn max_cochannel_senders(&self, g: &Graph) -> usize {
+        let mut worst = 0;
+        let mut counts: Vec<u32> = Vec::new();
+        for v in g.nodes() {
+            counts.clear();
+            counts.resize(self.frame_len as usize, 0);
+            for &u in g.neighbors(v) {
+                counts[self.slot_of[u as usize] as usize] += 1;
+            }
+            worst = worst.max(counts.iter().copied().max().unwrap_or(0) as usize);
+        }
+        worst
+    }
+
+    /// Per-node bandwidth share `1 / frame_len` — the paper notes
+    /// bandwidth is inversely proportional to the highest color in the
+    /// 2-neighborhood; the local variant is
+    /// [`TdmaSchedule::local_bandwidth`].
+    pub fn bandwidth_share(&self) -> f64 {
+        if self.frame_len == 0 {
+            0.0
+        } else {
+            1.0 / f64::from(self.frame_len)
+        }
+    }
+
+    /// Locality-aware bandwidth: node `v` only needs a frame as long as
+    /// the highest color in its 2-hop neighborhood + 1, so sparse areas
+    /// can cycle faster (the payoff of Theorem 4's locality property).
+    pub fn local_bandwidth(&self, g: &Graph, v: NodeId) -> f64 {
+        let mut highest = self.slot_of[v as usize];
+        for w in g.two_hop_closed(v) {
+            highest = highest.max(self.slot_of[w as usize]);
+        }
+        1.0 / f64::from(highest + 1)
+    }
+}
+
+/// Builds a distance-2 schedule with centralized greedy on `G²` and
+/// compares it with the 1-hop schedule `one_hop` on the same graph —
+/// quantifying the paper's introduction trade-off.
+///
+/// # Panics
+/// Panics if the greedy `G²` coloring is not distance-2 valid (cannot
+/// happen) or the one-hop schedule's coloring length mismatches.
+pub fn compare_with_distance2(g: &radio_graph::Graph, one_hop: &TdmaSchedule) -> ScheduleComparison {
+    use radio_graph::analysis::square::{is_distance2_coloring, square};
+    let g2 = square(g);
+    // Greedy on the square (smallest-last keeps the palette tight).
+    let d2_colors = greedy_square_coloring(&g2);
+    debug_assert!(is_distance2_coloring(g, &d2_colors));
+    let d2 = TdmaSchedule::from_coloring(&d2_colors);
+    ScheduleComparison {
+        one_hop_frame: one_hop.frame_len,
+        one_hop_interferers: one_hop.max_cochannel_senders(g).saturating_sub(1),
+        dist2_frame: d2.frame_len,
+        dist2_interferers: d2.max_cochannel_senders(g).saturating_sub(1),
+    }
+}
+
+/// First-fit greedy coloring in smallest-last order (local helper; the
+/// full-featured version lives in `radio-baselines`, which this crate
+/// must not depend on).
+fn greedy_square_coloring(g2: &radio_graph::Graph) -> Coloring {
+    let n = g2.len();
+    // Smallest-last order via repeated min-degree removal.
+    let mut degree: Vec<usize> = g2.nodes().map(|v| g2.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| degree[v])
+            .expect("nodes remain") as NodeId;
+        removed[v as usize] = true;
+        order.push(v);
+        for &u in g2.neighbors(v) {
+            if !removed[u as usize] {
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    order.reverse();
+    let mut colors: Coloring = vec![None; n];
+    let mut used: Vec<bool> = Vec::new();
+    for &v in &order {
+        used.clear();
+        used.resize(g2.degree(v) + 1, false);
+        for &u in g2.neighbors(v) {
+            if let Some(c) = colors[u as usize] {
+                if (c as usize) < used.len() {
+                    used[c as usize] = true;
+                }
+            }
+        }
+        colors[v as usize] =
+            Some(used.iter().position(|&b| !b).expect("deg+1 colors suffice") as u32);
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators::special::{cycle, path, star};
+
+    fn col(v: &[u32]) -> Coloring {
+        v.iter().map(|&c| Some(c)).collect()
+    }
+
+    #[test]
+    fn schedule_from_proper_coloring() {
+        let g = path(4);
+        let s = TdmaSchedule::from_coloring(&col(&[0, 1, 0, 1]));
+        assert_eq!(s.frame_len, 2);
+        assert!(s.direct_interference_free(&g));
+        assert_eq!(s.bandwidth_share(), 0.5);
+    }
+
+    #[test]
+    fn improper_coloring_is_flagged() {
+        let g = path(3);
+        let s = TdmaSchedule::from_coloring(&col(&[0, 0, 1]));
+        assert!(!s.direct_interference_free(&g));
+    }
+
+    #[test]
+    fn hidden_terminal_counted() {
+        // Star center 0; leaves 1..=4. Leaves are mutually non-adjacent
+        // so they may share colors — the center then sees co-channel
+        // senders.
+        let g = star(5);
+        let s = TdmaSchedule::from_coloring(&col(&[0, 1, 1, 2, 2]));
+        assert!(s.direct_interference_free(&g));
+        assert_eq!(s.cochannel_senders(&g, 0, 1), vec![1, 2]);
+        assert_eq!(s.max_cochannel_senders(&g), 2);
+    }
+
+    #[test]
+    fn local_bandwidth_beats_global_in_sparse_areas() {
+        // Path with an artificial high color at one end.
+        let g = path(5);
+        let s = TdmaSchedule::from_coloring(&col(&[9, 1, 0, 1, 0]));
+        assert_eq!(s.bandwidth_share(), 0.1);
+        // Node 4 is ≥ 3 hops from the color-9 node: local frame of 2.
+        assert_eq!(s.local_bandwidth(&g, 4), 0.5);
+        // Node 1 sees color 9 in its 2-hop neighborhood.
+        assert_eq!(s.local_bandwidth(&g, 1), 0.1);
+    }
+
+    #[test]
+    fn cycle_three_coloring() {
+        let g = cycle(6);
+        let s = TdmaSchedule::from_coloring(&col(&[0, 1, 2, 0, 1, 2]));
+        assert!(s.direct_interference_free(&g));
+        assert_eq!(s.max_cochannel_senders(&g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete coloring")]
+    fn rejects_partial_coloring() {
+        let _ = TdmaSchedule::from_coloring(&vec![Some(0), None]);
+    }
+
+    #[test]
+    fn distance2_comparison_trade_off() {
+        // Star: 1-hop coloring can reuse colors among leaves (short
+        // frame, interferers at the center); distance-2 needs n colors.
+        let g = star(6);
+        let one_hop = TdmaSchedule::from_coloring(&col(&[0, 1, 1, 1, 2, 2]));
+        let cmp = compare_with_distance2(&g, &one_hop);
+        assert_eq!(cmp.one_hop_frame, 3);
+        assert_eq!(cmp.one_hop_interferers, 2);
+        assert_eq!(cmp.dist2_frame, 6, "star² = K₆ needs 6 slots");
+        assert_eq!(cmp.dist2_interferers, 0);
+    }
+
+    #[test]
+    fn distance2_comparison_on_path() {
+        let g = path(6);
+        let one_hop = TdmaSchedule::from_coloring(&col(&[0, 1, 0, 1, 0, 1]));
+        let cmp = compare_with_distance2(&g, &one_hop);
+        assert_eq!(cmp.one_hop_frame, 2);
+        assert!(cmp.one_hop_interferers >= 1, "distance-2 reuse at range 2");
+        assert!(cmp.dist2_frame >= 3, "P₆ needs ≥ 3 distance-2 colors");
+        assert_eq!(cmp.dist2_interferers, 0);
+    }
+}

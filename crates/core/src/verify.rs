@@ -1,0 +1,247 @@
+//! Post-run verification of the paper's theorem statements on a
+//! concrete outcome.
+//!
+//! * Theorem 2 — every color class is an independent set (equivalently,
+//!   the coloring is proper);
+//! * Theorem 4/5 — `O(Δ)` colors and density-local color values;
+//! * Corollary 1 — every node visits at most `κ₂ + 1` verification
+//!   states `A_i`.
+//!
+//! # A note on the exact constant in Theorem 4
+//!
+//! The paper states `φ_v ≤ κ₂·θ_v`, but its own proof gives a slightly
+//! larger constant: a node with intra-cluster color `tc` decides a color
+//! in `tc(κ₂+1) … tc(κ₂+1)+κ₂` (Corollary 1) and `tc ≤ s_w ≤ θ_v − 1`,
+//! so the exact consequence is `φ_v ≤ (θ_v−1)(κ₂+1)+κ₂ = (κ₂+1)·θ_v − 1`
+//! — asymptotically identical (`O(κ₂·θ_v)`), off by the low-order term
+//! `θ_v − 1`. Measured runs do exceed `κ₂·θ_v` by exactly such terms
+//! (e.g. max color 130 vs κ₂Δ = 126 on a Δ=14, κ₂=9 UDG), so this
+//! verifier checks the proof-exact bound `(κ₂+1)·θ_v − 1` and the color
+//! bound `(κ₂+1)·Δ`; EXPERIMENTS.md discusses the discrepancy.
+
+use crate::run::ColoringOutcome;
+use radio_graph::analysis::coloring_check::{locality_points, LocalityPoint};
+use radio_graph::{Graph, NodeId};
+
+/// Verdict of checking one outcome against the paper's guarantees.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Theorem 2: proper coloring (no monochromatic edge).
+    pub proper: bool,
+    /// Completeness: every node decided.
+    pub complete: bool,
+    /// Theorem 5 (proof-exact form): highest color < (κ₂+1)·Δ.
+    pub color_bound_holds: bool,
+    /// Highest color used.
+    pub max_color: Option<u32>,
+    /// The bound `(κ₂+1)·Δ` it is compared against.
+    pub color_bound: u64,
+    /// Theorem 4 (proof-exact form): `φ_v ≤ (κ₂+1)·θ_v − 1` for all v.
+    pub locality_holds: bool,
+    /// Worst locality ratio `φ_v / ((κ₂+1)·θ_v − 1)` over all nodes.
+    pub worst_locality_ratio: f64,
+    /// Corollary 1: every node entered at most `κ₂ + 1` states `A_i`.
+    pub states_bound_holds: bool,
+    /// Maximum number of `A_i` states any node entered.
+    pub max_states_entered: u32,
+    /// Nodes that violate independence of their color class.
+    pub conflicts: Vec<(NodeId, NodeId)>,
+    /// The leader set (color class 0) is a *maximal* independent set:
+    /// independent (Theorem 2 for class 0) and dominating (every
+    /// non-leader joined a cluster, so it has an adjacent leader). An
+    /// independent dominating set is exactly an MIS — the structure the
+    /// related-work MIS algorithms \[21\] compute directly.
+    pub leaders_are_mis: bool,
+    /// Lemma 5's cluster accounting: every cluster member is adjacent
+    /// to its leader, every cluster has at most `δ_w − 1` members, and
+    /// intra-cluster colors are unique within each cluster.
+    pub clusters_well_formed: bool,
+}
+
+impl Verdict {
+    /// All checked guarantees hold.
+    pub fn all_hold(&self) -> bool {
+        self.proper
+            && self.complete
+            && self.color_bound_holds
+            && self.locality_holds
+            && self.states_bound_holds
+            && self.leaders_are_mis
+            && self.clusters_well_formed
+    }
+}
+
+/// Checks `outcome` against the paper's guarantees.
+///
+/// `kappa2` must be the **κ̂₂ the algorithm ran with**
+/// ([`crate::AlgorithmParams::kappa2`]): the color stride is `κ̂₂ + 1`,
+/// so all color accounting is relative to the estimate. When the
+/// estimate is a sound upper bound on the true κ₂ (the intended use),
+/// these checks imply the paper's true-κ₂ statements up to the constant
+/// discussed above.
+pub fn verify_outcome(graph: &Graph, outcome: &ColoringOutcome, kappa2: usize) -> Verdict {
+    let delta = graph.max_closed_degree().max(1);
+    let stride = kappa2 as u64 + 1; // κ₂ + 1, the class stride
+    let color_bound = stride * delta as u64;
+    let max_color = outcome.report.max_color;
+    let color_bound_holds = max_color.is_none_or(|c| u64::from(c) < color_bound.max(1));
+
+    let pts: Vec<LocalityPoint> = locality_points(graph, &outcome.colors);
+    let mut worst = 0.0f64;
+    let mut locality_holds = true;
+    for p in &pts {
+        let bound = (stride * u64::from(p.theta)).saturating_sub(1).max(1);
+        let ratio = p.phi as f64 / bound as f64;
+        worst = worst.max(ratio);
+        if u64::from(p.phi) > bound {
+            locality_holds = false;
+        }
+    }
+
+    let max_states = outcome.traces.iter().map(|t| t.states_entered).max().unwrap_or(0);
+    let leaders_are_mis = outcome.report.complete
+        && radio_graph::analysis::independence::is_maximal_independent_set(
+            graph,
+            &outcome.leaders,
+        );
+    let clusters_well_formed = check_clusters(graph, outcome);
+    Verdict {
+        proper: outcome.report.proper,
+        complete: outcome.report.complete,
+        color_bound_holds,
+        max_color,
+        color_bound,
+        locality_holds,
+        worst_locality_ratio: worst,
+        states_bound_holds: max_states as usize <= kappa2 + 1,
+        max_states_entered: max_states,
+        conflicts: outcome.report.conflicts.clone(),
+        leaders_are_mis,
+        clusters_well_formed,
+    }
+}
+
+/// Lemma 5's accounting on a completed run: members adjacent to their
+/// leaders, cluster sizes within `δ_w − 1`, and `tc` unique per cluster.
+fn check_clusters(graph: &Graph, outcome: &ColoringOutcome) -> bool {
+    if !outcome.report.complete {
+        return false;
+    }
+    let clusters = outcome.clusters();
+    let mut size = vec![0usize; graph.len()];
+    let mut seen_tc: std::collections::HashSet<(NodeId, u32)> = std::collections::HashSet::new();
+    for v in graph.nodes() {
+        match clusters[v as usize] {
+            None => {
+                // Only leaders (and isolated leaders) have no cluster.
+                if !outcome.leaders.contains(&v) {
+                    return false;
+                }
+            }
+            Some(w) => {
+                if !graph.has_edge(v, w) {
+                    return false; // member not adjacent to its leader
+                }
+                if !outcome.leaders.contains(&w) {
+                    return false; // associated with a non-leader
+                }
+                size[w as usize] += 1;
+                let Some(tc) = outcome.traces[v as usize].intra_cluster_color else {
+                    return false; // member without an intra-cluster color
+                };
+                if !seen_tc.insert((w, tc)) {
+                    // A duplicate tc within one cluster is possible only
+                    // through the re-request path (the earlier assignee
+                    // never heard its reply and re-requested) — it never
+                    // happens at preset parameters, but it is not by
+                    // itself a violation of Lemma 5's uniqueness claim,
+                    // which is about *held* colors. Treat an actual
+                    // duplicate among held colors as a failure.
+                    return false;
+                }
+            }
+        }
+    }
+    // Cluster sizes: s_w ≤ δ_w − 1 (members are distinct neighbors).
+    for &w in &outcome.leaders {
+        if size[w as usize] > graph.degree(w) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AlgorithmParams;
+    use crate::run::{color_graph, ColoringConfig};
+    use radio_graph::analysis::kappa;
+    use radio_graph::generators::special::{cycle, path, star};
+
+    #[test]
+    fn clusters_are_well_formed_on_udg() {
+        use radio_graph::generators::{build_udg, uniform_square};
+        let mut rng = radio_sim::rng::node_rng(3, 3);
+        let pts = uniform_square(50, 3.5, &mut rng);
+        let g = build_udg(&pts, 1.0);
+        let k = kappa(&g);
+        let params = AlgorithmParams::practical(k.k2.max(2), g.max_closed_degree().max(2), 256);
+        let out = color_graph(&g, &vec![0; 50], &ColoringConfig::new(params), 9);
+        assert!(out.all_decided);
+        let v = verify_outcome(&g, &out, params.kappa2);
+        assert!(v.clusters_well_formed, "{v:?}");
+        // Cross-check the clusters() accessor directly.
+        let clusters = out.clusters();
+        for (node, c) in clusters.iter().enumerate() {
+            match c {
+                Some(w) => assert!(g.has_edge(node as u32, *w)),
+                None => assert!(out.leaders.contains(&(node as u32))),
+            }
+        }
+    }
+
+    fn run_and_verify(g: &Graph, kappa2_est: usize, seed: u64) -> Verdict {
+        let params =
+            AlgorithmParams::practical(kappa2_est.max(2), g.max_closed_degree().max(2), 256);
+        let out = color_graph(g, &vec![0; g.len()], &ColoringConfig::new(params), seed);
+        assert!(out.all_decided);
+        let k = kappa(g);
+        assert!(k.k2 <= params.kappa2, "estimate must upper-bound the true kappa2");
+        verify_outcome(g, &out, params.kappa2)
+    }
+
+    #[test]
+    fn path_satisfies_all_theorems() {
+        let v = run_and_verify(&path(8), 3, 5);
+        assert!(v.all_hold(), "{v:?}");
+    }
+
+    #[test]
+    fn cycle_satisfies_all_theorems() {
+        let v = run_and_verify(&cycle(9), 3, 6);
+        assert!(v.all_hold(), "{v:?}");
+    }
+
+    #[test]
+    fn star_satisfies_all_theorems() {
+        let v = run_and_verify(&star(7), 6, 7);
+        assert!(v.all_hold(), "{v:?}");
+    }
+
+    #[test]
+    fn verdict_detects_fabricated_violations() {
+        let g = path(3);
+        let params = AlgorithmParams::practical(2, 2, 4);
+        let mut out = color_graph(&g, &[0; 3], &ColoringConfig::new(params), 8);
+        // Fabricate a conflict and an absurd color.
+        out.colors = vec![Some(5), Some(5), Some(999)];
+        out.report = radio_graph::check_coloring(&g, &out.colors);
+        let v = verify_outcome(&g, &out, 2);
+        assert!(!v.proper);
+        assert!(!v.color_bound_holds);
+        assert!(!v.locality_holds);
+        assert!(!v.all_hold());
+        assert_eq!(v.conflicts, vec![(0, 1)]);
+    }
+}

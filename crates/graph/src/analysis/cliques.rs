@@ -1,0 +1,95 @@
+//! Clique lower bounds for colorings.
+//!
+//! Any clique of size `q` forces at least `q` colors, so a large clique
+//! is the natural lower bound against which the paper's `O(Δ)` upper
+//! bound is judged (the paper notes a UDG with maximum degree Δ has a
+//! clique of size `Ω(Δ)`, making `O(Δ)` colors asymptotically optimal).
+
+use crate::graph::{Graph, NodeId};
+
+/// A greedy clique grown from `seed`: repeatedly adds the
+/// highest-degree common neighbor. Returns the clique members.
+pub fn greedy_clique_from(g: &Graph, seed: NodeId) -> Vec<NodeId> {
+    let mut clique = vec![seed];
+    let mut candidates: Vec<NodeId> = g.neighbors(seed).to_vec();
+    while !candidates.is_empty() {
+        // Pick the candidate with the most neighbors inside the candidate
+        // pool (ties broken by id for determinism).
+        let &best = candidates
+            .iter()
+            .max_by_key(|&&c| {
+                let inside = candidates
+                    .iter()
+                    .filter(|&&d| d != c && g.has_edge(c, d))
+                    .count();
+                (inside, std::cmp::Reverse(c))
+            })
+            .expect("non-empty candidates");
+        clique.push(best);
+        candidates.retain(|&c| c != best && g.has_edge(c, best));
+    }
+    clique.sort_unstable();
+    clique
+}
+
+/// A clique-size lower bound: the best greedy clique over all seeds.
+pub fn clique_lower_bound(g: &Graph) -> usize {
+    g.nodes()
+        .map(|v| greedy_clique_from(g, v).len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// `true` iff `set` is a clique in `g`.
+pub fn is_clique(g: &Graph, set: &[NodeId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if !g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::special::{complete, cycle, path, star};
+
+    #[test]
+    fn clique_on_complete_graph() {
+        let g = complete(6);
+        assert_eq!(clique_lower_bound(&g), 6);
+        assert!(is_clique(&g, &[0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn clique_on_triangle_free_graphs() {
+        assert_eq!(clique_lower_bound(&path(5)), 2);
+        assert_eq!(clique_lower_bound(&cycle(5)), 2);
+        assert_eq!(clique_lower_bound(&star(5)), 2);
+        assert_eq!(clique_lower_bound(&Graph::empty(3)), 1);
+        assert_eq!(clique_lower_bound(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn greedy_clique_output_is_clique() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        for v in g.nodes() {
+            let c = greedy_clique_from(&g, v);
+            assert!(is_clique(&g, &c), "greedy from {v} returned non-clique {c:?}");
+            assert!(c.contains(&v));
+        }
+        assert_eq!(clique_lower_bound(&g), 3);
+    }
+
+    #[test]
+    fn is_clique_rejects_non_clique() {
+        let g = path(4);
+        assert!(!is_clique(&g, &[0, 1, 2]));
+        assert!(is_clique(&g, &[1, 2]));
+        assert!(is_clique(&g, &[3]));
+        assert!(is_clique(&g, &[]));
+    }
+}

@@ -1,0 +1,188 @@
+//! Validation of vertex colorings and the paper's quality measures.
+//!
+//! *Correctness* means no two adjacent nodes share a color; *completeness*
+//! leaves no node uncolored (paper Sect. 5). Theorem 4 additionally bounds
+//! the *locality* of the coloring: the highest color `φ_v` in the closed
+//! neighborhood of `v` satisfies `φ_v ≤ κ₂ · θ_v`, where `θ_v` is the
+//! maximum closed degree within `N_v²`.
+
+use crate::graph::{Graph, NodeId};
+
+/// A (possibly partial) coloring: `colors[v]` is `Some(c)` once node `v`
+/// has irrevocably decided on color `c`.
+pub type Coloring = Vec<Option<u32>>;
+
+/// Outcome of validating a coloring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColoringReport {
+    /// No adjacent pair shares a color (uncolored nodes don't conflict).
+    pub proper: bool,
+    /// Every node has a color.
+    pub complete: bool,
+    /// Offending monochromatic edges, if any.
+    pub conflicts: Vec<(NodeId, NodeId)>,
+    /// Number of distinct colors used.
+    pub distinct_colors: usize,
+    /// Highest color value used (`None` if nothing is colored).
+    pub max_color: Option<u32>,
+    /// Number of uncolored nodes.
+    pub uncolored: usize,
+}
+
+impl ColoringReport {
+    /// Proper *and* complete.
+    pub fn valid(&self) -> bool {
+        self.proper && self.complete
+    }
+}
+
+/// Validates `colors` against `g`.
+///
+/// # Panics
+/// Panics if `colors.len() != g.len()`.
+pub fn check_coloring(g: &Graph, colors: &Coloring) -> ColoringReport {
+    assert_eq!(colors.len(), g.len(), "coloring length mismatch");
+    let mut conflicts = Vec::new();
+    for (u, v) in g.edges() {
+        if let (Some(cu), Some(cv)) = (colors[u as usize], colors[v as usize]) {
+            if cu == cv {
+                conflicts.push((u, v));
+            }
+        }
+    }
+    let mut used: Vec<u32> = colors.iter().flatten().copied().collect();
+    used.sort_unstable();
+    used.dedup();
+    let uncolored = colors.iter().filter(|c| c.is_none()).count();
+    ColoringReport {
+        proper: conflicts.is_empty(),
+        complete: uncolored == 0,
+        conflicts,
+        distinct_colors: used.len(),
+        max_color: used.last().copied(),
+        uncolored,
+    }
+}
+
+/// Per-node locality data for Theorem 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalityPoint {
+    /// The node.
+    pub node: NodeId,
+    /// `φ_v`: highest color assigned in the closed neighborhood `N_v`.
+    pub phi: u32,
+    /// `θ_v`: maximum closed degree `δ_w` over `w ∈ N_v²`.
+    pub theta: u32,
+}
+
+/// Computes `(φ_v, θ_v)` for every node. Uncolored neighbors are skipped
+/// in `φ_v` (call only on complete colorings for Theorem 4 statements).
+pub fn locality_points(g: &Graph, colors: &Coloring) -> Vec<LocalityPoint> {
+    assert_eq!(colors.len(), g.len(), "coloring length mismatch");
+    g.nodes()
+        .map(|v| {
+            let mut phi = colors[v as usize].unwrap_or(0);
+            for &u in g.neighbors(v) {
+                if let Some(c) = colors[u as usize] {
+                    phi = phi.max(c);
+                }
+            }
+            let theta = g
+                .two_hop_closed(v)
+                .into_iter()
+                .map(|w| g.closed_degree(w) as u32)
+                .max()
+                .unwrap_or(1);
+            LocalityPoint { node: v, phi, theta }
+        })
+        .collect()
+}
+
+/// `true` iff Theorem 4 holds for this coloring: `φ_v ≤ κ₂·θ_v` for all v.
+pub fn locality_holds(g: &Graph, colors: &Coloring, kappa2: usize) -> bool {
+    locality_points(g, colors)
+        .iter()
+        .all(|p| (p.phi as u64) <= kappa2 as u64 * p.theta as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::special::{cycle, path, star};
+
+    fn col(v: &[u32]) -> Coloring {
+        v.iter().map(|&c| Some(c)).collect()
+    }
+
+    #[test]
+    fn proper_complete_coloring() {
+        let g = path(4);
+        let r = check_coloring(&g, &col(&[0, 1, 0, 1]));
+        assert!(r.valid());
+        assert_eq!(r.distinct_colors, 2);
+        assert_eq!(r.max_color, Some(1));
+    }
+
+    #[test]
+    fn detects_conflicts() {
+        let g = path(3);
+        let r = check_coloring(&g, &col(&[0, 0, 1]));
+        assert!(!r.proper);
+        assert_eq!(r.conflicts, vec![(0, 1)]);
+        assert!(r.complete);
+        assert!(!r.valid());
+    }
+
+    #[test]
+    fn partial_coloring_counts_uncolored() {
+        let g = path(3);
+        let r = check_coloring(&g, &vec![Some(0), None, Some(0)]);
+        assert!(r.proper); // None never conflicts
+        assert!(!r.complete);
+        assert_eq!(r.uncolored, 1);
+        assert_eq!(r.distinct_colors, 1);
+    }
+
+    #[test]
+    fn empty_coloring_of_empty_graph() {
+        let r = check_coloring(&Graph::empty(0), &vec![]);
+        assert!(r.valid());
+        assert_eq!(r.max_color, None);
+    }
+
+    #[test]
+    fn locality_on_star() {
+        // Star: center 0 (closed degree n), leaves degree 2.
+        let g = star(5);
+        let colors = col(&[0, 1, 2, 3, 4]);
+        let pts = locality_points(&g, &colors);
+        // Every node sees the center, whose closed degree is 5.
+        assert!(pts.iter().all(|p| p.theta == 5));
+        // Center's φ is the max leaf color 4.
+        assert_eq!(pts[0].phi, 4);
+        assert!(locality_holds(&g, &colors, 4)); // κ₂(star) = 4 leaves
+    }
+
+    #[test]
+    fn locality_violation_detected() {
+        let g = path(3);
+        // Absurdly high color on node 1.
+        let colors = col(&[0, 1000, 1]);
+        assert!(!locality_holds(&g, &colors, 2));
+    }
+
+    #[test]
+    fn locality_on_cycle() {
+        let g = cycle(6);
+        let colors = col(&[0, 1, 2, 0, 1, 2]);
+        let pts = locality_points(&g, &colors);
+        assert!(pts.iter().all(|p| p.theta == 3));
+        assert!(locality_holds(&g, &colors, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        let _ = check_coloring(&path(3), &vec![Some(0)]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Connected components via breadth-first search.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a connected-components decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Number of connected components (0 for the empty graph).
+    pub num_components: usize,
+    /// `labels[v]` is the component index of node `v`, in `0..num_components`.
+    pub labels: Vec<u32>,
+}
+
+/// Computes connected components.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.len();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n as NodeId {
+        if labels[s as usize] != u32::MAX {
+            continue;
+        }
+        labels[s as usize] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    Components { num_components: next as usize, labels }
+}
+
+/// BFS distances from `source`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.len()];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::special::{cycle, path};
+
+    #[test]
+    fn single_component() {
+        let c = connected_components(&cycle(5));
+        assert_eq!(c.num_components, 1);
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn multiple_components() {
+        // Two disjoint edges and an isolated node.
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[2], c.labels[3]);
+        assert_ne!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[0], c.labels[4]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(connected_components(&Graph::empty(0)).num_components, 0);
+        assert_eq!(connected_components(&Graph::empty(3)).num_components, 3);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+}

@@ -1,0 +1,316 @@
+//! Independence numbers: exact maximum independent sets on small
+//! (sub)graphs and the paper's κ₁ / κ₂ parameters.
+//!
+//! A *bounded independence graph* is characterized by κ₁ and κ₂, the
+//! sizes of the largest independent sets in the 1-hop and 2-hop
+//! neighborhood of any node (paper Sect. 2). We compute them exactly by
+//! running a branch-and-bound maximum-independent-set solver on each
+//! (closed) neighborhood. Neighborhood subgraphs in wireless topologies
+//! are dense, which keeps the solver fast; a fuel limit guards against
+//! pathological sparse instances.
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, NodeId};
+
+/// The paper's independence parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Kappa {
+    /// Largest independent set in any closed 1-hop neighborhood.
+    pub k1: usize,
+    /// Largest independent set in any closed 2-hop neighborhood.
+    pub k2: usize,
+}
+
+/// Exact maximum independent set size of `g` via branch and bound.
+///
+/// Exponential in the worst case; intended for neighborhood-sized
+/// subgraphs (tens to a few hundred nodes, dense).
+pub fn max_independent_set_size(g: &Graph) -> usize {
+    let n = g.len();
+    if n == 0 {
+        return 0;
+    }
+    let adj = g.adjacency_bitsets();
+    let mut best = greedy_mis_size_min_degree(g);
+    let mut fuel = u64::MAX;
+    mis_branch(&adj, BitSet::full(n), 0, &mut best, &mut fuel);
+    best
+}
+
+/// Like [`max_independent_set_size`] but giving up after `fuel`
+/// branching steps; returns `None` on exhaustion.
+pub fn max_independent_set_size_bounded(g: &Graph, mut fuel: u64) -> Option<usize> {
+    let n = g.len();
+    if n == 0 {
+        return Some(0);
+    }
+    let adj = g.adjacency_bitsets();
+    // Warm-start the branch-and-bound with a greedy solution: the
+    // `current + |free| ≤ best` prune then cuts most exclude-chains.
+    let mut best = greedy_mis_size_min_degree(g);
+    mis_branch(&adj, BitSet::full(n), 0, &mut best, &mut fuel);
+    (fuel > 0).then_some(best)
+}
+
+fn mis_branch(adj: &[Vec<u64>], mut free: BitSet, current: usize, best: &mut usize, fuel: &mut u64) {
+    if *fuel == 0 {
+        return;
+    }
+    *fuel -= 1;
+    // Peel vertices of degree 0 or 1 in the remaining set: including
+    // them is always optimal (dominance rule). Repeat until stable.
+    let mut current = current;
+    let mut max_deg;
+    let mut max_v = usize::MAX;
+    loop {
+        let mut peeled = false;
+        max_deg = 0;
+        let members: Vec<usize> = free.iter().collect();
+        for v in members {
+            if !free.contains(v) {
+                continue;
+            }
+            let deg = free.intersection_len(&adj[v]);
+            if deg == 0 {
+                free.remove(v);
+                current += 1;
+                peeled = true;
+            } else if deg == 1 {
+                // Take v, drop its (single) remaining neighbor.
+                free.remove(v);
+                free.subtract_words(&adj[v]);
+                current += 1;
+                peeled = true;
+            } else if deg > max_deg {
+                max_deg = deg;
+                max_v = v;
+            }
+        }
+        if !peeled {
+            break;
+        }
+    }
+    if free.is_empty() {
+        *best = (*best).max(current);
+        return;
+    }
+    if current + free.len() <= *best {
+        return; // even taking every free vertex cannot beat `best`
+    }
+    // Every remaining vertex has degree ≥ 2. If all have degree exactly
+    // 2, the remainder is a disjoint union of cycles: solvable directly
+    // (a k-cycle contributes ⌊k/2⌋), no branching needed.
+    if max_deg <= 2 {
+        *best = (*best).max(current + mis_of_cycles(adj, &free));
+        return;
+    }
+    // Branch on the vertex with maximum remaining degree.
+    let v = max_v;
+    debug_assert!(free.contains(v));
+    // Branch 1: include v.
+    let mut with_v = free.clone();
+    with_v.remove(v);
+    with_v.subtract_words(&adj[v]);
+    mis_branch(adj, with_v, current + 1, best, fuel);
+    // Branch 2: exclude v.
+    free.remove(v);
+    mis_branch(adj, free, current, best, fuel);
+}
+
+/// Exact MIS size of a remainder in which every vertex has degree
+/// exactly 2 within `free` (after deg ≤ 1 peeling): a disjoint union of
+/// simple cycles; each `k`-cycle contributes `⌊k/2⌋`.
+fn mis_of_cycles(adj: &[Vec<u64>], free: &BitSet) -> usize {
+    let mut seen = BitSet::new(free.capacity());
+    let mut total = 0;
+    for start in free.iter() {
+        if seen.contains(start) {
+            continue;
+        }
+        // Walk the cycle.
+        let mut len = 0usize;
+        let mut v = start;
+        loop {
+            seen.insert(v);
+            len += 1;
+            let mut next = None;
+            for u in free.iter() {
+                if u != v && !seen.contains(u) && adj[v][u / 64] >> (u % 64) & 1 == 1 {
+                    next = Some(u);
+                    break;
+                }
+            }
+            match next {
+                Some(u) => v = u,
+                None => break,
+            }
+        }
+        total += len / 2;
+    }
+    total
+}
+
+/// Exact κ₁ and κ₂ of `g`.
+///
+/// Runs the exact MIS solver on every closed 1-hop and 2-hop
+/// neighborhood. Cost grows with neighborhood size; use
+/// [`kappa_bounded`] when working with adversarially sparse graphs.
+pub fn kappa(g: &Graph) -> Kappa {
+    kappa_bounded(g, u64::MAX).expect("unbounded fuel cannot exhaust")
+}
+
+/// κ₁/κ₂ with a per-neighborhood fuel limit; `None` if any neighborhood
+/// solver ran out of fuel.
+pub fn kappa_bounded(g: &Graph, fuel: u64) -> Option<Kappa> {
+    let mut k1 = 0;
+    let mut k2 = 0;
+    for v in g.nodes() {
+        let mut closed: Vec<NodeId> = Vec::with_capacity(g.degree(v) + 1);
+        closed.push(v);
+        closed.extend_from_slice(g.neighbors(v));
+        closed.sort_unstable();
+        let (sub1, _) = g.induced_subgraph(&closed);
+        k1 = k1.max(max_independent_set_size_bounded(&sub1, fuel)?);
+
+        let two = g.two_hop_closed(v);
+        let (sub2, _) = g.induced_subgraph(&two);
+        k2 = k2.max(max_independent_set_size_bounded(&sub2, fuel)?);
+    }
+    Some(Kappa { k1, k2 })
+}
+
+/// Greedy per-neighborhood κ estimate: a *lower bound* on (κ₁, κ₂)
+/// computed with min-degree-first greedy MIS inside every closed 1-hop
+/// and 2-hop neighborhood. Use when the exact solver's fuel runs out on
+/// adversarially sparse graphs.
+pub fn kappa_greedy(g: &Graph) -> Kappa {
+    let mut k1 = 0;
+    let mut k2 = 0;
+    for v in g.nodes() {
+        let mut closed: Vec<NodeId> = Vec::with_capacity(g.degree(v) + 1);
+        closed.push(v);
+        closed.extend_from_slice(g.neighbors(v));
+        closed.sort_unstable();
+        let (sub1, _) = g.induced_subgraph(&closed);
+        k1 = k1.max(greedy_mis_size_min_degree(&sub1));
+        let two = g.two_hop_closed(v);
+        let (sub2, _) = g.induced_subgraph(&two);
+        k2 = k2.max(greedy_mis_size_min_degree(&sub2));
+    }
+    Kappa { k1, k2 }
+}
+
+fn greedy_mis_size_min_degree(g: &Graph) -> usize {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| g.degree(v));
+    greedy_independent_set(g, &order).len()
+}
+
+/// Greedy independent set in `order` (first-fit): a cheap lower bound and
+/// the correctness oracle for MIS baselines.
+pub fn greedy_independent_set(g: &Graph, order: &[NodeId]) -> Vec<NodeId> {
+    let mut blocked = vec![false; g.len()];
+    let mut out = Vec::new();
+    for &v in order {
+        if !blocked[v as usize] {
+            out.push(v);
+            blocked[v as usize] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    out
+}
+
+/// `true` iff `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff `set` is a *maximal* independent set of `g`: independent,
+/// and every node outside has a neighbor inside.
+pub fn is_maximal_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    let mut in_set = vec![false; g.len()];
+    for &v in set {
+        in_set[v as usize] = true;
+    }
+    g.nodes().all(|v| in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::special::{complete, complete_bipartite, cycle, path, star};
+
+    #[test]
+    fn mis_on_known_graphs() {
+        assert_eq!(max_independent_set_size(&path(5)), 3);
+        assert_eq!(max_independent_set_size(&cycle(5)), 2);
+        assert_eq!(max_independent_set_size(&cycle(6)), 3);
+        assert_eq!(max_independent_set_size(&star(7)), 6);
+        assert_eq!(max_independent_set_size(&complete(6)), 1);
+        assert_eq!(max_independent_set_size(&complete_bipartite(3, 5)), 5);
+        assert_eq!(max_independent_set_size(&Graph::empty(4)), 4);
+        assert_eq!(max_independent_set_size(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn kappa_on_known_graphs() {
+        // Clique: every neighborhood is the whole clique.
+        assert_eq!(kappa(&complete(5)), Kappa { k1: 1, k2: 1 });
+        // Star: the center's 1-hop neighborhood holds all leaves.
+        assert_eq!(kappa(&star(6)), Kappa { k1: 5, k2: 5 });
+        // Path P5: N²[2] = everything, MIS {0,2,4}.
+        let k = kappa(&path(5));
+        assert_eq!(k.k1, 2);
+        assert_eq!(k.k2, 3);
+    }
+
+    #[test]
+    fn bounded_solver_gives_up_gracefully() {
+        let g = complete_bipartite(10, 10);
+        assert_eq!(max_independent_set_size_bounded(&g, u64::MAX), Some(10));
+        assert_eq!(max_independent_set_size_bounded(&g, 1), None);
+    }
+
+    #[test]
+    fn kappa_greedy_is_lower_bound_of_exact() {
+        for g in [path(7), cycle(8), star(6), complete(5), complete_bipartite(3, 4)] {
+            let exact = kappa(&g);
+            let lb = kappa_greedy(&g);
+            assert!(lb.k1 <= exact.k1, "k1 {lb:?} vs {exact:?}");
+            assert!(lb.k2 <= exact.k2, "k2 {lb:?} vs {exact:?}");
+            // Greedy MIS is maximal, so at least half-decent: ≥ 1.
+            assert!(lb.k1 >= 1 || g.is_empty());
+        }
+    }
+
+    #[test]
+    fn greedy_set_is_independent_and_maximal() {
+        let g = cycle(9);
+        let order: Vec<NodeId> = g.nodes().collect();
+        let s = greedy_independent_set(&g, &order);
+        assert!(is_independent_set(&g, &s));
+        assert!(is_maximal_independent_set(&g, &s));
+    }
+
+    #[test]
+    fn maximality_detects_non_maximal() {
+        let g = path(5);
+        assert!(is_independent_set(&g, &[0]));
+        assert!(!is_maximal_independent_set(&g, &[0])); // 3 uncovered
+        assert!(is_maximal_independent_set(&g, &[0, 2, 4]));
+        assert!(!is_maximal_independent_set(&g, &[0, 1]));
+    }
+}

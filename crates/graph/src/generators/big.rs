@@ -1,0 +1,94 @@
+//! Bounded-independence graphs from geometry plus obstacles.
+//!
+//! Figure 1 of the paper shows a network "that can easily be modeled as
+//! a BIG even though it looks different from a UDG": walls and other
+//! obstacles break the disk shape of transmission ranges but typically
+//! cause only small increases in κ₁ and κ₂. This generator realizes
+//! that: an edge requires both proximity and unobstructed line of sight.
+
+use crate::geometry::Point2;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::obstacle::{line_of_sight, Wall};
+use crate::spatial::GridIndex;
+use rand::Rng;
+
+/// Builds a UDG-with-obstacles graph: edge `{u, v}` iff
+/// `dist(u, v) ≤ radius` and no wall crosses the segment `u–v`.
+pub fn build_big(points: &[Point2], radius: f64, walls: &[Wall]) -> Graph {
+    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    let idx = GridIndex::build(points, radius);
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(points.len());
+    for i in 0..points.len() as NodeId {
+        let p = points[i as usize];
+        idx.for_each_candidate(&p, |j| {
+            if j > i
+                && points[j as usize].dist2(&p) <= r2
+                && line_of_sight(walls, p, points[j as usize])
+            {
+                b.add_edge(i, j);
+            }
+        });
+    }
+    b.build()
+}
+
+/// Samples `count` random walls of length `len` with uniform positions in
+/// `[0, side]²` and uniform orientations.
+pub fn random_walls(count: usize, len: f64, side: f64, rng: &mut impl Rng) -> Vec<Wall> {
+    (0..count)
+        .map(|_| {
+            let cx = rng.gen::<f64>() * side;
+            let cy = rng.gen::<f64>() * side;
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            let dx = theta.cos() * len / 2.0;
+            let dy = theta.sin() * len / 2.0;
+            Wall::new(Point2::new(cx - dx, cy - dy), Point2::new(cx + dx, cy + dy))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::layouts::uniform_square;
+    use crate::generators::udg::build_udg;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_walls_equals_udg() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pts = uniform_square(200, 3.0, &mut rng);
+        assert_eq!(build_big(&pts, 1.0, &[]), build_udg(&pts, 1.0));
+    }
+
+    #[test]
+    fn wall_cuts_link() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(0.8, 0.0)];
+        let wall = Wall::new(Point2::new(0.4, -0.5), Point2::new(0.4, 0.5));
+        let g = build_big(&pts, 1.0, &[wall]);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn big_is_subgraph_of_udg() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let pts = uniform_square(150, 2.5, &mut rng);
+        let walls = random_walls(20, 0.5, 2.5, &mut rng);
+        let udg = build_udg(&pts, 1.0);
+        let big = build_big(&pts, 1.0, &walls);
+        assert!(big.num_edges() <= udg.num_edges());
+        for (u, v) in big.edges() {
+            assert!(udg.has_edge(u, v), "BIG edge ({u},{v}) missing from UDG");
+        }
+    }
+
+    #[test]
+    fn random_walls_have_requested_length() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for w in random_walls(10, 0.7, 5.0, &mut rng) {
+            assert!((w.a.dist(&w.b) - 0.7).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Indoor deployment: a building of rooms with doorways.
+//!
+//! The strongest version of Fig. 1's point: indoor radio topologies are
+//! nothing like unit disks — walls cut links except through doors — yet
+//! they remain bounded-independence graphs with small κ, and that is
+//! all the algorithm needs. [`rooms_building`] generates a
+//! `cols × rows` grid of square rooms whose shared walls each have a
+//! centered door gap, plus uniformly scattered nodes.
+
+use crate::geometry::Point2;
+use crate::obstacle::Wall;
+use rand::Rng;
+
+/// Geometry of a generated building.
+#[derive(Clone, Debug)]
+pub struct Building {
+    /// Node positions (uniform over the building's footprint).
+    pub points: Vec<Point2>,
+    /// Interior walls (with door gaps) plus the outer shell.
+    pub walls: Vec<Wall>,
+    /// Footprint side lengths `(width, height)`.
+    pub extent: (f64, f64),
+}
+
+/// Generates a `cols × rows` building of square rooms with side
+/// `room_side`; every interior wall has a centered door of width
+/// `door`; `n` nodes are scattered uniformly. The outer shell is solid
+/// (radio stays indoors).
+///
+/// # Panics
+/// Panics if dimensions are zero or `door ≥ room_side`.
+pub fn rooms_building(
+    cols: usize,
+    rows: usize,
+    room_side: f64,
+    door: f64,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Building {
+    assert!(cols > 0 && rows > 0, "need at least one room");
+    assert!(room_side > 0.0, "room side must be positive");
+    assert!(door >= 0.0 && door < room_side, "door must fit in a wall");
+    let width = cols as f64 * room_side;
+    let height = rows as f64 * room_side;
+    let mut walls = Vec::new();
+
+    // Outer shell.
+    let corners = [
+        Point2::new(0.0, 0.0),
+        Point2::new(width, 0.0),
+        Point2::new(width, height),
+        Point2::new(0.0, height),
+    ];
+    for i in 0..4 {
+        walls.push(Wall::new(corners[i], corners[(i + 1) % 4]));
+    }
+
+    // A wall segment of length `room_side` along one room edge, with a
+    // centered door gap: two sub-segments.
+    let gap_lo = (room_side - door) / 2.0;
+    let gap_hi = (room_side + door) / 2.0;
+    // Vertical interior walls at x = i·room_side.
+    for i in 1..cols {
+        let x = i as f64 * room_side;
+        for j in 0..rows {
+            let y0 = j as f64 * room_side;
+            walls.push(Wall::new(Point2::new(x, y0), Point2::new(x, y0 + gap_lo)));
+            walls.push(Wall::new(Point2::new(x, y0 + gap_hi), Point2::new(x, y0 + room_side)));
+        }
+    }
+    // Horizontal interior walls at y = j·room_side.
+    for j in 1..rows {
+        let y = j as f64 * room_side;
+        for i in 0..cols {
+            let x0 = i as f64 * room_side;
+            walls.push(Wall::new(Point2::new(x0, y), Point2::new(x0 + gap_lo, y)));
+            walls.push(Wall::new(Point2::new(x0 + gap_hi, y), Point2::new(x0 + room_side, y)));
+        }
+    }
+
+    // Scatter nodes strictly inside (margin ε avoids sitting on walls).
+    let eps = 1e-6;
+    let points = (0..n)
+        .map(|_| {
+            Point2::new(
+                eps + rng.gen::<f64>() * (width - 2.0 * eps),
+                eps + rng.gen::<f64>() * (height - 2.0 * eps),
+            )
+        })
+        .collect();
+    Building { points, walls, extent: (width, height) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::big::build_big;
+    use crate::obstacle::line_of_sight;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wall_counts_match_layout() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = rooms_building(3, 2, 2.0, 0.6, 10, &mut rng);
+        // Shell 4 + vertical interior 2·2·2 + horizontal 1·3·2.
+        assert_eq!(b.walls.len(), 4 + 8 + 6);
+        assert_eq!(b.extent, (6.0, 4.0));
+        assert_eq!(b.points.len(), 10);
+        assert!(b.points.iter().all(|p| p.x > 0.0 && p.x < 6.0 && p.y > 0.0 && p.y < 4.0));
+    }
+
+    #[test]
+    fn doors_allow_sight_walls_block_it() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let b = rooms_building(2, 1, 2.0, 0.8, 0, &mut rng);
+        // Across the interior wall at x = 2 through the door center
+        // (y = 1): clear.
+        assert!(line_of_sight(&b.walls, Point2::new(1.5, 1.0), Point2::new(2.5, 1.0)));
+        // Across the same wall near its end (y = 0.2): blocked.
+        assert!(!line_of_sight(&b.walls, Point2::new(1.5, 0.2), Point2::new(2.5, 0.2)));
+    }
+
+    #[test]
+    fn building_graph_remains_low_kappa() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let b = rooms_building(3, 3, 1.6, 0.5, 120, &mut rng);
+        let g = build_big(&b.points, 1.0, &b.walls);
+        let k = crate::analysis::independence::kappa_bounded(&g, 10_000_000).expect("fuel");
+        // Walls can only *remove* links, so the UDG packing bounds are
+        // not guaranteed — but indoor κ stays small, which is the BIG
+        // model's claim (Fig. 1).
+        assert!(k.k1 <= 8, "κ₁ = {}", k.k1);
+        assert!(k.k2 <= 24, "κ₂ = {}", k.k2);
+    }
+
+    #[test]
+    fn zero_door_isolates_rooms() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let b = rooms_building(2, 1, 2.0, 0.0, 0, &mut rng);
+        // Without doors the two room centers cannot see each other.
+        assert!(!line_of_sight(&b.walls, Point2::new(1.0, 1.0), Point2::new(3.0, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "door must fit")]
+    fn rejects_oversized_door() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = rooms_building(2, 2, 1.0, 1.0, 0, &mut rng);
+    }
+}

@@ -1,0 +1,81 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+//!
+//! Not a bounded-independence model — used as an adversarial contrast:
+//! the coloring algorithm is still *correct* on arbitrary graphs (its
+//! correctness proof never uses bounded independence), only the time and
+//! color bounds degrade with the realized κ₂.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Samples `G(n, p)` using geometric edge skipping, `O(n + m)` expected.
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Batagelj–Brandes skipping over the upper-triangular pair sequence.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(w as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 20.0, "m={m} expected≈{expected}");
+    }
+
+    #[test]
+    fn extremes() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        assert_eq!(gnp(50, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(50, 1.0, &mut rng).num_edges(), 50 * 49 / 2);
+        assert_eq!(gnp(0, 0.5, &mut rng).len(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = gnp(100, 0.3, &mut rng);
+        for u in g.nodes() {
+            let nb = g.neighbors(u);
+            assert!(!nb.contains(&u));
+            assert!(nb.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Point layouts used by the geometric generators.
+
+use crate::geometry::Point2;
+use rand::Rng;
+
+/// `n` points uniformly at random in the square `[0, side]²` — the
+/// deployment the paper's Sect. 4 remark on practical constants refers
+/// to ("networks whose nodes are uniformly distributed at random").
+pub fn uniform_square(n: usize, side: f64, rng: &mut impl Rng) -> Vec<Point2> {
+    assert!(side.is_finite() && side > 0.0, "side must be positive");
+    (0..n)
+        .map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect()
+}
+
+/// `n` points spread over `n_clusters` Gaussian clusters whose centers
+/// are uniform in `[0, side]²`; `spread` is the cluster standard
+/// deviation. Produces strongly non-uniform densities (for the locality
+/// experiment E4).
+pub fn clustered(n: usize, n_clusters: usize, spread: f64, side: f64, rng: &mut impl Rng) -> Vec<Point2> {
+    assert!(n_clusters > 0, "need at least one cluster");
+    let centers: Vec<Point2> = (0..n_clusters)
+        .map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % n_clusters];
+            Point2::new(c.x + gaussian(rng) * spread, c.y + gaussian(rng) * spread)
+        })
+        .collect()
+}
+
+/// A dense core of `n_core` points inside a disk of radius `core_radius`
+/// around the center of a `[0, side]²` square, plus `n_halo` points
+/// uniform over the whole square. The canonical workload for Theorem 4's
+/// locality claim: nodes in the sparse halo must receive low colors even
+/// though the global Δ is driven by the core.
+pub fn dense_core_sparse_halo(
+    n_core: usize,
+    n_halo: usize,
+    core_radius: f64,
+    side: f64,
+    rng: &mut impl Rng,
+) -> Vec<Point2> {
+    let cx = side / 2.0;
+    let cy = side / 2.0;
+    let mut pts = Vec::with_capacity(n_core + n_halo);
+    for _ in 0..n_core {
+        // Uniform in the disk via rejection (expected < 1.28 draws).
+        loop {
+            let x = (rng.gen::<f64>() * 2.0 - 1.0) * core_radius;
+            let y = (rng.gen::<f64>() * 2.0 - 1.0) * core_radius;
+            if x * x + y * y <= core_radius * core_radius {
+                pts.push(Point2::new(cx + x, cy + y));
+                break;
+            }
+        }
+    }
+    for _ in 0..n_halo {
+        pts.push(Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side));
+    }
+    pts
+}
+
+/// A `cols × rows` grid with spacing `pitch` and per-point uniform jitter
+/// of magnitude `jitter` in each axis. Approximates engineered sensor
+/// deployments.
+pub fn grid_jitter(cols: usize, rows: usize, pitch: f64, jitter: f64, rng: &mut impl Rng) -> Vec<Point2> {
+    let mut pts = Vec::with_capacity(cols * rows);
+    for y in 0..rows {
+        for x in 0..cols {
+            let jx = (rng.gen::<f64>() * 2.0 - 1.0) * jitter;
+            let jy = (rng.gen::<f64>() * 2.0 - 1.0) * jitter;
+            pts.push(Point2::new(x as f64 * pitch + jx, y as f64 * pitch + jy));
+        }
+    }
+    pts
+}
+
+/// Standard normal sample via Box–Muller (keeps `rand` feature surface
+/// minimal: no `rand_distr` dependency).
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_square_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = uniform_square(500, 3.0, &mut rng);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| (0.0..=3.0).contains(&p.x) && (0.0..=3.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn clustered_counts_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pts = clustered(100, 4, 0.1, 10.0, &mut rng);
+        assert_eq!(pts.len(), 100);
+    }
+
+    #[test]
+    fn halo_layout_core_is_central() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pts = dense_core_sparse_halo(50, 50, 1.0, 10.0, &mut rng);
+        assert_eq!(pts.len(), 100);
+        for p in &pts[..50] {
+            let d = p.dist(&Point2::new(5.0, 5.0));
+            assert!(d <= 1.0 + 1e-9, "core point at distance {d}");
+        }
+    }
+
+    #[test]
+    fn grid_jitter_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pts = grid_jitter(3, 4, 1.0, 0.0, &mut rng);
+        assert_eq!(pts.len(), 12);
+        assert_eq!(pts[0], Point2::new(0.0, 0.0));
+        assert_eq!(pts[11], Point2::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn gaussian_is_roughly_standard() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be positive")]
+    fn uniform_rejects_bad_side() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = uniform_square(1, 0.0, &mut rng);
+    }
+}

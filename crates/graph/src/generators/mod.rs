@@ -1,0 +1,22 @@
+//! Network topology generators.
+//!
+//! Every generator is deterministic given its RNG, so experiments are
+//! reproducible from a seed. The geometric generators return the graph
+//! together with the node positions, which downstream analysis (density
+//! locality, plots) needs.
+
+pub mod big;
+pub mod building;
+pub mod gnp;
+pub mod layouts;
+pub mod special;
+pub mod ubg;
+pub mod udg;
+
+pub use big::build_big;
+pub use building::{rooms_building, Building};
+pub use gnp::gnp;
+pub use layouts::{clustered, dense_core_sparse_halo, grid_jitter, uniform_square};
+pub use special::{complete, complete_bipartite, cycle, path, random_tree, star};
+pub use ubg::build_ubg;
+pub use udg::{build_udg, udg_side_for_target_degree};

@@ -1,0 +1,144 @@
+//! Deterministic special topologies used in tests and edge-case
+//! experiments: paths, cycles, stars, cliques, bipartite graphs and
+//! uniform random trees.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// The path `0 – 1 – … – (n−1)`.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n as NodeId).map(|v| (v - 1, v)))
+}
+
+/// The cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as NodeId - 1, 0);
+    b.build()
+}
+
+/// The star with center 0 and `n − 1` leaves.
+pub fn star(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n as NodeId).map(|v| (0, v)))
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` with parts `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = GraphBuilder::new(a + b);
+    for u in 0..a as NodeId {
+        for v in a as NodeId..(a + b) as NodeId {
+            g.add_edge(u, v);
+        }
+    }
+    g.build()
+}
+
+/// A uniform random labelled tree on `n` nodes (random Prüfer sequence).
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]);
+    }
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(0..n as NodeId)).collect();
+    let mut degree = vec![1u32; n];
+    for &v in &prufer {
+        degree[v as usize] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = (0..n as NodeId)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("tree construction invariant");
+        b.add_edge(leaf, v);
+        degree[v as usize] -= 1;
+        if degree[v as usize] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(u) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(v) = leaves.pop().expect("two leaves remain");
+    b.add_edge(u, v);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::connected_components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(path(0).len(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_closed_degree(), 6);
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for n in [1usize, 2, 3, 10, 100] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.num_edges(), n.saturating_sub(1));
+            if n > 0 {
+                assert_eq!(connected_components(&g).num_components, 1, "n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Unit ball graphs over arbitrary metrics (paper Sect. 5, Corollary 3).
+//!
+//! The nodes of a UBG are points of a (possibly non-Euclidean) metric
+//! space; two nodes are connected iff their distance is at most 1. The
+//! paper's Lemma 9 shows `κ₂ ≤ 4^ρ` where ρ is the metric's doubling
+//! dimension. Construction is brute-force `O(n²)` — metrics are opaque,
+//! so no spatial index applies; fine at experiment scales.
+
+use crate::geometry::Metric;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Builds the unit ball graph over `points` under `metric` with
+/// connection `radius`.
+pub fn build_ubg<P, M: Metric<P>>(points: &[P], metric: &M, radius: f64) -> Graph {
+    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    let mut b = GraphBuilder::new(points.len());
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            if metric.dist(&points[i], &points[j]) <= radius {
+                b.add_edge(i as NodeId, j as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{ChebyshevN, EuclideanN, Metric, PointN, Snowflake};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points<const D: usize>(n: usize, side: f64, rng: &mut impl Rng) -> Vec<PointN<D>> {
+        (0..n)
+            .map(|_| PointN::new(std::array::from_fn(|_| rng.gen::<f64>() * side)))
+            .collect()
+    }
+
+    #[test]
+    fn euclidean_ubg_matches_manual_check() {
+        let pts = vec![
+            PointN::new([0.0, 0.0]),
+            PointN::new([0.6, 0.0]),
+            PointN::new([0.6, 0.9]),
+        ];
+        let g = build_ubg(&pts, &EuclideanN::<2>, 1.0);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2)); // dist ≈ 1.08
+    }
+
+    #[test]
+    fn chebyshev_ball_is_square() {
+        let pts = vec![PointN::new([0.0, 0.0]), PointN::new([0.9, 0.9])];
+        let g_inf = build_ubg(&pts, &ChebyshevN::<2>, 1.0);
+        let g_e = build_ubg(&pts, &EuclideanN::<2>, 1.0);
+        assert!(g_inf.has_edge(0, 1)); // ℓ∞ distance 0.9
+        assert!(!g_e.has_edge(0, 1)); // Euclidean distance ≈ 1.27
+    }
+
+    #[test]
+    fn snowflake_makes_graph_denser() {
+        // d^0.5 ≤ 1 whenever d ≤ 1, and also connects pairs with d ≤ 1
+        // (trivially the same threshold) — the snowflake with radius 1 is
+        // edge-identical; with a smaller radius it differs.
+        let mut rng = SmallRng::seed_from_u64(21);
+        let pts = random_points::<2>(80, 2.0, &mut rng);
+        let base = ChebyshevN::<2>;
+        let snow = Snowflake::new(ChebyshevN::<2>, 0.5);
+        let g_base = build_ubg(&pts, &base, 0.25);
+        let g_snow = build_ubg(&pts, &snow, 0.5); // d^0.5 ≤ 0.5 ⟺ d ≤ 0.25
+        assert_eq!(g_base, g_snow);
+    }
+
+    #[test]
+    fn three_dim_ubg_builds() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let pts = random_points::<3>(100, 2.0, &mut rng);
+        let g = build_ubg(&pts, &EuclideanN::<3>, 1.0);
+        assert_eq!(g.len(), 100);
+        // Symmetry sanity via the metric.
+        for (u, v) in g.edges() {
+            assert!(EuclideanN::<3>.dist(&pts[u as usize], &pts[v as usize]) <= 1.0);
+        }
+    }
+}

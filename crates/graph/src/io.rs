@@ -1,0 +1,214 @@
+//! Export: Graphviz DOT and standalone SVG renderings of deployments,
+//! colorings and obstacle fields — no third-party dependencies, plain
+//! string building. Useful for inspecting workloads and for README
+//! figures.
+
+use crate::analysis::Coloring;
+use crate::geometry::Point2;
+use crate::graph::Graph;
+use crate::obstacle::Wall;
+use std::fmt::Write as _;
+
+/// Serializes `g` as an undirected Graphviz DOT graph. If `colors` is
+/// given, nodes carry a `color` attribute cycling through a palette and
+/// a label `v:c`; positions (if given) become `pos` attributes (inches,
+/// `!`-pinned for neato).
+pub fn to_dot(g: &Graph, points: Option<&[Point2]>, colors: Option<&Coloring>) -> String {
+    let mut out = String::from("graph radio {\n  node [shape=circle, style=filled];\n");
+    for v in g.nodes() {
+        let _ = write!(out, "  {v} [");
+        if let Some(cs) = colors {
+            match cs[v as usize] {
+                Some(c) => {
+                    let _ = write!(
+                        out,
+                        "label=\"{v}:{c}\", fillcolor=\"{}\", ",
+                        palette_hex(c)
+                    );
+                }
+                None => {
+                    let _ = write!(out, "label=\"{v}:?\", fillcolor=\"#dddddd\", ");
+                }
+            }
+        } else {
+            let _ = write!(out, "label=\"{v}\", fillcolor=\"#dddddd\", ");
+        }
+        if let Some(pts) = points {
+            let p = pts[v as usize];
+            let _ = write!(out, "pos=\"{:.3},{:.3}!\", ", p.x, p.y);
+        }
+        out.truncate(out.trim_end_matches(", ").len());
+        out.push_str("];\n");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A distinguishable hex color for palette index `c` (golden-angle hue
+/// walk, fixed saturation/lightness).
+pub fn palette_hex(c: u32) -> String {
+    let hue = (c as f64 * 137.508) % 360.0;
+    let (r, g, b) = hsl_to_rgb(hue, 0.62, 0.62);
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
+    let c = (1.0 - (2.0 * l - 1.0).abs()) * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r1, g1, b1) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = l - c / 2.0;
+    (
+        ((r1 + m) * 255.0).round() as u8,
+        ((g1 + m) * 255.0).round() as u8,
+        ((b1 + m) * 255.0).round() as u8,
+    )
+}
+
+/// Renders a deployment as a standalone SVG: edges as gray lines, walls
+/// as thick dark segments, nodes as circles filled by color (gray when
+/// uncolored / no coloring given).
+pub fn to_svg(
+    g: &Graph,
+    points: &[Point2],
+    colors: Option<&Coloring>,
+    walls: &[Wall],
+    pixels: f64,
+) -> String {
+    assert_eq!(points.len(), g.len(), "points length mismatch");
+    assert!(pixels > 0.0, "canvas size must be positive");
+    let (min_x, max_x) = points
+        .iter()
+        .map(|p| p.x)
+        .chain(walls.iter().flat_map(|w| [w.a.x, w.b.x]))
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| (lo.min(x), hi.max(x)));
+    let (min_y, max_y) = points
+        .iter()
+        .map(|p| p.y)
+        .chain(walls.iter().flat_map(|w| [w.a.y, w.b.y]))
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), y| (lo.min(y), hi.max(y)));
+    let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
+    let margin = 0.04 * pixels;
+    let scale = (pixels - 2.0 * margin) / span;
+    let tx = |x: f64| margin + (x - min_x) * scale;
+    let ty = |y: f64| margin + (y - min_y) * scale;
+    let radius = (0.010 * pixels).max(2.5);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{pixels:.0}\" height=\"{pixels:.0}\" viewBox=\"0 0 {pixels:.0} {pixels:.0}\">"
+    );
+    let _ = writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+    for (u, v) in g.edges() {
+        let a = points[u as usize];
+        let b = points[v as usize];
+        let _ = writeln!(
+            out,
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#cccccc\" stroke-width=\"1\"/>",
+            tx(a.x), ty(a.y), tx(b.x), ty(b.y)
+        );
+    }
+    for w in walls {
+        let _ = writeln!(
+            out,
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#333333\" stroke-width=\"3\"/>",
+            tx(w.a.x), ty(w.a.y), tx(w.b.x), ty(w.b.y)
+        );
+    }
+    for v in g.nodes() {
+        let p = points[v as usize];
+        let fill = match colors.and_then(|cs| cs[v as usize]) {
+            Some(c) => palette_hex(c),
+            None => "#bbbbbb".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{radius:.1}\" fill=\"{fill}\" stroke=\"#222222\" stroke-width=\"0.8\"/>",
+            tx(p.x), ty(p.y)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::special::path;
+    use crate::obstacle::Wall;
+
+    fn pts(n: usize) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new(i as f64, 0.5)).collect()
+    }
+
+    #[test]
+    fn dot_lists_nodes_and_edges() {
+        let g = path(3);
+        let dot = to_dot(&g, None, None);
+        assert!(dot.starts_with("graph radio {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_with_colors_and_positions() {
+        let g = path(2);
+        let colors: Coloring = vec![Some(0), None];
+        let dot = to_dot(&g, Some(&pts(2)), Some(&colors));
+        assert!(dot.contains("label=\"0:0\""));
+        assert!(dot.contains("label=\"1:?\""));
+        assert!(dot.contains("pos=\"0.000,0.500!\""));
+    }
+
+    #[test]
+    fn palette_is_distinct_for_small_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..24 {
+            assert!(seen.insert(palette_hex(c)), "palette collision at {c}");
+        }
+        assert!(palette_hex(0).starts_with('#'));
+        assert_eq!(palette_hex(0).len(), 7);
+    }
+
+    #[test]
+    fn svg_contains_all_elements() {
+        let g = path(3);
+        let colors: Coloring = vec![Some(0), Some(1), Some(0)];
+        let walls = [Wall::new(Point2::new(0.5, 0.0), Point2::new(0.5, 1.0))];
+        let svg = to_svg(&g, &pts(3), Some(&colors), &walls, 400.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<line").count(), 2 + 1); // 2 edges + 1 wall
+    }
+
+    #[test]
+    fn svg_handles_degenerate_layouts() {
+        // All points coincident: span clamps, no NaN coordinates.
+        let g = Graph::empty(2);
+        let p = vec![Point2::new(1.0, 1.0); 2];
+        let svg = to_svg(&g, &p, None, &[], 100.0);
+        assert!(!svg.contains("NaN"));
+    }
+
+    use crate::graph::Graph;
+
+    #[test]
+    #[should_panic(expected = "points length mismatch")]
+    fn svg_rejects_mismatched_points() {
+        let g = path(3);
+        let _ = to_svg(&g, &pts(2), None, &[], 100.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Bounded-independence graph substrate for unstructured radio networks.
+//!
+//! This crate provides everything the Moscibroda–Wattenhofer coloring
+//! algorithm (SPAA 2005) assumes about its environment's *topology*:
+//!
+//! * a compact CSR [`graph::Graph`] with the paper's degree
+//!   conventions (`δ_v` counts the node itself);
+//! * generators for the models the paper discusses — unit disk graphs,
+//!   unit ball graphs over arbitrary metrics (Corollary 3), bounded
+//!   independence graphs via obstacles (Fig. 1), `G(n,p)` contrast
+//!   graphs, and deterministic special topologies;
+//! * analysis: exact κ₁/κ₂ independence parameters (Sect. 2), maximum
+//!   independent sets, clique lower bounds, connected components, and
+//!   validation of colorings including Theorem 4's locality property.
+//!
+//! # Example
+//!
+//! ```
+//! use radio_graph::generators::{build_udg, uniform_square};
+//! use radio_graph::analysis::kappa;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let points = uniform_square(60, 4.0, &mut rng);
+//! let g = build_udg(&points, 1.0);
+//! let k = kappa(&g);
+//! assert!(k.k1 <= 5 && k.k2 <= 18); // UDG packing bounds (paper Sect. 2)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bitset;
+pub mod generators;
+pub mod geometry;
+pub mod io;
+pub mod graph;
+pub mod obstacle;
+pub mod spatial;
+
+pub use analysis::{check_coloring, kappa, Coloring, ColoringReport, Kappa};
+pub use geometry::Point2;
+pub use graph::{Graph, GraphBuilder, NodeId};

@@ -1,0 +1,149 @@
+//! Obstacles (walls) for bounded-independence graph generation.
+//!
+//! The BIG model's advantage over the unit disk graph (paper Sect. 2,
+//! Fig. 1) is that it captures obstacles and irregular signal
+//! propagation. We model obstacles as opaque line segments ("walls"): a
+//! radio link `{u, v}` exists iff `dist(u, v) ≤ 1` *and* the open segment
+//! `u–v` crosses no wall.
+
+use crate::geometry::Point2;
+
+/// An opaque wall: the closed line segment from `a` to `b`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Wall {
+    /// One endpoint.
+    pub a: Point2,
+    /// The other endpoint.
+    pub b: Point2,
+}
+
+impl Wall {
+    /// Creates a wall between two points.
+    pub const fn new(a: Point2, b: Point2) -> Self {
+        Wall { a, b }
+    }
+
+    /// `true` if this wall blocks the line of sight between `p` and `q`,
+    /// i.e. the segments `p–q` and `a–b` properly intersect or touch.
+    pub fn blocks(&self, p: Point2, q: Point2) -> bool {
+        segments_intersect(p, q, self.a, self.b)
+    }
+}
+
+/// Sign of the cross product `(b - a) × (c - a)`: +1 (left turn),
+/// -1 (right turn) or 0 (collinear within f64 exactness).
+fn orient(a: Point2, b: Point2, c: Point2) -> i8 {
+    let v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    if v > 0.0 {
+        1
+    } else if v < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// `true` if `c` lies on the closed segment `a–b`, assuming the three
+/// points are collinear.
+fn on_segment(a: Point2, b: Point2, c: Point2) -> bool {
+    c.x >= a.x.min(b.x) && c.x <= a.x.max(b.x) && c.y >= a.y.min(b.y) && c.y <= a.y.max(b.y)
+}
+
+/// Classic segment intersection test (closed segments).
+pub fn segments_intersect(p1: Point2, p2: Point2, q1: Point2, q2: Point2) -> bool {
+    let o1 = orient(p1, p2, q1);
+    let o2 = orient(p1, p2, q2);
+    let o3 = orient(q1, q2, p1);
+    let o4 = orient(q1, q2, p2);
+    if o1 != o2 && o3 != o4 {
+        return true;
+    }
+    (o1 == 0 && on_segment(p1, p2, q1))
+        || (o2 == 0 && on_segment(p1, p2, q2))
+        || (o3 == 0 && on_segment(q1, q2, p1))
+        || (o4 == 0 && on_segment(q1, q2, p2))
+}
+
+/// `true` if no wall in `walls` blocks the line of sight `p–q`.
+pub fn line_of_sight(walls: &[Wall], p: Point2, q: Point2) -> bool {
+    walls.iter().all(|w| !w.blocks(p, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: Point2 = Point2::new(0.0, 0.0);
+
+    #[test]
+    fn crossing_segments_intersect() {
+        assert!(segments_intersect(
+            Point2::new(-1.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, -1.0),
+            Point2::new(0.0, 1.0),
+        ));
+    }
+
+    #[test]
+    fn parallel_disjoint_segments_do_not_intersect() {
+        assert!(!segments_intersect(
+            O,
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 1.0),
+        ));
+    }
+
+    #[test]
+    fn touching_endpoints_count_as_intersection() {
+        assert!(segments_intersect(
+            O,
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 1.0),
+        ));
+    }
+
+    #[test]
+    fn collinear_overlapping() {
+        assert!(segments_intersect(
+            O,
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(3.0, 0.0),
+        ));
+        assert!(!segments_intersect(
+            O,
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(3.0, 0.0),
+        ));
+    }
+
+    #[test]
+    fn t_shape_touch() {
+        // q1 lies in the middle of p1-p2.
+        assert!(segments_intersect(
+            O,
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 5.0),
+        ));
+    }
+
+    #[test]
+    fn wall_blocks_and_line_of_sight() {
+        let wall = Wall::new(Point2::new(0.5, -1.0), Point2::new(0.5, 1.0));
+        assert!(wall.blocks(O, Point2::new(1.0, 0.0)));
+        assert!(!wall.blocks(O, Point2::new(0.0, 1.0)));
+        assert!(!line_of_sight(&[wall], O, Point2::new(1.0, 0.0)));
+        assert!(line_of_sight(&[], O, Point2::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn near_miss_does_not_block() {
+        let wall = Wall::new(Point2::new(0.5, 0.1), Point2::new(0.5, 1.0));
+        assert!(!wall.blocks(O, Point2::new(1.0, 0.0)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Uniform-grid spatial index for fast radius queries in the plane.
+//!
+//! Unit disk graph construction over `n` points is `O(n²)` by brute
+//! force; bucketing points into cells of side `r` (the connection radius)
+//! reduces it to expected `O(n + m)` for uniformly distributed points,
+//! which keeps graph generation out of the benchmark critical path.
+
+use crate::geometry::Point2;
+
+/// A grid hashing points into square cells of side `cell`.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR-like bucket layout: `starts[c]..starts[c+1]` indexes `items`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with cell side `cell` (> 0).
+    ///
+    /// # Panics
+    /// Panics if `cell` is not strictly positive and finite, or if any
+    /// coordinate is not finite.
+    pub fn build(points: &[Point2], cell: f64) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "cell side must be positive");
+        if points.is_empty() {
+            return GridIndex {
+                cell,
+                min_x: 0.0,
+                min_y: 0.0,
+                cols: 1,
+                rows: 1,
+                starts: vec![0, 0],
+                items: Vec::new(),
+            };
+        }
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in points {
+            assert!(p.x.is_finite() && p.y.is_finite(), "non-finite coordinate");
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let cols = (((max_x - min_x) / cell).floor() as usize) + 1;
+        let rows = (((max_y - min_y) / cell).floor() as usize) + 1;
+        let ncells = cols * rows;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: &Point2| -> usize {
+            let cx = (((p.x - min_x) / cell).floor() as usize).min(cols - 1);
+            let cy = (((p.y - min_y) / cell).floor() as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        GridIndex { cell, min_x, min_y, cols, rows, starts, items }
+    }
+
+    /// Calls `f(j)` for every point index `j` whose cell is within one
+    /// cell of `p`'s cell in either axis (a superset of the points within
+    /// distance `cell` of `p`; the caller filters by exact distance).
+    pub fn for_each_candidate(&self, p: &Point2, mut f: impl FnMut(u32)) {
+        let cx = (((p.x - self.min_x) / self.cell).floor() as isize).clamp(0, self.cols as isize - 1);
+        let cy = (((p.y - self.min_y) / self.cell).floor() as isize).clamp(0, self.rows as isize - 1);
+        for dy in -1..=1isize {
+            let y = cy + dy;
+            if y < 0 || y >= self.rows as isize {
+                continue;
+            }
+            for dx in -1..=1isize {
+                let x = cx + dx;
+                if x < 0 || x >= self.cols as isize {
+                    continue;
+                }
+                let c = y as usize * self.cols + x as usize;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &j in &self.items[lo..hi] {
+                    f(j);
+                }
+            }
+        }
+    }
+
+    /// Collects the indices of all points within distance `radius ≤ cell`
+    /// of `points[i]`, excluding `i` itself.
+    pub fn neighbors_within(&self, points: &[Point2], i: u32, radius: f64) -> Vec<u32> {
+        debug_assert!(radius <= self.cell + 1e-12, "radius must not exceed cell side");
+        let r2 = radius * radius;
+        let p = points[i as usize];
+        let mut out = Vec::new();
+        self.for_each_candidate(&p, |j| {
+            if j != i && points[j as usize].dist2(&p) <= r2 {
+                out.push(j);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_neighbors(points: &[Point2], i: u32, r: f64) -> Vec<u32> {
+        let r2 = r * r;
+        let mut out: Vec<u32> = (0..points.len() as u32)
+            .filter(|&j| j != i && points[j as usize].dist2(&points[i as usize]) <= r2)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid_points() {
+        let mut points = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                points.push(Point2::new(x as f64 * 0.3, y as f64 * 0.3));
+            }
+        }
+        let idx = GridIndex::build(&points, 1.0);
+        for i in 0..points.len() as u32 {
+            assert_eq!(idx.neighbors_within(&points, i, 1.0), brute_neighbors(&points, i, 1.0));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx = GridIndex::build(&[], 1.0);
+        let mut seen = false;
+        idx.for_each_candidate(&Point2::new(0.0, 0.0), |_| seen = true);
+        assert!(!seen);
+
+        let pts = [Point2::new(5.0, -3.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert!(idx.neighbors_within(&pts, 0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn boundary_distance_inclusive() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.neighbors_within(&pts, 0, 1.0), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell side")]
+    fn rejects_zero_cell() {
+        let _ = GridIndex::build(&[Point2::new(0.0, 0.0)], 0.0);
+    }
+
+    #[test]
+    fn coincident_points() {
+        let pts = vec![Point2::new(0.5, 0.5); 4];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.neighbors_within(&pts, 0, 1.0), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,388 @@
+//! The event-driven engine.
+//!
+//! Between receptions and deadlines a node's behavior is a fixed
+//! Bernoulli(p) transmitter (or silence), so its next transmission slot
+//! can be drawn geometrically and the simulation can jump straight to
+//! the next *event*: a wake-up, a deadline, or a transmission.
+//! Receptions can only happen at slots where someone transmits, so no
+//! other slots need work. Semantics are identical to the lock-step
+//! engine (memorylessness of Bernoulli trials makes geometric skipping
+//! and per-slot draws distributionally equal, including after behavior
+//! changes, which simply re-draw).
+
+use super::{NodeStats, SimConfig, SimOutcome};
+use crate::protocol::{Behavior, RadioProtocol, Slot};
+use crate::rng::{geometric_failures, node_rng};
+use radio_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Event kinds, ordered by intra-slot processing priority.
+const KIND_WAKE: u8 = 0;
+const KIND_DEADLINE: u8 = 1;
+const KIND_TX: u8 = 2;
+
+type Event = Reverse<(Slot, u8, NodeId, u32)>;
+
+struct NodeRec {
+    behavior: Option<Behavior>,
+    /// Generation counter: heap entries with a stale generation are
+    /// ignored when popped (lazy invalidation).
+    gen: u32,
+}
+
+/// Runs `protocols` on `graph` with the given per-node wake slots.
+///
+/// # Panics
+/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
+pub fn run_event<P: RadioProtocol>(
+    graph: &Graph,
+    wake: &[Slot],
+    mut protocols: Vec<P>,
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<P> {
+    let n = graph.len();
+    assert_eq!(wake.len(), n, "wake schedule length mismatch");
+    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
+
+    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
+    let mut recs: Vec<NodeRec> = (0..n).map(|_| NodeRec { behavior: None, gen: 0 }).collect();
+    let mut stats: Vec<NodeStats> = wake
+        .iter()
+        .map(|&w| NodeStats { wake: w, ..NodeStats::default() })
+        .collect();
+    let mut decided = vec![false; n];
+    let mut undecided = n;
+    let mut woken = 0usize;
+
+    let mut heap: BinaryHeap<Event> = wake
+        .iter()
+        .enumerate()
+        .map(|(v, &w)| Reverse((w, KIND_WAKE, v as NodeId, 0)))
+        .collect();
+
+    let mut tx_stamp: Vec<Slot> = vec![Slot::MAX; n];
+    let mut seen_stamp: Vec<Slot> = vec![Slot::MAX; n];
+    let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut transmitters: Vec<NodeId> = Vec::new();
+
+    let mut slots_run: Slot = 0;
+    let mut all_decided = n == 0;
+
+    /// Pushes the events implied by node `v`'s current behavior,
+    /// starting from slot `from` (inclusive for transmissions).
+    fn schedule(
+        heap: &mut BinaryHeap<Event>,
+        recs: &[NodeRec],
+        rngs: &mut [SmallRng],
+        v: NodeId,
+        from: Slot,
+    ) {
+        let rec = &recs[v as usize];
+        let Some(b) = rec.behavior else { return };
+        if let Some(u) = b.until() {
+            heap.push(Reverse((u, KIND_DEADLINE, v, rec.gen)));
+        }
+        if let Behavior::Transmit { p, .. } = b {
+            let next = from.saturating_add(geometric_failures(p, &mut rngs[v as usize]));
+            heap.push(Reverse((next, KIND_TX, v, rec.gen)));
+        }
+    }
+
+    while let Some(&Reverse((slot, _, _, _))) = heap.peek() {
+        if slot > cfg.max_slots {
+            slots_run = cfg.max_slots;
+            break;
+        }
+        slots_run = slot;
+        transmitters.clear();
+
+        // Drain every event scheduled for this slot. The heap orders by
+        // (slot, kind), so wake-ups run before deadlines before
+        // transmissions; events pushed for this same slot during the
+        // drain are picked up too.
+        while let Some(&Reverse((s, kind, v, gen))) = heap.peek() {
+            if s != slot {
+                break;
+            }
+            heap.pop();
+            let vi = v as usize;
+            match kind {
+                KIND_WAKE => {
+                    let b = protocols[vi].on_wake(slot, &mut rngs[vi]);
+                    b.validate();
+                    debug_assert!(b.until().is_none_or(|u| u > slot), "on_wake deadline must be > now");
+                    recs[vi].behavior = Some(b);
+                    woken += 1;
+                    schedule(&mut heap, &recs, &mut rngs, v, slot);
+                    if !decided[vi] && protocols[vi].is_decided() {
+                        decided[vi] = true;
+                        stats[vi].decided_at = Some(slot);
+                        undecided -= 1;
+                    }
+                }
+                KIND_DEADLINE => {
+                    if gen != recs[vi].gen {
+                        continue; // stale
+                    }
+                    let b = protocols[vi].on_deadline(slot, &mut rngs[vi]);
+                    b.validate();
+                    assert!(b.until().is_none_or(|u| u > slot), "on_deadline must return deadline > now");
+                    recs[vi].gen += 1;
+                    recs[vi].behavior = Some(b);
+                    schedule(&mut heap, &recs, &mut rngs, v, slot);
+                    if !decided[vi] && protocols[vi].is_decided() {
+                        decided[vi] = true;
+                        stats[vi].decided_at = Some(slot);
+                        undecided -= 1;
+                    }
+                }
+                KIND_TX => {
+                    if gen != recs[vi].gen {
+                        continue; // stale
+                    }
+                    debug_assert!(matches!(recs[vi].behavior, Some(Behavior::Transmit { .. })));
+                    let msg = protocols[vi].message(slot, &mut rngs[vi]);
+                    air[vi] = Some(msg);
+                    tx_stamp[vi] = slot;
+                    stats[vi].sent += 1;
+                    transmitters.push(v);
+                    // Next transmission of the same segment.
+                    if let Some(Behavior::Transmit { p, .. }) = recs[vi].behavior {
+                        let next =
+                            (slot + 1).saturating_add(geometric_failures(p, &mut rngs[vi]));
+                        heap.push(Reverse((next, KIND_TX, v, gen)));
+                    }
+                }
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+
+        // Deliveries (identical logic to the lock-step engine).
+        for &t in &transmitters {
+            for &u in graph.neighbors(t) {
+                let ui = u as usize;
+                if seen_stamp[ui] == slot {
+                    continue;
+                }
+                seen_stamp[ui] = slot;
+                if tx_stamp[ui] == slot {
+                    continue; // transmitting: cannot receive
+                }
+                if wake[ui] > slot {
+                    continue; // asleep
+                }
+                let mut sender: Option<NodeId> = None;
+                let mut count = 0u32;
+                for &w in graph.neighbors(u) {
+                    if tx_stamp[w as usize] == slot {
+                        count += 1;
+                        if count > 1 {
+                            break;
+                        }
+                        sender = Some(w);
+                    }
+                }
+                if count == 1 {
+                    let w = sender.expect("count == 1 implies a sender");
+                    let msg = air[w as usize].clone().expect("transmitter has a message");
+                    stats[ui].received += 1;
+                    if let Some(nb) = protocols[ui].on_receive(slot, &msg, &mut rngs[ui]) {
+                        nb.validate();
+                        assert!(
+                            nb.until().is_none_or(|x| x > slot),
+                            "on_receive must return deadline > now"
+                        );
+                        recs[ui].gen += 1;
+                        recs[ui].behavior = Some(nb);
+                        // New segment governs from slot + 1.
+                        schedule(&mut heap, &recs, &mut rngs, u, slot + 1);
+                    }
+                    if !decided[ui] && protocols[ui].is_decided() {
+                        decided[ui] = true;
+                        stats[ui].decided_at = Some(slot);
+                        undecided -= 1;
+                    }
+                } else {
+                    stats[ui].collisions += 1;
+                }
+            }
+        }
+
+        if undecided == 0 && woken == n {
+            all_decided = true;
+            break;
+        }
+    }
+
+    SimOutcome { protocols, stats, all_decided, slots_run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lockstep::run_lockstep;
+    use radio_graph::generators::special::{path, star};
+
+    /// Transmits with probability `p` forever; decides after receiving
+    /// `need` messages.
+    #[derive(Clone)]
+    struct Chatter {
+        p: f64,
+        need: u64,
+        got: u64,
+        id: u32,
+    }
+
+    impl RadioProtocol for Chatter {
+        type Message = u32;
+
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Transmit { p: self.p, until: None }
+        }
+
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            unreachable!()
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+            self.id
+        }
+
+        fn on_receive(&mut self, _now: Slot, _msg: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+            self.got += 1;
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.got >= self.need
+        }
+    }
+
+    #[test]
+    fn deterministic_delivery_matches_lockstep() {
+        let g = path(3);
+        let mk = || {
+            vec![
+                Chatter { p: 1.0, need: 0, got: 0, id: 0 },
+                Chatter { p: f64::MIN_POSITIVE, need: 5, got: 0, id: 1 },
+                Chatter { p: f64::MIN_POSITIVE, need: 0, got: 0, id: 2 },
+            ]
+        };
+        let cfg = SimConfig { max_slots: 1000 };
+        let a = run_event(&g, &[0, 0, 0], mk(), 1, &cfg);
+        let b = run_lockstep(&g, &[0, 0, 0], mk(), 1, &cfg);
+        assert!(a.all_decided && b.all_decided);
+        assert_eq!(a.stats[1].decided_at, b.stats[1].decided_at);
+        assert_eq!(a.stats[1].received, 5);
+    }
+
+    #[test]
+    fn collisions_counted() {
+        let g = star(3);
+        let protos = vec![
+            Chatter { p: f64::MIN_POSITIVE, need: 0, got: 0, id: 0 },
+            Chatter { p: 1.0, need: 0, got: 0, id: 1 },
+            Chatter { p: 1.0, need: 0, got: 0, id: 2 },
+        ];
+        let out = run_event(&g, &[0, 0, 0], protos, 2, &SimConfig { max_slots: 50 });
+        assert_eq!(out.stats[0].received, 0);
+        assert!(out.all_decided);
+    }
+
+    #[test]
+    fn asleep_nodes_miss_messages() {
+        let g = path(2);
+        let protos = vec![
+            Chatter { p: 1.0, need: 0, got: 0, id: 0 },
+            Chatter { p: f64::MIN_POSITIVE, need: 3, got: 0, id: 1 },
+        ];
+        let out = run_event(&g, &[0, 10], protos, 3, &SimConfig { max_slots: 100 });
+        assert!(out.all_decided);
+        assert_eq!(out.stats[1].decided_at, Some(12));
+    }
+
+    #[test]
+    fn probabilistic_runs_agree_statistically_with_lockstep() {
+        // One transmitter with p = 0.2; receiver needs 20 messages. The
+        // expected decision slot is ≈ 20/0.2 = 100. Both engines should
+        // land in a sane band (they use different draw sequences).
+        let g = path(2);
+        let mk = || {
+            vec![
+                Chatter { p: 0.2, need: 0, got: 0, id: 0 },
+                Chatter { p: f64::MIN_POSITIVE, need: 20, got: 0, id: 1 },
+            ]
+        };
+        let cfg = SimConfig { max_slots: 10_000 };
+        let mut ev_mean = 0.0;
+        let mut ls_mean = 0.0;
+        let runs = 30;
+        for seed in 0..runs {
+            let a = run_event(&g, &[0, 0], mk(), seed, &cfg);
+            let b = run_lockstep(&g, &[0, 0], mk(), seed + 1000, &cfg);
+            ev_mean += a.stats[1].decided_at.unwrap() as f64 / runs as f64;
+            ls_mean += b.stats[1].decided_at.unwrap() as f64 / runs as f64;
+        }
+        assert!((ev_mean - 100.0).abs() < 30.0, "event mean {ev_mean}");
+        assert!((ls_mean - 100.0).abs() < 30.0, "lockstep mean {ls_mean}");
+    }
+
+    /// Phased: silent 5 slots, transmit 3 slots, then decided.
+    struct Phased {
+        phase: u8,
+    }
+
+    impl RadioProtocol for Phased {
+        type Message = u32;
+
+        fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Silent { until: Some(now + 5) }
+        }
+
+        fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+            self.phase += 1;
+            match self.phase {
+                1 => Behavior::Transmit { p: 1.0, until: Some(now + 3) },
+                _ => Behavior::Silent { until: None },
+            }
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+            9
+        }
+
+        fn on_receive(&mut self, _now: Slot, _msg: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.phase >= 2
+        }
+    }
+
+    #[test]
+    fn deadline_sequencing_matches_lockstep_exactly() {
+        let g = path(2);
+        let cfg = SimConfig::default();
+        let a = run_event(&g, &[0, 100], vec![Phased { phase: 0 }, Phased { phase: 0 }], 4, &cfg);
+        let b =
+            run_lockstep(&g, &[0, 100], vec![Phased { phase: 0 }, Phased { phase: 0 }], 4, &cfg);
+        for v in 0..2 {
+            assert_eq!(a.stats[v].sent, b.stats[v].sent, "node {v} sent");
+            assert_eq!(a.stats[v].decided_at, b.stats[v].decided_at, "node {v} decided");
+            assert_eq!(a.stats[v].received, b.stats[v].received, "node {v} received");
+        }
+        assert_eq!(a.stats[0].sent, 3);
+        assert_eq!(a.stats[0].decided_at, Some(8));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = radio_graph::Graph::empty(0);
+        let out = run_event::<Chatter>(&g, &[], vec![], 1, &SimConfig::default());
+        assert!(out.all_decided);
+    }
+}

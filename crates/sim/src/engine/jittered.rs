@@ -1,0 +1,373 @@
+//! Non-aligned ("jittered") slot engine — the paper's Sect. 2 remark
+//! made executable:
+//!
+//! > "Our algorithm does not rely on this assumption [synchronized
+//! > slots] in any way as long as the nodes' internal clock runs
+//! > roughly at the same speed. Also, all analytical results carry over
+//! > to the practical non-aligned case with an additional small
+//! > constant factor, since each time slot can overlap with at most two
+//! > time-slots of a neighbor \[29\]."
+//!
+//! Here every node has a fixed phase offset of 0 or ½ slot. Time
+//! advances in *half-slots*; a node whose phase bit is `δ_v` starts its
+//! local slot `t` at half-slot `2t + δ_v`, and a transmission occupies
+//! both half-slots of the sender's slot. A listener decodes a packet
+//! iff (a) it was not itself transmitting during any overlapping
+//! half-slot and (b) no *other* neighbor's transmission overlaps the
+//! packet — the unslotted-ALOHA vulnerability window of two slots, so
+//! cross-phase neighbors interfere with two of each other's slots
+//! (exactly the paper's "at most two").
+//!
+//! With all phase bits equal the semantics reduce *exactly* to the
+//! aligned lock-step engine (cross-validated in tests); with mixed
+//! phases, experiment E16 measures the constant-factor slowdown the
+//! paper predicts.
+
+use super::{NodeStats, SimConfig, SimOutcome};
+use crate::protocol::{Behavior, RadioProtocol, Slot};
+use crate::rng::node_rng;
+use radio_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A packet in flight: transmitted by `node`, covering half-slots
+/// `[start, start + 2)`.
+struct Packet<M> {
+    start: u64,
+    node: NodeId,
+    msg: M,
+}
+
+/// Runs `protocols` with per-node phase bits (`false` = offset 0,
+/// `true` = offset ½ slot). Wake slots are in the node's *local* slot
+/// count, as everywhere else.
+///
+/// # Panics
+/// Panics if `wake`, `protocols` or `phases` length differs from
+/// `graph.len()`.
+pub fn run_jittered<P: RadioProtocol>(
+    graph: &Graph,
+    wake: &[Slot],
+    mut protocols: Vec<P>,
+    phases: &[bool],
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<P> {
+    let n = graph.len();
+    assert_eq!(wake.len(), n, "wake schedule length mismatch");
+    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
+    assert_eq!(phases.len(), n, "phase vector length mismatch");
+
+    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
+    let mut behaviors: Vec<Option<Behavior>> = vec![None; n];
+    let mut stats: Vec<NodeStats> =
+        wake.iter().map(|&w| NodeStats { wake: w, ..NodeStats::default() }).collect();
+    let mut decided = vec![false; n];
+    let mut undecided = n;
+
+    let mut wake_order: Vec<NodeId> = (0..n as NodeId).collect();
+    // Order by absolute wake half-slot so mixed phases interleave right.
+    wake_order.sort_by_key(|&v| 2 * wake[v as usize] + u64::from(phases[v as usize]));
+    let mut next_wake = 0usize;
+    let mut awake: Vec<NodeId> = Vec::with_capacity(n);
+
+    // The two most recent transmission starts per node (−10 = never).
+    // Two suffice: a node starts at most one packet per local slot, so
+    // anything older than the previous start cannot overlap a packet
+    // evaluated now.
+    let mut tx_starts: Vec<[i64; 2]> = vec![[-10, -10]; n];
+    let overlaps = |starts: &[i64; 2], s: i64| (starts[0] - s).abs() <= 1 || (starts[1] - s).abs() <= 1;
+    let mut pending: VecDeque<Packet<P::Message>> = VecDeque::new();
+
+    let mut slots_run = 0;
+    let mut all_decided = n == 0;
+    let max_half = cfg.max_slots.saturating_mul(2);
+    let mut half: u64 = 0;
+    'outer: loop {
+        if half > max_half {
+            break;
+        }
+        slots_run = half / 2;
+
+        // 1. Deliver packets that ended at this half-slot boundary
+        //    (started at half − 2).
+        while let Some(p) = pending.front() {
+            if p.start + 2 > half {
+                break;
+            }
+            let p = pending.pop_front().expect("peeked");
+            let s = p.start as i64;
+            for &v in graph.neighbors(p.node) {
+                let vi = v as usize;
+                let delta = u64::from(phases[vi]);
+                // The listener's local slot containing the packet's end.
+                let local_end = (p.start + 1).saturating_sub(delta) / 2;
+                if wake[vi] > local_end {
+                    continue; // asleep for (part of) the packet
+                }
+                // (a) v transmitted during an overlapping half-slot?
+                if overlaps(&tx_starts[vi], s) {
+                    continue;
+                }
+                // (b) any other neighbor's packet overlaps?
+                let mut interfered = false;
+                for &w in graph.neighbors(v) {
+                    if w != p.node && overlaps(&tx_starts[w as usize], s) {
+                        interfered = true;
+                        break;
+                    }
+                }
+                if interfered {
+                    stats[vi].collisions += 1;
+                    continue;
+                }
+                stats[vi].received += 1;
+                if let Some(nb) = protocols[vi].on_receive(local_end, &p.msg, &mut rngs[vi]) {
+                    nb.validate();
+                    assert!(
+                        nb.until().is_none_or(|x| x > local_end),
+                        "on_receive must return deadline > now"
+                    );
+                    behaviors[vi] = Some(nb);
+                }
+                if !decided[vi] && protocols[vi].is_decided() {
+                    decided[vi] = true;
+                    stats[vi].decided_at = Some(local_end);
+                    undecided -= 1;
+                }
+            }
+        }
+
+        // Termination after deliveries, before the next slot's
+        // transmissions — matching the lock-step engine, where the last
+        // delivery and the break happen within the same slot iteration.
+        if undecided == 0 && next_wake == n {
+            all_decided = true;
+            break 'outer;
+        }
+
+        // 2. Local slot starts for nodes whose parity matches.
+        // Wake-ups first.
+        while next_wake < n {
+            let v = wake_order[next_wake];
+            let vi = v as usize;
+            let wake_half = 2 * wake[vi] + u64::from(phases[vi]);
+            if wake_half != half {
+                break;
+            }
+            next_wake += 1;
+            awake.push(v);
+            let t = wake[vi];
+            let b = protocols[vi].on_wake(t, &mut rngs[vi]);
+            b.validate();
+            behaviors[vi] = Some(b);
+            if !decided[vi] && protocols[vi].is_decided() {
+                decided[vi] = true;
+                stats[vi].decided_at = Some(t);
+                undecided -= 1;
+            }
+        }
+        // Deadlines, then transmission draws, for this parity class.
+        for &v in &awake {
+            let vi = v as usize;
+            let delta = u64::from(phases[vi]);
+            if half < delta || !(half - delta).is_multiple_of(2) {
+                continue; // not a slot boundary for v
+            }
+            let t = (half - delta) / 2;
+            if t < wake[vi] {
+                continue;
+            }
+            if let Some(b) = behaviors[vi] {
+                if b.until() == Some(t) {
+                    let nb = protocols[vi].on_deadline(t, &mut rngs[vi]);
+                    nb.validate();
+                    assert!(nb.until().is_none_or(|u| u > t), "on_deadline must return deadline > now");
+                    behaviors[vi] = Some(nb);
+                    if !decided[vi] && protocols[vi].is_decided() {
+                        decided[vi] = true;
+                        stats[vi].decided_at = Some(t);
+                        undecided -= 1;
+                    }
+                }
+            }
+            if let Some(Behavior::Transmit { p, .. }) = behaviors[vi] {
+                if rngs[vi].gen_bool(p) {
+                    let msg = protocols[vi].message(t, &mut rngs[vi]);
+                    tx_starts[vi] = [half as i64, tx_starts[vi][0]];
+                    stats[vi].sent += 1;
+                    pending.push_back(Packet { start: half, node: v, msg });
+                }
+            }
+        }
+
+        // 3. Termination: all woke and decided. Packets still in flight
+        //    can no longer change any decision.
+        if undecided == 0 && next_wake == n {
+            all_decided = true;
+            break 'outer;
+        }
+        if next_wake == n && awake.is_empty() {
+            break; // nothing will ever happen (n == 0 handled above)
+        }
+        half += 1;
+    }
+
+    SimOutcome { protocols, stats, all_decided, slots_run }
+}
+
+/// Random phase bits for `n` nodes.
+pub fn random_phases(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = node_rng(seed, 0x9A5E);
+    (0..n).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lockstep::run_lockstep;
+    use radio_graph::generators::special::{path, star};
+
+    /// Transmits with probability `p` forever; decides after `need`
+    /// receptions.
+    struct Chatter {
+        p: f64,
+        need: u64,
+        got: u64,
+    }
+
+    impl RadioProtocol for Chatter {
+        type Message = u8;
+
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Transmit { p: self.p, until: None }
+        }
+
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            unreachable!()
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u8 {
+            7
+        }
+
+        fn on_receive(&mut self, _now: Slot, _msg: &u8, _rng: &mut SmallRng) -> Option<Behavior> {
+            self.got += 1;
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.got >= self.need
+        }
+    }
+
+    #[test]
+    fn aligned_phases_match_lockstep_exactly() {
+        let g = path(3);
+        let mk = || {
+            vec![
+                Chatter { p: 1.0, need: 0, got: 0 },
+                Chatter { p: 1e-12, need: 5, got: 0 },
+                Chatter { p: 1e-12, need: 0, got: 0 },
+            ]
+        };
+        let cfg = SimConfig { max_slots: 10_000 };
+        let a = run_lockstep(&g, &[0, 0, 0], mk(), 3, &cfg);
+        let b = run_jittered(&g, &[0, 0, 0], mk(), &[false; 3], 3, &cfg);
+        assert!(a.all_decided && b.all_decided);
+        for v in 0..3 {
+            assert_eq!(a.stats[v].sent, b.stats[v].sent, "sent {v}");
+            assert_eq!(a.stats[v].received, b.stats[v].received, "received {v}");
+            assert_eq!(a.stats[v].decided_at, b.stats[v].decided_at, "decided {v}");
+        }
+    }
+
+    #[test]
+    fn cross_phase_neighbors_interfere_over_two_slots() {
+        // Star: two always-on leaves with opposite phases; the center
+        // never decodes anything (every packet overlaps the other's).
+        let g = star(3);
+        let protos = vec![
+            Chatter { p: 1e-12, need: 1, got: 0 },
+            Chatter { p: 1.0, need: 0, got: 0 },
+            Chatter { p: 1.0, need: 0, got: 0 },
+        ];
+        let out = run_jittered(
+            &g,
+            &[0, 0, 0],
+            protos,
+            &[false, false, true],
+            5,
+            &SimConfig { max_slots: 300 },
+        );
+        assert!(!out.all_decided);
+        assert_eq!(out.stats[0].received, 0, "misaligned continuous senders always overlap");
+        assert!(out.stats[0].collisions > 0);
+    }
+
+    #[test]
+    fn cross_phase_delivery_works_when_uncontended() {
+        // Single always-on sender, listener on the opposite phase: every
+        // packet is uncontended, so it decodes despite misalignment.
+        let g = path(2);
+        let protos = vec![
+            Chatter { p: 1.0, need: 0, got: 0 },
+            Chatter { p: 1e-12, need: 5, got: 0 },
+        ];
+        let out = run_jittered(
+            &g,
+            &[0, 0],
+            protos,
+            &[false, true],
+            7,
+            &SimConfig { max_slots: 300 },
+        );
+        assert!(out.all_decided);
+        assert_eq!(out.stats[1].received, 5);
+    }
+
+    #[test]
+    fn transmitter_cannot_receive_overlapping_packets() {
+        // Both always transmitting on opposite phases: no receptions.
+        let g = path(2);
+        let protos =
+            vec![Chatter { p: 1.0, need: 1, got: 0 }, Chatter { p: 1.0, need: 1, got: 0 }];
+        let out = run_jittered(
+            &g,
+            &[0, 0],
+            protos,
+            &[false, true],
+            9,
+            &SimConfig { max_slots: 200 },
+        );
+        assert!(!out.all_decided);
+        assert_eq!(out.stats[0].received + out.stats[1].received, 0);
+    }
+
+    #[test]
+    fn sleeping_nodes_do_not_decode_mid_packet() {
+        let g = path(2);
+        let protos = vec![
+            Chatter { p: 1.0, need: 0, got: 0 },
+            Chatter { p: 1e-12, need: 3, got: 0 },
+        ];
+        let out = run_jittered(
+            &g,
+            &[0, 10],
+            protos,
+            &[false, true],
+            11,
+            &SimConfig { max_slots: 500 },
+        );
+        assert!(out.all_decided);
+        let d = out.stats[1].decided_at.unwrap();
+        assert!(d >= 10, "decided at {d}");
+    }
+
+    #[test]
+    fn random_phases_deterministic() {
+        assert_eq!(random_phases(32, 1), random_phases(32, 1));
+        assert_ne!(random_phases(32, 1), random_phases(32, 2));
+    }
+}

@@ -1,0 +1,345 @@
+//! The lock-step reference engine: every awake node is visited every
+//! slot; transmission decisions are independent Bernoulli draws — a
+//! direct transcription of the model in Sect. 2 of the paper.
+
+use super::{NodeStats, SimConfig, SimOutcome};
+use crate::protocol::{Behavior, RadioProtocol, Slot};
+use crate::rng::node_rng;
+use radio_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Runs `protocols` on `graph` with the given per-node wake slots.
+///
+/// # Panics
+/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
+pub fn run_lockstep<P: RadioProtocol>(
+    graph: &Graph,
+    wake: &[Slot],
+    mut protocols: Vec<P>,
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<P> {
+    let n = graph.len();
+    assert_eq!(wake.len(), n, "wake schedule length mismatch");
+    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
+
+    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
+    let mut behaviors: Vec<Option<Behavior>> = vec![None; n];
+    let mut stats: Vec<NodeStats> = wake
+        .iter()
+        .map(|&w| NodeStats { wake: w, ..NodeStats::default() })
+        .collect();
+    let mut decided = vec![false; n];
+    let mut undecided = n;
+
+    // Nodes ordered by wake slot, consumed as the clock advances.
+    let mut wake_order: Vec<NodeId> = (0..n as NodeId).collect();
+    wake_order.sort_by_key(|&v| wake[v as usize]);
+    let mut next_wake = 0usize;
+    let mut awake: Vec<NodeId> = Vec::with_capacity(n);
+
+    // Slot-stamped scratch (no per-slot clearing).
+    let mut tx_stamp: Vec<Slot> = vec![Slot::MAX; n];
+    let mut seen_stamp: Vec<Slot> = vec![Slot::MAX; n];
+    let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut transmitters: Vec<NodeId> = Vec::new();
+
+    let mut slots_run = 0;
+    let mut all_decided = n == 0;
+    let mut slot: Slot = 0;
+    while slot <= cfg.max_slots {
+        slots_run = slot;
+        let note = |v: NodeId,
+                        protocols: &Vec<P>,
+                        decided: &mut Vec<bool>,
+                        undecided: &mut usize,
+                        stats: &mut Vec<NodeStats>| {
+            if !decided[v as usize] && protocols[v as usize].is_decided() {
+                decided[v as usize] = true;
+                stats[v as usize].decided_at = Some(slot);
+                *undecided -= 1;
+            }
+        };
+
+        // 1. Wake-ups.
+        while next_wake < n && wake[wake_order[next_wake] as usize] == slot {
+            let v = wake_order[next_wake];
+            next_wake += 1;
+            awake.push(v);
+            let b = protocols[v as usize].on_wake(slot, &mut rngs[v as usize]);
+            b.validate();
+            debug_assert!(b.until().is_none_or(|u| u > slot), "on_wake deadline must be > now");
+            behaviors[v as usize] = Some(b);
+            note(v, &protocols, &mut decided, &mut undecided, &mut stats);
+        }
+
+        // 2. Deadlines.
+        for &v in &awake {
+            let Some(b) = behaviors[v as usize] else { continue };
+            if b.until() == Some(slot) {
+                let nb = protocols[v as usize].on_deadline(slot, &mut rngs[v as usize]);
+                nb.validate();
+                assert!(nb.until().is_none_or(|u| u > slot), "on_deadline must return deadline > now");
+                behaviors[v as usize] = Some(nb);
+                note(v, &protocols, &mut decided, &mut undecided, &mut stats);
+            }
+        }
+
+        // 3. Transmission decisions.
+        transmitters.clear();
+        for &v in &awake {
+            if let Some(Behavior::Transmit { p, .. }) = behaviors[v as usize] {
+                if rngs[v as usize].gen_bool(p) {
+                    let msg = protocols[v as usize].message(slot, &mut rngs[v as usize]);
+                    air[v as usize] = Some(msg);
+                    tx_stamp[v as usize] = slot;
+                    stats[v as usize].sent += 1;
+                    transmitters.push(v);
+                }
+            }
+        }
+
+        // 4. Deliveries: a listener receives iff exactly one neighbor
+        //    transmitted. Sleeping nodes receive nothing.
+        for &t in &transmitters {
+            for &u in graph.neighbors(t) {
+                if seen_stamp[u as usize] == slot {
+                    continue; // already handled this listener
+                }
+                seen_stamp[u as usize] = slot;
+                if tx_stamp[u as usize] == slot {
+                    continue; // transmitting itself: cannot receive
+                }
+                if wake[u as usize] > slot {
+                    continue; // still asleep
+                }
+                let mut sender: Option<NodeId> = None;
+                let mut count = 0u32;
+                for &w in graph.neighbors(u) {
+                    if tx_stamp[w as usize] == slot {
+                        count += 1;
+                        if count > 1 {
+                            break;
+                        }
+                        sender = Some(w);
+                    }
+                }
+                if count == 1 {
+                    let w = sender.expect("count == 1 implies a sender");
+                    let msg = air[w as usize].clone().expect("transmitter has a message");
+                    stats[u as usize].received += 1;
+                    if let Some(nb) =
+                        protocols[u as usize].on_receive(slot, &msg, &mut rngs[u as usize])
+                    {
+                        nb.validate();
+                        assert!(
+                            nb.until().is_none_or(|x| x > slot),
+                            "on_receive must return deadline > now"
+                        );
+                        behaviors[u as usize] = Some(nb);
+                    }
+                    note(u, &protocols, &mut decided, &mut undecided, &mut stats);
+                } else {
+                    stats[u as usize].collisions += 1;
+                }
+            }
+        }
+
+        // 5. Termination: everyone woke and decided.
+        if undecided == 0 && next_wake == n {
+            all_decided = true;
+            break;
+        }
+        slot += 1;
+    }
+
+    SimOutcome { protocols, stats, all_decided, slots_run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Behavior;
+    use radio_graph::generators::special::{path, star};
+
+    /// Transmits with probability `p` forever; decides after receiving
+    /// `need` messages (or immediately if `need == 0`).
+    struct Chatter {
+        p: f64,
+        need: u64,
+        got: u64,
+        last: Option<u32>,
+        id: u32,
+    }
+
+    impl Chatter {
+        fn new(id: u32, p: f64, need: u64) -> Self {
+            Chatter { p, need, got: 0, last: None, id }
+        }
+    }
+
+    impl RadioProtocol for Chatter {
+        type Message = u32;
+
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Transmit { p: self.p, until: None }
+        }
+
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            unreachable!("Chatter sets no deadline")
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+            self.id
+        }
+
+        fn on_receive(&mut self, _now: Slot, msg: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+            self.got += 1;
+            self.last = Some(*msg);
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.got >= self.need
+        }
+    }
+
+    #[test]
+    fn single_transmitter_delivers_every_slot() {
+        // Path 0-1-2: node 0 transmits always, 1 and 2 silent listeners.
+        let g = path(3);
+        let protos = vec![
+            Chatter::new(0, 1.0, 0),
+            Chatter::new(1, f64::MIN_POSITIVE, 5), // effectively silent
+            Chatter::new(2, f64::MIN_POSITIVE, 0),
+        ];
+        let out = run_lockstep(&g, &[0, 0, 0], protos, 1, &SimConfig { max_slots: 1000 });
+        assert!(out.all_decided);
+        // Node 1 hears node 0 in slots 0..=4 and decides at slot 4.
+        assert_eq!(out.protocols[1].got, 5);
+        assert_eq!(out.protocols[1].last, Some(0));
+        assert_eq!(out.stats[1].received, 5);
+        assert_eq!(out.stats[1].decided_at, Some(4));
+        // Node 2 is not adjacent to node 0 and node 1 never transmits.
+        assert_eq!(out.stats[2].received, 0);
+    }
+
+    #[test]
+    fn collision_blocks_reception() {
+        // Star center 0 with two always-transmitting leaves.
+        let g = star(3);
+        let protos = vec![
+            Chatter::new(0, f64::MIN_POSITIVE, 0),
+            Chatter::new(1, 1.0, 0),
+            Chatter::new(2, 1.0, 0),
+        ];
+        let out = run_lockstep(&g, &[0, 0, 0], protos, 2, &SimConfig { max_slots: 50 });
+        assert!(out.all_decided); // need = 0 everywhere
+        assert_eq!(out.stats[0].received, 0, "collisions every slot");
+        assert!(out.stats[0].collisions > 0);
+    }
+
+    #[test]
+    fn transmitter_cannot_receive() {
+        // Two nodes, both always transmitting: nobody ever receives.
+        let g = path(2);
+        let protos = vec![Chatter::new(0, 1.0, 1), Chatter::new(1, 1.0, 1)];
+        let out = run_lockstep(&g, &[0, 0], protos, 3, &SimConfig { max_slots: 100 });
+        assert!(!out.all_decided);
+        assert_eq!(out.stats[0].received + out.stats[1].received, 0);
+    }
+
+    #[test]
+    fn sleeping_nodes_receive_nothing() {
+        let g = path(2);
+        let protos = vec![Chatter::new(0, 1.0, 0), Chatter::new(1, f64::MIN_POSITIVE, 3)];
+        // Node 1 wakes at slot 10; messages before that are lost.
+        let out = run_lockstep(&g, &[0, 10], protos, 4, &SimConfig { max_slots: 100 });
+        assert!(out.all_decided);
+        let s = &out.stats[1];
+        assert_eq!(s.decided_at, Some(12)); // receives at 10, 11, 12
+        assert_eq!(s.decision_time(), Some(2));
+    }
+
+    #[test]
+    fn wake_after_decision_of_others() {
+        // decided_at for an instantly-decided node equals its wake slot.
+        let g = path(2);
+        let protos = vec![Chatter::new(0, 1.0, 0), Chatter::new(1, 1.0, 0)];
+        let out = run_lockstep(&g, &[5, 7], protos, 5, &SimConfig::default());
+        assert_eq!(out.stats[0].decided_at, Some(5));
+        assert_eq!(out.stats[1].decided_at, Some(7));
+        assert_eq!(out.max_decision_time(), Some(0));
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let g = radio_graph::Graph::empty(0);
+        let out = run_lockstep::<Chatter>(&g, &[], vec![], 1, &SimConfig::default());
+        assert!(out.all_decided);
+        assert_eq!(out.slots_run, 0);
+    }
+
+    #[test]
+    fn max_slots_aborts_unfinishable_run() {
+        let g = path(2);
+        // Both silent and wanting messages: can never decide.
+        let protos = vec![
+            Chatter::new(0, f64::MIN_POSITIVE, 1),
+            Chatter::new(1, f64::MIN_POSITIVE, 1),
+        ];
+        let out = run_lockstep(&g, &[0, 0], protos, 6, &SimConfig { max_slots: 40 });
+        assert!(!out.all_decided);
+        assert_eq!(out.slots_run, 40);
+        assert_eq!(out.max_decision_time(), None);
+    }
+
+    /// Silent until slot 5, then transmit p=1 until slot 8, then decided.
+    struct Phased {
+        phase: u8,
+    }
+
+    impl RadioProtocol for Phased {
+        type Message = u32;
+
+        fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+            self.phase = 0;
+            Behavior::Silent { until: Some(now + 5) }
+        }
+
+        fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+            self.phase += 1;
+            match self.phase {
+                1 => Behavior::Transmit { p: 1.0, until: Some(now + 3) },
+                _ => Behavior::Silent { until: None },
+            }
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+            7
+        }
+
+        fn on_receive(&mut self, _now: Slot, _msg: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.phase >= 2
+        }
+    }
+
+    #[test]
+    fn deadlines_fire_and_segments_apply_same_slot() {
+        let g = path(2);
+        let protos = vec![Phased { phase: 0 }, Phased { phase: 0 }];
+        // Stagger wakes so transmissions don't always collide.
+        let out = run_lockstep(&g, &[0, 100], protos, 7, &SimConfig::default());
+        assert!(out.all_decided);
+        // Node 0: wakes 0, silent 0..5, transmits 5,6,7, decided at 8.
+        assert_eq!(out.stats[0].sent, 3);
+        assert_eq!(out.stats[0].decided_at, Some(8));
+        assert_eq!(out.stats[1].decided_at, Some(108));
+        assert_eq!(out.stats[1].decision_time(), Some(8));
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation engines.
+//!
+//! Two engines share identical semantics (see the ordering contract in
+//! [`crate::protocol`]):
+//!
+//! * [`lockstep`] — the auditable reference: every awake node is stepped
+//!   every slot, transmission is one Bernoulli draw per slot.
+//! * [`event`] — the fast engine: transmissions are geometric skips,
+//!   deadlines and wake-ups are heap events, and work happens only at
+//!   slots where something is on the air. `O(events·log n)` instead of
+//!   `O(slots·n)`.
+//!
+//! Experiment E14 and the integration tests cross-validate them. A
+//! third, model-extension engine lives in [`jittered`]: non-aligned
+//! slots with half-slot phase offsets (paper Sect. 2's remark), which
+//! reduces exactly to the lock-step engine when all phases agree.
+
+pub mod event;
+pub mod jittered;
+pub mod lockstep;
+
+use crate::protocol::Slot;
+
+/// Engine limits and options.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Hard stop: the run aborts (with `all_decided = false`) if it
+    /// reaches this slot.
+    pub max_slots: Slot,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_slots: 50_000_000 }
+    }
+}
+
+/// Per-node counters collected by the engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Wake-up slot.
+    pub wake: Slot,
+    /// Slot at which [`crate::protocol::RadioProtocol::is_decided`]
+    /// first became true.
+    pub decided_at: Option<Slot>,
+    /// Number of transmissions.
+    pub sent: u64,
+    /// Number of successfully received messages.
+    pub received: u64,
+    /// Number of slots in which this node was listening while two or
+    /// more neighbors transmitted. The *node* cannot observe this (no
+    /// collision detection); the simulator records it for analysis only.
+    pub collisions: u64,
+}
+
+impl NodeStats {
+    /// The paper's per-node time complexity `T_v`: slots from wake-up to
+    /// the irrevocable final decision.
+    pub fn decision_time(&self) -> Option<Slot> {
+        self.decided_at.map(|d| d - self.wake)
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome<P> {
+    /// Final protocol states, indexed by node.
+    pub protocols: Vec<P>,
+    /// Per-node statistics.
+    pub stats: Vec<NodeStats>,
+    /// `true` if every node decided before `max_slots`.
+    pub all_decided: bool,
+    /// The highest slot processed.
+    pub slots_run: Slot,
+}
+
+impl<P> SimOutcome<P> {
+    /// The algorithm's time complexity: the maximum `T_v` over all nodes
+    /// (paper Sect. 2). `None` if some node never decided.
+    pub fn max_decision_time(&self) -> Option<Slot> {
+        self.stats.iter().map(NodeStats::decision_time).collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+
+    /// Total number of transmissions across all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.stats.iter().map(|s| s.sent).sum()
+    }
+
+    /// Total number of collision slots observed across all listeners.
+    pub fn total_collisions(&self) -> u64 {
+        self.stats.iter().map(|s| s.collisions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_time_is_relative_to_wake() {
+        let s = NodeStats { wake: 10, decided_at: Some(25), ..NodeStats::default() };
+        assert_eq!(s.decision_time(), Some(15));
+        let s = NodeStats { wake: 10, decided_at: None, ..NodeStats::default() };
+        assert_eq!(s.decision_time(), None);
+    }
+
+    #[test]
+    fn outcome_aggregates() {
+        let out: SimOutcome<()> = SimOutcome {
+            protocols: vec![(), ()],
+            stats: vec![
+                NodeStats { wake: 0, decided_at: Some(7), sent: 3, received: 1, collisions: 2 },
+                NodeStats { wake: 2, decided_at: Some(5), sent: 4, received: 0, collisions: 1 },
+            ],
+            all_decided: true,
+            slots_run: 7,
+        };
+        assert_eq!(out.max_decision_time(), Some(7));
+        assert_eq!(out.total_sent(), 7);
+        assert_eq!(out.total_collisions(), 3);
+    }
+
+    #[test]
+    fn undecided_node_voids_max_decision_time() {
+        let out: SimOutcome<()> = SimOutcome {
+            protocols: vec![()],
+            stats: vec![NodeStats { wake: 0, decided_at: None, ..NodeStats::default() }],
+            all_decided: false,
+            slots_run: 9,
+        };
+        assert_eq!(out.max_decision_time(), None);
+    }
+
+    #[test]
+    fn default_config_is_generous() {
+        assert!(SimConfig::default().max_slots >= 1_000_000);
+    }
+}

@@ -1,0 +1,94 @@
+//! Multi-seed parallel execution of independent simulation runs.
+//!
+//! Experiments repeat every configuration across many seeds; runs are
+//! embarrassingly parallel, so we fan them out over `std::thread::scope`
+//! with an atomic work-stealing cursor (runs have very uneven durations,
+//! so static chunking would leave cores idle) and collect results over a
+//! crossbeam channel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(seed)` for every seed in `seeds` across `threads` worker
+/// threads and returns the results in seed order.
+///
+/// `f` is shared by reference, so it must be `Sync`; it is typically a
+/// closure capturing the immutable experiment configuration.
+pub fn run_seeds<T, F>(seeds: &[u64], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(seeds.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                tx.send((i, f(seeds[i]))).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<T>> =
+            std::iter::repeat_with(|| None).take(seeds.len()).collect();
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+        results.into_iter().map(|r| r.expect("every seed produced a result")).collect()
+    })
+}
+
+/// The default worker count: available parallelism minus one (leave a
+/// core for the harness), at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get().saturating_sub(1).max(1)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_seed_order() {
+        let seeds: Vec<u64> = (0..100).collect();
+        let out = run_seeds(&seeds, 8, |s| s * 2);
+        assert_eq!(out, (0..100).map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_single_threaded_and_empty() {
+        assert_eq!(run_seeds(&[7], 1, |s| s + 1), vec![8]);
+        assert_eq!(run_seeds::<u64, _>(&[], 4, |s| s), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn uneven_workloads_all_complete() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let out = run_seeds(&seeds, 4, |s| {
+            let iters = 100 + (s % 7) * 500;
+            (0..iters).fold(s, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+        });
+        let expect: Vec<u64> = seeds
+            .iter()
+            .map(|&s| {
+                let iters = 100 + (s % 7) * 500;
+                (0..iters).fold(s, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+            })
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! The protocol interface between per-node state machines and the
+//! simulation engines.
+//!
+//! A protocol describes a node's externally visible behavior as a
+//! sequence of [`Behavior`] segments: during a segment the node either
+//! listens silently or transmits with a fixed per-slot probability.
+//! Segments end when (a) a self-imposed deadline fires, or (b) a message
+//! is received. This factoring lets the *same protocol code* run under
+//! both the lock-step reference engine (one Bernoulli draw per slot) and
+//! the event-driven engine (geometric skip sampling) — the two are
+//! distributionally identical because Bernoulli trials are memoryless.
+//!
+//! # Intra-slot ordering contract (both engines)
+//!
+//! 1. wake-ups ([`RadioProtocol::on_wake`]);
+//! 2. deadlines ([`RadioProtocol::on_deadline`]) — the returned behavior
+//!    governs this very slot (a node whose counter crosses the threshold
+//!    at slot *t* may already transmit its `M_C` message at *t*, cf.
+//!    Algorithm 1 lines 19–22 of the paper);
+//! 3. transmission decisions — every node in a `Transmit { p, .. }`
+//!    segment transmits independently with probability `p`;
+//! 4. deliveries ([`RadioProtocol::on_receive`]) — a listening node
+//!    receives iff **exactly one** of its graph neighbors transmitted
+//!    (unstructured radio network model: no collision detection, a
+//!    transmitter cannot receive in the same slot). A behavior returned
+//!    from `on_receive` takes effect at slot *t + 1*.
+
+use rand::rngs::SmallRng;
+
+/// Discrete time slot index.
+pub type Slot = u64;
+
+/// One segment of a node's externally visible behavior.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Behavior {
+    /// Listen every slot. `on_deadline` fires at the start of slot
+    /// `until` (if `Some`); the behavior applies to slots `< until`.
+    Silent {
+        /// Slot at which [`RadioProtocol::on_deadline`] fires.
+        until: Option<Slot>,
+    },
+    /// Transmit with probability `p` in each slot, listen otherwise.
+    Transmit {
+        /// Per-slot transmission probability in `(0, 1]`.
+        p: f64,
+        /// Slot at which [`RadioProtocol::on_deadline`] fires.
+        until: Option<Slot>,
+    },
+}
+
+impl Behavior {
+    /// The deadline of this segment, if any.
+    pub fn until(&self) -> Option<Slot> {
+        match self {
+            Behavior::Silent { until } | Behavior::Transmit { until, .. } => *until,
+        }
+    }
+
+    /// The per-slot transmission probability (0 for silent segments).
+    pub fn probability(&self) -> f64 {
+        match self {
+            Behavior::Silent { .. } => 0.0,
+            Behavior::Transmit { p, .. } => *p,
+        }
+    }
+
+    /// Panics if the behavior is malformed (probability outside `(0,1]`
+    /// on a transmit segment, or a non-finite value).
+    pub fn validate(&self) {
+        if let Behavior::Transmit { p, .. } = self {
+            assert!(p.is_finite() && *p > 0.0 && *p <= 1.0, "transmit probability {p} not in (0,1]");
+        }
+    }
+}
+
+/// A per-node distributed protocol for the unstructured radio network
+/// model.
+///
+/// Implementations must be deterministic given the `rng` passed to the
+/// callbacks (the engine provides an independent stream per node).
+pub trait RadioProtocol {
+    /// The message type broadcast on the channel.
+    type Message: Clone;
+
+    /// The node wakes up at slot `now`. Returns its first behavior
+    /// segment. Sleeping nodes neither send nor receive (paper Sect. 2).
+    fn on_wake(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior;
+
+    /// The current segment's `until` deadline fired at the start of slot
+    /// `now`. Returns the next segment, which governs slot `now` itself.
+    /// The returned deadline must be `> now`.
+    fn on_deadline(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior;
+
+    /// The engine decided this node transmits at slot `now`; produce the
+    /// message put on the air.
+    fn message(&mut self, now: Slot, rng: &mut SmallRng) -> Self::Message;
+
+    /// Exactly one neighbor transmitted at slot `now` while this node
+    /// listened: the message is delivered. Return `Some(behavior)` to
+    /// replace the current segment starting at slot `now + 1`, or `None`
+    /// to continue unchanged. A returned deadline must be `> now`.
+    fn on_receive(&mut self, now: Slot, msg: &Self::Message, rng: &mut SmallRng) -> Option<Behavior>;
+
+    /// `true` once the node has taken its irrevocable final decision
+    /// (paper Sect. 2: the time complexity `T_v` measures wake-up to
+    /// final decision). A decided node may keep transmitting — e.g.
+    /// nodes in `C_i` broadcast until the protocol is stopped.
+    fn is_decided(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_accessors() {
+        let s = Behavior::Silent { until: Some(10) };
+        assert_eq!(s.until(), Some(10));
+        assert_eq!(s.probability(), 0.0);
+        let t = Behavior::Transmit { p: 0.25, until: None };
+        assert_eq!(t.until(), None);
+        assert_eq!(t.probability(), 0.25);
+        t.validate();
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "transmit probability")]
+    fn validate_rejects_zero_probability() {
+        Behavior::Transmit { p: 0.0, until: None }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "transmit probability")]
+    fn validate_rejects_above_one() {
+        Behavior::Transmit { p: 1.5, until: None }.validate();
+    }
+}

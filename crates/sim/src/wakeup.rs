@@ -1,0 +1,147 @@
+//! Asynchronous wake-up schedules.
+//!
+//! The unstructured radio network model makes *no assumption* about the
+//! distribution of wake-up times: results must hold for every, possibly
+//! worst-case, pattern (paper Sect. 2). Experiment E9 sweeps these
+//! patterns; the extremes the paper names explicitly are
+//! [`WakePattern::Synchronous`] and [`WakePattern::Sequential`].
+
+use crate::protocol::Slot;
+use radio_graph::Point2;
+use rand::Rng;
+
+/// A family of wake-up schedules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WakePattern {
+    /// All nodes start at slot 0 (one extreme case of the paper).
+    Synchronous,
+    /// Each node wakes uniformly at random within `[0, window]`.
+    UniformWindow {
+        /// Width of the wake-up window in slots.
+        window: Slot,
+    },
+    /// Node `i` wakes at `i · gap` — the paper's other extreme:
+    /// "nodes wake up sequentially with long waiting periods".
+    Sequential {
+        /// Slots between consecutive wake-ups.
+        gap: Slot,
+    },
+    /// Nodes wake in a uniformly random order with `gap` slots between
+    /// consecutive wake-ups (sequential, but adversarially unordered
+    /// with respect to node indices).
+    SequentialShuffled {
+        /// Slots between consecutive wake-ups.
+        gap: Slot,
+    },
+    /// Exponential inter-arrival times with the given mean (Poisson
+    /// process deployment, e.g. sensors dropped one by one).
+    Poisson {
+        /// Mean slots between consecutive wake-ups.
+        mean_gap: f64,
+    },
+}
+
+impl WakePattern {
+    /// Generates a wake slot for each of `n` nodes.
+    pub fn generate(&self, n: usize, rng: &mut impl Rng) -> Vec<Slot> {
+        match *self {
+            WakePattern::Synchronous => vec![0; n],
+            WakePattern::UniformWindow { window } => {
+                (0..n).map(|_| rng.gen_range(0..=window)).collect()
+            }
+            WakePattern::Sequential { gap } => (0..n as Slot).map(|i| i * gap).collect(),
+            WakePattern::SequentialShuffled { gap } => {
+                let mut order: Vec<usize> = (0..n).collect();
+                // Fisher–Yates.
+                for i in (1..n).rev() {
+                    order.swap(i, rng.gen_range(0..=i));
+                }
+                let mut out = vec![0; n];
+                for (rank, &node) in order.iter().enumerate() {
+                    out[node] = rank as Slot * gap;
+                }
+                out
+            }
+            WakePattern::Poisson { mean_gap } => {
+                assert!(mean_gap > 0.0, "mean gap must be positive");
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        t += -mean_gap * u.ln();
+                        t as Slot
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// A geographic wake-up *wave*: node `i` wakes when a planar front
+/// moving left-to-right at `speed` units/slot reaches `points[i]`
+/// (models e.g. aerial deployment along a flight path). Adversarial for
+/// the algorithm because neighbors wake in a correlated spatial order.
+pub fn wake_wave(points: &[Point2], speed: f64) -> Vec<Slot> {
+    assert!(speed > 0.0, "wave speed must be positive");
+    let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    points
+        .iter()
+        .map(|p| ((p.x - min_x) / speed).floor() as Slot)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synchronous_all_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(WakePattern::Synchronous.generate(4, &mut rng), vec![0; 4]);
+    }
+
+    #[test]
+    fn uniform_window_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let w = WakePattern::UniformWindow { window: 100 }.generate(1000, &mut rng);
+        assert!(w.iter().all(|&t| t <= 100));
+        assert!(w.iter().any(|&t| t > 50), "should spread across window");
+    }
+
+    #[test]
+    fn sequential_spacing() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w = WakePattern::Sequential { gap: 7 }.generate(5, &mut rng);
+        assert_eq!(w, vec![0, 7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn shuffled_is_permutation_of_sequential() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut w = WakePattern::SequentialShuffled { gap: 3 }.generate(6, &mut rng);
+        w.sort_unstable();
+        assert_eq!(w, vec![0, 3, 6, 9, 12, 15]);
+    }
+
+    #[test]
+    fn poisson_is_increasing() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let w = WakePattern::Poisson { mean_gap: 10.0 }.generate(100, &mut rng);
+        assert!(w.windows(2).all(|p| p[0] <= p[1]));
+        let last = *w.last().unwrap() as f64;
+        assert!(last > 300.0 && last < 3000.0, "last wake {last}");
+    }
+
+    #[test]
+    fn wave_follows_x_coordinate() {
+        let pts = [
+            Point2::new(5.0, 0.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(3.0, 1.0),
+        ];
+        let w = wake_wave(&pts, 2.0);
+        assert_eq!(w, vec![2, 0, 1]);
+    }
+}

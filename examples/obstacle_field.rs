@@ -1,0 +1,55 @@
+//! Coloring behind walls: the bounded-independence model in action
+//! (paper Fig. 1).
+//!
+//! ```text
+//! cargo run --release --example obstacle_field
+//! ```
+//!
+//! The unit disk graph cannot express a warehouse full of shelving;
+//! the BIG model can: links additionally require line of sight. This
+//! example builds the same deployment with increasing numbers of walls,
+//! shows that κ₁/κ₂ grow only mildly (the paper's claim), and that the
+//! coloring algorithm keeps working with bounds tracking κ₂·Δ.
+
+use radio_graph::analysis::kappa_bounded;
+use radio_graph::generators::big::{build_big, random_walls};
+use radio_graph::generators::{udg_side_for_target_degree, uniform_square};
+use radio_sim::WakePattern;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use urn_coloring::{color_graph, AlgorithmParams, ColoringConfig};
+
+fn main() {
+    let n = 140;
+    let mut rng = SmallRng::seed_from_u64(31);
+    let side = udg_side_for_target_degree(n, 12.0);
+    let points = uniform_square(n, side, &mut rng);
+
+    println!("{:>7} {:>7} {:>4} {:>4} {:>4} {:>7} {:>7} {:>9}", "walls", "links", "Δ", "κ₁", "κ₂", "colors", "valid", "maxT");
+    for &wall_count in &[0usize, 30, 90, 200] {
+        let walls = random_walls(wall_count, 0.8, side, &mut rng);
+        let graph = build_big(&points, 1.0, &walls);
+        let kappa = kappa_bounded(&graph, 10_000_000).expect("κ solver fuel");
+        let delta = graph.max_closed_degree();
+
+        let params = AlgorithmParams::practical(kappa.k2.max(2), delta.max(2), n);
+        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+            .generate(n, &mut rng);
+        let outcome = color_graph(&graph, &wake, &ColoringConfig::new(params), 17);
+        assert!(outcome.all_decided, "did not converge at {wall_count} walls");
+
+        println!(
+            "{:>7} {:>7} {:>4} {:>4} {:>4} {:>7} {:>7} {:>9}",
+            wall_count,
+            graph.num_edges(),
+            delta,
+            kappa.k1,
+            kappa.k2,
+            outcome.report.distinct_colors,
+            outcome.valid(),
+            outcome.max_decision_time().unwrap(),
+        );
+    }
+    println!("\nwalls thin the graph and nudge κ up slightly; correctness is unaffected");
+    println!("(the BIG model needs no geometry — only the κ parameters enter the analysis)");
+}

@@ -1,0 +1,71 @@
+//! The correctness-vs-speed dial: how α, β, γ, σ trade running time
+//! against failure probability (paper Sect. 4: "the constants can be
+//! freely selected so as to trade-off the running time and the
+//! probability of correctness").
+//!
+//! ```text
+//! cargo run --release --example parameter_tuning
+//! ```
+//!
+//! Sweeps a global scale factor from recklessly small to the theory
+//! values and reports the empirical success rate and speed at each
+//! setting — reproducing the paper's remark that uniformly random
+//! deployments need far smaller constants than the worst-case proofs.
+
+use radio_graph::analysis::kappa_bounded;
+use radio_graph::generators::{build_udg, udg_side_for_target_degree, uniform_square};
+use radio_sim::rng::node_rng;
+use radio_sim::WakePattern;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use urn_coloring::{color_graph, AlgorithmParams, ColoringConfig};
+
+fn main() {
+    let n = 120;
+    let runs = 10;
+    let mut rng = SmallRng::seed_from_u64(13);
+    let side = udg_side_for_target_degree(n, 10.0);
+    let points = uniform_square(n, side, &mut rng);
+    let graph = build_udg(&points, 1.0);
+    let kappa = kappa_bounded(&graph, 10_000_000).expect("κ solver fuel");
+    let delta = graph.max_closed_degree();
+    let base = AlgorithmParams::practical(kappa.k2.max(2), delta.max(2), n);
+    let theory = AlgorithmParams::theory(kappa.k1.max(2), kappa.k2.max(2), delta.max(2), n);
+    println!(
+        "network: n={n}, Δ={delta}, κ₁={}, κ₂={}\npractical preset: γ={} σ={} | theory: γ={:.0} σ={:.0} (≈{:.0}× larger)\n",
+        kappa.k1, kappa.k2, base.gamma, base.sigma, theory.gamma, theory.sigma,
+        theory.sigma / base.sigma,
+    );
+
+    println!("{:>7} {:>10} {:>9} {:>10} {:>12}", "scale", "threshold", "success", "mean T_v", "constraints");
+    for &scale in &[0.125f64, 0.25, 0.5, 1.0, 2.0] {
+        let params = base.scaled(scale);
+        let mut ok = 0;
+        let mut total_t = 0.0;
+        for seed in 0..runs {
+            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots().max(64) }
+                .generate(n, &mut node_rng(seed, 1));
+            let mut config = ColoringConfig::new(params);
+            config.sim = radio_sim::SimConfig { max_slots: 20_000_000 };
+            let outcome = color_graph(&graph, &wake, &config, seed);
+            if outcome.all_decided && outcome.valid() {
+                ok += 1;
+            }
+            total_t += outcome.mean_decision_time();
+        }
+        println!(
+            "{:>7} {:>10} {:>8}% {:>10.0} {:>12}",
+            scale,
+            params.threshold(),
+            100 * ok / runs,
+            total_t / runs as f64,
+            if params.constraint_violations().is_empty() { "all met" } else { "violated" },
+        );
+    }
+
+    println!("\nreading: below ~0.5× the preset, adjacent nodes start to decide the");
+    println!("same color before hearing each other (the guard windows drop under the");
+    println!("expected message delivery time ≈ e·κ₂ slots). The theory values buy a");
+    println!("1−O(1/n) guarantee for any topology and wake-up pattern — at ~100× the");
+    println!("initialization latency. Real deployments live in between.");
+}

@@ -1,0 +1,55 @@
+//! Render a colored deployment to SVG and DOT (for README figures and
+//! eyeballing workloads).
+//!
+//! ```text
+//! cargo run --release --example render_deployment
+//! ```
+//!
+//! Writes `results/deployment.svg` (an obstacle field, colored) and
+//! `results/deployment.dot` (pipe through `neato -n2 -Tpng`).
+
+use radio_graph::analysis::kappa_bounded;
+use radio_graph::generators::big::{build_big, random_walls};
+use radio_graph::generators::{udg_side_for_target_degree, uniform_square};
+use radio_graph::io::{to_dot, to_svg};
+use radio_sim::WakePattern;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use urn_coloring::{color_graph, AlgorithmParams, ColoringConfig};
+
+fn main() -> std::io::Result<()> {
+    let n = 120;
+    let mut rng = SmallRng::seed_from_u64(8);
+    let side = udg_side_for_target_degree(n, 11.0);
+    let points = uniform_square(n, side, &mut rng);
+    let walls = random_walls(25, 1.2, side, &mut rng);
+    let graph = build_big(&points, 1.0, &walls);
+    let kappa = kappa_bounded(&graph, 10_000_000).expect("κ solver fuel");
+
+    let params = AlgorithmParams::practical(kappa.k2.max(2), graph.max_closed_degree().max(2), n);
+    let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
+        .generate(n, &mut rng);
+    let outcome = color_graph(&graph, &wake, &ColoringConfig::new(params), 21);
+    assert!(outcome.all_decided && outcome.valid(), "coloring failed");
+
+    std::fs::create_dir_all("results")?;
+    let svg = to_svg(&graph, &points, Some(&outcome.colors), &walls, 900.0);
+    std::fs::write("results/deployment.svg", &svg)?;
+    let dot = to_dot(&graph, Some(&points), Some(&outcome.colors));
+    std::fs::write("results/deployment.dot", &dot)?;
+
+    println!(
+        "rendered {} nodes, {} links, {} walls → results/deployment.svg ({} bytes)",
+        n,
+        graph.num_edges(),
+        walls.len(),
+        svg.len()
+    );
+    println!("colors used: {} (span {}); κ₁={}, κ₂={}",
+        outcome.report.distinct_colors,
+        outcome.report.max_color.unwrap() + 1,
+        kappa.k1,
+        kappa.k2);
+    println!("DOT (for graphviz): results/deployment.dot — try `neato -n2 -Tpng`");
+    Ok(())
+}

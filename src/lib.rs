@@ -1,0 +1,30 @@
+//! Facade crate: re-exports the whole *Coloring Unstructured Radio
+//! Networks* reproduction (Moscibroda & Wattenhofer, SPAA 2005).
+//!
+//! See the individual crates for detail:
+//!
+//! * [`radio_graph`] — graph models (UDG / UBG / BIG), κ analysis;
+//! * [`radio_sim`] — the unstructured radio network simulator;
+//! * [`urn_coloring`] — the coloring algorithm itself (Algorithms 1–3);
+//! * [`radio_baselines`] — comparison algorithms.
+//!
+//! ```
+//! use unstructured_radio_coloring::{coloring, graph, sim};
+//!
+//! let g = graph::generators::special::cycle(8);
+//! let params = coloring::AlgorithmParams::practical(2, 3, 256);
+//! let outcome = coloring::color_graph(
+//!     &g,
+//!     &vec![0; 8],
+//!     &coloring::ColoringConfig::new(params),
+//!     1,
+//! );
+//! assert!(outcome.valid());
+//! let schedule = coloring::TdmaSchedule::from_coloring(&outcome.colors);
+//! assert!(schedule.direct_interference_free(&g));
+//! ```
+
+pub use radio_baselines as baselines;
+pub use radio_graph as graph;
+pub use radio_sim as sim;
+pub use urn_coloring as coloring;

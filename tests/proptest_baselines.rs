@@ -1,0 +1,105 @@
+//! Property-based tests for the baseline algorithms.
+
+use proptest::prelude::*;
+use radio_baselines::{
+    cole_vishkin_ring, degeneracy, greedy_coloring, layered_mis_coloring,
+    linial_reduction_coloring, luby_mis, GreedyOrder, VerifyNode, VerifyParams,
+};
+use radio_graph::analysis::independence::is_maximal_independent_set;
+use radio_graph::analysis::check_coloring;
+use radio_graph::generators::special::cycle;
+use radio_graph::{Graph, NodeId};
+use radio_sim::{run_event, SimConfig};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..n * 2)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn luby_output_is_maximal_independent(g in arb_graph(24), seed in 0u64..1000) {
+        let (mis, _rounds) = luby_mis(&g, seed, 10_000);
+        prop_assert!(is_maximal_independent_set(&g, &mis), "{mis:?}");
+    }
+
+    #[test]
+    fn greedy_coloring_proper_within_delta_plus_one(g in arb_graph(24), seed in 0u64..100) {
+        for order in [
+            GreedyOrder::Natural,
+            GreedyOrder::Random { seed },
+            GreedyOrder::DecreasingDegree,
+            GreedyOrder::SmallestLast,
+        ] {
+            let c = greedy_coloring(&g, order);
+            let r = check_coloring(&g, &c);
+            prop_assert!(r.valid(), "{order:?}");
+            prop_assert!(r.max_color.map_or(0, |x| x as usize) <= g.max_degree());
+        }
+    }
+
+    #[test]
+    fn smallest_last_within_degeneracy_plus_one(g in arb_graph(24)) {
+        let d = degeneracy(&g);
+        let c = greedy_coloring(&g, GreedyOrder::SmallestLast);
+        let r = check_coloring(&g, &c);
+        prop_assert!(r.valid());
+        prop_assert!(
+            r.max_color.map_or(0, |x| x as usize) <= d,
+            "used color {:?} with degeneracy {d}",
+            r.max_color
+        );
+        // Degeneracy is sandwiched by min and max degree.
+        let min_deg = g.nodes().map(|v| g.degree(v)).min().unwrap_or(0);
+        prop_assert!(d >= min_deg.min(g.max_degree()));
+        prop_assert!(d <= g.max_degree());
+    }
+
+    #[test]
+    fn mis_colorings_proper_and_bounded(g in arb_graph(16), seed in 0u64..200) {
+        let bound = g.max_degree();
+        let (c1, _) = layered_mis_coloring(&g, seed);
+        let r1 = check_coloring(&g, &c1);
+        prop_assert!(r1.valid());
+        prop_assert!(r1.max_color.map_or(0, |x| x as usize) <= bound);
+        let (c2, _) = linial_reduction_coloring(&g, seed);
+        let r2 = check_coloring(&g, &c2);
+        prop_assert!(r2.valid());
+        prop_assert!(r2.max_color.map_or(0, |x| x as usize) <= bound);
+    }
+
+    #[test]
+    fn cole_vishkin_three_colors_any_unique_ids(
+        mut ids in prop::collection::btree_set(0u64..1_000_000, 3..64),
+    ) {
+        let ids: Vec<u64> = std::mem::take(&mut ids).into_iter().collect();
+        let out = cole_vishkin_ring(&ids);
+        let g = cycle(ids.len());
+        let r = check_coloring(&g, &out.colors);
+        prop_assert!(r.valid());
+        prop_assert!(r.max_color.unwrap() <= 2);
+        prop_assert!(out.compression_rounds <= 12);
+    }
+}
+
+proptest! {
+    // Full radio simulations: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn select_and_verify_baseline_colors_properly(g in arb_graph(10), seed in 0u64..200) {
+        let params = VerifyParams::new(g.max_closed_degree().max(2), 256);
+        let protos: Vec<VerifyNode> =
+            (0..g.len()).map(|v| VerifyNode::new(v as u64 + 1, params)).collect();
+        let out = run_event(&g, &vec![0; g.len()], protos, seed, &SimConfig { max_slots: 10_000_000 });
+        prop_assert!(out.all_decided);
+        let colors: Vec<Option<u32>> = out.protocols.iter().map(VerifyNode::color).collect();
+        let r = check_coloring(&g, &colors);
+        prop_assert!(r.valid(), "{colors:?}");
+        prop_assert!(r.max_color.unwrap() < params.palette());
+    }
+}

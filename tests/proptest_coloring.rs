@@ -1,0 +1,137 @@
+//! Property-based tests on the coloring algorithm: for random graphs,
+//! wake-up schedules, engines and seeds, the outcome is a proper and
+//! complete coloring whose color classes are independent sets, leaders
+//! included.
+
+use proptest::prelude::*;
+use radio_graph::analysis::kappa;
+use radio_graph::{Graph, NodeId};
+use radio_sim::{Engine, SimConfig};
+use urn_coloring::{color_graph, verify_outcome, AlgorithmParams, ColoringConfig, TdmaSchedule};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..n * 2)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+fn run(g: &Graph, wake: &[u64], engine: Engine, seed: u64) -> urn_coloring::ColoringOutcome {
+    let k = kappa(g);
+    let params = AlgorithmParams::practical(k.k2.max(2), g.max_closed_degree().max(2), 256);
+    let mut config = ColoringConfig::new(params);
+    config.engine = engine;
+    config.sim = SimConfig { max_slots: 30_000_000 };
+    color_graph(g, wake, &config, seed)
+}
+
+proptest! {
+    // Each case is a full simulation: keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_graphs_color_properly(g in arb_graph(14), seed in 0u64..1000) {
+        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        prop_assert!(out.all_decided);
+        prop_assert!(out.valid(), "conflicts: {:?}", out.report.conflicts);
+        let k = kappa(&g);
+        let v = verify_outcome(&g, &out, k.k2.max(2));
+        prop_assert!(v.all_hold(), "{v:?}");
+    }
+
+    #[test]
+    fn random_wakeups_color_properly(
+        g in arb_graph(10),
+        wake_raw in prop::collection::vec(0u64..5000, 10),
+        seed in 0u64..1000,
+    ) {
+        let wake: Vec<u64> = wake_raw[..g.len()].to_vec();
+        let out = run(&g, &wake, Engine::Event, seed);
+        prop_assert!(out.all_decided);
+        prop_assert!(out.valid(), "conflicts: {:?}", out.report.conflicts);
+        // T_v accounting: decisions never precede wake-ups.
+        for (v, s) in out.stats.iter().enumerate() {
+            prop_assert!(s.decided_at.unwrap() >= wake[v]);
+        }
+    }
+
+    #[test]
+    fn both_engines_produce_valid_colorings(g in arb_graph(10), seed in 0u64..500) {
+        for engine in [Engine::Event, Engine::Lockstep] {
+            let out = run(&g, &vec![0; g.len()], engine, seed);
+            prop_assert!(out.all_decided, "{engine:?}");
+            prop_assert!(out.valid(), "{engine:?}: {:?}", out.report.conflicts);
+        }
+    }
+
+    #[test]
+    fn leaders_form_maximal_structure(g in arb_graph(12), seed in 0u64..500) {
+        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        prop_assert!(out.all_decided);
+        // Leaders are an independent set…
+        for &a in &out.leaders {
+            for &b in &out.leaders {
+                prop_assert!(a == b || !g.has_edge(a, b), "adjacent leaders");
+            }
+        }
+        // …and dominating: every non-leader that exists must have heard a
+        // leader (it holds an intra-cluster color), hence has one nearby.
+        for v in g.nodes() {
+            let is_leader = out.leaders.contains(&v);
+            if !is_leader {
+                let covered = g.neighbors(v).iter().any(|u| out.leaders.contains(u));
+                prop_assert!(covered, "non-leader {v} with no adjacent leader");
+            }
+        }
+    }
+
+    #[test]
+    fn color_classes_are_independent_sets(g in arb_graph(12), seed in 0u64..500) {
+        // Theorem 2, stated directly on classes.
+        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        prop_assert!(out.all_decided);
+        let max = out.report.max_color.unwrap_or(0);
+        for c in 0..=max {
+            let class: Vec<NodeId> =
+                g.nodes().filter(|&v| out.colors[v as usize] == Some(c)).collect();
+            prop_assert!(
+                radio_graph::analysis::independence::is_independent_set(&g, &class),
+                "class {c} not independent"
+            );
+        }
+    }
+
+    #[test]
+    fn tdma_schedule_from_any_valid_run(g in arb_graph(10), seed in 0u64..500) {
+        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        prop_assert!(out.all_decided && out.valid());
+        let sched = TdmaSchedule::from_coloring(&out.colors);
+        prop_assert!(sched.direct_interference_free(&g));
+        let k = kappa(&g);
+        prop_assert!(sched.max_cochannel_senders(&g) <= k.k1.max(1));
+        // Local bandwidth never exceeds 1 and never hits 0.
+        for v in g.nodes() {
+            let bw = sched.local_bandwidth(&g, v);
+            prop_assert!(bw > 0.0 && bw <= 1.0);
+        }
+    }
+
+    #[test]
+    fn node_traces_are_sane(g in arb_graph(10), seed in 0u64..500) {
+        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        prop_assert!(out.all_decided);
+        for (v, tr) in out.traces.iter().enumerate() {
+            prop_assert!(tr.states_entered >= 1, "node {v} never entered A_0");
+            // A leader never received an intra-cluster color.
+            if out.leaders.contains(&(v as NodeId)) {
+                prop_assert_eq!(tr.intra_cluster_color, None);
+            } else {
+                // Non-leader in a non-trivial component got a tc ≥ 1.
+                if g.degree(v as NodeId) > 0 {
+                    prop_assert!(tr.intra_cluster_color.is_some());
+                    prop_assert!(tr.intra_cluster_color.unwrap() >= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the extension modules: the non-aligned
+//! (jittered) slot engine, the degree estimator / adaptive pipeline,
+//! graph squares and distance-2 schedules, and the export formats.
+
+use proptest::prelude::*;
+use radio_graph::analysis::check_coloring;
+use radio_graph::analysis::square::{is_distance2_coloring, square};
+use radio_graph::geometry::Point2;
+use radio_graph::io::{to_dot, to_svg};
+use radio_graph::{Graph, NodeId};
+use radio_sim::{random_phases, run_jittered, SimConfig};
+use urn_coloring::{AdaptiveNode, AlgorithmParams, ColoringNode, EstimatorParams};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..n * 2)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn jittered_engine_still_colors_properly(g in arb_graph(10), seed in 0u64..300) {
+        let k = radio_graph::analysis::kappa(&g);
+        let params = AlgorithmParams::practical(k.k2.max(2), g.max_closed_degree().max(2), 256);
+        let protos: Vec<ColoringNode> =
+            (0..g.len()).map(|v| ColoringNode::new(v as u64 + 1, params)).collect();
+        let phases = random_phases(g.len(), seed);
+        let out = run_jittered(
+            &g,
+            &vec![0; g.len()],
+            protos,
+            &phases,
+            seed,
+            &SimConfig { max_slots: 30_000_000 },
+        );
+        prop_assert!(out.all_decided);
+        let colors: Vec<Option<u32>> = out.protocols.iter().map(ColoringNode::color).collect();
+        let r = check_coloring(&g, &colors);
+        prop_assert!(r.valid(), "{colors:?}");
+    }
+
+    #[test]
+    fn adaptive_pipeline_on_random_graphs(g in arb_graph(9), seed in 0u64..300) {
+        let k = radio_graph::analysis::kappa(&g);
+        let base = AlgorithmParams::practical(k.k2.max(2), 2, 256);
+        let est = EstimatorParams::new(256, 4 * g.max_closed_degree().max(4));
+        let protos: Vec<AdaptiveNode> = (0..g.len())
+            .map(|v| AdaptiveNode::new(v as u64 + 1, base, est))
+            .collect();
+        let out = radio_sim::run_event(
+            &g,
+            &vec![0; g.len()],
+            protos,
+            seed,
+            &SimConfig { max_slots: 50_000_000 },
+        );
+        prop_assert!(out.all_decided);
+        let colors: Vec<Option<u32>> = out.protocols.iter().map(AdaptiveNode::color).collect();
+        prop_assert!(check_coloring(&g, &colors).valid(), "{colors:?}");
+        // Every node derived a local Δ̂ ≥ 2.
+        for p in &out.protocols {
+            prop_assert!(p.local_delta().unwrap() >= 2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn square_properties(g in arb_graph(16)) {
+        let g2 = square(&g);
+        prop_assert_eq!(g2.len(), g.len());
+        // G ⊆ G².
+        for (u, v) in g.edges() {
+            prop_assert!(g2.has_edge(u, v));
+        }
+        // G² adjacency ⇔ distance ≤ 2 in G.
+        for v in g.nodes() {
+            let d = radio_graph::analysis::bfs_distances(&g, v);
+            for u in g.nodes() {
+                if u != v {
+                    prop_assert_eq!(
+                        g2.has_edge(v, u),
+                        d[u as usize] <= 2,
+                        "v={} u={} d={}", v, u, d[u as usize]
+                    );
+                }
+            }
+        }
+        // (G²)² ⊇ G² (squares only grow).
+        let g4 = square(&g2);
+        prop_assert!(g4.num_edges() >= g2.num_edges());
+    }
+
+    #[test]
+    fn distance2_equivalence_with_square_coloring(
+        g in arb_graph(12),
+        colors in prop::collection::vec(0u32..6, 12),
+    ) {
+        let coloring: Vec<Option<u32>> =
+            colors.iter().take(g.len()).map(|&c| Some(c)).collect();
+        let g2 = square(&g);
+        prop_assert_eq!(
+            is_distance2_coloring(&g, &coloring),
+            check_coloring(&g2, &coloring).proper
+        );
+    }
+
+    #[test]
+    fn exports_are_well_formed(g in arb_graph(12), seed in 0u64..100) {
+        let n = g.len();
+        let mut rng = radio_sim::rng::node_rng(seed, 0);
+        use rand::Rng;
+        let pts: Vec<Point2> =
+            (0..n).map(|_| Point2::new(rng.gen::<f64>() * 5.0, rng.gen::<f64>() * 5.0)).collect();
+        let colors: Vec<Option<u32>> = (0..n).map(|v| Some(v as u32 % 5)).collect();
+
+        let dot = to_dot(&g, Some(&pts), Some(&colors));
+        let header_ok = dot.starts_with("graph radio {");
+        prop_assert!(header_ok, "missing DOT header");
+        prop_assert_eq!(dot.matches(" -- ").count(), g.num_edges());
+        // One node statement per node.
+        for v in g.nodes() {
+            let has_label = dot.contains(&format!("label=\"{v}:"));
+            prop_assert!(has_label, "missing label for node {}", v);
+        }
+
+        let svg = to_svg(&g, &pts, Some(&colors), &[], 300.0);
+        prop_assert_eq!(svg.matches("<circle").count(), n);
+        prop_assert_eq!(svg.matches("<line").count(), g.num_edges());
+        prop_assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn estimator_params_cover_requested_range(n_est in 2usize..4096, cap in 4usize..512) {
+        let e = urn_coloring::EstimatorParams::new(n_est, cap);
+        // Phase probabilities halve each phase, starting at 1/2.
+        prop_assert_eq!(e.probability(0), 0.5);
+        for k in 1..e.phases {
+            prop_assert_eq!(e.probability(k), e.probability(k - 1) / 2.0);
+        }
+        // The last phase targets degrees ≥ cap: 2^phases ≥ cap.
+        prop_assert!(2usize.pow(e.phases) >= cap);
+        prop_assert!(e.total_slots() >= e.phases as u64);
+    }
+}
