@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Run before pushing; the order goes from
+# cheapest to most expensive so failures surface fast.
+#
+#   ./ci.sh           # full gate: fmt, clippy, build, tests, perf smoke
+#   ./ci.sh --quick   # skip the release build and perf smoke
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+
+    # Perf trajectory: delivery-kernel slots/sec on dense UDG workloads.
+    # Writes BENCH_sim.json and fails if the scatter kernel ever drops
+    # below 2x the reference listener-side re-scan at Δ=128.
+    echo "==> slot_throughput microbench"
+    ./target/release/slot_throughput BENCH_sim.json
+fi
+
+echo "CI gate passed."

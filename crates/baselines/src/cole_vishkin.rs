@@ -66,7 +66,9 @@ pub fn cole_vishkin_ring(ids: &[u64]) -> CvOutcome {
             if prev[v] == c {
                 let left = prev[(v + n - 1) % n];
                 let right = prev[(v + 1) % n];
-                colors[v] = (0..3).find(|&x| x != left && x != right).expect("3 colors, 2 neighbors");
+                colors[v] = (0..3)
+                    .find(|&x| x != left && x != right)
+                    .expect("3 colors, 2 neighbors");
             }
         }
         extra += 1;
@@ -134,9 +136,15 @@ mod tests {
     fn round_complexity_is_log_star_like() {
         // log*(2^64) ≈ 5; compression should take very few rounds even
         // for large rings with 64-bit IDs, certainly < 12.
-        let ids: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let ids: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let out = cole_vishkin_ring(&ids);
-        assert!(out.compression_rounds <= 12, "rounds = {}", out.compression_rounds);
+        assert!(
+            out.compression_rounds <= 12,
+            "rounds = {}",
+            out.compression_rounds
+        );
         assert_eq!(out.total_rounds, out.compression_rounds + 3);
     }
 }

@@ -42,7 +42,10 @@ pub fn greedy_coloring(graph: &Graph, order: GreedyOrder) -> Coloring {
                 }
             }
         }
-        let c = used.iter().position(|&b| !b).expect("deg+1 colors always suffice");
+        let c = used
+            .iter()
+            .position(|&b| !b)
+            .expect("deg+1 colors always suffice");
         colors[v as usize] = Some(c as u32);
     }
     colors
@@ -153,7 +156,13 @@ mod tests {
     #[test]
     fn greedy_is_proper_and_within_delta_plus_one() {
         let mut rng = SmallRng::seed_from_u64(11);
-        let graphs = vec![path(10), cycle(9), star(8), complete(6), gnp(70, 0.1, &mut rng)];
+        let graphs = vec![
+            path(10),
+            cycle(9),
+            star(8),
+            complete(6),
+            gnp(70, 0.1, &mut rng),
+        ];
         for g in &graphs {
             for order in ALL_ORDERS {
                 let c = greedy_coloring(g, order);

@@ -47,7 +47,11 @@ pub struct LubyNode {
 impl LubyNode {
     /// A fresh undecided node.
     pub fn new() -> Self {
-        LubyNode { status: MisStatus::Undecided, my_value: 0, decided_round: None }
+        LubyNode {
+            status: MisStatus::Undecided,
+            my_value: 0,
+            decided_round: None,
+        }
     }
 
     /// Final status.
@@ -128,7 +132,11 @@ impl SyncProtocol for LubyNode {
 /// list plus the number of phases used.
 pub fn luby_mis(graph: &Graph, seed: u64, max_rounds: u32) -> (Vec<NodeId>, u32) {
     let protos: Vec<LubyNode> = (0..graph.len()).map(|_| LubyNode::new()).collect();
-    let SyncOutcome { protocols, rounds, all_done } = run_sync(graph, protos, seed, max_rounds);
+    let SyncOutcome {
+        protocols,
+        rounds,
+        all_done,
+    } = run_sync(graph, protos, seed, max_rounds);
     assert!(all_done, "Luby did not converge within {max_rounds} rounds");
     let mis: Vec<NodeId> = protocols
         .iter()
@@ -143,8 +151,8 @@ pub fn luby_mis(graph: &Graph, seed: u64, max_rounds: u32) -> (Vec<NodeId>, u32)
 mod tests {
     use super::*;
     use radio_graph::analysis::independence::is_maximal_independent_set;
-    use radio_graph::generators::special::{complete, cycle, path, star};
     use radio_graph::generators::gnp;
+    use radio_graph::generators::special::{complete, cycle, path, star};
     use rand::SeedableRng;
 
     #[test]

@@ -9,8 +9,8 @@
 //! model gap concrete.
 
 use radio_graph::Graph;
-use rand::rngs::SmallRng;
 use radio_sim::rng::node_rng;
+use rand::rngs::SmallRng;
 
 /// A node program in the synchronous message-passing model.
 pub trait SyncProtocol {
@@ -20,8 +20,12 @@ pub trait SyncProtocol {
     /// Executes round `round`. `inbox` holds exactly one message per
     /// neighbor that sent one last round (order unspecified). Returns
     /// the message to broadcast this round, or `None` to stay silent.
-    fn round(&mut self, round: u32, inbox: &[Self::Message], rng: &mut SmallRng)
-        -> Option<Self::Message>;
+    fn round(
+        &mut self,
+        round: u32,
+        inbox: &[Self::Message],
+        rng: &mut SmallRng,
+    ) -> Option<Self::Message>;
 
     /// Terminal state: once `true` the node no longer participates.
     fn is_done(&self) -> bool;
@@ -54,7 +58,11 @@ pub fn run_sync<P: SyncProtocol>(
     let mut inbox: Vec<P::Message> = Vec::new();
     for round in 0..max_rounds {
         if protocols.iter().all(P::is_done) {
-            return SyncOutcome { protocols, rounds: round, all_done: true };
+            return SyncOutcome {
+                protocols,
+                rounds: round,
+                all_done: true,
+            };
         }
         let mut next: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
         for v in 0..n {
@@ -72,7 +80,11 @@ pub fn run_sync<P: SyncProtocol>(
         outbox = next;
     }
     let all_done = protocols.iter().all(P::is_done);
-    SyncOutcome { protocols, rounds: max_rounds, all_done }
+    SyncOutcome {
+        protocols,
+        rounds: max_rounds,
+        all_done,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +121,11 @@ mod tests {
     fn flood_travels_one_hop_per_round() {
         let g = path(5);
         let protos: Vec<Flood> = (0..5)
-            .map(|v| Flood { infected: false, infected_at: None, is_source: v == 0 })
+            .map(|v| Flood {
+                infected: false,
+                infected_at: None,
+                is_source: v == 0,
+            })
             .collect();
         let out = run_sync(&g, protos, 1, 10);
         assert!(!out.all_done); // Flood never claims done; hits max_rounds
@@ -140,8 +156,12 @@ mod tests {
     #[test]
     fn terminates_when_all_done() {
         let g = path(3);
-        let protos: Vec<Echo> =
-            (0..3).map(|v| Echo { need: g.degree(v as u32), heard: 0 }).collect();
+        let protos: Vec<Echo> = (0..3)
+            .map(|v| Echo {
+                need: g.degree(v as u32),
+                heard: 0,
+            })
+            .collect();
         let out = run_sync(&g, protos, 2, 100);
         assert!(out.all_done);
         assert_eq!(out.rounds, 2); // round 0 sends, round 1 hears, check at 2

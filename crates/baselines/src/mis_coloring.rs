@@ -34,7 +34,10 @@ pub fn layered_mis_coloring(graph: &Graph, seed: u64) -> (Coloring, u32) {
         }
         remaining.retain(|&v| colors[v as usize].is_none());
         layer += 1;
-        assert!(layer as usize <= n + 1, "layered MIS failed to make progress");
+        assert!(
+            layer as usize <= n + 1,
+            "layered MIS failed to make progress"
+        );
     }
     (colors, total_rounds)
 }
@@ -55,7 +58,10 @@ pub fn color_product_graph(graph: &Graph, q: usize) -> Graph {
     for (u, v) in graph.edges() {
         // Same-color copies of adjacent vertices are adjacent.
         for c in 0..q {
-            b.add_edge((u as usize * q + c) as NodeId, (v as usize * q + c) as NodeId);
+            b.add_edge(
+                (u as usize * q + c) as NodeId,
+                (v as usize * q + c) as NodeId,
+            );
         }
     }
     b.build()
@@ -119,9 +125,12 @@ mod tests {
 
     #[test]
     fn linial_on_standard_graphs() {
-        for (name, g) in
-            [("path", path(10)), ("cycle", cycle(8)), ("star", star(6)), ("complete", complete(5))]
-        {
+        for (name, g) in [
+            ("path", path(10)),
+            ("cycle", cycle(8)),
+            ("star", star(6)),
+            ("complete", complete(5)),
+        ] {
             let delta_plus_1 = g.max_degree() + 1;
             for seed in 0..3 {
                 let (colors, _) = linial_reduction_coloring(&g, seed);
@@ -161,7 +170,10 @@ mod tests {
     fn empty_graph_edge_cases() {
         let g = Graph::empty(0);
         assert_eq!(layered_mis_coloring(&g, 1).0, Vec::<Option<u32>>::new());
-        assert_eq!(linial_reduction_coloring(&g, 1).0, Vec::<Option<u32>>::new());
+        assert_eq!(
+            linial_reduction_coloring(&g, 1).0,
+            Vec::<Option<u32>>::new()
+        );
         let g = Graph::empty(3);
         let (c, _) = layered_mis_coloring(&g, 1);
         assert_eq!(c, vec![Some(0); 3]);

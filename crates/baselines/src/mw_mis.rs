@@ -60,7 +60,13 @@ impl MwMisNode {
     /// is used (waiting window, threshold, `critical_range(0)`,
     /// `p_active`, `p_leader`).
     pub fn new(id: ProtoId, params: AlgorithmParams) -> Self {
-        MwMisNode { id, params, phase: MisPhase::Waiting, competitors: Vec::new(), resets: 0 }
+        MwMisNode {
+            id,
+            params,
+            phase: MisPhase::Waiting,
+            competitors: Vec::new(),
+            resets: 0,
+        }
     }
 
     /// `true` once the node is an MIS member.
@@ -82,7 +88,10 @@ impl MwMisNode {
     }
 
     fn values_at(&self, now: Slot) -> Vec<i64> {
-        self.competitors.iter().map(|&(_, a)| now as i64 - a).collect()
+        self.competitors
+            .iter()
+            .map(|&(_, a)| now as i64 - a)
+            .collect()
     }
 
     fn record(&mut self, sender: ProtoId, counter: i64, now: Slot) {
@@ -97,7 +106,10 @@ impl MwMisNode {
     fn competing_behavior(&self, anchor: i64) -> Behavior {
         let t = anchor + self.params.threshold();
         debug_assert!(t >= 0);
-        Behavior::Transmit { p: self.params.p_active(), until: Some(t as Slot) }
+        Behavior::Transmit {
+            p: self.params.p_active(),
+            until: Some(t as Slot),
+        }
     }
 }
 
@@ -106,7 +118,9 @@ impl RadioProtocol for MwMisNode {
 
     fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
         self.phase = MisPhase::Waiting;
-        Behavior::Silent { until: Some(now + self.params.waiting_slots()) }
+        Behavior::Silent {
+            until: Some(now + self.params.waiting_slots()),
+        }
     }
 
     fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
@@ -120,7 +134,10 @@ impl RadioProtocol for MwMisNode {
             MisPhase::Competing { .. } => {
                 // Threshold reached: join the MIS and announce forever.
                 self.phase = MisPhase::In;
-                Behavior::Transmit { p: self.params.p_leader(), until: None }
+                Behavior::Transmit {
+                    p: self.params.p_leader(),
+                    until: None,
+                }
             }
             MisPhase::In | MisPhase::Out { .. } => unreachable!("terminal states set no deadline"),
         }
@@ -128,9 +145,10 @@ impl RadioProtocol for MwMisNode {
 
     fn message(&mut self, now: Slot, _rng: &mut SmallRng) -> MisMsg {
         match self.phase {
-            MisPhase::Competing { anchor } => {
-                MisMsg::Compete { sender: self.id, counter: now as i64 - anchor }
-            }
+            MisPhase::Competing { anchor } => MisMsg::Compete {
+                sender: self.id,
+                counter: now as i64 - anchor,
+            },
             MisPhase::In => MisMsg::Member { sender: self.id },
             _ => unreachable!("waiting/out nodes are silent"),
         }
@@ -177,9 +195,16 @@ pub fn mw_mis(
     seed: u64,
     max_slots: Slot,
 ) -> (Vec<radio_graph::NodeId>, radio_sim::SimOutcome<MwMisNode>) {
-    let protos: Vec<MwMisNode> =
-        (0..graph.len()).map(|v| MwMisNode::new(v as u64 + 1, params)).collect();
-    let out = radio_sim::run_event(graph, wake, protos, seed, &radio_sim::SimConfig { max_slots });
+    let protos: Vec<MwMisNode> = (0..graph.len())
+        .map(|v| MwMisNode::new(v as u64 + 1, params))
+        .collect();
+    let out = radio_sim::run_event(
+        graph,
+        wake,
+        protos,
+        seed,
+        &radio_sim::SimConfig { max_slots },
+    );
     let members: Vec<radio_graph::NodeId> = out
         .protocols
         .iter()
@@ -213,8 +238,7 @@ mod tests {
             ("clique", complete(5)),
         ] {
             for seed in 0..3 {
-                let (mis, out) =
-                    mw_mis(&g, &vec![0; g.len()], params_for(&g), seed, 20_000_000);
+                let (mis, out) = mw_mis(&g, &vec![0; g.len()], params_for(&g), seed, 20_000_000);
                 assert!(out.all_decided, "{name} seed {seed}");
                 assert!(
                     is_maximal_independent_set(&g, &mis),
@@ -235,7 +259,7 @@ mod tests {
     #[test]
     fn covered_nodes_know_their_dominator() {
         let g = star(5);
-        let (mis, out) = mw_mis(&g, &vec![0; 5], params_for(&g), 2, 20_000_000);
+        let (mis, out) = mw_mis(&g, &[0; 5], params_for(&g), 2, 20_000_000);
         assert!(out.all_decided);
         assert!(is_maximal_independent_set(&g, &mis));
         for (v, p) in out.protocols.iter().enumerate() {
@@ -243,7 +267,10 @@ mod tests {
                 let d = p.dominator().expect("covered node has a dominator");
                 // Dominator is an actual MIS-member neighbor (IDs are v+1).
                 let dom_node = (d - 1) as u32;
-                assert!(g.has_edge(v as u32, dom_node), "node {v} dominated by non-neighbor");
+                assert!(
+                    g.has_edge(v as u32, dom_node),
+                    "node {v} dominated by non-neighbor"
+                );
                 assert!(mis.contains(&dom_node));
             }
         }
@@ -256,8 +283,10 @@ mod tests {
         let g = build_udg(&pts, 1.0);
         let params = params_for(&g);
         for seed in 0..3 {
-            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                .generate(g.len(), &mut node_rng(seed, 6));
+            let wake = WakePattern::UniformWindow {
+                window: 2 * params.waiting_slots(),
+            }
+            .generate(g.len(), &mut node_rng(seed, 6));
             let (mis, out) = mw_mis(&g, &wake, params, seed, 50_000_000);
             assert!(out.all_decided, "seed {seed}");
             assert!(is_maximal_independent_set(&g, &mis), "seed {seed}");
@@ -267,7 +296,7 @@ mod tests {
     #[test]
     fn member_set_matches_decided_flags() {
         let g = cycle(9);
-        let (mis, out) = mw_mis(&g, &vec![0; 9], params_for(&g), 7, 20_000_000);
+        let (mis, out) = mw_mis(&g, &[0; 9], params_for(&g), 7, 20_000_000);
         assert_eq!(
             mis.len(),
             out.protocols.iter().filter(|p| p.is_member()).count()

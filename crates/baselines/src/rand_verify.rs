@@ -70,7 +70,13 @@ impl VerifyParams {
     /// ≈ `p·(1−p)^Δ ≈ 1/(eΔ̂)`, so `6·Δ̂·log₂ n̂` slots drive the miss
     /// probability below `n̂⁻²`-ish for the sizes exercised here.
     pub fn new(delta_est: usize, n_est: usize) -> Self {
-        VerifyParams { palette_factor: 2.0, warmup: 1.0, verify: 6.0, delta_est: delta_est.max(2), n_est }
+        VerifyParams {
+            palette_factor: 2.0,
+            warmup: 1.0,
+            verify: 6.0,
+            delta_est: delta_est.max(2),
+            n_est,
+        }
     }
 
     fn log_n(&self) -> f64 {
@@ -155,7 +161,10 @@ impl VerifyNode {
         } else {
             free[rng.gen_range(0..free.len())]
         };
-        self.phase = Phase::Verifying { color, prio: rng.gen() };
+        self.phase = Phase::Verifying {
+            color,
+            prio: rng.gen(),
+        };
         Behavior::Transmit {
             p: self.params.p_tx(),
             until: Some(now + self.params.verify_slots()),
@@ -168,7 +177,9 @@ impl RadioProtocol for VerifyNode {
 
     fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
         self.phase = Phase::Warmup;
-        Behavior::Silent { until: Some(now + self.params.warmup_slots()) }
+        Behavior::Silent {
+            until: Some(now + self.params.warmup_slots()),
+        }
     }
 
     fn on_deadline(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
@@ -178,7 +189,10 @@ impl RadioProtocol for VerifyNode {
             // Verification window survived: lock the color.
             Phase::Verifying { color, .. } => {
                 self.phase = Phase::Locked { color };
-                Behavior::Transmit { p: self.params.p_tx(), until: None }
+                Behavior::Transmit {
+                    p: self.params.p_tx(),
+                    until: None,
+                }
             }
             Phase::Locked { .. } => unreachable!("locked nodes set no deadline"),
         }
@@ -186,7 +200,11 @@ impl RadioProtocol for VerifyNode {
 
     fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> VerifyMsg {
         match self.phase {
-            Phase::Verifying { color, prio } => VerifyMsg::Claim { color, prio, id: self.id },
+            Phase::Verifying { color, prio } => VerifyMsg::Claim {
+                color,
+                prio,
+                id: self.id,
+            },
             Phase::Locked { color } => VerifyMsg::Locked { color, id: self.id },
             Phase::Warmup => unreachable!("warm-up is silent"),
         }
@@ -206,9 +224,13 @@ impl RadioProtocol for VerifyNode {
                     _ => None,
                 }
             }
-            (VerifyMsg::Claim { color, prio, id }, Phase::Verifying { color: mine, prio: my_prio })
-                if color == *mine && (prio, id) > (*my_prio, self.id) =>
-            {
+            (
+                VerifyMsg::Claim { color, prio, id },
+                Phase::Verifying {
+                    color: mine,
+                    prio: my_prio,
+                },
+            ) if color == *mine && (prio, id) > (*my_prio, self.id) => {
                 // Higher-priority claim on our color: back off and retry.
                 Some(self.select(now + 1, rng))
             }
@@ -231,18 +253,30 @@ mod tests {
 
     fn run(g: &Graph, seed: u64) -> Vec<Option<u32>> {
         let params = VerifyParams::new(g.max_closed_degree().max(2), g.len().max(4));
-        let protos: Vec<VerifyNode> =
-            (0..g.len()).map(|v| VerifyNode::new(v as u64 + 1, params)).collect();
-        let out = run_event(g, &vec![0; g.len()], protos, seed, &SimConfig { max_slots: 5_000_000 });
+        let protos: Vec<VerifyNode> = (0..g.len())
+            .map(|v| VerifyNode::new(v as u64 + 1, params))
+            .collect();
+        let out = run_event(
+            g,
+            &vec![0; g.len()],
+            protos,
+            seed,
+            &SimConfig {
+                max_slots: 5_000_000,
+            },
+        );
         assert!(out.all_decided, "baseline did not converge");
         out.protocols.iter().map(VerifyNode::color).collect()
     }
 
     #[test]
     fn colors_standard_graphs_properly() {
-        for (name, g) in
-            [("path", path(6)), ("cycle", cycle(7)), ("star", star(6)), ("complete", complete(4))]
-        {
+        for (name, g) in [
+            ("path", path(6)),
+            ("cycle", cycle(7)),
+            ("star", star(6)),
+            ("complete", complete(4)),
+        ] {
             for seed in 0..3 {
                 let colors = run(&g, seed);
                 let r = check_coloring(&g, &colors);
@@ -277,7 +311,15 @@ mod tests {
         let g = complete(6);
         let params = VerifyParams::new(6, 8);
         let protos: Vec<VerifyNode> = (0..6).map(|v| VerifyNode::new(v + 1, params)).collect();
-        let out = run_event(&g, &[0; 6], protos, 3, &SimConfig { max_slots: 5_000_000 });
+        let out = run_event(
+            &g,
+            &[0; 6],
+            protos,
+            3,
+            &SimConfig {
+                max_slots: 5_000_000,
+            },
+        );
         assert!(out.all_decided);
         let total: u32 = out.protocols.iter().map(|p| p.attempts()).sum();
         assert!(total >= 6, "at least one attempt each");

@@ -14,23 +14,35 @@ fn bench_reset_policies(c: &mut Criterion) {
     let w = udg_workload(80, 16.0, 0xAB1);
     let mut g = c.benchmark_group("reset_policy");
     g.sample_size(10);
-    for policy in [ResetPolicy::Paper, ResetPolicy::AlwaysReset, ResetPolicy::NoCompetitorList] {
+    for policy in [
+        ResetPolicy::Paper,
+        ResetPolicy::AlwaysReset,
+        ResetPolicy::NoCompetitorList,
+    ] {
         let mut params = w.params();
         params.reset_policy = policy;
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(w.n(), &mut node_rng(5, 5));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{policy:?}")), &wake, |b, wake| {
-            let mut config = ColoringConfig::new(params);
-            // Cap starving runs at a fraction of the usual budget so the
-            // bench finishes; slots_run tells the story either way.
-            config.sim = SimConfig { max_slots: slot_cap(&params) / 10 };
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let out = color_graph(&w.graph, wake, &config, seed);
-                out.slots_run
-            });
-        });
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(w.n(), &mut node_rng(5, 5));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &wake,
+            |b, wake| {
+                let mut config = ColoringConfig::new(params);
+                // Cap starving runs at a fraction of the usual budget so the
+                // bench finishes; slots_run tells the story either way.
+                config.sim = SimConfig {
+                    max_slots: slot_cap(&params) / 10,
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let out = color_graph(&w.graph, wake, &config, seed);
+                    out.slots_run
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -45,20 +45,32 @@ fn bench_baselines(c: &mut Criterion) {
     });
 
     g.bench_function("cole_vishkin_ring_10k", |b| {
-        let ids: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let ids: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         b.iter(|| cole_vishkin_ring(&ids));
     });
 
     g.bench_function("select_and_verify_radio", |b| {
         let vp = VerifyParams::new(w.delta.max(2), n);
-        let wake = WakePattern::UniformWindow { window: 2 * vp.warmup_slots() }
-            .generate(n, &mut node_rng(4, 4));
+        let wake = WakePattern::UniformWindow {
+            window: 2 * vp.warmup_slots(),
+        }
+        .generate(n, &mut node_rng(4, 4));
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
             let protos: Vec<VerifyNode> =
                 (0..n).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
-            let out = run_event(&w.graph, &wake, protos, seed, &SimConfig { max_slots: 50_000_000 });
+            let out = run_event(
+                &w.graph,
+                &wake,
+                protos,
+                seed,
+                &SimConfig {
+                    max_slots: 50_000_000,
+                },
+            );
             assert!(out.all_decided);
             out.slots_run
         });

@@ -14,19 +14,27 @@ fn bench_density_sweep(c: &mut Criterion) {
     for target in [6.0f64, 12.0, 20.0] {
         let w = udg_workload(96, target, 0xC0);
         let params = w.params();
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(w.n(), &mut node_rng(2, 2));
-        g.bench_with_input(BenchmarkId::from_parameter(w.delta), &(&w, &wake), |b, (w, wake)| {
-            let mut config = ColoringConfig::new(params);
-            config.sim = SimConfig { max_slots: slot_cap(&params) };
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let out = color_graph(&w.graph, wake, &config, seed);
-                assert!(out.all_decided);
-                out.report.distinct_colors
-            });
-        });
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(w.n(), &mut node_rng(2, 2));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(w.delta),
+            &(&w, &wake),
+            |b, (w, wake)| {
+                let mut config = ColoringConfig::new(params);
+                config.sim = SimConfig {
+                    max_slots: slot_cap(&params),
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let out = color_graph(&w.graph, wake, &config, seed);
+                    assert!(out.all_decided);
+                    out.report.distinct_colors
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -37,19 +45,27 @@ fn bench_size_sweep(c: &mut Criterion) {
     for n in [64usize, 128, 256] {
         let w = udg_workload(n, 10.0, 0xC1);
         let params = w.params();
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(n, &mut node_rng(3, 3));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(&w, &wake), |b, (w, wake)| {
-            let mut config = ColoringConfig::new(params);
-            config.sim = SimConfig { max_slots: slot_cap(&params) };
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let out = color_graph(&w.graph, wake, &config, seed);
-                assert!(out.all_decided);
-                out.slots_run
-            });
-        });
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(n, &mut node_rng(3, 3));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&w, &wake),
+            |b, (w, wake)| {
+                let mut config = ColoringConfig::new(params);
+                config.sim = SimConfig {
+                    max_slots: slot_cap(&params),
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let out = color_graph(&w.graph, wake, &config, seed);
+                    assert!(out.all_decided);
+                    out.slots_run
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -16,8 +16,10 @@ fn bench_engines(c: &mut Criterion) {
     for n in [64usize, 128] {
         let w = udg_workload(n, 10.0, 0xBE);
         let params = w.params();
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(n, &mut node_rng(1, 1));
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(n, &mut node_rng(1, 1));
         for engine in [Engine::Lockstep, Engine::Event] {
             g.bench_with_input(
                 BenchmarkId::new(format!("{engine:?}"), n),
@@ -25,7 +27,9 @@ fn bench_engines(c: &mut Criterion) {
                 |b, (w, wake)| {
                     let mut config = ColoringConfig::new(params);
                     config.engine = engine;
-                    config.sim = SimConfig { max_slots: slot_cap(&params) };
+                    config.sim = SimConfig {
+                        max_slots: slot_cap(&params),
+                    };
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;

@@ -14,8 +14,10 @@ fn bench_extensions(c: &mut Criterion) {
     let w = udg_workload(96, 10.0, 0xEB);
     let n = w.n();
     let params = w.params();
-    let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-        .generate(n, &mut node_rng(9, 9));
+    let wake = WakePattern::UniformWindow {
+        window: 2 * params.waiting_slots(),
+    }
+    .generate(n, &mut node_rng(9, 9));
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);
 
@@ -24,8 +26,7 @@ fn bench_extensions(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let protos: Vec<DegreeEstimator> =
-                (0..n).map(|_| DegreeEstimator::new(est)).collect();
+            let protos: Vec<DegreeEstimator> = (0..n).map(|_| DegreeEstimator::new(est)).collect();
             let out = run_event(&w.graph, &wake, protos, seed, &SimConfig::default());
             assert!(out.all_decided);
             out.slots_run
@@ -46,8 +47,9 @@ fn bench_extensions(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let protos: Vec<ColoringNode> =
-                (0..n).map(|v| ColoringNode::new(v as u64 + 1, params)).collect();
+            let protos: Vec<ColoringNode> = (0..n)
+                .map(|v| ColoringNode::new(v as u64 + 1, params))
+                .collect();
             let phases = random_phases(n, seed);
             let out = run_jittered(
                 &w.graph,
@@ -55,7 +57,9 @@ fn bench_extensions(c: &mut Criterion) {
                 protos,
                 &phases,
                 seed,
-                &SimConfig { max_slots: slot_cap(&params) },
+                &SimConfig {
+                    max_slots: slot_cap(&params),
+                },
             );
             assert!(out.all_decided);
             out.slots_run

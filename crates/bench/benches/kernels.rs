@@ -11,9 +11,13 @@ fn bench_chi(c: &mut Criterion) {
     let mut g = c.benchmark_group("chi");
     for k in [4usize, 16, 64] {
         let centers: Vec<i64> = (0..k as i64).map(|i| -17 * i + 5).collect();
-        g.bench_with_input(BenchmarkId::new("competitors", k), &centers, |b, centers| {
-            b.iter(|| chi(black_box(centers), black_box(24)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("competitors", k),
+            &centers,
+            |b, centers| {
+                b.iter(|| chi(black_box(centers), black_box(24)));
+            },
+        );
     }
     g.finish();
 }

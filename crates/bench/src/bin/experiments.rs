@@ -30,18 +30,25 @@ fn main() {
             "--threads" => threads = Some(it.next().expect("--threads N").parse().expect("number")),
             "--out" => out_dir = it.next().expect("--out DIR"),
             "--help" | "-h" => {
-                println!("usage: experiments [--quick] [--seeds N] [--threads N] [--out DIR] [IDS...]");
-                println!("  IDS: all e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 ablation");
+                println!(
+                    "usage: experiments [--quick] [--seeds N] [--threads N] [--out DIR] [IDS...]"
+                );
+                println!(
+                    "  IDS: all e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 ablation"
+                );
                 return;
             }
             other => ids.push(other.to_lowercase()),
         }
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = ["e1", "e2", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "ablation"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        ids = [
+            "e1", "e2", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+            "e15", "e16", "e17", "e18", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     let mut opts = ExpOpts::new(quick, &out_dir);
@@ -59,7 +66,11 @@ fn main() {
     let emit = |tables: Vec<Table>, name: &str, opts: &ExpOpts| {
         for (i, t) in tables.iter().enumerate() {
             println!("{}", t.render());
-            let suffix = if tables.len() > 1 { format!("{name}_{i}") } else { name.to_string() };
+            let suffix = if tables.len() > 1 {
+                format!("{name}_{i}")
+            } else {
+                name.to_string()
+            };
             match t.write_csv(&opts.out_dir, &suffix) {
                 Ok(p) => println!("  → {}\n", p.display()),
                 Err(e) => eprintln!("  ! CSV write failed: {e}\n"),
@@ -70,14 +81,22 @@ fn main() {
     for id in &ids {
         let start = Instant::now();
         match id.as_str() {
-            "e1" => emit(vec![exp::e01_correctness::run(&opts)], "e01_correctness", &opts),
+            "e1" => emit(
+                vec![exp::e01_correctness::run(&opts)],
+                "e01_correctness",
+                &opts,
+            ),
             "e2" => emit(exp::e02_time_scaling::run(&opts), "e02_time_scaling", &opts),
             "e3" => emit(vec![exp::e03_colors::run(&opts)], "e03_colors", &opts),
             "e4" => emit(exp::e04_locality::run(&opts), "e04_locality", &opts),
             "e5" => emit(vec![exp::e05_constants::run(&opts)], "e05_constants", &opts),
             // E6 (the UDG corollary) is the normalized view of E2: the
             // T̄/(Δ·log n) columns of e2a/e2b being ~constant is its claim.
-            "e6" => emit(exp::e02_time_scaling::run(&opts), "e06_udg_corollary", &opts),
+            "e6" => emit(
+                exp::e02_time_scaling::run(&opts),
+                "e06_udg_corollary",
+                &opts,
+            ),
             "e7" => emit(vec![exp::e07_ubg::run(&opts)], "e07_ubg", &opts),
             "e8" => emit(exp::e08_baseline::run(&opts), "e08_baseline", &opts),
             "e9" => emit(vec![exp::e09_wakeup::run(&opts)], "e09_wakeup", &opts),
@@ -89,7 +108,11 @@ fn main() {
             "e15" => emit(exp::e15_estimation::run(&opts), "e15_estimation", &opts),
             "e16" => emit(vec![exp::e16_jitter::run(&opts)], "e16_jitter", &opts),
             "e17" => emit(vec![exp::e17_mis::run(&opts)], "e17_mis", &opts),
-            "e18" => emit(vec![exp::e18_scalability::run(&opts)], "e18_scalability", &opts),
+            "e18" => emit(
+                vec![exp::e18_scalability::run(&opts)],
+                "e18_scalability",
+                &opts,
+            ),
             "ablation" => emit(exp::ablation::run(&opts), "ablation_reset", &opts),
             other => eprintln!("unknown experiment id: {other}"),
         }

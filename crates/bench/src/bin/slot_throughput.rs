@@ -1,0 +1,232 @@
+//! Slot-throughput microbenchmark: measures the delivery hot path of
+//! the simulation engines on dense UDG workloads and emits
+//! `BENCH_sim.json` so future changes have a perf trajectory to compare
+//! against.
+//!
+//! Two code paths are timed on identical transmitter schedules:
+//!
+//! * `reference` — the pre-kernel listener-side re-scan
+//!   (`delivery::ReferenceSweep`), `O(Σ_t deg(t) · Δ)` per slot;
+//! * `kernel` — the scatter-accumulate `delivery::DeliveryKernel`,
+//!   `O(Σ_t deg(t))` per slot.
+//!
+//! Both paths must produce the same delivery checksum (verified every
+//! run), and the end-to-end lock-step engine is timed as well.
+//!
+//! ```text
+//! slot_throughput [OUT.json]        # default: BENCH_sim.json
+//! ```
+
+use radio_graph::generators::{build_udg, udg_side_for_target_degree, uniform_square};
+use radio_graph::{Graph, NodeId};
+use radio_sim::delivery::{DeliveryKernel, ReferenceSweep};
+use radio_sim::rng::node_rng;
+use radio_sim::{run_lockstep, Behavior, RadioProtocol, SimConfig, Slot};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Per-slot transmission probability used for the delivery micro loop —
+/// dense enough that most listeners are touched every slot.
+const TX_P: f64 = 0.1;
+/// Micro-loop slot count per workload and path.
+const MICRO_SLOTS: usize = 300;
+/// End-to-end lock-step slot budget per workload.
+const E2E_SLOTS: Slot = 1_500;
+
+/// A never-deciding beacon: sustained per-slot load for the end-to-end
+/// engine measurement.
+struct Beacon {
+    p: f64,
+}
+
+impl RadioProtocol for Beacon {
+    type Message = u32;
+
+    fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+        Behavior::Transmit {
+            p: self.p,
+            until: None,
+        }
+    }
+
+    fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+        unreachable!("Beacon sets no deadline")
+    }
+
+    fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+        0
+    }
+
+    fn on_receive(&mut self, _now: Slot, _msg: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+        None
+    }
+
+    fn is_decided(&self) -> bool {
+        false
+    }
+}
+
+/// Pre-drawn transmitter sets, identical for both timed paths.
+fn draw_schedule(n: usize, slots: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    let mut rng = node_rng(seed, 0xBE7C);
+    (0..slots)
+        .map(|_| (0..n as NodeId).filter(|_| rng.gen_bool(TX_P)).collect())
+        .collect()
+}
+
+/// Folds one delivery outcome into a checksum (order-sensitive, so the
+/// two paths must also agree on touched-listener order).
+#[inline]
+fn fold(acc: u64, listener: NodeId, sender: Option<NodeId>) -> u64 {
+    let s = sender.map_or(u64::MAX, u64::from);
+    acc.wrapping_mul(0x100_0000_01B3)
+        .wrapping_add(u64::from(listener) ^ s)
+}
+
+fn time_reference(graph: &Graph, schedule: &[Vec<NodeId>]) -> (f64, u64) {
+    let mut sweep = ReferenceSweep::new(graph.len());
+    let mut out: Vec<(NodeId, Option<NodeId>)> = Vec::new();
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for transmitters in schedule {
+        sweep.begin_slot();
+        for &t in transmitters {
+            sweep.transmit(t);
+        }
+        out.clear();
+        sweep.sweep(graph, &mut out);
+        for &(u, s) in &out {
+            checksum = fold(checksum, u, s);
+        }
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn time_kernel(graph: &Graph, schedule: &[Vec<NodeId>]) -> (f64, u64) {
+    let mut kernel = DeliveryKernel::new(graph.len());
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for transmitters in schedule {
+        kernel.begin_slot();
+        for &t in transmitters {
+            kernel.transmit(graph, t);
+        }
+        for &u in kernel.touched() {
+            checksum = fold(checksum, u, kernel.unique_sender(u));
+        }
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn time_lockstep(graph: &Graph, delta: usize) -> f64 {
+    let n = graph.len();
+    let protos: Vec<Beacon> = (0..n)
+        .map(|_| Beacon {
+            p: (1.0 / delta as f64).max(1e-3),
+        })
+        .collect();
+    let cfg = SimConfig {
+        max_slots: E2E_SLOTS,
+    };
+    let start = Instant::now();
+    let out = run_lockstep(graph, &vec![0; n], protos, 7, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    (out.slots_run + 1) as f64 / secs
+}
+
+struct Row {
+    n: usize,
+    target_delta: usize,
+    measured_delta: usize,
+    reference_sps: f64,
+    kernel_sps: f64,
+    speedup: f64,
+    lockstep_sps: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &[256usize, 1024] {
+        for &target_delta in &[16usize, 64, 128] {
+            let mut rng = node_rng(0xC0FFEE ^ n as u64, target_delta as u32);
+            let side = udg_side_for_target_degree(n, target_delta as f64);
+            let points = uniform_square(n, side, &mut rng);
+            let graph = build_udg(&points, 1.0);
+            let measured_delta = graph.max_closed_degree();
+
+            let schedule = draw_schedule(n, MICRO_SLOTS, 42);
+            // Untimed warm-up pass for each path.
+            let _ = time_kernel(&graph, &schedule[..10.min(schedule.len())]);
+            let _ = time_reference(&graph, &schedule[..10.min(schedule.len())]);
+            let (ref_secs, ref_sum) = time_reference(&graph, &schedule);
+            let (ker_secs, ker_sum) = time_kernel(&graph, &schedule);
+            assert_eq!(
+                ref_sum, ker_sum,
+                "kernel and reference disagree on n={n} Δ*={target_delta}"
+            );
+
+            let reference_sps = MICRO_SLOTS as f64 / ref_secs;
+            let kernel_sps = MICRO_SLOTS as f64 / ker_secs;
+            let row = Row {
+                n,
+                target_delta,
+                measured_delta,
+                reference_sps,
+                kernel_sps,
+                speedup: kernel_sps / reference_sps,
+                lockstep_sps: time_lockstep(&graph, measured_delta),
+            };
+            println!(
+                "n={:5} Δ*={:3} (measured {:3}): reference {:>12.0} slots/s, kernel {:>12.0} slots/s, {:5.1}x, lockstep e2e {:>10.0} slots/s",
+                row.n,
+                row.target_delta,
+                row.measured_delta,
+                row.reference_sps,
+                row.kernel_sps,
+                row.speedup,
+                row.lockstep_sps,
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"slot_throughput\",\n");
+    let _ = writeln!(json, "  \"tx_probability\": {TX_P},");
+    let _ = writeln!(json, "  \"micro_slots\": {MICRO_SLOTS},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"target_delta\": {}, \"measured_delta\": {}, \"reference_slots_per_sec\": {:.1}, \"kernel_slots_per_sec\": {:.1}, \"speedup\": {:.2}, \"lockstep_slots_per_sec\": {:.1}}}",
+            r.n,
+            r.target_delta,
+            r.measured_delta,
+            r.reference_sps,
+            r.kernel_sps,
+            r.speedup,
+            r.lockstep_sps,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+
+    // The refactor's reason to exist: the dense workloads must beat the
+    // pre-change kernel by a wide margin.
+    for r in rows.iter().filter(|r| r.target_delta == 128) {
+        assert!(
+            r.speedup >= 2.0,
+            "kernel speedup {:.2}x < 2x on n={} Δ*=128",
+            r.speedup,
+            r.n
+        );
+    }
+}

@@ -16,12 +16,24 @@ use urn_coloring::ResetPolicy;
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let mut t = Table::new(
         "Ablation · counter reset policies (paper's χ/critical-range vs naive schemes)",
-        &["policy", "runs", "valid", "finished", "mean T̄", "mean maxT", "mean resets/node"],
+        &[
+            "policy",
+            "runs",
+            "valid",
+            "finished",
+            "mean T̄",
+            "mean maxT",
+            "mean resets/node",
+        ],
     );
     let n = if opts.quick { 80 } else { 160 };
     // Dense: high contention is where the mechanisms differ.
     let w = udg_workload(n, 20.0, 0xAB);
-    for policy in [ResetPolicy::Paper, ResetPolicy::NoCompetitorList, ResetPolicy::AlwaysReset] {
+    for policy in [
+        ResetPolicy::Paper,
+        ResetPolicy::NoCompetitorList,
+        ResetPolicy::AlwaysReset,
+    ] {
         let mut params = w.params();
         params.reset_policy = policy;
         // Cap runtime well above the paper policy's worst case but far
@@ -32,8 +44,10 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             &w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(n, &mut node_rng(seed, 61))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n, &mut node_rng(seed, 61))
             },
             Engine::Event,
             opts,
@@ -57,7 +71,13 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     // threshold undisturbed, and duplicate an in-use color.
     let mut a = Table::new(
         "Ablation · announce window (Alg. 3 line 3: decided nodes must keep transmitting)",
-        &["announce window", "wake pattern", "runs", "valid", "mean sent/node"],
+        &[
+            "announce window",
+            "wake pattern",
+            "runs",
+            "valid",
+            "mean sent/node",
+        ],
     );
     let w2 = udg_workload(if opts.quick { 64 } else { 128 }, 10.0, 0xAB2);
     let base = w2.params();
@@ -71,15 +91,20 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         ("8·threshold", Some(8 * threshold)),
         ("threshold/2", Some(threshold / 2)),
     ] {
-        for (pname, straggle) in [("all within window", false), ("⅛ very late stragglers", true)] {
+        for (pname, straggle) in [
+            ("all within window", false),
+            ("⅛ very late stragglers", true),
+        ] {
             let mut params = base;
             params.announce_slots = announce;
             let rs = run_many(
                 &w2,
                 params,
                 |seed| {
-                    let mut wake = WakePattern::UniformWindow { window: params.waiting_slots() }
-                        .generate(n2, &mut node_rng(seed, 62));
+                    let mut wake = WakePattern::UniformWindow {
+                        window: params.waiting_slots(),
+                    }
+                    .generate(n2, &mut node_rng(seed, 62));
                     if straggle {
                         // Every 8th node wakes after the windows closed.
                         for (v, w) in wake.iter_mut().enumerate() {

@@ -13,7 +13,18 @@ use radio_sim::{Engine, WakePattern};
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E1 · Theorem 2: correctness across topologies and wake-up patterns",
-        &["topology", "n", "Δ", "κ₂", "pattern", "runs", "valid", "theorems", "mean colors", "mean T̄"],
+        &[
+            "topology",
+            "n",
+            "Δ",
+            "κ₂",
+            "pattern",
+            "runs",
+            "valid",
+            "theorems",
+            "mean colors",
+            "mean T̄",
+        ],
     );
 
     let sizes: &[usize] = if opts.quick { &[64] } else { &[64, 128, 256] };
@@ -27,7 +38,11 @@ pub fn run(opts: &ExpOpts) -> Table {
         let n = if opts.quick { 64 } else { 128 };
         let p = 7.0 / (n as f64 - 1.0);
         let mut rng = node_rng(7, 1);
-        workloads.push(Workload::from_graph(format!("gnp(n={n})"), gnp(n, p, &mut rng), None));
+        workloads.push(Workload::from_graph(
+            format!("gnp(n={n})"),
+            gnp(n, p, &mut rng),
+            None,
+        ));
     }
     // UDG + walls (BIG of Fig. 1).
     {
@@ -49,8 +64,18 @@ pub fn run(opts: &ExpOpts) -> Table {
         let patterns = [
             ("sync", WakePattern::Synchronous),
             ("uniform", WakePattern::UniformWindow { window }),
-            ("sequential", WakePattern::Sequential { gap: params.serve_slots() * 4 }),
-            ("poisson", WakePattern::Poisson { mean_gap: params.waiting_slots() as f64 / 8.0 }),
+            (
+                "sequential",
+                WakePattern::Sequential {
+                    gap: params.serve_slots() * 4,
+                },
+            ),
+            (
+                "poisson",
+                WakePattern::Poisson {
+                    mean_gap: params.waiting_slots() as f64 / 8.0,
+                },
+            ),
         ];
         for (pname, pattern) in patterns {
             let n = w.n();

@@ -6,21 +6,35 @@ use super::{mean_of, run_many, slot_cap, ExpOpts};
 use crate::stats::{linear_fit, power_fit};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
-use radio_sim::{Engine, WakePattern};
 use radio_sim::rng::node_rng;
+use radio_sim::{Engine, WakePattern};
 
 /// Runs E2 and returns its tables (Δ sweep, n sweep, fit summary).
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let mut t_delta = Table::new(
         "E2a · T vs Δ at fixed n (expect ~linear; Theorem 5 with κ₂ ∈ O(1))",
-        &["n", "Δ (measured)", "runs", "mean T̄", "mean maxT", "T̄/(Δ·log n)"],
+        &[
+            "n",
+            "Δ (measured)",
+            "runs",
+            "mean T̄",
+            "mean maxT",
+            "T̄/(Δ·log n)",
+        ],
     );
     let n_fixed = if opts.quick { 96 } else { 256 };
-    let deltas: &[f64] = if opts.quick { &[6.0, 12.0] } else { &[6.0, 10.0, 16.0, 24.0, 32.0] };
+    let deltas: &[f64] = if opts.quick {
+        &[6.0, 12.0]
+    } else {
+        &[6.0, 10.0, 16.0, 24.0, 32.0]
+    };
     // κ₂ is a constant of the UDG family; fix κ̂₂ across the sweep so
     // the algorithm's κ₂-scaled constants don't drift with density.
-    let workloads: Vec<_> =
-        deltas.iter().enumerate().map(|(i, &d)| udg_workload(n_fixed, d, 0xE2 + i as u64)).collect();
+    let workloads: Vec<_> = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| udg_workload(n_fixed, d, 0xE2 + i as u64))
+        .collect();
     let kappa2 = workloads.iter().map(|w| w.kappa.k2).max().unwrap_or(2);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -30,8 +44,10 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(n_fixed, &mut node_rng(seed, 5))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n_fixed, &mut node_rng(seed, 5))
             },
             Engine::Event,
             opts,
@@ -56,9 +72,20 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
 
     let mut t_n = Table::new(
         "E2b · T vs n at fixed Δ target (expect ~log n)",
-        &["n", "Δ (measured)", "runs", "mean T̄", "mean maxT", "T̄/(Δ·log n)"],
+        &[
+            "n",
+            "Δ (measured)",
+            "runs",
+            "mean T̄",
+            "mean maxT",
+            "T̄/(Δ·log n)",
+        ],
     );
-    let sizes: &[usize] = if opts.quick { &[64, 128] } else { &[64, 128, 256, 512, 1024] };
+    let sizes: &[usize] = if opts.quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
     let mut lx = Vec::new();
     let mut ly = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
@@ -68,8 +95,10 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             &w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(n, &mut node_rng(seed, 6))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n, &mut node_rng(seed, 6))
             },
             Engine::Event,
             opts,

@@ -14,10 +14,24 @@ use radio_sim::{Engine, WakePattern};
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E3 · Theorems 4/5: colors used vs the κ₂·Δ bound, greedy, and the clique lower bound",
-        &["n", "Δ", "κ₂", "κ₂·Δ bound", "mean span", "mean distinct", "≤bound", "greedy(SL)", "clique LB"],
+        &[
+            "n",
+            "Δ",
+            "κ₂",
+            "κ₂·Δ bound",
+            "mean span",
+            "mean distinct",
+            "≤bound",
+            "greedy(SL)",
+            "clique LB",
+        ],
     );
     let n = if opts.quick { 96 } else { 256 };
-    let deltas: &[f64] = if opts.quick { &[8.0] } else { &[6.0, 10.0, 16.0, 24.0] };
+    let deltas: &[f64] = if opts.quick {
+        &[8.0]
+    } else {
+        &[6.0, 10.0, 16.0, 24.0]
+    };
     for (i, &target) in deltas.iter().enumerate() {
         let w = udg_workload(n, target, 0xE3 + i as u64);
         let params = w.params();
@@ -25,15 +39,20 @@ pub fn run(opts: &ExpOpts) -> Table {
             &w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(n, &mut node_rng(seed, 7))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n, &mut node_rng(seed, 7))
             },
             Engine::Event,
             opts,
             0xE3A + i as u64,
             slot_cap(&params),
         );
-        let greedy = check_coloring(&w.graph, &greedy_coloring(&w.graph, GreedyOrder::SmallestLast));
+        let greedy = check_coloring(
+            &w.graph,
+            &greedy_coloring(&w.graph, GreedyOrder::SmallestLast),
+        );
         t.row(vec![
             n.to_string(),
             w.delta.to_string(),
@@ -41,7 +60,9 @@ pub fn run(opts: &ExpOpts) -> Table {
             (w.kappa.k2 * w.delta).to_string(),
             fnum(mean_of(&rs, |r| r.palette_span as f64)),
             fnum(mean_of(&rs, |r| r.distinct_colors as f64)),
-            fnum(fraction(&rs, |r| u64::from(r.palette_span) <= (w.kappa.k2 * w.delta) as u64)),
+            fnum(fraction(&rs, |r| {
+                u64::from(r.palette_span) <= (w.kappa.k2 * w.delta) as u64
+            })),
             greedy.distinct_colors.to_string(),
             clique_lower_bound(&w.graph).to_string(),
         ]);

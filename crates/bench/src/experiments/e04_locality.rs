@@ -22,12 +22,16 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let graph = build_udg(&pts, 1.0);
     let w = Workload::from_graph("core+halo", graph, Some(pts));
     let params = w.params();
-    let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-        .generate(w.n(), &mut rng);
+    let wake = WakePattern::UniformWindow {
+        window: 2 * params.waiting_slots(),
+    }
+    .generate(w.n(), &mut rng);
 
     // One detailed run for the per-node scatter...
     let mut config = ColoringConfig::new(params);
-    config.sim = radio_sim::SimConfig { max_slots: slot_cap(&params) };
+    config.sim = radio_sim::SimConfig {
+        max_slots: slot_cap(&params),
+    };
     let out = color_graph(&w.graph, &wake, &config, 0xE4);
     assert!(out.all_decided, "E4 run did not converge");
     let pts_loc = locality_points(&w.graph, &out.colors);
@@ -38,12 +42,22 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let buckets = 5usize;
     let mut t = Table::new(
         "E4 · Theorem 4: highest nearby color φ_v vs local density θ_v (dense core, sparse halo)",
-        &["θ bucket", "nodes", "mean φ", "max φ", "κ₂·θ bound (min)", "max φ/(κ₂θ)"],
+        &[
+            "θ bucket",
+            "nodes",
+            "mean φ",
+            "max φ",
+            "κ₂·θ bound (min)",
+            "max φ/(κ₂θ)",
+        ],
     );
     for b in 0..buckets {
         let lo = 1 + b as u32 * max_theta / buckets as u32;
         let hi = 1 + (b as u32 + 1) * max_theta / buckets as u32;
-        let sel: Vec<_> = pts_loc.iter().filter(|p| p.theta >= lo && p.theta < hi).collect();
+        let sel: Vec<_> = pts_loc
+            .iter()
+            .filter(|p| p.theta >= lo && p.theta < hi)
+            .collect();
         if sel.is_empty() {
             continue;
         }
@@ -68,10 +82,16 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         "E4b · locality bound across seeds",
         &["seed", "valid", "max φ/(κ₂θ)", "global span"],
     );
-    for seed in opts.seed_list(0xE4B).iter().take(if opts.quick { 3 } else { 8 }) {
+    for seed in opts
+        .seed_list(0xE4B)
+        .iter()
+        .take(if opts.quick { 3 } else { 8 })
+    {
         let r = run_once(&w, params, &wake, Engine::Event, *seed, slot_cap(&params));
         let mut cfg2 = ColoringConfig::new(params);
-        cfg2.sim = radio_sim::SimConfig { max_slots: slot_cap(&params) };
+        cfg2.sim = radio_sim::SimConfig {
+            max_slots: slot_cap(&params),
+        };
         let o = color_graph(&w.graph, &wake, &cfg2, *seed);
         let worst = locality_points(&w.graph, &o.colors)
             .iter()

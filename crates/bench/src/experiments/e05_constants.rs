@@ -36,8 +36,10 @@ pub fn run(opts: &ExpOpts) -> Table {
             &w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots().max(64) }
-                    .generate(n, &mut node_rng(seed, 11))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots().max(64),
+                }
+                .generate(n, &mut node_rng(seed, 11))
             },
             Engine::Event,
             opts,

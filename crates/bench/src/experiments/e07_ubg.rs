@@ -12,14 +12,26 @@ use radio_sim::{Engine, WakePattern};
 use rand::Rng;
 
 fn random_points<const D: usize>(n: usize, side: f64, rng: &mut impl Rng) -> Vec<PointN<D>> {
-    (0..n).map(|_| PointN::new(std::array::from_fn(|_| rng.gen::<f64>() * side))).collect()
+    (0..n)
+        .map(|_| PointN::new(std::array::from_fn(|_| rng.gen::<f64>() * side)))
+        .collect()
 }
 
 /// Runs E7 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E7 · Lemma 9/Corollary 3: unit ball graphs — measured κ₂ vs the 4^ρ bound",
-        &["metric", "ρ", "4^ρ", "n", "Δ", "κ₂ measured", "κ₂ ≤ 4^ρ", "runs", "valid"],
+        &[
+            "metric",
+            "ρ",
+            "4^ρ",
+            "n",
+            "Δ",
+            "κ₂ measured",
+            "κ₂ ≤ 4^ρ",
+            "runs",
+            "valid",
+        ],
     );
     let n = if opts.quick { 60 } else { 120 };
     let mut rng = node_rng(0xE7, 0);
@@ -31,21 +43,33 @@ pub fn run(opts: &ExpOpts) -> Table {
         let pts = random_points::<1>(n, n as f64 / 6.0, &mut rng);
         let m = ChebyshevN::<1>;
         let g = build_ubg(&pts, &m, 1.0);
-        cases.push(("ℓ∞, D=1".into(), m.doubling_dimension(), Workload::from_graph("ubg-1d", g, None)));
+        cases.push((
+            "ℓ∞, D=1".into(),
+            m.doubling_dimension(),
+            Workload::from_graph("ubg-1d", g, None),
+        ));
     }
     {
         let side = (n as f64 / 3.0).sqrt() * 1.6;
         let pts = random_points::<2>(n, side, &mut rng);
         let m = ChebyshevN::<2>;
         let g = build_ubg(&pts, &m, 1.0);
-        cases.push(("ℓ∞, D=2".into(), m.doubling_dimension(), Workload::from_graph("ubg-2d", g, None)));
+        cases.push((
+            "ℓ∞, D=2".into(),
+            m.doubling_dimension(),
+            Workload::from_graph("ubg-2d", g, None),
+        ));
     }
     {
         let side = (n as f64 / 2.0).cbrt() * 2.0;
         let pts = random_points::<3>(n, side, &mut rng);
         let m = ChebyshevN::<3>;
         let g = build_ubg(&pts, &m, 1.0);
-        cases.push(("ℓ∞, D=3".into(), m.doubling_dimension(), Workload::from_graph("ubg-3d", g, None)));
+        cases.push((
+            "ℓ∞, D=3".into(),
+            m.doubling_dimension(),
+            Workload::from_graph("ubg-3d", g, None),
+        ));
     }
     {
         // Snowflake doubles the doubling dimension: ρ = 2·2 = 4. Radius
@@ -69,8 +93,10 @@ pub fn run(opts: &ExpOpts) -> Table {
             w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(nn, &mut node_rng(seed, 13))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(nn, &mut node_rng(seed, 13))
             },
             Engine::Event,
             opts,

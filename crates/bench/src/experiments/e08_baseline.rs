@@ -42,10 +42,23 @@ struct SvResult {
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let mut t = Table::new(
         "E8 · MW vs select-and-verify stand-in vs the Δ³·log n bound attributed to [2]",
-        &["n", "Δ", "MW T̄", "MW valid", "SV T̄", "SV valid", "[2]-bound playback", "MW < playback"],
+        &[
+            "n",
+            "Δ",
+            "MW T̄",
+            "MW valid",
+            "SV T̄",
+            "SV valid",
+            "[2]-bound playback",
+            "MW < playback",
+        ],
     );
     let n = if opts.quick { 96 } else { 192 };
-    let deltas: &[f64] = if opts.quick { &[6.0, 12.0] } else { &[6.0, 10.0, 16.0, 24.0, 32.0] };
+    let deltas: &[f64] = if opts.quick {
+        &[6.0, 12.0]
+    } else {
+        &[6.0, 10.0, 16.0, 24.0, 32.0]
+    };
     let mut rows: Vec<(f64, f64, f64, SvStats)> = Vec::new();
     struct SvStats {
         valid: f64,
@@ -57,8 +70,11 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     }
 
     // Fix κ̂₂ across the sweep (model constant of the UDG family).
-    let workloads: Vec<_> =
-        deltas.iter().enumerate().map(|(i, &d)| udg_workload(n, d, 0xE8 + i as u64)).collect();
+    let workloads: Vec<_> = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| udg_workload(n, d, 0xE8 + i as u64))
+        .collect();
     let kappa2 = workloads.iter().map(|w| w.kappa.k2).max().unwrap_or(2);
     for (i, w) in workloads.iter().enumerate() {
         let params = w.params_with_kappa(kappa2);
@@ -66,8 +82,10 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(n, &mut node_rng(seed, 17))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n, &mut node_rng(seed, 17))
             },
             Engine::Event,
             opts,
@@ -78,17 +96,34 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         let seeds = opts.seed_list(0xE8B + i as u64);
         let graph = &w.graph;
         let sv: Vec<SvResult> = run_seeds(&seeds, opts.threads, |seed| {
-            let wake = WakePattern::UniformWindow { window: 2 * vp.warmup_slots() }
-                .generate(n, &mut node_rng(seed, 18));
+            let wake = WakePattern::UniformWindow {
+                window: 2 * vp.warmup_slots(),
+            }
+            .generate(n, &mut node_rng(seed, 18));
             let protos: Vec<VerifyNode> =
                 (0..n).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
-            let out = run_event(graph, &wake, protos, seed, &SimConfig { max_slots: 100_000_000 });
+            let out = run_event(
+                graph,
+                &wake,
+                protos,
+                seed,
+                &SimConfig {
+                    max_slots: 100_000_000,
+                },
+            );
             let colors: Vec<Option<u32>> = out.protocols.iter().map(VerifyNode::color).collect();
             let report = check_coloring(graph, &colors);
             let mean_t = {
-                let ts: Vec<u64> =
-                    out.stats.iter().filter_map(radio_sim::NodeStats::decision_time).collect();
-                if ts.is_empty() { f64::NAN } else { ts.iter().sum::<u64>() as f64 / ts.len() as f64 }
+                let ts: Vec<u64> = out
+                    .stats
+                    .iter()
+                    .filter_map(radio_sim::NodeStats::decision_time)
+                    .collect();
+                if ts.is_empty() {
+                    f64::NAN
+                } else {
+                    ts.iter().sum::<u64>() as f64 / ts.len() as f64
+                }
             };
             SvResult {
                 valid: out.all_decided && report.valid(),
@@ -153,14 +188,25 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         fnum(r2_sv),
         "stronger than [2]; see DESIGN.md substitution".into(),
     ]);
-    fit.row(vec!["[2] as stated in the paper".into(), "3".into(), "—".into(), "O(Δ³ log n)".into()]);
+    fit.row(vec![
+        "[2] as stated in the paper".into(),
+        "3".into(),
+        "—".into(),
+        "O(Δ³ log n)".into(),
+    ]);
 
     let mut q = Table::new(
         "E8c · color counts per density (both O(Δ) palettes)",
         &["Δ", "MW span", "SV span", "MW distinct", "SV distinct"],
     );
     for (d, _, _, s) in &rows {
-        q.row(vec![fnum(*d), fnum(s.mw_span), fnum(s.span), fnum(s.mw_distinct), fnum(s.distinct)]);
+        q.row(vec![
+            fnum(*d),
+            fnum(s.mw_span),
+            fnum(s.span),
+            fnum(s.mw_distinct),
+            fnum(s.distinct),
+        ]);
     }
 
     // E8d: the *structural* advantage — locality. On a dense-core +
@@ -169,7 +215,12 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     // so sparse nodes are stuck with arbitrary high colors.
     let mut l = Table::new(
         "E8d · locality on dense-core/sparse-halo: mean φ_v among sparse nodes (θ_v ≤ 6)",
-        &["algorithm", "mean φ (sparse)", "max φ (sparse)", "global span"],
+        &[
+            "algorithm",
+            "mean φ (sparse)",
+            "max φ (sparse)",
+            "global span",
+        ],
     );
     {
         let mut rng = node_rng(0xE8D, 0);
@@ -178,14 +229,21 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         let g = radio_graph::generators::build_udg(&pts, 1.0);
         let hw = crate::workloads::Workload::from_graph("halo", g, Some(pts));
         let params = hw.params();
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(hw.n(), &mut node_rng(3, 19));
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(hw.n(), &mut node_rng(3, 19));
         let mut cfg = urn_coloring::ColoringConfig::new(params);
-        cfg.sim = SimConfig { max_slots: slot_cap(&params) };
+        cfg.sim = SimConfig {
+            max_slots: slot_cap(&params),
+        };
         let out = urn_coloring::color_graph(&hw.graph, &wake, &cfg, 3);
         let mw_pts = locality_points(&hw.graph, &out.colors);
-        let sparse_mw: Vec<f64> =
-            mw_pts.iter().filter(|p| p.theta <= 6).map(|p| p.phi as f64).collect();
+        let sparse_mw: Vec<f64> = mw_pts
+            .iter()
+            .filter(|p| p.theta <= 6)
+            .map(|p| p.phi as f64)
+            .collect();
         l.row(vec![
             "Moscibroda–Wattenhofer".into(),
             fnum(sparse_mw.iter().sum::<f64>() / sparse_mw.len().max(1) as f64),
@@ -193,14 +251,25 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             out.report.max_color.map_or(0, |c| c + 1).to_string(),
         ]);
         let vp = VerifyParams::new(hw.delta.max(2), hw.n());
-        let protos: Vec<VerifyNode> =
-            (0..hw.n()).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
-        let svo =
-            run_event(&hw.graph, &wake, protos, 3, &SimConfig { max_slots: 100_000_000 });
+        let protos: Vec<VerifyNode> = (0..hw.n())
+            .map(|v| VerifyNode::new(v as u64 + 1, vp))
+            .collect();
+        let svo = run_event(
+            &hw.graph,
+            &wake,
+            protos,
+            3,
+            &SimConfig {
+                max_slots: 100_000_000,
+            },
+        );
         let sv_colors: Vec<Option<u32>> = svo.protocols.iter().map(VerifyNode::color).collect();
         let sv_pts = locality_points(&hw.graph, &sv_colors);
-        let sparse_sv: Vec<f64> =
-            sv_pts.iter().filter(|p| p.theta <= 6).map(|p| p.phi as f64).collect();
+        let sparse_sv: Vec<f64> = sv_pts
+            .iter()
+            .filter(|p| p.theta <= 6)
+            .map(|p| p.phi as f64)
+            .collect();
         let sv_report = check_coloring(&hw.graph, &sv_colors);
         l.row(vec![
             "select-and-verify".into(),

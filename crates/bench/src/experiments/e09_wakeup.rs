@@ -15,7 +15,14 @@ type WakeGen = Box<dyn Fn(u64) -> Vec<u64> + Sync>;
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E9 · asynchronous wake-up robustness (same graph, every pattern)",
-        &["pattern", "runs", "valid", "mean T̄ (from own wake)", "mean max T", "mean resets"],
+        &[
+            "pattern",
+            "runs",
+            "valid",
+            "mean T̄ (from own wake)",
+            "mean max T",
+            "mean resets",
+        ],
     );
     let n = if opts.quick { 96 } else { 192 };
     let w = udg_workload(n, 10.0, 0xE9);
@@ -25,11 +32,37 @@ pub fn run(opts: &ExpOpts) -> Table {
     let points = w.points.clone().expect("UDG workload has points");
 
     let patterns: Vec<(&str, WakeGen)> = vec![
-        ("synchronous", Box::new(move |seed| WakePattern::Synchronous.generate(n, &mut node_rng(seed, 21)))),
-        ("uniform", Box::new(move |seed| WakePattern::UniformWindow { window }.generate(n, &mut node_rng(seed, 22)))),
-        ("sequential", Box::new(move |seed| WakePattern::Sequential { gap }.generate(n, &mut node_rng(seed, 23)))),
-        ("seq-shuffled", Box::new(move |seed| WakePattern::SequentialShuffled { gap }.generate(n, &mut node_rng(seed, 24)))),
-        ("poisson", Box::new(move |seed| WakePattern::Poisson { mean_gap: gap as f64 / 4.0 }.generate(n, &mut node_rng(seed, 25)))),
+        (
+            "synchronous",
+            Box::new(move |seed| WakePattern::Synchronous.generate(n, &mut node_rng(seed, 21))),
+        ),
+        (
+            "uniform",
+            Box::new(move |seed| {
+                WakePattern::UniformWindow { window }.generate(n, &mut node_rng(seed, 22))
+            }),
+        ),
+        (
+            "sequential",
+            Box::new(move |seed| {
+                WakePattern::Sequential { gap }.generate(n, &mut node_rng(seed, 23))
+            }),
+        ),
+        (
+            "seq-shuffled",
+            Box::new(move |seed| {
+                WakePattern::SequentialShuffled { gap }.generate(n, &mut node_rng(seed, 24))
+            }),
+        ),
+        (
+            "poisson",
+            Box::new(move |seed| {
+                WakePattern::Poisson {
+                    mean_gap: gap as f64 / 4.0,
+                }
+                .generate(n, &mut node_rng(seed, 25))
+            }),
+        ),
         ("wave", {
             let pts = points.clone();
             let speed = 1.0 / (params.waiting_slots() as f64 / 4.0);
@@ -38,7 +71,15 @@ pub fn run(opts: &ExpOpts) -> Table {
     ];
 
     for (name, wake_of) in &patterns {
-        let rs = run_many(&w, params, wake_of, Engine::Event, opts, 0xE9A, slot_cap(&params));
+        let rs = run_many(
+            &w,
+            params,
+            wake_of,
+            Engine::Event,
+            opts,
+            0xE9A,
+            slot_cap(&params),
+        );
         t.row(vec![
             name.to_string(),
             rs.len().to_string(),

@@ -15,14 +15,28 @@ use radio_sim::{Engine, WakePattern};
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E10 · BIG with obstacles: κ grows mildly with wall density; bounds track κ₂·Δ",
-        &["walls", "edges kept", "Δ", "κ₁", "κ₂", "runs", "valid", "mean span", "κ₂·Δ"],
+        &[
+            "walls",
+            "edges kept",
+            "Δ",
+            "κ₁",
+            "κ₂",
+            "runs",
+            "valid",
+            "mean span",
+            "κ₂·Δ",
+        ],
     );
     let n = if opts.quick { 80 } else { 160 };
     let mut rng = node_rng(0xE10, 0);
     let side = udg_side_for_target_degree(n, 12.0);
     let pts = uniform_square(n, side, &mut rng);
     let udg_edges = build_big(&pts, 1.0, &[]).num_edges().max(1);
-    let wall_counts: &[usize] = if opts.quick { &[0, 60] } else { &[0, 40, 120, 300] };
+    let wall_counts: &[usize] = if opts.quick {
+        &[0, 60]
+    } else {
+        &[0, 40, 120, 300]
+    };
     for (i, &count) in wall_counts.iter().enumerate() {
         let walls = random_walls(count, 0.8, side, &mut node_rng(0xE10 + 1, i as u32));
         let graph = build_big(&pts, 1.0, &walls);
@@ -32,8 +46,10 @@ pub fn run(opts: &ExpOpts) -> Table {
             &w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(n, &mut node_rng(seed, 31))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n, &mut node_rng(seed, 31))
             },
             Engine::Event,
             opts,

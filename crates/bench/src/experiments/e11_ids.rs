@@ -11,7 +11,13 @@ use radio_sim::rng::{has_duplicate_ids, node_rng, random_ids};
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E11 · random IDs from [1, n³]: collision probability vs the C(n,2)/n³ bound",
-        &["n", "trials", "collision rate", "bound C(n,2)/n³", "≈ 1/(2n)"],
+        &[
+            "n",
+            "trials",
+            "collision rate",
+            "bound C(n,2)/n³",
+            "≈ 1/(2n)",
+        ],
     );
     let trials: u64 = if opts.quick { 400 } else { 4000 };
     for (i, &n) in [16usize, 64, 256, 1024].iter().enumerate() {

@@ -21,10 +21,14 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let graph = build_udg(&pts, 1.0);
     let w = Workload::from_graph("core+halo", graph, Some(pts.clone()));
     let params = w.params();
-    let wake =
-        WakePattern::UniformWindow { window: 2 * params.waiting_slots() }.generate(w.n(), &mut rng);
+    let wake = WakePattern::UniformWindow {
+        window: 2 * params.waiting_slots(),
+    }
+    .generate(w.n(), &mut rng);
     let mut config = ColoringConfig::new(params);
-    config.sim = SimConfig { max_slots: slot_cap(&params) };
+    config.sim = SimConfig {
+        max_slots: slot_cap(&params),
+    };
     let out = color_graph(&w.graph, &wake, &config, 0xE12);
     assert!(out.all_decided, "E12 run did not converge");
 
@@ -50,8 +54,9 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     ]);
 
     // Locality payoff: local bandwidth in the sparse halo vs the core.
-    let core_bw: Vec<f64> =
-        (0..n_core).map(|v| sched.local_bandwidth(&w.graph, v as u32)).collect();
+    let core_bw: Vec<f64> = (0..n_core)
+        .map(|v| sched.local_bandwidth(&w.graph, v as u32))
+        .collect();
     let halo_bw: Vec<f64> = (n_core..n_core + n_halo)
         .filter(|&v| w.graph.degree(v as u32) <= 4)
         .map(|v| sched.local_bandwidth(&w.graph, v as u32))
@@ -89,6 +94,11 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         "E12b · energy proxy: transmissions per node during initialization",
         &["mean", "median", "p95", "max"],
     );
-    e.row(vec![fnum(ss.mean), fnum(ss.median), fnum(ss.p95), fnum(ss.max)]);
+    e.row(vec![
+        fnum(ss.mean),
+        fnum(ss.median),
+        fnum(ss.p95),
+        fnum(ss.max),
+    ]);
     vec![t, e]
 }

@@ -21,10 +21,14 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let mut rerequests = 0u64;
     let runs = if opts.quick { 3 } else { 10 };
     for seed in 0..runs {
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(n, &mut node_rng(seed, 41));
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(n, &mut node_rng(seed, 41));
         let mut config = ColoringConfig::new(params);
-        config.sim = SimConfig { max_slots: slot_cap(&params) };
+        config.sim = SimConfig {
+            max_slots: slot_cap(&params),
+        };
         let out = color_graph(&w.graph, &wake, &config, seed);
         assert!(out.all_decided, "E13 run did not converge");
         for tr in &out.traces {
@@ -48,7 +52,11 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let total: u64 = hist.iter().sum();
     for (s, &count) in hist.iter().enumerate() {
         if count > 0 {
-            t.row(vec![s.to_string(), count.to_string(), fnum(count as f64 / total as f64)]);
+            t.row(vec![
+                s.to_string(),
+                count.to_string(),
+                fnum(count as f64 / total as f64),
+            ]);
         }
     }
     let mut b = Table::new("E13b · bound check", &["metric", "value", "bound"]);

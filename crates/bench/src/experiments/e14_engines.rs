@@ -9,14 +9,22 @@ use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
 use radio_sim::{Engine, SimConfig, WakePattern};
-use urn_coloring::{color_graph, ColoringConfig};
 use std::time::Instant;
+use urn_coloring::{color_graph, ColoringConfig};
 
 /// Runs E14 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E14 · lock-step vs event engine: identical semantics, different cost",
-        &["engine", "runs", "valid", "mean T̄", "mean maxT", "mean span", "wall-clock (s)"],
+        &[
+            "engine",
+            "runs",
+            "valid",
+            "mean T̄",
+            "mean maxT",
+            "mean span",
+            "wall-clock (s)",
+        ],
     );
     let n = if opts.quick { 64 } else { 128 };
     let w = udg_workload(n, 10.0, 0xE14);
@@ -26,13 +34,22 @@ pub fn run(opts: &ExpOpts) -> Table {
     for engine in [Engine::Lockstep, Engine::Event] {
         let mut ts: Vec<f64> = Vec::new();
         for seed in opts.seed_list(0xE14B) {
-            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                .generate(n, &mut node_rng(seed, 52));
+            let wake = WakePattern::UniformWindow {
+                window: 2 * params.waiting_slots(),
+            }
+            .generate(n, &mut node_rng(seed, 52));
             let mut config = ColoringConfig::new(params);
             config.engine = engine;
-            config.sim = SimConfig { max_slots: slot_cap(&params) };
+            config.sim = SimConfig {
+                max_slots: slot_cap(&params),
+            };
             let out = color_graph(&w.graph, &wake, &config, seed);
-            ts.extend(out.stats.iter().filter_map(radio_sim::NodeStats::decision_time).map(|t| t as f64));
+            ts.extend(
+                out.stats
+                    .iter()
+                    .filter_map(radio_sim::NodeStats::decision_time)
+                    .map(|t| t as f64),
+            );
         }
         samples.push(ts);
         let start = Instant::now();
@@ -40,8 +57,10 @@ pub fn run(opts: &ExpOpts) -> Table {
             &w,
             params,
             |seed| {
-                WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                    .generate(n, &mut node_rng(seed, 51))
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n, &mut node_rng(seed, 51))
             },
             engine,
             opts,
@@ -67,7 +86,11 @@ pub fn run(opts: &ExpOpts) -> Table {
     t.row(vec![
         format!("KS test: D={} vs crit(α=0.01)={}", fnum(d), fnum(crit)),
         (samples[0].len() + samples[1].len()).to_string(),
-        if d < crit { "same distribution ✓".into() } else { "DIVERGED ✗".into() },
+        if d < crit {
+            "same distribution ✓".into()
+        } else {
+            "DIVERGED ✗".into()
+        },
         "—".into(),
         "—".into(),
         "—".into(),

@@ -21,23 +21,37 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     // E15a: estimator accuracy across densities.
     let mut acc = Table::new(
         "E15a · degree estimation accuracy (decay probing, factor-2 method)",
-        &["Δ target", "true d̄ (open)", "median d̂/d", "p95 d̂/d", "within 4×", "probe slots"],
+        &[
+            "Δ target",
+            "true d̄ (open)",
+            "median d̂/d",
+            "p95 d̂/d",
+            "within 4×",
+            "probe slots",
+        ],
     );
-    let densities: &[f64] = if opts.quick { &[8.0] } else { &[6.0, 12.0, 24.0] };
+    let densities: &[f64] = if opts.quick {
+        &[8.0]
+    } else {
+        &[6.0, 12.0, 24.0]
+    };
     for (i, &target) in densities.iter().enumerate() {
         let w = udg_workload(n, target, 0xE15 + i as u64);
         let est = EstimatorParams::new(n, 4 * w.delta.max(4));
         let graph = w.graph.clone();
         let seeds = opts.seed_list(0xE15A + i as u64);
         let ratios: Vec<Vec<f64>> = run_seeds(&seeds, opts.threads, |seed| {
-            let protos: Vec<DegreeEstimator> =
-                (0..graph.len()).map(|_| DegreeEstimator::new(est)).collect();
+            let protos: Vec<DegreeEstimator> = (0..graph.len())
+                .map(|_| DegreeEstimator::new(est))
+                .collect();
             let out = run_event(
                 &graph,
                 &vec![0; graph.len()],
                 protos,
                 seed,
-                &SimConfig { max_slots: 10_000_000 },
+                &SimConfig {
+                    max_slots: 10_000_000,
+                },
             );
             assert!(out.all_decided);
             out.protocols
@@ -51,10 +65,10 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         let mut sorted = flat.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let s = summarize(&flat);
-        let within = flat.iter().filter(|&&r| (0.25..=4.0).contains(&r)).count() as f64
-            / flat.len() as f64;
-        let mean_true = w.graph.nodes().map(|v| w.graph.degree(v)).sum::<usize>() as f64
-            / w.n() as f64;
+        let within =
+            flat.iter().filter(|&&r| (0.25..=4.0).contains(&r)).count() as f64 / flat.len() as f64;
+        let mean_true =
+            w.graph.nodes().map(|v| w.graph.degree(v)).sum::<usize>() as f64 / w.n() as f64;
         acc.row(vec![
             fnum(target),
             fnum(mean_true),
@@ -69,7 +83,14 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     // correct without any provisioned Δ̂?
     let mut pipe = Table::new(
         "E15b · estimate-then-color pipeline (per-node local Δ̂, no global bound)",
-        &["n", "runs", "valid", "mean colors", "mean local Δ̂", "provisioned Δ"],
+        &[
+            "n",
+            "runs",
+            "valid",
+            "mean colors",
+            "mean local Δ̂",
+            "provisioned Δ",
+        ],
     );
     let w = udg_workload(n, 10.0, 0xE15B);
     let base = w.params(); // κ̂₂ and n̂ kept; Δ̂ replaced per node
@@ -77,12 +98,22 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let graph = w.graph.clone();
     let seeds = opts.seed_list(0xE15C);
     let results: Vec<(bool, usize, f64)> = run_seeds(&seeds, opts.threads, |seed| {
-        let wake = WakePattern::UniformWindow { window: est.total_slots() / 2 }
-            .generate(graph.len(), &mut node_rng(seed, 71));
+        let wake = WakePattern::UniformWindow {
+            window: est.total_slots() / 2,
+        }
+        .generate(graph.len(), &mut node_rng(seed, 71));
         let protos: Vec<AdaptiveNode> = (0..graph.len())
             .map(|v| AdaptiveNode::new(v as u64 + 1, base, est))
             .collect();
-        let out = run_event(&graph, &wake, protos, seed, &SimConfig { max_slots: slot_cap(&base) });
+        let out = run_event(
+            &graph,
+            &wake,
+            protos,
+            seed,
+            &SimConfig {
+                max_slots: slot_cap(&base),
+            },
+        );
         let colors: Vec<Option<u32>> = out.protocols.iter().map(AdaptiveNode::color).collect();
         let report = check_coloring(&graph, &colors);
         let mean_delta = out
@@ -91,7 +122,11 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             .filter_map(AdaptiveNode::local_delta)
             .sum::<usize>() as f64
             / graph.len() as f64;
-        (out.all_decided && report.valid(), report.distinct_colors, mean_delta)
+        (
+            out.all_decided && report.valid(),
+            report.distinct_colors,
+            mean_delta,
+        )
     });
     pipe.row(vec![
         n.to_string(),

@@ -28,23 +28,38 @@ pub fn run(opts: &ExpOpts) -> Table {
     let seeds = opts.seed_list(0xE16A);
 
     let mut aligned_mean = f64::NAN;
-    for (label, jitter) in [("aligned", false), ("jittered (random ½-slot phases)", true)] {
+    for (label, jitter) in [
+        ("aligned", false),
+        ("jittered (random ½-slot phases)", true),
+    ] {
         let results: Vec<(bool, f64, f64)> = run_seeds(&seeds, opts.threads, |seed| {
-            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                .generate(n, &mut node_rng(seed, 81));
-            let protos: Vec<ColoringNode> =
-                (0..n).map(|v| ColoringNode::new(v as u64 + 1, params)).collect();
+            let wake = WakePattern::UniformWindow {
+                window: 2 * params.waiting_slots(),
+            }
+            .generate(n, &mut node_rng(seed, 81));
+            let protos: Vec<ColoringNode> = (0..n)
+                .map(|v| ColoringNode::new(v as u64 + 1, params))
+                .collect();
             let out = if jitter {
                 let phases = random_phases(n, seed);
-                run_jittered(&graph, &wake, protos, &phases, seed, &SimConfig { max_slots: cap })
+                run_jittered(
+                    &graph,
+                    &wake,
+                    protos,
+                    &phases,
+                    seed,
+                    &SimConfig { max_slots: cap },
+                )
             } else {
                 run_lockstep(&graph, &wake, protos, seed, &SimConfig { max_slots: cap })
             };
-            let colors: Vec<Option<u32>> =
-                out.protocols.iter().map(ColoringNode::color).collect();
+            let colors: Vec<Option<u32>> = out.protocols.iter().map(ColoringNode::color).collect();
             let report = check_coloring(&graph, &colors);
-            let ts: Vec<u64> =
-                out.stats.iter().filter_map(NodeStats::decision_time).collect();
+            let ts: Vec<u64> = out
+                .stats
+                .iter()
+                .filter_map(NodeStats::decision_time)
+                .collect();
             let mean_t = if ts.is_empty() {
                 f64::NAN
             } else {

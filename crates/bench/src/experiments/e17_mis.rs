@@ -18,7 +18,15 @@ use radio_sim::{Engine, NodeStats, WakePattern};
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E17 · MIS from scratch [21] vs the full coloring: the price of \"one step further\"",
-        &["protocol", "runs", "correct", "mean T̄", "mean maxT", "mean sent/node", "structure"],
+        &[
+            "protocol",
+            "runs",
+            "correct",
+            "mean T̄",
+            "mean maxT",
+            "mean sent/node",
+            "structure",
+        ],
     );
     let n = if opts.quick { 96 } else { 192 };
     let w = udg_workload(n, 12.0, 0xE17);
@@ -29,13 +37,22 @@ pub fn run(opts: &ExpOpts) -> Table {
     let graph = w.graph.clone();
     let seeds = opts.seed_list(0xE17A);
     let mis_runs: Vec<(bool, f64, f64, f64)> = run_seeds(&seeds, opts.threads, |seed| {
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(n, &mut node_rng(seed, 91));
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(n, &mut node_rng(seed, 91));
         let (mis, out) = mw_mis(&graph, &wake, params, seed, cap);
         let ok = out.all_decided && is_maximal_independent_set(&graph, &mis);
-        let ts: Vec<u64> = out.stats.iter().filter_map(NodeStats::decision_time).collect();
-        let mean_t =
-            if ts.is_empty() { f64::NAN } else { ts.iter().sum::<u64>() as f64 / ts.len() as f64 };
+        let ts: Vec<u64> = out
+            .stats
+            .iter()
+            .filter_map(NodeStats::decision_time)
+            .collect();
+        let mean_t = if ts.is_empty() {
+            f64::NAN
+        } else {
+            ts.iter().sum::<u64>() as f64 / ts.len() as f64
+        };
         let max_t = ts.iter().copied().max().map_or(f64::NAN, |x| x as f64);
         let sent = out.total_sent() as f64 / n as f64;
         (ok, mean_t, max_t, sent)
@@ -55,8 +72,10 @@ pub fn run(opts: &ExpOpts) -> Table {
         &w,
         params,
         |seed| {
-            WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-                .generate(n, &mut node_rng(seed, 91))
+            WakePattern::UniformWindow {
+                window: 2 * params.waiting_slots(),
+            }
+            .generate(n, &mut node_rng(seed, 91))
         },
         Engine::Event,
         opts,

@@ -14,14 +14,28 @@ use std::time::Instant;
 pub fn run(opts: &ExpOpts) -> Table {
     let mut t = Table::new(
         "E18 · event-engine scalability (single full run per size)",
-        &["n", "Δ", "valid", "max T (slots)", "tx total", "wall-clock (s)", "slots/s ×n"],
+        &[
+            "n",
+            "Δ",
+            "valid",
+            "max T (slots)",
+            "tx total",
+            "wall-clock (s)",
+            "slots/s ×n",
+        ],
     );
-    let sizes: &[usize] = if opts.quick { &[256, 1024] } else { &[256, 1024, 4096, 8192] };
+    let sizes: &[usize] = if opts.quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096, 8192]
+    };
     for (i, &n) in sizes.iter().enumerate() {
         let w = udg_workload(n, 12.0, 0xE18 + i as u64);
         let params = w.params();
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(n, &mut node_rng(1, 95));
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(n, &mut node_rng(1, 95));
         let start = Instant::now();
         let r = run_once(&w, params, &wake, Engine::Event, 1, slot_cap(&params));
         let wall = start.elapsed().as_secs_f64();

@@ -54,7 +54,9 @@ impl ExpOpts {
 
     /// The seed list for one configuration, decorrelated by `salt`.
     pub fn seed_list(&self, salt: u64) -> Vec<u64> {
-        (0..self.seeds).map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(salt)).collect()
+        (0..self.seeds)
+            .map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(salt))
+            .collect()
     }
 }
 
@@ -109,7 +111,12 @@ pub fn run_once(
         palette_span: out.report.max_color.map_or(0, |c| c + 1),
         leaders: out.leaders.len(),
         total_sent: out.stats.iter().map(|s| s.sent).sum(),
-        max_states: out.traces.iter().map(|t| t.states_entered).max().unwrap_or(0),
+        max_states: out
+            .traces
+            .iter()
+            .map(|t| t.states_entered)
+            .max()
+            .unwrap_or(0),
         total_resets: out.traces.iter().map(|t| u64::from(t.resets)).sum(),
     }
 }

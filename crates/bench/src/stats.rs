@@ -24,7 +24,15 @@ pub struct Summary {
 /// Summarizes `xs`. Returns NaN-filled summary for an empty sample.
 pub fn summarize(xs: &[f64]) -> Summary {
     if xs.is_empty() {
-        return Summary { n: 0, mean: f64::NAN, std: f64::NAN, min: f64::NAN, median: f64::NAN, p95: f64::NAN, max: f64::NAN };
+        return Summary {
+            n: 0,
+            mean: f64::NAN,
+            std: f64::NAN,
+            min: f64::NAN,
+            median: f64::NAN,
+            p95: f64::NAN,
+            max: f64::NAN,
+        };
     }
     let n = xs.len();
     let mean = xs.iter().sum::<f64>() / n as f64;
@@ -72,7 +80,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
     let b = sxy / sxx;
     let a = my - b * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (a, b, r2)
 }
 
@@ -81,8 +93,20 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
 /// how we check growth orders: measured decision time vs Δ should fit
 /// `e ≈ 1` for the paper's algorithm and `e ≈ 2–3` for the baseline.
 pub fn power_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
-    let lx: Vec<f64> = xs.iter().map(|&x| { assert!(x > 0.0); x.ln() }).collect();
-    let ly: Vec<f64> = ys.iter().map(|&y| { assert!(y > 0.0); y.ln() }).collect();
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0);
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0);
+            y.ln()
+        })
+        .collect();
     let (_, b, r2) = linear_fit(&lx, &ly);
     (b, r2)
 }

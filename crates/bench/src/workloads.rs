@@ -39,7 +39,14 @@ impl Workload {
     pub fn from_graph(label: impl Into<String>, graph: Graph, points: Option<Vec<Point2>>) -> Self {
         let (kappa, kappa_exact) = measure_kappa(&graph);
         let delta = graph.max_closed_degree();
-        Workload { label: label.into(), graph, points, kappa, kappa_exact, delta }
+        Workload {
+            label: label.into(),
+            graph,
+            points,
+            kappa,
+            kappa_exact,
+            delta,
+        }
     }
 
     /// Number of nodes.
@@ -69,11 +76,7 @@ pub fn udg_workload(n: usize, target_delta: f64, seed: u64) -> Workload {
     let side = udg_side_for_target_degree(n, target_delta);
     let points = uniform_square(n, side, &mut rng);
     let graph = build_udg(&points, 1.0);
-    Workload::from_graph(
-        format!("udg(n={n},Δ*≈{target_delta})"),
-        graph,
-        Some(points),
-    )
+    Workload::from_graph(format!("udg(n={n},Δ*≈{target_delta})"), graph, Some(points))
 }
 
 #[cfg(test)]

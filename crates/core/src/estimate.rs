@@ -80,7 +80,12 @@ pub struct DegreeEstimator {
 impl DegreeEstimator {
     /// A fresh estimator.
     pub fn new(params: EstimatorParams) -> Self {
-        DegreeEstimator { params, counts: vec![0], phase: 0, estimate: None }
+        DegreeEstimator {
+            params,
+            counts: vec![0],
+            phase: 0,
+            estimate: None,
+        }
     }
 
     /// The degree estimate `d̂` (defined once probing is over).
@@ -208,9 +213,7 @@ impl AdaptiveNode {
     pub fn local_delta(&self) -> Option<usize> {
         match &self.phase {
             AdaptivePhase::Coloring(c) => Some(c.params().delta_est),
-            AdaptivePhase::Estimating(e) => {
-                e.estimate().map(|d| self.scaled_delta(d))
-            }
+            AdaptivePhase::Estimating(e) => e.estimate().map(|d| self.scaled_delta(d)),
         }
     }
 
@@ -306,8 +309,7 @@ mod tests {
         let d = 11usize;
         let g = complete(d + 1);
         let params = EstimatorParams::new(256, 64);
-        let protos: Vec<DegreeEstimator> =
-            (0..=d).map(|_| DegreeEstimator::new(params)).collect();
+        let protos: Vec<DegreeEstimator> = (0..=d).map(|_| DegreeEstimator::new(params)).collect();
         let out = run_event(&g, &vec![0; d + 1], protos, 3, &SimConfig::default());
         assert!(out.all_decided);
         for (v, p) in out.protocols.iter().enumerate() {
@@ -324,8 +326,7 @@ mod tests {
     fn star_center_vs_leaves_estimates_differ() {
         let g = star(17); // center degree 16, leaves degree 1
         let params = EstimatorParams::new(256, 64);
-        let protos: Vec<DegreeEstimator> =
-            (0..17).map(|_| DegreeEstimator::new(params)).collect();
+        let protos: Vec<DegreeEstimator> = (0..17).map(|_| DegreeEstimator::new(params)).collect();
         let out = run_event(&g, &[0; 17], protos, 5, &SimConfig::default());
         assert!(out.all_decided);
         let center = out.protocols[0].estimate().unwrap();
@@ -340,9 +341,18 @@ mod tests {
         // base params: κ̂₂ and n̂ provisioned, Δ̂ will be local.
         let base = AlgorithmParams::practical(2, 2, 256);
         let est = EstimatorParams::new(256, 16);
-        let protos: Vec<AdaptiveNode> =
-            (0..6).map(|v| AdaptiveNode::new(v as u64 + 1, base, est)).collect();
-        let out = run_event(&g, &[0; 6], protos, 7, &SimConfig { max_slots: 20_000_000 });
+        let protos: Vec<AdaptiveNode> = (0..6)
+            .map(|v| AdaptiveNode::new(v as u64 + 1, base, est))
+            .collect();
+        let out = run_event(
+            &g,
+            &[0; 6],
+            protos,
+            7,
+            &SimConfig {
+                max_slots: 20_000_000,
+            },
+        );
         assert!(out.all_decided);
         let colors: Vec<Option<u32>> = out.protocols.iter().map(AdaptiveNode::color).collect();
         let r = check_coloring(&g, &colors);

@@ -70,18 +70,39 @@ mod tests {
     #[test]
     fn decided_evidence_extraction() {
         assert_eq!(
-            ColoringMsg::Decided { class: 3, sender: 9 }.decided_evidence(),
+            ColoringMsg::Decided {
+                class: 3,
+                sender: 9
+            }
+            .decided_evidence(),
             Some((3, 9))
         );
         assert_eq!(
-            ColoringMsg::Assign { leader: 7, to: 1, tc: 2 }.decided_evidence(),
+            ColoringMsg::Assign {
+                leader: 7,
+                to: 1,
+                tc: 2
+            }
+            .decided_evidence(),
             Some((0, 7))
         );
         assert_eq!(
-            ColoringMsg::Compete { class: 1, sender: 4, counter: -3 }.decided_evidence(),
+            ColoringMsg::Compete {
+                class: 1,
+                sender: 4,
+                counter: -3
+            }
+            .decided_evidence(),
             None
         );
-        assert_eq!(ColoringMsg::Request { sender: 1, leader: 2 }.decided_evidence(), None);
+        assert_eq!(
+            ColoringMsg::Request {
+                sender: 1,
+                leader: 2
+            }
+            .decided_evidence(),
+            None
+        );
     }
 
     #[test]

@@ -154,7 +154,9 @@ impl ColoringNode {
             competitors: Vec::new(),
             anchor: 0,
         };
-        Behavior::Silent { until: Some(start + self.params.waiting_slots()) }
+        Behavior::Silent {
+            until: Some(start + self.params.waiting_slots()),
+        }
     }
 
     /// Threshold slot for the current anchor: the slot at which
@@ -195,13 +197,19 @@ impl ColoringNode {
         if class == 0 {
             self.state = State::Leader(LeaderState::default());
             // Idle leader: beacon M_C^0(v) with probability 1/κ₂.
-            Behavior::Transmit { p: self.params.p_leader(), until: None }
+            Behavior::Transmit {
+                p: self.params.p_leader(),
+                until: None,
+            }
         } else {
             self.state = State::Colored { class };
             // Paper: announce until the protocol is stopped. The
             // finite-window ablation stops after `announce_slots`.
             let until = self.params.announce_slots.map(|a| now + a.max(1));
-            Behavior::Transmit { p: self.params.p_active(), until }
+            Behavior::Transmit {
+                p: self.params.p_active(),
+                until,
+            }
         }
     }
 }
@@ -217,7 +225,12 @@ impl RadioProtocol for ColoringNode {
 
     fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
         match &mut self.state {
-            State::Verify { phase: phase @ VerifyPhase::Waiting, competitors, anchor, class } => {
+            State::Verify {
+                phase: phase @ VerifyPhase::Waiting,
+                competitors,
+                anchor,
+                class,
+            } => {
                 // Waiting phase over: become active (Algorithm 1, line 15).
                 let range = self.params.critical_range(*class);
                 let x = chi(&Self::competitor_values(competitors, now), range);
@@ -227,7 +240,11 @@ impl RadioProtocol for ColoringNode {
                 let a = *anchor;
                 self.active_behavior(a)
             }
-            State::Verify { phase: VerifyPhase::Active, class, .. } => {
+            State::Verify {
+                phase: VerifyPhase::Active,
+                class,
+                ..
+            } => {
                 // Counter reached the threshold: join C_i (line 19–20).
                 let class = *class;
                 self.decide(class, now)
@@ -238,7 +255,10 @@ impl RadioProtocol for ColoringNode {
                 ls.queue.pop_front();
                 if ls.queue.is_empty() {
                     ls.serving = None;
-                    Behavior::Transmit { p: self.params.p_leader(), until: None }
+                    Behavior::Transmit {
+                        p: self.params.p_leader(),
+                        until: None,
+                    }
                 } else {
                     ls.tc += 1;
                     ls.serving = Some(ls.tc);
@@ -260,26 +280,50 @@ impl RadioProtocol for ColoringNode {
 
     fn message(&mut self, now: Slot, _rng: &mut SmallRng) -> ColoringMsg {
         match &self.state {
-            State::Verify { phase: VerifyPhase::Active, class, anchor, .. } => {
-                ColoringMsg::Compete { class: *class, sender: self.id, counter: now as i64 - anchor }
-            }
-            State::Verify { phase: VerifyPhase::Waiting, .. } => {
+            State::Verify {
+                phase: VerifyPhase::Active,
+                class,
+                anchor,
+                ..
+            } => ColoringMsg::Compete {
+                class: *class,
+                sender: self.id,
+                counter: now as i64 - anchor,
+            },
+            State::Verify {
+                phase: VerifyPhase::Waiting,
+                ..
+            } => {
                 unreachable!("waiting nodes are silent")
             }
-            State::Request { leader } => ColoringMsg::Request { sender: self.id, leader: *leader },
-            State::Colored { class } => ColoringMsg::Decided { class: *class, sender: self.id },
+            State::Request { leader } => ColoringMsg::Request {
+                sender: self.id,
+                leader: *leader,
+            },
+            State::Colored { class } => ColoringMsg::Decided {
+                class: *class,
+                sender: self.id,
+            },
             State::Leader(ls) => match ls.serving {
                 Some(tc) => ColoringMsg::Assign {
                     leader: self.id,
                     to: *ls.queue.front().expect("serving implies non-empty queue"),
                     tc,
                 },
-                None => ColoringMsg::Decided { class: 0, sender: self.id },
+                None => ColoringMsg::Decided {
+                    class: 0,
+                    sender: self.id,
+                },
             },
         }
     }
 
-    fn on_receive(&mut self, now: Slot, msg: &ColoringMsg, _rng: &mut SmallRng) -> Option<Behavior> {
+    fn on_receive(
+        &mut self,
+        now: Slot,
+        msg: &ColoringMsg,
+        _rng: &mut SmallRng,
+    ) -> Option<Behavior> {
         /// State-replacing follow-ups, applied after the borrow of
         /// `self.state` ends.
         enum Act {
@@ -295,7 +339,12 @@ impl RadioProtocol for ColoringNode {
 
         let id = self.id;
         let act: Act = match &mut self.state {
-            State::Verify { class, phase, competitors, anchor } => {
+            State::Verify {
+                class,
+                phase,
+                competitors,
+                anchor,
+            } => {
                 let class_v = *class;
                 // A message proving a neighbor joined C_i for our class i
                 // moves us to A_suc (Algorithm 1, lines 10–13 / 23–26).
@@ -308,7 +357,12 @@ impl RadioProtocol for ColoringNode {
                     } else {
                         Act::EnterVerify(class_v + 1)
                     }
-                } else if let ColoringMsg::Compete { class: j, sender, counter } = *msg {
+                } else if let ColoringMsg::Compete {
+                    class: j,
+                    sender,
+                    counter,
+                } = *msg
+                {
                     if j != class_v {
                         return None;
                     }
@@ -344,7 +398,9 @@ impl RadioProtocol for ColoringNode {
                 }
             }
             State::Request { leader } => {
-                let ColoringMsg::Assign { leader: l, to, tc } = *msg else { return None };
+                let ColoringMsg::Assign { leader: l, to, tc } = *msg else {
+                    return None;
+                };
                 if l != *leader || to != id {
                     return None;
                 }
@@ -355,7 +411,9 @@ impl RadioProtocol for ColoringNode {
                 Act::EnterVerify(tc * self.params.color_stride())
             }
             State::Leader(ls) => {
-                let ColoringMsg::Request { sender, leader } = *msg else { return None };
+                let ColoringMsg::Request { sender, leader } = *msg else {
+                    return None;
+                };
                 if leader != id || ls.queue.contains(&sender) {
                     return None;
                 }
@@ -374,7 +432,10 @@ impl RadioProtocol for ColoringNode {
             Act::ToRequest(w) => {
                 self.trace.leader_id = Some(w);
                 self.state = State::Request { leader: w };
-                Behavior::Transmit { p: self.params.p_active(), until: None }
+                Behavior::Transmit {
+                    p: self.params.p_active(),
+                    until: None,
+                }
             }
             Act::EnterVerify(class) => self.enter_verify(class, now + 1),
             Act::Reset(anchor) => self.active_behavior(anchor),
@@ -408,7 +469,12 @@ mod tests {
         let p = params();
         let mut node = ColoringNode::new(42, p);
         let b = node.on_wake(10, &mut rng());
-        assert_eq!(b, Behavior::Silent { until: Some(10 + p.waiting_slots()) });
+        assert_eq!(
+            b,
+            Behavior::Silent {
+                until: Some(10 + p.waiting_slots())
+            }
+        );
         assert!(!node.is_decided());
         assert_eq!(node.trace().states_entered, 1);
     }
@@ -430,7 +496,13 @@ mod tests {
         assert!(node.is_decided());
         assert_eq!(node.color(), Some(0));
         assert!(node.is_leader());
-        assert_eq!(b, Behavior::Transmit { p: p.p_leader(), until: None });
+        assert_eq!(
+            b,
+            Behavior::Transmit {
+                p: p.p_leader(),
+                until: None
+            }
+        );
     }
 
     #[test]
@@ -439,10 +511,29 @@ mod tests {
         let mut node = ColoringNode::new(2, p);
         node.on_wake(0, &mut rng());
         let b = node
-            .on_receive(3, &ColoringMsg::Decided { class: 0, sender: 77 }, &mut rng())
+            .on_receive(
+                3,
+                &ColoringMsg::Decided {
+                    class: 0,
+                    sender: 77,
+                },
+                &mut rng(),
+            )
             .expect("behavior change");
-        assert_eq!(b, Behavior::Transmit { p: p.p_active(), until: None });
-        assert_eq!(node.message(4, &mut rng()), ColoringMsg::Request { sender: 2, leader: 77 });
+        assert_eq!(
+            b,
+            Behavior::Transmit {
+                p: p.p_active(),
+                until: None
+            }
+        );
+        assert_eq!(
+            node.message(4, &mut rng()),
+            ColoringMsg::Request {
+                sender: 2,
+                leader: 77
+            }
+        );
     }
 
     #[test]
@@ -451,10 +542,24 @@ mod tests {
         let mut node = ColoringNode::new(2, p);
         node.on_wake(0, &mut rng());
         let b = node
-            .on_receive(3, &ColoringMsg::Assign { leader: 77, to: 5, tc: 1 }, &mut rng())
+            .on_receive(
+                3,
+                &ColoringMsg::Assign {
+                    leader: 77,
+                    to: 5,
+                    tc: 1,
+                },
+                &mut rng(),
+            )
             .expect("behavior change");
         assert_eq!(b.probability(), p.p_active());
-        assert_eq!(node.message(4, &mut rng()), ColoringMsg::Request { sender: 2, leader: 77 });
+        assert_eq!(
+            node.message(4, &mut rng()),
+            ColoringMsg::Request {
+                sender: 2,
+                leader: 77
+            }
+        );
     }
 
     #[test]
@@ -462,20 +567,56 @@ mod tests {
         let p = params();
         let mut node = ColoringNode::new(2, p);
         node.on_wake(0, &mut rng());
-        node.on_receive(3, &ColoringMsg::Decided { class: 0, sender: 77 }, &mut rng());
+        node.on_receive(
+            3,
+            &ColoringMsg::Decided {
+                class: 0,
+                sender: 77,
+            },
+            &mut rng(),
+        );
         // Assignment to someone else: ignored.
         assert!(node
-            .on_receive(5, &ColoringMsg::Assign { leader: 77, to: 9, tc: 1 }, &mut rng())
+            .on_receive(
+                5,
+                &ColoringMsg::Assign {
+                    leader: 77,
+                    to: 9,
+                    tc: 1
+                },
+                &mut rng()
+            )
             .is_none());
         // Assignment from a different leader: ignored.
         assert!(node
-            .on_receive(6, &ColoringMsg::Assign { leader: 88, to: 2, tc: 1 }, &mut rng())
+            .on_receive(
+                6,
+                &ColoringMsg::Assign {
+                    leader: 88,
+                    to: 2,
+                    tc: 1
+                },
+                &mut rng()
+            )
             .is_none());
         // Our assignment: enter A_{tc·(κ₂+1)} = A_{2·4} waiting phase.
         let b = node
-            .on_receive(7, &ColoringMsg::Assign { leader: 77, to: 2, tc: 2 }, &mut rng())
+            .on_receive(
+                7,
+                &ColoringMsg::Assign {
+                    leader: 77,
+                    to: 2,
+                    tc: 2,
+                },
+                &mut rng(),
+            )
             .expect("enter verification");
-        assert_eq!(b, Behavior::Silent { until: Some(8 + p.waiting_slots()) });
+        assert_eq!(
+            b,
+            Behavior::Silent {
+                until: Some(8 + p.waiting_slots())
+            }
+        );
         assert_eq!(node.trace().intra_cluster_color, Some(2));
         // Verify the class: competing message for class 8 is recorded.
         let w = 8 + p.waiting_slots();
@@ -500,7 +641,11 @@ mod tests {
         let nb = node
             .on_receive(
                 w + 5,
-                &ColoringMsg::Compete { class: 0, sender: 9, counter: c_own },
+                &ColoringMsg::Compete {
+                    class: 0,
+                    sender: 9,
+                    counter: c_own,
+                },
                 &mut rng(),
             )
             .expect("reset must reschedule");
@@ -511,7 +656,11 @@ mod tests {
         assert!(node
             .on_receive(
                 w + 6,
-                &ColoringMsg::Compete { class: 0, sender: 10, counter: 10_000 },
+                &ColoringMsg::Compete {
+                    class: 0,
+                    sender: 10,
+                    counter: 10_000
+                },
                 &mut rng(),
             )
             .is_none());
@@ -525,8 +674,24 @@ mod tests {
         node.on_wake(0, &mut rng());
         let w = p.waiting_slots();
         // Competitors heard during the waiting phase.
-        node.on_receive(2, &ColoringMsg::Compete { class: 0, sender: 5, counter: 40 }, &mut rng());
-        node.on_receive(3, &ColoringMsg::Compete { class: 0, sender: 6, counter: -2 }, &mut rng());
+        node.on_receive(
+            2,
+            &ColoringMsg::Compete {
+                class: 0,
+                sender: 5,
+                counter: 40,
+            },
+            &mut rng(),
+        );
+        node.on_receive(
+            3,
+            &ColoringMsg::Compete {
+                class: 0,
+                sender: 6,
+                counter: -2,
+            },
+            &mut rng(),
+        );
         let b = node.on_deadline(w, &mut rng());
         // χ avoids both copies' ranges: thresholds shifted accordingly;
         // the schedule must still be in the future.
@@ -538,16 +703,50 @@ mod tests {
         let p = params();
         let mut node = ColoringNode::new(2, p);
         node.on_wake(0, &mut rng());
-        node.on_receive(1, &ColoringMsg::Decided { class: 0, sender: 50 }, &mut rng());
-        node.on_receive(2, &ColoringMsg::Assign { leader: 50, to: 2, tc: 1 }, &mut rng());
+        node.on_receive(
+            1,
+            &ColoringMsg::Decided {
+                class: 0,
+                sender: 50,
+            },
+            &mut rng(),
+        );
+        node.on_receive(
+            2,
+            &ColoringMsg::Assign {
+                leader: 50,
+                to: 2,
+                tc: 1,
+            },
+            &mut rng(),
+        );
         // Now in A_4's waiting phase (stride = κ₂+1 = 4).
         let b = node
-            .on_receive(5, &ColoringMsg::Decided { class: 4, sender: 60 }, &mut rng())
+            .on_receive(
+                5,
+                &ColoringMsg::Decided {
+                    class: 4,
+                    sender: 60,
+                },
+                &mut rng(),
+            )
             .expect("move to A_5");
-        assert_eq!(b, Behavior::Silent { until: Some(6 + p.waiting_slots()) });
+        assert_eq!(
+            b,
+            Behavior::Silent {
+                until: Some(6 + p.waiting_slots())
+            }
+        );
         // Irrelevant classes are ignored.
         assert!(node
-            .on_receive(7, &ColoringMsg::Decided { class: 9, sender: 61 }, &mut rng())
+            .on_receive(
+                7,
+                &ColoringMsg::Decided {
+                    class: 9,
+                    sender: 61
+                },
+                &mut rng()
+            )
             .is_none());
         assert_eq!(node.trace().states_entered, 3); // A_0, A_4, A_5
     }
@@ -563,27 +762,65 @@ mod tests {
         node.on_deadline(t, &mut rng()); // becomes leader
         assert!(node.is_leader());
         // Idle: beacons.
-        assert_eq!(node.message(t + 1, &mut rng()), ColoringMsg::Decided { class: 0, sender: 7 });
+        assert_eq!(
+            node.message(t + 1, &mut rng()),
+            ColoringMsg::Decided {
+                class: 0,
+                sender: 7
+            }
+        );
         // First request opens a serve window.
         let b = node
-            .on_receive(t + 2, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .on_receive(
+                t + 2,
+                &ColoringMsg::Request {
+                    sender: 100,
+                    leader: 7,
+                },
+                &mut rng(),
+            )
             .expect("serve window opens");
         assert_eq!(b.until(), Some(t + 3 + p.serve_slots()));
         assert_eq!(
             node.message(t + 3, &mut rng()),
-            ColoringMsg::Assign { leader: 7, to: 100, tc: 1 }
+            ColoringMsg::Assign {
+                leader: 7,
+                to: 100,
+                tc: 1
+            }
         );
         // Second request while serving: queued, no behavior change.
         assert!(node
-            .on_receive(t + 4, &ColoringMsg::Request { sender: 200, leader: 7 }, &mut rng())
+            .on_receive(
+                t + 4,
+                &ColoringMsg::Request {
+                    sender: 200,
+                    leader: 7
+                },
+                &mut rng()
+            )
             .is_none());
         // Duplicate request: ignored.
         assert!(node
-            .on_receive(t + 5, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .on_receive(
+                t + 5,
+                &ColoringMsg::Request {
+                    sender: 100,
+                    leader: 7
+                },
+                &mut rng()
+            )
             .is_none());
         // Requests addressed to another leader: ignored.
         assert!(node
-            .on_receive(t + 6, &ColoringMsg::Request { sender: 300, leader: 8 }, &mut rng())
+            .on_receive(
+                t + 6,
+                &ColoringMsg::Request {
+                    sender: 300,
+                    leader: 8
+                },
+                &mut rng()
+            )
             .is_none());
         // Serve window ends: next request gets tc = 2.
         let end = t + 3 + p.serve_slots();
@@ -591,14 +828,21 @@ mod tests {
         assert_eq!(b.until(), Some(end + p.serve_slots()));
         assert_eq!(
             node.message(end, &mut rng()),
-            ColoringMsg::Assign { leader: 7, to: 200, tc: 2 }
+            ColoringMsg::Assign {
+                leader: 7,
+                to: 200,
+                tc: 2
+            }
         );
         // Second window ends, queue empty: back to beaconing.
         let b = node.on_deadline(end + p.serve_slots(), &mut rng());
         assert_eq!(b.until(), None);
         assert_eq!(
             node.message(end + p.serve_slots() + 1, &mut rng()),
-            ColoringMsg::Decided { class: 0, sender: 7 }
+            ColoringMsg::Decided {
+                class: 0,
+                sender: 7
+            }
         );
     }
 
@@ -613,16 +857,34 @@ mod tests {
         // Serve node 100 (tc = 1), window closes, 100 re-requests (it
         // never heard the assignment): re-enqueued and served as tc = 2.
         let b = node
-            .on_receive(t + 1, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .on_receive(
+                t + 1,
+                &ColoringMsg::Request {
+                    sender: 100,
+                    leader: 7,
+                },
+                &mut rng(),
+            )
             .unwrap();
         let end = b.until().unwrap();
         node.on_deadline(end, &mut rng());
         let b2 = node
-            .on_receive(end + 1, &ColoringMsg::Request { sender: 100, leader: 7 }, &mut rng())
+            .on_receive(
+                end + 1,
+                &ColoringMsg::Request {
+                    sender: 100,
+                    leader: 7,
+                },
+                &mut rng(),
+            )
             .expect("re-request reopens window");
         assert_eq!(
             node.message(b2.until().unwrap() - 1, &mut rng()),
-            ColoringMsg::Assign { leader: 7, to: 100, tc: 2 }
+            ColoringMsg::Assign {
+                leader: 7,
+                to: 100,
+                tc: 2
+            }
         );
     }
 
@@ -636,13 +898,25 @@ mod tests {
         node.on_deadline(w, &mut rng());
         // Lower counter heard: no reset even though inside range.
         assert!(node
-            .on_receive(w + 5, &ColoringMsg::Compete { class: 0, sender: 9, counter: -100 }, &mut rng())
+            .on_receive(
+                w + 5,
+                &ColoringMsg::Compete {
+                    class: 0,
+                    sender: 9,
+                    counter: -100
+                },
+                &mut rng()
+            )
             .is_none());
         // Higher counter, even far outside any range: reset to 0.
         let nb = node
             .on_receive(
                 w + 6,
-                &ColoringMsg::Compete { class: 0, sender: 9, counter: 100_000 },
+                &ColoringMsg::Compete {
+                    class: 0,
+                    sender: 9,
+                    counter: 100_000,
+                },
                 &mut rng(),
             )
             .expect("naive reset");
@@ -658,8 +932,23 @@ mod tests {
         node.on_wake(0, &mut rng());
         // Walk into a colored (non-leader) state: leader heard, tc
         // assigned, waiting, active, threshold.
-        node.on_receive(1, &ColoringMsg::Decided { class: 0, sender: 9 }, &mut rng());
-        node.on_receive(2, &ColoringMsg::Assign { leader: 9, to: 2, tc: 1 }, &mut rng());
+        node.on_receive(
+            1,
+            &ColoringMsg::Decided {
+                class: 0,
+                sender: 9,
+            },
+            &mut rng(),
+        );
+        node.on_receive(
+            2,
+            &ColoringMsg::Assign {
+                leader: 9,
+                to: 2,
+                tc: 1,
+            },
+            &mut rng(),
+        );
         let w = 3 + p.waiting_slots();
         let b = node.on_deadline(w, &mut rng());
         let t = b.until().unwrap();
@@ -688,9 +977,35 @@ mod tests {
         let p = params();
         let mut node = ColoringNode::new(2, p);
         node.on_wake(0, &mut rng());
-        node.on_receive(1, &ColoringMsg::Decided { class: 0, sender: 50 }, &mut rng());
-        node.on_receive(2, &ColoringMsg::Assign { leader: 50, to: 2, tc: 1 }, &mut rng());
-        let w = node.on_receive(2, &ColoringMsg::Assign { leader: 50, to: 2, tc: 1 }, &mut rng());
-        assert!(w.is_none(), "duplicate assignment while already in A_i is ignored");
+        node.on_receive(
+            1,
+            &ColoringMsg::Decided {
+                class: 0,
+                sender: 50,
+            },
+            &mut rng(),
+        );
+        node.on_receive(
+            2,
+            &ColoringMsg::Assign {
+                leader: 50,
+                to: 2,
+                tc: 1,
+            },
+            &mut rng(),
+        );
+        let w = node.on_receive(
+            2,
+            &ColoringMsg::Assign {
+                leader: 50,
+                to: 2,
+                tc: 1,
+            },
+            &mut rng(),
+        );
+        assert!(
+            w.is_none(),
+            "duplicate assignment while already in A_i is ignored"
+        );
     }
 }

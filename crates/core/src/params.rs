@@ -207,14 +207,24 @@ impl AlgorithmParams {
     pub fn constraint_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
         if self.beta < self.gamma {
-            v.push(format!("β = {} < γ = {} (Lemma 8 needs β ≥ γ)", self.beta, self.gamma));
+            v.push(format!(
+                "β = {} < γ = {} (Lemma 8 needs β ≥ γ)",
+                self.beta, self.gamma
+            ));
         }
         if self.sigma <= 2.0 * self.gamma {
-            v.push(format!("σ = {} ≤ 2γ = {} (Theorem 2 needs σ > 2γ)", self.sigma, 2.0 * self.gamma));
+            v.push(format!(
+                "σ = {} ≤ 2γ = {} (Theorem 2 needs σ > 2γ)",
+                self.sigma,
+                2.0 * self.gamma
+            ));
         }
         let alpha_min = 2.0 * self.gamma * self.kappa2 as f64 + self.sigma + 1.0;
         if self.alpha <= alpha_min {
-            v.push(format!("α = {} ≤ 2γκ₂ + σ + 1 = {alpha_min} (Lemma 7)", self.alpha));
+            v.push(format!(
+                "α = {} ≤ 2γκ₂ + σ + 1 = {alpha_min} (Lemma 7)",
+                self.alpha
+            ));
         }
         v
     }
@@ -233,7 +243,11 @@ mod tests {
         assert!(p.gamma > 5.0 * 18.0);
         assert!(p.sigma > 10.0 * std::f64::consts::E.powi(2) * 18.0);
         assert_eq!(p.beta, p.gamma);
-        assert!(p.constraint_violations().is_empty(), "{:?}", p.constraint_violations());
+        assert!(
+            p.constraint_violations().is_empty(),
+            "{:?}",
+            p.constraint_violations()
+        );
     }
 
     #[test]

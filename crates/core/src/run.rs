@@ -83,7 +83,11 @@ impl ColoringOutcome {
 
     /// Mean decision time over nodes that decided.
     pub fn mean_decision_time(&self) -> f64 {
-        let times: Vec<u64> = self.stats.iter().filter_map(NodeStats::decision_time).collect();
+        let times: Vec<u64> = self
+            .stats
+            .iter()
+            .filter_map(NodeStats::decision_time)
+            .collect();
         if times.is_empty() {
             return f64::NAN;
         }
@@ -132,8 +136,10 @@ pub fn color_graph(
             random_ids(n, &mut rng)
         }
     };
-    let protocols: Vec<ColoringNode> =
-        ids.iter().map(|&id| ColoringNode::new(id, config.params)).collect();
+    let protocols: Vec<ColoringNode> = ids
+        .iter()
+        .map(|&id| ColoringNode::new(id, config.params))
+        .collect();
     let out = config.engine.run(graph, wake, protocols, seed, &config.sim);
 
     let colors: Coloring = out.protocols.iter().map(ColoringNode::color).collect();
@@ -200,7 +206,11 @@ mod tests {
             let out = color_graph(&g, &[0, 0], &cfg(2, 2), seed);
             assert!(out.all_decided, "seed {seed}");
             assert!(out.valid(), "seed {seed}: {:?}", out.colors);
-            assert_eq!(out.leaders.len(), 1, "seed {seed}: exactly one leader on an edge");
+            assert_eq!(
+                out.leaders.len(),
+                1,
+                "seed {seed}: exactly one leader on an edge"
+            );
         }
     }
 

@@ -59,13 +59,18 @@ impl TdmaSchedule {
     /// `true` if no two adjacent nodes share a slot (direct-interference
     /// freedom — equivalent to the coloring being proper).
     pub fn direct_interference_free(&self, g: &Graph) -> bool {
-        g.edges().all(|(u, v)| self.slot_of[u as usize] != self.slot_of[v as usize])
+        g.edges()
+            .all(|(u, v)| self.slot_of[u as usize] != self.slot_of[v as usize])
     }
 
     /// For receiver `v` and slot `s`: the senders in `N(v)` scheduled on
     /// `s`. More than one means hidden-terminal interference at `v`.
     pub fn cochannel_senders(&self, g: &Graph, v: NodeId, s: u32) -> Vec<NodeId> {
-        g.neighbors(v).iter().copied().filter(|&u| self.slot_of[u as usize] == s).collect()
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| self.slot_of[u as usize] == s)
+            .collect()
     }
 
     /// The maximum number of co-channel senders any receiver sees in any
@@ -116,7 +121,10 @@ impl TdmaSchedule {
 /// # Panics
 /// Panics if the greedy `G²` coloring is not distance-2 valid (cannot
 /// happen) or the one-hop schedule's coloring length mismatches.
-pub fn compare_with_distance2(g: &radio_graph::Graph, one_hop: &TdmaSchedule) -> ScheduleComparison {
+pub fn compare_with_distance2(
+    g: &radio_graph::Graph,
+    one_hop: &TdmaSchedule,
+) -> ScheduleComparison {
     use radio_graph::analysis::square::{is_distance2_coloring, square};
     let g2 = square(g);
     // Greedy on the square (smallest-last keeps the palette tight).

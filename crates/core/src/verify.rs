@@ -98,12 +98,14 @@ pub fn verify_outcome(graph: &Graph, outcome: &ColoringOutcome, kappa2: usize) -
         }
     }
 
-    let max_states = outcome.traces.iter().map(|t| t.states_entered).max().unwrap_or(0);
+    let max_states = outcome
+        .traces
+        .iter()
+        .map(|t| t.states_entered)
+        .max()
+        .unwrap_or(0);
     let leaders_are_mis = outcome.report.complete
-        && radio_graph::analysis::independence::is_maximal_independent_set(
-            graph,
-            &outcome.leaders,
-        );
+        && radio_graph::analysis::independence::is_maximal_independent_set(graph, &outcome.leaders);
     let clusters_well_formed = check_clusters(graph, outcome);
     Verdict {
         proper: outcome.report.proper,
@@ -207,7 +209,10 @@ mod tests {
         let out = color_graph(g, &vec![0; g.len()], &ColoringConfig::new(params), seed);
         assert!(out.all_decided);
         let k = kappa(g);
-        assert!(k.k2 <= params.kappa2, "estimate must upper-bound the true kappa2");
+        assert!(
+            k.k2 <= params.kappa2,
+            "estimate must upper-bound the true kappa2"
+        );
         verify_outcome(g, &out, params.kappa2)
     }
 

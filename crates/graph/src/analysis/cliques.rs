@@ -78,7 +78,10 @@ mod tests {
         let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         for v in g.nodes() {
             let c = greedy_clique_from(&g, v);
-            assert!(is_clique(&g, &c), "greedy from {v} returned non-clique {c:?}");
+            assert!(
+                is_clique(&g, &c),
+                "greedy from {v} returned non-clique {c:?}"
+            );
             assert!(c.contains(&v));
         }
         assert_eq!(clique_lower_bound(&g), 3);

@@ -93,7 +93,11 @@ pub fn locality_points(g: &Graph, colors: &Coloring) -> Vec<LocalityPoint> {
                 .map(|w| g.closed_degree(w) as u32)
                 .max()
                 .unwrap_or(1);
-            LocalityPoint { node: v, phi, theta }
+            LocalityPoint {
+                node: v,
+                phi,
+                theta,
+            }
         })
         .collect()
 }

@@ -34,7 +34,10 @@ pub fn connected_components(g: &Graph) -> Components {
         }
         next += 1;
     }
-    Components { num_components: next as usize, labels }
+    Components {
+        num_components: next as usize,
+        labels,
+    }
 }
 
 /// BFS distances from `source`; unreachable nodes get `u32::MAX`.

@@ -52,7 +52,13 @@ pub fn max_independent_set_size_bounded(g: &Graph, mut fuel: u64) -> Option<usiz
     (fuel > 0).then_some(best)
 }
 
-fn mis_branch(adj: &[Vec<u64>], mut free: BitSet, current: usize, best: &mut usize, fuel: &mut u64) {
+fn mis_branch(
+    adj: &[Vec<u64>],
+    mut free: BitSet,
+    current: usize,
+    best: &mut usize,
+    fuel: &mut u64,
+) {
     if *fuel == 0 {
         return;
     }
@@ -245,7 +251,8 @@ pub fn is_maximal_independent_set(g: &Graph, set: &[NodeId]) -> bool {
     for &v in set {
         in_set[v as usize] = true;
     }
-    g.nodes().all(|v| in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize]))
+    g.nodes()
+        .all(|v| in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize]))
 }
 
 #[cfg(test)]
@@ -286,7 +293,13 @@ mod tests {
 
     #[test]
     fn kappa_greedy_is_lower_bound_of_exact() {
-        for g in [path(7), cycle(8), star(6), complete(5), complete_bipartite(3, 4)] {
+        for g in [
+            path(7),
+            cycle(8),
+            star(6),
+            complete(5),
+            complete_bipartite(3, 4),
+        ] {
             let exact = kappa(&g);
             let lb = kappa_greedy(&g);
             assert!(lb.k1 <= exact.k1, "k1 {lb:?} vs {exact:?}");

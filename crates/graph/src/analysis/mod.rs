@@ -8,7 +8,9 @@ pub mod independence;
 pub mod square;
 
 pub use cliques::clique_lower_bound;
-pub use coloring_check::{check_coloring, locality_holds, locality_points, Coloring, ColoringReport};
+pub use coloring_check::{
+    check_coloring, locality_holds, locality_points, Coloring, ColoringReport,
+};
 pub use components::{bfs_distances, connected_components, Components};
 pub use independence::{kappa, kappa_bounded, max_independent_set_size, Kappa};
 pub use square::{is_distance2_coloring, square};

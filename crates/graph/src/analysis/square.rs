@@ -52,7 +52,10 @@ pub fn is_distance2_coloring(g: &Graph, colors: &Coloring) -> bool {
 
 /// Nodes within distance 2 of `v` (excluding `v`), i.e. `N_{G²}(v)`.
 pub fn distance2_neighbors(g: &Graph, v: NodeId) -> Vec<NodeId> {
-    g.two_hop_closed(v).into_iter().filter(|&w| w != v).collect()
+    g.two_hop_closed(v)
+        .into_iter()
+        .filter(|&w| w != v)
+        .collect()
 }
 
 #[cfg(test)]
@@ -107,8 +110,7 @@ mod tests {
     }
 
     #[test]
-    fn distance2_coloring_iff_proper_on_square(
-    ) {
+    fn distance2_coloring_iff_proper_on_square() {
         let g = cycle(7);
         let g2 = square(&g);
         let colorings: Vec<Coloring> = vec![
@@ -117,7 +119,10 @@ mod tests {
             (0..7).map(Some).collect(),
         ];
         for c in colorings {
-            assert_eq!(is_distance2_coloring(&g, &c), check_coloring(&g2, &c).proper);
+            assert_eq!(
+                is_distance2_coloring(&g, &c),
+                check_coloring(&g2, &c).proper
+            );
         }
     }
 

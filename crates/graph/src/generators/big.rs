@@ -15,7 +15,10 @@ use rand::Rng;
 /// Builds a UDG-with-obstacles graph: edge `{u, v}` iff
 /// `dist(u, v) ≤ radius` and no wall crosses the segment `u–v`.
 pub fn build_big(points: &[Point2], radius: f64, walls: &[Wall]) -> Graph {
-    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "radius must be positive"
+    );
     let idx = GridIndex::build(points, radius);
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(points.len());

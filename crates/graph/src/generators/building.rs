@@ -65,7 +65,10 @@ pub fn rooms_building(
         for j in 0..rows {
             let y0 = j as f64 * room_side;
             walls.push(Wall::new(Point2::new(x, y0), Point2::new(x, y0 + gap_lo)));
-            walls.push(Wall::new(Point2::new(x, y0 + gap_hi), Point2::new(x, y0 + room_side)));
+            walls.push(Wall::new(
+                Point2::new(x, y0 + gap_hi),
+                Point2::new(x, y0 + room_side),
+            ));
         }
     }
     // Horizontal interior walls at y = j·room_side.
@@ -74,7 +77,10 @@ pub fn rooms_building(
         for i in 0..cols {
             let x0 = i as f64 * room_side;
             walls.push(Wall::new(Point2::new(x0, y), Point2::new(x0 + gap_lo, y)));
-            walls.push(Wall::new(Point2::new(x0 + gap_hi, y), Point2::new(x0 + room_side, y)));
+            walls.push(Wall::new(
+                Point2::new(x0 + gap_hi, y),
+                Point2::new(x0 + room_side, y),
+            ));
         }
     }
 
@@ -88,7 +94,11 @@ pub fn rooms_building(
             )
         })
         .collect();
-    Building { points, walls, extent: (width, height) }
+    Building {
+        points,
+        walls,
+        extent: (width, height),
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +117,10 @@ mod tests {
         assert_eq!(b.walls.len(), 4 + 8 + 6);
         assert_eq!(b.extent, (6.0, 4.0));
         assert_eq!(b.points.len(), 10);
-        assert!(b.points.iter().all(|p| p.x > 0.0 && p.x < 6.0 && p.y > 0.0 && p.y < 4.0));
+        assert!(b
+            .points
+            .iter()
+            .all(|p| p.x > 0.0 && p.x < 6.0 && p.y > 0.0 && p.y < 4.0));
     }
 
     #[test]
@@ -116,9 +129,17 @@ mod tests {
         let b = rooms_building(2, 1, 2.0, 0.8, 0, &mut rng);
         // Across the interior wall at x = 2 through the door center
         // (y = 1): clear.
-        assert!(line_of_sight(&b.walls, Point2::new(1.5, 1.0), Point2::new(2.5, 1.0)));
+        assert!(line_of_sight(
+            &b.walls,
+            Point2::new(1.5, 1.0),
+            Point2::new(2.5, 1.0)
+        ));
         // Across the same wall near its end (y = 0.2): blocked.
-        assert!(!line_of_sight(&b.walls, Point2::new(1.5, 0.2), Point2::new(2.5, 0.2)));
+        assert!(!line_of_sight(
+            &b.walls,
+            Point2::new(1.5, 0.2),
+            Point2::new(2.5, 0.2)
+        ));
     }
 
     #[test]
@@ -139,7 +160,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let b = rooms_building(2, 1, 2.0, 0.0, 0, &mut rng);
         // Without doors the two room centers cannot see each other.
-        assert!(!line_of_sight(&b.walls, Point2::new(1.0, 1.0), Point2::new(3.0, 1.0)));
+        assert!(!line_of_sight(
+            &b.walls,
+            Point2::new(1.0, 1.0),
+            Point2::new(3.0, 1.0)
+        ));
     }
 
     #[test]

@@ -56,7 +56,10 @@ mod tests {
         let g = gnp(n, p, &mut rng);
         let expected = p * (n * (n - 1) / 2) as f64;
         let m = g.num_edges() as f64;
-        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 20.0, "m={m} expected≈{expected}");
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 20.0,
+            "m={m} expected≈{expected}"
+        );
     }
 
     #[test]

@@ -17,7 +17,13 @@ pub fn uniform_square(n: usize, side: f64, rng: &mut impl Rng) -> Vec<Point2> {
 /// are uniform in `[0, side]²`; `spread` is the cluster standard
 /// deviation. Produces strongly non-uniform densities (for the locality
 /// experiment E4).
-pub fn clustered(n: usize, n_clusters: usize, spread: f64, side: f64, rng: &mut impl Rng) -> Vec<Point2> {
+pub fn clustered(
+    n: usize,
+    n_clusters: usize,
+    spread: f64,
+    side: f64,
+    rng: &mut impl Rng,
+) -> Vec<Point2> {
     assert!(n_clusters > 0, "need at least one cluster");
     let centers: Vec<Point2> = (0..n_clusters)
         .map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
@@ -57,7 +63,10 @@ pub fn dense_core_sparse_halo(
         }
     }
     for _ in 0..n_halo {
-        pts.push(Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side));
+        pts.push(Point2::new(
+            rng.gen::<f64>() * side,
+            rng.gen::<f64>() * side,
+        ));
     }
     pts
 }
@@ -65,7 +74,13 @@ pub fn dense_core_sparse_halo(
 /// A `cols × rows` grid with spacing `pitch` and per-point uniform jitter
 /// of magnitude `jitter` in each axis. Approximates engineered sensor
 /// deployments.
-pub fn grid_jitter(cols: usize, rows: usize, pitch: f64, jitter: f64, rng: &mut impl Rng) -> Vec<Point2> {
+pub fn grid_jitter(
+    cols: usize,
+    rows: usize,
+    pitch: f64,
+    jitter: f64,
+    rng: &mut impl Rng,
+) -> Vec<Point2> {
     let mut pts = Vec::with_capacity(cols * rows);
     for y in 0..rows {
         for x in 0..cols {
@@ -96,7 +111,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let pts = uniform_square(500, 3.0, &mut rng);
         assert_eq!(pts.len(), 500);
-        assert!(pts.iter().all(|p| (0.0..=3.0).contains(&p.x) && (0.0..=3.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=3.0).contains(&p.x) && (0.0..=3.0).contains(&p.y)));
     }
 
     #[test]
@@ -131,7 +148,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

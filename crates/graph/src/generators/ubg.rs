@@ -12,7 +12,10 @@ use crate::graph::{Graph, GraphBuilder, NodeId};
 /// Builds the unit ball graph over `points` under `metric` with
 /// connection `radius`.
 pub fn build_ubg<P, M: Metric<P>>(points: &[P], metric: &M, radius: f64) -> Graph {
-    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "radius must be positive"
+    );
     let mut b = GraphBuilder::new(points.len());
     for i in 0..points.len() {
         for j in (i + 1)..points.len() {

@@ -12,7 +12,10 @@ use crate::spatial::GridIndex;
 ///
 /// Uses a grid index, expected `O(n + m)` for uniformly spread points.
 pub fn build_udg(points: &[Point2], radius: f64) -> Graph {
-    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "radius must be positive"
+    );
     let idx = GridIndex::build(points, radius);
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(points.len());
@@ -39,7 +42,10 @@ pub fn build_udg(points: &[Point2], radius: f64) -> Graph {
 /// Panics if `target_delta < 2` or `n == 0`.
 pub fn udg_side_for_target_degree(n: usize, target_delta: f64) -> f64 {
     assert!(n > 0, "need at least one node");
-    assert!(target_delta >= 2.0, "target closed degree must be at least 2");
+    assert!(
+        target_delta >= 2.0,
+        "target closed degree must be at least 2"
+    );
     (std::f64::consts::PI * n as f64 / (target_delta - 1.0)).sqrt()
 }
 

@@ -148,7 +148,10 @@ impl<M> Snowflake<M> {
     /// # Panics
     /// Panics if `epsilon` is outside `(0, 1]`.
     pub fn new(base: M, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon <= 1.0, "snowflake exponent must be in (0,1]");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "snowflake exponent must be in (0,1]"
+        );
         Snowflake { base, epsilon }
     }
 }

@@ -144,7 +144,10 @@ impl Graph {
     /// The subgraph induced by `nodes` (which must be sorted and unique),
     /// together with the mapping from new index to old `NodeId`.
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
-        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be sorted+unique");
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "nodes must be sorted+unique"
+        );
         let mut b = GraphBuilder::new(nodes.len());
         for (new_u, &old_u) in nodes.iter().enumerate() {
             for &old_v in self.neighbors(old_u) {
@@ -189,7 +192,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` nodes with no edges yet.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -208,7 +214,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if `u >= n` or `v >= n`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
         if u == v {
             return;
         }

@@ -20,11 +20,7 @@ pub fn to_dot(g: &Graph, points: Option<&[Point2]>, colors: Option<&Coloring>) -
         if let Some(cs) = colors {
             match cs[v as usize] {
                 Some(c) => {
-                    let _ = write!(
-                        out,
-                        "label=\"{v}:{c}\", fillcolor=\"{}\", ",
-                        palette_hex(c)
-                    );
+                    let _ = write!(out, "label=\"{v}:{c}\", fillcolor=\"{}\", ", palette_hex(c));
                 }
                 None => {
                     let _ = write!(out, "label=\"{v}:?\", fillcolor=\"#dddddd\", ");
@@ -91,12 +87,16 @@ pub fn to_svg(
         .iter()
         .map(|p| p.x)
         .chain(walls.iter().flat_map(|w| [w.a.x, w.b.x]))
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| (lo.min(x), hi.max(x)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| {
+            (lo.min(x), hi.max(x))
+        });
     let (min_y, max_y) = points
         .iter()
         .map(|p| p.y)
         .chain(walls.iter().flat_map(|w| [w.a.y, w.b.y]))
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), y| (lo.min(y), hi.max(y)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), y| {
+            (lo.min(y), hi.max(y))
+        });
     let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
     let margin = 0.04 * pixels;
     let scale = (pixels - 2.0 * margin) / span;

@@ -33,8 +33,8 @@ pub mod analysis;
 pub mod bitset;
 pub mod generators;
 pub mod geometry;
-pub mod io;
 pub mod graph;
+pub mod io;
 pub mod obstacle;
 pub mod spatial;
 

@@ -73,15 +73,25 @@ impl GridIndex {
             items[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        GridIndex { cell, min_x, min_y, cols, rows, starts, items }
+        GridIndex {
+            cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            starts,
+            items,
+        }
     }
 
     /// Calls `f(j)` for every point index `j` whose cell is within one
     /// cell of `p`'s cell in either axis (a superset of the points within
     /// distance `cell` of `p`; the caller filters by exact distance).
     pub fn for_each_candidate(&self, p: &Point2, mut f: impl FnMut(u32)) {
-        let cx = (((p.x - self.min_x) / self.cell).floor() as isize).clamp(0, self.cols as isize - 1);
-        let cy = (((p.y - self.min_y) / self.cell).floor() as isize).clamp(0, self.rows as isize - 1);
+        let cx =
+            (((p.x - self.min_x) / self.cell).floor() as isize).clamp(0, self.cols as isize - 1);
+        let cy =
+            (((p.y - self.min_y) / self.cell).floor() as isize).clamp(0, self.rows as isize - 1);
         for dy in -1..=1isize {
             let y = cy + dy;
             if y < 0 || y >= self.rows as isize {
@@ -105,7 +115,10 @@ impl GridIndex {
     /// Collects the indices of all points within distance `radius ≤ cell`
     /// of `points[i]`, excluding `i` itself.
     pub fn neighbors_within(&self, points: &[Point2], i: u32, radius: f64) -> Vec<u32> {
-        debug_assert!(radius <= self.cell + 1e-12, "radius must not exceed cell side");
+        debug_assert!(
+            radius <= self.cell + 1e-12,
+            "radius must not exceed cell side"
+        );
         let r2 = radius * radius;
         let p = points[i as usize];
         let mut out = Vec::new();
@@ -142,7 +155,10 @@ mod tests {
         }
         let idx = GridIndex::build(&points, 1.0);
         for i in 0..points.len() as u32 {
-            assert_eq!(idx.neighbors_within(&points, i, 1.0), brute_neighbors(&points, i, 1.0));
+            assert_eq!(
+                idx.neighbors_within(&points, i, 1.0),
+                brute_neighbors(&points, i, 1.0)
+            );
         }
     }
 

@@ -11,6 +11,7 @@
 //! changes, which simply re-draw).
 
 use super::{NodeStats, SimConfig, SimOutcome};
+use crate::delivery::DeliveryKernel;
 use crate::protocol::{Behavior, RadioProtocol, Slot};
 use crate::rng::{geometric_failures, node_rng};
 use radio_graph::{Graph, NodeId};
@@ -48,10 +49,18 @@ pub fn run_event<P: RadioProtocol>(
     assert_eq!(protocols.len(), n, "protocol vector length mismatch");
 
     let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
-    let mut recs: Vec<NodeRec> = (0..n).map(|_| NodeRec { behavior: None, gen: 0 }).collect();
+    let mut recs: Vec<NodeRec> = (0..n)
+        .map(|_| NodeRec {
+            behavior: None,
+            gen: 0,
+        })
+        .collect();
     let mut stats: Vec<NodeStats> = wake
         .iter()
-        .map(|&w| NodeStats { wake: w, ..NodeStats::default() })
+        .map(|&w| NodeStats {
+            wake: w,
+            ..NodeStats::default()
+        })
         .collect();
     let mut decided = vec![false; n];
     let mut undecided = n;
@@ -63,10 +72,8 @@ pub fn run_event<P: RadioProtocol>(
         .map(|(v, &w)| Reverse((w, KIND_WAKE, v as NodeId, 0)))
         .collect();
 
-    let mut tx_stamp: Vec<Slot> = vec![Slot::MAX; n];
-    let mut seen_stamp: Vec<Slot> = vec![Slot::MAX; n];
+    let mut kernel = DeliveryKernel::new(n);
     let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
-    let mut transmitters: Vec<NodeId> = Vec::new();
 
     let mut slots_run: Slot = 0;
     let mut all_decided = n == 0;
@@ -97,7 +104,7 @@ pub fn run_event<P: RadioProtocol>(
             break;
         }
         slots_run = slot;
-        transmitters.clear();
+        kernel.begin_slot();
 
         // Drain every event scheduled for this slot. The heap orders by
         // (slot, kind), so wake-ups run before deadlines before
@@ -113,7 +120,10 @@ pub fn run_event<P: RadioProtocol>(
                 KIND_WAKE => {
                     let b = protocols[vi].on_wake(slot, &mut rngs[vi]);
                     b.validate();
-                    debug_assert!(b.until().is_none_or(|u| u > slot), "on_wake deadline must be > now");
+                    debug_assert!(
+                        b.until().is_none_or(|u| u > slot),
+                        "on_wake deadline must be > now"
+                    );
                     recs[vi].behavior = Some(b);
                     woken += 1;
                     schedule(&mut heap, &recs, &mut rngs, v, slot);
@@ -129,7 +139,10 @@ pub fn run_event<P: RadioProtocol>(
                     }
                     let b = protocols[vi].on_deadline(slot, &mut rngs[vi]);
                     b.validate();
-                    assert!(b.until().is_none_or(|u| u > slot), "on_deadline must return deadline > now");
+                    assert!(
+                        b.until().is_none_or(|u| u > slot),
+                        "on_deadline must return deadline > now"
+                    );
                     recs[vi].gen += 1;
                     recs[vi].behavior = Some(b);
                     schedule(&mut heap, &recs, &mut rngs, v, slot);
@@ -146,13 +159,11 @@ pub fn run_event<P: RadioProtocol>(
                     debug_assert!(matches!(recs[vi].behavior, Some(Behavior::Transmit { .. })));
                     let msg = protocols[vi].message(slot, &mut rngs[vi]);
                     air[vi] = Some(msg);
-                    tx_stamp[vi] = slot;
                     stats[vi].sent += 1;
-                    transmitters.push(v);
+                    kernel.transmit(graph, v);
                     // Next transmission of the same segment.
                     if let Some(Behavior::Transmit { p, .. }) = recs[vi].behavior {
-                        let next =
-                            (slot + 1).saturating_add(geometric_failures(p, &mut rngs[vi]));
+                        let next = (slot + 1).saturating_add(geometric_failures(p, &mut rngs[vi]));
                         heap.push(Reverse((next, KIND_TX, v, gen)));
                     }
                 }
@@ -160,54 +171,38 @@ pub fn run_event<P: RadioProtocol>(
             }
         }
 
-        // Deliveries (identical logic to the lock-step engine).
-        for &t in &transmitters {
-            for &u in graph.neighbors(t) {
-                let ui = u as usize;
-                if seen_stamp[ui] == slot {
-                    continue;
+        // Deliveries (identical semantics to the lock-step engine): the
+        // kernel scattered per-listener counts as transmissions fired,
+        // so this is one flat pass over the touched listeners.
+        for &u in kernel.touched() {
+            let ui = u as usize;
+            if kernel.is_transmitter(u) {
+                continue; // transmitting: cannot receive
+            }
+            if wake[ui] > slot {
+                continue; // asleep
+            }
+            if let Some(w) = kernel.unique_sender(u) {
+                let msg = air[w as usize].clone().expect("transmitter has a message");
+                stats[ui].received += 1;
+                if let Some(nb) = protocols[ui].on_receive(slot, &msg, &mut rngs[ui]) {
+                    nb.validate();
+                    assert!(
+                        nb.until().is_none_or(|x| x > slot),
+                        "on_receive must return deadline > now"
+                    );
+                    recs[ui].gen += 1;
+                    recs[ui].behavior = Some(nb);
+                    // New segment governs from slot + 1.
+                    schedule(&mut heap, &recs, &mut rngs, u, slot + 1);
                 }
-                seen_stamp[ui] = slot;
-                if tx_stamp[ui] == slot {
-                    continue; // transmitting: cannot receive
+                if !decided[ui] && protocols[ui].is_decided() {
+                    decided[ui] = true;
+                    stats[ui].decided_at = Some(slot);
+                    undecided -= 1;
                 }
-                if wake[ui] > slot {
-                    continue; // asleep
-                }
-                let mut sender: Option<NodeId> = None;
-                let mut count = 0u32;
-                for &w in graph.neighbors(u) {
-                    if tx_stamp[w as usize] == slot {
-                        count += 1;
-                        if count > 1 {
-                            break;
-                        }
-                        sender = Some(w);
-                    }
-                }
-                if count == 1 {
-                    let w = sender.expect("count == 1 implies a sender");
-                    let msg = air[w as usize].clone().expect("transmitter has a message");
-                    stats[ui].received += 1;
-                    if let Some(nb) = protocols[ui].on_receive(slot, &msg, &mut rngs[ui]) {
-                        nb.validate();
-                        assert!(
-                            nb.until().is_none_or(|x| x > slot),
-                            "on_receive must return deadline > now"
-                        );
-                        recs[ui].gen += 1;
-                        recs[ui].behavior = Some(nb);
-                        // New segment governs from slot + 1.
-                        schedule(&mut heap, &recs, &mut rngs, u, slot + 1);
-                    }
-                    if !decided[ui] && protocols[ui].is_decided() {
-                        decided[ui] = true;
-                        stats[ui].decided_at = Some(slot);
-                        undecided -= 1;
-                    }
-                } else {
-                    stats[ui].collisions += 1;
-                }
+            } else {
+                stats[ui].collisions += 1;
             }
         }
 
@@ -217,7 +212,12 @@ pub fn run_event<P: RadioProtocol>(
         }
     }
 
-    SimOutcome { protocols, stats, all_decided, slots_run }
+    SimOutcome {
+        protocols,
+        stats,
+        all_decided,
+        slots_run,
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +240,10 @@ mod tests {
         type Message = u32;
 
         fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
-            Behavior::Transmit { p: self.p, until: None }
+            Behavior::Transmit {
+                p: self.p,
+                until: None,
+            }
         }
 
         fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
@@ -266,9 +269,24 @@ mod tests {
         let g = path(3);
         let mk = || {
             vec![
-                Chatter { p: 1.0, need: 0, got: 0, id: 0 },
-                Chatter { p: f64::MIN_POSITIVE, need: 5, got: 0, id: 1 },
-                Chatter { p: f64::MIN_POSITIVE, need: 0, got: 0, id: 2 },
+                Chatter {
+                    p: 1.0,
+                    need: 0,
+                    got: 0,
+                    id: 0,
+                },
+                Chatter {
+                    p: f64::MIN_POSITIVE,
+                    need: 5,
+                    got: 0,
+                    id: 1,
+                },
+                Chatter {
+                    p: f64::MIN_POSITIVE,
+                    need: 0,
+                    got: 0,
+                    id: 2,
+                },
             ]
         };
         let cfg = SimConfig { max_slots: 1000 };
@@ -283,9 +301,24 @@ mod tests {
     fn collisions_counted() {
         let g = star(3);
         let protos = vec![
-            Chatter { p: f64::MIN_POSITIVE, need: 0, got: 0, id: 0 },
-            Chatter { p: 1.0, need: 0, got: 0, id: 1 },
-            Chatter { p: 1.0, need: 0, got: 0, id: 2 },
+            Chatter {
+                p: f64::MIN_POSITIVE,
+                need: 0,
+                got: 0,
+                id: 0,
+            },
+            Chatter {
+                p: 1.0,
+                need: 0,
+                got: 0,
+                id: 1,
+            },
+            Chatter {
+                p: 1.0,
+                need: 0,
+                got: 0,
+                id: 2,
+            },
         ];
         let out = run_event(&g, &[0, 0, 0], protos, 2, &SimConfig { max_slots: 50 });
         assert_eq!(out.stats[0].received, 0);
@@ -296,8 +329,18 @@ mod tests {
     fn asleep_nodes_miss_messages() {
         let g = path(2);
         let protos = vec![
-            Chatter { p: 1.0, need: 0, got: 0, id: 0 },
-            Chatter { p: f64::MIN_POSITIVE, need: 3, got: 0, id: 1 },
+            Chatter {
+                p: 1.0,
+                need: 0,
+                got: 0,
+                id: 0,
+            },
+            Chatter {
+                p: f64::MIN_POSITIVE,
+                need: 3,
+                got: 0,
+                id: 1,
+            },
         ];
         let out = run_event(&g, &[0, 10], protos, 3, &SimConfig { max_slots: 100 });
         assert!(out.all_decided);
@@ -312,8 +355,18 @@ mod tests {
         let g = path(2);
         let mk = || {
             vec![
-                Chatter { p: 0.2, need: 0, got: 0, id: 0 },
-                Chatter { p: f64::MIN_POSITIVE, need: 20, got: 0, id: 1 },
+                Chatter {
+                    p: 0.2,
+                    need: 0,
+                    got: 0,
+                    id: 0,
+                },
+                Chatter {
+                    p: f64::MIN_POSITIVE,
+                    need: 20,
+                    got: 0,
+                    id: 1,
+                },
             ]
         };
         let cfg = SimConfig { max_slots: 10_000 };
@@ -339,13 +392,18 @@ mod tests {
         type Message = u32;
 
         fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
-            Behavior::Silent { until: Some(now + 5) }
+            Behavior::Silent {
+                until: Some(now + 5),
+            }
         }
 
         fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
             self.phase += 1;
             match self.phase {
-                1 => Behavior::Transmit { p: 1.0, until: Some(now + 3) },
+                1 => Behavior::Transmit {
+                    p: 1.0,
+                    until: Some(now + 3),
+                },
                 _ => Behavior::Silent { until: None },
             }
         }
@@ -367,13 +425,30 @@ mod tests {
     fn deadline_sequencing_matches_lockstep_exactly() {
         let g = path(2);
         let cfg = SimConfig::default();
-        let a = run_event(&g, &[0, 100], vec![Phased { phase: 0 }, Phased { phase: 0 }], 4, &cfg);
-        let b =
-            run_lockstep(&g, &[0, 100], vec![Phased { phase: 0 }, Phased { phase: 0 }], 4, &cfg);
+        let a = run_event(
+            &g,
+            &[0, 100],
+            vec![Phased { phase: 0 }, Phased { phase: 0 }],
+            4,
+            &cfg,
+        );
+        let b = run_lockstep(
+            &g,
+            &[0, 100],
+            vec![Phased { phase: 0 }, Phased { phase: 0 }],
+            4,
+            &cfg,
+        );
         for v in 0..2 {
             assert_eq!(a.stats[v].sent, b.stats[v].sent, "node {v} sent");
-            assert_eq!(a.stats[v].decided_at, b.stats[v].decided_at, "node {v} decided");
-            assert_eq!(a.stats[v].received, b.stats[v].received, "node {v} received");
+            assert_eq!(
+                a.stats[v].decided_at, b.stats[v].decided_at,
+                "node {v} decided"
+            );
+            assert_eq!(
+                a.stats[v].received, b.stats[v].received,
+                "node {v} received"
+            );
         }
         assert_eq!(a.stats[0].sent, 3);
         assert_eq!(a.stats[0].decided_at, Some(8));

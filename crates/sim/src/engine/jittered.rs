@@ -24,6 +24,7 @@
 //! paper predicts.
 
 use super::{NodeStats, SimConfig, SimOutcome};
+use crate::delivery::OverlapKernel;
 use crate::protocol::{Behavior, RadioProtocol, Slot};
 use crate::rng::node_rng;
 use radio_graph::{Graph, NodeId};
@@ -61,8 +62,13 @@ pub fn run_jittered<P: RadioProtocol>(
 
     let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
     let mut behaviors: Vec<Option<Behavior>> = vec![None; n];
-    let mut stats: Vec<NodeStats> =
-        wake.iter().map(|&w| NodeStats { wake: w, ..NodeStats::default() }).collect();
+    let mut stats: Vec<NodeStats> = wake
+        .iter()
+        .map(|&w| NodeStats {
+            wake: w,
+            ..NodeStats::default()
+        })
+        .collect();
     let mut decided = vec![false; n];
     let mut undecided = n;
 
@@ -72,12 +78,16 @@ pub fn run_jittered<P: RadioProtocol>(
     let mut next_wake = 0usize;
     let mut awake: Vec<NodeId> = Vec::with_capacity(n);
 
-    // The two most recent transmission starts per node (−10 = never).
-    // Two suffice: a node starts at most one packet per local slot, so
+    // The two most recent transmission starts per node (−10 = never),
+    // used for the listener's own "was I transmitting?" check. Two
+    // suffice: a node starts at most one packet per local slot, so
     // anything older than the previous start cannot overlap a packet
-    // evaluated now.
+    // evaluated now. Neighbor interference is answered in O(1) by the
+    // scatter kernel instead of re-scanning every neighbor's starts.
     let mut tx_starts: Vec<[i64; 2]> = vec![[-10, -10]; n];
-    let overlaps = |starts: &[i64; 2], s: i64| (starts[0] - s).abs() <= 1 || (starts[1] - s).abs() <= 1;
+    let overlaps =
+        |starts: &[i64; 2], s: i64| (starts[0] - s).abs() <= 1 || (starts[1] - s).abs() <= 1;
+    let mut kernel = OverlapKernel::new(n);
     let mut pending: VecDeque<Packet<P::Message>> = VecDeque::new();
 
     let mut slots_run = 0;
@@ -111,14 +121,7 @@ pub fn run_jittered<P: RadioProtocol>(
                     continue;
                 }
                 // (b) any other neighbor's packet overlaps?
-                let mut interfered = false;
-                for &w in graph.neighbors(v) {
-                    if w != p.node && overlaps(&tx_starts[w as usize], s) {
-                        interfered = true;
-                        break;
-                    }
-                }
-                if interfered {
+                if kernel.interferes(v, p.start, p.node) {
                     stats[vi].collisions += 1;
                     continue;
                 }
@@ -183,7 +186,10 @@ pub fn run_jittered<P: RadioProtocol>(
                 if b.until() == Some(t) {
                     let nb = protocols[vi].on_deadline(t, &mut rngs[vi]);
                     nb.validate();
-                    assert!(nb.until().is_none_or(|u| u > t), "on_deadline must return deadline > now");
+                    assert!(
+                        nb.until().is_none_or(|u| u > t),
+                        "on_deadline must return deadline > now"
+                    );
                     behaviors[vi] = Some(nb);
                     if !decided[vi] && protocols[vi].is_decided() {
                         decided[vi] = true;
@@ -197,7 +203,12 @@ pub fn run_jittered<P: RadioProtocol>(
                     let msg = protocols[vi].message(t, &mut rngs[vi]);
                     tx_starts[vi] = [half as i64, tx_starts[vi][0]];
                     stats[vi].sent += 1;
-                    pending.push_back(Packet { start: half, node: v, msg });
+                    kernel.transmit(graph, v, half);
+                    pending.push_back(Packet {
+                        start: half,
+                        node: v,
+                        msg,
+                    });
                 }
             }
         }
@@ -214,7 +225,12 @@ pub fn run_jittered<P: RadioProtocol>(
         half += 1;
     }
 
-    SimOutcome { protocols, stats, all_decided, slots_run }
+    SimOutcome {
+        protocols,
+        stats,
+        all_decided,
+        slots_run,
+    }
 }
 
 /// Random phase bits for `n` nodes.
@@ -241,7 +257,10 @@ mod tests {
         type Message = u8;
 
         fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
-            Behavior::Transmit { p: self.p, until: None }
+            Behavior::Transmit {
+                p: self.p,
+                until: None,
+            }
         }
 
         fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
@@ -267,9 +286,21 @@ mod tests {
         let g = path(3);
         let mk = || {
             vec![
-                Chatter { p: 1.0, need: 0, got: 0 },
-                Chatter { p: 1e-12, need: 5, got: 0 },
-                Chatter { p: 1e-12, need: 0, got: 0 },
+                Chatter {
+                    p: 1.0,
+                    need: 0,
+                    got: 0,
+                },
+                Chatter {
+                    p: 1e-12,
+                    need: 5,
+                    got: 0,
+                },
+                Chatter {
+                    p: 1e-12,
+                    need: 0,
+                    got: 0,
+                },
             ]
         };
         let cfg = SimConfig { max_slots: 10_000 };
@@ -289,9 +320,21 @@ mod tests {
         // never decodes anything (every packet overlaps the other's).
         let g = star(3);
         let protos = vec![
-            Chatter { p: 1e-12, need: 1, got: 0 },
-            Chatter { p: 1.0, need: 0, got: 0 },
-            Chatter { p: 1.0, need: 0, got: 0 },
+            Chatter {
+                p: 1e-12,
+                need: 1,
+                got: 0,
+            },
+            Chatter {
+                p: 1.0,
+                need: 0,
+                got: 0,
+            },
+            Chatter {
+                p: 1.0,
+                need: 0,
+                got: 0,
+            },
         ];
         let out = run_jittered(
             &g,
@@ -302,7 +345,10 @@ mod tests {
             &SimConfig { max_slots: 300 },
         );
         assert!(!out.all_decided);
-        assert_eq!(out.stats[0].received, 0, "misaligned continuous senders always overlap");
+        assert_eq!(
+            out.stats[0].received, 0,
+            "misaligned continuous senders always overlap"
+        );
         assert!(out.stats[0].collisions > 0);
     }
 
@@ -312,8 +358,16 @@ mod tests {
         // packet is uncontended, so it decodes despite misalignment.
         let g = path(2);
         let protos = vec![
-            Chatter { p: 1.0, need: 0, got: 0 },
-            Chatter { p: 1e-12, need: 5, got: 0 },
+            Chatter {
+                p: 1.0,
+                need: 0,
+                got: 0,
+            },
+            Chatter {
+                p: 1e-12,
+                need: 5,
+                got: 0,
+            },
         ];
         let out = run_jittered(
             &g,
@@ -331,8 +385,18 @@ mod tests {
     fn transmitter_cannot_receive_overlapping_packets() {
         // Both always transmitting on opposite phases: no receptions.
         let g = path(2);
-        let protos =
-            vec![Chatter { p: 1.0, need: 1, got: 0 }, Chatter { p: 1.0, need: 1, got: 0 }];
+        let protos = vec![
+            Chatter {
+                p: 1.0,
+                need: 1,
+                got: 0,
+            },
+            Chatter {
+                p: 1.0,
+                need: 1,
+                got: 0,
+            },
+        ];
         let out = run_jittered(
             &g,
             &[0, 0],
@@ -349,8 +413,16 @@ mod tests {
     fn sleeping_nodes_do_not_decode_mid_packet() {
         let g = path(2);
         let protos = vec![
-            Chatter { p: 1.0, need: 0, got: 0 },
-            Chatter { p: 1e-12, need: 3, got: 0 },
+            Chatter {
+                p: 1.0,
+                need: 0,
+                got: 0,
+            },
+            Chatter {
+                p: 1e-12,
+                need: 3,
+                got: 0,
+            },
         ];
         let out = run_jittered(
             &g,

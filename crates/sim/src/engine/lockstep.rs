@@ -3,11 +3,26 @@
 //! direct transcription of the model in Sect. 2 of the paper.
 
 use super::{NodeStats, SimConfig, SimOutcome};
+use crate::delivery::DeliveryKernel;
 use crate::protocol::{Behavior, RadioProtocol, Slot};
 use crate::rng::node_rng;
 use radio_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// `true` when `v` no longer needs per-slot attention: it has decided
+/// and is permanently silent, so it draws no randomness, meets no
+/// deadline, and never transmits again. Such nodes are compacted out of
+/// the active set (they can still *receive*; a reactivating
+/// `on_receive` puts them back).
+#[inline]
+fn retired(decided: &[bool], behaviors: &[Option<Behavior>], v: NodeId) -> bool {
+    decided[v as usize]
+        && matches!(
+            behaviors[v as usize],
+            Some(Behavior::Silent { until: None })
+        )
+}
 
 /// Runs `protocols` on `graph` with the given per-node wake slots.
 ///
@@ -28,7 +43,10 @@ pub fn run_lockstep<P: RadioProtocol>(
     let mut behaviors: Vec<Option<Behavior>> = vec![None; n];
     let mut stats: Vec<NodeStats> = wake
         .iter()
-        .map(|&w| NodeStats { wake: w, ..NodeStats::default() })
+        .map(|&w| NodeStats {
+            wake: w,
+            ..NodeStats::default()
+        })
         .collect();
     let mut decided = vec![false; n];
     let mut undecided = n;
@@ -37,13 +55,14 @@ pub fn run_lockstep<P: RadioProtocol>(
     let mut wake_order: Vec<NodeId> = (0..n as NodeId).collect();
     wake_order.sort_by_key(|&v| wake[v as usize]);
     let mut next_wake = 0usize;
-    let mut awake: Vec<NodeId> = Vec::with_capacity(n);
+    // Active set: awake nodes that still need per-slot attention.
+    // Retired nodes (see `retired`) are compacted out; `in_active`
+    // tracks membership so a reactivating receive can re-insert.
+    let mut active: Vec<NodeId> = Vec::with_capacity(n);
+    let mut in_active: Vec<bool> = vec![false; n];
 
-    // Slot-stamped scratch (no per-slot clearing).
-    let mut tx_stamp: Vec<Slot> = vec![Slot::MAX; n];
-    let mut seen_stamp: Vec<Slot> = vec![Slot::MAX; n];
+    let mut kernel = DeliveryKernel::new(n);
     let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
-    let mut transmitters: Vec<NodeId> = Vec::new();
 
     let mut slots_run = 0;
     let mut all_decided = n == 0;
@@ -51,10 +70,10 @@ pub fn run_lockstep<P: RadioProtocol>(
     while slot <= cfg.max_slots {
         slots_run = slot;
         let note = |v: NodeId,
-                        protocols: &Vec<P>,
-                        decided: &mut Vec<bool>,
-                        undecided: &mut usize,
-                        stats: &mut Vec<NodeStats>| {
+                    protocols: &[P],
+                    decided: &mut [bool],
+                    undecided: &mut usize,
+                    stats: &mut [NodeStats]| {
             if !decided[v as usize] && protocols[v as usize].is_decided() {
                 decided[v as usize] = true;
                 stats[v as usize].decided_at = Some(slot);
@@ -66,83 +85,82 @@ pub fn run_lockstep<P: RadioProtocol>(
         while next_wake < n && wake[wake_order[next_wake] as usize] == slot {
             let v = wake_order[next_wake];
             next_wake += 1;
-            awake.push(v);
+            active.push(v);
+            in_active[v as usize] = true;
             let b = protocols[v as usize].on_wake(slot, &mut rngs[v as usize]);
             b.validate();
-            debug_assert!(b.until().is_none_or(|u| u > slot), "on_wake deadline must be > now");
+            debug_assert!(
+                b.until().is_none_or(|u| u > slot),
+                "on_wake deadline must be > now"
+            );
             behaviors[v as usize] = Some(b);
             note(v, &protocols, &mut decided, &mut undecided, &mut stats);
         }
 
         // 2. Deadlines.
-        for &v in &awake {
-            let Some(b) = behaviors[v as usize] else { continue };
+        for &v in &active {
+            let Some(b) = behaviors[v as usize] else {
+                continue;
+            };
             if b.until() == Some(slot) {
                 let nb = protocols[v as usize].on_deadline(slot, &mut rngs[v as usize]);
                 nb.validate();
-                assert!(nb.until().is_none_or(|u| u > slot), "on_deadline must return deadline > now");
+                assert!(
+                    nb.until().is_none_or(|u| u > slot),
+                    "on_deadline must return deadline > now"
+                );
                 behaviors[v as usize] = Some(nb);
                 note(v, &protocols, &mut decided, &mut undecided, &mut stats);
             }
         }
 
-        // 3. Transmission decisions.
-        transmitters.clear();
-        for &v in &awake {
+        // 3. Transmission decisions: scatter each transmission to the
+        //    neighbors' delivery accumulators as it happens.
+        kernel.begin_slot();
+        for &v in &active {
             if let Some(Behavior::Transmit { p, .. }) = behaviors[v as usize] {
                 if rngs[v as usize].gen_bool(p) {
                     let msg = protocols[v as usize].message(slot, &mut rngs[v as usize]);
                     air[v as usize] = Some(msg);
-                    tx_stamp[v as usize] = slot;
                     stats[v as usize].sent += 1;
-                    transmitters.push(v);
+                    kernel.transmit(graph, v);
                 }
             }
         }
 
         // 4. Deliveries: a listener receives iff exactly one neighbor
-        //    transmitted. Sleeping nodes receive nothing.
-        for &t in &transmitters {
-            for &u in graph.neighbors(t) {
-                if seen_stamp[u as usize] == slot {
-                    continue; // already handled this listener
-                }
-                seen_stamp[u as usize] = slot;
-                if tx_stamp[u as usize] == slot {
-                    continue; // transmitting itself: cannot receive
-                }
-                if wake[u as usize] > slot {
-                    continue; // still asleep
-                }
-                let mut sender: Option<NodeId> = None;
-                let mut count = 0u32;
-                for &w in graph.neighbors(u) {
-                    if tx_stamp[w as usize] == slot {
-                        count += 1;
-                        if count > 1 {
-                            break;
-                        }
-                        sender = Some(w);
+        //    transmitted. Sleeping nodes receive nothing. The kernel
+        //    already accumulated per-listener counts, so this is a flat
+        //    pass over the touched listeners — no neighborhood re-scan.
+        for &u in kernel.touched() {
+            if kernel.is_transmitter(u) {
+                continue; // transmitting itself: cannot receive
+            }
+            if wake[u as usize] > slot {
+                continue; // still asleep
+            }
+            if let Some(w) = kernel.unique_sender(u) {
+                let msg = air[w as usize].clone().expect("transmitter has a message");
+                stats[u as usize].received += 1;
+                if let Some(nb) =
+                    protocols[u as usize].on_receive(slot, &msg, &mut rngs[u as usize])
+                {
+                    nb.validate();
+                    assert!(
+                        nb.until().is_none_or(|x| x > slot),
+                        "on_receive must return deadline > now"
+                    );
+                    behaviors[u as usize] = Some(nb);
+                    // A retired node that picked up a new behavior
+                    // needs per-slot attention again.
+                    if !in_active[u as usize] {
+                        in_active[u as usize] = true;
+                        active.push(u);
                     }
                 }
-                if count == 1 {
-                    let w = sender.expect("count == 1 implies a sender");
-                    let msg = air[w as usize].clone().expect("transmitter has a message");
-                    stats[u as usize].received += 1;
-                    if let Some(nb) =
-                        protocols[u as usize].on_receive(slot, &msg, &mut rngs[u as usize])
-                    {
-                        nb.validate();
-                        assert!(
-                            nb.until().is_none_or(|x| x > slot),
-                            "on_receive must return deadline > now"
-                        );
-                        behaviors[u as usize] = Some(nb);
-                    }
-                    note(u, &protocols, &mut decided, &mut undecided, &mut stats);
-                } else {
-                    stats[u as usize].collisions += 1;
-                }
+                note(u, &protocols, &mut decided, &mut undecided, &mut stats);
+            } else {
+                stats[u as usize].collisions += 1;
             }
         }
 
@@ -151,10 +169,24 @@ pub fn run_lockstep<P: RadioProtocol>(
             all_decided = true;
             break;
         }
+
+        // 6. Compaction: drop retired nodes from the active set. They
+        //    draw no randomness and never transmit, so removal cannot
+        //    change any outcome — it only shrinks the per-slot loops.
+        active.retain(|&v| {
+            let keep = !retired(&decided, &behaviors, v);
+            in_active[v as usize] = keep;
+            keep
+        });
         slot += 1;
     }
 
-    SimOutcome { protocols, stats, all_decided, slots_run }
+    SimOutcome {
+        protocols,
+        stats,
+        all_decided,
+        slots_run,
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +207,13 @@ mod tests {
 
     impl Chatter {
         fn new(id: u32, p: f64, need: u64) -> Self {
-            Chatter { p, need, got: 0, last: None, id }
+            Chatter {
+                p,
+                need,
+                got: 0,
+                last: None,
+                id,
+            }
         }
     }
 
@@ -183,7 +221,10 @@ mod tests {
         type Message = u32;
 
         fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
-            Behavior::Transmit { p: self.p, until: None }
+            Behavior::Transmit {
+                p: self.p,
+                until: None,
+            }
         }
 
         fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
@@ -253,7 +294,10 @@ mod tests {
     #[test]
     fn sleeping_nodes_receive_nothing() {
         let g = path(2);
-        let protos = vec![Chatter::new(0, 1.0, 0), Chatter::new(1, f64::MIN_POSITIVE, 3)];
+        let protos = vec![
+            Chatter::new(0, 1.0, 0),
+            Chatter::new(1, f64::MIN_POSITIVE, 3),
+        ];
         // Node 1 wakes at slot 10; messages before that are lost.
         let out = run_lockstep(&g, &[0, 10], protos, 4, &SimConfig { max_slots: 100 });
         assert!(out.all_decided);
@@ -305,13 +349,18 @@ mod tests {
 
         fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
             self.phase = 0;
-            Behavior::Silent { until: Some(now + 5) }
+            Behavior::Silent {
+                until: Some(now + 5),
+            }
         }
 
         fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
             self.phase += 1;
             match self.phase {
-                1 => Behavior::Transmit { p: 1.0, until: Some(now + 3) },
+                1 => Behavior::Transmit {
+                    p: 1.0,
+                    until: Some(now + 3),
+                },
                 _ => Behavior::Silent { until: None },
             }
         }

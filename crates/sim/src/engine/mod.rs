@@ -31,7 +31,9 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_slots: 50_000_000 }
+        SimConfig {
+            max_slots: 50_000_000,
+        }
     }
 }
 
@@ -78,7 +80,12 @@ impl<P> SimOutcome<P> {
     /// The algorithm's time complexity: the maximum `T_v` over all nodes
     /// (paper Sect. 2). `None` if some node never decided.
     pub fn max_decision_time(&self) -> Option<Slot> {
-        self.stats.iter().map(NodeStats::decision_time).collect::<Option<Vec<_>>>()?.into_iter().max()
+        self.stats
+            .iter()
+            .map(NodeStats::decision_time)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
     }
 
     /// Total number of transmissions across all nodes.
@@ -98,9 +105,17 @@ mod tests {
 
     #[test]
     fn decision_time_is_relative_to_wake() {
-        let s = NodeStats { wake: 10, decided_at: Some(25), ..NodeStats::default() };
+        let s = NodeStats {
+            wake: 10,
+            decided_at: Some(25),
+            ..NodeStats::default()
+        };
         assert_eq!(s.decision_time(), Some(15));
-        let s = NodeStats { wake: 10, decided_at: None, ..NodeStats::default() };
+        let s = NodeStats {
+            wake: 10,
+            decided_at: None,
+            ..NodeStats::default()
+        };
         assert_eq!(s.decision_time(), None);
     }
 
@@ -109,8 +124,20 @@ mod tests {
         let out: SimOutcome<()> = SimOutcome {
             protocols: vec![(), ()],
             stats: vec![
-                NodeStats { wake: 0, decided_at: Some(7), sent: 3, received: 1, collisions: 2 },
-                NodeStats { wake: 2, decided_at: Some(5), sent: 4, received: 0, collisions: 1 },
+                NodeStats {
+                    wake: 0,
+                    decided_at: Some(7),
+                    sent: 3,
+                    received: 1,
+                    collisions: 2,
+                },
+                NodeStats {
+                    wake: 2,
+                    decided_at: Some(5),
+                    sent: 4,
+                    received: 0,
+                    collisions: 1,
+                },
             ],
             all_decided: true,
             slots_run: 7,
@@ -124,7 +151,11 @@ mod tests {
     fn undecided_node_voids_max_decision_time() {
         let out: SimOutcome<()> = SimOutcome {
             protocols: vec![()],
-            stats: vec![NodeStats { wake: 0, decided_at: None, ..NodeStats::default() }],
+            stats: vec![NodeStats {
+                wake: 0,
+                decided_at: None,
+                ..NodeStats::default()
+            }],
             all_decided: false,
             slots_run: 9,
         };

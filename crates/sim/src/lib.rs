@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delivery;
 pub mod engine;
 pub mod parallel;
 pub mod protocol;
@@ -58,6 +59,7 @@ pub mod rng;
 pub mod trace;
 pub mod wakeup;
 
+pub use delivery::{DeliveryKernel, OverlapKernel};
 pub use engine::event::run_event;
 pub use engine::jittered::{random_phases, run_jittered};
 pub use engine::lockstep::run_lockstep;

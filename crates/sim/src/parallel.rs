@@ -23,34 +23,50 @@ where
     }
     let threads = threads.max(1).min(seeds.len());
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    // One message per worker, not per seed: each worker accumulates its
+    // results locally and ships them in a single batched send, so
+    // channel traffic is O(threads) instead of O(seeds).
+    let (tx, rx) = crossbeam::channel::unbounded::<Vec<(usize, T)>>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= seeds.len() {
-                    break;
+            scope.spawn(move || {
+                let mut batch: Vec<(usize, T)> = Vec::with_capacity(seeds.len() / threads + 1);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= seeds.len() {
+                        break;
+                    }
+                    batch.push((i, f(seeds[i])));
                 }
-                tx.send((i, f(seeds[i]))).expect("receiver alive");
+                if !batch.is_empty() {
+                    tx.send(batch).expect("receiver alive");
+                }
             });
         }
         drop(tx);
-        let mut results: Vec<Option<T>> =
-            std::iter::repeat_with(|| None).take(seeds.len()).collect();
-        for (i, out) in rx {
-            results[i] = Some(out);
+        let mut results: Vec<Option<T>> = Vec::with_capacity(seeds.len());
+        results.resize_with(seeds.len(), || None);
+        for batch in rx {
+            for (i, out) in batch {
+                results[i] = Some(out);
+            }
         }
-        results.into_iter().map(|r| r.expect("every seed produced a result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every seed produced a result"))
+            .collect()
     })
 }
 
 /// The default worker count: available parallelism minus one (leave a
 /// core for the harness), at least one.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get().saturating_sub(1).max(1)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -68,7 +68,10 @@ impl Behavior {
     /// on a transmit segment, or a non-finite value).
     pub fn validate(&self) {
         if let Behavior::Transmit { p, .. } = self {
-            assert!(p.is_finite() && *p > 0.0 && *p <= 1.0, "transmit probability {p} not in (0,1]");
+            assert!(
+                p.is_finite() && *p > 0.0 && *p <= 1.0,
+                "transmit probability {p} not in (0,1]"
+            );
         }
     }
 }
@@ -99,7 +102,12 @@ pub trait RadioProtocol {
     /// listened: the message is delivered. Return `Some(behavior)` to
     /// replace the current segment starting at slot `now + 1`, or `None`
     /// to continue unchanged. A returned deadline must be `> now`.
-    fn on_receive(&mut self, now: Slot, msg: &Self::Message, rng: &mut SmallRng) -> Option<Behavior>;
+    fn on_receive(
+        &mut self,
+        now: Slot,
+        msg: &Self::Message,
+        rng: &mut SmallRng,
+    ) -> Option<Behavior>;
 
     /// `true` once the node has taken its irrevocable final decision
     /// (paper Sect. 2: the time complexity `T_v` measures wake-up to
@@ -117,7 +125,10 @@ mod tests {
         let s = Behavior::Silent { until: Some(10) };
         assert_eq!(s.until(), Some(10));
         assert_eq!(s.probability(), 0.0);
-        let t = Behavior::Transmit { p: 0.25, until: None };
+        let t = Behavior::Transmit {
+            p: 0.25,
+            until: None,
+        };
         assert_eq!(t.until(), None);
         assert_eq!(t.probability(), 0.25);
         t.validate();
@@ -127,12 +138,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "transmit probability")]
     fn validate_rejects_zero_probability() {
-        Behavior::Transmit { p: 0.0, until: None }.validate();
+        Behavior::Transmit {
+            p: 0.0,
+            until: None,
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "transmit probability")]
     fn validate_rejects_above_one() {
-        Behavior::Transmit { p: 1.5, until: None }.validate();
+        Behavior::Transmit {
+            p: 1.5,
+            until: None,
+        }
+        .validate();
     }
 }

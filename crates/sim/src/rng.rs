@@ -36,9 +36,9 @@ pub fn geometric_failures(p: f64, rng: &mut impl Rng) -> u64 {
         return 0;
     }
     let u: f64 = rng.gen(); // in [0, 1)
-    // k = floor(ln(1-u) / ln(1-p)); 1-u in (0, 1] so ln ≤ 0, ratio ≥ 0.
-    // ln_1p keeps the denominator accurate (and nonzero) for tiny p,
-    // where (1.0 - p).ln() would underflow to 0 and yield -inf.
+                            // k = floor(ln(1-u) / ln(1-p)); 1-u in (0, 1] so ln ≤ 0, ratio ≥ 0.
+                            // ln_1p keeps the denominator accurate (and nonzero) for tiny p,
+                            // where (1.0 - p).ln() would underflow to 0 and yield -inf.
     let denom = (-p).ln_1p();
     debug_assert!(denom < 0.0, "p > 0 implies ln(1-p) < 0");
     let k = ((1.0 - u).ln() / denom).floor();
@@ -87,10 +87,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let p = 0.05;
         let n = 40_000;
-        let mean =
-            (0..n).map(|_| geometric_failures(p, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| geometric_failures(p, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         let expected = (1.0 - p) / p; // 19
-        assert!((mean - expected).abs() < 0.5, "mean {mean}, expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.5,
+            "mean {mean}, expected {expected}"
+        );
     }
 
     #[test]
@@ -104,7 +109,10 @@ mod tests {
         }
         // And a merely-small p still has the right mean.
         let p = 1e-6;
-        let mean = (0..2000).map(|_| geometric_failures(p, &mut rng) as f64).sum::<f64>() / 2000.0;
+        let mean = (0..2000)
+            .map(|_| geometric_failures(p, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
         assert!((mean / 1e6 - 1.0).abs() < 0.2, "mean {mean}");
     }
 

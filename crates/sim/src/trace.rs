@@ -120,7 +120,12 @@ impl Recorder {
 
     /// Wraps `proto` (for node index `node`) so its activity lands here.
     pub fn wrap<P: RadioProtocol>(&self, node: u32, proto: P) -> Recorded<P> {
-        Recorded { node, inner: proto, recorder: self.clone(), decided_logged: false }
+        Recorded {
+            node,
+            inner: proto,
+            recorder: self.clone(),
+            decided_logged: false,
+        }
     }
 }
 
@@ -150,7 +155,10 @@ impl<P> Recorded<P> {
     {
         if !self.decided_logged && self.inner.is_decided() {
             self.decided_logged = true;
-            self.recorder.push(Event::Decide { node: self.node, slot });
+            self.recorder.push(Event::Decide {
+                node: self.node,
+                slot,
+            });
         }
     }
 }
@@ -159,7 +167,10 @@ impl<P: RadioProtocol> RadioProtocol for Recorded<P> {
     type Message = P::Message;
 
     fn on_wake(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
-        self.recorder.push(Event::Wake { node: self.node, slot: now });
+        self.recorder.push(Event::Wake {
+            node: self.node,
+            slot: now,
+        });
         let b = self.inner.on_wake(now, rng);
         self.note_decided(now);
         b
@@ -172,12 +183,23 @@ impl<P: RadioProtocol> RadioProtocol for Recorded<P> {
     }
 
     fn message(&mut self, now: Slot, rng: &mut SmallRng) -> Self::Message {
-        self.recorder.push(Event::Transmit { node: self.node, slot: now });
+        self.recorder.push(Event::Transmit {
+            node: self.node,
+            slot: now,
+        });
         self.inner.message(now, rng)
     }
 
-    fn on_receive(&mut self, now: Slot, msg: &Self::Message, rng: &mut SmallRng) -> Option<Behavior> {
-        self.recorder.push(Event::Receive { node: self.node, slot: now });
+    fn on_receive(
+        &mut self,
+        now: Slot,
+        msg: &Self::Message,
+        rng: &mut SmallRng,
+    ) -> Option<Behavior> {
+        self.recorder.push(Event::Receive {
+            node: self.node,
+            slot: now,
+        });
         let b = self.inner.on_receive(now, msg, rng);
         self.note_decided(now);
         b
@@ -259,7 +281,10 @@ mod tests {
         type Message = u8;
 
         fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
-            Behavior::Transmit { p: 0.4, until: None }
+            Behavior::Transmit {
+                p: 0.4,
+                until: None,
+            }
         }
 
         fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
@@ -302,11 +327,17 @@ mod tests {
             assert_eq!(recv, out.stats[v as usize].received, "received {v}");
             // Exactly one wake and one decide per node.
             assert_eq!(
-                events.iter().filter(|e| matches!(e, Event::Wake { node, .. } if *node == v)).count(),
+                events
+                    .iter()
+                    .filter(|e| matches!(e, Event::Wake { node, .. } if *node == v))
+                    .count(),
                 1
             );
             assert_eq!(
-                events.iter().filter(|e| matches!(e, Event::Decide { node, .. } if *node == v)).count(),
+                events
+                    .iter()
+                    .filter(|e| matches!(e, Event::Decide { node, .. } if *node == v))
+                    .count(),
                 1
             );
         }

@@ -26,19 +26,36 @@ fn main() {
     let points = uniform_square(n, side, &mut rng);
     let graph = build_udg(&points, 1.0);
     let kappa = kappa_bounded(&graph, 10_000_000).expect("κ solver fuel");
-    let params =
-        AlgorithmParams::practical(kappa.k2.max(2), graph.max_closed_degree().max(2), n);
+    let params = AlgorithmParams::practical(kappa.k2.max(2), graph.max_closed_degree().max(2), n);
     let gap = params.waiting_slots() / 2;
 
     let regimes: Vec<(&str, Vec<u64>)> = vec![
-        ("synchronous (all at slot 0)", WakePattern::Synchronous.generate(n, &mut rng)),
+        (
+            "synchronous (all at slot 0)",
+            WakePattern::Synchronous.generate(n, &mut rng),
+        ),
         (
             "uniform window",
-            WakePattern::UniformWindow { window: 4 * params.waiting_slots() }.generate(n, &mut rng),
+            WakePattern::UniformWindow {
+                window: 4 * params.waiting_slots(),
+            }
+            .generate(n, &mut rng),
         ),
-        ("sequential, long gaps", WakePattern::SequentialShuffled { gap }.generate(n, &mut rng)),
-        ("poisson arrivals", WakePattern::Poisson { mean_gap: gap as f64 / 6.0 }.generate(n, &mut rng)),
-        ("geographic wave", wake_wave(&points, 1.0 / (gap as f64 / 8.0))),
+        (
+            "sequential, long gaps",
+            WakePattern::SequentialShuffled { gap }.generate(n, &mut rng),
+        ),
+        (
+            "poisson arrivals",
+            WakePattern::Poisson {
+                mean_gap: gap as f64 / 6.0,
+            }
+            .generate(n, &mut rng),
+        ),
+        (
+            "geographic wave",
+            wake_wave(&points, 1.0 / (gap as f64 / 8.0)),
+        ),
     ];
 
     println!(

@@ -28,7 +28,8 @@ fn main() -> std::io::Result<()> {
     let kappa = kappa_bounded(&graph, 10_000_000).expect("κ solver fuel");
     println!(
         "building {}×{} rooms, {} walls, {} nodes, {} links, {} component(s)",
-        4, 3,
+        4,
+        3,
         building.walls.len(),
         graph.len(),
         graph.num_edges(),
@@ -80,9 +81,10 @@ fn main() -> std::io::Result<()> {
     // Cluster geography: members sit in their leader's radio range even
     // across rooms (through doors).
     let clusters = outcome.clusters();
-    let sizes = outcome.leaders.iter().map(|&l| {
-        clusters.iter().filter(|c| **c == Some(l)).count()
-    });
+    let sizes = outcome
+        .leaders
+        .iter()
+        .map(|&l| clusters.iter().filter(|c| **c == Some(l)).count());
     let max_cluster = sizes.clone().max().unwrap_or(0);
     println!(
         "clusters: {} total, largest has {} members (bound δ_w−1 ≤ {})",
@@ -92,7 +94,13 @@ fn main() -> std::io::Result<()> {
     );
 
     std::fs::create_dir_all("results")?;
-    let svg = to_svg(&graph, &building.points, Some(&outcome.colors), &building.walls, 900.0);
+    let svg = to_svg(
+        &graph,
+        &building.points,
+        Some(&outcome.colors),
+        &building.walls,
+        900.0,
+    );
     std::fs::write("results/building.svg", &svg)?;
     println!("\nwrote results/building.svg ({} bytes)", svg.len());
     Ok(())

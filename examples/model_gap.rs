@@ -35,7 +35,10 @@ fn main() {
     let points = uniform_square(n, side, &mut rng);
     let graph = build_udg(&points, 1.0);
     let delta_open = graph.max_degree();
-    println!("network: n={n}, Δ_open={delta_open}, {} links\n", graph.num_edges());
+    println!(
+        "network: n={n}, Δ_open={delta_open}, {} links\n",
+        graph.num_edges()
+    );
 
     // --- message-passing world -------------------------------------
     let (layered, layered_rounds) = layered_mis_coloring(&graph, 1);
@@ -58,10 +61,11 @@ fn main() {
 
     // --- unstructured radio world -----------------------------------
     let kappa = kappa_bounded(&graph, 10_000_000).expect("κ solver fuel");
-    let params =
-        AlgorithmParams::practical(kappa.k2.max(2), graph.max_closed_degree().max(2), n);
-    let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-        .generate(n, &mut rng);
+    let params = AlgorithmParams::practical(kappa.k2.max(2), graph.max_closed_degree().max(2), n);
+    let wake = WakePattern::UniformWindow {
+        window: 2 * params.waiting_slots(),
+    }
+    .generate(n, &mut rng);
     let outcome = color_graph(&graph, &wake, &ColoringConfig::new(params), 4);
     assert!(outcome.all_decided && outcome.valid());
     println!(

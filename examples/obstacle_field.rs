@@ -25,7 +25,10 @@ fn main() {
     let side = udg_side_for_target_degree(n, 12.0);
     let points = uniform_square(n, side, &mut rng);
 
-    println!("{:>7} {:>7} {:>4} {:>4} {:>4} {:>7} {:>7} {:>9}", "walls", "links", "Δ", "κ₁", "κ₂", "colors", "valid", "maxT");
+    println!(
+        "{:>7} {:>7} {:>4} {:>4} {:>4} {:>7} {:>7} {:>9}",
+        "walls", "links", "Δ", "κ₁", "κ₂", "colors", "valid", "maxT"
+    );
     for &wall_count in &[0usize, 30, 90, 200] {
         let walls = random_walls(wall_count, 0.8, side, &mut rng);
         let graph = build_big(&points, 1.0, &walls);
@@ -33,10 +36,15 @@ fn main() {
         let delta = graph.max_closed_degree();
 
         let params = AlgorithmParams::practical(kappa.k2.max(2), delta.max(2), n);
-        let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(n, &mut rng);
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(n, &mut rng);
         let outcome = color_graph(&graph, &wake, &ColoringConfig::new(params), 17);
-        assert!(outcome.all_decided, "did not converge at {wall_count} walls");
+        assert!(
+            outcome.all_decided,
+            "did not converge at {wall_count} walls"
+        );
 
         println!(
             "{:>7} {:>7} {:>4} {:>4} {:>4} {:>7} {:>7} {:>9}",

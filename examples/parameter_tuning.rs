@@ -37,16 +37,23 @@ fn main() {
         theory.sigma / base.sigma,
     );
 
-    println!("{:>7} {:>10} {:>9} {:>10} {:>12}", "scale", "threshold", "success", "mean T_v", "constraints");
+    println!(
+        "{:>7} {:>10} {:>9} {:>10} {:>12}",
+        "scale", "threshold", "success", "mean T_v", "constraints"
+    );
     for &scale in &[0.125f64, 0.25, 0.5, 1.0, 2.0] {
         let params = base.scaled(scale);
         let mut ok = 0;
         let mut total_t = 0.0;
         for seed in 0..runs {
-            let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots().max(64) }
-                .generate(n, &mut node_rng(seed, 1));
+            let wake = WakePattern::UniformWindow {
+                window: 2 * params.waiting_slots().max(64),
+            }
+            .generate(n, &mut node_rng(seed, 1));
             let mut config = ColoringConfig::new(params);
-            config.sim = radio_sim::SimConfig { max_slots: 20_000_000 };
+            config.sim = radio_sim::SimConfig {
+                max_slots: 20_000_000,
+            };
             let outcome = color_graph(&graph, &wake, &config, seed);
             if outcome.all_decided && outcome.valid() {
                 ok += 1;
@@ -59,7 +66,11 @@ fn main() {
             params.threshold(),
             100 * ok / runs,
             total_t / runs as f64,
-            if params.constraint_violations().is_empty() { "all met" } else { "violated" },
+            if params.constraint_violations().is_empty() {
+                "all met"
+            } else {
+                "violated"
+            },
         );
     }
 

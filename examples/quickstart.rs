@@ -48,8 +48,10 @@ fn main() {
     );
 
     // 3. Wake up asynchronously over a window.
-    let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-        .generate(n, &mut rng);
+    let wake = WakePattern::UniformWindow {
+        window: 2 * params.waiting_slots(),
+    }
+    .generate(n, &mut rng);
 
     // 4. Run.
     let outcome = color_graph(&graph, &wake, &ColoringConfig::new(params), 7);

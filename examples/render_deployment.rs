@@ -27,8 +27,10 @@ fn main() -> std::io::Result<()> {
     let kappa = kappa_bounded(&graph, 10_000_000).expect("κ solver fuel");
 
     let params = AlgorithmParams::practical(kappa.k2.max(2), graph.max_closed_degree().max(2), n);
-    let wake = WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-        .generate(n, &mut rng);
+    let wake = WakePattern::UniformWindow {
+        window: 2 * params.waiting_slots(),
+    }
+    .generate(n, &mut rng);
     let outcome = color_graph(&graph, &wake, &ColoringConfig::new(params), 21);
     assert!(outcome.all_decided && outcome.valid(), "coloring failed");
 
@@ -45,11 +47,13 @@ fn main() -> std::io::Result<()> {
         walls.len(),
         svg.len()
     );
-    println!("colors used: {} (span {}); κ₁={}, κ₂={}",
+    println!(
+        "colors used: {} (span {}); κ₁={}, κ₂={}",
         outcome.report.distinct_colors,
         outcome.report.max_color.unwrap() + 1,
         kappa.k1,
-        kappa.k2);
+        kappa.k2
+    );
     println!("DOT (for graphviz): results/deployment.dot — try `neato -n2 -Tpng`");
     Ok(())
 }

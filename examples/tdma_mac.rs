@@ -54,8 +54,9 @@ fn main() {
 
     // Locality payoff: local frame lengths (1/bandwidth) per zone.
     let mean_bw = |range: std::ops::Range<usize>| {
-        let vals: Vec<f64> =
-            range.map(|v| schedule.local_bandwidth(&graph, v as u32)).collect();
+        let vals: Vec<f64> = range
+            .map(|v| schedule.local_bandwidth(&graph, v as u32))
+            .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     let core_bw = mean_bw(0..n_core);

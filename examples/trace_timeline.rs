@@ -21,17 +21,31 @@ fn main() {
     let g = cycle(n);
     let params = AlgorithmParams::practical(2, 3, 64);
     let mut rng = SmallRng::seed_from_u64(12);
-    let wake = WakePattern::UniformWindow { window: params.waiting_slots() }
-        .generate(n, &mut rng);
+    let wake = WakePattern::UniformWindow {
+        window: params.waiting_slots(),
+    }
+    .generate(n, &mut rng);
 
     let recorder = Recorder::new(1_000_000);
     let protos: Vec<_> = (0..n)
         .map(|v| recorder.wrap(v as u32, ColoringNode::new(v as u64 + 1, params)))
         .collect();
-    let out = run_lockstep(&g, &wake, protos, 3, &SimConfig { max_slots: 10_000_000 });
+    let out = run_lockstep(
+        &g,
+        &wake,
+        protos,
+        3,
+        &SimConfig {
+            max_slots: 10_000_000,
+        },
+    );
     assert!(out.all_decided);
 
-    println!("ring of {n} nodes · waiting window {} slots · threshold {}\n", params.waiting_slots(), params.threshold());
+    println!(
+        "ring of {n} nodes · waiting window {} slots · threshold {}\n",
+        params.waiting_slots(),
+        params.threshold()
+    );
     println!("{}", render_timeline(&recorder.events(), n, 72));
 
     println!("colors:");
@@ -39,13 +53,19 @@ fn main() {
         println!(
             "  node {v}: color {:?}{} decided at slot {} after {} transmissions",
             p.inner().color().unwrap(),
-            if p.inner().is_leader() { " (leader)" } else { "" },
+            if p.inner().is_leader() {
+                " (leader)"
+            } else {
+                ""
+            },
             out.stats[v].decided_at.unwrap(),
             out.stats[v].sent,
         );
     }
-    println!("\ntotal: {} transmissions, {} receptions, {} collision slots",
+    println!(
+        "\ntotal: {} transmissions, {} receptions, {} collision slots",
         out.total_sent(),
         out.stats.iter().map(|s| s.received).sum::<u64>(),
-        out.total_collisions());
+        out.total_collisions()
+    );
 }

@@ -20,8 +20,8 @@ use radio_graph::generators::build_udg;
 use radio_graph::geometry::Point2;
 use radio_graph::io::{to_dot, to_svg};
 use radio_graph::{Graph, GraphBuilder};
-use radio_sim::WakePattern;
 use radio_sim::rng::node_rng;
+use radio_sim::WakePattern;
 use urn_coloring::{color_graph, AlgorithmParams, ColoringConfig};
 
 struct Args {
@@ -50,19 +50,29 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut next = |flag: &str| {
-            it.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
         match a.as_str() {
             "--points" => args.points_file = Some(next("--points")?),
             "--edges" => args.edges_file = Some(next("--edges")?),
             "--n" => args.n_override = Some(next("--n")?.parse().map_err(|e| format!("--n: {e}"))?),
-            "--radius" => args.radius = next("--radius")?.parse().map_err(|e| format!("--radius: {e}"))?,
-            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--radius" => {
+                args.radius = next("--radius")?
+                    .parse()
+                    .map_err(|e| format!("--radius: {e}"))?
+            }
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--svg" => args.svg = Some(next("--svg")?),
             "--dot" => args.dot = Some(next("--dot")?),
             "--wake" => args.wake = next("--wake")?,
-            "--scale" => args.scale = next("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--scale" => {
+                args.scale = next("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
             "--help" | "-h" => {
                 println!("usage: colorize (--points FILE | --edges FILE) [--n N] [--radius R] [--seed S]");
                 println!("                [--svg OUT] [--dot OUT] [--wake sync|uniform|sequential] [--scale F]");
@@ -164,12 +174,9 @@ fn main() {
 
     let n = graph.len();
     let kappa = kappa_bounded(&graph, 5_000_000).unwrap_or_else(|| kappa_greedy(&graph));
-    let params = AlgorithmParams::practical(
-        kappa.k2.max(2),
-        graph.max_closed_degree().max(2),
-        n.max(16),
-    )
-    .scaled(args.scale);
+    let params =
+        AlgorithmParams::practical(kappa.k2.max(2), graph.max_closed_degree().max(2), n.max(16))
+            .scaled(args.scale);
     eprintln!(
         "n={n}, links={}, Δ={}, κ₁={}, κ₂={}; waiting {} slots, threshold {}",
         graph.num_edges(),
@@ -183,11 +190,14 @@ fn main() {
     let mut rng = node_rng(args.seed, 0);
     let wake = match args.wake.as_str() {
         "sync" => WakePattern::Synchronous.generate(n, &mut rng),
-        "uniform" => WakePattern::UniformWindow { window: 2 * params.waiting_slots() }
-            .generate(n, &mut rng),
-        "sequential" => {
-            WakePattern::SequentialShuffled { gap: params.serve_slots() }.generate(n, &mut rng)
+        "uniform" => WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
         }
+        .generate(n, &mut rng),
+        "sequential" => WakePattern::SequentialShuffled {
+            gap: params.serve_slots(),
+        }
+        .generate(n, &mut rng),
         other => {
             eprintln!("error: unknown wake pattern '{other}'");
             std::process::exit(2);

@@ -17,10 +17,18 @@ fn params_for(g: &Graph, kappa2: usize) -> AlgorithmParams {
     AlgorithmParams::practical(kappa2.max(2), g.max_closed_degree().max(2), 256)
 }
 
-fn run(g: &Graph, kappa2: usize, engine: Engine, wake: &[u64], seed: u64) -> urn_coloring::ColoringOutcome {
+fn run(
+    g: &Graph,
+    kappa2: usize,
+    engine: Engine,
+    wake: &[u64],
+    seed: u64,
+) -> urn_coloring::ColoringOutcome {
     let mut config = ColoringConfig::new(params_for(g, kappa2));
     config.engine = engine;
-    config.sim = SimConfig { max_slots: 20_000_000 };
+    config.sim = SimConfig {
+        max_slots: 20_000_000,
+    };
     color_graph(g, wake, &config, seed)
 }
 
@@ -51,8 +59,10 @@ fn udg_pipeline_with_random_wakeup() {
     let g = build_udg(&points, 1.0);
     let k = kappa(&g);
     let params = params_for(&g, k.k2);
-    let wake = WakePattern::UniformWindow { window: 3 * params.waiting_slots() }
-        .generate(g.len(), &mut rng);
+    let wake = WakePattern::UniformWindow {
+        window: 3 * params.waiting_slots(),
+    }
+    .generate(g.len(), &mut rng);
     let out = run(&g, k.k2, Engine::Event, &wake, 23);
     assert!(out.all_decided);
     let v = verify_outcome(&g, &out, k.k2.max(2));
@@ -104,7 +114,9 @@ fn sequential_wakeup_with_huge_gaps() {
     let gap = 3 * (params.waiting_slots() + params.threshold() as u64);
     let wake: Vec<u64> = (0..6).map(|i| i * gap).collect();
     let mut config = ColoringConfig::new(params);
-    config.sim = SimConfig { max_slots: 50_000_000 };
+    config.sim = SimConfig {
+        max_slots: 50_000_000,
+    };
     let out = color_graph(&g, &wake, &config, 51);
     assert!(out.all_decided);
     assert!(out.valid(), "{:?}", out.colors);
@@ -119,7 +131,9 @@ fn random_cube_ids_work_end_to_end() {
     let g = cycle(9);
     let mut config = ColoringConfig::new(params_for(&g, 2));
     config.ids = IdAssignment::RandomCube;
-    config.sim = SimConfig { max_slots: 20_000_000 };
+    config.sim = SimConfig {
+        max_slots: 20_000_000,
+    };
     let out = color_graph(&g, &[0; 9], &config, 61);
     assert!(out.all_decided);
     assert!(out.valid());
@@ -149,7 +163,10 @@ fn failure_injection_tiny_constants_are_detected() {
             assert!(!report.proper || !report.complete);
         }
     }
-    assert!(saw_failure, "0.05×-scaled constants on a clique should fail sometimes");
+    assert!(
+        saw_failure,
+        "0.05×-scaled constants on a clique should fail sometimes"
+    );
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Cross-engine equivalence: the lock-step and event-driven engines
+//! must produce *identical* per-node statistics (sent / received /
+//! collisions / decided_at) whenever the protocol's transmission
+//! schedule is deterministic (all transmit segments have p = 1).
+//!
+//! With p = 1 neither engine consumes randomness for the transmission
+//! decision itself (`gen_bool(1.0)` and `geometric_failures(1.0, _)`
+//! both return without drawing), so the per-node RNG streams stay in
+//! lock step across engines even though the protocol callbacks below
+//! *do* draw from them. Any divergence — in the delivery kernel, the
+//! intra-slot ordering, or the active-set compaction — shows up as a
+//! stats mismatch. This is the determinism contract the delivery-kernel
+//! refactor must preserve (DESIGN.md §sim, "Delivery kernel").
+
+use proptest::prelude::*;
+use radio_graph::generators::gnp;
+use radio_sim::{run_event, run_lockstep, Behavior, RadioProtocol, SimConfig, Slot};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic-schedule stress protocol: alternates p = 1 bursts and
+/// silences with RNG-drawn lengths, reacts to receptions by sometimes
+/// going quiet, and decides after a fixed number of bursts — ending in
+/// the permanently-silent state that the lock-step engine compacts out
+/// of its active set (receptions must still reach it afterwards).
+struct Pulse {
+    burst: u64,
+    cycles_left: u32,
+    in_burst: bool,
+    got: u64,
+}
+
+impl Pulse {
+    fn new(id: u32) -> Self {
+        Pulse {
+            burst: 1 + u64::from(id % 3),
+            cycles_left: 2 + id % 3,
+            in_burst: false,
+            got: 0,
+        }
+    }
+}
+
+impl RadioProtocol for Pulse {
+    type Message = u64;
+
+    fn on_wake(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
+        Behavior::Silent {
+            until: Some(now + 1 + rng.gen_range(0..4)),
+        }
+    }
+
+    fn on_deadline(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
+        if self.cycles_left == 0 {
+            return Behavior::Silent { until: None };
+        }
+        if self.in_burst {
+            self.in_burst = false;
+            self.cycles_left -= 1;
+            let rest = rng.gen_range(1..4);
+            if self.cycles_left == 0 {
+                Behavior::Silent { until: None }
+            } else {
+                Behavior::Silent {
+                    until: Some(now + rest),
+                }
+            }
+        } else {
+            self.in_burst = true;
+            Behavior::Transmit {
+                p: 1.0,
+                until: Some(now + self.burst),
+            }
+        }
+    }
+
+    fn message(&mut self, now: Slot, _rng: &mut SmallRng) -> u64 {
+        now
+    }
+
+    fn on_receive(&mut self, now: Slot, _msg: &u64, rng: &mut SmallRng) -> Option<Behavior> {
+        self.got += 1;
+        // Half the time, restart the current segment with a quiet gap —
+        // this perturbs deadlines identically in both engines.
+        if rng.gen_bool(0.5) {
+            Some(Behavior::Silent {
+                until: Some(now + 1 + rng.gen_range(0..3)),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn is_decided(&self) -> bool {
+        self.cycles_left == 0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lockstep_and_event_produce_identical_stats(
+        n in 2usize..24,
+        dens in 0usize..3,
+        wake_span in 1u64..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut setup = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let g = gnp(n, [0.15, 0.4, 0.8][dens], &mut setup);
+        let wake: Vec<Slot> = (0..n).map(|_| setup.gen_range(0..wake_span)).collect();
+        let mk = || (0..n as u32).map(Pulse::new).collect::<Vec<_>>();
+        let cfg = SimConfig { max_slots: 5_000 };
+
+        let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
+        let b = run_event(&g, &wake, mk(), seed, &cfg);
+
+        prop_assert_eq!(a.all_decided, b.all_decided);
+        prop_assert!(a.all_decided, "Pulse always decides within the slot budget");
+        for v in 0..n {
+            let (sa, sb) = (&a.stats[v], &b.stats[v]);
+            prop_assert_eq!(sa.sent, sb.sent, "node {} sent", v);
+            prop_assert_eq!(sa.received, sb.received, "node {} received", v);
+            prop_assert_eq!(sa.collisions, sb.collisions, "node {} collisions", v);
+            prop_assert_eq!(sa.decided_at, sb.decided_at, "node {} decided_at", v);
+            prop_assert_eq!(
+                a.protocols[v].got, b.protocols[v].got,
+                "node {} protocol-level receive count", v
+            );
+        }
+    }
+
+    /// Same property with every node waking at slot 0 — maximizes
+    /// same-slot contention (collisions) through the delivery kernel.
+    #[test]
+    fn engines_agree_under_simultaneous_wake(
+        n in 2usize..20,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut setup = SmallRng::seed_from_u64(seed ^ 0xF00D);
+        let g = gnp(n, 0.6, &mut setup);
+        let wake = vec![0; n];
+        let mk = || (0..n as u32).map(Pulse::new).collect::<Vec<_>>();
+        let cfg = SimConfig { max_slots: 5_000 };
+
+        let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
+        let b = run_event(&g, &wake, mk(), seed, &cfg);
+
+        prop_assert!(a.all_decided && b.all_decided);
+        for v in 0..n {
+            prop_assert_eq!(&a.stats[v], &b.stats[v], "node {} stats", v);
+        }
+    }
+}

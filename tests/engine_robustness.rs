@@ -23,16 +23,31 @@ struct Chaos {
 
 impl Chaos {
     fn new(budget: u32, mode: u8) -> Self {
-        Chaos { callbacks: 0, budget, mode }
+        Chaos {
+            callbacks: 0,
+            budget,
+            mode,
+        }
     }
 
     fn next_behavior(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
         self.mode = self.mode.wrapping_add(1);
         match self.mode % 4 {
-            0 => Behavior::Silent { until: Some(now + 1 + rng.gen_range(0..3)) },
-            1 => Behavior::Transmit { p: 1.0, until: Some(now + 1 + rng.gen_range(0..2)) },
-            2 => Behavior::Transmit { p: 0.3, until: Some(now + 1 + rng.gen_range(0..5)) },
-            _ => Behavior::Transmit { p: 1e-3, until: Some(now + 2) },
+            0 => Behavior::Silent {
+                until: Some(now + 1 + rng.gen_range(0..3)),
+            },
+            1 => Behavior::Transmit {
+                p: 1.0,
+                until: Some(now + 1 + rng.gen_range(0..2)),
+            },
+            2 => Behavior::Transmit {
+                p: 0.3,
+                until: Some(now + 1 + rng.gen_range(0..5)),
+            },
+            _ => Behavior::Transmit {
+                p: 1e-3,
+                until: Some(now + 2),
+            },
         }
     }
 }
@@ -134,7 +149,13 @@ fn event_engine_with_all_far_future_wakes() {
     // No node wakes within the cap: zero work, clean abort.
     let g = Graph::empty(3);
     let protos = vec![Chaos::new(1, 0), Chaos::new(1, 1), Chaos::new(1, 2)];
-    let out = run_event(&g, &[10_000, 20_000, 30_000], protos, 2, &SimConfig { max_slots: 100 });
+    let out = run_event(
+        &g,
+        &[10_000, 20_000, 30_000],
+        protos,
+        2,
+        &SimConfig { max_slots: 100 },
+    );
     assert!(!out.all_decided);
     assert_eq!(out.stats.iter().map(|s| s.sent).sum::<u64>(), 0);
 }
@@ -146,7 +167,10 @@ fn engines_reject_invalid_probability() {
     impl RadioProtocol for Bad {
         type Message = ();
         fn on_wake(&mut self, _n: Slot, _r: &mut SmallRng) -> Behavior {
-            Behavior::Transmit { p: 1.5, until: None }
+            Behavior::Transmit {
+                p: 1.5,
+                until: None,
+            }
         }
         fn on_deadline(&mut self, _n: Slot, _r: &mut SmallRng) -> Behavior {
             unreachable!()
@@ -166,11 +190,15 @@ fn engines_reject_invalid_probability() {
 #[test]
 #[should_panic(expected = "deadline > now")]
 fn engines_reject_stale_deadlines() {
-    struct Stale { phase: u8 }
+    struct Stale {
+        phase: u8,
+    }
     impl RadioProtocol for Stale {
         type Message = ();
         fn on_wake(&mut self, now: Slot, _r: &mut SmallRng) -> Behavior {
-            Behavior::Silent { until: Some(now + 2) }
+            Behavior::Silent {
+                until: Some(now + 2),
+            }
         }
         fn on_deadline(&mut self, now: Slot, _r: &mut SmallRng) -> Behavior {
             self.phase += 1;
@@ -186,5 +214,11 @@ fn engines_reject_stale_deadlines() {
         }
     }
     let g = Graph::empty(1);
-    let _ = run_lockstep(&g, &[0], vec![Stale { phase: 0 }], 1, &SimConfig { max_slots: 100 });
+    let _ = run_lockstep(
+        &g,
+        &[0],
+        vec![Stale { phase: 0 }],
+        1,
+        &SimConfig { max_slots: 100 },
+    );
 }

@@ -5,8 +5,8 @@ use radio_baselines::{
     cole_vishkin_ring, degeneracy, greedy_coloring, layered_mis_coloring,
     linial_reduction_coloring, luby_mis, GreedyOrder, VerifyNode, VerifyParams,
 };
-use radio_graph::analysis::independence::is_maximal_independent_set;
 use radio_graph::analysis::check_coloring;
+use radio_graph::analysis::independence::is_maximal_independent_set;
 use radio_graph::generators::special::cycle;
 use radio_graph::{Graph, NodeId};
 use radio_sim::{run_event, SimConfig};

@@ -5,15 +5,18 @@ use radio_graph::analysis::independence::{
     is_independent_set, kappa, kappa_greedy, max_independent_set_size,
 };
 use radio_graph::analysis::{check_coloring, connected_components};
-use radio_graph::generators::{build_big, build_udg, gnp};
 use radio_graph::generators::big::random_walls;
+use radio_graph::generators::{build_big, build_udg, gnp};
 use radio_graph::geometry::Point2;
 use radio_graph::spatial::GridIndex;
 use radio_graph::{Graph, NodeId};
 use radio_sim::rng::node_rng;
 
 fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Point2>> {
-    prop::collection::vec((0.0..6.0f64, 0.0..6.0f64).prop_map(|(x, y)| Point2::new(x, y)), 1..max_n)
+    prop::collection::vec(
+        (0.0..6.0f64, 0.0..6.0f64).prop_map(|(x, y)| Point2::new(x, y)),
+        1..max_n,
+    )
 }
 
 fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {

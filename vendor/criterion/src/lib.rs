@@ -1,0 +1,288 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, vendored because the build environment has no
+//! registry access.
+//!
+//! Provides the API subset this workspace's benches use —
+//! [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`] — with a simple
+//! wall-clock measurement loop (median of `sample_size` samples, each
+//! auto-scaled to at least ~5 ms) instead of criterion's full
+//! statistical machinery. Output is one line per benchmark:
+//!
+//! ```text
+//! group/id            time: 1.2345 ms/iter  (10 samples)
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark context.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Default number of samples per benchmark (builder-style, as in
+    /// the real crate's `config = Criterion::default().sample_size(n)`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(None, &id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(Some(&self.name), &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(Some(&self.name), &id.into(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Closes the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures to time the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations per timed sample (auto-calibrated).
+    iters: u64,
+    /// Collected per-iteration times, one entry per sample.
+    samples: Vec<f64>,
+    calibrated: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough iterations for a stable
+    /// wall-clock sample. Return values are passed through
+    /// [`black_box`] so the optimizer cannot discard the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.calibrated {
+            // Scale the iteration count so one sample spans ≥ ~5 ms.
+            let mut iters = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                    self.iters = iters;
+                    self.calibrated = true;
+                    // The calibration run doubles as the first sample.
+                    self.samples.push(elapsed.as_secs_f64() / iters as f64);
+                    return;
+                }
+                iters = iters.saturating_mul(2);
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed().as_secs_f64() / self.iters as f64);
+    }
+}
+
+fn run_bench<F>(group: Option<&str>, id: &BenchmarkId, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+        calibrated: false,
+    };
+    // Each call to `f` invokes `b.iter(...)` once, adding one sample.
+    for _ in 0..sample_size.max(1) {
+        f(&mut b);
+    }
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    if b.samples.is_empty() {
+        println!("{label:<40} (no measurement — closure never called iter)");
+        return;
+    }
+    b.samples
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{label:<40} time: {}  ({} samples, {} iters/sample)",
+        format_time(median),
+        b.samples.len(),
+        b.iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Declares a function running the listed benchmark targets. Supports
+/// both the positional form and the `name/config/targets` form of the
+/// real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, vendored because the build environment has no registry
+//! access. Provides only `crossbeam::channel::{unbounded, Sender,
+//! Receiver, SendError}` — the subset this workspace uses — backed by
+//! `std::sync::mpsc`, which has the same unbounded-MPSC semantics for
+//! this usage (clonable senders, blocking iteration draining until all
+//! senders drop).
+
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer single-consumer channels (`crossbeam-channel`
+    //! API subset).
+
+    pub use std::sync::mpsc::{IntoIter, Receiver, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_from_threads_drains_in_order_per_sender() {
+        let (tx, rx) = channel::unbounded::<(usize, u64)>();
+        std::thread::scope(|scope| {
+            for w in 0..4usize {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        tx.send((w, i)).expect("receiver alive");
+                    }
+                });
+            }
+            drop(tx);
+            let mut last = [None::<u64>; 4];
+            let mut count = 0;
+            for (w, i) in rx {
+                assert!(last[w].is_none_or(|p| p < i), "per-sender FIFO");
+                last[w] = Some(i);
+                count += 1;
+            }
+            assert_eq!(count, 100);
+        });
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, vendored because the build environment has no registry
+//! access.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro
+//! (with `#![proptest_config(...)]`), [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assert_ne!`], range / tuple strategies,
+//! `prop::collection::{vec, btree_set}`, `prop_map`, `prop_flat_map`,
+//! and [`Just`]. Cases are generated from a deterministic per-test
+//! seed, so failures reproduce across runs; there is **no shrinking** —
+//! a failing case reports its case index and input values instead.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of the real prelude's `prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(binding in strategy, ...)
+/// { body }` runs `body` against `config.cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_runner::case_rng(base, case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &$strat,
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {}: case {} of {} failed: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds. Only
+/// valid inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: {:?} == {:?}: {}",
+                    l,
+                    r,
+                    format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Inequality assertion for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l != r,
+                    "assertion failed: {:?} != {:?}: {}",
+                    l,
+                    r,
+                    format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_and_tuples(v in prop::collection::vec((0u32..10, 0u32..10), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+            for &(a, b) in &v {
+                prop_assert!(a < 10 && b < 10);
+            }
+        }
+
+        #[test]
+        fn btree_set_hits_target_size(mut s in prop::collection::btree_set(0u64..1_000_000, 3..64)) {
+            prop_assert!(s.len() >= 3 && s.len() < 64, "len {}", s.len());
+            s.insert(0);
+            prop_assert!(!s.is_empty());
+        }
+
+        #[test]
+        fn flat_map_and_map_compose(v in (2usize..20).prop_flat_map(|n| {
+            crate::collection::vec(0..n, 1..4).prop_map(move |ix| (n, ix))
+        })) {
+            let (n, ix) = v;
+            prop_assert!(ix.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut rng_a = crate::test_runner::case_rng(1, 2);
+        let mut rng_b = crate::test_runner::case_rng(1, 2);
+        let a = Strategy::sample(&(0u64..1000), &mut rng_a);
+        let b = Strategy::sample(&(0u64..1000), &mut rng_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x = {} is never > 100", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let mut rng = crate::test_runner::case_rng(0, 0);
+        assert_eq!(Strategy::sample(&Just(41), &mut rng), 41);
+    }
+}

@@ -1,0 +1,65 @@
+//! Test-case execution support: configuration, failure type, and
+//! deterministic per-case seeding.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case failed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a hash of a string — stable basis for per-test seeds.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The RNG for case number `case` of the test identified by `base`.
+/// Deterministic: reruns sample identical inputs, so failures
+/// reproduce.
+pub fn case_rng(base: u64, case: u32) -> SmallRng {
+    SmallRng::seed_from_u64(base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}

@@ -1,0 +1,195 @@
+//! Uniform sampling: the `Standard`-distribution values and range
+//! sampling backing [`Rng::gen`](crate::Rng::gen) and
+//! [`Rng::gen_range`](crate::Rng::gen_range).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types with a canonical "standard" uniform distribution (full integer
+/// range, `[0, 1)` floats, fair bools). Mirrors `Standard: Distribution<T>`
+/// bounds in the real crate.
+pub trait StandardValue: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardValue for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardValue for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardValue for i128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardValue for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardValue for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision — the real crate's
+    /// `Standard` for `f64` (multiply-based).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Unbiased uniform draw from `[0, span)` via Lemire's widening
+/// multiply with rejection. `span == 0` means the full 2⁶⁴ range.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let lo = m as u64;
+        // Reject the partial final stripe to stay exactly uniform.
+        if lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types [`Rng::gen_range`](crate::Rng::gen_range) can sample
+/// uniformly. Mirrors `rand::distributions::uniform::SampleUniform`;
+/// kept as a single trait (with blanket [`SampleRange`] impls below) so
+/// untyped integer literals in ranges unify with the surrounding
+/// expression's type exactly like they do with the real crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Span wrapping to 0 encodes "all 2⁶⁴ values" for u64.
+                let span = (hi - lo) as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                lo + uniform_u64_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+uniform_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let u = f64::sample(rng);
+        let v = lo + (hi - lo) * u;
+        // Guard against hitting `hi` through rounding.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let u = f32::sample(rng);
+        let v = lo + (hi - lo) * u;
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+/// Ranges that [`Rng::gen_range`](crate::Rng::gen_range) accepts.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_range(rng, lo, hi, true)
+    }
+}
