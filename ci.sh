@@ -16,6 +16,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Vendored crates (vendor/) are excluded: their docs are not ours to fix.
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+    -p radio-graph -p radio-sim -p urn-coloring -p radio-baselines \
+    -p radio-bench -p unstructured-radio-coloring
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
@@ -24,8 +30,9 @@ if [[ $quick -eq 0 ]]; then
     cargo build --release
 
     # Perf trajectory: delivery-kernel slots/sec on dense UDG workloads.
-    # Writes BENCH_sim.json and fails if the scatter kernel ever drops
-    # below 2x the reference listener-side re-scan at Δ=128.
+    # Writes BENCH_sim.json and fails if the scatter kernel — bare or
+    # behind the Ideal channel model — ever drops below 2x the
+    # reference listener-side re-scan at Δ=128.
     echo "==> slot_throughput microbench"
     ./target/release/slot_throughput BENCH_sim.json
 fi

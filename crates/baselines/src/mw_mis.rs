@@ -203,7 +203,7 @@ pub fn mw_mis(
         wake,
         protos,
         seed,
-        &radio_sim::SimConfig { max_slots },
+        &radio_sim::SimConfig::with_max_slots(max_slots),
     );
     let members: Vec<radio_graph::NodeId> = out
         .protocols

@@ -261,9 +261,7 @@ mod tests {
             &vec![0; g.len()],
             protos,
             seed,
-            &SimConfig {
-                max_slots: 5_000_000,
-            },
+            &SimConfig::with_max_slots(5_000_000),
         );
         assert!(out.all_decided, "baseline did not converge");
         out.protocols.iter().map(VerifyNode::color).collect()
@@ -316,9 +314,7 @@ mod tests {
             &[0; 6],
             protos,
             3,
-            &SimConfig {
-                max_slots: 5_000_000,
-            },
+            &SimConfig::with_max_slots(5_000_000),
         );
         assert!(out.all_decided);
         let total: u32 = out.protocols.iter().map(|p| p.attempts()).sum();

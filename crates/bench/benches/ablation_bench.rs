@@ -32,9 +32,7 @@ fn bench_reset_policies(c: &mut Criterion) {
                 let mut config = ColoringConfig::new(params);
                 // Cap starving runs at a fraction of the usual budget so the
                 // bench finishes; slots_run tells the story either way.
-                config.sim = SimConfig {
-                    max_slots: slot_cap(&params) / 10,
-                };
+                config.sim = SimConfig::with_max_slots(slot_cap(&params) / 10);
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;

@@ -67,9 +67,7 @@ fn bench_baselines(c: &mut Criterion) {
                 &wake,
                 protos,
                 seed,
-                &SimConfig {
-                    max_slots: 50_000_000,
-                },
+                &SimConfig::with_max_slots(50_000_000),
             );
             assert!(out.all_decided);
             out.slots_run

@@ -23,9 +23,7 @@ fn bench_density_sweep(c: &mut Criterion) {
             &(&w, &wake),
             |b, (w, wake)| {
                 let mut config = ColoringConfig::new(params);
-                config.sim = SimConfig {
-                    max_slots: slot_cap(&params),
-                };
+                config.sim = SimConfig::with_max_slots(slot_cap(&params));
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
@@ -54,9 +52,7 @@ fn bench_size_sweep(c: &mut Criterion) {
             &(&w, &wake),
             |b, (w, wake)| {
                 let mut config = ColoringConfig::new(params);
-                config.sim = SimConfig {
-                    max_slots: slot_cap(&params),
-                };
+                config.sim = SimConfig::with_max_slots(slot_cap(&params));
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;

@@ -27,9 +27,7 @@ fn bench_engines(c: &mut Criterion) {
                 |b, (w, wake)| {
                     let mut config = ColoringConfig::new(params);
                     config.engine = engine;
-                    config.sim = SimConfig {
-                        max_slots: slot_cap(&params),
-                    };
+                    config.sim = SimConfig::with_max_slots(slot_cap(&params));
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;

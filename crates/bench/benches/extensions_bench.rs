@@ -57,9 +57,7 @@ fn bench_extensions(c: &mut Criterion) {
                 protos,
                 &phases,
                 seed,
-                &SimConfig {
-                    max_slots: slot_cap(&params),
-                },
+                &SimConfig::with_max_slots(slot_cap(&params)),
             );
             assert!(out.all_decided);
             out.slots_run

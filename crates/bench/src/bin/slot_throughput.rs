@@ -11,7 +11,12 @@
 //!   `O(Σ_t deg(t))` per slot.
 //!
 //! Both paths must produce the same delivery checksum (verified every
-//! run), and the end-to-end lock-step engine is timed as well.
+//! run), and the end-to-end lock-step engine is timed as well. The
+//! channel-model layer is timed on top of the kernel path in two
+//! flavors — the `Ideal` model (must keep the kernel's ≥2× margin over
+//! the reference at Δ* = 128: the trait layer is not allowed to eat
+//! the kernel win) and a lossy model (`ProbabilisticLoss`, one hash
+//! draw per delivery).
 //!
 //! ```text
 //! slot_throughput [OUT.json]        # default: BENCH_sim.json
@@ -21,7 +26,9 @@ use radio_graph::generators::{build_udg, udg_side_for_target_degree, uniform_squ
 use radio_graph::{Graph, NodeId};
 use radio_sim::delivery::{DeliveryKernel, ReferenceSweep};
 use radio_sim::rng::node_rng;
-use radio_sim::{run_lockstep, Behavior, RadioProtocol, SimConfig, Slot};
+use radio_sim::{
+    run_lockstep, Behavior, ChannelModel, ChannelSpec, RadioProtocol, Reception, SimConfig, Slot,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::fmt::Write as _;
@@ -120,6 +127,30 @@ fn time_kernel(graph: &Graph, schedule: &[Vec<NodeId>]) -> (f64, u64) {
     (start.elapsed().as_secs_f64(), checksum)
 }
 
+/// Times the kernel path with a channel model deciding every touched
+/// listener — the delivery loop the engines actually run since the
+/// channel-model layer landed.
+fn time_kernel_channel(graph: &Graph, schedule: &[Vec<NodeId>], spec: ChannelSpec) -> (f64, u64) {
+    let mut kernel = DeliveryKernel::new(graph.len());
+    let mut channel = spec.build(graph.len(), 42);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for (slot, transmitters) in schedule.iter().enumerate() {
+        kernel.begin_slot();
+        for &t in transmitters {
+            kernel.transmit(graph, t);
+        }
+        for &u in kernel.touched() {
+            let sender = match channel.decide(&kernel.contention(u, slot as Slot)) {
+                Reception::Deliver(w) => Some(w),
+                Reception::Collide | Reception::Drop | Reception::Jam => None,
+            };
+            checksum = fold(checksum, u, sender);
+        }
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
 fn time_lockstep(graph: &Graph, delta: usize) -> f64 {
     let n = graph.len();
     let protos: Vec<Beacon> = (0..n)
@@ -127,9 +158,7 @@ fn time_lockstep(graph: &Graph, delta: usize) -> f64 {
             p: (1.0 / delta as f64).max(1e-3),
         })
         .collect();
-    let cfg = SimConfig {
-        max_slots: E2E_SLOTS,
-    };
+    let cfg = SimConfig::with_max_slots(E2E_SLOTS);
     let start = Instant::now();
     let out = run_lockstep(graph, &vec![0; n], protos, 7, &cfg);
     let secs = start.elapsed().as_secs_f64();
@@ -143,6 +172,9 @@ struct Row {
     reference_sps: f64,
     kernel_sps: f64,
     speedup: f64,
+    kernel_ideal_sps: f64,
+    ideal_speedup: f64,
+    kernel_lossy_sps: f64,
     lockstep_sps: f64,
 }
 
@@ -170,9 +202,18 @@ fn main() {
                 ref_sum, ker_sum,
                 "kernel and reference disagree on n={n} Δ*={target_delta}"
             );
+            let (ideal_secs, ideal_sum) =
+                time_kernel_channel(&graph, &schedule, ChannelSpec::Ideal);
+            assert_eq!(
+                ker_sum, ideal_sum,
+                "Ideal channel path diverged from the bare kernel on n={n} Δ*={target_delta}"
+            );
+            let (lossy_secs, _) =
+                time_kernel_channel(&graph, &schedule, ChannelSpec::ProbabilisticLoss { p: 0.1 });
 
             let reference_sps = MICRO_SLOTS as f64 / ref_secs;
             let kernel_sps = MICRO_SLOTS as f64 / ker_secs;
+            let kernel_ideal_sps = MICRO_SLOTS as f64 / ideal_secs;
             let row = Row {
                 n,
                 target_delta,
@@ -180,16 +221,22 @@ fn main() {
                 reference_sps,
                 kernel_sps,
                 speedup: kernel_sps / reference_sps,
+                kernel_ideal_sps,
+                ideal_speedup: kernel_ideal_sps / reference_sps,
+                kernel_lossy_sps: MICRO_SLOTS as f64 / lossy_secs,
                 lockstep_sps: time_lockstep(&graph, measured_delta),
             };
             println!(
-                "n={:5} Δ*={:3} (measured {:3}): reference {:>12.0} slots/s, kernel {:>12.0} slots/s, {:5.1}x, lockstep e2e {:>10.0} slots/s",
+                "n={:5} Δ*={:3} (measured {:3}): reference {:>12.0} slots/s, kernel {:>12.0} slots/s ({:4.1}x), +ideal channel {:>12.0} slots/s ({:4.1}x), +lossy {:>12.0} slots/s, lockstep e2e {:>10.0} slots/s",
                 row.n,
                 row.target_delta,
                 row.measured_delta,
                 row.reference_sps,
                 row.kernel_sps,
                 row.speedup,
+                row.kernel_ideal_sps,
+                row.ideal_speedup,
+                row.kernel_lossy_sps,
                 row.lockstep_sps,
             );
             rows.push(row);
@@ -204,13 +251,16 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"target_delta\": {}, \"measured_delta\": {}, \"reference_slots_per_sec\": {:.1}, \"kernel_slots_per_sec\": {:.1}, \"speedup\": {:.2}, \"lockstep_slots_per_sec\": {:.1}}}",
+            "    {{\"n\": {}, \"target_delta\": {}, \"measured_delta\": {}, \"reference_slots_per_sec\": {:.1}, \"kernel_slots_per_sec\": {:.1}, \"speedup\": {:.2}, \"kernel_ideal_channel_slots_per_sec\": {:.1}, \"ideal_channel_speedup\": {:.2}, \"kernel_lossy_channel_slots_per_sec\": {:.1}, \"lockstep_slots_per_sec\": {:.1}}}",
             r.n,
             r.target_delta,
             r.measured_delta,
             r.reference_sps,
             r.kernel_sps,
             r.speedup,
+            r.kernel_ideal_sps,
+            r.ideal_speedup,
+            r.kernel_lossy_sps,
             r.lockstep_sps,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -220,12 +270,19 @@ fn main() {
     println!("wrote {out_path}");
 
     // The refactor's reason to exist: the dense workloads must beat the
-    // pre-change kernel by a wide margin.
+    // pre-change kernel by a wide margin — and the channel-model trait
+    // layer must not eat that margin on the Ideal path.
     for r in rows.iter().filter(|r| r.target_delta == 128) {
         assert!(
             r.speedup >= 2.0,
             "kernel speedup {:.2}x < 2x on n={} Δ*=128",
             r.speedup,
+            r.n
+        );
+        assert!(
+            r.ideal_speedup >= 2.0,
+            "kernel+Ideal channel speedup {:.2}x < 2x on n={} Δ*=128",
+            r.ideal_speedup,
             r.n
         );
     }

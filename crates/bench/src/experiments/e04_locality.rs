@@ -3,7 +3,7 @@
 //! inside a sparse halo; halo nodes must get low colors even though the
 //! global Δ is large.
 
-use super::{run_once, slot_cap, ExpOpts};
+use super::{run_once, slot_cap, ExpOpts, RunPlan};
 use crate::stats::summarize;
 use crate::table::{fnum, Table};
 use crate::workloads::Workload;
@@ -11,7 +11,6 @@ use radio_graph::analysis::coloring_check::locality_points;
 use radio_graph::generators::{build_udg, dense_core_sparse_halo};
 use radio_sim::rng::node_rng;
 use radio_sim::{Engine, WakePattern};
-use urn_coloring::{color_graph, ColoringConfig};
 
 /// Runs E4 and returns its tables.
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
@@ -28,11 +27,8 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     .generate(w.n(), &mut rng);
 
     // One detailed run for the per-node scatter...
-    let mut config = ColoringConfig::new(params);
-    config.sim = radio_sim::SimConfig {
-        max_slots: slot_cap(&params),
-    };
-    let out = color_graph(&w.graph, &wake, &config, 0xE4);
+    let plan = RunPlan::new(params);
+    let out = plan.color(&w.graph, &wake, 0xE4);
     assert!(out.all_decided, "E4 run did not converge");
     let pts_loc = locality_points(&w.graph, &out.colors);
 
@@ -88,11 +84,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         .take(if opts.quick { 3 } else { 8 })
     {
         let r = run_once(&w, params, &wake, Engine::Event, *seed, slot_cap(&params));
-        let mut cfg2 = ColoringConfig::new(params);
-        cfg2.sim = radio_sim::SimConfig {
-            max_slots: slot_cap(&params),
-        };
-        let o = color_graph(&w.graph, &wake, &cfg2, *seed);
+        let o = plan.color(&w.graph, &wake, *seed);
         let worst = locality_points(&w.graph, &o.colors)
             .iter()
             .map(|p| p.phi as f64 / (w.kappa.k2 as f64 * p.theta.max(1) as f64))

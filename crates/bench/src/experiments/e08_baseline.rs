@@ -107,9 +107,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
                 &wake,
                 protos,
                 seed,
-                &SimConfig {
-                    max_slots: 100_000_000,
-                },
+                &SimConfig::with_max_slots(100_000_000),
             );
             let colors: Vec<Option<u32>> = out.protocols.iter().map(VerifyNode::color).collect();
             let report = check_coloring(graph, &colors);
@@ -233,11 +231,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             window: 2 * params.waiting_slots(),
         }
         .generate(hw.n(), &mut node_rng(3, 19));
-        let mut cfg = urn_coloring::ColoringConfig::new(params);
-        cfg.sim = SimConfig {
-            max_slots: slot_cap(&params),
-        };
-        let out = urn_coloring::color_graph(&hw.graph, &wake, &cfg, 3);
+        let out = super::RunPlan::new(params).color(&hw.graph, &wake, 3);
         let mw_pts = locality_points(&hw.graph, &out.colors);
         let sparse_mw: Vec<f64> = mw_pts
             .iter()
@@ -259,9 +253,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             &wake,
             protos,
             3,
-            &SimConfig {
-                max_slots: 100_000_000,
-            },
+            &SimConfig::with_max_slots(100_000_000),
         );
         let sv_colors: Vec<Option<u32>> = svo.protocols.iter().map(VerifyNode::color).collect();
         let sv_pts = locality_points(&hw.graph, &sv_colors);

@@ -4,14 +4,14 @@
 //! enabling simple randomized MACs; locality gives sparse areas more
 //! bandwidth. Also reports the energy proxy (transmissions per node).
 
-use super::{slot_cap, ExpOpts};
+use super::{ExpOpts, RunPlan};
 use crate::stats::summarize;
 use crate::table::{fnum, Table};
 use crate::workloads::Workload;
 use radio_graph::generators::{build_udg, dense_core_sparse_halo};
 use radio_sim::rng::node_rng;
-use radio_sim::{SimConfig, WakePattern};
-use urn_coloring::{color_graph, compare_with_distance2, ColoringConfig, TdmaSchedule};
+use radio_sim::WakePattern;
+use urn_coloring::{compare_with_distance2, TdmaSchedule};
 
 /// Runs E12 and returns its tables.
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
@@ -25,11 +25,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         window: 2 * params.waiting_slots(),
     }
     .generate(w.n(), &mut rng);
-    let mut config = ColoringConfig::new(params);
-    config.sim = SimConfig {
-        max_slots: slot_cap(&params),
-    };
-    let out = color_graph(&w.graph, &wake, &config, 0xE12);
+    let out = RunPlan::new(params).color(&w.graph, &wake, 0xE12);
     assert!(out.all_decided, "E12 run did not converge");
 
     let sched = TdmaSchedule::from_coloring(&out.colors);

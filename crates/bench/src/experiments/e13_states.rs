@@ -3,12 +3,11 @@
 //! per neighborhood stay ≤ κ₂. We histogram the instrumented state
 //! walk.
 
-use super::{slot_cap, ExpOpts};
+use super::{ExpOpts, RunPlan};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{SimConfig, WakePattern};
-use urn_coloring::{color_graph, ColoringConfig};
+use radio_sim::WakePattern;
 
 /// Runs E13 and returns its tables.
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
@@ -25,11 +24,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             window: 2 * params.waiting_slots(),
         }
         .generate(n, &mut node_rng(seed, 41));
-        let mut config = ColoringConfig::new(params);
-        config.sim = SimConfig {
-            max_slots: slot_cap(&params),
-        };
-        let out = color_graph(&w.graph, &wake, &config, seed);
+        let out = RunPlan::new(params).color(&w.graph, &wake, seed);
         assert!(out.all_decided, "E13 run did not converge");
         for tr in &out.traces {
             let s = tr.states_entered as usize;

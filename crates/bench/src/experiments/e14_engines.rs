@@ -3,14 +3,13 @@
 //! distributions must agree and the event engine should be much faster
 //! in wall-clock terms.
 
-use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
+use super::{fraction, mean_of, run_many, slot_cap, ExpOpts, RunPlan};
 use crate::stats::{ks_critical, ks_statistic};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, SimConfig, WakePattern};
+use radio_sim::{Engine, WakePattern};
 use std::time::Instant;
-use urn_coloring::{color_graph, ColoringConfig};
 
 /// Runs E14 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -38,12 +37,9 @@ pub fn run(opts: &ExpOpts) -> Table {
                 window: 2 * params.waiting_slots(),
             }
             .generate(n, &mut node_rng(seed, 52));
-            let mut config = ColoringConfig::new(params);
-            config.engine = engine;
-            config.sim = SimConfig {
-                max_slots: slot_cap(&params),
-            };
-            let out = color_graph(&w.graph, &wake, &config, seed);
+            let out = RunPlan::new(params)
+                .engine(engine)
+                .color(&w.graph, &wake, seed);
             ts.extend(
                 out.stats
                     .iter()

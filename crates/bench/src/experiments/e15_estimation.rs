@@ -49,9 +49,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
                 &vec![0; graph.len()],
                 protos,
                 seed,
-                &SimConfig {
-                    max_slots: 10_000_000,
-                },
+                &SimConfig::with_max_slots(10_000_000),
             );
             assert!(out.all_decided);
             out.protocols
@@ -110,9 +108,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             &wake,
             protos,
             seed,
-            &SimConfig {
-                max_slots: slot_cap(&base),
-            },
+            &SimConfig::with_max_slots(slot_cap(&base)),
         );
         let colors: Vec<Option<u32>> = out.protocols.iter().map(AdaptiveNode::color).collect();
         let report = check_coloring(&graph, &colors);

@@ -48,10 +48,10 @@ pub fn run(opts: &ExpOpts) -> Table {
                     protos,
                     &phases,
                     seed,
-                    &SimConfig { max_slots: cap },
+                    &SimConfig::with_max_slots(cap),
                 )
             } else {
-                run_lockstep(&graph, &wake, protos, seed, &SimConfig { max_slots: cap })
+                run_lockstep(&graph, &wake, protos, seed, &SimConfig::with_max_slots(cap))
             };
             let colors: Vec<Option<u32>> = out.protocols.iter().map(ColoringNode::color).collect();
             let report = check_coloring(&graph, &colors);

@@ -1,0 +1,128 @@
+//! E19 — fault injection through the channel-model layer: the paper's
+//! analysis assumes the ideal unstructured radio channel (a listener
+//! receives iff exactly one neighbor transmits). This experiment
+//! measures how gracefully the algorithm degrades when the channel
+//! itself misbehaves — i.i.d. packet loss, Gilbert–Elliott bursty
+//! fades, and a budgeted adversary jamming the busiest listeners —
+//! reporting coloring correctness, color usage, runtime inflation and
+//! the injected fault volume for each model and severity.
+//!
+//! The algorithm has no built-in retransmission logic beyond its
+//! randomized repetition, so moderate loss should cost time (more
+//! repetitions until a message lands) but not correctness; the
+//! interesting questions are where validity starts eroding and how
+//! super-linear the slowdown is.
+
+use super::{fraction, mean_of, run_plan_many, ExpOpts, RunPlan};
+use crate::table::{fnum, Table};
+use crate::workloads::udg_workload;
+use radio_sim::rng::node_rng;
+use radio_sim::{ChannelSpec, WakePattern};
+
+/// The channel sweep: one ideal baseline plus three fault families at
+/// increasing severity.
+fn specs() -> Vec<(&'static str, ChannelSpec)> {
+    vec![
+        ("ideal", ChannelSpec::Ideal),
+        ("loss p=0.05", ChannelSpec::ProbabilisticLoss { p: 0.05 }),
+        ("loss p=0.15", ChannelSpec::ProbabilisticLoss { p: 0.15 }),
+        ("loss p=0.30", ChannelSpec::ProbabilisticLoss { p: 0.30 }),
+        (
+            // Mostly-good channel with rare, deep fades (~5% bad slots).
+            "GE mild",
+            ChannelSpec::GilbertElliott {
+                p_bad: 0.01,
+                p_good: 0.2,
+                loss_good: 0.01,
+                loss_bad: 0.8,
+            },
+        ),
+        (
+            // Long fades covering ~1/3 of slots.
+            "GE harsh",
+            ChannelSpec::GilbertElliott {
+                p_bad: 0.05,
+                p_good: 0.1,
+                loss_good: 0.05,
+                loss_bad: 0.95,
+            },
+        ),
+        (
+            "jam w=64 b=4",
+            ChannelSpec::AdversarialJam {
+                window: 64,
+                budget: 4,
+            },
+        ),
+        (
+            "jam w=64 b=24",
+            ChannelSpec::AdversarialJam {
+                window: 64,
+                budget: 24,
+            },
+        ),
+    ]
+}
+
+/// Runs E19 and returns its table.
+pub fn run(opts: &ExpOpts) -> Vec<Table> {
+    let n = if opts.quick { 80 } else { 160 };
+    let w = udg_workload(n, 10.0, 0xE19);
+    let params = w.params();
+
+    let mut t = Table::new(
+        "E19 · channel-model fault injection: correctness and degradation vs the ideal channel",
+        &[
+            "channel",
+            "runs",
+            "valid",
+            "decided",
+            "mean colors",
+            "mean span",
+            "mean T̄",
+            "T̄ ×ideal",
+            "drops/run",
+            "jams/run",
+        ],
+    );
+
+    let mut ideal_mean_t = f64::NAN;
+    for (i, (label, spec)) in specs().into_iter().enumerate() {
+        let plan = RunPlan::new(params).channel(spec);
+        let rs = run_plan_many(
+            &w,
+            &plan,
+            |seed| {
+                WakePattern::UniformWindow {
+                    window: 2 * params.waiting_slots(),
+                }
+                .generate(n, &mut node_rng(seed, 0xE19))
+            },
+            opts,
+            0xE190 + i as u64,
+        );
+        // Engines degrade gracefully: a fault channel must never turn
+        // into a protocol error.
+        assert!(
+            rs.iter().all(|r| !r.errored),
+            "channel {label} triggered a protocol error"
+        );
+        let mean_t = mean_of(&rs, |r| r.mean_t);
+        if matches!(spec, ChannelSpec::Ideal) {
+            ideal_mean_t = mean_t;
+        }
+        t.row(vec![
+            label.to_string(),
+            rs.len().to_string(),
+            fnum(fraction(&rs, |r| r.valid)),
+            fnum(fraction(&rs, |r| r.all_decided)),
+            fnum(mean_of(&rs, |r| r.distinct_colors as f64)),
+            fnum(mean_of(&rs, |r| r.palette_span as f64)),
+            fnum(mean_t),
+            fnum(mean_t / ideal_mean_t),
+            fnum(mean_of(&rs, |r| r.total_drops as f64)),
+            fnum(mean_of(&rs, |r| r.total_jams as f64)),
+        ]);
+    }
+    vec![t]
+}

@@ -22,11 +22,14 @@ pub mod e15_estimation;
 pub mod e16_jitter;
 pub mod e17_mis;
 pub mod e18_scalability;
+pub mod e19_faults;
 
 use crate::workloads::Workload;
 use radio_sim::parallel::run_seeds;
-use radio_sim::{Engine, SimConfig, Slot};
-use urn_coloring::{color_graph, verify_outcome, AlgorithmParams, ColoringConfig};
+use radio_sim::{Engine, Slot};
+use urn_coloring::{verify_outcome, AlgorithmParams};
+
+pub use crate::workloads::{slot_cap, RunPlan};
 
 /// Global experiment options.
 #[derive(Clone, Debug)]
@@ -85,6 +88,12 @@ pub struct RunSummary {
     pub max_states: u32,
     /// Total counter resets across nodes.
     pub total_resets: u64,
+    /// Deliveries dropped by the channel model (fading / loss).
+    pub total_drops: u64,
+    /// Deliveries jammed by an adversarial channel.
+    pub total_jams: u64,
+    /// A malformed behavior aborted the run early.
+    pub errored: bool,
 }
 
 /// Runs the coloring algorithm once on a workload and summarizes.
@@ -96,11 +105,16 @@ pub fn run_once(
     seed: u64,
     max_slots: Slot,
 ) -> RunSummary {
-    let mut config = ColoringConfig::new(params);
-    config.engine = engine;
-    config.sim = SimConfig { max_slots };
-    let out = color_graph(&w.graph, wake, &config, seed);
-    let verdict = verify_outcome(&w.graph, &out, params.kappa2);
+    let plan = RunPlan::new(params).engine(engine).max_slots(max_slots);
+    run_plan_once(w, &plan, wake, seed)
+}
+
+/// Runs the coloring algorithm once under an explicit [`RunPlan`] —
+/// the general form of [`run_once`] that experiments with non-default
+/// channels or ID schemes (e.g. E19) use directly.
+pub fn run_plan_once(w: &Workload, plan: &RunPlan, wake: &[Slot], seed: u64) -> RunSummary {
+    let out = plan.color(&w.graph, wake, seed);
+    let verdict = verify_outcome(&w.graph, &out, plan.params.kappa2);
     RunSummary {
         valid: out.valid(),
         theorems_hold: verdict.all_hold(),
@@ -118,6 +132,9 @@ pub fn run_once(
             .max()
             .unwrap_or(0),
         total_resets: out.traces.iter().map(|t| u64::from(t.resets)).sum(),
+        total_drops: out.total_drops,
+        total_jams: out.total_jams,
+        errored: out.error.is_some(),
     }
 }
 
@@ -131,10 +148,23 @@ pub fn run_many(
     salt: u64,
     max_slots: Slot,
 ) -> Vec<RunSummary> {
+    let plan = RunPlan::new(params).engine(engine).max_slots(max_slots);
+    run_plan_many(w, &plan, wake_of, opts, salt)
+}
+
+/// Fans [`run_plan_once`] out over seeds with a fresh wake schedule
+/// per seed.
+pub fn run_plan_many(
+    w: &Workload,
+    plan: &RunPlan,
+    wake_of: impl Fn(u64) -> Vec<Slot> + Sync,
+    opts: &ExpOpts,
+    salt: u64,
+) -> Vec<RunSummary> {
     let seeds = opts.seed_list(salt);
     run_seeds(&seeds, opts.threads, |seed| {
         let wake = wake_of(seed);
-        run_once(w, params, &wake, engine, seed, max_slots)
+        run_plan_once(w, plan, &wake, seed)
     })
 }
 
@@ -152,15 +182,4 @@ pub fn mean_of(rs: &[RunSummary], f: impl Fn(&RunSummary) -> f64) -> f64 {
         return f64::NAN;
     }
     rs.iter().map(f).sum::<f64>() / rs.len() as f64
-}
-
-/// A generous slot cap for a workload: far beyond any sane decision
-/// time, so hitting it flags a liveness bug rather than truncating.
-pub fn slot_cap(params: &AlgorithmParams) -> Slot {
-    let per_class = params.waiting_slots() + 2 * params.threshold().unsigned_abs();
-    // ≤ κ₂+2 classes per node, plus leader-serving time Δ·serve, with a
-    // 50× engineering margin for contention and asynchrony.
-    50 * ((params.kappa2 as u64 + 2) * per_class
-        + params.delta_est as u64 * params.serve_slots()
-        + 1000)
 }

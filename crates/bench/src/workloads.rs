@@ -1,12 +1,14 @@
 //! Shared experiment workloads: graphs with measured parameters and
-//! matching algorithm configurations.
+//! matching algorithm configurations, plus the [`RunPlan`] runner every
+//! experiment builds its coloring runs from.
 
 use radio_graph::analysis::independence::{kappa_bounded, kappa_greedy};
 use radio_graph::analysis::Kappa;
 use radio_graph::generators::{build_udg, udg_side_for_target_degree, uniform_square};
 use radio_graph::{Graph, Point2};
 use radio_sim::rng::node_rng;
-use urn_coloring::AlgorithmParams;
+use radio_sim::{ChannelSpec, Engine, SimConfig, Slot};
+use urn_coloring::{color_graph, AlgorithmParams, ColoringConfig, ColoringOutcome, IdAssignment};
 
 /// A generated network together with everything experiments report on.
 #[derive(Clone, Debug)]
@@ -66,6 +68,91 @@ impl Workload {
     /// constants do not drift across the sweep.
     pub fn params_with_kappa(&self, kappa2: usize) -> AlgorithmParams {
         AlgorithmParams::practical(kappa2.max(2), self.delta.max(2), self.n().max(16))
+    }
+}
+
+/// A generous slot cap for a parameter set: far beyond any sane
+/// decision time, so hitting it flags a liveness bug rather than
+/// truncating.
+pub fn slot_cap(params: &AlgorithmParams) -> Slot {
+    let per_class = params.waiting_slots() + 2 * params.threshold().unsigned_abs();
+    // ≤ κ₂+2 classes per node, plus leader-serving time Δ·serve, with a
+    // 50× engineering margin for contention and asynchrony.
+    50 * ((params.kappa2 as u64 + 2) * per_class
+        + params.delta_est as u64 * params.serve_slots()
+        + 1000)
+}
+
+/// Everything that fixes how one coloring run executes: algorithm
+/// parameters, engine, channel model, slot budget and ID scheme.
+///
+/// Experiments build a plan once per configuration and reuse it across
+/// seeds, instead of re-assembling `ColoringConfig` inline. Defaults
+/// match the historical experiment setup: event engine, ideal channel,
+/// sequential IDs, and [`slot_cap`] for the slot budget.
+#[derive(Clone, Copy, Debug)]
+pub struct RunPlan {
+    /// Algorithm constants and network estimates.
+    pub params: AlgorithmParams,
+    /// Simulation engine.
+    pub engine: Engine,
+    /// Channel model for fault injection.
+    pub channel: ChannelSpec,
+    /// Slot budget for the run.
+    pub max_slots: Slot,
+    /// Protocol-level ID scheme.
+    pub ids: IdAssignment,
+}
+
+impl RunPlan {
+    /// A plan with experiment defaults and the generous [`slot_cap`]
+    /// budget for `params`.
+    pub fn new(params: AlgorithmParams) -> Self {
+        RunPlan {
+            params,
+            engine: Engine::Event,
+            channel: ChannelSpec::Ideal,
+            max_slots: slot_cap(&params),
+            ids: IdAssignment::Sequential,
+        }
+    }
+
+    /// Selects the simulation engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the channel model.
+    pub fn channel(mut self, channel: ChannelSpec) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Overrides the slot budget.
+    pub fn max_slots(mut self, max_slots: Slot) -> Self {
+        self.max_slots = max_slots;
+        self
+    }
+
+    /// Selects the protocol-level ID scheme.
+    pub fn ids(mut self, ids: IdAssignment) -> Self {
+        self.ids = ids;
+        self
+    }
+
+    /// The equivalent [`ColoringConfig`].
+    pub fn config(&self) -> ColoringConfig {
+        let mut config = ColoringConfig::new(self.params);
+        config.engine = self.engine;
+        config.sim = SimConfig::with_max_slots(self.max_slots).with_channel(self.channel);
+        config.ids = self.ids;
+        config
+    }
+
+    /// Runs the coloring algorithm once under this plan.
+    pub fn color(&self, graph: &Graph, wake: &[Slot], seed: u64) -> ColoringOutcome {
+        color_graph(graph, wake, &self.config(), seed)
     }
 }
 

@@ -349,9 +349,7 @@ mod tests {
             &[0; 6],
             protos,
             7,
-            &SimConfig {
-                max_slots: 20_000_000,
-            },
+            &SimConfig::with_max_slots(20_000_000),
         );
         assert!(out.all_decided);
         let colors: Vec<Option<u32>> = out.protocols.iter().map(AdaptiveNode::color).collect();

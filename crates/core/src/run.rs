@@ -6,7 +6,7 @@ use crate::params::AlgorithmParams;
 use radio_graph::analysis::{check_coloring, Coloring, ColoringReport};
 use radio_graph::{Graph, NodeId};
 use radio_sim::rng::{node_rng, random_ids};
-use radio_sim::{Engine, NodeStats, SimConfig, Slot};
+use radio_sim::{Engine, NodeStats, ProtocolError, SimConfig, Slot};
 
 /// How protocol-level node IDs are assigned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -67,6 +67,13 @@ pub struct ColoringOutcome {
     pub all_decided: bool,
     /// Slots processed by the engine.
     pub slots_run: Slot,
+    /// A malformed behavior that stopped the run early (the engines
+    /// degrade gracefully instead of panicking), if any.
+    pub error: Option<ProtocolError>,
+    /// Total deliveries the channel model dropped (fading / loss).
+    pub total_drops: u64,
+    /// Total deliveries an adversarial channel jammed.
+    pub total_jams: u64,
 }
 
 impl ColoringOutcome {
@@ -152,6 +159,7 @@ pub fn color_graph(
         .map(|(v, _)| v as NodeId)
         .collect();
     let traces = out.protocols.iter().map(|p| *p.trace()).collect();
+    let (total_drops, total_jams) = (out.total_drops(), out.total_jams());
     ColoringOutcome {
         colors,
         report,
@@ -161,6 +169,9 @@ pub fn color_graph(
         ids,
         all_decided: out.all_decided,
         slots_run: out.slots_run,
+        error: out.error,
+        total_drops,
+        total_jams,
     }
 }
 
@@ -302,10 +313,25 @@ mod tests {
     }
 
     #[test]
+    fn lossy_channel_reports_drops_and_still_colors() {
+        let g = star(6);
+        let mut c = cfg(6, 6);
+        c.sim = c
+            .sim
+            .with_channel(radio_sim::ChannelSpec::ProbabilisticLoss { p: 0.2 });
+        let out = color_graph(&g, &[0; 6], &c, 41);
+        assert!(out.error.is_none());
+        assert!(out.total_drops > 0, "20% loss must drop something");
+        assert_eq!(out.total_jams, 0);
+        assert!(out.all_decided, "mild loss only slows the algorithm down");
+        assert!(out.valid(), "{:?}", out.colors);
+    }
+
+    #[test]
     fn max_slots_abort_reports_incomplete() {
         let g = path(4);
         let mut c = cfg(4, 3);
-        c.sim = SimConfig { max_slots: 10 }; // far too few
+        c.sim = SimConfig::with_max_slots(10); // far too few
         let out = color_graph(&g, &[0; 4], &c, 29);
         assert!(!out.all_decided);
         assert!(!out.report.complete);

@@ -35,6 +35,8 @@
 //! invalidated in O(1) with no per-slot clearing and no reserved
 //! sentinel slot value.
 
+use crate::channel::{ChannelModel, Contention, Reception};
+use crate::protocol::Slot;
 use radio_graph::{Graph, NodeId};
 
 /// Scatter-accumulate delivery for aligned-slot engines (lock-step and
@@ -127,6 +129,30 @@ impl DeliveryKernel {
             None
         }
     }
+
+    /// For a listener in [`touched`](Self::touched): the exact number
+    /// of transmitting neighbors this slot (≥ 1).
+    #[inline]
+    pub fn tx_count(&self, u: NodeId) -> u32 {
+        debug_assert_eq!(
+            self.stamp[u as usize], self.epoch,
+            "query of an untouched listener"
+        );
+        self.count[u as usize]
+    }
+
+    /// The [`Contention`] a [`ChannelModel`] decides on for listener `u`
+    /// at `slot` — the bridge between the scatter-accumulate result and
+    /// the pluggable reception rule.
+    #[inline]
+    pub fn contention(&self, u: NodeId, slot: Slot) -> Contention {
+        Contention {
+            listener: u,
+            slot,
+            transmitters: self.tx_count(u),
+            winner: self.unique_sender(u),
+        }
+    }
 }
 
 /// The pre-kernel listener-side delivery algorithm, preserved verbatim
@@ -172,6 +198,38 @@ impl ReferenceSweep {
     /// pairs to `out` in first-touch order — `None` meaning collision.
     /// This is the `O(Σ_t deg(t) · Δ)` loop the kernels replace.
     pub fn sweep(&mut self, graph: &Graph, out: &mut Vec<(NodeId, Option<NodeId>)>) {
+        self.sweep_impl(graph, |u, count, sender| {
+            out.push((u, if count == 1 { sender } else { None }));
+        });
+    }
+
+    /// Channel-aware re-scan: the same nested loop, but each listener's
+    /// contention is resolved by `channel` instead of the inlined
+    /// `count == 1` rule. The differential oracle for the kernel +
+    /// channel delivery path. Transmitter counts are reported clamped
+    /// to 2 (the re-scan stops counting there), which the
+    /// [`ChannelModel`] contract permits.
+    pub fn sweep_channel(
+        &mut self,
+        graph: &Graph,
+        slot: Slot,
+        channel: &mut impl ChannelModel,
+        out: &mut Vec<(NodeId, Reception)>,
+    ) {
+        self.sweep_impl(graph, |u, count, sender| {
+            let c = Contention {
+                listener: u,
+                slot,
+                transmitters: count,
+                winner: if count == 1 { sender } else { None },
+            };
+            out.push((u, channel.decide(&c)));
+        });
+    }
+
+    /// The shared nested loop: calls `f(listener, count≤2, first_sender)`
+    /// once per touched listener, in first-touch order.
+    fn sweep_impl(&mut self, graph: &Graph, mut f: impl FnMut(NodeId, u32, Option<NodeId>)) {
         for ti in 0..self.transmitters.len() {
             let t = self.transmitters[ti];
             for &u in graph.neighbors(t) {
@@ -191,11 +249,7 @@ impl ReferenceSweep {
                         sender = Some(w);
                     }
                 }
-                if count == 1 {
-                    out.push((u, Some(sender.expect("count == 1 implies a sender"))));
-                } else {
-                    out.push((u, None));
-                }
+                f(u, count, sender);
             }
         }
     }
@@ -282,6 +336,22 @@ impl OverlapKernel {
             }
         }
         false
+    }
+
+    /// The [`Contention`] a [`ChannelModel`] decides on for the packet
+    /// `sender` started at half-slot `start`, as heard by listener `u`
+    /// whose local slot is `slot`. The overlap query cannot count
+    /// interferers exactly, so collisions are reported as 2
+    /// transmitters (which the [`ChannelModel`] contract permits).
+    #[inline]
+    pub fn contention(&self, u: NodeId, start: u64, sender: NodeId, slot: Slot) -> Contention {
+        let interfered = self.interferes(u, start, sender);
+        Contention {
+            listener: u,
+            slot,
+            transmitters: if interfered { 2 } else { 1 },
+            winner: if interfered { None } else { Some(sender) },
+        }
     }
 }
 
@@ -473,5 +543,103 @@ mod tests {
         k.transmit(&g, 0, 0);
         // Only node 0's own start exists: no interference at listener 1.
         assert!(!k.interferes(1, 0, 0));
+    }
+
+    #[test]
+    fn overlap_kernel_ring_wraparound_does_not_alias_stale_entries() {
+        // Half-slots 0 and 4 share ring index 0 (mod 4). A start
+        // recorded at half 0 must be invisible to queries about half 4,
+        // and a new start at half 4 must overwrite the stale entry.
+        let g = star(3); // center 0, leaves 1 and 2
+        let mut k = OverlapKernel::new(3);
+        k.transmit(&g, 1, 0);
+        // Nothing started near half 4 yet: the half-0 entry at the same
+        // ring index must not masquerade as interference.
+        assert!(!k.interferes(0, 4, 2));
+        // Same for the adjacent-window probes (half 3 and 5 rings hold
+        // stamps from no one).
+        assert!(!k.interferes(0, 5, 2));
+        // Now 2 starts at half 4, overwriting ring index 0: its own
+        // packet is clean (the stale count from half 0 must have been
+        // reset, not accumulated)...
+        k.transmit(&g, 2, 4);
+        assert!(!k.interferes(0, 4, 2));
+        // ...and a second start at the same half collides.
+        k.transmit(&g, 1, 4);
+        assert!(k.interferes(0, 4, 2));
+        assert!(k.interferes(0, 4, 1));
+    }
+
+    #[test]
+    fn overlap_kernel_adjacent_window_across_ring_boundary() {
+        // Starts at halves 3 and 4 sit at ring indices 3 and 0 — the
+        // wrap point of the 4-deep ring. They are adjacent in time, so
+        // each must see the other as interference.
+        let g = star(3);
+        let mut k = OverlapKernel::new(3);
+        k.transmit(&g, 1, 3);
+        k.transmit(&g, 2, 4);
+        assert!(k.interferes(0, 3, 1), "half 4 start overlaps half 3 packet");
+        assert!(k.interferes(0, 4, 2), "half 3 start overlaps half 4 packet");
+        // A start 2 halves away (same parity, distinct slots) does not
+        // interfere: halves 3 and 5.
+        let mut k = OverlapKernel::new(3);
+        k.transmit(&g, 1, 3);
+        k.transmit(&g, 2, 5);
+        assert!(
+            !k.interferes(0, 5, 2),
+            "start at half 3 ended before half 5 packet"
+        );
+    }
+
+    /// Multi-slot differential: the kernel + channel delivery path must
+    /// equal the channel-aware reference sweep, reception by reception,
+    /// for every built-in spec (exact counts vs clamped counts included).
+    #[test]
+    fn kernel_channel_path_matches_reference_oracle_for_all_specs() {
+        use crate::channel::ChannelSpec;
+        let specs = [
+            ChannelSpec::Ideal,
+            ChannelSpec::ProbabilisticLoss { p: 0.35 },
+            ChannelSpec::GilbertElliott {
+                p_bad: 0.05,
+                p_good: 0.1,
+                loss_good: 0.02,
+                loss_bad: 0.9,
+            },
+            ChannelSpec::AdversarialJam {
+                window: 16,
+                budget: 3,
+            },
+        ];
+        let mut rng = SmallRng::seed_from_u64(0xC4A);
+        for spec in specs {
+            for case in 0..30 {
+                let n = rng.gen_range(2..24);
+                let g = gnp(n, [0.1, 0.4, 0.8][case % 3], &mut rng);
+                let mut kernel = DeliveryKernel::new(n);
+                let mut reference = ReferenceSweep::new(n);
+                let mut ch_kernel = spec.build(n, case as u64);
+                let mut ch_ref = spec.build(n, case as u64);
+                for slot in 0..50u64 {
+                    kernel.begin_slot();
+                    reference.begin_slot();
+                    for v in 0..n as NodeId {
+                        if rng.gen_bool(0.25) {
+                            kernel.transmit(&g, v);
+                            reference.transmit(v);
+                        }
+                    }
+                    let mut expect = Vec::new();
+                    reference.sweep_channel(&g, slot, &mut ch_ref, &mut expect);
+                    let got: Vec<(NodeId, Reception)> = kernel
+                        .touched()
+                        .iter()
+                        .map(|&u| (u, ch_kernel.decide(&kernel.contention(u, slot))))
+                        .collect();
+                    assert_eq!(got, expect, "{spec:?} case {case} slot {slot}");
+                }
+            }
+        }
     }
 }

@@ -10,10 +10,12 @@
 //! and per-slot draws distributionally equal, including after behavior
 //! changes, which simply re-draw).
 
-use super::{NodeStats, SimConfig, SimOutcome};
+use super::{log_fault, NodeStats, SimConfig, SimOutcome};
+use crate::channel::{ChannelModel, Reception};
 use crate::delivery::DeliveryKernel;
-use crate::protocol::{Behavior, RadioProtocol, Slot};
+use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
 use crate::rng::{geometric_failures, node_rng};
+use crate::trace::Event;
 use radio_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use std::cmp::Reverse;
@@ -24,7 +26,7 @@ const KIND_WAKE: u8 = 0;
 const KIND_DEADLINE: u8 = 1;
 const KIND_TX: u8 = 2;
 
-type Event = Reverse<(Slot, u8, NodeId, u32)>;
+type HeapEvent = Reverse<(Slot, u8, NodeId, u32)>;
 
 struct NodeRec {
     behavior: Option<Behavior>,
@@ -66,13 +68,16 @@ pub fn run_event<P: RadioProtocol>(
     let mut undecided = n;
     let mut woken = 0usize;
 
-    let mut heap: BinaryHeap<Event> = wake
+    let mut heap: BinaryHeap<HeapEvent> = wake
         .iter()
         .enumerate()
         .map(|(v, &w)| Reverse((w, KIND_WAKE, v as NodeId, 0)))
         .collect();
 
     let mut kernel = DeliveryKernel::new(n);
+    let mut channel = cfg.channel.build(n, seed);
+    let mut faults: Vec<Event> = Vec::new();
+    let mut error: Option<ProtocolError> = None;
     let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
 
     let mut slots_run: Slot = 0;
@@ -81,7 +86,7 @@ pub fn run_event<P: RadioProtocol>(
     /// Pushes the events implied by node `v`'s current behavior,
     /// starting from slot `from` (inclusive for transmissions).
     fn schedule(
-        heap: &mut BinaryHeap<Event>,
+        heap: &mut BinaryHeap<HeapEvent>,
         recs: &[NodeRec],
         rngs: &mut [SmallRng],
         v: NodeId,
@@ -98,7 +103,7 @@ pub fn run_event<P: RadioProtocol>(
         }
     }
 
-    while let Some(&Reverse((slot, _, _, _))) = heap.peek() {
+    'run: while let Some(&Reverse((slot, _, _, _))) = heap.peek() {
         if slot > cfg.max_slots {
             slots_run = cfg.max_slots;
             break;
@@ -119,11 +124,14 @@ pub fn run_event<P: RadioProtocol>(
             match kind {
                 KIND_WAKE => {
                     let b = protocols[vi].on_wake(slot, &mut rngs[vi]);
-                    b.validate();
-                    debug_assert!(
-                        b.until().is_none_or(|u| u > slot),
-                        "on_wake deadline must be > now"
-                    );
+                    if let Err(fault) = b.validate_at(slot) {
+                        error = Some(ProtocolError {
+                            node: v,
+                            slot,
+                            fault,
+                        });
+                        break 'run;
+                    }
                     recs[vi].behavior = Some(b);
                     woken += 1;
                     schedule(&mut heap, &recs, &mut rngs, v, slot);
@@ -138,11 +146,14 @@ pub fn run_event<P: RadioProtocol>(
                         continue; // stale
                     }
                     let b = protocols[vi].on_deadline(slot, &mut rngs[vi]);
-                    b.validate();
-                    assert!(
-                        b.until().is_none_or(|u| u > slot),
-                        "on_deadline must return deadline > now"
-                    );
+                    if let Err(fault) = b.validate_at(slot) {
+                        error = Some(ProtocolError {
+                            node: v,
+                            slot,
+                            fault,
+                        });
+                        break 'run;
+                    }
                     recs[vi].gen += 1;
                     recs[vi].behavior = Some(b);
                     schedule(&mut heap, &recs, &mut rngs, v, slot);
@@ -173,7 +184,10 @@ pub fn run_event<P: RadioProtocol>(
 
         // Deliveries (identical semantics to the lock-step engine): the
         // kernel scattered per-listener counts as transmissions fired,
-        // so this is one flat pass over the touched listeners.
+        // and the channel model decides each touched listener's outcome.
+        // Channel draws are counter-based (pure in (listener, slot)), so
+        // skipping idle slots cannot perturb them — no per-slot fallback
+        // is needed even for non-trivial models; see `crate::channel`.
         for &u in kernel.touched() {
             let ui = u as usize;
             if kernel.is_transmitter(u) {
@@ -182,27 +196,39 @@ pub fn run_event<P: RadioProtocol>(
             if wake[ui] > slot {
                 continue; // asleep
             }
-            if let Some(w) = kernel.unique_sender(u) {
-                let msg = air[w as usize].clone().expect("transmitter has a message");
-                stats[ui].received += 1;
-                if let Some(nb) = protocols[ui].on_receive(slot, &msg, &mut rngs[ui]) {
-                    nb.validate();
-                    assert!(
-                        nb.until().is_none_or(|x| x > slot),
-                        "on_receive must return deadline > now"
-                    );
-                    recs[ui].gen += 1;
-                    recs[ui].behavior = Some(nb);
-                    // New segment governs from slot + 1.
-                    schedule(&mut heap, &recs, &mut rngs, u, slot + 1);
+            match channel.decide(&kernel.contention(u, slot)) {
+                Reception::Deliver(w) => {
+                    let msg = air[w as usize].clone().expect("transmitter has a message");
+                    stats[ui].received += 1;
+                    if let Some(nb) = protocols[ui].on_receive(slot, &msg, &mut rngs[ui]) {
+                        if let Err(fault) = nb.validate_at(slot) {
+                            error = Some(ProtocolError {
+                                node: u,
+                                slot,
+                                fault,
+                            });
+                            break 'run;
+                        }
+                        recs[ui].gen += 1;
+                        recs[ui].behavior = Some(nb);
+                        // New segment governs from slot + 1.
+                        schedule(&mut heap, &recs, &mut rngs, u, slot + 1);
+                    }
+                    if !decided[ui] && protocols[ui].is_decided() {
+                        decided[ui] = true;
+                        stats[ui].decided_at = Some(slot);
+                        undecided -= 1;
+                    }
                 }
-                if !decided[ui] && protocols[ui].is_decided() {
-                    decided[ui] = true;
-                    stats[ui].decided_at = Some(slot);
-                    undecided -= 1;
+                Reception::Collide => stats[ui].collisions += 1,
+                Reception::Drop => {
+                    stats[ui].drops += 1;
+                    log_fault(&mut faults, Event::Drop { node: u, slot });
                 }
-            } else {
-                stats[ui].collisions += 1;
+                Reception::Jam => {
+                    stats[ui].jams += 1;
+                    log_fault(&mut faults, Event::Jam { node: u, slot });
+                }
             }
         }
 
@@ -215,8 +241,10 @@ pub fn run_event<P: RadioProtocol>(
     SimOutcome {
         protocols,
         stats,
-        all_decided,
+        all_decided: all_decided && error.is_none(),
         slots_run,
+        error,
+        faults,
     }
 }
 
@@ -289,7 +317,7 @@ mod tests {
                 },
             ]
         };
-        let cfg = SimConfig { max_slots: 1000 };
+        let cfg = SimConfig::with_max_slots(1000);
         let a = run_event(&g, &[0, 0, 0], mk(), 1, &cfg);
         let b = run_lockstep(&g, &[0, 0, 0], mk(), 1, &cfg);
         assert!(a.all_decided && b.all_decided);
@@ -320,7 +348,7 @@ mod tests {
                 id: 2,
             },
         ];
-        let out = run_event(&g, &[0, 0, 0], protos, 2, &SimConfig { max_slots: 50 });
+        let out = run_event(&g, &[0, 0, 0], protos, 2, &SimConfig::with_max_slots(50));
         assert_eq!(out.stats[0].received, 0);
         assert!(out.all_decided);
     }
@@ -342,7 +370,7 @@ mod tests {
                 id: 1,
             },
         ];
-        let out = run_event(&g, &[0, 10], protos, 3, &SimConfig { max_slots: 100 });
+        let out = run_event(&g, &[0, 10], protos, 3, &SimConfig::with_max_slots(100));
         assert!(out.all_decided);
         assert_eq!(out.stats[1].decided_at, Some(12));
     }
@@ -369,7 +397,7 @@ mod tests {
                 },
             ]
         };
-        let cfg = SimConfig { max_slots: 10_000 };
+        let cfg = SimConfig::with_max_slots(10_000);
         let mut ev_mean = 0.0;
         let mut ls_mean = 0.0;
         let runs = 30;

@@ -23,10 +23,12 @@
 //! phases, experiment E16 measures the constant-factor slowdown the
 //! paper predicts.
 
-use super::{NodeStats, SimConfig, SimOutcome};
+use super::{log_fault, NodeStats, SimConfig, SimOutcome};
+use crate::channel::{ChannelModel, Reception};
 use crate::delivery::OverlapKernel;
-use crate::protocol::{Behavior, RadioProtocol, Slot};
+use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
 use crate::rng::node_rng;
+use crate::trace::Event;
 use radio_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -88,6 +90,9 @@ pub fn run_jittered<P: RadioProtocol>(
     let overlaps =
         |starts: &[i64; 2], s: i64| (starts[0] - s).abs() <= 1 || (starts[1] - s).abs() <= 1;
     let mut kernel = OverlapKernel::new(n);
+    let mut channel = cfg.channel.build(n, seed);
+    let mut faults: Vec<Event> = Vec::new();
+    let mut error: Option<ProtocolError> = None;
     let mut pending: VecDeque<Packet<P::Message>> = VecDeque::new();
 
     let mut slots_run = 0;
@@ -120,24 +125,51 @@ pub fn run_jittered<P: RadioProtocol>(
                 if overlaps(&tx_starts[vi], s) {
                     continue;
                 }
-                // (b) any other neighbor's packet overlaps?
-                if kernel.interferes(v, p.start, p.node) {
-                    stats[vi].collisions += 1;
-                    continue;
-                }
-                stats[vi].received += 1;
-                if let Some(nb) = protocols[vi].on_receive(local_end, &p.msg, &mut rngs[vi]) {
-                    nb.validate();
-                    assert!(
-                        nb.until().is_none_or(|x| x > local_end),
-                        "on_receive must return deadline > now"
-                    );
-                    behaviors[vi] = Some(nb);
-                }
-                if !decided[vi] && protocols[vi].is_decided() {
-                    decided[vi] = true;
-                    stats[vi].decided_at = Some(local_end);
-                    undecided -= 1;
+                // (b) the channel decides: collision iff another
+                //     neighbor's packet overlaps (under `Ideal`), and
+                //     fault models may drop or jam clean packets.
+                match channel.decide(&kernel.contention(v, p.start, p.node, local_end)) {
+                    Reception::Deliver(_) => {
+                        stats[vi].received += 1;
+                        if let Some(nb) = protocols[vi].on_receive(local_end, &p.msg, &mut rngs[vi])
+                        {
+                            if let Err(fault) = nb.validate_at(local_end) {
+                                error = Some(ProtocolError {
+                                    node: v,
+                                    slot: local_end,
+                                    fault,
+                                });
+                                break 'outer;
+                            }
+                            behaviors[vi] = Some(nb);
+                        }
+                        if !decided[vi] && protocols[vi].is_decided() {
+                            decided[vi] = true;
+                            stats[vi].decided_at = Some(local_end);
+                            undecided -= 1;
+                        }
+                    }
+                    Reception::Collide => stats[vi].collisions += 1,
+                    Reception::Drop => {
+                        stats[vi].drops += 1;
+                        log_fault(
+                            &mut faults,
+                            Event::Drop {
+                                node: v,
+                                slot: local_end,
+                            },
+                        );
+                    }
+                    Reception::Jam => {
+                        stats[vi].jams += 1;
+                        log_fault(
+                            &mut faults,
+                            Event::Jam {
+                                node: v,
+                                slot: local_end,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -163,7 +195,14 @@ pub fn run_jittered<P: RadioProtocol>(
             awake.push(v);
             let t = wake[vi];
             let b = protocols[vi].on_wake(t, &mut rngs[vi]);
-            b.validate();
+            if let Err(fault) = b.validate_at(t) {
+                error = Some(ProtocolError {
+                    node: v,
+                    slot: t,
+                    fault,
+                });
+                break 'outer;
+            }
             behaviors[vi] = Some(b);
             if !decided[vi] && protocols[vi].is_decided() {
                 decided[vi] = true;
@@ -185,11 +224,14 @@ pub fn run_jittered<P: RadioProtocol>(
             if let Some(b) = behaviors[vi] {
                 if b.until() == Some(t) {
                     let nb = protocols[vi].on_deadline(t, &mut rngs[vi]);
-                    nb.validate();
-                    assert!(
-                        nb.until().is_none_or(|u| u > t),
-                        "on_deadline must return deadline > now"
-                    );
+                    if let Err(fault) = nb.validate_at(t) {
+                        error = Some(ProtocolError {
+                            node: v,
+                            slot: t,
+                            fault,
+                        });
+                        break 'outer;
+                    }
                     behaviors[vi] = Some(nb);
                     if !decided[vi] && protocols[vi].is_decided() {
                         decided[vi] = true;
@@ -228,8 +270,10 @@ pub fn run_jittered<P: RadioProtocol>(
     SimOutcome {
         protocols,
         stats,
-        all_decided,
+        all_decided: all_decided && error.is_none(),
         slots_run,
+        error,
+        faults,
     }
 }
 
@@ -303,7 +347,7 @@ mod tests {
                 },
             ]
         };
-        let cfg = SimConfig { max_slots: 10_000 };
+        let cfg = SimConfig::with_max_slots(10_000);
         let a = run_lockstep(&g, &[0, 0, 0], mk(), 3, &cfg);
         let b = run_jittered(&g, &[0, 0, 0], mk(), &[false; 3], 3, &cfg);
         assert!(a.all_decided && b.all_decided);
@@ -342,7 +386,7 @@ mod tests {
             protos,
             &[false, false, true],
             5,
-            &SimConfig { max_slots: 300 },
+            &SimConfig::with_max_slots(300),
         );
         assert!(!out.all_decided);
         assert_eq!(
@@ -375,7 +419,7 @@ mod tests {
             protos,
             &[false, true],
             7,
-            &SimConfig { max_slots: 300 },
+            &SimConfig::with_max_slots(300),
         );
         assert!(out.all_decided);
         assert_eq!(out.stats[1].received, 5);
@@ -403,7 +447,7 @@ mod tests {
             protos,
             &[false, true],
             9,
-            &SimConfig { max_slots: 200 },
+            &SimConfig::with_max_slots(200),
         );
         assert!(!out.all_decided);
         assert_eq!(out.stats[0].received + out.stats[1].received, 0);
@@ -430,7 +474,7 @@ mod tests {
             protos,
             &[false, true],
             11,
-            &SimConfig { max_slots: 500 },
+            &SimConfig::with_max_slots(500),
         );
         assert!(out.all_decided);
         let d = out.stats[1].decided_at.unwrap();
@@ -441,5 +485,103 @@ mod tests {
     fn random_phases_deterministic() {
         assert_eq!(random_phases(32, 1), random_phases(32, 1));
         assert_ne!(random_phases(32, 1), random_phases(32, 2));
+    }
+
+    /// Two roles in one protocol: a relentless transmitter, or a silent
+    /// listener with a fixed deadline that records whether a reception
+    /// in the deadline's own slot observes the deadline as already
+    /// fired (intra-slot ordering: deadlines at slot start, deliveries
+    /// after).
+    struct DeadlineRx {
+        sender: bool,
+        until: Slot,
+        deadline_at: Option<Slot>,
+        same_slot_rx_after_deadline: bool,
+        got: u64,
+    }
+
+    impl DeadlineRx {
+        fn sender() -> Self {
+            DeadlineRx {
+                sender: true,
+                until: 0,
+                deadline_at: None,
+                same_slot_rx_after_deadline: false,
+                got: 0,
+            }
+        }
+
+        fn listener(until: Slot) -> Self {
+            DeadlineRx {
+                sender: false,
+                until,
+                deadline_at: None,
+                same_slot_rx_after_deadline: false,
+                got: 0,
+            }
+        }
+    }
+
+    impl RadioProtocol for DeadlineRx {
+        type Message = u8;
+
+        fn on_wake(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+            if self.sender {
+                Behavior::Transmit {
+                    p: 1.0,
+                    until: None,
+                }
+            } else {
+                Behavior::Silent {
+                    until: Some(now + self.until),
+                }
+            }
+        }
+
+        fn on_deadline(&mut self, now: Slot, _rng: &mut SmallRng) -> Behavior {
+            self.deadline_at = Some(now);
+            Behavior::Silent { until: None }
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u8 {
+            0
+        }
+
+        fn on_receive(&mut self, now: Slot, _msg: &u8, _rng: &mut SmallRng) -> Option<Behavior> {
+            self.got += 1;
+            if self.deadline_at == Some(now) {
+                self.same_slot_rx_after_deadline = true;
+            }
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.sender || self.same_slot_rx_after_deadline
+        }
+    }
+
+    #[test]
+    fn deadline_and_delivery_in_same_slot_order_correctly() {
+        // Sender on the half-slot phase transmits every local slot; its
+        // packet started at half 2t+1 ends inside the listener's local
+        // slot t+1. The listener's deadline at slot 4 fires at half 8,
+        // before the delivery processed at half 9 — so the reception in
+        // the deadline's own slot must observe the deadline as fired.
+        let g = path(2);
+        let protos = vec![DeadlineRx::sender(), DeadlineRx::listener(4)];
+        let out = run_jittered(
+            &g,
+            &[0, 0],
+            protos,
+            &[true, false],
+            13,
+            &SimConfig::with_max_slots(100),
+        );
+        assert!(out.all_decided, "ordering violated: flag never set");
+        let l = &out.protocols[1];
+        assert_eq!(l.deadline_at, Some(4));
+        assert!(l.same_slot_rx_after_deadline);
+        assert!(l.got >= 4, "uncontended cross-phase packets decode");
+        assert_eq!(out.stats[1].decided_at, Some(4));
     }
 }

@@ -2,10 +2,12 @@
 //! slot; transmission decisions are independent Bernoulli draws — a
 //! direct transcription of the model in Sect. 2 of the paper.
 
-use super::{NodeStats, SimConfig, SimOutcome};
+use super::{log_fault, NodeStats, SimConfig, SimOutcome};
+use crate::channel::{ChannelModel, Reception};
 use crate::delivery::DeliveryKernel;
-use crate::protocol::{Behavior, RadioProtocol, Slot};
+use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
 use crate::rng::node_rng;
+use crate::trace::Event;
 use radio_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -62,12 +64,15 @@ pub fn run_lockstep<P: RadioProtocol>(
     let mut in_active: Vec<bool> = vec![false; n];
 
     let mut kernel = DeliveryKernel::new(n);
+    let mut channel = cfg.channel.build(n, seed);
+    let mut faults: Vec<Event> = Vec::new();
+    let mut error: Option<ProtocolError> = None;
     let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
 
     let mut slots_run = 0;
     let mut all_decided = n == 0;
     let mut slot: Slot = 0;
-    while slot <= cfg.max_slots {
+    'run: while slot <= cfg.max_slots {
         slots_run = slot;
         let note = |v: NodeId,
                     protocols: &[P],
@@ -88,11 +93,14 @@ pub fn run_lockstep<P: RadioProtocol>(
             active.push(v);
             in_active[v as usize] = true;
             let b = protocols[v as usize].on_wake(slot, &mut rngs[v as usize]);
-            b.validate();
-            debug_assert!(
-                b.until().is_none_or(|u| u > slot),
-                "on_wake deadline must be > now"
-            );
+            if let Err(fault) = b.validate_at(slot) {
+                error = Some(ProtocolError {
+                    node: v,
+                    slot,
+                    fault,
+                });
+                break 'run;
+            }
             behaviors[v as usize] = Some(b);
             note(v, &protocols, &mut decided, &mut undecided, &mut stats);
         }
@@ -104,11 +112,14 @@ pub fn run_lockstep<P: RadioProtocol>(
             };
             if b.until() == Some(slot) {
                 let nb = protocols[v as usize].on_deadline(slot, &mut rngs[v as usize]);
-                nb.validate();
-                assert!(
-                    nb.until().is_none_or(|u| u > slot),
-                    "on_deadline must return deadline > now"
-                );
+                if let Err(fault) = nb.validate_at(slot) {
+                    error = Some(ProtocolError {
+                        node: v,
+                        slot,
+                        fault,
+                    });
+                    break 'run;
+                }
                 behaviors[v as usize] = Some(nb);
                 note(v, &protocols, &mut decided, &mut undecided, &mut stats);
             }
@@ -128,10 +139,12 @@ pub fn run_lockstep<P: RadioProtocol>(
             }
         }
 
-        // 4. Deliveries: a listener receives iff exactly one neighbor
-        //    transmitted. Sleeping nodes receive nothing. The kernel
-        //    already accumulated per-listener counts, so this is a flat
-        //    pass over the touched listeners — no neighborhood re-scan.
+        // 4. Deliveries: the channel model decides each touched
+        //    listener's outcome from the kernel's per-listener counts
+        //    (under `Ideal` this is exactly "receive iff one neighbor
+        //    transmitted"). Sleeping nodes receive nothing; this is a
+        //    flat pass over the touched listeners — no neighborhood
+        //    re-scan.
         for &u in kernel.touched() {
             if kernel.is_transmitter(u) {
                 continue; // transmitting itself: cannot receive
@@ -139,28 +152,40 @@ pub fn run_lockstep<P: RadioProtocol>(
             if wake[u as usize] > slot {
                 continue; // still asleep
             }
-            if let Some(w) = kernel.unique_sender(u) {
-                let msg = air[w as usize].clone().expect("transmitter has a message");
-                stats[u as usize].received += 1;
-                if let Some(nb) =
-                    protocols[u as usize].on_receive(slot, &msg, &mut rngs[u as usize])
-                {
-                    nb.validate();
-                    assert!(
-                        nb.until().is_none_or(|x| x > slot),
-                        "on_receive must return deadline > now"
-                    );
-                    behaviors[u as usize] = Some(nb);
-                    // A retired node that picked up a new behavior
-                    // needs per-slot attention again.
-                    if !in_active[u as usize] {
-                        in_active[u as usize] = true;
-                        active.push(u);
+            match channel.decide(&kernel.contention(u, slot)) {
+                Reception::Deliver(w) => {
+                    let msg = air[w as usize].clone().expect("transmitter has a message");
+                    stats[u as usize].received += 1;
+                    if let Some(nb) =
+                        protocols[u as usize].on_receive(slot, &msg, &mut rngs[u as usize])
+                    {
+                        if let Err(fault) = nb.validate_at(slot) {
+                            error = Some(ProtocolError {
+                                node: u,
+                                slot,
+                                fault,
+                            });
+                            break 'run;
+                        }
+                        behaviors[u as usize] = Some(nb);
+                        // A retired node that picked up a new behavior
+                        // needs per-slot attention again.
+                        if !in_active[u as usize] {
+                            in_active[u as usize] = true;
+                            active.push(u);
+                        }
                     }
+                    note(u, &protocols, &mut decided, &mut undecided, &mut stats);
                 }
-                note(u, &protocols, &mut decided, &mut undecided, &mut stats);
-            } else {
-                stats[u as usize].collisions += 1;
+                Reception::Collide => stats[u as usize].collisions += 1,
+                Reception::Drop => {
+                    stats[u as usize].drops += 1;
+                    log_fault(&mut faults, Event::Drop { node: u, slot });
+                }
+                Reception::Jam => {
+                    stats[u as usize].jams += 1;
+                    log_fault(&mut faults, Event::Jam { node: u, slot });
+                }
             }
         }
 
@@ -184,8 +209,10 @@ pub fn run_lockstep<P: RadioProtocol>(
     SimOutcome {
         protocols,
         stats,
-        all_decided,
+        all_decided: all_decided && error.is_none(),
         slots_run,
+        error,
+        faults,
     }
 }
 
@@ -255,7 +282,7 @@ mod tests {
             Chatter::new(1, f64::MIN_POSITIVE, 5), // effectively silent
             Chatter::new(2, f64::MIN_POSITIVE, 0),
         ];
-        let out = run_lockstep(&g, &[0, 0, 0], protos, 1, &SimConfig { max_slots: 1000 });
+        let out = run_lockstep(&g, &[0, 0, 0], protos, 1, &SimConfig::with_max_slots(1000));
         assert!(out.all_decided);
         // Node 1 hears node 0 in slots 0..=4 and decides at slot 4.
         assert_eq!(out.protocols[1].got, 5);
@@ -275,7 +302,7 @@ mod tests {
             Chatter::new(1, 1.0, 0),
             Chatter::new(2, 1.0, 0),
         ];
-        let out = run_lockstep(&g, &[0, 0, 0], protos, 2, &SimConfig { max_slots: 50 });
+        let out = run_lockstep(&g, &[0, 0, 0], protos, 2, &SimConfig::with_max_slots(50));
         assert!(out.all_decided); // need = 0 everywhere
         assert_eq!(out.stats[0].received, 0, "collisions every slot");
         assert!(out.stats[0].collisions > 0);
@@ -286,7 +313,7 @@ mod tests {
         // Two nodes, both always transmitting: nobody ever receives.
         let g = path(2);
         let protos = vec![Chatter::new(0, 1.0, 1), Chatter::new(1, 1.0, 1)];
-        let out = run_lockstep(&g, &[0, 0], protos, 3, &SimConfig { max_slots: 100 });
+        let out = run_lockstep(&g, &[0, 0], protos, 3, &SimConfig::with_max_slots(100));
         assert!(!out.all_decided);
         assert_eq!(out.stats[0].received + out.stats[1].received, 0);
     }
@@ -299,7 +326,7 @@ mod tests {
             Chatter::new(1, f64::MIN_POSITIVE, 3),
         ];
         // Node 1 wakes at slot 10; messages before that are lost.
-        let out = run_lockstep(&g, &[0, 10], protos, 4, &SimConfig { max_slots: 100 });
+        let out = run_lockstep(&g, &[0, 10], protos, 4, &SimConfig::with_max_slots(100));
         assert!(out.all_decided);
         let s = &out.stats[1];
         assert_eq!(s.decided_at, Some(12)); // receives at 10, 11, 12
@@ -333,7 +360,7 @@ mod tests {
             Chatter::new(0, f64::MIN_POSITIVE, 1),
             Chatter::new(1, f64::MIN_POSITIVE, 1),
         ];
-        let out = run_lockstep(&g, &[0, 0], protos, 6, &SimConfig { max_slots: 40 });
+        let out = run_lockstep(&g, &[0, 0], protos, 6, &SimConfig::with_max_slots(40));
         assert!(!out.all_decided);
         assert_eq!(out.slots_run, 40);
         assert_eq!(out.max_decision_time(), None);

@@ -19,7 +19,9 @@ pub mod event;
 pub mod jittered;
 pub mod lockstep;
 
-use crate::protocol::Slot;
+use crate::channel::ChannelSpec;
+use crate::protocol::{ProtocolError, Slot};
+use crate::trace::Event;
 
 /// Engine limits and options.
 #[derive(Clone, Copy, Debug)]
@@ -27,13 +29,48 @@ pub struct SimConfig {
     /// Hard stop: the run aborts (with `all_decided = false`) if it
     /// reaches this slot.
     pub max_slots: Slot,
+    /// The channel model deciding deliveries (see [`crate::channel`]).
+    /// [`ChannelSpec::Ideal`] is the paper's model and is bit-identical
+    /// to the pre-channel-layer engines.
+    pub channel: ChannelSpec,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             max_slots: 50_000_000,
+            channel: ChannelSpec::Ideal,
         }
+    }
+}
+
+impl SimConfig {
+    /// The default configuration with a custom slot cap.
+    pub fn with_max_slots(max_slots: Slot) -> Self {
+        SimConfig {
+            max_slots,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Replaces the channel model (builder style).
+    pub fn with_channel(mut self, channel: ChannelSpec) -> Self {
+        self.channel = channel;
+        self
+    }
+}
+
+/// Cap on the per-run injected-fault event log ([`SimOutcome::faults`]):
+/// aggregates in [`NodeStats`] stay exact, the per-slot log is bounded
+/// so a long faulty run cannot eat the heap.
+pub const MAX_FAULT_LOG: usize = 1 << 16;
+
+/// Appends a fault event to a bounded log (silently truncating past
+/// [`MAX_FAULT_LOG`]; the [`NodeStats`] counters stay exact).
+#[inline]
+pub(crate) fn log_fault(log: &mut Vec<Event>, e: Event) {
+    if log.len() < MAX_FAULT_LOG {
+        log.push(e);
     }
 }
 
@@ -53,6 +90,12 @@ pub struct NodeStats {
     /// more neighbors transmitted. The *node* cannot observe this (no
     /// collision detection); the simulator records it for analysis only.
     pub collisions: u64,
+    /// Deliverable slots the channel model dropped at this listener
+    /// (fading / probabilistic loss). Like collisions, invisible to the
+    /// node itself.
+    pub drops: u64,
+    /// Deliverable slots an adversarial channel jammed at this listener.
+    pub jams: u64,
 }
 
 impl NodeStats {
@@ -74,6 +117,15 @@ pub struct SimOutcome<P> {
     pub all_decided: bool,
     /// The highest slot processed.
     pub slots_run: Slot,
+    /// The first malformed behavior a protocol callback returned, if
+    /// any: the run stopped there gracefully instead of panicking
+    /// (`all_decided` is `false` in that case).
+    pub error: Option<ProtocolError>,
+    /// Injected channel faults ([`Event::Drop`] / [`Event::Jam`]) in
+    /// slot order, capped at [`MAX_FAULT_LOG`] entries (the per-node
+    /// counters in [`NodeStats`] remain exact beyond the cap). Empty
+    /// under [`ChannelSpec::Ideal`].
+    pub faults: Vec<Event>,
 }
 
 impl<P> SimOutcome<P> {
@@ -96,6 +148,16 @@ impl<P> SimOutcome<P> {
     /// Total number of collision slots observed across all listeners.
     pub fn total_collisions(&self) -> u64 {
         self.stats.iter().map(|s| s.collisions).sum()
+    }
+
+    /// Total channel-dropped deliveries across all listeners.
+    pub fn total_drops(&self) -> u64 {
+        self.stats.iter().map(|s| s.drops).sum()
+    }
+
+    /// Total adversarially jammed deliveries across all listeners.
+    pub fn total_jams(&self) -> u64 {
+        self.stats.iter().map(|s| s.jams).sum()
     }
 }
 
@@ -130,6 +192,8 @@ mod tests {
                     sent: 3,
                     received: 1,
                     collisions: 2,
+                    drops: 1,
+                    jams: 0,
                 },
                 NodeStats {
                     wake: 2,
@@ -137,14 +201,20 @@ mod tests {
                     sent: 4,
                     received: 0,
                     collisions: 1,
+                    drops: 0,
+                    jams: 2,
                 },
             ],
             all_decided: true,
             slots_run: 7,
+            error: None,
+            faults: Vec::new(),
         };
         assert_eq!(out.max_decision_time(), Some(7));
         assert_eq!(out.total_sent(), 7);
         assert_eq!(out.total_collisions(), 3);
+        assert_eq!(out.total_drops(), 1);
+        assert_eq!(out.total_jams(), 2);
     }
 
     #[test]
@@ -158,6 +228,8 @@ mod tests {
             }],
             all_decided: false,
             slots_run: 9,
+            error: None,
+            faults: Vec::new(),
         };
         assert_eq!(out.max_decision_time(), None);
     }

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod delivery;
 pub mod engine;
 pub mod parallel;
@@ -59,12 +60,16 @@ pub mod rng;
 pub mod trace;
 pub mod wakeup;
 
+pub use channel::{
+    AdversarialJam, BuiltinChannel, ChannelModel, ChannelSpec, Contention, GilbertElliott, Ideal,
+    ProbabilisticLoss, Reception,
+};
 pub use delivery::{DeliveryKernel, OverlapKernel};
 pub use engine::event::run_event;
 pub use engine::jittered::{random_phases, run_jittered};
 pub use engine::lockstep::run_lockstep;
-pub use engine::{NodeStats, SimConfig, SimOutcome};
-pub use protocol::{Behavior, RadioProtocol, Slot};
+pub use engine::{NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
+pub use protocol::{Behavior, BehaviorFault, ProtocolError, RadioProtocol, Slot};
 pub use trace::{render_timeline, Event, Recorded, Recorder};
 pub use wakeup::{wake_wave, WakePattern};
 

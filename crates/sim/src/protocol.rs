@@ -26,9 +26,68 @@
 //!    from `on_receive` takes effect at slot *t + 1*.
 
 use rand::rngs::SmallRng;
+use std::fmt;
 
 /// Discrete time slot index.
 pub type Slot = u64;
+
+/// What was wrong with a [`Behavior`] returned by a protocol callback.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BehaviorFault {
+    /// Transmit probability outside `(0, 1]` or non-finite.
+    InvalidProbability {
+        /// The offending probability.
+        p: f64,
+    },
+    /// A segment deadline not strictly in the future.
+    StaleDeadline {
+        /// Slot at which the behavior was returned.
+        now: Slot,
+        /// The (non-future) deadline it carried.
+        until: Slot,
+    },
+}
+
+impl fmt::Display for BehaviorFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BehaviorFault::InvalidProbability { p } => {
+                write!(f, "transmit probability {p} not in (0,1]")
+            }
+            BehaviorFault::StaleDeadline { now, until } => {
+                write!(f, "deadline {until} not after current slot {now}")
+            }
+        }
+    }
+}
+
+/// A malformed behavior returned by a protocol callback mid-run.
+///
+/// The engines no longer panic on one: they stop stepping, mark the run
+/// undecided, and report the error in
+/// [`SimOutcome::error`](crate::SimOutcome) so harnesses degrade
+/// gracefully instead of aborting the whole experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProtocolError {
+    /// Node whose callback produced the bad behavior.
+    pub node: u32,
+    /// Slot at which it was returned.
+    pub slot: Slot,
+    /// What was wrong with it.
+    pub fault: BehaviorFault,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} at slot {}: {}",
+            self.node, self.slot, self.fault
+        )
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// One segment of a node's externally visible behavior.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,15 +123,28 @@ impl Behavior {
         }
     }
 
-    /// Panics if the behavior is malformed (probability outside `(0,1]`
-    /// on a transmit segment, or a non-finite value).
-    pub fn validate(&self) {
+    /// Checks that the behavior is well-formed: a transmit probability
+    /// in `(0, 1]` (finite). Returns a typed fault instead of panicking
+    /// so engines can degrade gracefully mid-run.
+    pub fn validate(&self) -> Result<(), BehaviorFault> {
         if let Behavior::Transmit { p, .. } = self {
-            assert!(
-                p.is_finite() && *p > 0.0 && *p <= 1.0,
-                "transmit probability {p} not in (0,1]"
-            );
+            if !(p.is_finite() && *p > 0.0 && *p <= 1.0) {
+                return Err(BehaviorFault::InvalidProbability { p: *p });
+            }
         }
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate) plus the engine-side deadline rule:
+    /// a segment returned at slot `now` must carry a deadline `> now`.
+    pub fn validate_at(&self, now: Slot) -> Result<(), BehaviorFault> {
+        self.validate()?;
+        if let Some(until) = self.until() {
+            if until <= now {
+                return Err(BehaviorFault::StaleDeadline { now, until });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -131,27 +203,49 @@ mod tests {
         };
         assert_eq!(t.until(), None);
         assert_eq!(t.probability(), 0.25);
-        t.validate();
-        s.validate();
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(s.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "transmit probability")]
-    fn validate_rejects_zero_probability() {
-        Behavior::Transmit {
-            p: 0.0,
-            until: None,
+    fn validate_rejects_bad_probabilities_with_typed_faults() {
+        for p in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let b = Behavior::Transmit { p, until: None };
+            match b.validate() {
+                Err(BehaviorFault::InvalidProbability { p: got }) => {
+                    assert!(got == p || (p.is_nan() && got.is_nan()));
+                }
+                other => panic!("p={p}: expected InvalidProbability, got {other:?}"),
+            }
         }
-        .validate();
     }
 
     #[test]
-    #[should_panic(expected = "transmit probability")]
-    fn validate_rejects_above_one() {
-        Behavior::Transmit {
-            p: 1.5,
-            until: None,
-        }
-        .validate();
+    fn validate_at_rejects_stale_deadlines() {
+        let b = Behavior::Silent { until: Some(5) };
+        assert_eq!(b.validate_at(4), Ok(()));
+        assert_eq!(
+            b.validate_at(5),
+            Err(BehaviorFault::StaleDeadline { now: 5, until: 5 })
+        );
+        assert_eq!(
+            b.validate_at(9),
+            Err(BehaviorFault::StaleDeadline { now: 9, until: 5 })
+        );
+        // No deadline: always fine.
+        assert_eq!(Behavior::Silent { until: None }.validate_at(9), Ok(()));
+    }
+
+    #[test]
+    fn protocol_error_displays_context() {
+        let e = ProtocolError {
+            node: 3,
+            slot: 17,
+            fault: BehaviorFault::InvalidProbability { p: 2.0 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 3"), "{s}");
+        assert!(s.contains("slot 17"), "{s}");
+        assert!(s.contains("probability"), "{s}");
     }
 }

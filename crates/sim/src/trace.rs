@@ -48,6 +48,23 @@ pub enum Event {
         /// Decision slot.
         slot: Slot,
     },
+    /// The channel model dropped a deliverable slot at this listener
+    /// (fading / probabilistic loss). Injected by the engines, not the
+    /// protocol wrapper — see `SimOutcome::faults`.
+    Drop {
+        /// The listener that lost the delivery.
+        node: u32,
+        /// The (local) slot of the lost delivery.
+        slot: Slot,
+    },
+    /// An adversarial channel jammed a deliverable slot at this
+    /// listener. Injected by the engines — see `SimOutcome::faults`.
+    Jam {
+        /// The jammed listener.
+        node: u32,
+        /// The (local) slot of the jammed delivery.
+        slot: Slot,
+    },
 }
 
 impl Event {
@@ -57,7 +74,9 @@ impl Event {
             Event::Wake { slot, .. }
             | Event::Transmit { slot, .. }
             | Event::Receive { slot, .. }
-            | Event::Decide { slot, .. } => slot,
+            | Event::Decide { slot, .. }
+            | Event::Drop { slot, .. }
+            | Event::Jam { slot, .. } => slot,
         }
     }
 
@@ -67,7 +86,9 @@ impl Event {
             Event::Wake { node, .. }
             | Event::Transmit { node, .. }
             | Event::Receive { node, .. }
-            | Event::Decide { node, .. } => node,
+            | Event::Decide { node, .. }
+            | Event::Drop { node, .. }
+            | Event::Jam { node, .. } => node,
         }
     }
 }
@@ -212,7 +233,8 @@ impl<P: RadioProtocol> RadioProtocol for Recorded<P> {
 
 /// Renders a terminal timeline: one row per node, one column per slot
 /// bucket. Symbols: `·` asleep, space idle, `T` transmitted, `r`
-/// received, `*` both, `D` decided in that bucket.
+/// received, `*` both, `D` decided, `x` a channel fault (drop or jam)
+/// in that bucket.
 pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String {
     if events.is_empty() {
         return String::from("(no events)\n");
@@ -224,6 +246,7 @@ pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String
     let mut tx = vec![vec![false; cols]; nodes];
     let mut rx = vec![vec![false; cols]; nodes];
     let mut decide = vec![vec![false; cols]; nodes];
+    let mut fault = vec![vec![false; cols]; nodes];
     for e in events {
         let node = e.node() as usize;
         if node >= nodes {
@@ -237,6 +260,7 @@ pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String
             Event::Transmit { .. } => tx[node][c] = true,
             Event::Receive { .. } => rx[node][c] = true,
             Event::Decide { .. } => decide[node][c] = true,
+            Event::Drop { .. } | Event::Jam { .. } => fault[node][c] = true,
         }
     }
     let mut out = String::new();
@@ -253,6 +277,8 @@ pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String
                 'T'
             } else if rx[v][c] {
                 'r'
+            } else if fault[v][c] {
+                'x'
             } else if wake_slot[v].is_none_or(|w| slot_start + bucket <= w) {
                 '·'
             } else {
@@ -310,7 +336,13 @@ mod tests {
         let g = path(3);
         let rec = Recorder::new(100_000);
         let protos: Vec<_> = (0..3).map(|v| rec.wrap(v, Echo { got: 0 })).collect();
-        let out = run_lockstep(&g, &[0, 2, 4], protos, 5, &SimConfig { max_slots: 100_000 });
+        let out = run_lockstep(
+            &g,
+            &[0, 2, 4],
+            protos,
+            5,
+            &SimConfig::with_max_slots(100_000),
+        );
         assert!(out.all_decided);
         let events = rec.events();
         // Event counts agree with the engine's aggregates.
@@ -349,7 +381,7 @@ mod tests {
         let g = path(2);
         let rec = Recorder::new(3);
         let protos: Vec<_> = (0..2).map(|v| rec.wrap(v, Echo { got: 0 })).collect();
-        let _ = run_lockstep(&g, &[0, 0], protos, 6, &SimConfig { max_slots: 10_000 });
+        let _ = run_lockstep(&g, &[0, 0], protos, 6, &SimConfig::with_max_slots(10_000));
         assert_eq!(rec.events().len(), 3);
         assert!(rec.dropped() > 0);
     }
@@ -362,10 +394,15 @@ mod tests {
             Event::Wake { node: 1, slot: 2 },
             Event::Receive { node: 1, slot: 3 },
             Event::Decide { node: 1, slot: 4 },
+            Event::Drop { node: 0, slot: 5 },
+            Event::Jam { node: 0, slot: 6 },
         ];
+        assert_eq!((Event::Drop { node: 0, slot: 5 }).slot(), 5);
+        assert_eq!((Event::Jam { node: 7, slot: 6 }).node(), 7);
         let s = render_timeline(&events, 2, 10);
         assert!(s.contains('T'));
         assert!(s.contains('D'));
+        assert!(s.contains('x'), "channel faults render as x:\n{s}");
         assert!(s.lines().count() >= 3);
         assert_eq!(render_timeline(&[], 2, 10), "(no events)\n");
     }

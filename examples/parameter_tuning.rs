@@ -51,9 +51,7 @@ fn main() {
             }
             .generate(n, &mut node_rng(seed, 1));
             let mut config = ColoringConfig::new(params);
-            config.sim = radio_sim::SimConfig {
-                max_slots: 20_000_000,
-            };
+            config.sim = radio_sim::SimConfig::with_max_slots(20_000_000);
             let outcome = color_graph(&graph, &wake, &config, seed);
             if outcome.all_decided && outcome.valid() {
                 ok += 1;

@@ -30,15 +30,7 @@ fn main() {
     let protos: Vec<_> = (0..n)
         .map(|v| recorder.wrap(v as u32, ColoringNode::new(v as u64 + 1, params)))
         .collect();
-    let out = run_lockstep(
-        &g,
-        &wake,
-        protos,
-        3,
-        &SimConfig {
-            max_slots: 10_000_000,
-        },
-    );
+    let out = run_lockstep(&g, &wake, protos, 3, &SimConfig::with_max_slots(10_000_000));
     assert!(out.all_decided);
 
     println!(

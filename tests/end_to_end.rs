@@ -26,9 +26,7 @@ fn run(
 ) -> urn_coloring::ColoringOutcome {
     let mut config = ColoringConfig::new(params_for(g, kappa2));
     config.engine = engine;
-    config.sim = SimConfig {
-        max_slots: 20_000_000,
-    };
+    config.sim = SimConfig::with_max_slots(20_000_000);
     color_graph(g, wake, &config, seed)
 }
 
@@ -114,9 +112,7 @@ fn sequential_wakeup_with_huge_gaps() {
     let gap = 3 * (params.waiting_slots() + params.threshold() as u64);
     let wake: Vec<u64> = (0..6).map(|i| i * gap).collect();
     let mut config = ColoringConfig::new(params);
-    config.sim = SimConfig {
-        max_slots: 50_000_000,
-    };
+    config.sim = SimConfig::with_max_slots(50_000_000);
     let out = color_graph(&g, &wake, &config, 51);
     assert!(out.all_decided);
     assert!(out.valid(), "{:?}", out.colors);
@@ -131,9 +127,7 @@ fn random_cube_ids_work_end_to_end() {
     let g = cycle(9);
     let mut config = ColoringConfig::new(params_for(&g, 2));
     config.ids = IdAssignment::RandomCube;
-    config.sim = SimConfig {
-        max_slots: 20_000_000,
-    };
+    config.sim = SimConfig::with_max_slots(20_000_000);
     let out = color_graph(&g, &[0; 9], &config, 61);
     assert!(out.all_decided);
     assert!(out.valid());
@@ -153,7 +147,7 @@ fn failure_injection_tiny_constants_are_detected() {
     let mut saw_failure = false;
     for seed in 0..10 {
         let mut config = ColoringConfig::new(params);
-        config.sim = SimConfig { max_slots: 200_000 };
+        config.sim = SimConfig::with_max_slots(200_000);
         let out = color_graph(&g, &[0; 6], &config, seed);
         let report = check_coloring(&g, &out.colors);
         assert_eq!(report.proper, out.report.proper);

@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 use radio_graph::generators::gnp;
-use radio_sim::{run_event, run_lockstep, Behavior, RadioProtocol, SimConfig, Slot};
+use radio_sim::{run_event, run_lockstep, Behavior, ChannelSpec, RadioProtocol, SimConfig, Slot};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,7 +110,7 @@ proptest! {
         let g = gnp(n, [0.15, 0.4, 0.8][dens], &mut setup);
         let wake: Vec<Slot> = (0..n).map(|_| setup.gen_range(0..wake_span)).collect();
         let mk = || (0..n as u32).map(Pulse::new).collect::<Vec<_>>();
-        let cfg = SimConfig { max_slots: 5_000 };
+        let cfg = SimConfig::with_max_slots(5_000);
 
         let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
         let b = run_event(&g, &wake, mk(), seed, &cfg);
@@ -141,7 +141,7 @@ proptest! {
         let g = gnp(n, 0.6, &mut setup);
         let wake = vec![0; n];
         let mk = || (0..n as u32).map(Pulse::new).collect::<Vec<_>>();
-        let cfg = SimConfig { max_slots: 5_000 };
+        let cfg = SimConfig::with_max_slots(5_000);
 
         let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
         let b = run_event(&g, &wake, mk(), seed, &cfg);
@@ -149,6 +149,98 @@ proptest! {
         prop_assert!(a.all_decided && b.all_decided);
         for v in 0..n {
             prop_assert_eq!(&a.stats[v], &b.stats[v], "node {} stats", v);
+        }
+    }
+
+    /// Fault channels must not break cross-engine equivalence: the
+    /// built-in models draw counter-based randomness (a pure function
+    /// of listener and slot), so the event engine's slot skipping
+    /// yields the *same* drops as lock-step's per-slot visits —
+    /// including the per-node drop counters.
+    #[test]
+    fn engines_agree_under_fault_channels(
+        n in 2usize..20,
+        wake_span in 1u64..30,
+        which in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let channel = [
+            ChannelSpec::ProbabilisticLoss { p: 0.3 },
+            ChannelSpec::GilbertElliott {
+                p_bad: 0.05,
+                p_good: 0.1,
+                loss_good: 0.02,
+                loss_bad: 0.95,
+            },
+        ][which];
+        let mut setup = SmallRng::seed_from_u64(seed ^ 0xFA_17);
+        let g = gnp(n, 0.5, &mut setup);
+        let wake: Vec<Slot> = (0..n).map(|_| setup.gen_range(0..wake_span)).collect();
+        let mk = || (0..n as u32).map(Pulse::new).collect::<Vec<_>>();
+        let cfg = SimConfig::with_max_slots(5_000).with_channel(channel);
+
+        let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
+        let b = run_event(&g, &wake, mk(), seed, &cfg);
+
+        prop_assert_eq!(a.all_decided, b.all_decided);
+        for v in 0..n {
+            prop_assert_eq!(&a.stats[v], &b.stats[v], "node {} stats under {:?}", v, channel);
+        }
+        prop_assert_eq!(a.total_drops(), b.total_drops());
+        prop_assert_eq!(a.faults.len(), b.faults.len());
+    }
+
+    /// The budgeted adversary is *stateful and order-sensitive* (budget
+    /// is spent in decide-call order), so exact cross-engine equality
+    /// holds when both engines visit transmitters in the same order —
+    /// simultaneous wake pins both to ascending node ids.
+    #[test]
+    fn engines_agree_under_adversarial_jamming(
+        n in 2usize..20,
+        seed in 0u64..1_000_000,
+    ) {
+        let channel = ChannelSpec::AdversarialJam { window: 32, budget: 3 };
+        let mut setup = SmallRng::seed_from_u64(seed ^ 0x1A_44);
+        let g = gnp(n, 0.5, &mut setup);
+        let wake = vec![0; n];
+        let mk = || (0..n as u32).map(Pulse::new).collect::<Vec<_>>();
+        let cfg = SimConfig::with_max_slots(5_000).with_channel(channel);
+
+        let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
+        let b = run_event(&g, &wake, mk(), seed, &cfg);
+
+        prop_assert_eq!(a.all_decided, b.all_decided);
+        for v in 0..n {
+            prop_assert_eq!(&a.stats[v], &b.stats[v], "node {} stats", v);
+        }
+        prop_assert_eq!(a.total_jams(), b.total_jams());
+    }
+
+    /// The Ideal channel is bit-identical to the pre-channel-layer
+    /// delivery rule: an explicit `ChannelSpec::Ideal` must reproduce
+    /// the default-config run exactly, slot for slot.
+    #[test]
+    fn explicit_ideal_channel_is_bit_identical_to_default(
+        n in 2usize..16,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut setup = SmallRng::seed_from_u64(seed ^ 0x1DEA);
+        let g = gnp(n, 0.4, &mut setup);
+        let wake: Vec<Slot> = (0..n).map(|_| setup.gen_range(0..20)).collect();
+        let mk = || (0..n as u32).map(Pulse::new).collect::<Vec<_>>();
+        let base = SimConfig::with_max_slots(5_000);
+        let ideal = base.with_channel(ChannelSpec::Ideal);
+
+        for (a, b) in [
+            (run_lockstep(&g, &wake, mk(), seed, &base), run_lockstep(&g, &wake, mk(), seed, &ideal)),
+            (run_event(&g, &wake, mk(), seed, &base), run_event(&g, &wake, mk(), seed, &ideal)),
+        ] {
+            prop_assert_eq!(a.all_decided, b.all_decided);
+            prop_assert_eq!(a.slots_run, b.slots_run);
+            prop_assert_eq!(a.total_drops() + a.total_jams(), 0);
+            for v in 0..n {
+                prop_assert_eq!(&a.stats[v], &b.stats[v], "node {} stats", v);
+            }
         }
     }
 }

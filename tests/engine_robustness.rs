@@ -8,7 +8,8 @@ use radio_graph::generators::gnp;
 use radio_graph::Graph;
 use radio_sim::rng::node_rng;
 use radio_sim::{
-    random_phases, run_event, run_jittered, run_lockstep, Behavior, RadioProtocol, SimConfig, Slot,
+    random_phases, run_event, run_jittered, run_lockstep, Behavior, BehaviorFault, RadioProtocol,
+    SimConfig, Slot,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -122,7 +123,7 @@ proptest! {
         let mut rng = node_rng(seed, 0xC0);
         let g = gnp(n, p, &mut rng);
         let wake: Vec<Slot> = (0..n).map(|_| rng.gen_range(0..50)).collect();
-        let cfg = SimConfig { max_slots: 200_000 };
+        let cfg = SimConfig::with_max_slots(200_000);
         let mk = || (0..n).map(|v| Chaos::new(budget, v as u8)).collect::<Vec<_>>();
 
         let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
@@ -139,7 +140,7 @@ proptest! {
 fn max_slots_zero_is_honored() {
     let g = Graph::empty(2);
     let protos = vec![Chaos::new(100, 0), Chaos::new(100, 1)];
-    let out = run_lockstep(&g, &[0, 0], protos, 1, &SimConfig { max_slots: 0 });
+    let out = run_lockstep(&g, &[0, 0], protos, 1, &SimConfig::with_max_slots(0));
     assert!(!out.all_decided);
     assert!(out.slots_run <= 1);
 }
@@ -154,14 +155,13 @@ fn event_engine_with_all_far_future_wakes() {
         &[10_000, 20_000, 30_000],
         protos,
         2,
-        &SimConfig { max_slots: 100 },
+        &SimConfig::with_max_slots(100),
     );
     assert!(!out.all_decided);
     assert_eq!(out.stats.iter().map(|s| s.sent).sum::<u64>(), 0);
 }
 
 #[test]
-#[should_panic(expected = "transmit probability")]
 fn engines_reject_invalid_probability() {
     struct Bad;
     impl RadioProtocol for Bad {
@@ -183,12 +183,26 @@ fn engines_reject_invalid_probability() {
             false
         }
     }
+    // All engines stop gracefully with a typed error, never panic.
     let g = Graph::empty(1);
-    let _ = run_lockstep(&g, &[0], vec![Bad], 1, &SimConfig::default());
+    let out = run_lockstep(&g, &[0], vec![Bad], 1, &SimConfig::default());
+    let err = out.error.expect("lockstep reports the error");
+    assert!(!out.all_decided);
+    assert_eq!(err.node, 0);
+    assert_eq!(
+        err.fault,
+        BehaviorFault::InvalidProbability { p: 1.5 },
+        "{err}"
+    );
+    let out = run_event(&g, &[0], vec![Bad], 1, &SimConfig::default());
+    assert_eq!(out.error.map(|e| e.fault), Some(err.fault));
+    assert!(!out.all_decided);
+    let out = run_jittered(&g, &[0], vec![Bad], &[false], 1, &SimConfig::default());
+    assert_eq!(out.error.map(|e| e.fault), Some(err.fault));
+    assert!(!out.all_decided);
 }
 
 #[test]
-#[should_panic(expected = "deadline > now")]
 fn engines_reject_stale_deadlines() {
     struct Stale {
         phase: u8,
@@ -214,11 +228,23 @@ fn engines_reject_stale_deadlines() {
         }
     }
     let g = Graph::empty(1);
-    let _ = run_lockstep(
+    let out = run_lockstep(
         &g,
         &[0],
         vec![Stale { phase: 0 }],
         1,
-        &SimConfig { max_slots: 100 },
+        &SimConfig::with_max_slots(100),
     );
+    let err = out.error.expect("stale deadline reported");
+    assert!(!out.all_decided);
+    assert_eq!(err.slot, 2);
+    assert_eq!(err.fault, BehaviorFault::StaleDeadline { now: 2, until: 2 });
+    let out = run_event(
+        &g,
+        &[0],
+        vec![Stale { phase: 0 }],
+        1,
+        &SimConfig::with_max_slots(100),
+    );
+    assert_eq!(out.error.map(|e| e.fault), Some(err.fault));
 }

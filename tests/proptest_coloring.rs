@@ -21,9 +21,7 @@ fn run(g: &Graph, wake: &[u64], engine: Engine, seed: u64) -> urn_coloring::Colo
     let params = AlgorithmParams::practical(k.k2.max(2), g.max_closed_degree().max(2), 256);
     let mut config = ColoringConfig::new(params);
     config.engine = engine;
-    config.sim = SimConfig {
-        max_slots: 30_000_000,
-    };
+    config.sim = SimConfig::with_max_slots(30_000_000);
     color_graph(g, wake, &config, seed)
 }
 

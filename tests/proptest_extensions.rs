@@ -34,7 +34,7 @@ proptest! {
             protos,
             &phases,
             seed,
-            &SimConfig { max_slots: 30_000_000 },
+            &SimConfig::with_max_slots(30_000_000),
         );
         prop_assert!(out.all_decided);
         let colors: Vec<Option<u32>> = out.protocols.iter().map(ColoringNode::color).collect();
@@ -55,7 +55,7 @@ proptest! {
             &vec![0; g.len()],
             protos,
             seed,
-            &SimConfig { max_slots: 50_000_000 },
+            &SimConfig::with_max_slots(50_000_000),
         );
         prop_assert!(out.all_decided);
         let colors: Vec<Option<u32>> = out.protocols.iter().map(AdaptiveNode::color).collect();
