@@ -2,13 +2,23 @@
 # CI gate for the workspace. Run before pushing; the order goes from
 # cheapest to most expensive so failures surface fast.
 #
-#   ./ci.sh           # full gate: fmt, clippy, build, tests, perf smoke
-#   ./ci.sh --quick   # skip the release build and perf smoke
+#   ./ci.sh                # full gate: fmt, clippy, build, tests, perf smoke
+#   ./ci.sh --quick        # skip the release build and perf smoke
+#   ./ci.sh --repro-corpus # only replay results/repros/ through the monitor
 set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
+
+if [[ "${1:-}" == "--repro-corpus" ]]; then
+    # Replay every shrunk failure artifact and assert the invariant
+    # monitor still catches each one (see tests/repro_corpus.rs).
+    echo "==> repro corpus replay"
+    cargo test -q --test repro_corpus
+    echo "Repro corpus replayed."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -25,6 +35,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+# The workspace tests above already include the corpus runner; this
+# re-run is the named gate so its failure is unambiguous in CI logs.
+echo "==> repro corpus replay"
+cargo test -q --test repro_corpus
+
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo build --release"
     cargo build --release
@@ -32,7 +47,9 @@ if [[ $quick -eq 0 ]]; then
     # Perf trajectory: delivery-kernel slots/sec on dense UDG workloads.
     # Writes BENCH_sim.json and fails if the scatter kernel — bare or
     # behind the Ideal channel model — ever drops below 2x the
-    # reference listener-side re-scan at Δ=128.
+    # reference listener-side re-scan at Δ=128, or if the monitored
+    # kernel+Ideal path drops below 1.8x (monitoring must stay cheap
+    # enough to leave on).
     echo "==> slot_throughput microbench"
     ./target/release/slot_throughput BENCH_sim.json
 fi

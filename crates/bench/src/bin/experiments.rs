@@ -34,7 +34,7 @@ fn main() {
                     "usage: experiments [--quick] [--seeds N] [--threads N] [--out DIR] [IDS...]"
                 );
                 println!(
-                    "  IDS: all e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18 e19 ablation"
+                    "  IDS: all e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18 e19 e20 ablation"
                 );
                 return;
             }
@@ -44,7 +44,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = [
             "e1", "e2", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-            "e15", "e16", "e17", "e18", "e19", "ablation",
+            "e15", "e16", "e17", "e18", "e19", "e20", "ablation",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -114,6 +114,7 @@ fn main() {
                 &opts,
             ),
             "e19" => emit(exp::e19_faults::run(&opts), "e19_faults", &opts),
+            "e20" => emit(exp::e20_monitor::run(&opts), "e20_monitor", &opts),
             "ablation" => emit(exp::ablation::run(&opts), "ablation_reset", &opts),
             other => eprintln!("unknown experiment id: {other}"),
         }

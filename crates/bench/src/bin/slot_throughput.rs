@@ -16,7 +16,11 @@
 //! flavors — the `Ideal` model (must keep the kernel's ≥2× margin over
 //! the reference at Δ* = 128: the trait layer is not allowed to eat
 //! the kernel win) and a lossy model (`ProbabilisticLoss`, one hash
-//! draw per delivery).
+//! draw per delivery). A fourth leg re-runs the kernel+Ideal path with
+//! an attached [`EngineOrderMonitor`] firing on every transmit and
+//! delivery — the invariant-monitor layer must keep that path ≥1.8×
+//! the reference at Δ* = 128, so monitoring stays cheap enough to
+//! leave on in CI.
 //!
 //! ```text
 //! slot_throughput [OUT.json]        # default: BENCH_sim.json
@@ -27,7 +31,8 @@ use radio_graph::{Graph, NodeId};
 use radio_sim::delivery::{DeliveryKernel, ReferenceSweep};
 use radio_sim::rng::node_rng;
 use radio_sim::{
-    run_lockstep, Behavior, ChannelModel, ChannelSpec, RadioProtocol, Reception, SimConfig, Slot,
+    run_lockstep, Behavior, ChannelModel, ChannelSpec, EngineOrderMonitor, InvariantMonitor,
+    RadioProtocol, Reception, SimConfig, Slot,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -151,6 +156,54 @@ fn time_kernel_channel(graph: &Graph, schedule: &[Vec<NodeId>], spec: ChannelSpe
     (start.elapsed().as_secs_f64(), checksum)
 }
 
+/// Times the kernel + Ideal-channel path with an [`EngineOrderMonitor`]
+/// hooked onto every transmit and delivery — the monitored delivery
+/// loop the engines run when `SimOutcome::violations` is requested.
+/// The monitor must stay clean (the micro loop honors the engine
+/// contract) and must not change the checksum.
+fn time_kernel_monitored(graph: &Graph, schedule: &[Vec<NodeId>]) -> (f64, u64) {
+    let n = graph.len();
+    let mut kernel = DeliveryKernel::new(n);
+    let mut channel = ChannelSpec::Ideal.build(n, 42);
+    let mut monitor = EngineOrderMonitor::new();
+    let probe = Beacon { p: 0.0 };
+    // Wake every node up front (untimed) so the order monitor's
+    // first-hook-is-wake contract holds for the micro loop.
+    for v in 0..n as NodeId {
+        monitor.after_wake(v, 0, &probe);
+    }
+    let mut tx_slot: Vec<Slot> = vec![Slot::MAX; n];
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for (slot, transmitters) in schedule.iter().enumerate() {
+        let now = slot as Slot;
+        kernel.begin_slot();
+        for &t in transmitters {
+            kernel.transmit(graph, t);
+            monitor.on_transmit(t, now, &0u32, &probe);
+            tx_slot[t as usize] = now;
+        }
+        for &u in kernel.touched() {
+            let sender = match channel.decide(&kernel.contention(u, now)) {
+                Reception::Deliver(w) => Some(w),
+                Reception::Collide | Reception::Drop | Reception::Jam => None,
+            };
+            // Half-duplex: a transmitter never hears this slot's traffic.
+            if sender.is_some() && tx_slot[u as usize] != now {
+                monitor.after_receive(u, now, &0u32, &probe);
+            }
+            checksum = fold(checksum, u, sender);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        monitor.is_clean(),
+        "micro loop violated the engine contract: {:?}",
+        InvariantMonitor::<Beacon>::take_violations(&mut monitor)
+    );
+    (secs, checksum)
+}
+
 fn time_lockstep(graph: &Graph, delta: usize) -> f64 {
     let n = graph.len();
     let protos: Vec<Beacon> = (0..n)
@@ -175,6 +228,8 @@ struct Row {
     kernel_ideal_sps: f64,
     ideal_speedup: f64,
     kernel_lossy_sps: f64,
+    monitored_sps: f64,
+    monitor_speedup: f64,
     lockstep_sps: f64,
 }
 
@@ -210,10 +265,16 @@ fn main() {
             );
             let (lossy_secs, _) =
                 time_kernel_channel(&graph, &schedule, ChannelSpec::ProbabilisticLoss { p: 0.1 });
+            let (mon_secs, mon_sum) = time_kernel_monitored(&graph, &schedule);
+            assert_eq!(
+                ker_sum, mon_sum,
+                "monitored path diverged from the bare kernel on n={n} Δ*={target_delta}"
+            );
 
             let reference_sps = MICRO_SLOTS as f64 / ref_secs;
             let kernel_sps = MICRO_SLOTS as f64 / ker_secs;
             let kernel_ideal_sps = MICRO_SLOTS as f64 / ideal_secs;
+            let monitored_sps = MICRO_SLOTS as f64 / mon_secs;
             let row = Row {
                 n,
                 target_delta,
@@ -224,10 +285,12 @@ fn main() {
                 kernel_ideal_sps,
                 ideal_speedup: kernel_ideal_sps / reference_sps,
                 kernel_lossy_sps: MICRO_SLOTS as f64 / lossy_secs,
+                monitored_sps,
+                monitor_speedup: monitored_sps / reference_sps,
                 lockstep_sps: time_lockstep(&graph, measured_delta),
             };
             println!(
-                "n={:5} Δ*={:3} (measured {:3}): reference {:>12.0} slots/s, kernel {:>12.0} slots/s ({:4.1}x), +ideal channel {:>12.0} slots/s ({:4.1}x), +lossy {:>12.0} slots/s, lockstep e2e {:>10.0} slots/s",
+                "n={:5} Δ*={:3} (measured {:3}): reference {:>12.0} slots/s, kernel {:>12.0} slots/s ({:4.1}x), +ideal channel {:>12.0} slots/s ({:4.1}x), +lossy {:>12.0} slots/s, +monitor {:>12.0} slots/s ({:4.1}x), lockstep e2e {:>10.0} slots/s",
                 row.n,
                 row.target_delta,
                 row.measured_delta,
@@ -237,6 +300,8 @@ fn main() {
                 row.kernel_ideal_sps,
                 row.ideal_speedup,
                 row.kernel_lossy_sps,
+                row.monitored_sps,
+                row.monitor_speedup,
                 row.lockstep_sps,
             );
             rows.push(row);
@@ -251,7 +316,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"target_delta\": {}, \"measured_delta\": {}, \"reference_slots_per_sec\": {:.1}, \"kernel_slots_per_sec\": {:.1}, \"speedup\": {:.2}, \"kernel_ideal_channel_slots_per_sec\": {:.1}, \"ideal_channel_speedup\": {:.2}, \"kernel_lossy_channel_slots_per_sec\": {:.1}, \"lockstep_slots_per_sec\": {:.1}}}",
+            "    {{\"n\": {}, \"target_delta\": {}, \"measured_delta\": {}, \"reference_slots_per_sec\": {:.1}, \"kernel_slots_per_sec\": {:.1}, \"speedup\": {:.2}, \"kernel_ideal_channel_slots_per_sec\": {:.1}, \"ideal_channel_speedup\": {:.2}, \"kernel_lossy_channel_slots_per_sec\": {:.1}, \"kernel_monitored_slots_per_sec\": {:.1}, \"monitor_speedup\": {:.2}, \"lockstep_slots_per_sec\": {:.1}}}",
             r.n,
             r.target_delta,
             r.measured_delta,
@@ -261,6 +326,8 @@ fn main() {
             r.kernel_ideal_sps,
             r.ideal_speedup,
             r.kernel_lossy_sps,
+            r.monitored_sps,
+            r.monitor_speedup,
             r.lockstep_sps,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -283,6 +350,12 @@ fn main() {
             r.ideal_speedup >= 2.0,
             "kernel+Ideal channel speedup {:.2}x < 2x on n={} Δ*=128",
             r.ideal_speedup,
+            r.n
+        );
+        assert!(
+            r.monitor_speedup >= 1.8,
+            "monitored kernel+Ideal speedup {:.2}x < 1.8x on n={} Δ*=128 — monitoring got too expensive",
+            r.monitor_speedup,
             r.n
         );
     }

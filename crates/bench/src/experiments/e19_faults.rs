@@ -83,6 +83,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             "T̄ ×ideal",
             "drops/run",
             "jams/run",
+            "log-dropped/run",
         ],
     );
 
@@ -107,6 +108,18 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             rs.iter().all(|r| !r.errored),
             "channel {label} triggered a protocol error"
         );
+        // The bounded fault log truncates, the totals do not: a nonzero
+        // dropped count must mean the log genuinely overflowed.
+        for r in &rs {
+            assert!(
+                r.faults_dropped == 0
+                    || r.total_drops + r.total_jams
+                        >= radio_sim::MAX_FAULT_LOG as u64 + r.faults_dropped,
+                "channel {label}: {} log entries dropped but only {} faults total",
+                r.faults_dropped,
+                r.total_drops + r.total_jams,
+            );
+        }
         let mean_t = mean_of(&rs, |r| r.mean_t);
         if matches!(spec, ChannelSpec::Ideal) {
             ideal_mean_t = mean_t;
@@ -122,6 +135,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             fnum(mean_t / ideal_mean_t),
             fnum(mean_of(&rs, |r| r.total_drops as f64)),
             fnum(mean_of(&rs, |r| r.total_jams as f64)),
+            fnum(mean_of(&rs, |r| r.faults_dropped as f64)),
         ]);
     }
     vec![t]

@@ -23,6 +23,7 @@ pub mod e16_jitter;
 pub mod e17_mis;
 pub mod e18_scalability;
 pub mod e19_faults;
+pub mod e20_monitor;
 
 use crate::workloads::Workload;
 use radio_sim::parallel::run_seeds;
@@ -92,6 +93,11 @@ pub struct RunSummary {
     pub total_drops: u64,
     /// Deliveries jammed by an adversarial channel.
     pub total_jams: u64,
+    /// Fault-log entries discarded past the engine's bounded-log cap.
+    pub faults_dropped: u64,
+    /// Invariant violations flagged by the online monitor (always 0
+    /// when the plan runs unmonitored).
+    pub violations: usize,
     /// A malformed behavior aborted the run early.
     pub errored: bool,
 }
@@ -134,6 +140,8 @@ pub fn run_plan_once(w: &Workload, plan: &RunPlan, wake: &[Slot], seed: u64) -> 
         total_resets: out.traces.iter().map(|t| u64::from(t.resets)).sum(),
         total_drops: out.total_drops,
         total_jams: out.total_jams,
+        faults_dropped: out.faults_dropped,
+        violations: out.violations.len(),
         errored: out.error.is_some(),
     }
 }

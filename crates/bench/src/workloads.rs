@@ -102,6 +102,9 @@ pub struct RunPlan {
     pub max_slots: Slot,
     /// Protocol-level ID scheme.
     pub ids: IdAssignment,
+    /// Attach the online invariant monitor (fills
+    /// `ColoringOutcome::violations`; outcomes stay bit-identical).
+    pub monitor: bool,
 }
 
 impl RunPlan {
@@ -114,7 +117,14 @@ impl RunPlan {
             channel: ChannelSpec::Ideal,
             max_slots: slot_cap(&params),
             ids: IdAssignment::Sequential,
+            monitor: false,
         }
+    }
+
+    /// Toggles the online invariant monitor.
+    pub fn monitor(mut self, monitor: bool) -> Self {
+        self.monitor = monitor;
+        self
     }
 
     /// Selects the simulation engine.
@@ -147,6 +157,7 @@ impl RunPlan {
         config.engine = self.engine;
         config.sim = SimConfig::with_max_slots(self.max_slots).with_channel(self.channel);
         config.ids = self.ids;
+        config.monitor = self.monitor;
         config
     }
 

@@ -1,0 +1,989 @@
+//! Online invariants of the coloring state machine, checked by a
+//! [`ColoringMonitor`] driven from the engine hook points (see
+//! [`radio_sim::InvariantMonitor`]).
+//!
+//! The paper proves correctness through a chain of run-time invariants;
+//! each monitor rule operationalizes one of them (DESIGN.md maps rules
+//! to lemmas):
+//!
+//! * **`illegal-transition`** — the state machine only moves along the
+//!   edges of Fig. 2: `A_i → A_{i+1}`, `A_0 → R`, `R → A_{tc(κ₂+1)}`,
+//!   `A_i → C_i` (only after the counter reached the threshold — the
+//!   Lemma 8/9 commit rule), and the waiting→active phase change inside
+//!   one `A_i`. Counters may never advance faster than real time.
+//! * **`message-state-mismatch`** — a node only sends messages its
+//!   state entitles it to, with truthful fields: `M_A^i(v, c_v)` only
+//!   while active in `A_i` with the real counter, `M_C^0(v,w,tc)` only
+//!   while a serve window for exactly `(w, tc)` is open, and so on.
+//! * **`critical-range`** — request-slot exclusivity (Lemma 4/7): under
+//!   the paper's reset policy an active counter keeps a distance of at
+//!   least the critical range from every stored competitor copy.
+//! * **`competitor-monotonicity`** — within one verification instance
+//!   the stored competitor set only grows (Algorithm 1 never forgets a
+//!   copy; forgetting would re-enable the starvation the χ-reset rule
+//!   exists to prevent).
+//! * **`commit-conflict`** — no two adjacent nodes ever commit the same
+//!   color class (Theorem 2, checked *at commit time* against the
+//!   [`radio_graph::Graph`] adjacency rather than post-hoc).
+//!
+//! Violations are kept in typed form ([`InvariantViolation`]) and
+//! lowered to flat [`radio_sim::Violation`] records for
+//! [`radio_sim::SimOutcome::violations`]. The post-hoc verifier
+//! ([`crate::verify`]) shares the [`ConflictEdge`] type so a monitor
+//! hit and a verifier hit name the same object.
+
+use crate::messages::{ColoringMsg, ProtoId};
+use crate::node::{ColoringNode, ObservedState};
+use crate::params::{AlgorithmParams, ResetPolicy};
+use radio_graph::{Graph, NodeId};
+use radio_sim::{InvariantMonitor, RadioProtocol, Slot, Violation, MAX_VIOLATIONS};
+use std::collections::HashSet;
+
+/// A monochromatic edge: both endpoints committed color class `color`.
+///
+/// The shared conflict-reporting type of the online monitor
+/// ([`ColoringMonitor`], rule `commit-conflict`) and the post-hoc
+/// verifier ([`crate::verify::Verdict::conflicts`]). Endpoints are
+/// stored in normalized order (`u ≤ v`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConflictEdge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+    /// The color class both endpoints hold.
+    pub color: u32,
+}
+
+impl ConflictEdge {
+    /// A conflict edge with normalized endpoint order.
+    pub fn new(a: NodeId, b: NodeId, color: u32) -> Self {
+        let (u, v) = if a <= b { (a, b) } else { (b, a) };
+        ConflictEdge { u, v, color }
+    }
+}
+
+impl std::fmt::Display for ConflictEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}) both hold color {}", self.u, self.v, self.color)
+    }
+}
+
+/// One violated invariant, in protocol-typed form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// The state machine moved along an edge Fig. 2 does not have (or
+    /// a counter advanced faster than time, or a commit happened below
+    /// the decision threshold).
+    IllegalTransition {
+        /// The offending node.
+        node: NodeId,
+        /// Slot of the offending observation.
+        slot: Slot,
+        /// State tag before the move (`A_i(waiting)` / `R` / …).
+        from: String,
+        /// State tag after the move, possibly with specifics.
+        to: String,
+    },
+    /// A transmitted message disagrees with the sender's state.
+    MessageStateMismatch {
+        /// The sender.
+        node: NodeId,
+        /// The transmission slot.
+        slot: Slot,
+        /// What disagreed.
+        detail: String,
+    },
+    /// An active counter sits inside a stored competitor's critical
+    /// range (request-slot exclusivity broken).
+    CriticalRange {
+        /// The offending node.
+        node: NodeId,
+        /// Slot of the observation.
+        slot: Slot,
+        /// The node's own counter value.
+        own: i64,
+        /// The competitor whose range is violated.
+        competitor: ProtoId,
+        /// The stored copy `d_v(w)` at the observation slot.
+        copy: i64,
+        /// The critical range for the class under verification.
+        range: i64,
+    },
+    /// A stored competitor disappeared within one verification instance.
+    CompetitorListShrank {
+        /// The offending node.
+        node: NodeId,
+        /// Slot of the observation.
+        slot: Slot,
+        /// The class being verified.
+        class: u32,
+        /// A competitor present before and missing after.
+        lost: ProtoId,
+    },
+    /// Two adjacent nodes committed the same color class.
+    CommitConflict {
+        /// The node whose commit completed the conflict.
+        node: NodeId,
+        /// The commit slot.
+        slot: Slot,
+        /// The monochromatic edge.
+        edge: ConflictEdge,
+    },
+}
+
+impl InvariantViolation {
+    /// Stable rule identifier (the flat [`Violation::rule`]).
+    pub fn rule(&self) -> &'static str {
+        match self {
+            InvariantViolation::IllegalTransition { .. } => "illegal-transition",
+            InvariantViolation::MessageStateMismatch { .. } => "message-state-mismatch",
+            InvariantViolation::CriticalRange { .. } => "critical-range",
+            InvariantViolation::CompetitorListShrank { .. } => "competitor-monotonicity",
+            InvariantViolation::CommitConflict { .. } => "commit-conflict",
+        }
+    }
+
+    /// The node the violation belongs to.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            InvariantViolation::IllegalTransition { node, .. }
+            | InvariantViolation::MessageStateMismatch { node, .. }
+            | InvariantViolation::CriticalRange { node, .. }
+            | InvariantViolation::CompetitorListShrank { node, .. }
+            | InvariantViolation::CommitConflict { node, .. } => node,
+        }
+    }
+
+    /// The slot the violation was detected at.
+    pub fn slot(&self) -> Slot {
+        match *self {
+            InvariantViolation::IllegalTransition { slot, .. }
+            | InvariantViolation::MessageStateMismatch { slot, .. }
+            | InvariantViolation::CriticalRange { slot, .. }
+            | InvariantViolation::CompetitorListShrank { slot, .. }
+            | InvariantViolation::CommitConflict { slot, .. } => slot,
+        }
+    }
+
+    /// Lowers to the engine-level flat record.
+    pub fn to_violation(&self) -> Violation {
+        let detail = match self {
+            InvariantViolation::IllegalTransition { from, to, .. } => {
+                format!("{from} -> {to}")
+            }
+            InvariantViolation::MessageStateMismatch { detail, .. } => detail.clone(),
+            InvariantViolation::CriticalRange {
+                own,
+                competitor,
+                copy,
+                range,
+                ..
+            } => format!(
+                "counter {own} inside range {range} of copy {copy} (competitor {competitor})"
+            ),
+            InvariantViolation::CompetitorListShrank { class, lost, .. } => {
+                format!("A_{class} forgot competitor {lost}")
+            }
+            InvariantViolation::CommitConflict { edge, .. } => edge.to_string(),
+        };
+        Violation {
+            node: self.node(),
+            slot: self.slot(),
+            rule: self.rule(),
+            detail,
+        }
+    }
+}
+
+/// A protocol whose state machine the [`ColoringMonitor`] can watch.
+///
+/// [`ColoringNode`] implements it directly; wrapper protocols (the
+/// fault-injection mutants in [`crate::mutation`]) implement it by
+/// reporting what their *observable* state claims to be — the monitor's
+/// job is exactly to catch wrappers whose claims are inconsistent.
+pub trait ObservableColoring: RadioProtocol<Message = ColoringMsg> {
+    /// Snapshot of the state machine at slot `now`.
+    fn observe(&self, now: Slot) -> ObservedState;
+    /// The protocol-level identifier.
+    fn proto_id(&self) -> ProtoId;
+    /// The parameters the node runs with (threshold, ranges, stride).
+    fn observe_params(&self) -> &AlgorithmParams;
+}
+
+impl ObservableColoring for ColoringNode {
+    fn observe(&self, now: Slot) -> ObservedState {
+        ColoringNode::observe(self, now)
+    }
+    fn proto_id(&self) -> ProtoId {
+        self.id()
+    }
+    fn observe_params(&self) -> &AlgorithmParams {
+        self.params()
+    }
+}
+
+/// Per-node last observation.
+#[derive(Clone, Debug)]
+struct Snapshot {
+    state: ObservedState,
+    slot: Slot,
+}
+
+/// Dedup key: one report per (node, failure mode); the first occurrence
+/// is the informative one, and bounded reporting keeps monitored runs
+/// deterministic and cheap even when a node is hopelessly broken.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum DedupKey {
+    Transition(NodeId, String, String),
+    Message(NodeId, &'static str),
+    Critical(NodeId, ProtoId),
+    Shrank(NodeId, u32),
+    Conflict(NodeId, NodeId),
+}
+
+/// The online monitor for the coloring state machine (see the module
+/// docs for the rule list). Attach with
+/// [`radio_sim::Engine::run_monitored`] or via
+/// [`crate::ColoringConfig::with_monitor`].
+pub struct ColoringMonitor<'g> {
+    graph: &'g Graph,
+    seen: Vec<Option<Snapshot>>,
+    colors: Vec<Option<u32>>,
+    typed: Vec<InvariantViolation>,
+    dedup: HashSet<DedupKey>,
+}
+
+impl<'g> ColoringMonitor<'g> {
+    /// A fresh monitor for a run on `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        ColoringMonitor {
+            graph,
+            seen: vec![None; graph.len()],
+            colors: vec![None; graph.len()],
+            typed: Vec::new(),
+            dedup: HashSet::new(),
+        }
+    }
+
+    /// The typed violations collected so far (detection order).
+    pub fn typed(&self) -> &[InvariantViolation] {
+        &self.typed
+    }
+
+    /// Consumes the monitor, returning the typed violations.
+    pub fn into_typed(self) -> Vec<InvariantViolation> {
+        self.typed
+    }
+
+    /// `true` if no invariant has been violated yet.
+    pub fn is_clean(&self) -> bool {
+        self.typed.is_empty()
+    }
+
+    /// Commit colors observed so far (`None` = not yet committed).
+    pub fn colors(&self) -> &[Option<u32>] {
+        &self.colors
+    }
+
+    fn record(&mut self, key: DedupKey, v: InvariantViolation) {
+        if self.typed.len() < MAX_VIOLATIONS && self.dedup.insert(key) {
+            self.typed.push(v);
+        }
+    }
+
+    fn illegal(&mut self, node: NodeId, slot: Slot, from: String, to: String) {
+        self.record(
+            DedupKey::Transition(node, from.clone(), to.clone()),
+            InvariantViolation::IllegalTransition {
+                node,
+                slot,
+                from,
+                to,
+            },
+        );
+    }
+
+    /// Checks the move `prev → cur` against the Fig. 2 edge set.
+    fn check_transition(
+        &mut self,
+        node: NodeId,
+        prev: &Snapshot,
+        cur: &ObservedState,
+        slot: Slot,
+        params: &AlgorithmParams,
+    ) {
+        use ObservedState as S;
+        let elapsed = slot.saturating_sub(prev.slot) as i64;
+        let bad = |m: &mut Self, why: &str| {
+            let to = if why.is_empty() {
+                cur.tag()
+            } else {
+                format!("{} [{why}]", cur.tag())
+            };
+            m.illegal(node, slot, prev.state.tag(), to);
+        };
+        match (&prev.state, cur) {
+            (
+                S::Verify {
+                    class: c1,
+                    active: a1,
+                    counter: k1,
+                    competitors: p1,
+                },
+                S::Verify {
+                    class: c2,
+                    active: a2,
+                    counter: k2,
+                    competitors: p2,
+                },
+            ) => {
+                if c2 == c1 {
+                    if *a1 && !*a2 {
+                        bad(self, "active phase cannot go back to waiting");
+                        return;
+                    }
+                    // Same instance: the competitor set only grows.
+                    for (w, _) in p1 {
+                        if !p2.iter().any(|(w2, _)| w2 == w) {
+                            self.record(
+                                DedupKey::Shrank(node, *c1),
+                                InvariantViolation::CompetitorListShrank {
+                                    node,
+                                    slot,
+                                    class: *c1,
+                                    lost: *w,
+                                },
+                            );
+                        }
+                    }
+                    // Counters tick at one per slot; resets go to χ ≤ 0.
+                    if let (Some(k1), Some(k2)) = (k1, k2) {
+                        if *k2 > k1 + elapsed && *k2 > 0 {
+                            bad(self, "counter advanced faster than time");
+                        }
+                    }
+                    if !*a1 && *a2 {
+                        // Entering the active phase starts at χ + 1 ≤ 1.
+                        if let Some(k2) = k2 {
+                            if *k2 > 1 {
+                                bad(self, "entered active phase with a positive run-up");
+                            }
+                        }
+                    }
+                } else if *c2 == c1 + 1 && !*a2 {
+                    // Heard M_C^i for our class: A_i → A_{i+1} (fresh
+                    // instance, empty competitor list). A_0 exits to R
+                    // instead — leader evidence never sends it to A_1.
+                    if *c1 == 0 {
+                        bad(self, "A_0 advances to R, not to A_1");
+                    } else if !p2.is_empty() {
+                        bad(self, "fresh instance must start with no competitors");
+                    }
+                } else {
+                    bad(self, "");
+                }
+            }
+            (S::Verify { class, .. }, S::Request { .. }) => {
+                if *class != 0 {
+                    bad(self, "only A_0 may move to R");
+                }
+            }
+            (
+                S::Verify {
+                    class: c1,
+                    active,
+                    counter,
+                    ..
+                },
+                S::Colored { class: c2 },
+            ) => {
+                if c2 != c1 || *c1 == 0 {
+                    bad(self, "commit must keep the verified class");
+                } else if !*active {
+                    bad(self, "commit from the waiting phase");
+                } else {
+                    // Extrapolation is exact: resets only happen at
+                    // hooked receive events, so between two hooks the
+                    // counter ticks one per slot.
+                    let commit = counter.unwrap_or(0) + elapsed;
+                    if commit < params.threshold() {
+                        bad(
+                            self,
+                            &format!(
+                                "committed at counter {commit} < threshold {}",
+                                params.threshold()
+                            ),
+                        );
+                    }
+                }
+            }
+            (
+                S::Verify {
+                    class,
+                    active,
+                    counter,
+                    ..
+                },
+                S::Leader { .. },
+            ) => {
+                if *class != 0 {
+                    bad(self, "only A_0 commits to C_0");
+                } else if !*active {
+                    bad(self, "commit from the waiting phase");
+                } else {
+                    let commit = counter.unwrap_or(0) + elapsed;
+                    if commit < params.threshold() {
+                        bad(
+                            self,
+                            &format!(
+                                "committed at counter {commit} < threshold {}",
+                                params.threshold()
+                            ),
+                        );
+                    }
+                }
+            }
+            (S::Request { leader: l1 }, S::Request { leader: l2 }) => {
+                if l1 != l2 {
+                    bad(self, "a requester never changes leader");
+                }
+            }
+            (
+                S::Request { .. },
+                S::Verify {
+                    class,
+                    active,
+                    competitors,
+                    ..
+                },
+            ) => {
+                // Assigned tc: verify class tc·(κ₂+1), tc ≥ 1.
+                let stride = params.color_stride();
+                if *active {
+                    bad(self, "assigned class starts in the waiting phase");
+                } else if *class % stride != 0 || *class < stride {
+                    bad(self, "assigned class must be a positive stride multiple");
+                } else if !competitors.is_empty() {
+                    bad(self, "fresh instance must start with no competitors");
+                }
+            }
+            (S::Colored { class: c1 }, S::Colored { class: c2 }) if c1 == c2 => {}
+            (S::Leader { tc: t1, .. }, S::Leader { tc: t2, .. }) => {
+                if t2 < t1 {
+                    bad(self, "intra-cluster color counter went backwards");
+                }
+            }
+            _ => bad(self, ""),
+        }
+    }
+
+    /// Request-slot exclusivity: an active counter under the paper's
+    /// reset policy keeps distance > `range − 1` from every stored
+    /// copy. (Distance exactly `range` is reachable legally for one
+    /// hook: entering the active phase starts at `χ + 1`, one above the
+    /// maximal avoiding value — the next heard `M_A` resets it. The
+    /// ablation policies break this invariant by design and are
+    /// exempt.)
+    fn check_critical_range(
+        &mut self,
+        node: NodeId,
+        slot: Slot,
+        cur: &ObservedState,
+        params: &AlgorithmParams,
+    ) {
+        if params.reset_policy != ResetPolicy::Paper {
+            return;
+        }
+        let ObservedState::Verify {
+            class,
+            active: true,
+            counter: Some(own),
+            competitors,
+        } = cur
+        else {
+            return;
+        };
+        let range = params.critical_range(*class);
+        for &(w, copy) in competitors {
+            if (own - copy).abs() < range {
+                self.record(
+                    DedupKey::Critical(node, w),
+                    InvariantViolation::CriticalRange {
+                        node,
+                        slot,
+                        own: *own,
+                        competitor: w,
+                        copy,
+                        range,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Shared per-hook routine: transition check against the previous
+    /// snapshot, range check on the new one, snapshot update.
+    fn observe_node<P: ObservableColoring>(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        let cur = proto.observe(slot);
+        let params = *proto.observe_params();
+        if let Some(prev) = self.seen[node as usize].take() {
+            self.check_transition(node, &prev, &cur, slot, &params);
+        }
+        self.check_critical_range(node, slot, &cur, &params);
+        self.seen[node as usize] = Some(Snapshot { state: cur, slot });
+    }
+}
+
+impl<P: ObservableColoring> InvariantMonitor<P> for ColoringMonitor<'_> {
+    fn after_wake(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        let cur = proto.observe(slot);
+        if !matches!(
+            cur,
+            ObservedState::Verify {
+                class: 0,
+                active: false,
+                ..
+            }
+        ) {
+            self.illegal(node, slot, "wake".to_string(), cur.tag());
+        }
+        self.seen[node as usize] = Some(Snapshot { state: cur, slot });
+    }
+
+    fn after_deadline(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        self.observe_node(node, slot, proto);
+    }
+
+    fn on_transmit(&mut self, node: NodeId, slot: Slot, msg: &ColoringMsg, proto: &P) {
+        self.observe_node(node, slot, proto);
+        let state = &self.seen[node as usize].as_ref().expect("just set").state;
+        let id = proto.proto_id();
+        let mismatch: Option<(&'static str, String)> = match *msg {
+            ColoringMsg::Compete {
+                class,
+                sender,
+                counter,
+            } => match state {
+                ObservedState::Verify {
+                    class: c,
+                    active: true,
+                    counter: Some(own),
+                    ..
+                } if *c == class && sender == id && *own == counter => None,
+                _ => Some((
+                    "compete",
+                    format!(
+                        "M_A^{class}(sender {sender}, counter {counter}) from state {}",
+                        state.tag()
+                    ),
+                )),
+            },
+            ColoringMsg::Decided { class, sender } => match state {
+                ObservedState::Colored { class: c } if *c == class && sender == id => None,
+                ObservedState::Leader { serving: None, .. } if class == 0 && sender == id => None,
+                _ => Some((
+                    "decided",
+                    format!("M_C^{class}(sender {sender}) from state {}", state.tag()),
+                )),
+            },
+            ColoringMsg::Assign { leader, to, tc } => match state {
+                ObservedState::Leader {
+                    serving: Some((head, stc)),
+                    ..
+                } if leader == id && *head == to && *stc == tc => None,
+                _ => Some((
+                    "assign",
+                    format!(
+                        "M_C^0(leader {leader}, to {to}, tc {tc}) from state {}",
+                        state.tag()
+                    ),
+                )),
+            },
+            ColoringMsg::Request { sender, leader } => match state {
+                ObservedState::Request { leader: l } if *l == leader && sender == id => None,
+                _ => Some((
+                    "request",
+                    format!(
+                        "M_R(sender {sender}, leader {leader}) from state {}",
+                        state.tag()
+                    ),
+                )),
+            },
+        };
+        if let Some((kind, detail)) = mismatch {
+            self.record(
+                DedupKey::Message(node, kind),
+                InvariantViolation::MessageStateMismatch { node, slot, detail },
+            );
+        }
+    }
+
+    fn after_receive(&mut self, node: NodeId, slot: Slot, _msg: &ColoringMsg, proto: &P) {
+        self.observe_node(node, slot, proto);
+    }
+
+    fn on_decided(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        self.observe_node(node, slot, proto);
+        let state = &self.seen[node as usize].as_ref().expect("just set").state;
+        let Some(color) = state.committed_class() else {
+            let tag = state.tag();
+            self.illegal(node, slot, tag, "decided flag without a commit".to_string());
+            return;
+        };
+        // Conflict-freedom at commit time, against the real adjacency.
+        for &u in self.graph.neighbors(node) {
+            if self.colors[u as usize] == Some(color) {
+                let edge = ConflictEdge::new(node, u, color);
+                self.record(
+                    DedupKey::Conflict(edge.u, edge.v),
+                    InvariantViolation::CommitConflict { node, slot, edge },
+                );
+            }
+        }
+        self.colors[node as usize] = Some(color);
+    }
+
+    fn take_violations(&mut self) -> Vec<Violation> {
+        // Lower without draining: the typed list stays readable via
+        // `typed()` / `into_typed()` after the run.
+        self.typed
+            .iter()
+            .map(InvariantViolation::to_violation)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::Behavior;
+    use rand::rngs::SmallRng;
+
+    /// A scripted stand-in: tests mutate `state` directly between hook
+    /// calls to walk the monitor through arbitrary (il)legal moves.
+    struct Scripted {
+        id: ProtoId,
+        params: AlgorithmParams,
+        state: ObservedState,
+    }
+
+    impl Scripted {
+        fn new(id: ProtoId) -> Self {
+            Scripted {
+                id,
+                params: AlgorithmParams::practical(2, 4, 16),
+                state: ObservedState::Verify {
+                    class: 0,
+                    active: false,
+                    counter: None,
+                    competitors: Vec::new(),
+                },
+            }
+        }
+    }
+
+    impl RadioProtocol for Scripted {
+        type Message = ColoringMsg;
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Silent { until: None }
+        }
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Silent { until: None }
+        }
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> ColoringMsg {
+            ColoringMsg::Decided {
+                class: 1,
+                sender: self.id,
+            }
+        }
+        fn on_receive(
+            &mut self,
+            _now: Slot,
+            _msg: &ColoringMsg,
+            _rng: &mut SmallRng,
+        ) -> Option<Behavior> {
+            None
+        }
+        fn is_decided(&self) -> bool {
+            self.state.committed_class().is_some()
+        }
+    }
+
+    impl ObservableColoring for Scripted {
+        fn observe(&self, _now: Slot) -> ObservedState {
+            self.state.clone()
+        }
+        fn proto_id(&self) -> ProtoId {
+            self.id
+        }
+        fn observe_params(&self) -> &AlgorithmParams {
+            &self.params
+        }
+    }
+
+    fn verify(class: u32, active: bool, counter: Option<i64>) -> ObservedState {
+        ObservedState::Verify {
+            class,
+            active,
+            counter,
+            competitors: Vec::new(),
+        }
+    }
+
+    fn rules(m: &ColoringMonitor) -> Vec<&'static str> {
+        m.typed().iter().map(InvariantViolation::rule).collect()
+    }
+
+    #[test]
+    fn legal_walk_is_clean() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let mut m = ColoringMonitor::new(&g);
+        let mut p = Scripted::new(1);
+        m.after_wake(0, 0, &p);
+        let w = p.params.waiting_slots();
+        p.state = verify(0, true, Some(1));
+        m.after_deadline(0, w, &p);
+        // Counter ticks with time; commit exactly at the threshold.
+        let th = p.params.threshold();
+        p.state = ObservedState::Leader {
+            serving: None,
+            tc: 0,
+            queued: 0,
+        };
+        m.after_deadline(0, w + th as Slot - 1, &p);
+        m.on_decided(0, w + th as Slot - 1, &p);
+        assert!(m.is_clean(), "{:?}", m.typed());
+        assert_eq!(m.colors()[0], Some(0));
+    }
+
+    #[test]
+    fn illegal_jump_and_premature_commit_flagged() {
+        let g = Graph::empty(2);
+        let mut m = ColoringMonitor::new(&g);
+        let mut p = Scripted::new(1);
+        m.after_wake(0, 0, &p);
+        // A_0(waiting) → C_3: not an edge of the state diagram.
+        p.state = ObservedState::Colored { class: 3 };
+        m.after_deadline(0, 5, &p);
+        assert_eq!(rules(&m), vec!["illegal-transition"]);
+
+        // Premature commit: active counter far below the threshold.
+        let mut m2 = ColoringMonitor::new(&g);
+        let mut q = Scripted::new(2);
+        m2.after_wake(1, 0, &q);
+        q.state = verify(0, true, Some(1));
+        m2.after_deadline(1, 10, &q);
+        q.state = ObservedState::Leader {
+            serving: None,
+            tc: 0,
+            queued: 0,
+        };
+        m2.after_deadline(1, 12, &q); // counter would be 3 « threshold
+        let v = m2.typed();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            matches!(&v[0], InvariantViolation::IllegalTransition { to, .. }
+            if to.contains("threshold"))
+        );
+    }
+
+    #[test]
+    fn lying_compete_message_flagged() {
+        let g = Graph::empty(1);
+        let mut m = ColoringMonitor::new(&g);
+        let mut p = Scripted::new(7);
+        m.after_wake(0, 0, &p);
+        let w = p.params.waiting_slots();
+        p.state = verify(0, true, Some(1));
+        m.after_deadline(0, w, &p);
+        let msg = ColoringMsg::Compete {
+            class: 0,
+            sender: 7,
+            counter: 12, // real counter is 1
+        };
+        m.on_transmit(0, w, &msg, &p);
+        assert_eq!(rules(&m), vec!["message-state-mismatch"]);
+        // A truthful one is fine.
+        let mut m2 = ColoringMonitor::new(&g);
+        let mut q = Scripted::new(7);
+        m2.after_wake(0, 0, &q);
+        q.state = verify(0, true, Some(1));
+        m2.after_deadline(0, w, &q);
+        let ok = ColoringMsg::Compete {
+            class: 0,
+            sender: 7,
+            counter: 1,
+        };
+        m2.on_transmit(0, w, &ok, &q);
+        assert!(m2.is_clean(), "{:?}", m2.typed());
+    }
+
+    #[test]
+    fn competitor_shrink_and_critical_range_flagged() {
+        let g = Graph::empty(1);
+        let mut m = ColoringMonitor::new(&g);
+        let mut p = Scripted::new(1);
+        m.after_wake(0, 0, &p);
+        p.state = ObservedState::Verify {
+            class: 0,
+            active: true,
+            counter: Some(-40),
+            competitors: vec![(8, 5), (9, -2)],
+        };
+        m.after_receive(
+            0,
+            4,
+            &ColoringMsg::Decided {
+                class: 5,
+                sender: 8,
+            },
+            &p,
+        );
+        // Copy 9 vanishes while staying in A_0, and the counter moves
+        // inside copy 8's critical range.
+        p.state = ObservedState::Verify {
+            class: 0,
+            active: true,
+            counter: Some(5),
+            competitors: vec![(8, 6)],
+        };
+        m.after_receive(
+            0,
+            5,
+            &ColoringMsg::Decided {
+                class: 5,
+                sender: 8,
+            },
+            &p,
+        );
+        let rs = rules(&m);
+        assert!(rs.contains(&"competitor-monotonicity"), "{rs:?}");
+        assert!(rs.contains(&"critical-range"), "{rs:?}");
+        // Dedup: repeating the same observation adds nothing.
+        let before = m.typed().len();
+        m.after_receive(
+            0,
+            6,
+            &ColoringMsg::Decided {
+                class: 5,
+                sender: 8,
+            },
+            &p,
+        );
+        assert_eq!(m.typed().len(), before);
+    }
+
+    #[test]
+    fn commit_conflict_detected_on_edge_only() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let mut m = ColoringMonitor::new(&g);
+        let mut a = Scripted::new(1);
+        let mut b = Scripted::new(2);
+        let mut c = Scripted::new(3);
+        m.after_wake(0, 0, &a);
+        m.after_wake(1, 0, &b);
+        m.after_wake(2, 0, &c);
+        let w = a.params.waiting_slots();
+        let th = a.params.threshold() as Slot;
+        for (i, p) in [(0u32, &mut a), (1, &mut b), (2, &mut c)] {
+            p.state = verify(0, true, Some(1));
+            m.after_deadline(i, w, p);
+            p.state = ObservedState::Leader {
+                serving: None,
+                tc: 0,
+                queued: 0,
+            };
+            m.after_deadline(i, w + th - 1, p);
+            m.on_decided(i, w + th - 1, p);
+        }
+        // Node 2 is isolated: its duplicate color 0 is fine. Node 1 is
+        // adjacent to node 0: conflict.
+        let v: Vec<_> = m
+            .typed()
+            .iter()
+            .filter(|v| v.rule() == "commit-conflict")
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+        let InvariantViolation::CommitConflict { edge, .. } = v[0] else {
+            panic!("wrong variant");
+        };
+        assert_eq!(*edge, ConflictEdge::new(1, 0, 0));
+        assert_eq!(edge.to_string(), "(0, 1) both hold color 0");
+    }
+
+    #[test]
+    fn request_path_legality() {
+        let g = Graph::empty(1);
+        let mut m = ColoringMonitor::new(&g);
+        let mut p = Scripted::new(4);
+        m.after_wake(0, 0, &p);
+        p.state = ObservedState::Request { leader: 9 };
+        m.after_receive(
+            0,
+            3,
+            &ColoringMsg::Decided {
+                class: 0,
+                sender: 9,
+            },
+            &p,
+        );
+        // tc = 2, stride = κ₂+1 = 3 → class 6: legal.
+        p.state = verify(6, false, None);
+        m.after_receive(
+            0,
+            9,
+            &ColoringMsg::Assign {
+                leader: 9,
+                to: 4,
+                tc: 2,
+            },
+            &p,
+        );
+        assert!(m.is_clean(), "{:?}", m.typed());
+        // A non-stride class out of R is illegal.
+        p.state = ObservedState::Request { leader: 9 };
+        m.after_receive(
+            0,
+            10,
+            &ColoringMsg::Decided {
+                class: 0,
+                sender: 9,
+            },
+            &p,
+        );
+        // (R → A_6 → R is itself illegal; clear that report first.)
+        let base = m.typed().len();
+        p.state = verify(7, false, None);
+        m.after_receive(
+            0,
+            11,
+            &ColoringMsg::Assign {
+                leader: 9,
+                to: 4,
+                tc: 2,
+            },
+            &p,
+        );
+        assert!(m.typed()[base..]
+            .iter()
+            .any(|v| v.rule() == "illegal-transition"));
+    }
+
+    #[test]
+    fn flat_lowering_keeps_typed() {
+        let g = Graph::empty(1);
+        let mut m = ColoringMonitor::new(&g);
+        let p = Scripted::new(1);
+        m.after_wake(0, 0, &p);
+        let mut q = Scripted::new(1);
+        q.state = ObservedState::Colored { class: 2 };
+        m.after_deadline(0, 1, &q);
+        let flat = InvariantMonitor::<Scripted>::take_violations(&mut m);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].rule, "illegal-transition");
+        assert_eq!(m.typed().len(), 1, "lowering must not drain");
+        assert_eq!(m.typed()[0].to_violation(), flat[0]);
+        assert_eq!(m.into_typed().len(), 1);
+    }
+}

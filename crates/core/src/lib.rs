@@ -46,17 +46,23 @@
 
 pub mod chi;
 pub mod estimate;
+pub mod invariants;
 pub mod messages;
+pub mod mutation;
 pub mod node;
 pub mod params;
+pub mod repro;
 pub mod run;
 pub mod tdma;
 pub mod verify;
 
 pub use estimate::{AdaptiveNode, DegreeEstimator, EstimatorParams};
+pub use invariants::{ColoringMonitor, ConflictEdge, InvariantViolation, ObservableColoring};
 pub use messages::{ColoringMsg, ProtoId};
-pub use node::{ColoringNode, NodeTrace};
+pub use mutation::{MutatedNode, MutationKind};
+pub use node::{ColoringNode, NodeTrace, ObservedState};
 pub use params::{AlgorithmParams, ResetPolicy};
+pub use repro::{load_corpus, shrink, write_artifact, ReproCase};
 pub use run::{color_graph, ColoringConfig, ColoringOutcome, IdAssignment};
 pub use tdma::{compare_with_distance2, ScheduleComparison, TdmaSchedule};
 pub use verify::{verify_outcome, Verdict};

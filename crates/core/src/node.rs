@@ -92,6 +92,73 @@ pub struct NodeTrace {
     pub leader_id: Option<crate::messages::ProtoId>,
 }
 
+/// A read-only snapshot of the state machine at a given slot, taken by
+/// [`ColoringNode::observe`] for the invariant monitors
+/// ([`crate::invariants`]). Counters and competitor copies are
+/// materialized to their *values* at the observation slot (the anchor
+/// representation stays private), so two snapshots of identical
+/// protocol state at the same slot compare equal regardless of engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObservedState {
+    /// In `A_class`.
+    Verify {
+        /// The color class being verified.
+        class: u32,
+        /// `true` in the active (competing) phase, `false` while waiting.
+        active: bool,
+        /// Counter value `c_v(now)`; `None` in the waiting phase, where
+        /// no counter is live.
+        counter: Option<i64>,
+        /// Stored competitor copies `(w, d_v(w)(now))`.
+        competitors: Vec<(ProtoId, i64)>,
+    },
+    /// In `R`, requesting an intra-cluster color from `leader`.
+    Request {
+        /// The leader being addressed.
+        leader: ProtoId,
+    },
+    /// In `C_class`, `class > 0`.
+    Colored {
+        /// The committed color class.
+        class: u32,
+    },
+    /// In `C_0` (leader).
+    Leader {
+        /// `Some((requester, tc))` while a serve window is open.
+        serving: Option<(ProtoId, u32)>,
+        /// The intra-cluster color counter.
+        tc: u32,
+        /// Number of queued requesters (the head is the one served).
+        queued: usize,
+    },
+}
+
+impl ObservedState {
+    /// Short state tag for messages: `A_i` / `R` / `C_i` / `C_0`.
+    pub fn tag(&self) -> String {
+        match self {
+            ObservedState::Verify { class, active, .. } => {
+                format!(
+                    "A_{class}{}",
+                    if *active { "(active)" } else { "(waiting)" }
+                )
+            }
+            ObservedState::Request { .. } => "R".to_string(),
+            ObservedState::Colored { class } => format!("C_{class}"),
+            ObservedState::Leader { .. } => "C_0".to_string(),
+        }
+    }
+
+    /// The committed color, if this is a decided state (`C_i` or `C_0`).
+    pub fn committed_class(&self) -> Option<u32> {
+        match self {
+            ObservedState::Colored { class } => Some(*class),
+            ObservedState::Leader { .. } => Some(0),
+            _ => None,
+        }
+    }
+}
+
 /// One node running the coloring algorithm.
 #[derive(Clone, Debug)]
 pub struct ColoringNode {
@@ -142,6 +209,38 @@ impl ColoringNode {
     /// The parameters this node runs with.
     pub fn params(&self) -> &AlgorithmParams {
         &self.params
+    }
+
+    /// Snapshots the state machine at slot `now` (see [`ObservedState`]).
+    pub fn observe(&self, now: Slot) -> ObservedState {
+        match &self.state {
+            State::Verify {
+                class,
+                phase,
+                competitors,
+                anchor,
+            } => {
+                let active = *phase == VerifyPhase::Active;
+                ObservedState::Verify {
+                    class: *class,
+                    active,
+                    counter: active.then(|| now as i64 - anchor),
+                    competitors: competitors
+                        .iter()
+                        .map(|c| (c.id, now as i64 - c.anchor))
+                        .collect(),
+                }
+            }
+            State::Request { leader } => ObservedState::Request { leader: *leader },
+            State::Colored { class } => ObservedState::Colored { class: *class },
+            State::Leader(ls) => ObservedState::Leader {
+                serving: ls
+                    .serving
+                    .map(|tc| (*ls.queue.front().expect("serving implies a queue head"), tc)),
+                tc: ls.tc,
+                queued: ls.queue.len(),
+            },
+        }
     }
 
     /// Enters verification state `A_class`, starting its waiting phase
@@ -970,6 +1069,70 @@ mod tests {
         let t = node.on_deadline(w, &mut rng()).until().unwrap();
         let b = node.on_deadline(t, &mut rng()); // leader
         assert_eq!(b.until(), None, "paper behavior: announce forever");
+    }
+
+    #[test]
+    fn observe_materializes_counters_and_copies() {
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        assert_eq!(
+            node.observe(3),
+            ObservedState::Verify {
+                class: 0,
+                active: false,
+                counter: None,
+                competitors: vec![],
+            }
+        );
+        // A copy heard at slot 2 with value 5 reads w + 3 at slot w.
+        node.on_receive(
+            2,
+            &ColoringMsg::Compete {
+                class: 0,
+                sender: 9,
+                counter: 5,
+            },
+            &mut rng(),
+        );
+        let w = p.waiting_slots();
+        let active_b = node.on_deadline(w, &mut rng());
+        match node.observe(w) {
+            ObservedState::Verify {
+                class: 0,
+                active: true,
+                counter: Some(c),
+                competitors,
+            } => {
+                assert_eq!(competitors, vec![(9, w as i64 + 3)]);
+                // χ avoids the copy's critical range and is ≤ 0.
+                assert!(c <= 1, "c(w) = χ + 1 ≤ 1, got {c}");
+            }
+            other => panic!("expected active verify, got {other:?}"),
+        }
+        assert_eq!(node.observe(w).tag(), "A_0(active)");
+        assert_eq!(node.observe(w).committed_class(), None);
+        // Walk to leader and observe the serving window.
+        let t = active_b.until().unwrap();
+        node.on_deadline(t, &mut rng());
+        assert!(node.is_leader());
+        assert_eq!(node.observe(t).committed_class(), Some(0));
+        node.on_receive(
+            t + 1,
+            &ColoringMsg::Request {
+                sender: 100,
+                leader: 2,
+            },
+            &mut rng(),
+        );
+        assert_eq!(
+            node.observe(t + 1),
+            ObservedState::Leader {
+                serving: Some((100, 1)),
+                tc: 1,
+                queued: 1,
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,748 @@
+//! Failure reproduction: shrink a monitor-flagged run to a minimal
+//! configuration and persist it as a replayable JSON artifact.
+//!
+//! When the [`crate::invariants::ColoringMonitor`] flags a run (or a
+//! property test fails), the interesting object is not the original
+//! 50-node configuration but the smallest `(graph, seed, channel,
+//! wake-up)` tuple that still trips the monitor. The vendored proptest
+//! stand-in does not shrink, so [`shrink`] implements greedy
+//! delta-debugging directly: drop nodes, then edges, then simplify the
+//! channel and the wake schedule, re-running the monitored simulation
+//! after each candidate step and keeping every change that preserves
+//! the failure.
+//!
+//! Artifacts land in `results/repros/*.json` via [`write_artifact`];
+//! the corpus runner (`tests/repro_corpus.rs`, wired into `ci.sh
+//! --repro-corpus`) replays every artifact with [`load_corpus`] +
+//! [`ReproCase::detect`] and asserts the violation is still caught —
+//! a regression net for both the protocol and the monitor.
+//!
+//! The JSON codec is hand-rolled (the build environment vendors no
+//! serde); it covers exactly the value shapes [`ReproCase`] needs and
+//! round-trips floats through Rust's shortest-representation `{:?}`.
+
+use crate::invariants::{ColoringMonitor, InvariantViolation};
+use crate::mutation::{MutatedNode, MutationKind};
+use crate::node::ColoringNode;
+use crate::params::{AlgorithmParams, ResetPolicy};
+use radio_graph::{Graph, NodeId};
+use radio_sim::{ChannelSpec, Engine, SimConfig, Slot};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Cap on monitored simulation runs one [`shrink`] call may spend.
+pub const SHRINK_BUDGET: usize = 200;
+
+/// A self-contained failing (or allegedly failing) configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReproCase {
+    /// Human-readable provenance (also the artifact file stem).
+    pub label: String,
+    /// Node count.
+    pub n: usize,
+    /// Edge list (each `(u, v)` with `u, v < n`).
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Per-node wake slots (`len == n`).
+    pub wake: Vec<Slot>,
+    /// Run seed.
+    pub seed: u64,
+    /// Which engine to replay under.
+    pub engine: Engine,
+    /// Channel model.
+    pub channel: ChannelSpec,
+    /// Algorithm parameters.
+    pub params: AlgorithmParams,
+    /// The seeded deviation (`None` for organic failures).
+    pub mutation: MutationKind,
+    /// Slot cap for the replay.
+    pub max_slots: Slot,
+}
+
+impl ReproCase {
+    /// The graph described by `n` and `edges`.
+    pub fn graph(&self) -> Graph {
+        Graph::from_edges(self.n, self.edges.iter().copied())
+    }
+
+    /// Replays the configuration under the invariant monitor and
+    /// returns the typed violations (empty = clean run).
+    pub fn detect(&self) -> Vec<InvariantViolation> {
+        let graph = self.graph();
+        let protocols: Vec<MutatedNode> = (1..=self.n as u64)
+            .map(|id| MutatedNode::new(ColoringNode::new(id, self.params), self.mutation))
+            .collect();
+        let cfg = SimConfig {
+            max_slots: self.max_slots,
+            channel: self.channel,
+        };
+        let mut monitor = ColoringMonitor::new(&graph);
+        let _ =
+            self.engine
+                .run_monitored(&graph, &self.wake, protocols, self.seed, &cfg, &mut monitor);
+        monitor.into_typed()
+    }
+
+    /// `true` if the replay trips the monitor.
+    pub fn fails(&self) -> bool {
+        !self.detect().is_empty()
+    }
+
+    /// The case with node `k` removed (edges remapped, wake shifted).
+    fn without_node(&self, k: usize) -> ReproCase {
+        let remap = |v: NodeId| if (v as usize) > k { v - 1 } else { v };
+        let mut c = self.clone();
+        c.n -= 1;
+        c.edges = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u as usize != k && v as usize != k)
+            .map(|&(u, v)| (remap(u), remap(v)))
+            .collect();
+        c.wake.remove(k);
+        c
+    }
+
+    /// Serializes to the artifact JSON format.
+    pub fn to_json(&self) -> String {
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|&(u, v)| format!("[{u},{v}]"))
+            .collect();
+        let wake: Vec<String> = self.wake.iter().map(|w| w.to_string()).collect();
+        let channel = match self.channel {
+            ChannelSpec::Ideal => r#"{"kind":"ideal"}"#.to_string(),
+            ChannelSpec::ProbabilisticLoss { p } => {
+                format!(r#"{{"kind":"probabilistic-loss","p":{p:?}}}"#)
+            }
+            ChannelSpec::GilbertElliott {
+                p_bad,
+                p_good,
+                loss_good,
+                loss_bad,
+            } => format!(
+                r#"{{"kind":"gilbert-elliott","p_bad":{p_bad:?},"p_good":{p_good:?},"loss_good":{loss_good:?},"loss_bad":{loss_bad:?}}}"#
+            ),
+            ChannelSpec::AdversarialJam { window, budget } => {
+                format!(r#"{{"kind":"adversarial-jam","window":{window},"budget":{budget}}}"#)
+            }
+        };
+        let p = &self.params;
+        let reset = match p.reset_policy {
+            ResetPolicy::Paper => "paper",
+            ResetPolicy::AlwaysReset => "always-reset",
+            ResetPolicy::NoCompetitorList => "no-competitor-list",
+        };
+        let announce = match p.announce_slots {
+            Some(a) => a.to_string(),
+            None => "null".to_string(),
+        };
+        let engine = match self.engine {
+            Engine::Lockstep => "lockstep",
+            Engine::Event => "event",
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"label\": {label},\n",
+                "  \"n\": {n},\n",
+                "  \"edges\": [{edges}],\n",
+                "  \"wake\": [{wake}],\n",
+                "  \"seed\": {seed},\n",
+                "  \"engine\": \"{engine}\",\n",
+                "  \"channel\": {channel},\n",
+                "  \"params\": {{\"alpha\":{alpha:?},\"beta\":{beta:?},\"gamma\":{gamma:?},",
+                "\"sigma\":{sigma:?},\"kappa2\":{kappa2},\"n_est\":{n_est},",
+                "\"delta_est\":{delta_est},\"reset_policy\":\"{reset}\",",
+                "\"announce_slots\":{announce}}},\n",
+                "  \"mutation\": \"{mutation}\",\n",
+                "  \"max_slots\": {max_slots}\n",
+                "}}\n"
+            ),
+            label = json_string(&self.label),
+            n = self.n,
+            edges = edges.join(","),
+            wake = wake.join(","),
+            seed = self.seed,
+            engine = engine,
+            channel = channel,
+            alpha = p.alpha,
+            beta = p.beta,
+            gamma = p.gamma,
+            sigma = p.sigma,
+            kappa2 = p.kappa2,
+            n_est = p.n_est,
+            delta_est = p.delta_est,
+            reset = reset,
+            announce = announce,
+            mutation = self.mutation.as_str(),
+            max_slots = self.max_slots,
+        )
+    }
+
+    /// Parses the artifact JSON format (inverse of
+    /// [`ReproCase::to_json`]).
+    pub fn from_json(text: &str) -> Result<ReproCase, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj("top level")?;
+        let params_v = json::get(obj, "params")?;
+        let pobj = params_v.as_obj("params")?;
+        let channel_v = json::get(obj, "channel")?;
+        let cobj = channel_v.as_obj("channel")?;
+        let channel = match json::get(cobj, "kind")?.as_str("channel.kind")? {
+            "ideal" => ChannelSpec::Ideal,
+            "probabilistic-loss" => ChannelSpec::ProbabilisticLoss {
+                p: json::get(cobj, "p")?.as_f64("channel.p")?,
+            },
+            "gilbert-elliott" => ChannelSpec::GilbertElliott {
+                p_bad: json::get(cobj, "p_bad")?.as_f64("p_bad")?,
+                p_good: json::get(cobj, "p_good")?.as_f64("p_good")?,
+                loss_good: json::get(cobj, "loss_good")?.as_f64("loss_good")?,
+                loss_bad: json::get(cobj, "loss_bad")?.as_f64("loss_bad")?,
+            },
+            "adversarial-jam" => ChannelSpec::AdversarialJam {
+                window: json::get(cobj, "window")?.as_u64("window")?,
+                budget: json::get(cobj, "budget")?.as_u64("budget")? as u32,
+            },
+            k => return Err(format!("unknown channel kind {k:?}")),
+        };
+        let reset_policy = match json::get(pobj, "reset_policy")?.as_str("reset_policy")? {
+            "paper" => ResetPolicy::Paper,
+            "always-reset" => ResetPolicy::AlwaysReset,
+            "no-competitor-list" => ResetPolicy::NoCompetitorList,
+            r => return Err(format!("unknown reset policy {r:?}")),
+        };
+        let announce_slots = match json::get(pobj, "announce_slots")? {
+            json::Value::Null => None,
+            v => Some(v.as_u64("announce_slots")?),
+        };
+        let params = AlgorithmParams {
+            alpha: json::get(pobj, "alpha")?.as_f64("alpha")?,
+            beta: json::get(pobj, "beta")?.as_f64("beta")?,
+            gamma: json::get(pobj, "gamma")?.as_f64("gamma")?,
+            sigma: json::get(pobj, "sigma")?.as_f64("sigma")?,
+            kappa2: json::get(pobj, "kappa2")?.as_u64("kappa2")? as usize,
+            n_est: json::get(pobj, "n_est")?.as_u64("n_est")? as usize,
+            delta_est: json::get(pobj, "delta_est")?.as_u64("delta_est")? as usize,
+            reset_policy,
+            announce_slots,
+        };
+        let engine = match json::get(obj, "engine")?.as_str("engine")? {
+            "lockstep" => Engine::Lockstep,
+            "event" => Engine::Event,
+            e => return Err(format!("unknown engine {e:?}")),
+        };
+        let mutation_s = json::get(obj, "mutation")?.as_str("mutation")?;
+        let mutation = MutationKind::parse(mutation_s)
+            .ok_or_else(|| format!("unknown mutation {mutation_s:?}"))?;
+        let edges = json::get(obj, "edges")?
+            .as_arr("edges")?
+            .iter()
+            .map(|e| {
+                let pair = e.as_arr("edge")?;
+                if pair.len() != 2 {
+                    return Err("edge must be a 2-array".to_string());
+                }
+                Ok((
+                    pair[0].as_u64("edge endpoint")? as NodeId,
+                    pair[1].as_u64("edge endpoint")? as NodeId,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let wake = json::get(obj, "wake")?
+            .as_arr("wake")?
+            .iter()
+            .map(|w| w.as_u64("wake slot"))
+            .collect::<Result<Vec<_>, String>>()?;
+        let case = ReproCase {
+            label: json::get(obj, "label")?.as_str("label")?.to_string(),
+            n: json::get(obj, "n")?.as_u64("n")? as usize,
+            edges,
+            wake,
+            seed: json::get(obj, "seed")?.as_u64("seed")?,
+            engine,
+            channel,
+            params,
+            mutation,
+            max_slots: json::get(obj, "max_slots")?.as_u64("max_slots")?,
+        };
+        if case.wake.len() != case.n {
+            return Err(format!("wake length {} != n {}", case.wake.len(), case.n));
+        }
+        if let Some(&(u, v)) = case
+            .edges
+            .iter()
+            .find(|&&(u, v)| u as usize >= case.n || v as usize >= case.n)
+        {
+            return Err(format!("edge ({u}, {v}) out of range for n = {}", case.n));
+        }
+        Ok(case)
+    }
+}
+
+/// Greedy delta-debugging: returns the smallest configuration the
+/// budgeted search finds that still trips the monitor. If `case` does
+/// not fail at all it is returned unchanged.
+pub fn shrink(case: &ReproCase) -> ReproCase {
+    if !case.fails() {
+        return case.clone(); // nothing to shrink
+    }
+    let mut best = case.clone();
+    let mut budget = SHRINK_BUDGET;
+    let try_case = |best: &mut ReproCase, cand: ReproCase, budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        if cand.fails() {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+    // 1. Channel → Ideal (one big simplification first).
+    if best.channel != ChannelSpec::Ideal {
+        let mut cand = best.clone();
+        cand.channel = ChannelSpec::Ideal;
+        try_case(&mut best, cand, &mut budget);
+    }
+    // 2. Synchronous wake-up.
+    if best.wake.iter().any(|&w| w != 0) {
+        let mut cand = best.clone();
+        cand.wake = vec![0; cand.n];
+        try_case(&mut best, cand, &mut budget);
+    }
+    // 3. Drop nodes, highest index first, to a fixed point.
+    loop {
+        let mut progressed = false;
+        let mut k = best.n;
+        while k > 0 && budget > 0 {
+            k -= 1;
+            if best.n <= 1 {
+                break;
+            }
+            let cand = best.without_node(k);
+            if try_case(&mut best, cand, &mut budget) {
+                progressed = true;
+                k = k.min(best.n); // indices shifted; continue downward
+            }
+        }
+        if !progressed || budget == 0 {
+            break;
+        }
+    }
+    // 4. Drop edges to a fixed point.
+    loop {
+        let mut progressed = false;
+        let mut i = best.edges.len();
+        while i > 0 && budget > 0 {
+            i -= 1;
+            let mut cand = best.clone();
+            cand.edges.remove(i);
+            if try_case(&mut best, cand, &mut budget) {
+                progressed = true;
+                i = i.min(best.edges.len());
+            }
+        }
+        if !progressed || budget == 0 {
+            break;
+        }
+    }
+    // 5. Zero individual wake slots.
+    for k in 0..best.n {
+        if budget == 0 {
+            break;
+        }
+        if best.wake[k] != 0 {
+            let mut cand = best.clone();
+            cand.wake[k] = 0;
+            try_case(&mut best, cand, &mut budget);
+        }
+    }
+    best
+}
+
+/// Writes `case` under `dir` as `<label>.json` (label sanitized to
+/// `[a-z0-9_-]`), creating `dir` if needed. Returns the path.
+pub fn write_artifact(dir: &Path, case: &ReproCase) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let stem: String = case
+        .label
+        .chars()
+        .map(|c| {
+            let c = c.to_ascii_lowercase();
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{stem}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(case.to_json().as_bytes())?;
+    Ok(path)
+}
+
+/// Loads every `*.json` under `dir` (sorted by file name). A missing
+/// directory is an empty corpus; an unparsable file is an error.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, ReproCase)>, String> {
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let case =
+                ReproCase::from_json(&text).map_err(|e| format!("parsing {}: {e}", p.display()))?;
+            Ok((p, case))
+        })
+        .collect()
+}
+
+/// Escapes a string into a JSON literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value model + recursive-descent parser, covering
+/// exactly what the artifact format emits (no serde in the build
+/// environment). Integers up to 2⁵³ round-trip exactly through the
+/// `f64` number representation; seeds and slots in artifacts stay far
+/// below that.
+mod json {
+    /// Parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Obj(o) => Ok(o),
+                _ => Err(format!("{what}: expected object")),
+            }
+        }
+        pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(a) => Ok(a),
+                _ => Err(format!("{what}: expected array")),
+            }
+        }
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("{what}: expected string")),
+            }
+        }
+        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Value::Num(x) => Ok(*x),
+                _ => Err(format!("{what}: expected number")),
+            }
+        }
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            let x = self.as_f64(what)?;
+            if x < 0.0 || x.fract() != 0.0 || x > 9.007_199_254_740_992e15 {
+                return Err(format!("{what}: expected unsigned integer, got {x}"));
+            }
+            Ok(x as u64)
+        }
+    }
+
+    /// Looks up `key` in an object.
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut out = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(out));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let Value::Str(key) = value(b, pos)? else {
+                        return Err(format!("object key must be a string at byte {}", *pos));
+                    };
+                    expect(b, pos, b':')?;
+                    out.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(out));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut out = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                loop {
+                    out.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(out));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *pos += 1;
+                let mut out = String::new();
+                loop {
+                    match b.get(*pos) {
+                        None => return Err("unterminated string".to_string()),
+                        Some(b'"') => {
+                            *pos += 1;
+                            return Ok(Value::Str(out));
+                        }
+                        Some(b'\\') => {
+                            *pos += 1;
+                            match b.get(*pos) {
+                                Some(b'"') => out.push('"'),
+                                Some(b'\\') => out.push('\\'),
+                                Some(b'/') => out.push('/'),
+                                Some(b'n') => out.push('\n'),
+                                Some(b't') => out.push('\t'),
+                                Some(b'r') => out.push('\r'),
+                                Some(b'u') => {
+                                    let hex =
+                                        b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                        16,
+                                    )
+                                    .map_err(|_| "bad \\u escape")?;
+                                    out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                                    *pos += 4;
+                                }
+                                _ => return Err(format!("bad escape at byte {}", *pos)),
+                            }
+                            *pos += 1;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar.
+                            let rest = std::str::from_utf8(&b[*pos..])
+                                .map_err(|_| "invalid UTF-8 in string")?;
+                            let c = rest.chars().next().unwrap();
+                            out.push(c);
+                            *pos += c.len_utf8();
+                        }
+                    }
+                }
+            }
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+                s.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("bad number {s:?} at byte {start}"))
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators::special::path;
+
+    fn sample(mutation: MutationKind) -> ReproCase {
+        let g = path(4);
+        ReproCase {
+            label: "unit sample #1".to_string(),
+            n: 4,
+            edges: g.edges().collect(),
+            wake: vec![0, 3, 6, 9],
+            seed: 42,
+            engine: Engine::Event,
+            channel: ChannelSpec::ProbabilisticLoss { p: 0.125 },
+            params: AlgorithmParams::practical(2, 3, 16),
+            mutation,
+            max_slots: 200_000,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_all_channels() {
+        for channel in [
+            ChannelSpec::Ideal,
+            ChannelSpec::ProbabilisticLoss { p: 0.3 },
+            ChannelSpec::GilbertElliott {
+                p_bad: 0.01,
+                p_good: 0.2,
+                loss_good: 0.05,
+                loss_bad: 0.9,
+            },
+            ChannelSpec::AdversarialJam {
+                window: 64,
+                budget: 7,
+            },
+        ] {
+            let mut case = sample(MutationKind::CopycatLeader);
+            case.channel = channel;
+            let back = ReproCase::from_json(&case.to_json()).unwrap();
+            assert_eq!(back, case);
+        }
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        assert!(ReproCase::from_json("").is_err());
+        assert!(ReproCase::from_json("{}").is_err());
+        assert!(ReproCase::from_json("{\"label\": \"x\"").is_err());
+        let good = sample(MutationKind::None).to_json();
+        let bad = good.replace("\"event\"", "\"warp\"");
+        assert!(ReproCase::from_json(&bad).is_err());
+        // Length mismatch caught.
+        let bad = good.replace("[0,3,6,9]", "[0,3]");
+        assert!(ReproCase::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn clean_case_detects_nothing_and_shrink_is_identity() {
+        let mut case = sample(MutationKind::None);
+        case.channel = ChannelSpec::Ideal;
+        assert!(case.detect().is_empty(), "honest run must be clean");
+        let s = shrink(&case);
+        assert_eq!(s, case);
+    }
+
+    #[test]
+    fn copycat_fails_and_shrinks_small() {
+        let case = sample(MutationKind::CopycatLeader);
+        let vs = case.detect();
+        assert!(!vs.is_empty(), "copycat must trip the monitor");
+        let small = shrink(&case);
+        assert!(small.fails());
+        assert!(small.n <= case.n);
+        assert!(
+            small.n <= 2,
+            "a copycat needs one real leader and one copycat: {small:?}"
+        );
+        assert_eq!(small.channel, ChannelSpec::Ideal);
+        assert_eq!(small.wake, vec![0; small.n]);
+    }
+
+    #[test]
+    fn artifact_write_and_corpus_load() {
+        let dir =
+            std::env::temp_dir().join(format!("repros-test-{}-{}", std::process::id(), "corpus"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = sample(MutationKind::LyingCounter);
+        let path = write_artifact(&dir, &case).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "unit_sample__1.json"
+        );
+        let corpus = load_corpus(&dir).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus[0].1, case);
+        // Missing directory = empty corpus, not an error.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_corpus(&dir).unwrap().is_empty());
+    }
+}

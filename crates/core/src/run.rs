@@ -1,5 +1,6 @@
 //! High-level entry point: color a network from scratch.
 
+use crate::invariants::{ColoringMonitor, InvariantViolation};
 use crate::messages::ProtoId;
 use crate::node::{ColoringNode, NodeTrace};
 use crate::params::AlgorithmParams;
@@ -31,18 +32,29 @@ pub struct ColoringConfig {
     pub sim: SimConfig,
     /// Protocol-level ID scheme.
     pub ids: IdAssignment,
+    /// Attach the online [`ColoringMonitor`] to the run. Monitors are
+    /// pure observers: the outcome is bit-identical either way, but a
+    /// monitored run fills [`ColoringOutcome::violations`].
+    pub monitor: bool,
 }
 
 impl ColoringConfig {
     /// A configuration with the given parameters, the event engine and
-    /// default limits.
+    /// default limits (monitor off).
     pub fn new(params: AlgorithmParams) -> Self {
         ColoringConfig {
             params,
             engine: Engine::Event,
             sim: SimConfig::default(),
             ids: IdAssignment::Sequential,
+            monitor: false,
         }
+    }
+
+    /// Enables the online invariant monitor (builder style).
+    pub fn with_monitor(mut self) -> Self {
+        self.monitor = true;
+        self
     }
 }
 
@@ -74,6 +86,15 @@ pub struct ColoringOutcome {
     pub total_drops: u64,
     /// Total deliveries an adversarial channel jammed.
     pub total_jams: u64,
+    /// Fault-log entries the engine discarded past
+    /// [`radio_sim::MAX_FAULT_LOG`] (the per-event log is bounded; the
+    /// totals above are not).
+    pub faults_dropped: u64,
+    /// Typed invariant violations, in detection order — always empty
+    /// unless [`ColoringConfig::monitor`] was set; non-empty means the
+    /// run broke a paper invariant *while it happened* (see
+    /// [`crate::invariants`]).
+    pub violations: Vec<InvariantViolation>,
 }
 
 impl ColoringOutcome {
@@ -147,7 +168,17 @@ pub fn color_graph(
         .iter()
         .map(|&id| ColoringNode::new(id, config.params))
         .collect();
-    let out = config.engine.run(graph, wake, protocols, seed, &config.sim);
+    let (out, violations) = if config.monitor {
+        let mut monitor = ColoringMonitor::new(graph);
+        let out =
+            config
+                .engine
+                .run_monitored(graph, wake, protocols, seed, &config.sim, &mut monitor);
+        (out, monitor.into_typed())
+    } else {
+        let out = config.engine.run(graph, wake, protocols, seed, &config.sim);
+        (out, Vec::new())
+    };
 
     let colors: Coloring = out.protocols.iter().map(ColoringNode::color).collect();
     let report = check_coloring(graph, &colors);
@@ -172,6 +203,8 @@ pub fn color_graph(
         error: out.error,
         total_drops,
         total_jams,
+        faults_dropped: out.faults_dropped,
+        violations,
     }
 }
 
@@ -325,6 +358,27 @@ mod tests {
         assert_eq!(out.total_jams, 0);
         assert!(out.all_decided, "mild loss only slows the algorithm down");
         assert!(out.valid(), "{:?}", out.colors);
+    }
+
+    #[test]
+    fn monitored_run_is_clean_and_bit_identical() {
+        let g = star(6);
+        for engine in [Engine::Event, Engine::Lockstep] {
+            let mut c = cfg(6, 6);
+            c.engine = engine;
+            let plain = color_graph(&g, &[0; 6], &c, 11);
+            let monitored = color_graph(&g, &[0; 6], &c.with_monitor(), 11);
+            assert!(
+                monitored.violations.is_empty(),
+                "{:?}",
+                monitored.violations
+            );
+            assert_eq!(monitored.colors, plain.colors, "{engine:?}");
+            assert_eq!(monitored.slots_run, plain.slots_run, "{engine:?}");
+            assert_eq!(monitored.stats, plain.stats, "{engine:?}");
+            assert_eq!(monitored.faults_dropped, 0);
+            assert!(monitored.valid());
+        }
     }
 
     #[test]

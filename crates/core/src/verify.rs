@@ -19,6 +19,7 @@
 //! verifier checks the proof-exact bound `(κ₂+1)·θ_v − 1` and the color
 //! bound `(κ₂+1)·Δ`; EXPERIMENTS.md discusses the discrepancy.
 
+use crate::invariants::ConflictEdge;
 use crate::run::ColoringOutcome;
 use radio_graph::analysis::coloring_check::{locality_points, LocalityPoint};
 use radio_graph::{Graph, NodeId};
@@ -44,8 +45,11 @@ pub struct Verdict {
     pub states_bound_holds: bool,
     /// Maximum number of `A_i` states any node entered.
     pub max_states_entered: u32,
-    /// Nodes that violate independence of their color class.
-    pub conflicts: Vec<(NodeId, NodeId)>,
+    /// Monochromatic edges (independence violations), in the shared
+    /// [`ConflictEdge`] form the online monitor also reports
+    /// (`commit-conflict` rule) — a monitor hit and a verifier hit name
+    /// the same object.
+    pub conflicts: Vec<ConflictEdge>,
     /// The leader set (color class 0) is a *maximal* independent set:
     /// independent (Theorem 2 for class 0) and dominating (every
     /// non-leader joined a cluster, so it has an adjacent leader). An
@@ -117,7 +121,16 @@ pub fn verify_outcome(graph: &Graph, outcome: &ColoringOutcome, kappa2: usize) -
         worst_locality_ratio: worst,
         states_bound_holds: max_states as usize <= kappa2 + 1,
         max_states_entered: max_states,
-        conflicts: outcome.report.conflicts.clone(),
+        conflicts: outcome
+            .report
+            .conflicts
+            .iter()
+            .map(|&(u, v)| {
+                // A reported conflict is a monochromatic edge: both ends
+                // hold the same (Some) color.
+                ConflictEdge::new(u, v, outcome.colors[u as usize].unwrap_or(0))
+            })
+            .collect(),
         leaders_are_mis,
         clusters_well_formed,
     }
@@ -247,6 +260,6 @@ mod tests {
         assert!(!v.color_bound_holds);
         assert!(!v.locality_holds);
         assert!(!v.all_hold());
-        assert_eq!(v.conflicts, vec![(0, 1)]);
+        assert_eq!(v.conflicts, vec![ConflictEdge::new(0, 1, 5)]);
     }
 }

@@ -10,9 +10,10 @@
 //! and per-slot draws distributionally equal, including after behavior
 //! changes, which simply re-draw).
 
-use super::{log_fault, NodeStats, SimConfig, SimOutcome};
+use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
 use crate::channel::{ChannelModel, Reception};
 use crate::delivery::DeliveryKernel;
+use crate::monitor::{InvariantMonitor, NullMonitor};
 use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
 use crate::rng::{geometric_failures, node_rng};
 use crate::trace::Event;
@@ -42,9 +43,28 @@ struct NodeRec {
 pub fn run_event<P: RadioProtocol>(
     graph: &Graph,
     wake: &[Slot],
+    protocols: Vec<P>,
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<P> {
+    run_event_monitored(graph, wake, protocols, seed, cfg, &mut NullMonitor)
+}
+
+/// [`run_event`] with an [`InvariantMonitor`] attached. Channel draws
+/// and transmission skips are counter-based, so slot skipping replays
+/// monitor checks at exactly the slots the lock-step engine would —
+/// monitored outcomes (violations included) stay cross-engine
+/// comparable. The run itself is bit-identical to the unmonitored one.
+///
+/// # Panics
+/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
+pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
+    graph: &Graph,
+    wake: &[Slot],
     mut protocols: Vec<P>,
     seed: u64,
     cfg: &SimConfig,
+    monitor: &mut M,
 ) -> SimOutcome<P> {
     let n = graph.len();
     assert_eq!(wake.len(), n, "wake schedule length mismatch");
@@ -77,6 +97,7 @@ pub fn run_event<P: RadioProtocol>(
     let mut kernel = DeliveryKernel::new(n);
     let mut channel = cfg.channel.build(n, seed);
     let mut faults: Vec<Event> = Vec::new();
+    let mut faults_dropped: u64 = 0;
     let mut error: Option<ProtocolError> = None;
     let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
 
@@ -135,10 +156,12 @@ pub fn run_event<P: RadioProtocol>(
                     recs[vi].behavior = Some(b);
                     woken += 1;
                     schedule(&mut heap, &recs, &mut rngs, v, slot);
+                    monitor.after_wake(v, slot, &protocols[vi]);
                     if !decided[vi] && protocols[vi].is_decided() {
                         decided[vi] = true;
                         stats[vi].decided_at = Some(slot);
                         undecided -= 1;
+                        monitor.on_decided(v, slot, &protocols[vi]);
                     }
                 }
                 KIND_DEADLINE => {
@@ -157,10 +180,12 @@ pub fn run_event<P: RadioProtocol>(
                     recs[vi].gen += 1;
                     recs[vi].behavior = Some(b);
                     schedule(&mut heap, &recs, &mut rngs, v, slot);
+                    monitor.after_deadline(v, slot, &protocols[vi]);
                     if !decided[vi] && protocols[vi].is_decided() {
                         decided[vi] = true;
                         stats[vi].decided_at = Some(slot);
                         undecided -= 1;
+                        monitor.on_decided(v, slot, &protocols[vi]);
                     }
                 }
                 KIND_TX => {
@@ -169,6 +194,7 @@ pub fn run_event<P: RadioProtocol>(
                     }
                     debug_assert!(matches!(recs[vi].behavior, Some(Behavior::Transmit { .. })));
                     let msg = protocols[vi].message(slot, &mut rngs[vi]);
+                    monitor.on_transmit(v, slot, &msg, &protocols[vi]);
                     air[vi] = Some(msg);
                     stats[vi].sent += 1;
                     kernel.transmit(graph, v);
@@ -214,20 +240,30 @@ pub fn run_event<P: RadioProtocol>(
                         // New segment governs from slot + 1.
                         schedule(&mut heap, &recs, &mut rngs, u, slot + 1);
                     }
+                    monitor.after_receive(u, slot, &msg, &protocols[ui]);
                     if !decided[ui] && protocols[ui].is_decided() {
                         decided[ui] = true;
                         stats[ui].decided_at = Some(slot);
                         undecided -= 1;
+                        monitor.on_decided(u, slot, &protocols[ui]);
                     }
                 }
                 Reception::Collide => stats[ui].collisions += 1,
                 Reception::Drop => {
                     stats[ui].drops += 1;
-                    log_fault(&mut faults, Event::Drop { node: u, slot });
+                    log_fault(
+                        &mut faults,
+                        &mut faults_dropped,
+                        Event::Drop { node: u, slot },
+                    );
                 }
                 Reception::Jam => {
                     stats[ui].jams += 1;
-                    log_fault(&mut faults, Event::Jam { node: u, slot });
+                    log_fault(
+                        &mut faults,
+                        &mut faults_dropped,
+                        Event::Jam { node: u, slot },
+                    );
                 }
             }
         }
@@ -238,6 +274,7 @@ pub fn run_event<P: RadioProtocol>(
         }
     }
 
+    let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
     SimOutcome {
         protocols,
         stats,
@@ -245,6 +282,8 @@ pub fn run_event<P: RadioProtocol>(
         slots_run,
         error,
         faults,
+        faults_dropped,
+        violations,
     }
 }
 

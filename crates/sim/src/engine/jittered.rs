@@ -23,9 +23,10 @@
 //! phases, experiment E16 measures the constant-factor slowdown the
 //! paper predicts.
 
-use super::{log_fault, NodeStats, SimConfig, SimOutcome};
+use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
 use crate::channel::{ChannelModel, Reception};
 use crate::delivery::OverlapKernel;
+use crate::monitor::{InvariantMonitor, NullMonitor};
 use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
 use crate::rng::node_rng;
 use crate::trace::Event;
@@ -52,10 +53,30 @@ struct Packet<M> {
 pub fn run_jittered<P: RadioProtocol>(
     graph: &Graph,
     wake: &[Slot],
+    protocols: Vec<P>,
+    phases: &[bool],
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<P> {
+    run_jittered_monitored(graph, wake, protocols, phases, seed, cfg, &mut NullMonitor)
+}
+
+/// [`run_jittered`] with an [`InvariantMonitor`] attached. Hooks fire
+/// at the node's *local* slots (the same slot numbers the aligned
+/// engines would use), so with all phase bits `false` monitored
+/// outcomes — violations included — match the lock-step engine exactly.
+///
+/// # Panics
+/// Panics if `wake`, `protocols` or `phases` length differs from
+/// `graph.len()`.
+pub fn run_jittered_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
+    graph: &Graph,
+    wake: &[Slot],
     mut protocols: Vec<P>,
     phases: &[bool],
     seed: u64,
     cfg: &SimConfig,
+    monitor: &mut M,
 ) -> SimOutcome<P> {
     let n = graph.len();
     assert_eq!(wake.len(), n, "wake schedule length mismatch");
@@ -92,6 +113,7 @@ pub fn run_jittered<P: RadioProtocol>(
     let mut kernel = OverlapKernel::new(n);
     let mut channel = cfg.channel.build(n, seed);
     let mut faults: Vec<Event> = Vec::new();
+    let mut faults_dropped: u64 = 0;
     let mut error: Option<ProtocolError> = None;
     let mut pending: VecDeque<Packet<P::Message>> = VecDeque::new();
 
@@ -143,10 +165,12 @@ pub fn run_jittered<P: RadioProtocol>(
                             }
                             behaviors[vi] = Some(nb);
                         }
+                        monitor.after_receive(v, local_end, &p.msg, &protocols[vi]);
                         if !decided[vi] && protocols[vi].is_decided() {
                             decided[vi] = true;
                             stats[vi].decided_at = Some(local_end);
                             undecided -= 1;
+                            monitor.on_decided(v, local_end, &protocols[vi]);
                         }
                     }
                     Reception::Collide => stats[vi].collisions += 1,
@@ -154,6 +178,7 @@ pub fn run_jittered<P: RadioProtocol>(
                         stats[vi].drops += 1;
                         log_fault(
                             &mut faults,
+                            &mut faults_dropped,
                             Event::Drop {
                                 node: v,
                                 slot: local_end,
@@ -164,6 +189,7 @@ pub fn run_jittered<P: RadioProtocol>(
                         stats[vi].jams += 1;
                         log_fault(
                             &mut faults,
+                            &mut faults_dropped,
                             Event::Jam {
                                 node: v,
                                 slot: local_end,
@@ -204,10 +230,12 @@ pub fn run_jittered<P: RadioProtocol>(
                 break 'outer;
             }
             behaviors[vi] = Some(b);
+            monitor.after_wake(v, t, &protocols[vi]);
             if !decided[vi] && protocols[vi].is_decided() {
                 decided[vi] = true;
                 stats[vi].decided_at = Some(t);
                 undecided -= 1;
+                monitor.on_decided(v, t, &protocols[vi]);
             }
         }
         // Deadlines, then transmission draws, for this parity class.
@@ -233,16 +261,19 @@ pub fn run_jittered<P: RadioProtocol>(
                         break 'outer;
                     }
                     behaviors[vi] = Some(nb);
+                    monitor.after_deadline(v, t, &protocols[vi]);
                     if !decided[vi] && protocols[vi].is_decided() {
                         decided[vi] = true;
                         stats[vi].decided_at = Some(t);
                         undecided -= 1;
+                        monitor.on_decided(v, t, &protocols[vi]);
                     }
                 }
             }
             if let Some(Behavior::Transmit { p, .. }) = behaviors[vi] {
                 if rngs[vi].gen_bool(p) {
                     let msg = protocols[vi].message(t, &mut rngs[vi]);
+                    monitor.on_transmit(v, t, &msg, &protocols[vi]);
                     tx_starts[vi] = [half as i64, tx_starts[vi][0]];
                     stats[vi].sent += 1;
                     kernel.transmit(graph, v, half);
@@ -267,6 +298,7 @@ pub fn run_jittered<P: RadioProtocol>(
         half += 1;
     }
 
+    let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
     SimOutcome {
         protocols,
         stats,
@@ -274,6 +306,8 @@ pub fn run_jittered<P: RadioProtocol>(
         slots_run,
         error,
         faults,
+        faults_dropped,
+        violations,
     }
 }
 

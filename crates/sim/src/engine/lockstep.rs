@@ -2,9 +2,10 @@
 //! slot; transmission decisions are independent Bernoulli draws — a
 //! direct transcription of the model in Sect. 2 of the paper.
 
-use super::{log_fault, NodeStats, SimConfig, SimOutcome};
+use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
 use crate::channel::{ChannelModel, Reception};
 use crate::delivery::DeliveryKernel;
+use crate::monitor::{InvariantMonitor, NullMonitor};
 use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
 use crate::rng::node_rng;
 use crate::trace::Event;
@@ -33,9 +34,28 @@ fn retired(decided: &[bool], behaviors: &[Option<Behavior>], v: NodeId) -> bool 
 pub fn run_lockstep<P: RadioProtocol>(
     graph: &Graph,
     wake: &[Slot],
+    protocols: Vec<P>,
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<P> {
+    run_lockstep_monitored(graph, wake, protocols, seed, cfg, &mut NullMonitor)
+}
+
+/// [`run_lockstep`] with an [`InvariantMonitor`] attached. Monitors are
+/// pure observers (no randomness, no protocol mutation), so the run is
+/// bit-identical to the unmonitored one; detected violations land in
+/// [`SimOutcome::violations`] (canonically sorted) and are mirrored
+/// into the fault log as [`Event::Violation`].
+///
+/// # Panics
+/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
+pub fn run_lockstep_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
+    graph: &Graph,
+    wake: &[Slot],
     mut protocols: Vec<P>,
     seed: u64,
     cfg: &SimConfig,
+    monitor: &mut M,
 ) -> SimOutcome<P> {
     let n = graph.len();
     assert_eq!(wake.len(), n, "wake schedule length mismatch");
@@ -66,6 +86,7 @@ pub fn run_lockstep<P: RadioProtocol>(
     let mut kernel = DeliveryKernel::new(n);
     let mut channel = cfg.channel.build(n, seed);
     let mut faults: Vec<Event> = Vec::new();
+    let mut faults_dropped: u64 = 0;
     let mut error: Option<ProtocolError> = None;
     let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
 
@@ -78,11 +99,13 @@ pub fn run_lockstep<P: RadioProtocol>(
                     protocols: &[P],
                     decided: &mut [bool],
                     undecided: &mut usize,
-                    stats: &mut [NodeStats]| {
+                    stats: &mut [NodeStats],
+                    monitor: &mut M| {
             if !decided[v as usize] && protocols[v as usize].is_decided() {
                 decided[v as usize] = true;
                 stats[v as usize].decided_at = Some(slot);
                 *undecided -= 1;
+                monitor.on_decided(v, slot, &protocols[v as usize]);
             }
         };
 
@@ -102,7 +125,15 @@ pub fn run_lockstep<P: RadioProtocol>(
                 break 'run;
             }
             behaviors[v as usize] = Some(b);
-            note(v, &protocols, &mut decided, &mut undecided, &mut stats);
+            monitor.after_wake(v, slot, &protocols[v as usize]);
+            note(
+                v,
+                &protocols,
+                &mut decided,
+                &mut undecided,
+                &mut stats,
+                monitor,
+            );
         }
 
         // 2. Deadlines.
@@ -121,7 +152,15 @@ pub fn run_lockstep<P: RadioProtocol>(
                     break 'run;
                 }
                 behaviors[v as usize] = Some(nb);
-                note(v, &protocols, &mut decided, &mut undecided, &mut stats);
+                monitor.after_deadline(v, slot, &protocols[v as usize]);
+                note(
+                    v,
+                    &protocols,
+                    &mut decided,
+                    &mut undecided,
+                    &mut stats,
+                    monitor,
+                );
             }
         }
 
@@ -132,6 +171,7 @@ pub fn run_lockstep<P: RadioProtocol>(
             if let Some(Behavior::Transmit { p, .. }) = behaviors[v as usize] {
                 if rngs[v as usize].gen_bool(p) {
                     let msg = protocols[v as usize].message(slot, &mut rngs[v as usize]);
+                    monitor.on_transmit(v, slot, &msg, &protocols[v as usize]);
                     air[v as usize] = Some(msg);
                     stats[v as usize].sent += 1;
                     kernel.transmit(graph, v);
@@ -175,16 +215,32 @@ pub fn run_lockstep<P: RadioProtocol>(
                             active.push(u);
                         }
                     }
-                    note(u, &protocols, &mut decided, &mut undecided, &mut stats);
+                    monitor.after_receive(u, slot, &msg, &protocols[u as usize]);
+                    note(
+                        u,
+                        &protocols,
+                        &mut decided,
+                        &mut undecided,
+                        &mut stats,
+                        monitor,
+                    );
                 }
                 Reception::Collide => stats[u as usize].collisions += 1,
                 Reception::Drop => {
                     stats[u as usize].drops += 1;
-                    log_fault(&mut faults, Event::Drop { node: u, slot });
+                    log_fault(
+                        &mut faults,
+                        &mut faults_dropped,
+                        Event::Drop { node: u, slot },
+                    );
                 }
                 Reception::Jam => {
                     stats[u as usize].jams += 1;
-                    log_fault(&mut faults, Event::Jam { node: u, slot });
+                    log_fault(
+                        &mut faults,
+                        &mut faults_dropped,
+                        Event::Jam { node: u, slot },
+                    );
                 }
             }
         }
@@ -206,6 +262,7 @@ pub fn run_lockstep<P: RadioProtocol>(
         slot += 1;
     }
 
+    let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
     SimOutcome {
         protocols,
         stats,
@@ -213,12 +270,15 @@ pub fn run_lockstep<P: RadioProtocol>(
         slots_run,
         error,
         faults,
+        faults_dropped,
+        violations,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monitor::EngineOrderMonitor;
     use crate::protocol::Behavior;
     use radio_graph::generators::special::{path, star};
 
@@ -403,6 +463,29 @@ mod tests {
         fn is_decided(&self) -> bool {
             self.phase >= 2
         }
+    }
+
+    #[test]
+    fn engine_order_monitor_stays_clean_and_matches_unmonitored() {
+        let g = path(3);
+        let mk = || {
+            vec![
+                Chatter::new(0, 1.0, 0),
+                Chatter::new(1, 0.3, 5),
+                Chatter::new(2, 0.3, 3),
+            ]
+        };
+        let cfg = SimConfig::with_max_slots(10_000);
+        let plain = run_lockstep(&g, &[0, 2, 4], mk(), 9, &cfg);
+        let mut mon = EngineOrderMonitor::new();
+        let watched = run_lockstep_monitored(&g, &[0, 2, 4], mk(), 9, &cfg, &mut mon);
+        assert!(watched.violations.is_empty(), "{:?}", watched.violations);
+        assert!(plain.violations.is_empty());
+        // A monitor draws no randomness: outcomes are bit-identical.
+        for v in 0..3 {
+            assert_eq!(plain.stats[v], watched.stats[v], "node {v}");
+        }
+        assert_eq!(plain.slots_run, watched.slots_run);
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub mod jittered;
 pub mod lockstep;
 
 use crate::channel::ChannelSpec;
-use crate::protocol::{ProtocolError, Slot};
+use crate::monitor::{sort_violations, InvariantMonitor, Violation};
+use crate::protocol::{ProtocolError, RadioProtocol, Slot};
 use crate::trace::Event;
 
 /// Engine limits and options.
@@ -65,13 +66,41 @@ impl SimConfig {
 /// so a long faulty run cannot eat the heap.
 pub const MAX_FAULT_LOG: usize = 1 << 16;
 
-/// Appends a fault event to a bounded log (silently truncating past
-/// [`MAX_FAULT_LOG`]; the [`NodeStats`] counters stay exact).
+/// Appends a fault event to a bounded log. Past [`MAX_FAULT_LOG`] the
+/// event is dropped and counted in `dropped` (surfaced as
+/// [`SimOutcome::faults_dropped`]); the [`NodeStats`] counters stay
+/// exact either way.
 #[inline]
-pub(crate) fn log_fault(log: &mut Vec<Event>, e: Event) {
+pub(crate) fn log_fault(log: &mut Vec<Event>, dropped: &mut u64, e: Event) {
     if log.len() < MAX_FAULT_LOG {
         log.push(e);
+    } else {
+        *dropped += 1;
     }
+}
+
+/// Engine epilogue for the monitor: drains the monitor's violations,
+/// sorts them into the canonical engine-independent order and mirrors
+/// each one into the bounded fault log as [`Event::Violation`] (after
+/// the channel faults, which the engines log as they happen).
+pub(crate) fn collect_violations<P: RadioProtocol, M: InvariantMonitor<P>>(
+    monitor: &mut M,
+    faults: &mut Vec<Event>,
+    faults_dropped: &mut u64,
+) -> Vec<Violation> {
+    let mut vs = monitor.take_violations();
+    sort_violations(&mut vs);
+    for v in &vs {
+        log_fault(
+            faults,
+            faults_dropped,
+            Event::Violation {
+                node: v.node,
+                slot: v.slot,
+            },
+        );
+    }
+    vs
 }
 
 /// Per-node counters collected by the engines.
@@ -126,6 +155,16 @@ pub struct SimOutcome<P> {
     /// counters in [`NodeStats`] remain exact beyond the cap). Empty
     /// under [`ChannelSpec::Ideal`].
     pub faults: Vec<Event>,
+    /// Number of fault events that did not fit in [`SimOutcome::faults`]
+    /// once it reached [`MAX_FAULT_LOG`] — `0` means the log is
+    /// complete, anything else says exactly how much was truncated.
+    pub faults_dropped: u64,
+    /// Invariant violations reported by the run's
+    /// [`crate::monitor::InvariantMonitor`], in canonical
+    /// `(slot, node, rule, detail)` order so monitored outcomes compare
+    /// across engines. Empty for unmonitored runs (the plain `run_*`
+    /// entry points) and for monitored runs that stayed clean.
+    pub violations: Vec<Violation>,
 }
 
 impl<P> SimOutcome<P> {
@@ -209,6 +248,8 @@ mod tests {
             slots_run: 7,
             error: None,
             faults: Vec::new(),
+            faults_dropped: 0,
+            violations: Vec::new(),
         };
         assert_eq!(out.max_decision_time(), Some(7));
         assert_eq!(out.total_sent(), 7);
@@ -230,6 +271,8 @@ mod tests {
             slots_run: 9,
             error: None,
             faults: Vec::new(),
+            faults_dropped: 0,
+            violations: Vec::new(),
         };
         assert_eq!(out.max_decision_time(), None);
     }
@@ -237,5 +280,16 @@ mod tests {
     #[test]
     fn default_config_is_generous() {
         assert!(SimConfig::default().max_slots >= 1_000_000);
+    }
+
+    #[test]
+    fn fault_log_truncation_is_counted() {
+        let mut log = Vec::new();
+        let mut dropped = 0u64;
+        for s in 0..(MAX_FAULT_LOG as u64 + 10) {
+            log_fault(&mut log, &mut dropped, Event::Drop { node: 0, slot: s });
+        }
+        assert_eq!(log.len(), MAX_FAULT_LOG);
+        assert_eq!(dropped, 10);
     }
 }

@@ -54,6 +54,7 @@
 pub mod channel;
 pub mod delivery;
 pub mod engine;
+pub mod monitor;
 pub mod parallel;
 pub mod protocol;
 pub mod rng;
@@ -65,10 +66,13 @@ pub use channel::{
     ProbabilisticLoss, Reception,
 };
 pub use delivery::{DeliveryKernel, OverlapKernel};
-pub use engine::event::run_event;
-pub use engine::jittered::{random_phases, run_jittered};
-pub use engine::lockstep::run_lockstep;
+pub use engine::event::{run_event, run_event_monitored};
+pub use engine::jittered::{random_phases, run_jittered, run_jittered_monitored};
+pub use engine::lockstep::{run_lockstep, run_lockstep_monitored};
 pub use engine::{NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
+pub use monitor::{
+    sort_violations, EngineOrderMonitor, InvariantMonitor, NullMonitor, Violation, MAX_VIOLATIONS,
+};
 pub use protocol::{Behavior, BehaviorFault, ProtocolError, RadioProtocol, Slot};
 pub use trace::{render_timeline, Event, Recorded, Recorder};
 pub use wakeup::{wake_wave, WakePattern};
@@ -95,6 +99,24 @@ impl Engine {
         match self {
             Engine::Lockstep => run_lockstep(graph, wake, protocols, seed, cfg),
             Engine::Event => run_event(graph, wake, protocols, seed, cfg),
+        }
+    }
+
+    /// Runs `protocols` on `graph` under this engine with an
+    /// [`InvariantMonitor`] attached (see the `run_*_monitored` entry
+    /// points; outcomes are bit-identical to [`Engine::run`]).
+    pub fn run_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
+        self,
+        graph: &radio_graph::Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        seed: u64,
+        cfg: &SimConfig,
+        monitor: &mut M,
+    ) -> SimOutcome<P> {
+        match self {
+            Engine::Lockstep => run_lockstep_monitored(graph, wake, protocols, seed, cfg, monitor),
+            Engine::Event => run_event_monitored(graph, wake, protocols, seed, cfg, monitor),
         }
     }
 }

@@ -1,0 +1,349 @@
+//! Online invariant monitors.
+//!
+//! The paper's correctness argument is a chain of *per-slot* invariants
+//! (request-slot exclusivity in critical ranges, competitor-list
+//! monotonicity, leader uniqueness, conflict-free commits). The
+//! post-hoc verifier can only tell you the final coloring is broken; a
+//! monitor watches the run *while it happens* and pins the first slot
+//! where an invariant failed.
+//!
+//! [`InvariantMonitor`] is driven from the same engine hook points as
+//! [`crate::channel::ChannelModel`]: the engines call it after every
+//! protocol callback (wake, deadline, transmit, receive, decide) with a
+//! read-only view of the node's state. Monitors must be pure observers:
+//! they draw no randomness and never touch protocol state, so a
+//! monitored run is bit-identical to an unmonitored one
+//! ([`NullMonitor`] makes that literal — the plain `run_*` entry points
+//! are thin wrappers over the monitored ones with a `NullMonitor`,
+//! which monomorphizes to zero code).
+//!
+//! Engine-independence contract: the *within-slot* order in which
+//! engines fire hooks for different nodes differs (the lock-step engine
+//! walks its active set, the event engine drains a heap), so monitors
+//! must not depend on cross-node hook order inside one slot. The
+//! engines sort the final violation list by `(slot, node, rule,
+//! detail)`, which makes monitored outcomes comparable across engines —
+//! the cross-engine equivalence tests rely on this.
+//!
+//! Protocol-specific monitors (the coloring state machine checks) live
+//! downstream in `urn-coloring`; this module provides the trait, the
+//! flat [`Violation`] record, and a protocol-agnostic
+//! [`EngineOrderMonitor`] that audits the engine contract itself.
+
+use crate::protocol::{RadioProtocol, Slot};
+use radio_graph::NodeId;
+
+/// One detected invariant violation, in engine-level (flat) form.
+///
+/// Protocol-layer monitors typically keep a typed violation enum and
+/// lower it to this record via [`InvariantMonitor::take_violations`];
+/// the engines attach these to [`crate::SimOutcome::violations`] and
+/// mirror each one into the fault log as a
+/// [`crate::trace::Event::Violation`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Violation {
+    /// The node the violated invariant belongs to.
+    pub node: NodeId,
+    /// The (local) slot at which the violation was detected.
+    pub slot: Slot,
+    /// Stable, short rule identifier (e.g. `"illegal-transition"`).
+    pub rule: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[slot {} node {}] {}: {}",
+            self.slot, self.node, self.rule, self.detail
+        )
+    }
+}
+
+/// Sorts violations into the canonical engine-independent order:
+/// `(slot, node, rule, detail)`.
+pub fn sort_violations(vs: &mut [Violation]) {
+    vs.sort_by(|a, b| {
+        (a.slot, a.node, a.rule, &a.detail).cmp(&(b.slot, b.node, b.rule, &b.detail))
+    });
+}
+
+/// An online invariant monitor, driven by the engines.
+///
+/// Every hook fires *after* the corresponding protocol callback has
+/// been applied (behavior stored, message built, decision noted), so
+/// `proto` always shows the post-callback state. Default
+/// implementations are empty: a monitor overrides only the hooks it
+/// needs, and unused hooks compile to nothing.
+///
+/// Monitors must not draw randomness or mutate protocol state —
+/// monitored and unmonitored runs are required to be bit-identical.
+pub trait InvariantMonitor<P: RadioProtocol> {
+    /// Node `node` woke at `slot`; its `on_wake` behavior is in place.
+    fn after_wake(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        let _ = (node, slot, proto);
+    }
+
+    /// Node `node`'s deadline fired at `slot`; the new behavior is in
+    /// place.
+    fn after_deadline(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        let _ = (node, slot, proto);
+    }
+
+    /// Node `node` put `msg` on the air at `slot`.
+    fn on_transmit(&mut self, node: NodeId, slot: Slot, msg: &P::Message, proto: &P) {
+        let _ = (node, slot, msg, proto);
+    }
+
+    /// Node `node` received `msg` at `slot`; any behavior change from
+    /// `on_receive` has been applied.
+    fn after_receive(&mut self, node: NodeId, slot: Slot, msg: &P::Message, proto: &P) {
+        let _ = (node, slot, msg, proto);
+    }
+
+    /// Node `node`'s `is_decided` flipped to `true` at `slot` (fires
+    /// exactly once per node, right after the hook that caused it).
+    fn on_decided(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        let _ = (node, slot, proto);
+    }
+
+    /// Drains the violations collected so far. The engines call this
+    /// once at the end of the run and sort the result canonically.
+    fn take_violations(&mut self) -> Vec<Violation> {
+        Vec::new()
+    }
+}
+
+/// The no-op monitor: every hook is empty, so the monitored engine
+/// loops monomorphize to exactly the unmonitored code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullMonitor;
+
+impl<P: RadioProtocol> InvariantMonitor<P> for NullMonitor {}
+
+/// Cap on violations a built-in monitor retains (a hopelessly broken
+/// protocol would otherwise flood the heap; the *first* violations are
+/// the informative ones).
+pub const MAX_VIOLATIONS: usize = 4096;
+
+#[derive(Clone, Copy, Default)]
+struct OrderState {
+    woken: bool,
+    last_slot: Slot,
+    any_hook: bool,
+    last_tx: Option<Slot>,
+}
+
+/// A protocol-agnostic monitor that audits the *engine contract*
+/// itself, independent of what the protocol does:
+///
+/// * a node's first hook is its wake-up, and it wakes exactly once;
+/// * per node, hook slots never decrease (local time moves forward);
+/// * a node never receives in a slot it transmitted in (half-duplex).
+///
+/// Useful as a cheap sanity layer in benchmarks (the monitor-overhead
+/// leg of `slot_throughput` uses it) and as a harness check when
+/// developing new engines.
+#[derive(Clone, Default)]
+pub struct EngineOrderMonitor {
+    nodes: Vec<OrderState>,
+    violations: Vec<Violation>,
+}
+
+impl EngineOrderMonitor {
+    /// A fresh monitor; per-node state grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if no violation has been recorded yet.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn state(&mut self, node: NodeId) -> &mut OrderState {
+        let i = node as usize;
+        if i >= self.nodes.len() {
+            self.nodes.resize(i + 1, OrderState::default());
+        }
+        &mut self.nodes[i]
+    }
+
+    fn record(&mut self, node: NodeId, slot: Slot, rule: &'static str, detail: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(Violation {
+                node,
+                slot,
+                rule,
+                detail,
+            });
+        }
+    }
+
+    /// Common per-hook bookkeeping; `kind` names the hook for messages.
+    fn touch(&mut self, node: NodeId, slot: Slot, kind: &str) {
+        let s = self.state(node);
+        let (woken, any, last) = (s.woken, s.any_hook, s.last_slot);
+        s.any_hook = true;
+        s.last_slot = slot.max(last);
+        if !woken {
+            self.record(
+                node,
+                slot,
+                "hook-before-wake",
+                format!("{kind} hook before any wake"),
+            );
+        } else if any && slot < last {
+            self.record(
+                node,
+                slot,
+                "time-reversal",
+                format!("{kind} at slot {slot} after a hook at slot {last}"),
+            );
+        }
+    }
+}
+
+impl<P: RadioProtocol> InvariantMonitor<P> for EngineOrderMonitor {
+    fn after_wake(&mut self, node: NodeId, slot: Slot, _proto: &P) {
+        let s = self.state(node);
+        let (woken, any) = (s.woken, s.any_hook);
+        s.woken = true;
+        s.any_hook = true;
+        s.last_slot = slot;
+        if woken {
+            self.record(node, slot, "double-wake", "woke twice".to_string());
+        } else if any {
+            self.record(
+                node,
+                slot,
+                "hook-before-wake",
+                "a hook preceded the wake".to_string(),
+            );
+        }
+    }
+
+    fn after_deadline(&mut self, node: NodeId, slot: Slot, _proto: &P) {
+        self.touch(node, slot, "deadline");
+    }
+
+    fn on_transmit(&mut self, node: NodeId, slot: Slot, _msg: &P::Message, _proto: &P) {
+        self.touch(node, slot, "transmit");
+        self.state(node).last_tx = Some(slot);
+    }
+
+    fn after_receive(&mut self, node: NodeId, slot: Slot, _msg: &P::Message, _proto: &P) {
+        self.touch(node, slot, "receive");
+        if self.state(node).last_tx == Some(slot) {
+            self.record(
+                node,
+                slot,
+                "rx-while-tx",
+                "received in a slot it transmitted in".to_string(),
+            );
+        }
+    }
+
+    fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Behavior;
+    use rand::rngs::SmallRng;
+
+    struct Dummy;
+
+    impl RadioProtocol for Dummy {
+        type Message = u8;
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Silent { until: None }
+        }
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Silent { until: None }
+        }
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u8 {
+            0
+        }
+        fn on_receive(&mut self, _now: Slot, _msg: &u8, _rng: &mut SmallRng) -> Option<Behavior> {
+            None
+        }
+        fn is_decided(&self) -> bool {
+            false
+        }
+    }
+
+    fn wake(m: &mut EngineOrderMonitor, node: NodeId, slot: Slot) {
+        InvariantMonitor::<Dummy>::after_wake(m, node, slot, &Dummy);
+    }
+
+    #[test]
+    fn clean_sequence_stays_clean() {
+        let mut m = EngineOrderMonitor::new();
+        wake(&mut m, 0, 3);
+        m.on_transmit(0, 4, &1u8, &Dummy);
+        m.after_receive(0, 5, &1u8, &Dummy);
+        m.after_deadline(0, 5, &Dummy);
+        assert!(m.is_clean());
+        assert!(InvariantMonitor::<Dummy>::take_violations(&mut m).is_empty());
+    }
+
+    #[test]
+    fn hook_before_wake_flagged() {
+        let mut m = EngineOrderMonitor::new();
+        m.after_receive(2, 1, &0u8, &Dummy);
+        let vs = InvariantMonitor::<Dummy>::take_violations(&mut m);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "hook-before-wake");
+        assert_eq!(vs[0].node, 2);
+    }
+
+    #[test]
+    fn time_reversal_and_rx_while_tx_flagged() {
+        let mut m = EngineOrderMonitor::new();
+        wake(&mut m, 1, 0);
+        m.on_transmit(1, 7, &0u8, &Dummy);
+        m.after_deadline(1, 5, &Dummy); // goes back in time
+        m.after_receive(1, 7, &0u8, &Dummy); // rx in tx slot
+        let mut vs = InvariantMonitor::<Dummy>::take_violations(&mut m);
+        sort_violations(&mut vs);
+        let rules: Vec<_> = vs.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"time-reversal"), "{rules:?}");
+        assert!(rules.contains(&"rx-while-tx"), "{rules:?}");
+    }
+
+    #[test]
+    fn double_wake_flagged() {
+        let mut m = EngineOrderMonitor::new();
+        wake(&mut m, 0, 0);
+        wake(&mut m, 0, 2);
+        let vs = InvariantMonitor::<Dummy>::take_violations(&mut m);
+        assert_eq!(vs[0].rule, "double-wake");
+    }
+
+    #[test]
+    fn sort_is_canonical() {
+        let mk = |slot, node, rule: &'static str| Violation {
+            node,
+            slot,
+            rule,
+            detail: String::new(),
+        };
+        let mut a = vec![mk(5, 1, "b"), mk(2, 9, "a"), mk(2, 3, "z")];
+        sort_violations(&mut a);
+        assert_eq!(
+            a.iter().map(|v| (v.slot, v.node)).collect::<Vec<_>>(),
+            vec![(2, 3), (2, 9), (5, 1)]
+        );
+        let shown = mk(2, 3, "z").to_string();
+        assert!(
+            shown.contains("slot 2") && shown.contains("node 3"),
+            "{shown}"
+        );
+    }
+}

@@ -65,6 +65,15 @@ pub enum Event {
         /// The (local) slot of the jammed delivery.
         slot: Slot,
     },
+    /// An invariant monitor flagged this node at this slot. Injected by
+    /// the engines at run end (one per entry in
+    /// `SimOutcome::violations`, which holds the rule and detail).
+    Violation {
+        /// The node the violated invariant belongs to.
+        node: u32,
+        /// The (local) slot of the violation.
+        slot: Slot,
+    },
 }
 
 impl Event {
@@ -76,7 +85,8 @@ impl Event {
             | Event::Receive { slot, .. }
             | Event::Decide { slot, .. }
             | Event::Drop { slot, .. }
-            | Event::Jam { slot, .. } => slot,
+            | Event::Jam { slot, .. }
+            | Event::Violation { slot, .. } => slot,
         }
     }
 
@@ -88,7 +98,8 @@ impl Event {
             | Event::Receive { node, .. }
             | Event::Decide { node, .. }
             | Event::Drop { node, .. }
-            | Event::Jam { node, .. } => node,
+            | Event::Jam { node, .. }
+            | Event::Violation { node, .. } => node,
         }
     }
 }
@@ -233,8 +244,9 @@ impl<P: RadioProtocol> RadioProtocol for Recorded<P> {
 
 /// Renders a terminal timeline: one row per node, one column per slot
 /// bucket. Symbols: `·` asleep, space idle, `T` transmitted, `r`
-/// received, `*` both, `D` decided, `x` a channel fault (drop or jam)
-/// in that bucket.
+/// received, `*` both, `D` decided, `x` a channel fault (drop or jam),
+/// `!` an invariant violation in that bucket (`!` outranks everything —
+/// it is what you are looking for).
 pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String {
     if events.is_empty() {
         return String::from("(no events)\n");
@@ -247,6 +259,7 @@ pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String
     let mut rx = vec![vec![false; cols]; nodes];
     let mut decide = vec![vec![false; cols]; nodes];
     let mut fault = vec![vec![false; cols]; nodes];
+    let mut viol = vec![vec![false; cols]; nodes];
     for e in events {
         let node = e.node() as usize;
         if node >= nodes {
@@ -261,6 +274,7 @@ pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String
             Event::Receive { .. } => rx[node][c] = true,
             Event::Decide { .. } => decide[node][c] = true,
             Event::Drop { .. } | Event::Jam { .. } => fault[node][c] = true,
+            Event::Violation { .. } => viol[node][c] = true,
         }
     }
     let mut out = String::new();
@@ -269,7 +283,9 @@ pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String
         let _ = write!(out, "{v:>4} │");
         for c in 0..cols {
             let slot_start = c as u64 * bucket;
-            let ch = if decide[v][c] {
+            let ch = if viol[v][c] {
+                '!'
+            } else if decide[v][c] {
                 'D'
             } else if tx[v][c] && rx[v][c] {
                 '*'
@@ -396,13 +412,17 @@ mod tests {
             Event::Decide { node: 1, slot: 4 },
             Event::Drop { node: 0, slot: 5 },
             Event::Jam { node: 0, slot: 6 },
+            Event::Violation { node: 0, slot: 7 },
         ];
         assert_eq!((Event::Drop { node: 0, slot: 5 }).slot(), 5);
         assert_eq!((Event::Jam { node: 7, slot: 6 }).node(), 7);
+        assert_eq!((Event::Violation { node: 3, slot: 8 }).slot(), 8);
+        assert_eq!((Event::Violation { node: 3, slot: 8 }).node(), 3);
         let s = render_timeline(&events, 2, 10);
         assert!(s.contains('T'));
         assert!(s.contains('D'));
         assert!(s.contains('x'), "channel faults render as x:\n{s}");
+        assert!(s.contains('!'), "violations render as !:\n{s}");
         assert!(s.lines().count() >= 3);
         assert_eq!(render_timeline(&[], 2, 10), "(no events)\n");
     }

@@ -39,6 +39,17 @@ pub enum WakePattern {
         /// Mean slots between consecutive wake-ups.
         mean_gap: f64,
     },
+    /// Adversarial bursts: the nodes are split into `bursts` contiguous
+    /// index groups and group `k` wakes simultaneously at `k · gap` —
+    /// repeated maximal same-slot contention (every burst is a little
+    /// synchronous start) separated by quiet stretches in which the
+    /// earlier cohorts are already mid-protocol.
+    Bursts {
+        /// Number of wake bursts (clamped to at least 1).
+        bursts: usize,
+        /// Slots between consecutive bursts.
+        gap: Slot,
+    },
 }
 
 impl WakePattern {
@@ -72,6 +83,11 @@ impl WakePattern {
                         t as Slot
                     })
                     .collect()
+            }
+            WakePattern::Bursts { bursts, gap } => {
+                let b = bursts.max(1);
+                // Even split: node i belongs to group ⌊i·b/n⌋.
+                (0..n).map(|i| (i * b / n.max(1)) as Slot * gap).collect()
             }
         }
     }
@@ -132,6 +148,19 @@ mod tests {
         assert!(w.windows(2).all(|p| p[0] <= p[1]));
         let last = *w.last().unwrap() as f64;
         assert!(last > 300.0 && last < 3000.0, "last wake {last}");
+    }
+
+    #[test]
+    fn bursts_group_evenly() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let w = WakePattern::Bursts { bursts: 3, gap: 50 }.generate(6, &mut rng);
+        assert_eq!(w, vec![0, 0, 50, 50, 100, 100]);
+        // Degenerate cases: one burst is synchronous; more bursts than
+        // nodes still yields one distinct slot per node.
+        let w = WakePattern::Bursts { bursts: 1, gap: 50 }.generate(4, &mut rng);
+        assert_eq!(w, vec![0; 4]);
+        let w = WakePattern::Bursts { bursts: 0, gap: 9 }.generate(3, &mut rng);
+        assert_eq!(w, vec![0; 3], "bursts clamps to 1");
     }
 
     #[test]

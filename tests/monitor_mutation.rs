@@ -1,0 +1,96 @@
+//! The acceptance loop of the monitor subsystem, end to end: seed a
+//! mutation into the protocol, let the online monitor catch it, shrink
+//! the failing configuration to a minimal repro, write it under
+//! `results/repros/`, read it back from disk, and replay it green —
+//! "green" meaning the violation is *still detected*.
+//!
+//! The copycat artifact written here is committed to the repository,
+//! so `tests/repro_corpus.rs` (and `ci.sh --repro-corpus`) replay it
+//! on every run; this test regenerating it keeps the committed bytes
+//! honest.
+
+use radio_graph::generators::special::path;
+use radio_sim::{ChannelSpec, Engine};
+use std::path::Path;
+use urn_coloring::{shrink, write_artifact, AlgorithmParams, MutationKind, ReproCase};
+
+/// The seeded configuration: a 4-node path with staggered wake-up and
+/// a lossy channel, so the shrinker has real work to do.
+fn seeded(mutation: MutationKind, label: &str) -> ReproCase {
+    let g = path(4);
+    ReproCase {
+        label: label.to_string(),
+        n: 4,
+        edges: g.edges().collect(),
+        wake: vec![0, 3, 6, 9],
+        seed: 42,
+        engine: Engine::Event,
+        channel: ChannelSpec::ProbabilisticLoss { p: 0.125 },
+        params: AlgorithmParams::practical(2, 3, 16),
+        mutation,
+        max_slots: 200_000,
+    }
+}
+
+#[test]
+fn copycat_mutation_caught_shrunk_written_and_replayed() {
+    let case = seeded(MutationKind::CopycatLeader, "seeded mutation copycat");
+
+    // 1. Caught: the monitor flags the run while it happens.
+    let violations = case.detect();
+    assert!(!violations.is_empty(), "monitor missed the copycat");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule()).collect();
+    assert!(
+        rules.contains(&"illegal-transition") || rules.contains(&"commit-conflict"),
+        "copycat should break the state machine or commit a conflict: {rules:?}"
+    );
+
+    // 2. Shrunk: down to the two-node essence (one honest leader, one
+    //    copycat) on the ideal channel with synchronous wake-up.
+    let small = shrink(&case);
+    assert!(small.fails(), "shrunk case must still fail");
+    assert!(small.n <= 2, "copycat needs two nodes, got {}", small.n);
+    assert_eq!(small.channel, ChannelSpec::Ideal);
+    assert_eq!(small.wake, vec![0; small.n]);
+
+    // 3. Written: artifact lands in the committed corpus directory.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("repros");
+    let artifact = write_artifact(&dir, &small).expect("write repro artifact");
+    assert_eq!(
+        artifact.file_name().and_then(|s| s.to_str()),
+        Some("seeded_mutation_copycat.json")
+    );
+
+    // 4. Replayed: reading the artifact back reproduces the case and
+    //    the violation.
+    let text = std::fs::read_to_string(&artifact).expect("read artifact back");
+    let reloaded = ReproCase::from_json(&text).expect("artifact parses");
+    assert_eq!(reloaded, small, "artifact must round-trip the case");
+    assert!(
+        !reloaded.detect().is_empty(),
+        "replay from disk must still trip the monitor"
+    );
+}
+
+#[test]
+fn lying_counter_mutation_caught_as_message_mismatch() {
+    let case = seeded(MutationKind::LyingCounter, "lying counter probe");
+    let violations = case.detect();
+    assert!(!violations.is_empty(), "monitor missed the lying counter");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule() == "message-state-mismatch"),
+        "a forged M_A counter is a message/state mismatch: {violations:?}"
+    );
+}
+
+#[test]
+fn honest_baseline_of_the_seeded_config_is_clean() {
+    // The violations above come from the mutation, not the setup: the
+    // same configuration without a mutation replays clean.
+    let case = seeded(MutationKind::None, "honest baseline");
+    assert!(case.detect().is_empty());
+}

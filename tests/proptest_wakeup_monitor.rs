@@ -1,0 +1,152 @@
+//! Property tests for wake-up patterns under the online invariant
+//! monitor: honest runs must be monitor-clean whatever the wake-up
+//! adversary does — simultaneous starts, staggered sequences, or
+//! adversarial bursts — across UDG, G(n,p) and special-structure
+//! graphs on both replay engines.
+//!
+//! On a failure the test does what the repro subsystem exists for:
+//! shrink the failing configuration to a minimal one and persist it
+//! under `results/repros/`, where the corpus runner
+//! (`tests/repro_corpus.rs`) will replay it forever after.
+
+use proptest::prelude::*;
+use radio_graph::generators::special::{complete, cycle, star};
+use radio_graph::generators::{build_udg, gnp, uniform_square};
+use radio_graph::Graph;
+use radio_sim::rng::node_rng;
+use radio_sim::{ChannelSpec, Engine, SimConfig, WakePattern};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::path::Path;
+use urn_coloring::{
+    color_graph, shrink, verify_outcome, write_artifact, AlgorithmParams, ColoringConfig,
+    ConflictEdge, InvariantViolation, MutationKind, ReproCase,
+};
+
+/// One of the graph families the paper's model covers, `n ≤ 12`.
+fn make_graph(family: usize, n: usize, seed: u64) -> Graph {
+    match family {
+        0 => {
+            // Sparse-ish geometric graph: the paper's main model.
+            let mut rng = node_rng(seed, 0x06D6);
+            let points = uniform_square(n, (n as f64).sqrt(), &mut rng);
+            build_udg(&points, 1.0)
+        }
+        1 => gnp(n, 0.4, &mut SmallRng::seed_from_u64(seed)),
+        2 => cycle(n),
+        3 => star(n),
+        _ => complete(n.min(6)),
+    }
+}
+
+/// The wake-up adversaries under test.
+fn make_wake(pattern: usize, n: usize, seed: u64) -> (WakePattern, Vec<u64>) {
+    let p = match pattern {
+        0 => WakePattern::Synchronous,
+        1 => WakePattern::UniformWindow { window: 400 },
+        2 => WakePattern::SequentialShuffled { gap: 150 },
+        _ => WakePattern::Bursts {
+            bursts: 3,
+            gap: 200,
+        },
+    };
+    let wake = p.generate(n, &mut node_rng(seed, 0x3A6E));
+    (p, wake)
+}
+
+/// Replays the configuration monitored; on a violation, shrinks it and
+/// writes a repro artifact before failing the property.
+fn assert_monitor_clean(case: ReproCase) -> Result<(), TestCaseError> {
+    let violations = case.detect();
+    if violations.is_empty() {
+        return Ok(());
+    }
+    let small = shrink(&case);
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("repros");
+    let artifact = write_artifact(&dir, &small);
+    prop_assert!(
+        false,
+        "honest run tripped the monitor: {violations:?}\nshrunk to {small:?}\nartifact: {artifact:?}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(28))]
+
+    /// Honest runs stay monitor-clean for every wake-up pattern ×
+    /// graph family × engine on the ideal channel.
+    #[test]
+    fn honest_runs_clean_for_all_wake_patterns(
+        family in 0usize..5,
+        pattern in 0usize..4,
+        n in 3usize..12,
+        engine_pick in 0usize..2,
+        seed in 0u64..100_000,
+    ) {
+        let graph = make_graph(family, n, seed);
+        let n = graph.len();
+        let (p, wake) = make_wake(pattern, n, seed);
+        let delta = graph.max_closed_degree().max(2);
+        let case = ReproCase {
+            label: format!("proptest wake {p:?} family {family} n {n} seed {seed}"),
+            n,
+            edges: graph.edges().collect(),
+            wake,
+            seed,
+            engine: [Engine::Event, Engine::Lockstep][engine_pick],
+            channel: ChannelSpec::Ideal,
+            params: AlgorithmParams::practical(2, delta, 16),
+            mutation: MutationKind::None,
+            max_slots: 400_000,
+        };
+        assert_monitor_clean(case)?;
+    }
+
+    /// Through a lossy channel the paper's guarantee genuinely erodes:
+    /// a lost `M_C` announcement can let two neighbors commit the same
+    /// class (E19 measures exactly this). The monitor's contract is
+    /// not "no violations" but *agreement* — every conflict in the
+    /// final coloring was caught at commit time, so the monitor's
+    /// commit-conflict set equals the post-hoc verifier's conflict set
+    /// (the shared [`ConflictEdge`] type makes them comparable), and
+    /// no *other* invariant breaks: loss removes receptions, it never
+    /// corrupts a node's own state machine.
+    #[test]
+    fn lossy_bursts_monitor_agrees_with_posthoc_verifier(
+        bursts in 2usize..5,
+        n in 3usize..10,
+        seed in 0u64..100_000,
+    ) {
+        let graph = make_graph(1, n, seed);
+        let n = graph.len();
+        let wake = WakePattern::Bursts { bursts, gap: 120 }
+            .generate(n, &mut node_rng(seed, 0xB57));
+        let delta = graph.max_closed_degree().max(2);
+        let params = AlgorithmParams::practical(2, delta, 16);
+        let mut config = ColoringConfig::new(params).with_monitor();
+        config.sim = SimConfig::with_max_slots(400_000)
+            .with_channel(ChannelSpec::ProbabilisticLoss { p: 0.15 });
+        let out = color_graph(&graph, &wake, &config, seed);
+        prop_assert!(out.error.is_none());
+
+        let mut monitor_conflicts: BTreeSet<ConflictEdge> = BTreeSet::new();
+        for v in &out.violations {
+            match v {
+                InvariantViolation::CommitConflict { edge, .. } => {
+                    monitor_conflicts.insert(*edge);
+                }
+                other => prop_assert!(
+                    false,
+                    "loss may cause conflicts but never {other:?}"
+                ),
+            }
+        }
+        let verdict = verify_outcome(&graph, &out, params.kappa2);
+        let posthoc: BTreeSet<ConflictEdge> = verdict.conflicts.iter().copied().collect();
+        prop_assert_eq!(monitor_conflicts, posthoc);
+    }
+}

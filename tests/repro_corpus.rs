@@ -1,0 +1,41 @@
+//! Corpus runner: replays every committed repro artifact under
+//! `results/repros/` and asserts each one still trips the invariant
+//! monitor. `ci.sh --repro-corpus` runs exactly this test.
+//!
+//! Every artifact is a shrunk failing configuration some earlier run
+//! caught (a seeded mutation, or an organic failure a property test
+//! shrank); replaying them is a regression net over both the protocol
+//! and the monitor — an artifact replaying *clean* means either the
+//! monitor lost a rule or the artifact went stale, and both deserve a
+//! red build.
+
+use std::path::Path;
+use urn_coloring::load_corpus;
+
+#[test]
+fn every_artifact_parses_and_still_trips_the_monitor() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("repros");
+    let corpus = load_corpus(&dir).expect("every corpus artifact must parse");
+    for (path, case) in &corpus {
+        let violations = case.detect();
+        assert!(
+            !violations.is_empty(),
+            "{} replayed clean — monitor regression or stale artifact",
+            path.display()
+        );
+        // Artifacts are written by `write_artifact`, so they round-trip.
+        assert_eq!(
+            urn_coloring::ReproCase::from_json(&case.to_json()).as_ref(),
+            Ok(case),
+            "{} does not round-trip",
+            path.display()
+        );
+    }
+    println!(
+        "replayed {} repro artifact(s) from {}",
+        corpus.len(),
+        dir.display()
+    );
+}
