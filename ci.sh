@@ -2,22 +2,40 @@
 # CI gate for the workspace. Run before pushing; the order goes from
 # cheapest to most expensive so failures surface fast.
 #
-#   ./ci.sh                # full gate: fmt, clippy, build, tests, perf smoke
+#   ./ci.sh                # full gate: lint, fmt, clippy, build, tests, perf smoke
 #   ./ci.sh --quick        # skip the release build and perf smoke
+#   ./ci.sh --no-lint      # skip the radio-lint static-analysis gate
 #   ./ci.sh --repro-corpus # only replay results/repros/ through the monitor
 set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
-[[ "${1:-}" == "--quick" ]] && quick=1
+lint=1
+repro_only=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        --no-lint) lint=0 ;;
+        --repro-corpus) repro_only=1 ;;
+        *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
+    esac
+done
 
-if [[ "${1:-}" == "--repro-corpus" ]]; then
+if [[ $repro_only -eq 1 ]]; then
     # Replay every shrunk failure artifact and assert the invariant
     # monitor still catches each one (see tests/repro_corpus.rs).
     echo "==> repro corpus replay"
     cargo test -q --test repro_corpus
     echo "Repro corpus replayed."
     exit 0
+fi
+
+# Determinism & protocol-conformance linter (crates/lint). Red on any
+# unwaived violation or on waiver-count drift; writes LINT.json with
+# the full diagnostic list next to the BENCH_sim.json perf artifact.
+if [[ $lint -eq 1 ]]; then
+    echo "==> radio-lint (static analysis gate)"
+    cargo run -q -p radio-lint --release -- --json LINT.json
 fi
 
 echo "==> cargo fmt --check"
@@ -30,7 +48,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p radio-graph -p radio-sim -p urn-coloring -p radio-baselines \
-    -p radio-bench -p unstructured-radio-coloring
+    -p radio-bench -p radio-lint -p unstructured-radio-coloring
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q

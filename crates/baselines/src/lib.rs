@@ -30,8 +30,6 @@
 //! assert!(check_coloring(&g, &colors).valid());
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod cole_vishkin;
 pub mod greedy;
 pub mod luby;

@@ -7,8 +7,6 @@
 //! end-to-end run per comparison. See DESIGN.md §3 for the experiment
 //! index and EXPERIMENTS.md for paper-vs-measured results.
 
-#![warn(missing_docs)]
-
 pub mod experiments;
 pub mod stats;
 pub mod table;

@@ -37,7 +37,7 @@ use crate::node::{ColoringNode, ObservedState};
 use crate::params::{AlgorithmParams, ResetPolicy};
 use radio_graph::{Graph, NodeId};
 use radio_sim::{InvariantMonitor, RadioProtocol, Slot, Violation, MAX_VIOLATIONS};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A monochromatic edge: both endpoints committed color class `color`.
 ///
@@ -233,7 +233,9 @@ struct Snapshot {
 /// Dedup key: one report per (node, failure mode); the first occurrence
 /// is the informative one, and bounded reporting keeps monitored runs
 /// deterministic and cheap even when a node is hopelessly broken.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// (`BTreeSet`-ordered: the monitor sits on the deterministic verdict
+/// path, where hash collections are banned — lint rule R2.)
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum DedupKey {
     Transition(NodeId, String, String),
     Message(NodeId, &'static str),
@@ -251,7 +253,7 @@ pub struct ColoringMonitor<'g> {
     seen: Vec<Option<Snapshot>>,
     colors: Vec<Option<u32>>,
     typed: Vec<InvariantViolation>,
-    dedup: HashSet<DedupKey>,
+    dedup: BTreeSet<DedupKey>,
 }
 
 impl<'g> ColoringMonitor<'g> {
@@ -262,7 +264,7 @@ impl<'g> ColoringMonitor<'g> {
             seen: vec![None; graph.len()],
             colors: vec![None; graph.len()],
             typed: Vec::new(),
-            dedup: HashSet::new(),
+            dedup: BTreeSet::new(),
         }
     }
 
@@ -324,6 +326,8 @@ impl<'g> ColoringMonitor<'g> {
             m.illegal(node, slot, prev.state.tag(), to);
         };
         match (&prev.state, cur) {
+            // transition: VerifyWaiting -> VerifyWaiting, VerifyWaiting -> VerifyActive,
+            // transition: VerifyActive -> VerifyActive, VerifyActive -> VerifyWaiting
             (
                 S::Verify {
                     class: c1,
@@ -384,11 +388,13 @@ impl<'g> ColoringMonitor<'g> {
                     bad(self, "");
                 }
             }
+            // transition: VerifyWaiting -> Request, VerifyActive -> Request
             (S::Verify { class, .. }, S::Request { .. }) => {
                 if *class != 0 {
                     bad(self, "only A_0 may move to R");
                 }
             }
+            // transition: VerifyActive -> Colored
             (
                 S::Verify {
                     class: c1,
@@ -418,6 +424,7 @@ impl<'g> ColoringMonitor<'g> {
                     }
                 }
             }
+            // transition: VerifyActive -> Leader
             (
                 S::Verify {
                     class,
@@ -444,11 +451,13 @@ impl<'g> ColoringMonitor<'g> {
                     }
                 }
             }
+            // transition: Request -> Request
             (S::Request { leader: l1 }, S::Request { leader: l2 }) => {
                 if l1 != l2 {
                     bad(self, "a requester never changes leader");
                 }
             }
+            // transition: Request -> VerifyWaiting
             (
                 S::Request { .. },
                 S::Verify {
@@ -468,7 +477,9 @@ impl<'g> ColoringMonitor<'g> {
                     bad(self, "fresh instance must start with no competitors");
                 }
             }
+            // transition: Colored -> Colored
             (S::Colored { class: c1 }, S::Colored { class: c2 }) if c1 == c2 => {}
+            // transition: Leader -> Leader
             (S::Leader { tc: t1, .. }, S::Leader { tc: t2, .. }) => {
                 if t2 < t1 {
                     bad(self, "intra-cluster color counter went backwards");
@@ -538,6 +549,7 @@ impl<'g> ColoringMonitor<'g> {
 impl<P: ObservableColoring> InvariantMonitor<P> for ColoringMonitor<'_> {
     fn after_wake(&mut self, node: NodeId, slot: Slot, proto: &P) {
         let cur = proto.observe(slot);
+        // transition: Wake -> VerifyWaiting
         if !matches!(
             cur,
             ObservedState::Verify {

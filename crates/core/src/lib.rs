@@ -38,11 +38,10 @@
 //! | messages `M_A^i`, `M_C^i`, `M_C^0(v,w,tc)`, `M_R` | [`messages`] |
 //! | reset target `χ(P_v)` (Alg. 1 line 15) | [`chi`] |
 //! | Algorithms 1–3 state machine | [`node`] |
+//! | Fig. 2 legal edge set, as data | [`transitions`] |
 //! | one-call runner | [`run`] |
 //! | Theorems 2/4/5 + Corollary 1 checks | [`verify`] |
 //! | TDMA application (Sect. 1) | [`tdma`] |
-
-#![warn(missing_docs)]
 
 pub mod chi;
 pub mod estimate;
@@ -54,6 +53,7 @@ pub mod params;
 pub mod repro;
 pub mod run;
 pub mod tdma;
+pub mod transitions;
 pub mod verify;
 
 pub use estimate::{AdaptiveNode, DegreeEstimator, EstimatorParams};
@@ -65,4 +65,5 @@ pub use params::{AlgorithmParams, ResetPolicy};
 pub use repro::{load_corpus, shrink, write_artifact, ReproCase};
 pub use run::{color_graph, ColoringConfig, ColoringOutcome, IdAssignment};
 pub use tdma::{compare_with_distance2, ScheduleComparison, TdmaSchedule};
+pub use transitions::{Transition, LEGAL_TRANSITIONS};
 pub use verify::{verify_outcome, Verdict};

@@ -234,9 +234,10 @@ impl ColoringNode {
             State::Request { leader } => ObservedState::Request { leader: *leader },
             State::Colored { class } => ObservedState::Colored { class: *class },
             State::Leader(ls) => ObservedState::Leader {
-                serving: ls
-                    .serving
-                    .map(|tc| (*ls.queue.front().expect("serving implies a queue head"), tc)),
+                // An open serve window implies a queue head; observing
+                // the (unreachable) contradiction as "not serving" keeps
+                // this panic-free.
+                serving: ls.serving.and_then(|tc| ls.queue.front().map(|&w| (w, tc))),
                 tc: ls.tc,
                 queued: ls.queue.len(),
             },
@@ -247,6 +248,8 @@ impl ColoringNode {
     /// at slot `start`. Returns the waiting behavior.
     fn enter_verify(&mut self, class: u32, start: Slot) -> Behavior {
         self.trace.states_entered += 1;
+        // transition: Wake -> VerifyWaiting, VerifyWaiting -> VerifyWaiting,
+        // transition: VerifyActive -> VerifyWaiting, Request -> VerifyWaiting
         self.state = State::Verify {
             class,
             phase: VerifyPhase::Waiting,
@@ -294,6 +297,7 @@ impl ColoringNode {
     fn decide(&mut self, class: u32, now: Slot) -> Behavior {
         self.decided = Some(class);
         if class == 0 {
+            // transition: VerifyActive -> Leader
             self.state = State::Leader(LeaderState::default());
             // Idle leader: beacon M_C^0(v) with probability 1/κ₂.
             Behavior::Transmit {
@@ -301,6 +305,7 @@ impl ColoringNode {
                 until: None,
             }
         } else {
+            // transition: VerifyActive -> Colored
             self.state = State::Colored { class };
             // Paper: announce until the protocol is stopped. The
             // finite-window ablation stops after `announce_slots`.
@@ -335,6 +340,7 @@ impl RadioProtocol for ColoringNode {
                 let x = chi(&Self::competitor_values(competitors, now), range);
                 // First active slot is `now`: c(now) = χ + 1.
                 *anchor = now as i64 - x - 1;
+                // transition: VerifyWaiting -> VerifyActive
                 *phase = VerifyPhase::Active;
                 let a = *anchor;
                 self.active_behavior(a)
@@ -350,6 +356,7 @@ impl RadioProtocol for ColoringNode {
             }
             State::Leader(ls) => {
                 // Serve window over: drop the head, move on (Alg. 3 l.21).
+                // transition: Leader -> Leader
                 debug_assert!(ls.serving.is_some(), "leader deadline implies open window");
                 ls.queue.pop_front();
                 if ls.queue.is_empty() {
@@ -373,6 +380,9 @@ impl RadioProtocol for ColoringNode {
                 debug_assert!(self.params.announce_slots.is_some());
                 Behavior::Silent { until: None }
             }
+            // `R` runs `Behavior::Transmit { until: None }`: the engine
+            // contract guarantees no deadline can fire here.
+            // lint:allow(no-panic): state R sets no deadline; reaching this is an engine defect, not recoverable protocol state
             State::Request { .. } => unreachable!("state R sets no deadline"),
         }
     }
@@ -393,6 +403,9 @@ impl RadioProtocol for ColoringNode {
                 phase: VerifyPhase::Waiting,
                 ..
             } => {
+                // Waiting nodes run `Behavior::Silent`; the engines only
+                // call `message` on transmitting nodes.
+                // lint:allow(no-panic): waiting nodes are silent; the engine never requests a message from them
                 unreachable!("waiting nodes are silent")
             }
             State::Request { leader } => ColoringMsg::Request {
@@ -403,13 +416,16 @@ impl RadioProtocol for ColoringNode {
                 class: *class,
                 sender: self.id,
             },
-            State::Leader(ls) => match ls.serving {
-                Some(tc) => ColoringMsg::Assign {
+            // An open serve window implies a queue head; if the
+            // (unreachable) contradiction ever arose, the idle beacon is
+            // the panic-free message a leader is always entitled to.
+            State::Leader(ls) => match (ls.serving, ls.queue.front()) {
+                (Some(tc), Some(&to)) => ColoringMsg::Assign {
                     leader: self.id,
-                    to: *ls.queue.front().expect("serving implies non-empty queue"),
+                    to,
                     tc,
                 },
-                None => ColoringMsg::Decided {
+                _ => ColoringMsg::Decided {
                     class: 0,
                     sender: self.id,
                 },
@@ -490,6 +506,7 @@ impl RadioProtocol for ColoringNode {
                     };
                     // The new value holds "at slot now"; the next slot
                     // increments it: c(now+1) = χ + 1 ⇒ anchor = now − χ.
+                    // transition: VerifyActive -> VerifyActive
                     *anchor = now as i64 - new_counter;
                     Act::Reset(*anchor)
                 } else {
@@ -530,6 +547,7 @@ impl RadioProtocol for ColoringNode {
         Some(match act {
             Act::ToRequest(w) => {
                 self.trace.leader_id = Some(w);
+                // transition: VerifyWaiting -> Request, VerifyActive -> Request
                 self.state = State::Request { leader: w };
                 Behavior::Transmit {
                     p: self.params.p_active(),

@@ -131,9 +131,11 @@ impl ColoringOutcome {
     /// with leader node `w`; `None` for leaders themselves (and for
     /// undecided nodes in aborted runs).
     pub fn clusters(&self) -> Vec<Option<NodeId>> {
-        // Protocol IDs are unique; build the reverse map once.
-        let mut by_id: std::collections::HashMap<ProtoId, NodeId> =
-            std::collections::HashMap::with_capacity(self.ids.len());
+        // Protocol IDs are unique; build the reverse map once. (BTreeMap
+        // keeps every collection on the outcome path hash-order-free —
+        // lint rule R2.)
+        let mut by_id: std::collections::BTreeMap<ProtoId, NodeId> =
+            std::collections::BTreeMap::new();
         for (v, &id) in self.ids.iter().enumerate() {
             by_id.insert(id, v as NodeId);
         }

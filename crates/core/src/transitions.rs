@@ -1,0 +1,109 @@
+//! The legal state-transition table of the coloring state machine —
+//! Fig. 2 of the paper, as data.
+//!
+//! [`LEGAL_TRANSITIONS`] is the single source of truth for which moves
+//! the Algorithm 1–3 state machine may make. Three places must agree
+//! with it, and `radio-lint` rule **R5** (`transition-table`) enforces
+//! the agreement statically:
+//!
+//! 1. **This table.** Each entry is an `(from, to)` edge over the
+//!    observation-level state tags below.
+//! 2. **The implementation** ([`crate::node`]): every site that
+//!    assigns `self.state` or flips the verification phase carries a
+//!    `// transition: A -> B` marker comment, and every marked edge
+//!    must be in this table.
+//! 3. **The monitor** ([`crate::invariants`]): every legality arm of
+//!    `ColoringMonitor::check_transition` carries the same markers, and
+//!    every edge in this table must be adjudicated by some arm — so the
+//!    monitor can never silently drop a rule the implementation relies
+//!    on, and the implementation can never grow a move the monitor
+//!    does not know.
+//!
+//! # State tags
+//!
+//! | tag | meaning |
+//! |---|---|
+//! | `Wake` | pseudo-state before `on_wake` ran |
+//! | `VerifyWaiting` | `A_i`, passive waiting phase (Alg. 1 lines 4–14) |
+//! | `VerifyActive` | `A_i`, competing phase (Alg. 1 lines 16–31) |
+//! | `Request` | `R`, requesting an intra-cluster color (Alg. 2) |
+//! | `Colored` | `C_i`, `i > 0` |
+//! | `Leader` | `C_0` (Alg. 3, `i = 0` branch) |
+//!
+//! Self-edges (`Request -> Request`, …) cover repeated observations of
+//! an unchanged state and in-state bookkeeping (counter ticks, χ-resets,
+//! leader queue operations); they are legal moves of the *observed*
+//! machine even where the implementation has no assignment site.
+
+/// One legal edge of the observed state machine.
+pub type Transition = (&'static str, &'static str);
+
+/// The Fig. 2 edge set over the observation-level state tags (see the
+/// module docs). Checked statically by `radio-lint` R5 against both
+/// [`crate::node`] and [`crate::invariants`], and at run time by
+/// [`crate::invariants::ColoringMonitor`].
+pub const LEGAL_TRANSITIONS: &[Transition] = &[
+    // on_wake: fresh nodes enter A_0's waiting phase.
+    ("Wake", "VerifyWaiting"),
+    // Idle re-observation, and A_i -> A_{i+1} on M_C^i evidence
+    // (Alg. 1 lines 10-13): a fresh instance starts waiting again.
+    ("VerifyWaiting", "VerifyWaiting"),
+    // Waiting window over: become active with c = chi + 1 (line 15).
+    ("VerifyWaiting", "VerifyActive"),
+    // Counter tick / chi-reset within one active instance (line 29).
+    ("VerifyActive", "VerifyActive"),
+    // A_i(active) -> A_{i+1} on M_C^i evidence (lines 23-26).
+    ("VerifyActive", "VerifyWaiting"),
+    // A_0 heard leader evidence: request an intra-cluster color.
+    ("VerifyWaiting", "Request"),
+    ("VerifyActive", "Request"),
+    // Threshold crossed: commit (Lemma 8/9 commit rule).
+    ("VerifyActive", "Colored"),
+    ("VerifyActive", "Leader"),
+    // Requesting is stable until the assignment arrives.
+    ("Request", "Request"),
+    // Assigned tc: verify class tc * (kappa_2 + 1) (Alg. 2 line 4).
+    ("Request", "VerifyWaiting"),
+    // Committed states never change.
+    ("Colored", "Colored"),
+    ("Leader", "Leader"),
+];
+
+/// `true` if `from -> to` is a legal edge.
+pub fn is_legal(from: &str, to: &str) -> bool {
+    LEGAL_TRANSITIONS.iter().any(|&(f, t)| f == from && t == to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_no_duplicates() {
+        for (i, a) in LEGAL_TRANSITIONS.iter().enumerate() {
+            for b in &LEGAL_TRANSITIONS[i + 1..] {
+                assert_ne!(a, b, "duplicate edge {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn commits_only_from_active_phase() {
+        // The Lemma 8/9 commit rule: no edge reaches a committed state
+        // except from the active (competing) phase.
+        for &(from, to) in LEGAL_TRANSITIONS {
+            if (to == "Colored" || to == "Leader") && from != to {
+                assert_eq!(from, "VerifyActive", "illegal commit edge {from} -> {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_legal_matches_table() {
+        assert!(is_legal("Wake", "VerifyWaiting"));
+        assert!(is_legal("Request", "VerifyWaiting"));
+        assert!(!is_legal("VerifyWaiting", "Colored"));
+        assert!(!is_legal("Colored", "VerifyWaiting"));
+        assert!(!is_legal("Leader", "Colored"));
+    }
+}

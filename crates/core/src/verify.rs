@@ -144,7 +144,7 @@ fn check_clusters(graph: &Graph, outcome: &ColoringOutcome) -> bool {
     }
     let clusters = outcome.clusters();
     let mut size = vec![0usize; graph.len()];
-    let mut seen_tc: std::collections::HashSet<(NodeId, u32)> = std::collections::HashSet::new();
+    let mut seen_tc: std::collections::BTreeSet<(NodeId, u32)> = std::collections::BTreeSet::new();
     for v in graph.nodes() {
         match clusters[v as usize] {
             None => {

@@ -27,8 +27,6 @@
 //! assert!(k.k1 <= 5 && k.k2 <= 18); // UDG packing bounds (paper Sect. 2)
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod analysis;
 pub mod bitset;
 pub mod generators;

@@ -1,0 +1,469 @@
+//! A minimal hand-written Rust token scanner.
+//!
+//! The build container has no registry access, so `radio-lint` cannot
+//! use `syn` or `dylint`; every rule in [`crate::rules`] works on the
+//! flat token stream this module produces. The scanner understands
+//! exactly as much Rust as the rules need:
+//!
+//! * line and (nested) block comments, kept as tokens — waivers and
+//!   transition markers live in comments;
+//! * string / raw-string / byte-string / char literals (so braces and
+//!   `//` inside literals cannot confuse brace matching or rules);
+//! * lifetimes vs. char literals;
+//! * identifiers, numbers, and single-character punctuation;
+//! * 1-based line numbers on every token.
+//!
+//! It does **not** build a syntax tree; rules pattern-match short token
+//! sequences (e.g. `.` `unwrap` `(`) and balance brackets where needed.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (the character is
+    /// [`Tok::text`]'s only byte).
+    Punct(char),
+    /// String literal (text = the *inner* contents, escapes unresolved).
+    Str,
+    /// Char literal (text = raw inner contents).
+    Char,
+    /// Lifetime such as `'g` (text = the name, without the quote).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Comment, line or block (text = full comment including markers).
+    Comment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (see [`TokKind`] for what exactly is stored).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenizes `src`. Unknown bytes are skipped (the linter must never
+/// panic on weird input — fixtures deliberately contain broken code).
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            line += count_lines(&b[start..i]);
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# (any # count).
+        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                let start_line = line;
+                j += 1;
+                let content_start = j;
+                'raw: while j < n {
+                    if b[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                let content: String = b[content_start..j.min(n)].iter().collect();
+                line += count_lines(&b[i..(j + 1 + hashes).min(n)]);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = (j + 1 + hashes).min(n);
+                continue;
+            }
+            // Not a raw string: fall through to identifier handling.
+        }
+        // Plain / byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start_line = line;
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let content_start = j;
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    break;
+                }
+                j += 1;
+            }
+            let content: String = b[content_start..j.min(n)].iter().collect();
+            line += count_lines(&b[i..(j + 1).min(n)]);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: content,
+                line: start_line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Lifetimes and char literals.
+        if c == '\'' {
+            // `'ident` not followed by a closing quote is a lifetime.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j > i + 1 {
+                    // 'a' — a char literal of one ident char.
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: scan to closing quote.
+            let mut j = i + 1;
+            while j < n && b[j] != '\'' {
+                if b[j] == '\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: b[i + 1..j.min(n)].iter().collect(),
+                line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numbers (rough: good enough to keep them out of ident rules).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let in_literal = b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit());
+                if !in_literal {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Removes `#[cfg(test)]`- and `#[test]`-guarded items from the token
+/// stream (the item the attribute is attached to, brace-balanced), so
+/// rules only see shipping code. Comments inside removed regions are
+/// dropped too — waivers and markers in test code do not count.
+pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(attr_end) = match_test_attr(toks, i) {
+            // Skip any further attributes, then the guarded item.
+            let mut j = attr_end;
+            while let Some(e) = match_attr(toks, j) {
+                j = e;
+            }
+            i = skip_item(toks, j);
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// If `toks[i..]` starts a `#[...]` attribute whose bracket group
+/// contains the identifier `test`, returns the index one past `]`.
+fn match_test_attr(toks: &[Tok], i: usize) -> Option<usize> {
+    let end = match_attr(toks, i)?;
+    let has_test = toks[i..end].iter().any(|t| t.is_ident("test"));
+    has_test.then_some(end)
+}
+
+/// If `toks[i..]` starts any `#[...]` attribute, returns the index one
+/// past the closing `]`.
+fn match_attr(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i)?.is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skips one item starting at `i`: either up to and including a `;` at
+/// top level (e.g. `use ...;`), or through the first brace-balanced
+/// `{...}` block (e.g. `mod tests { ... }`, `fn x() { ... }`).
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct(';') if paren == 0 => return j + 1,
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct('{') => {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return j + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return j;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Finds the brace-balanced body of the function whose `fn` keyword is
+/// at token index `fn_idx`; returns `(open, close)` token indices of
+/// the `{` and matching `}`.
+pub fn fn_body(toks: &[Tok], fn_idx: usize) -> Option<(usize, usize)> {
+    let mut j = fn_idx;
+    // Scan to the opening `{` of the body (signatures contain no `{`).
+    while j < toks.len() && !toks[j].is_punct('{') {
+        j += 1;
+    }
+    let open = j;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, j));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = tokenize("let x = 1;\nx.unwrap()");
+        assert!(toks[0].is_ident("let"));
+        assert_eq!(toks[0].line, 1);
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = tokenize("f(\"HashMap // not a comment\")");
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Comment));
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "HashMap // not a comment");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = tokenize(r####"let a = r#"x "quoted" y"#; let b = "a\"b";"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r#"x "quoted" y"#, r#"a\"b"#]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = tokenize("fn f<'g>(x: &'g str) { let c = 'g'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = tokenize("a /* x /* y */ z */ b");
+        assert!(toks[0].is_ident("a"));
+        assert_eq!(toks[1].kind, TokKind::Comment);
+        assert!(toks[2].is_ident("b"));
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_mod() {
+        let src = "fn keep() {}\n#[cfg(test)]\nmod tests {\n fn gone() { x.unwrap(); }\n}\nfn also_kept() {}";
+        let toks = strip_test_code(&tokenize(src));
+        assert!(toks.iter().any(|t| t.is_ident("keep")));
+        assert!(toks.iter().any(|t| t.is_ident("also_kept")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn strip_removes_test_fn_with_extra_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn boom() { panic!() }\nfn keep() {}";
+        let toks = strip_test_code(&tokenize(src));
+        assert!(!toks.iter().any(|t| t.is_ident("boom")));
+        assert!(toks.iter().any(|t| t.is_ident("keep")));
+    }
+
+    #[test]
+    fn strip_handles_guarded_use() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn keep() {}";
+        let toks = strip_test_code(&tokenize(src));
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.is_ident("keep")));
+    }
+
+    #[test]
+    fn fn_body_brackets() {
+        let toks = tokenize("fn f(a: u32) -> bool { if a > { 1 } { true } else { false } }");
+        let fn_idx = toks.iter().position(|t| t.is_ident("fn")).unwrap();
+        let (open, close) = fn_body(&toks, fn_idx).unwrap();
+        assert!(toks[open].is_punct('{'));
+        assert_eq!(close, toks.len() - 1);
+    }
+}

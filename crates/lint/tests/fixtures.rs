@@ -1,0 +1,72 @@
+//! Runs the linter over the red/green fixture corpora under
+//! `tests/fixtures/` and pins the exact per-rule outcome. Each rule
+//! R1–R5 has at least one red (violations) and one green (clean)
+//! fixture; the corpora mirror real workspace-relative paths so the
+//! scope logic in `run_lint` is exercised identically.
+
+use radio_lint::{run_lint, Rule};
+use std::path::PathBuf;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn count(report: &radio_lint::Report, rule: Rule) -> usize {
+    report.violations.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn clean_corpus_is_green() {
+    let report = run_lint(&fixture_root("clean")).expect("scan clean corpus");
+    assert_eq!(
+        report.violations.len(),
+        0,
+        "clean corpus must be violation-free, got: {:#?}",
+        report.violations
+    );
+    // The one deliberate, justified waiver in `engine/good.rs` — it
+    // both proves waiver application suppresses a real finding and
+    // that waivers are counted.
+    assert_eq!(report.waivers.len(), 1);
+    assert_eq!(report.waivers[0].rule, Rule::NoPanic);
+}
+
+#[test]
+fn violation_corpus_is_red_per_rule() {
+    let report = run_lint(&fixture_root("violations")).expect("scan violation corpus");
+    // R1: `Instant` (use + call site) and `thread_rng` (call + def).
+    assert_eq!(count(&report, Rule::AmbientTimeRng), 4);
+    // R2: `HashMap` x2 and `HashSet` x2 in `hashy.rs`.
+    assert_eq!(count(&report, Rule::HashIteration), 4);
+    // R3: unwrap, expect, panic!, unreachable! in `engine/panicky.rs`.
+    assert_eq!(count(&report, Rule::NoPanic), 4);
+    // R4: missing sibling, non-delegating plain fn, sibling missing
+    // the monitor hook, sibling missing the channel hook.
+    assert_eq!(count(&report, Rule::HookParity), 4);
+    // R5: unmarked assignment + illegal node edge + malformed marker,
+    // illegal monitor edge, unadjudicated table edge, duplicate entry.
+    assert_eq!(count(&report, Rule::TransitionTable), 6);
+    // W0: unknown rule name, missing justification.
+    assert_eq!(count(&report, Rule::WaiverSyntax), 2);
+    // Malformed waivers never count as waivers.
+    assert_eq!(report.waivers.len(), 0);
+}
+
+#[test]
+fn diagnostics_are_sorted_and_carry_locations() {
+    let report = run_lint(&fixture_root("violations")).expect("scan violation corpus");
+    let keys: Vec<_> = report
+        .violations
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostics must be reported in sorted order");
+    for d in &report.violations {
+        assert!(d.file.starts_with("crates/"), "workspace-relative: {d}");
+        assert!(d.line >= 1, "1-based lines: {d}");
+    }
+}

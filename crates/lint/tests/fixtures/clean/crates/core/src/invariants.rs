@@ -1,0 +1,12 @@
+//! Green fixture: the monitor adjudicates every edge of the table.
+
+/// Returns `true` for the legal edges of the toy machine.
+pub fn legal(from: &str, to: &str) -> bool {
+    match (from, to) {
+        // transition: Idle -> Busy
+        ("Idle", "Busy") => true,
+        // transition: Busy -> Idle
+        ("Busy", "Idle") => true,
+        _ => false,
+    }
+}

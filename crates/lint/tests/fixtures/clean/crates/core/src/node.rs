@@ -1,0 +1,39 @@
+//! Green fixture: every state assignment carries a marker whose edges
+//! are in the table; hash types appear only under `#[cfg(test)]`.
+
+use std::collections::BTreeMap;
+
+/// Toy two-state machine.
+pub struct Node {
+    /// Current state tag.
+    pub state: &'static str,
+    /// Deterministic bookkeeping (BTree, not Hash).
+    pub seen: BTreeMap<u32, u32>,
+}
+
+impl Node {
+    /// Fires the only legal forward edge.
+    pub fn start(&mut self) {
+        // transition: Idle -> Busy
+        self.state = "Busy";
+    }
+
+    /// Fires the only legal backward edge.
+    pub fn finish(&mut self) {
+        // transition: Busy -> Idle
+        self.state = "Idle";
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Hash iteration and unwraps are fine in test code: the linter
+    // strips `#[cfg(test)]` items before any rule runs.
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_ok_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.get(&0).is_none());
+    }
+}

@@ -1,0 +1,8 @@
+//! Green fixture for R5: a two-edge table, fully mirrored by the
+//! markers in the fixture `node.rs` and `invariants.rs`.
+
+/// A state-machine edge.
+pub type Transition = (&'static str, &'static str);
+
+/// The legal edges of the toy fixture machine.
+pub const LEGAL_TRANSITIONS: &[Transition] = &[("Idle", "Busy"), ("Busy", "Idle")];

@@ -1,0 +1,22 @@
+//! Green fixture for R3 + R4: a panic-free engine with hook parity,
+//! plus one justified waiver proving waiver application works.
+
+/// Plain entry point: delegates to the monitored sibling.
+pub fn run_good(slots: u64) -> u64 {
+    run_good_monitored(slots, &mut (), &mut ())
+}
+
+/// Monitored sibling: threads both hook layers.
+pub fn run_good_monitored(slots: u64, monitor: &mut (), channel: &mut ()) -> u64 {
+    let _ = (monitor, channel);
+    let mut done = 0u64;
+    for s in 0..slots {
+        let Some(next) = s.checked_add(1) else {
+            debug_assert!(false, "slot counter overflow");
+            continue;
+        };
+        done = next;
+    }
+    // lint:allow(no-panic): fixture exercises waiver application end-to-end
+    done.checked_mul(1).unwrap()
+}

@@ -1,0 +1,16 @@
+//! Red fixture for R2: hash-ordered collections in a deterministic
+//! path, plus malformed waivers for the waiver-syntax meta rule.
+
+use std::collections::HashMap;
+
+/// Sums values in hash-iteration order (seed-dependent!).
+pub fn sum(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+
+// lint:allow(not-a-rule): unknown rules must be rejected
+// lint:allow(hash-iteration)
+/// The waivers above are malformed; neither suppresses anything.
+pub fn also_bad() -> std::collections::HashSet<u32> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,16 @@
+//! Red fixture for R5 (monitor side): covers two of the three distinct
+//! table edges (`Busy -> Done` is left unadjudicated) and claims one
+//! edge the table does not contain.
+
+/// Legality oracle missing the `Busy -> Done` arm.
+pub fn legal(from: &str, to: &str) -> bool {
+    match (from, to) {
+        // transition: Idle -> Busy
+        ("Idle", "Busy") => true,
+        // transition: Busy -> Idle
+        ("Busy", "Idle") => true,
+        // transition: Busy -> Gone
+        ("Busy", "Gone") => true,
+        _ => false,
+    }
+}

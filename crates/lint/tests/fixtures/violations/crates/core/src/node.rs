@@ -1,0 +1,24 @@
+//! Red fixture for R5 (implementation side): an unmarked state
+//! assignment, a marker claiming an edge the table does not allow,
+//! and a malformed marker.
+
+// transition: not an edge list
+
+/// Toy machine with R5 violations.
+pub struct Node {
+    /// Current state tag.
+    pub state: &'static str,
+}
+
+impl Node {
+    /// Assignment with no transition marker anywhere near it.
+    pub fn sneaky(&mut self) {
+        self.state = "Busy";
+    }
+
+    /// Marker present, but the edge is not in `LEGAL_TRANSITIONS`.
+    pub fn illegal(&mut self) {
+        // transition: Done -> Idle
+        self.state = "Idle";
+    }
+}

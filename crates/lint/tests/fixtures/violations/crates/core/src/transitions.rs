@@ -1,0 +1,13 @@
+//! Red fixture for R5 (table side): one duplicate entry, and one edge
+//! (`Busy -> Done`) no monitor arm adjudicates.
+
+/// A state-machine edge.
+pub type Transition = (&'static str, &'static str);
+
+/// The legal edges of the broken fixture machine.
+pub const LEGAL_TRANSITIONS: &[Transition] = &[
+    ("Idle", "Busy"),
+    ("Busy", "Idle"),
+    ("Busy", "Done"),
+    ("Idle", "Busy"),
+];

@@ -1,0 +1,19 @@
+//! Red fixture for R1: ambient time and RNG in library code.
+
+use std::time::Instant;
+
+/// Times a closure with wall-clock time (nondeterministic!).
+pub fn timed<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+/// Draws from the ambient thread RNG (unseeded, unreplayable).
+pub fn ambient_draw() -> u64 {
+    thread_rng()
+}
+
+fn thread_rng() -> u64 {
+    0
+}

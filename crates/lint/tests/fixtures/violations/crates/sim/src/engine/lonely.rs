@@ -1,0 +1,16 @@
+//! Red fixture for R4: hook-parity violations three ways.
+
+/// No `run_orphan_monitored` sibling exists at all.
+pub fn run_orphan(slots: u64) -> u64 {
+    slots
+}
+
+/// Has a sibling but reimplements the loop instead of delegating.
+pub fn run_fork(slots: u64) -> u64 {
+    slots + 1
+}
+
+/// Sibling that threads neither hook.
+pub fn run_fork_monitored(slots: u64) -> u64 {
+    slots + 1
+}

@@ -1,0 +1,14 @@
+//! Red fixture for R3: panic paths in an engine hot loop.
+
+/// Pops until empty, panicking on the way.
+pub fn drain(mut v: Vec<u32>) -> u32 {
+    let first = v.pop().unwrap();
+    let second = v.pop().expect("second element");
+    if first > second {
+        panic!("out of order");
+    }
+    match first {
+        0 => first,
+        _ => unreachable!("only zero reaches here"),
+    }
+}

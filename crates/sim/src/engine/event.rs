@@ -22,12 +22,18 @@ use rand::rngs::SmallRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Event kinds, ordered by intra-slot processing priority.
-const KIND_WAKE: u8 = 0;
-const KIND_DEADLINE: u8 = 1;
-const KIND_TX: u8 = 2;
+/// Event kinds, ordered by intra-slot processing priority (the derived
+/// `Ord` matches declaration order, so wake-ups run before deadlines
+/// before transmissions — the same total order the previous `u8`
+/// encoding produced, but with an exhaustive `match`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Wake,
+    Deadline,
+    Tx,
+}
 
-type HeapEvent = Reverse<(Slot, u8, NodeId, u32)>;
+type HeapEvent = Reverse<(Slot, EventKind, NodeId, u32)>;
 
 struct NodeRec {
     behavior: Option<Behavior>,
@@ -91,7 +97,7 @@ pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
     let mut heap: BinaryHeap<HeapEvent> = wake
         .iter()
         .enumerate()
-        .map(|(v, &w)| Reverse((w, KIND_WAKE, v as NodeId, 0)))
+        .map(|(v, &w)| Reverse((w, EventKind::Wake, v as NodeId, 0)))
         .collect();
 
     let mut kernel = DeliveryKernel::new(n);
@@ -116,11 +122,11 @@ pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
         let rec = &recs[v as usize];
         let Some(b) = rec.behavior else { return };
         if let Some(u) = b.until() {
-            heap.push(Reverse((u, KIND_DEADLINE, v, rec.gen)));
+            heap.push(Reverse((u, EventKind::Deadline, v, rec.gen)));
         }
         if let Behavior::Transmit { p, .. } = b {
             let next = from.saturating_add(geometric_failures(p, &mut rngs[v as usize]));
-            heap.push(Reverse((next, KIND_TX, v, rec.gen)));
+            heap.push(Reverse((next, EventKind::Tx, v, rec.gen)));
         }
     }
 
@@ -143,7 +149,7 @@ pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
             heap.pop();
             let vi = v as usize;
             match kind {
-                KIND_WAKE => {
+                EventKind::Wake => {
                     let b = protocols[vi].on_wake(slot, &mut rngs[vi]);
                     if let Err(fault) = b.validate_at(slot) {
                         error = Some(ProtocolError {
@@ -164,7 +170,7 @@ pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
                         monitor.on_decided(v, slot, &protocols[vi]);
                     }
                 }
-                KIND_DEADLINE => {
+                EventKind::Deadline => {
                     if gen != recs[vi].gen {
                         continue; // stale
                     }
@@ -188,7 +194,7 @@ pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
                         monitor.on_decided(v, slot, &protocols[vi]);
                     }
                 }
-                KIND_TX => {
+                EventKind::Tx => {
                     if gen != recs[vi].gen {
                         continue; // stale
                     }
@@ -201,10 +207,9 @@ pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
                     // Next transmission of the same segment.
                     if let Some(Behavior::Transmit { p, .. }) = recs[vi].behavior {
                         let next = (slot + 1).saturating_add(geometric_failures(p, &mut rngs[vi]));
-                        heap.push(Reverse((next, KIND_TX, v, gen)));
+                        heap.push(Reverse((next, EventKind::Tx, v, gen)));
                     }
                 }
-                _ => unreachable!("unknown event kind"),
             }
         }
 
@@ -224,7 +229,14 @@ pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
             }
             match channel.decide(&kernel.contention(u, slot)) {
                 Reception::Deliver(w) => {
-                    let msg = air[w as usize].clone().expect("transmitter has a message");
+                    // The kernel only reports transmitters, and every
+                    // transmitter parked its message in `air` this slot;
+                    // a missing one would be an engine defect, so skip
+                    // the delivery rather than panic on the hot path.
+                    let Some(msg) = air[w as usize].clone() else {
+                        debug_assert!(false, "transmitter {w} has no message");
+                        continue;
+                    };
                     stats[ui].received += 1;
                     if let Some(nb) = protocols[ui].on_receive(slot, &msg, &mut rngs[ui]) {
                         if let Err(fault) = nb.validate_at(slot) {

@@ -129,11 +129,8 @@ pub fn run_jittered_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
 
         // 1. Deliver packets that ended at this half-slot boundary
         //    (started at half − 2).
-        while let Some(p) = pending.front() {
-            if p.start + 2 > half {
-                break;
-            }
-            let p = pending.pop_front().expect("peeked");
+        while pending.front().is_some_and(|p| p.start + 2 <= half) {
+            let Some(p) = pending.pop_front() else { break };
             let s = p.start as i64;
             for &v in graph.neighbors(p.node) {
                 let vi = v as usize;

@@ -49,8 +49,6 @@
 //! assert!(out.stats.iter().all(|s| s.received >= 3));
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod channel;
 pub mod delivery;
 pub mod engine;

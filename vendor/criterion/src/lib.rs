@@ -234,12 +234,14 @@ fn format_time(secs: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target in this group.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
         }
     };
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target in this group.
         pub fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+
