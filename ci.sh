@@ -5,17 +5,20 @@
 #   ./ci.sh                # full gate: lint, fmt, clippy, build, tests, perf smoke
 #   ./ci.sh --quick        # skip the release build and perf smoke
 #   ./ci.sh --no-lint      # skip the radio-lint static-analysis gate
+#   ./ci.sh --no-dry-run   # skip the scenario-registry dry-run gate
 #   ./ci.sh --repro-corpus # only replay results/repros/ through the monitor
 set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
 lint=1
+dry_run=1
 repro_only=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --no-lint) lint=0 ;;
+        --no-dry-run) dry_run=0 ;;
         --repro-corpus) repro_only=1 ;;
         *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
     esac
@@ -57,6 +60,14 @@ cargo test --workspace -q
 # re-run is the named gate so its failure is unambiguous in CI logs.
 echo "==> repro corpus replay"
 cargo test -q --test repro_corpus
+
+# Scenario registry health: smoke-execute every registered experiment
+# spec at tiny n with the invariant monitor on (exits non-zero on any
+# violation, engine error, or non-termination).
+if [[ $dry_run -eq 1 ]]; then
+    echo "==> experiments --dry-run (scenario registry gate)"
+    cargo run -q -p radio-bench --bin experiments -- --dry-run
+fi
 
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo build --release"

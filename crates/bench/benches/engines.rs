@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radio_bench::experiments::slot_cap;
 use radio_bench::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, SimConfig, WakePattern};
+use radio_sim::{EngineKind, SimConfig, WakePattern};
 use urn_coloring::{color_graph, ColoringConfig};
 
 fn bench_engines(c: &mut Criterion) {
@@ -20,7 +20,7 @@ fn bench_engines(c: &mut Criterion) {
             window: 2 * params.waiting_slots(),
         }
         .generate(n, &mut node_rng(1, 1));
-        for engine in [Engine::Lockstep, Engine::Event] {
+        for engine in [EngineKind::Lockstep, EngineKind::Event] {
             g.bench_with_input(
                 BenchmarkId::new(format!("{engine:?}"), n),
                 &(&w, &wake),

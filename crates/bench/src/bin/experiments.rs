@@ -2,22 +2,30 @@
 //! the paper (see DESIGN.md §3 and EXPERIMENTS.md).
 //!
 //! ```text
-//! experiments [--quick] [--seeds N] [--threads N] [--out DIR] [IDS...]
+//! experiments [--quick] [--seeds N] [--threads N] [--out DIR]
+//!             [--list] [--dry-run] [--only ID]... [IDS...]
 //!
-//!   IDS: all | e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 ablation
+//!   IDS: all | e1 … e20 | ablation   (see --list)
 //! ```
+//!
+//! - `--list` prints the scenario registry (id, slug, title) and exits.
+//! - `--dry-run` smoke-executes every registered scenario's declarative
+//!   spec at tiny n with the invariant monitor on, and exits non-zero
+//!   on any violation — the CI gate for registry health.
+//! - `--only ID` (repeatable) restricts the run to the named scenarios;
+//!   positional IDS do the same.
 //!
 //! Tables are printed to stdout and written as CSV under `--out`
 //! (default `results/`).
 
-use radio_bench::experiments as exp;
-use radio_bench::experiments::ExpOpts;
-use radio_bench::table::Table;
+use radio_bench::experiments::{self as exp, ExpOpts, Scenario};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut list = false;
+    let mut dry = false;
     let mut seeds: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut out_dir = "results".to_string();
@@ -26,98 +34,115 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--list" => list = true,
+            "--dry-run" => dry = true,
             "--seeds" => seeds = Some(it.next().expect("--seeds N").parse().expect("number")),
-            "--threads" => threads = Some(it.next().expect("--threads N").parse().expect("number")),
+            "--threads" => {
+                threads = Some(it.next().expect("--threads N").parse().expect("number"));
+            }
             "--out" => out_dir = it.next().expect("--out DIR"),
+            "--only" => ids.push(it.next().expect("--only ID").to_lowercase()),
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick] [--seeds N] [--threads N] [--out DIR] [IDS...]"
+                    "usage: experiments [--quick] [--seeds N] [--threads N] [--out DIR]\n\
+                     \x20                  [--list] [--dry-run] [--only ID]... [IDS...]"
                 );
-                println!(
-                    "  IDS: all e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18 e19 e20 ablation"
-                );
+                println!("  IDS: all | scenario ids from --list");
                 return;
             }
             other => ids.push(other.to_lowercase()),
         }
     }
-    if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = [
-            "e1", "e2", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-            "e15", "e16", "e17", "e18", "e19", "e20", "ablation",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+
+    let registry = exp::registry();
+
+    if list {
+        println!("{:<10} {:<20} title", "id", "slug");
+        for s in &registry {
+            let spec = (s.spec)();
+            let mark = if s.default { " " } else { "*" };
+            println!("{:<10} {:<20} {}{}", spec.id, spec.slug, spec.title, mark);
+        }
+        println!("\n(* = alias view, excluded from `all`)");
+        return;
     }
+
+    if dry {
+        let start = Instant::now();
+        let mut failed = 0usize;
+        for s in &registry {
+            let spec = (s.spec)();
+            match exp::dry_run(&spec) {
+                Ok(()) => println!("dry-run ok   {} ({})", spec.id, spec.slug),
+                Err(e) => {
+                    eprintln!("dry-run FAIL {e}");
+                    failed += 1;
+                }
+            }
+        }
+        println!(
+            "dry-run: {}/{} scenarios clean in {:.1}s",
+            registry.len() - failed,
+            registry.len(),
+            start.elapsed().as_secs_f64()
+        );
+        if failed > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let run_all = ids.is_empty() || ids.iter().any(|i| i == "all");
+    let selected: Vec<&Scenario> = if run_all {
+        registry.iter().filter(|s| s.default).collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in &ids {
+            if id == "all" {
+                continue;
+            }
+            match registry.iter().find(|s| (s.spec)().id == *id) {
+                Some(s) => sel.push(s),
+                None => eprintln!("unknown experiment id: {id} (see --list)"),
+            }
+        }
+        sel
+    };
 
     let mut opts = ExpOpts::new(quick, &out_dir);
     if let Some(s) = seeds {
         opts.seeds = s;
     }
-    if let Some(t) = threads {
-        opts.threads = t;
+    if threads.is_some() {
+        opts.threads = threads;
     }
     println!(
         "# coloring-unstructured-radio-networks experiments (quick={quick}, seeds={}, threads={})\n",
-        opts.seeds, opts.threads
+        opts.seeds,
+        opts.threads
+            .map_or_else(|| "auto".to_string(), |t| t.to_string()),
     );
 
-    let emit = |tables: Vec<Table>, name: &str, opts: &ExpOpts| {
+    for s in selected {
+        let spec = (s.spec)();
+        let start = Instant::now();
+        let tables = (s.run)(&opts);
         for (i, t) in tables.iter().enumerate() {
             println!("{}", t.render());
             let suffix = if tables.len() > 1 {
-                format!("{name}_{i}")
+                format!("{}_{i}", spec.slug)
             } else {
-                name.to_string()
+                spec.slug.clone()
             };
             match t.write_csv(&opts.out_dir, &suffix) {
                 Ok(p) => println!("  → {}\n", p.display()),
                 Err(e) => eprintln!("  ! CSV write failed: {e}\n"),
             }
         }
-    };
-
-    for id in &ids {
-        let start = Instant::now();
-        match id.as_str() {
-            "e1" => emit(
-                vec![exp::e01_correctness::run(&opts)],
-                "e01_correctness",
-                &opts,
-            ),
-            "e2" => emit(exp::e02_time_scaling::run(&opts), "e02_time_scaling", &opts),
-            "e3" => emit(vec![exp::e03_colors::run(&opts)], "e03_colors", &opts),
-            "e4" => emit(exp::e04_locality::run(&opts), "e04_locality", &opts),
-            "e5" => emit(vec![exp::e05_constants::run(&opts)], "e05_constants", &opts),
-            // E6 (the UDG corollary) is the normalized view of E2: the
-            // T̄/(Δ·log n) columns of e2a/e2b being ~constant is its claim.
-            "e6" => emit(
-                exp::e02_time_scaling::run(&opts),
-                "e06_udg_corollary",
-                &opts,
-            ),
-            "e7" => emit(vec![exp::e07_ubg::run(&opts)], "e07_ubg", &opts),
-            "e8" => emit(exp::e08_baseline::run(&opts), "e08_baseline", &opts),
-            "e9" => emit(vec![exp::e09_wakeup::run(&opts)], "e09_wakeup", &opts),
-            "e10" => emit(vec![exp::e10_obstacles::run(&opts)], "e10_obstacles", &opts),
-            "e11" => emit(vec![exp::e11_ids::run(&opts)], "e11_ids", &opts),
-            "e12" => emit(exp::e12_tdma::run(&opts), "e12_tdma", &opts),
-            "e13" => emit(exp::e13_states::run(&opts), "e13_states", &opts),
-            "e14" => emit(vec![exp::e14_engines::run(&opts)], "e14_engines", &opts),
-            "e15" => emit(exp::e15_estimation::run(&opts), "e15_estimation", &opts),
-            "e16" => emit(vec![exp::e16_jitter::run(&opts)], "e16_jitter", &opts),
-            "e17" => emit(vec![exp::e17_mis::run(&opts)], "e17_mis", &opts),
-            "e18" => emit(
-                vec![exp::e18_scalability::run(&opts)],
-                "e18_scalability",
-                &opts,
-            ),
-            "e19" => emit(exp::e19_faults::run(&opts), "e19_faults", &opts),
-            "e20" => emit(exp::e20_monitor::run(&opts), "e20_monitor", &opts),
-            "ablation" => emit(exp::ablation::run(&opts), "ablation_reset", &opts),
-            other => eprintln!("unknown experiment id: {other}"),
-        }
-        println!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{} done in {:.1}s]\n",
+            spec.id,
+            start.elapsed().as_secs_f64()
+        );
     }
 }

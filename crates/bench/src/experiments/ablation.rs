@@ -9,7 +9,7 @@ use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 use urn_coloring::ResetPolicy;
 
 /// Runs the ablations and returns their tables.
@@ -49,7 +49,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
                 }
                 .generate(n, &mut node_rng(seed, 61))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xABA,
             cap,
@@ -115,7 +115,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
                     }
                     wake
                 },
-                Engine::Event,
+                EngineKind::Event,
                 opts,
                 0xAB3,
                 slot_cap(&params) * 8,
@@ -130,4 +130,35 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         }
     }
     vec![t, a]
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "ablation".into(),
+        slug: "ablation_reset".into(),
+        title: "Counter reset policies (paper's χ/critical-range vs naive schemes)".into(),
+        graph: GraphSpec::Udg {
+            n: 160,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xAB,
+        columns: [
+            "policy",
+            "runs",
+            "valid",
+            "finished",
+            "mean T̄",
+            "mean maxT",
+            "mean resets/node",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

@@ -7,7 +7,7 @@ use crate::workloads::{udg_workload, Workload};
 use radio_graph::generators::big::{build_big, random_walls};
 use radio_graph::generators::{gnp, uniform_square};
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 
 /// Runs E1 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -83,7 +83,7 @@ pub fn run(opts: &ExpOpts) -> Table {
                 w,
                 params,
                 |seed| pattern.generate(n, &mut node_rng(seed, 99)),
-                Engine::Event,
+                EngineKind::Event,
                 opts,
                 0xE1 + n as u64,
                 slot_cap(&params),
@@ -103,4 +103,38 @@ pub fn run(opts: &ExpOpts) -> Table {
         }
     }
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e1".into(),
+        slug: "e01_correctness".into(),
+        title: "Theorem 2: correctness across topologies and wake-up patterns".into(),
+        graph: GraphSpec::Udg {
+            n: 128,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 4 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE1,
+        columns: [
+            "topology",
+            "n",
+            "Δ",
+            "κ₂",
+            "pattern",
+            "runs",
+            "valid",
+            "theorems",
+            "mean colors",
+            "mean T̄",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

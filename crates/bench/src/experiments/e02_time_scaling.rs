@@ -7,7 +7,7 @@ use crate::stats::{linear_fit, power_fit};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 
 /// Runs E2 and returns its tables (Δ sweep, n sweep, fit summary).
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
@@ -49,7 +49,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
                 }
                 .generate(n_fixed, &mut node_rng(seed, 5))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE2A + w.delta as u64,
             slot_cap(&params),
@@ -100,7 +100,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
                 }
                 .generate(n, &mut node_rng(seed, 6))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE2C + i as u64,
             slot_cap(&params),
@@ -137,4 +137,46 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         "linear in log n".into(),
     ]);
     vec![t_delta, t_n, fit]
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e2".into(),
+        slug: "e02_time_scaling".into(),
+        title: "T vs Δ at fixed n (~linear) and T vs n at fixed Δ (~log n); Theorem 5 scaling"
+            .into(),
+        graph: GraphSpec::Udg {
+            n: 256,
+            target_delta: 12.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE2,
+        columns: [
+            "n",
+            "Δ (measured)",
+            "runs",
+            "mean T̄",
+            "mean maxT",
+            "T̄/(Δ·log n)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
+}
+
+/// The E6 alias view of this experiment: Corollary (UDG) claims the
+/// normalized `T̄/(Δ·log n)` columns of E2a/E2b are ~constant, so the
+/// registry re-runs E2 under the `e06_udg_corollary` slug.
+pub fn corollary_spec() -> crate::scenario::ScenarioSpec {
+    let mut s = spec();
+    s.id = "e6".into();
+    s.slug = "e06_udg_corollary".into();
+    s.title = "Corollary (UDG): normalized view of E2 — T̄/(Δ·log n) ~ constant".into();
+    s
 }

@@ -8,7 +8,7 @@ use crate::workloads::udg_workload;
 use radio_baselines::{greedy_coloring, GreedyOrder};
 use radio_graph::analysis::{check_coloring, clique_lower_bound};
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 
 /// Runs E3 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -44,7 +44,7 @@ pub fn run(opts: &ExpOpts) -> Table {
                 }
                 .generate(n, &mut node_rng(seed, 7))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE3A + i as u64,
             slot_cap(&params),
@@ -68,4 +68,38 @@ pub fn run(opts: &ExpOpts) -> Table {
         ]);
     }
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e3".into(),
+        slug: "e03_colors".into(),
+        title: "Theorems 4/5: colors used vs the κ₂·Δ bound, greedy, and the clique lower bound"
+            .into(),
+        graph: GraphSpec::Udg {
+            n: 256,
+            target_delta: 12.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE3,
+        columns: [
+            "n",
+            "Δ",
+            "κ₂",
+            "κ₂·Δ bound",
+            "mean span",
+            "mean distinct",
+            "≤bound",
+            "greedy(SL)",
+            "clique LB",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

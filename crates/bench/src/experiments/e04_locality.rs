@@ -10,7 +10,7 @@ use crate::workloads::Workload;
 use radio_graph::analysis::coloring_check::locality_points;
 use radio_graph::generators::{build_udg, dense_core_sparse_halo};
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 
 /// Runs E4 and returns its tables.
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
@@ -83,7 +83,14 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         .iter()
         .take(if opts.quick { 3 } else { 8 })
     {
-        let r = run_once(&w, params, &wake, Engine::Event, *seed, slot_cap(&params));
+        let r = run_once(
+            &w,
+            params,
+            &wake,
+            EngineKind::Event,
+            *seed,
+            slot_cap(&params),
+        );
         let o = plan.color(&w.graph, &wake, *seed);
         let worst = locality_points(&w.graph, &o.colors)
             .iter()
@@ -97,4 +104,35 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         ]);
     }
     vec![t, hold]
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e4".into(),
+        slug: "e04_locality".into(),
+        title: "Theorem 4: highest nearby color φ_v vs local density θ_v (dense core, sparse halo)"
+            .into(),
+        graph: GraphSpec::CoreHalo {
+            core: 120,
+            halo: 180,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE4,
+        columns: [
+            "θ bucket",
+            "nodes",
+            "mean φ",
+            "max φ",
+            "κ₂·θ bound (min)",
+            "max φ/(κ₂θ)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

@@ -8,7 +8,7 @@ use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 use urn_coloring::AlgorithmParams;
 
 /// Runs E5 and returns its table.
@@ -41,7 +41,7 @@ pub fn run(opts: &ExpOpts) -> Table {
                 }
                 .generate(n, &mut node_rng(seed, 11))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE5A + (s * 1000.0) as u64,
             slot_cap(&base.scaled(s.max(1.0))),
@@ -57,4 +57,34 @@ pub fn run(opts: &ExpOpts) -> Table {
         ]);
     }
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e5".into(),
+        slug: "e05_constants".into(),
+        title: "Practical constants: scale-factor sweep on (α,β,γ,σ)".into(),
+        graph: GraphSpec::Udg {
+            n: 192,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE5,
+        columns: [
+            "scale",
+            "γ·log n (slots)",
+            "runs",
+            "valid",
+            "mean T̄",
+            "vs theory T̄ est.",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

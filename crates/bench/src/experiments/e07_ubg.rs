@@ -8,7 +8,7 @@ use crate::workloads::Workload;
 use radio_graph::generators::build_ubg;
 use radio_graph::geometry::{ChebyshevN, Metric, PointN, Snowflake};
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 use rand::Rng;
 
 fn random_points<const D: usize>(n: usize, side: f64, rng: &mut impl Rng) -> Vec<PointN<D>> {
@@ -98,7 +98,7 @@ pub fn run(opts: &ExpOpts) -> Table {
                 }
                 .generate(nn, &mut node_rng(seed, 13))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE7A,
             slot_cap(&params),
@@ -116,4 +116,34 @@ pub fn run(opts: &ExpOpts) -> Table {
         ]);
     }
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e7".into(),
+        slug: "e07_ubg".into(),
+        title: "Lemma 9/Corollary 3: unit ball graphs — measured κ₂ vs the 4^ρ bound".into(),
+        graph: GraphSpec::Ubg { n: 120, dim: 2 },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE7,
+        columns: [
+            "metric",
+            "ρ",
+            "4^ρ",
+            "n",
+            "Δ",
+            "κ₂ measured",
+            "κ₂ ≤ 4^ρ",
+            "runs",
+            "valid",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

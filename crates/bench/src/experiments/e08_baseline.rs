@@ -29,7 +29,7 @@ use radio_graph::analysis::check_coloring;
 use radio_graph::analysis::coloring_check::locality_points;
 use radio_sim::parallel::run_seeds;
 use radio_sim::rng::node_rng;
-use radio_sim::{run_event, Engine, SimConfig, WakePattern};
+use radio_sim::{run_event, EngineKind, SimConfig, WakePattern};
 
 struct SvResult {
     valid: bool,
@@ -87,7 +87,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
                 }
                 .generate(n, &mut node_rng(seed, 17))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE8A + i as u64,
             slot_cap(&params),
@@ -271,4 +271,36 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         ]);
     }
     vec![t, fit, q, l]
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e8".into(),
+        slug: "e08_baseline".into(),
+        title: "MW vs select-and-verify stand-in vs the Δ³·log n bound attributed to [2]".into(),
+        graph: GraphSpec::Udg {
+            n: 192,
+            target_delta: 12.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE8,
+        columns: [
+            "n",
+            "Δ",
+            "MW T̄",
+            "MW valid",
+            "SV T̄",
+            "SV valid",
+            "[2]-bound playback",
+            "MW < playback",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

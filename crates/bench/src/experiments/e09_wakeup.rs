@@ -6,7 +6,7 @@ use super::{fraction, mean_of, run_many, slot_cap, ExpOpts};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{wake_wave, Engine, WakePattern};
+use radio_sim::{wake_wave, EngineKind, WakePattern};
 
 /// A wake-schedule generator, boxed per pattern.
 type WakeGen = Box<dyn Fn(u64) -> Vec<u64> + Sync>;
@@ -75,7 +75,7 @@ pub fn run(opts: &ExpOpts) -> Table {
             &w,
             params,
             wake_of,
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE9A,
             slot_cap(&params),
@@ -90,4 +90,34 @@ pub fn run(opts: &ExpOpts) -> Table {
         ]);
     }
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e9".into(),
+        slug: "e09_wakeup".into(),
+        title: "Asynchronous wake-up robustness (same graph, every pattern)".into(),
+        graph: GraphSpec::Udg {
+            n: 192,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 4 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE9,
+        columns: [
+            "pattern",
+            "runs",
+            "valid",
+            "mean T̄ (from own wake)",
+            "mean max T",
+            "mean resets",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

@@ -9,7 +9,7 @@ use crate::workloads::Workload;
 use radio_graph::generators::big::{build_big, random_walls};
 use radio_graph::generators::{udg_side_for_target_degree, uniform_square};
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 
 /// Runs E10 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -51,7 +51,7 @@ pub fn run(opts: &ExpOpts) -> Table {
                 }
                 .generate(n, &mut node_rng(seed, 31))
             },
-            Engine::Event,
+            EngineKind::Event,
             opts,
             0xE10A + i as u64,
             slot_cap(&params),
@@ -69,4 +69,34 @@ pub fn run(opts: &ExpOpts) -> Table {
         ]);
     }
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e10".into(),
+        slug: "e10_obstacles".into(),
+        title: "BIG with obstacles: κ grows mildly with wall density; bounds track κ₂·Δ".into(),
+        graph: GraphSpec::Obstacles { n: 160, walls: 120 },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE10,
+        columns: [
+            "walls",
+            "edges kept",
+            "Δ",
+            "κ₁",
+            "κ₂",
+            "runs",
+            "valid",
+            "mean span",
+            "κ₂·Δ",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

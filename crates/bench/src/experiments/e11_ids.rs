@@ -38,3 +38,32 @@ pub fn run(opts: &ExpOpts) -> Table {
     }
     t
 }
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e11".into(),
+        slug: "e11_ids".into(),
+        title: "Random IDs from [1, n³]: collision probability vs the C(n,2)/n³ bound".into(),
+        graph: GraphSpec::Udg {
+            n: 192,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::Synchronous,
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE11,
+        columns: [
+            "n",
+            "trials",
+            "collision rate",
+            "bound C(n,2)/n³",
+            "≈ 1/(2n)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
+}

@@ -98,3 +98,26 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     ]);
     vec![t, e]
 }
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e12".into(),
+        slug: "e12_tdma".into(),
+        title: "TDMA schedule from the coloring (Sect. 1 application)".into(),
+        graph: GraphSpec::CoreHalo {
+            core: 100,
+            halo: 150,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE12,
+        columns: ["metric", "value", "paper expectation"]
+            .map(String::from)
+            .to_vec(),
+    }
+}

@@ -67,3 +67,26 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     ]);
     vec![t, b]
 }
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e13".into(),
+        slug: "e13_states".into(),
+        title: "Corollary 1: verification states entered per node (bound: κ₂ + 1)".into(),
+        graph: GraphSpec::Udg {
+            n: 192,
+            target_delta: 12.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE13,
+        columns: ["states entered", "nodes", "fraction"]
+            .map(String::from)
+            .to_vec(),
+    }
+}

@@ -8,7 +8,7 @@ use crate::stats::{ks_critical, ks_statistic};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 use std::time::Instant;
 
 /// Runs E14 and returns its table.
@@ -30,7 +30,7 @@ pub fn run(opts: &ExpOpts) -> Table {
     let params = w.params();
     // Per-node decision-time samples for the distributional test.
     let mut samples: Vec<Vec<f64>> = Vec::new();
-    for engine in [Engine::Lockstep, Engine::Event] {
+    for engine in [EngineKind::Lockstep, EngineKind::Event] {
         let mut ts: Vec<f64> = Vec::new();
         for seed in opts.seed_list(0xE14B) {
             let wake = WakePattern::UniformWindow {
@@ -93,4 +93,35 @@ pub fn run(opts: &ExpOpts) -> Table {
         "—".into(),
     ]);
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e14".into(),
+        slug: "e14_engines".into(),
+        title: "Lock-step vs event engine: identical semantics, different cost".into(),
+        graph: GraphSpec::Udg {
+            n: 128,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Lockstep,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE14,
+        columns: [
+            "engine",
+            "runs",
+            "valid",
+            "mean T̄",
+            "mean maxT",
+            "mean span",
+            "wall-clock (s)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

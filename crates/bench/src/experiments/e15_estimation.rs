@@ -134,3 +134,33 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     ]);
     vec![acc, pipe]
 }
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e15".into(),
+        slug: "e15_estimation".into(),
+        title: "Degree estimation accuracy and the estimate-then-color pipeline".into(),
+        graph: GraphSpec::Udg {
+            n: 192,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE15,
+        columns: [
+            "Δ target",
+            "true d̄ (open)",
+            "median d̂/d",
+            "p95 d̂/d",
+            "within 4×",
+            "probe slots",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
+}

@@ -85,3 +85,34 @@ pub fn run(opts: &ExpOpts) -> Table {
     }
     t
 }
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e16".into(),
+        slug: "e16_jitter".into(),
+        title: "Aligned vs non-aligned slots (half-slot phase offsets; small constant factor)"
+            .into(),
+        graph: GraphSpec::Udg {
+            n: 160,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Jittered,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE16,
+        columns: [
+            "slot model",
+            "runs",
+            "valid",
+            "mean T̄",
+            "mean maxT",
+            "T̄ vs aligned",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
+}

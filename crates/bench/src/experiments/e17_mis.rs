@@ -12,7 +12,7 @@ use radio_baselines::mw_mis::mw_mis;
 use radio_graph::analysis::independence::is_maximal_independent_set;
 use radio_sim::parallel::run_seeds;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, NodeStats, WakePattern};
+use radio_sim::{EngineKind, NodeStats, WakePattern};
 
 /// Runs E17 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -77,7 +77,7 @@ pub fn run(opts: &ExpOpts) -> Table {
             }
             .generate(n, &mut node_rng(seed, 91))
         },
-        Engine::Event,
+        EngineKind::Event,
         opts,
         0xE17B,
         cap,
@@ -92,4 +92,36 @@ pub fn run(opts: &ExpOpts) -> Table {
         "O(Δ) colors (⊇ an MIS: the leaders)".into(),
     ]);
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e17".into(),
+        slug: "e17_mis".into(),
+        title: "MIS from scratch [21] vs the full coloring: the price of \"one step further\""
+            .into(),
+        graph: GraphSpec::Udg {
+            n: 192,
+            target_delta: 12.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE17,
+        columns: [
+            "protocol",
+            "runs",
+            "correct",
+            "mean T̄",
+            "mean maxT",
+            "mean sent/node",
+            "structure",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

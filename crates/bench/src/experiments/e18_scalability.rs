@@ -7,7 +7,7 @@ use super::{run_once, slot_cap, ExpOpts};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, WakePattern};
+use radio_sim::{EngineKind, WakePattern};
 use std::time::Instant;
 
 /// Runs E18 and returns its table.
@@ -37,7 +37,7 @@ pub fn run(opts: &ExpOpts) -> Table {
         }
         .generate(n, &mut node_rng(1, 95));
         let start = Instant::now();
-        let r = run_once(&w, params, &wake, Engine::Event, 1, slot_cap(&params));
+        let r = run_once(&w, params, &wake, EngineKind::Event, 1, slot_cap(&params));
         let wall = start.elapsed().as_secs_f64();
         let node_slots_per_sec = if wall > 0.0 {
             r.max_t.max(1.0) * n as f64 / wall
@@ -55,4 +55,35 @@ pub fn run(opts: &ExpOpts) -> Table {
         ]);
     }
     t
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e18".into(),
+        slug: "e18_scalability".into(),
+        title: "Event-engine scalability (single full run per size)".into(),
+        graph: GraphSpec::Udg {
+            n: 512,
+            target_delta: 12.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        salt: 0xE18,
+        columns: [
+            "n",
+            "Δ",
+            "valid",
+            "max T (slots)",
+            "tx total",
+            "wall-clock (s)",
+            "slots/s ×n",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

@@ -140,3 +140,39 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
     }
     vec![t]
 }
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e19".into(),
+        slug: "e19_faults".into(),
+        title: "Channel-model fault injection: correctness and degradation vs the ideal channel"
+            .into(),
+        graph: GraphSpec::Udg {
+            n: 160,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::ProbabilisticLoss { p: 0.05 },
+        monitored: false,
+        salt: 0xE19,
+        columns: [
+            "channel",
+            "runs",
+            "valid",
+            "decided",
+            "mean colors",
+            "mean span",
+            "mean T̄",
+            "T̄ ×ideal",
+            "drops/run",
+            "jams/run",
+            "log-dropped/run",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
+}

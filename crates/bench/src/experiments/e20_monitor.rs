@@ -20,7 +20,7 @@ use super::{ExpOpts, RunPlan};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{ChannelSpec, Engine, WakePattern};
+use radio_sim::{ChannelSpec, EngineKind, WakePattern};
 use std::time::Instant;
 
 /// Runs E20 and returns its table.
@@ -63,7 +63,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         ),
     ];
 
-    for engine in [Engine::Event, Engine::Lockstep] {
+    for engine in [EngineKind::Event, EngineKind::Lockstep] {
         for (ci, &(label, spec)) in channels.iter().enumerate() {
             let plan = RunPlan::new(params).engine(engine).channel(spec);
             let seeds = opts.seed_list(0xE200 + ci as u64);
@@ -114,4 +114,37 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         }
     }
     vec![t]
+}
+
+/// The declarative registry entry for this experiment (see
+/// [`crate::scenario`]).
+pub fn spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e20".into(),
+        slug: "e20_monitor".into(),
+        title:
+            "Invariant monitor: clean on honest runs, bit-identical outcomes, wall-clock overhead"
+                .into(),
+        graph: GraphSpec::Udg {
+            n: 120,
+            target_delta: 10.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Event,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: true,
+        salt: 0xE20,
+        columns: [
+            "engine",
+            "channel",
+            "runs",
+            "violations",
+            "identical",
+            "mean T̄",
+            "overhead",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
 }

@@ -27,10 +27,125 @@ pub mod e20_monitor;
 
 use crate::workloads::Workload;
 use radio_sim::parallel::run_seeds;
-use radio_sim::{Engine, Slot};
+use radio_sim::{EngineKind, Slot};
 use urn_coloring::{verify_outcome, AlgorithmParams};
 
+pub use crate::scenario::{dry_run, GraphSpec, Scenario, ScenarioSpec, WakeSpec};
 pub use crate::workloads::{slot_cap, RunPlan};
+
+/// The scenario registry: every experiment in the suite as one
+/// declarative table. Order is the canonical `all` run order; entries
+/// with `default: false` are alias views that only run when named
+/// explicitly (E6 re-renders E2's normalized columns).
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            spec: e01_correctness::spec,
+            run: |o| vec![e01_correctness::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e02_time_scaling::spec,
+            run: e02_time_scaling::run,
+            default: true,
+        },
+        Scenario {
+            spec: e03_colors::spec,
+            run: |o| vec![e03_colors::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e04_locality::spec,
+            run: e04_locality::run,
+            default: true,
+        },
+        Scenario {
+            spec: e05_constants::spec,
+            run: |o| vec![e05_constants::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e02_time_scaling::corollary_spec,
+            run: e02_time_scaling::run,
+            default: false,
+        },
+        Scenario {
+            spec: e07_ubg::spec,
+            run: |o| vec![e07_ubg::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e08_baseline::spec,
+            run: e08_baseline::run,
+            default: true,
+        },
+        Scenario {
+            spec: e09_wakeup::spec,
+            run: |o| vec![e09_wakeup::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e10_obstacles::spec,
+            run: |o| vec![e10_obstacles::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e11_ids::spec,
+            run: |o| vec![e11_ids::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e12_tdma::spec,
+            run: e12_tdma::run,
+            default: true,
+        },
+        Scenario {
+            spec: e13_states::spec,
+            run: e13_states::run,
+            default: true,
+        },
+        Scenario {
+            spec: e14_engines::spec,
+            run: |o| vec![e14_engines::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e15_estimation::spec,
+            run: e15_estimation::run,
+            default: true,
+        },
+        Scenario {
+            spec: e16_jitter::spec,
+            run: |o| vec![e16_jitter::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e17_mis::spec,
+            run: |o| vec![e17_mis::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e18_scalability::spec,
+            run: |o| vec![e18_scalability::run(o)],
+            default: true,
+        },
+        Scenario {
+            spec: e19_faults::spec,
+            run: e19_faults::run,
+            default: true,
+        },
+        Scenario {
+            spec: e20_monitor::spec,
+            run: e20_monitor::run,
+            default: true,
+        },
+        Scenario {
+            spec: ablation::spec,
+            run: ablation::run,
+            default: true,
+        },
+    ]
+}
 
 /// Global experiment options.
 #[derive(Clone, Debug)]
@@ -39,19 +154,21 @@ pub struct ExpOpts {
     pub quick: bool,
     /// Seeds (= repetitions) per configuration.
     pub seeds: u64,
-    /// Worker threads for seed fan-out.
-    pub threads: usize,
+    /// Worker threads for seed fan-out; `None` lets
+    /// [`radio_sim::parallel::run_seeds`] pick its
+    /// available-parallelism default.
+    pub threads: Option<usize>,
     /// Directory for CSV output.
     pub out_dir: std::path::PathBuf,
 }
 
 impl ExpOpts {
-    /// Default options: full sizes, `seeds` repetitions, all cores.
+    /// Default options: full sizes, `seeds` repetitions, auto threads.
     pub fn new(quick: bool, out_dir: impl Into<std::path::PathBuf>) -> Self {
         ExpOpts {
             quick,
             seeds: if quick { 5 } else { 12 },
-            threads: radio_sim::parallel::default_threads(),
+            threads: None,
             out_dir: out_dir.into(),
         }
     }
@@ -107,7 +224,7 @@ pub fn run_once(
     w: &Workload,
     params: AlgorithmParams,
     wake: &[Slot],
-    engine: Engine,
+    engine: EngineKind,
     seed: u64,
     max_slots: Slot,
 ) -> RunSummary {
@@ -151,7 +268,7 @@ pub fn run_many(
     w: &Workload,
     params: AlgorithmParams,
     wake_of: impl Fn(u64) -> Vec<Slot> + Sync,
-    engine: Engine,
+    engine: EngineKind,
     opts: &ExpOpts,
     salt: u64,
     max_slots: Slot,

@@ -8,6 +8,7 @@
 //! index and EXPERIMENTS.md for paper-vs-measured results.
 
 pub mod experiments;
+pub mod scenario;
 pub mod stats;
 pub mod table;
 pub mod workloads;

@@ -1,0 +1,432 @@
+//! Declarative experiment scenarios.
+//!
+//! Every experiment in the suite is registered as a [`Scenario`]: a
+//! serializable [`ScenarioSpec`] describing *what* the experiment
+//! exercises (graph family, wake-up pattern, engine, channel model,
+//! monitoring, seed salt, output columns) plus a runner producing its
+//! publication tables. The spec is the contract the binary's `--list`
+//! prints and `--dry-run` smoke-executes; the JSON codec reuses the
+//! same hand-rolled [`urn_coloring::json`] model as the repro-corpus
+//! artifacts, so both formats stay aligned.
+
+use crate::experiments::ExpOpts;
+use crate::table::Table;
+use crate::workloads::{slot_cap, udg_workload, RunPlan};
+use radio_sim::rng::node_rng;
+use radio_sim::{ChannelSpec, EngineKind, Slot, WakePattern};
+use urn_coloring::json::{self, json_string, Value};
+use urn_coloring::repro::{channel_from_json, channel_to_json};
+use urn_coloring::AlgorithmParams;
+
+/// Graph family + full-scale size of a scenario's primary workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// Random unit-disk graph with `n` nodes at a target max degree.
+    Udg {
+        /// Node count at full (non-quick) scale.
+        n: usize,
+        /// Target maximum degree of the disk graph.
+        target_delta: f64,
+    },
+    /// Dense core + sparse halo unit-disk graph (locality experiments).
+    CoreHalo {
+        /// Nodes in the dense core.
+        core: usize,
+        /// Nodes in the sparse halo.
+        halo: usize,
+    },
+    /// Unit ball graph over a metric of doubling dimension `dim`.
+    Ubg {
+        /// Node count at full scale.
+        n: usize,
+        /// Doubling dimension of the underlying metric.
+        dim: u32,
+    },
+    /// Bounded-independence graph: unit disks cut by random wall
+    /// obstacles.
+    Obstacles {
+        /// Node count at full scale.
+        n: usize,
+        /// Number of random wall segments.
+        walls: usize,
+    },
+}
+
+impl GraphSpec {
+    fn to_json(self) -> String {
+        match self {
+            GraphSpec::Udg { n, target_delta } => {
+                format!(r#"{{"family":"udg","n":{n},"target_delta":{target_delta:?}}}"#)
+            }
+            GraphSpec::CoreHalo { core, halo } => {
+                format!(r#"{{"family":"core-halo","core":{core},"halo":{halo}}}"#)
+            }
+            GraphSpec::Ubg { n, dim } => {
+                format!(r#"{{"family":"ubg","n":{n},"dim":{dim}}}"#)
+            }
+            GraphSpec::Obstacles { n, walls } => {
+                format!(r#"{{"family":"obstacles","n":{n},"walls":{walls}}}"#)
+            }
+        }
+    }
+
+    fn from_json(v: &Value) -> Result<GraphSpec, String> {
+        let obj = v.as_obj("graph")?;
+        match json::get(obj, "family")?.as_str("graph.family")? {
+            "udg" => Ok(GraphSpec::Udg {
+                n: json::get(obj, "n")?.as_u64("graph.n")? as usize,
+                target_delta: json::get(obj, "target_delta")?.as_f64("graph.target_delta")?,
+            }),
+            "core-halo" => Ok(GraphSpec::CoreHalo {
+                core: json::get(obj, "core")?.as_u64("graph.core")? as usize,
+                halo: json::get(obj, "halo")?.as_u64("graph.halo")? as usize,
+            }),
+            "ubg" => Ok(GraphSpec::Ubg {
+                n: json::get(obj, "n")?.as_u64("graph.n")? as usize,
+                dim: json::get(obj, "dim")?.as_u64("graph.dim")? as u32,
+            }),
+            "obstacles" => Ok(GraphSpec::Obstacles {
+                n: json::get(obj, "n")?.as_u64("graph.n")? as usize,
+                walls: json::get(obj, "walls")?.as_u64("graph.walls")? as usize,
+            }),
+            f => Err(format!("unknown graph family {f:?}")),
+        }
+    }
+}
+
+/// Scale-free wake-up schedule spec. Experiments derive their uniform
+/// wake windows from the algorithm's waiting time, so the spec stores
+/// the *factor*, not an absolute window — that keeps the same spec
+/// executable at both full scale and `--dry-run`'s tiny n.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WakeSpec {
+    /// Every node wakes at slot 0.
+    Synchronous,
+    /// Uniform wake-up over `factor × waiting_slots(params)` slots.
+    UniformWindow {
+        /// Multiplier on the algorithm's waiting time.
+        factor: u32,
+    },
+    /// Nodes wake in index order, `gap` slots apart.
+    Sequential {
+        /// Slots between consecutive wake-ups.
+        gap: Slot,
+    },
+    /// Like `Sequential` but in a random node order.
+    SequentialShuffled {
+        /// Slots between consecutive wake-ups.
+        gap: Slot,
+    },
+    /// I.i.d. exponential gaps with the given mean.
+    Poisson {
+        /// Mean slots between consecutive wake-ups.
+        mean_gap: f64,
+    },
+    /// `bursts` groups of simultaneous wake-ups, `gap` slots apart.
+    Bursts {
+        /// Number of bursts.
+        bursts: usize,
+        /// Slots between bursts.
+        gap: Slot,
+    },
+}
+
+impl WakeSpec {
+    /// Resolves the spec into a concrete [`WakePattern`] for a run with
+    /// the given algorithm parameters.
+    pub fn materialize(&self, params: &AlgorithmParams) -> WakePattern {
+        match *self {
+            WakeSpec::Synchronous => WakePattern::Synchronous,
+            WakeSpec::UniformWindow { factor } => WakePattern::UniformWindow {
+                window: Slot::from(factor) * params.waiting_slots(),
+            },
+            WakeSpec::Sequential { gap } => WakePattern::Sequential { gap },
+            WakeSpec::SequentialShuffled { gap } => WakePattern::SequentialShuffled { gap },
+            WakeSpec::Poisson { mean_gap } => WakePattern::Poisson { mean_gap },
+            WakeSpec::Bursts { bursts, gap } => WakePattern::Bursts { bursts, gap },
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            WakeSpec::Synchronous => r#"{"pattern":"synchronous"}"#.to_string(),
+            WakeSpec::UniformWindow { factor } => {
+                format!(r#"{{"pattern":"uniform-window","factor":{factor}}}"#)
+            }
+            WakeSpec::Sequential { gap } => {
+                format!(r#"{{"pattern":"sequential","gap":{gap}}}"#)
+            }
+            WakeSpec::SequentialShuffled { gap } => {
+                format!(r#"{{"pattern":"sequential-shuffled","gap":{gap}}}"#)
+            }
+            WakeSpec::Poisson { mean_gap } => {
+                format!(r#"{{"pattern":"poisson","mean_gap":{mean_gap:?}}}"#)
+            }
+            WakeSpec::Bursts { bursts, gap } => {
+                format!(r#"{{"pattern":"bursts","bursts":{bursts},"gap":{gap}}}"#)
+            }
+        }
+    }
+
+    fn from_json(v: &Value) -> Result<WakeSpec, String> {
+        let obj = v.as_obj("wake")?;
+        match json::get(obj, "pattern")?.as_str("wake.pattern")? {
+            "synchronous" => Ok(WakeSpec::Synchronous),
+            "uniform-window" => Ok(WakeSpec::UniformWindow {
+                factor: json::get(obj, "factor")?.as_u64("wake.factor")? as u32,
+            }),
+            "sequential" => Ok(WakeSpec::Sequential {
+                gap: json::get(obj, "gap")?.as_u64("wake.gap")?,
+            }),
+            "sequential-shuffled" => Ok(WakeSpec::SequentialShuffled {
+                gap: json::get(obj, "gap")?.as_u64("wake.gap")?,
+            }),
+            "poisson" => Ok(WakeSpec::Poisson {
+                mean_gap: json::get(obj, "mean_gap")?.as_f64("wake.mean_gap")?,
+            }),
+            "bursts" => Ok(WakeSpec::Bursts {
+                bursts: json::get(obj, "bursts")?.as_u64("wake.bursts")? as usize,
+                gap: json::get(obj, "gap")?.as_u64("wake.gap")?,
+            }),
+            p => Err(format!("unknown wake pattern {p:?}")),
+        }
+    }
+}
+
+/// The declarative description of one registered experiment: the
+/// primary configuration it exercises plus presentation metadata.
+/// Serializes losslessly to/from JSON (see the round-trip test).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Short id accepted on the command line (`e1` … `e20`,
+    /// `ablation`).
+    pub id: String,
+    /// File-system slug used for CSV output (`e01_correctness` …).
+    pub slug: String,
+    /// Human-readable one-line description.
+    pub title: String,
+    /// Primary graph workload at full scale.
+    pub graph: GraphSpec,
+    /// Primary wake-up schedule.
+    pub wake: WakeSpec,
+    /// Engine the experiment's headline numbers come from.
+    pub engine: EngineKind,
+    /// Channel model of the primary configuration.
+    pub channel: ChannelSpec,
+    /// Whether the primary runs go through the invariant monitor.
+    pub monitored: bool,
+    /// Decorrelation salt for the scenario's seed list.
+    pub salt: u64,
+    /// Column headers of the experiment's primary table.
+    pub columns: Vec<String>,
+}
+
+impl ScenarioSpec {
+    /// Serializes the spec to its JSON format.
+    pub fn to_json(&self) -> String {
+        let columns: Vec<String> = self.columns.iter().map(|c| json_string(c)).collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"id\": {id},\n",
+                "  \"slug\": {slug},\n",
+                "  \"title\": {title},\n",
+                "  \"graph\": {graph},\n",
+                "  \"wake\": {wake},\n",
+                "  \"engine\": \"{engine}\",\n",
+                "  \"channel\": {channel},\n",
+                "  \"monitored\": {monitored},\n",
+                "  \"salt\": {salt},\n",
+                "  \"columns\": [{columns}]\n",
+                "}}\n"
+            ),
+            id = json_string(&self.id),
+            slug = json_string(&self.slug),
+            title = json_string(&self.title),
+            graph = self.graph.to_json(),
+            wake = self.wake.to_json(),
+            engine = self.engine.name(),
+            channel = channel_to_json(&self.channel),
+            monitored = self.monitored,
+            salt = self.salt,
+            columns = columns.join(", "),
+        )
+    }
+
+    /// Parses the JSON format (inverse of [`ScenarioSpec::to_json`]).
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj("top level")?;
+        let engine_s = json::get(obj, "engine")?.as_str("engine")?;
+        let engine = EngineKind::from_name(engine_s)
+            .ok_or_else(|| format!("unknown engine {engine_s:?}"))?;
+        let columns = json::get(obj, "columns")?
+            .as_arr("columns")?
+            .iter()
+            .map(|c| c.as_str("column").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScenarioSpec {
+            id: json::get(obj, "id")?.as_str("id")?.to_string(),
+            slug: json::get(obj, "slug")?.as_str("slug")?.to_string(),
+            title: json::get(obj, "title")?.as_str("title")?.to_string(),
+            graph: GraphSpec::from_json(json::get(obj, "graph")?)?,
+            wake: WakeSpec::from_json(json::get(obj, "wake")?)?,
+            engine,
+            channel: channel_from_json(json::get(obj, "channel")?)?,
+            monitored: json::get(obj, "monitored")?.as_bool("monitored")?,
+            salt: json::get(obj, "salt")?.as_u64("salt")?,
+            columns,
+        })
+    }
+}
+
+/// One registry entry: the declarative spec plus the runner producing
+/// the experiment's publication tables.
+pub struct Scenario {
+    /// Constructor for the declarative spec (cheap; called on demand).
+    pub spec: fn() -> ScenarioSpec,
+    /// Full experiment runner.
+    pub run: fn(&ExpOpts) -> Vec<Table>,
+    /// Included in the default `all` set. Alias views (E6 re-renders
+    /// E2) opt out so `all` never emits duplicate tables.
+    pub default: bool,
+}
+
+/// Node count used by [`dry_run`] smoke executions.
+pub const DRY_RUN_N: usize = 16;
+
+/// Smoke-executes a spec's declarative core at tiny scale: builds a
+/// [`DRY_RUN_N`]-node UDG, materializes the wake pattern, and runs the
+/// coloring under the spec's engine + channel with the invariant
+/// monitor forced on, for two seeds. Fails if the engine errors, any
+/// invariant is violated, or the coloring does not complete within the
+/// slot cap.
+pub fn dry_run(spec: &ScenarioSpec) -> Result<(), String> {
+    // Tiny and sparse: the algorithm's guarantees are only w.h.p., so
+    // the smoke workload stays well inside the regime where the fixed
+    // seeds below are conflict-free for every registered scenario.
+    let w = udg_workload(DRY_RUN_N, 3.0, 0xD05E ^ spec.salt);
+    let params = w.params();
+    let pattern = spec.wake.materialize(&params);
+    let plan = RunPlan::new(params)
+        .engine(spec.engine)
+        .channel(spec.channel)
+        .max_slots(slot_cap(&params))
+        .monitor(true);
+    for seed in [spec.salt, spec.salt ^ 0x5EED] {
+        let wake = pattern.generate(DRY_RUN_N, &mut node_rng(seed, 0xD5));
+        let out = plan.color(&w.graph, &wake, seed);
+        if let Some(e) = &out.error {
+            return Err(format!("{}: seed {seed:#x}: engine error: {e:?}", spec.id));
+        }
+        if !out.violations.is_empty() {
+            return Err(format!(
+                "{}: seed {seed:#x}: {} invariant violation(s)",
+                spec.id,
+                out.violations.len()
+            ));
+        }
+        if !out.all_decided {
+            return Err(format!(
+                "{}: seed {seed:#x}: coloring did not complete within the slot cap",
+                spec.id
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exotic_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            id: "x1".into(),
+            slug: "x01_exotic".into(),
+            title: "quote \" and unicode Δ·κ₂ survive".into(),
+            graph: GraphSpec::Obstacles { n: 160, walls: 120 },
+            wake: WakeSpec::Bursts { bursts: 4, gap: 32 },
+            engine: EngineKind::Jittered,
+            channel: ChannelSpec::GilbertElliott {
+                p_bad: 0.125,
+                p_good: 0.25,
+                loss_good: 0.0625,
+                loss_bad: 0.75,
+            },
+            monitored: true,
+            salt: 0xDEAD_BEEF,
+            columns: vec!["a".into(), "Δ".into(), "T̄".into()],
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = exotic_spec();
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("parse");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn every_wake_and_graph_variant_round_trips() {
+        let wakes = [
+            WakeSpec::Synchronous,
+            WakeSpec::UniformWindow { factor: 3 },
+            WakeSpec::Sequential { gap: 7 },
+            WakeSpec::SequentialShuffled { gap: 9 },
+            WakeSpec::Poisson { mean_gap: 2.5 },
+            WakeSpec::Bursts { bursts: 2, gap: 64 },
+        ];
+        let graphs = [
+            GraphSpec::Udg {
+                n: 128,
+                target_delta: 10.0,
+            },
+            GraphSpec::CoreHalo {
+                core: 120,
+                halo: 180,
+            },
+            GraphSpec::Ubg { n: 120, dim: 2 },
+            GraphSpec::Obstacles { n: 160, walls: 40 },
+        ];
+        let mut spec = exotic_spec();
+        for wake in wakes {
+            for graph in graphs {
+                spec.wake = wake;
+                spec.graph = graph;
+                let back = ScenarioSpec::from_json(&spec.to_json()).expect("parse");
+                assert_eq!(spec, back);
+            }
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_specs() {
+        assert!(ScenarioSpec::from_json("{}").is_err());
+        let spec = exotic_spec();
+        let bad_engine = spec.to_json().replace("jittered", "warp-drive");
+        assert!(ScenarioSpec::from_json(&bad_engine).is_err());
+        let bad_wake = spec.to_json().replace("bursts\"", "comets\"");
+        assert!(ScenarioSpec::from_json(&bad_wake).is_err());
+    }
+
+    #[test]
+    fn dry_run_passes_on_a_simple_spec() {
+        let spec = ScenarioSpec {
+            id: "smoke".into(),
+            slug: "smoke".into(),
+            title: "smoke".into(),
+            graph: GraphSpec::Udg {
+                n: 128,
+                target_delta: 10.0,
+            },
+            wake: WakeSpec::UniformWindow { factor: 2 },
+            engine: EngineKind::Event,
+            channel: ChannelSpec::Ideal,
+            monitored: false,
+            salt: 0x51,
+            columns: vec![],
+        };
+        dry_run(&spec).expect("dry run clean");
+    }
+}

@@ -7,7 +7,7 @@ use radio_graph::analysis::Kappa;
 use radio_graph::generators::{build_udg, udg_side_for_target_degree, uniform_square};
 use radio_graph::{Graph, Point2};
 use radio_sim::rng::node_rng;
-use radio_sim::{ChannelSpec, Engine, SimConfig, Slot};
+use radio_sim::{ChannelSpec, EngineKind, SimConfig, Slot};
 use urn_coloring::{color_graph, AlgorithmParams, ColoringConfig, ColoringOutcome, IdAssignment};
 
 /// A generated network together with everything experiments report on.
@@ -95,7 +95,7 @@ pub struct RunPlan {
     /// Algorithm constants and network estimates.
     pub params: AlgorithmParams,
     /// Simulation engine.
-    pub engine: Engine,
+    pub engine: EngineKind,
     /// Channel model for fault injection.
     pub channel: ChannelSpec,
     /// Slot budget for the run.
@@ -113,7 +113,7 @@ impl RunPlan {
     pub fn new(params: AlgorithmParams) -> Self {
         RunPlan {
             params,
-            engine: Engine::Event,
+            engine: EngineKind::Event,
             channel: ChannelSpec::Ideal,
             max_slots: slot_cap(&params),
             ids: IdAssignment::Sequential,
@@ -128,7 +128,7 @@ impl RunPlan {
     }
 
     /// Selects the simulation engine.
-    pub fn engine(mut self, engine: Engine) -> Self {
+    pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
     }

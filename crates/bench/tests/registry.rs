@@ -1,0 +1,50 @@
+//! Scenario-registry health checks: every registered spec must
+//! serialize losslessly, carry a unique id/slug, and survive the
+//! tiny-n monitored smoke execution (`--dry-run`'s CI gate).
+
+use radio_bench::experiments::{dry_run, registry, ScenarioSpec};
+use std::collections::BTreeSet;
+
+#[test]
+fn every_registered_spec_round_trips_through_json() {
+    for s in registry() {
+        let spec = (s.spec)();
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", spec.id));
+        assert_eq!(spec, back, "lossy JSON round-trip for {}", spec.id);
+    }
+}
+
+#[test]
+fn ids_and_slugs_are_unique_and_well_formed() {
+    let mut ids = BTreeSet::new();
+    let mut slugs = BTreeSet::new();
+    for s in registry() {
+        let spec = (s.spec)();
+        assert!(ids.insert(spec.id.clone()), "duplicate id {}", spec.id);
+        assert!(
+            slugs.insert(spec.slug.clone()),
+            "duplicate slug {}",
+            spec.slug
+        );
+        assert!(!spec.title.is_empty(), "{}: empty title", spec.id);
+        assert!(!spec.columns.is_empty(), "{}: no columns", spec.id);
+        assert!(
+            spec.slug
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "{}: slug {:?} is not a safe file stem",
+            spec.id,
+            spec.slug
+        );
+    }
+}
+
+#[test]
+fn every_registered_scenario_passes_dry_run() {
+    for s in registry() {
+        let spec = (s.spec)();
+        dry_run(&spec).unwrap_or_else(|e| panic!("dry run failed: {e}"));
+    }
+}

@@ -246,7 +246,7 @@ enum DedupKey {
 
 /// The online monitor for the coloring state machine (see the module
 /// docs for the rule list). Attach with
-/// [`radio_sim::Engine::run_monitored`] or via
+/// [`radio_sim::EngineKind::run_monitored`] or via
 /// [`crate::ColoringConfig::with_monitor`].
 pub struct ColoringMonitor<'g> {
     graph: &'g Graph,

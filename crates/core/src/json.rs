@@ -1,0 +1,295 @@
+//! A minimal JSON value model + recursive-descent parser, covering
+//! exactly what this workspace's artifact formats emit (no serde in the
+//! build environment). Integers up to 2⁵³ round-trip exactly through
+//! the `f64` number representation; seeds and slots in artifacts stay
+//! far below that.
+//!
+//! Shared by the repro-corpus format ([`crate::repro`]) and the
+//! experiment scenario specs in the bench crate.
+
+/// Parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, or an error naming `what` was expected.
+    pub fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+        match self {
+            Value::Obj(o) => Ok(o),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    /// The array elements, or an error naming `what` was expected.
+    pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    /// The string contents, or an error naming `what` was expected.
+    pub fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+
+    /// The number, or an error naming `what` was expected.
+    pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(x) => Ok(*x),
+            _ => Err(format!("{what}: expected number")),
+        }
+    }
+
+    /// The number as an exact unsigned integer (rejects negatives,
+    /// fractions and values beyond 2⁵³).
+    pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+        let x = self.as_f64(what)?;
+        if x < 0.0 || x.fract() != 0.0 || x > 9.007_199_254_740_992e15 {
+            return Err(format!("{what}: expected unsigned integer, got {x}"));
+        }
+        Ok(x as u64)
+    }
+
+    /// The boolean, or an error naming `what` was expected.
+    pub fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("{what}: expected boolean")),
+        }
+    }
+}
+
+/// Looks up `key` in an object.
+pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// Escapes a string into a JSON literal (with surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let v = value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(out));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Value::Str(key) = value(b, pos)? else {
+                    return Err(format!("object key must be a string at byte {}", *pos));
+                };
+                expect(b, pos, b':')?;
+                out.push((key, value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(out));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(out));
+            }
+            loop {
+                out.push(value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(out));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Value::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", *pos)),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&b[*pos..])
+                            .map_err(|_| "invalid UTF-8 in string")?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+            s.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("3.5").unwrap(), Value::Num(3.5));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Value::Str("a\nb".into()));
+        let v = parse(r#"{"k": [1, 2], "s": "x"}"#).unwrap();
+        let obj = v.as_obj("top").unwrap();
+        assert_eq!(get(obj, "k").unwrap().as_arr("k").unwrap().len(), 2);
+        assert_eq!(get(obj, "s").unwrap().as_str("s").unwrap(), "x");
+    }
+
+    #[test]
+    fn escaper_round_trips() {
+        let s = "quote \" slash \\ newline \n tab \t unit \u{1}";
+        assert_eq!(parse(&json_string(s)).unwrap(), Value::Str(s.to_string()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse(r#"{"k": }"#).is_err());
+    }
+
+    #[test]
+    fn as_u64_bounds() {
+        assert_eq!(parse("7").unwrap().as_u64("x").unwrap(), 7);
+        assert!(parse("-1").unwrap().as_u64("x").is_err());
+        assert!(parse("1.5").unwrap().as_u64("x").is_err());
+        assert!(parse("true").unwrap().as_bool("x").unwrap());
+    }
+}

@@ -46,6 +46,7 @@
 pub mod chi;
 pub mod estimate;
 pub mod invariants;
+pub mod json;
 pub mod messages;
 pub mod mutation;
 pub mod node;

@@ -26,7 +26,9 @@ use crate::mutation::{MutatedNode, MutationKind};
 use crate::node::ColoringNode;
 use crate::params::{AlgorithmParams, ResetPolicy};
 use radio_graph::{Graph, NodeId};
-use radio_sim::{ChannelSpec, Engine, SimConfig, Slot};
+
+use crate::json::{self, json_string};
+use radio_sim::{ChannelSpec, EngineKind, SimConfig, Slot};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -47,7 +49,7 @@ pub struct ReproCase {
     /// Run seed.
     pub seed: u64,
     /// Which engine to replay under.
-    pub engine: Engine,
+    pub engine: EngineKind,
     /// Channel model.
     pub channel: ChannelSpec,
     /// Algorithm parameters.
@@ -110,23 +112,7 @@ impl ReproCase {
             .map(|&(u, v)| format!("[{u},{v}]"))
             .collect();
         let wake: Vec<String> = self.wake.iter().map(|w| w.to_string()).collect();
-        let channel = match self.channel {
-            ChannelSpec::Ideal => r#"{"kind":"ideal"}"#.to_string(),
-            ChannelSpec::ProbabilisticLoss { p } => {
-                format!(r#"{{"kind":"probabilistic-loss","p":{p:?}}}"#)
-            }
-            ChannelSpec::GilbertElliott {
-                p_bad,
-                p_good,
-                loss_good,
-                loss_bad,
-            } => format!(
-                r#"{{"kind":"gilbert-elliott","p_bad":{p_bad:?},"p_good":{p_good:?},"loss_good":{loss_good:?},"loss_bad":{loss_bad:?}}}"#
-            ),
-            ChannelSpec::AdversarialJam { window, budget } => {
-                format!(r#"{{"kind":"adversarial-jam","window":{window},"budget":{budget}}}"#)
-            }
-        };
+        let channel = channel_to_json(&self.channel);
         let p = &self.params;
         let reset = match p.reset_policy {
             ResetPolicy::Paper => "paper",
@@ -137,10 +123,7 @@ impl ReproCase {
             Some(a) => a.to_string(),
             None => "null".to_string(),
         };
-        let engine = match self.engine {
-            Engine::Lockstep => "lockstep",
-            Engine::Event => "event",
-        };
+        let engine = self.engine.name();
         format!(
             concat!(
                 "{{\n",
@@ -187,25 +170,7 @@ impl ReproCase {
         let obj = v.as_obj("top level")?;
         let params_v = json::get(obj, "params")?;
         let pobj = params_v.as_obj("params")?;
-        let channel_v = json::get(obj, "channel")?;
-        let cobj = channel_v.as_obj("channel")?;
-        let channel = match json::get(cobj, "kind")?.as_str("channel.kind")? {
-            "ideal" => ChannelSpec::Ideal,
-            "probabilistic-loss" => ChannelSpec::ProbabilisticLoss {
-                p: json::get(cobj, "p")?.as_f64("channel.p")?,
-            },
-            "gilbert-elliott" => ChannelSpec::GilbertElliott {
-                p_bad: json::get(cobj, "p_bad")?.as_f64("p_bad")?,
-                p_good: json::get(cobj, "p_good")?.as_f64("p_good")?,
-                loss_good: json::get(cobj, "loss_good")?.as_f64("loss_good")?,
-                loss_bad: json::get(cobj, "loss_bad")?.as_f64("loss_bad")?,
-            },
-            "adversarial-jam" => ChannelSpec::AdversarialJam {
-                window: json::get(cobj, "window")?.as_u64("window")?,
-                budget: json::get(cobj, "budget")?.as_u64("budget")? as u32,
-            },
-            k => return Err(format!("unknown channel kind {k:?}")),
-        };
+        let channel = channel_from_json(json::get(obj, "channel")?)?;
         let reset_policy = match json::get(pobj, "reset_policy")?.as_str("reset_policy")? {
             "paper" => ResetPolicy::Paper,
             "always-reset" => ResetPolicy::AlwaysReset,
@@ -227,11 +192,9 @@ impl ReproCase {
             reset_policy,
             announce_slots,
         };
-        let engine = match json::get(obj, "engine")?.as_str("engine")? {
-            "lockstep" => Engine::Lockstep,
-            "event" => Engine::Event,
-            e => return Err(format!("unknown engine {e:?}")),
-        };
+        let engine_s = json::get(obj, "engine")?.as_str("engine")?;
+        let engine = EngineKind::from_name(engine_s)
+            .ok_or_else(|| format!("unknown engine {engine_s:?}"))?;
         let mutation_s = json::get(obj, "mutation")?.as_str("mutation")?;
         let mutation = MutationKind::parse(mutation_s)
             .ok_or_else(|| format!("unknown mutation {mutation_s:?}"))?;
@@ -277,6 +240,52 @@ impl ReproCase {
             return Err(format!("edge ({u}, {v}) out of range for n = {}", case.n));
         }
         Ok(case)
+    }
+}
+
+/// Serializes a [`ChannelSpec`] to its artifact JSON object (the
+/// `"channel"` field of a repro case; also reused by the bench crate's
+/// scenario specs so both formats stay in sync).
+pub fn channel_to_json(channel: &ChannelSpec) -> String {
+    match *channel {
+        ChannelSpec::Ideal => r#"{"kind":"ideal"}"#.to_string(),
+        ChannelSpec::ProbabilisticLoss { p } => {
+            format!(r#"{{"kind":"probabilistic-loss","p":{p:?}}}"#)
+        }
+        ChannelSpec::GilbertElliott {
+            p_bad,
+            p_good,
+            loss_good,
+            loss_bad,
+        } => format!(
+            r#"{{"kind":"gilbert-elliott","p_bad":{p_bad:?},"p_good":{p_good:?},"loss_good":{loss_good:?},"loss_bad":{loss_bad:?}}}"#
+        ),
+        ChannelSpec::AdversarialJam { window, budget } => {
+            format!(r#"{{"kind":"adversarial-jam","window":{window},"budget":{budget}}}"#)
+        }
+    }
+}
+
+/// Parses a [`ChannelSpec`] from its artifact JSON object (inverse of
+/// [`channel_to_json`]).
+pub fn channel_from_json(v: &json::Value) -> Result<ChannelSpec, String> {
+    let cobj = v.as_obj("channel")?;
+    match json::get(cobj, "kind")?.as_str("channel.kind")? {
+        "ideal" => Ok(ChannelSpec::Ideal),
+        "probabilistic-loss" => Ok(ChannelSpec::ProbabilisticLoss {
+            p: json::get(cobj, "p")?.as_f64("channel.p")?,
+        }),
+        "gilbert-elliott" => Ok(ChannelSpec::GilbertElliott {
+            p_bad: json::get(cobj, "p_bad")?.as_f64("p_bad")?,
+            p_good: json::get(cobj, "p_good")?.as_f64("p_good")?,
+            loss_good: json::get(cobj, "loss_good")?.as_f64("loss_good")?,
+            loss_bad: json::get(cobj, "loss_bad")?.as_f64("loss_bad")?,
+        }),
+        "adversarial-jam" => Ok(ChannelSpec::AdversarialJam {
+            window: json::get(cobj, "window")?.as_u64("window")?,
+            budget: json::get(cobj, "budget")?.as_u64("budget")? as u32,
+        }),
+        k => Err(format!("unknown channel kind {k:?}")),
     }
 }
 
@@ -409,242 +418,6 @@ pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, ReproCase)>, String> {
         .collect()
 }
 
-/// Escapes a string into a JSON literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// A minimal JSON value model + recursive-descent parser, covering
-/// exactly what the artifact format emits (no serde in the build
-/// environment). Integers up to 2⁵³ round-trip exactly through the
-/// `f64` number representation; seeds and slots in artifacts stay far
-/// below that.
-mod json {
-    /// Parsed JSON value.
-    #[derive(Clone, Debug, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// Any number.
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, insertion-ordered.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
-            match self {
-                Value::Obj(o) => Ok(o),
-                _ => Err(format!("{what}: expected object")),
-            }
-        }
-        pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
-            match self {
-                Value::Arr(a) => Ok(a),
-                _ => Err(format!("{what}: expected array")),
-            }
-        }
-        pub fn as_str(&self, what: &str) -> Result<&str, String> {
-            match self {
-                Value::Str(s) => Ok(s),
-                _ => Err(format!("{what}: expected string")),
-            }
-        }
-        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
-            match self {
-                Value::Num(x) => Ok(*x),
-                _ => Err(format!("{what}: expected number")),
-            }
-        }
-        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
-            let x = self.as_f64(what)?;
-            if x < 0.0 || x.fract() != 0.0 || x > 9.007_199_254_740_992e15 {
-                return Err(format!("{what}: expected unsigned integer, got {x}"));
-            }
-            Ok(x as u64)
-        }
-    }
-
-    /// Looks up `key` in an object.
-    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
-        obj.iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing key {key:?}"))
-    }
-
-    /// Parses one JSON document (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let b = text.as_bytes();
-        let mut pos = 0usize;
-        let v = value(b, &mut pos)?;
-        skip_ws(b, &mut pos);
-        if pos != b.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(b, pos);
-        if *pos < b.len() && b[*pos] == c {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", c as char, *pos))
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => {
-                *pos += 1;
-                let mut out = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Value::Obj(out));
-                }
-                loop {
-                    skip_ws(b, pos);
-                    let Value::Str(key) = value(b, pos)? else {
-                        return Err(format!("object key must be a string at byte {}", *pos));
-                    };
-                    expect(b, pos, b':')?;
-                    out.push((key, value(b, pos)?));
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(Value::Obj(out));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                let mut out = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Value::Arr(out));
-                }
-                loop {
-                    out.push(value(b, pos)?);
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(Value::Arr(out));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-                    }
-                }
-            }
-            Some(b'"') => {
-                *pos += 1;
-                let mut out = String::new();
-                loop {
-                    match b.get(*pos) {
-                        None => return Err("unterminated string".to_string()),
-                        Some(b'"') => {
-                            *pos += 1;
-                            return Ok(Value::Str(out));
-                        }
-                        Some(b'\\') => {
-                            *pos += 1;
-                            match b.get(*pos) {
-                                Some(b'"') => out.push('"'),
-                                Some(b'\\') => out.push('\\'),
-                                Some(b'/') => out.push('/'),
-                                Some(b'n') => out.push('\n'),
-                                Some(b't') => out.push('\t'),
-                                Some(b'r') => out.push('\r'),
-                                Some(b'u') => {
-                                    let hex =
-                                        b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
-                                    let code = u32::from_str_radix(
-                                        std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                        16,
-                                    )
-                                    .map_err(|_| "bad \\u escape")?;
-                                    out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
-                                    *pos += 4;
-                                }
-                                _ => return Err(format!("bad escape at byte {}", *pos)),
-                            }
-                            *pos += 1;
-                        }
-                        Some(_) => {
-                            // Consume one UTF-8 scalar.
-                            let rest = std::str::from_utf8(&b[*pos..])
-                                .map_err(|_| "invalid UTF-8 in string")?;
-                            let c = rest.chars().next().unwrap();
-                            out.push(c);
-                            *pos += c.len_utf8();
-                        }
-                    }
-                }
-            }
-            Some(b't') if b[*pos..].starts_with(b"true") => {
-                *pos += 4;
-                Ok(Value::Bool(true))
-            }
-            Some(b'f') if b[*pos..].starts_with(b"false") => {
-                *pos += 5;
-                Ok(Value::Bool(false))
-            }
-            Some(b'n') if b[*pos..].starts_with(b"null") => {
-                *pos += 4;
-                Ok(Value::Null)
-            }
-            Some(_) => {
-                let start = *pos;
-                while *pos < b.len()
-                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-                {
-                    *pos += 1;
-                }
-                let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
-                s.parse::<f64>()
-                    .map(Value::Num)
-                    .map_err(|_| format!("bad number {s:?} at byte {start}"))
-            }
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,7 +431,7 @@ mod tests {
             edges: g.edges().collect(),
             wake: vec![0, 3, 6, 9],
             seed: 42,
-            engine: Engine::Event,
+            engine: EngineKind::Event,
             channel: ChannelSpec::ProbabilisticLoss { p: 0.125 },
             params: AlgorithmParams::practical(2, 3, 16),
             mutation,

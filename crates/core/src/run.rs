@@ -7,7 +7,7 @@ use crate::params::AlgorithmParams;
 use radio_graph::analysis::{check_coloring, Coloring, ColoringReport};
 use radio_graph::{Graph, NodeId};
 use radio_sim::rng::{node_rng, random_ids};
-use radio_sim::{Engine, NodeStats, ProtocolError, SimConfig, Slot};
+use radio_sim::{EngineKind, NodeStats, ProtocolError, SimConfig, Slot};
 
 /// How protocol-level node IDs are assigned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -27,7 +27,7 @@ pub struct ColoringConfig {
     /// Algorithm constants and network estimates.
     pub params: AlgorithmParams,
     /// Which simulation engine executes the run.
-    pub engine: Engine,
+    pub engine: EngineKind,
     /// Engine limits.
     pub sim: SimConfig,
     /// Protocol-level ID scheme.
@@ -44,7 +44,7 @@ impl ColoringConfig {
     pub fn new(params: AlgorithmParams) -> Self {
         ColoringConfig {
             params,
-            engine: Engine::Event,
+            engine: EngineKind::Event,
             sim: SimConfig::default(),
             ids: IdAssignment::Sequential,
             monitor: false,
@@ -263,7 +263,7 @@ mod tests {
     #[test]
     fn path_colors_properly_both_engines() {
         let g = path(6);
-        for engine in [Engine::Event, Engine::Lockstep] {
+        for engine in [EngineKind::Event, EngineKind::Lockstep] {
             let mut c = cfg(6, 3);
             c.engine = engine;
             let out = color_graph(&g, &[0; 6], &c, 7);
@@ -365,7 +365,7 @@ mod tests {
     #[test]
     fn monitored_run_is_clean_and_bit_identical() {
         let g = star(6);
-        for engine in [Engine::Event, Engine::Lockstep] {
+        for engine in [EngineKind::Event, EngineKind::Lockstep] {
             let mut c = cfg(6, 6);
             c.engine = engine;
             let plain = color_graph(&g, &[0; 6], &c, 11);

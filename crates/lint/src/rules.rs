@@ -324,6 +324,17 @@ pub fn check_panic(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
 }
 
 /// R4: `run_*` / `run_*_monitored` hook parity within one engine file.
+///
+/// Under the unified-driver architecture every entry point must route
+/// through `SimDriver` (which threads `ChannelModel` and
+/// `InvariantMonitor` by construction), either directly or by
+/// delegating to a sibling that does:
+///
+/// * a `run_*_monitored` body must mention `SimDriver`, or — for an
+///   engine that still hand-threads its hooks — both `monitor` and
+///   `channel`;
+/// * a plain `run_*` body must mention `SimDriver` or delegate to its
+///   `run_*_monitored` sibling in the same file (which must exist).
 pub fn check_hook_parity(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
     // Collect `pub fn run_*` definitions.
     let mut fns: Vec<(String, usize, u32)> = Vec::new();
@@ -350,9 +361,14 @@ pub fn check_hook_parity(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
                 None => Vec::new(),
             }
         };
+        let idents = body_idents(*fn_idx);
+        let via_driver = idents.contains(&"SimDriver");
         if name.ends_with("_monitored") {
-            // The monitored entry must thread both hook layers.
-            let idents = body_idents(*fn_idx);
+            // The monitored entry must route through the unified driver
+            // or thread both hook layers itself.
+            if via_driver {
+                continue;
+            }
             for hook in ["monitor", "channel"] {
                 if !idents.contains(&hook) {
                     out.push(Diagnostic {
@@ -360,13 +376,18 @@ pub fn check_hook_parity(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
                         line: *line,
                         rule: Rule::HookParity,
                         message: format!(
-                            "`{name}` does not thread the `{hook}` hook \
-                             (monitored entry points must drive both \
-                             `ChannelModel` and `InvariantMonitor`)"
+                            "`{name}` neither routes through `SimDriver` nor \
+                             threads the `{hook}` hook (monitored entry points \
+                             must drive both `ChannelModel` and \
+                             `InvariantMonitor`)"
                         ),
                     });
                 }
             }
+        } else if via_driver {
+            // Routing through the driver gives plain and monitored runs
+            // the same code path by construction.
+            continue;
         } else {
             let sibling = format!("{name}_monitored");
             if !names.contains(&sibling.as_str()) {
@@ -374,16 +395,20 @@ pub fn check_hook_parity(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
                     file: file.to_string(),
                     line: *line,
                     rule: Rule::HookParity,
-                    message: format!("engine entry point `{name}` has no `{sibling}` sibling"),
+                    message: format!(
+                        "engine entry point `{name}` routes around `SimDriver` \
+                         and has no `{sibling}` sibling"
+                    ),
                 });
-            } else if !body_idents(*fn_idx).contains(&sibling.as_str()) {
+            } else if !idents.contains(&sibling.as_str()) {
                 out.push(Diagnostic {
                     file: file.to_string(),
                     line: *line,
                     rule: Rule::HookParity,
                     message: format!(
-                        "`{name}` does not delegate to `{sibling}` \
-                         (plain and monitored runs must share one code path)"
+                        "`{name}` neither routes through `SimDriver` nor \
+                         delegates to `{sibling}` (plain and monitored runs \
+                         must share one code path)"
                     ),
                 });
             }

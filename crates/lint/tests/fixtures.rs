@@ -42,9 +42,12 @@ fn violation_corpus_is_red_per_rule() {
     assert_eq!(count(&report, Rule::HashIteration), 4);
     // R3: unwrap, expect, panic!, unreachable! in `engine/panicky.rs`.
     assert_eq!(count(&report, Rule::NoPanic), 4);
-    // R4: missing sibling, non-delegating plain fn, sibling missing
-    // the monitor hook, sibling missing the channel hook.
-    assert_eq!(count(&report, Rule::HookParity), 4);
+    // R4: in `lonely.rs` — missing sibling, non-delegating plain fn,
+    // sibling missing the monitor hook, sibling missing the channel
+    // hook; in `rogue.rs` — plain fn routing around `SimDriver`
+    // without delegating, monitored fn routing around `SimDriver`
+    // with only the monitor hook.
+    assert_eq!(count(&report, Rule::HookParity), 6);
     // R5: unmarked assignment + illegal node edge + malformed marker,
     // illegal monitor edge, unadjudicated table edge, duplicate entry.
     assert_eq!(count(&report, Rule::TransitionTable), 6);

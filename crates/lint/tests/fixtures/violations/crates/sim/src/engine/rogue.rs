@@ -1,0 +1,15 @@
+//! Red fixture for the unified-driver R4 path: entry points that
+//! route around `SimDriver` and fail the fallback checks.
+
+/// Routes around the driver AND reimplements instead of delegating to
+/// its monitored sibling: one violation.
+pub fn run_rogue(slots: u64) -> u64 {
+    slots * 2
+}
+
+/// Hand-threads the monitor hook but not the channel hook, and never
+/// touches the driver: one violation.
+pub fn run_rogue_monitored(slots: u64, monitor: &mut ()) -> u64 {
+    let _ = monitor;
+    slots * 2
+}

@@ -1,0 +1,445 @@
+//! The generic simulation driver: one owner for every cross-cutting
+//! concern the engines share.
+//!
+//! Historically each engine (`lockstep`, `event`, `jittered`) threaded
+//! the [`ChannelModel`] trait, the
+//! [`InvariantMonitor`], per-node statistics, the bounded fault log and
+//! protocol-error handling by hand through its own loop — six
+//! near-duplicate entry points that every new layer had to be wired
+//! into individually. [`SimDriver`] centralizes that wiring: it owns
+//! the per-node RNG streams, behaviors, stats, decision bookkeeping,
+//! the built channel model and the fault log, and exposes the hook
+//! sequence as small methods ([`wake_up`](SimDriver::wake_up),
+//! [`fire_deadline`](SimDriver::fire_deadline),
+//! [`broadcast`](SimDriver::broadcast), [`resolve`](SimDriver::resolve),
+//! [`deliver`](SimDriver::deliver)) that fire the protocol callback,
+//! validate the returned behavior, drive the monitor and update stats
+//! in the one canonical order.
+//!
+//! An [`Engine`] is now only a *slot-advance strategy*: a unit struct
+//! whose [`drive`](Engine::drive) owns nothing but engine-local
+//! scheduling state (an active set, an event heap, a packet queue) and
+//! calls back into the driver for every semantic step. The hook stack
+//! every run goes through is:
+//!
+//! ```text
+//!             SimDriver::run::<E, P, M>
+//!                       │
+//!             E::drive (slot advance)
+//!        ┌───────────┬──┴────────┬───────────┐
+//!     wake_up   fire_deadline  broadcast  deliver
+//!        │           │            │          │
+//!        ▼           ▼            ▼          ▼
+//!   RadioProtocol callback → Behavior::validate_at
+//!        │
+//!        ▼
+//!   ChannelModel::decide (resolve: Collide/Drop/Jam bookkeeping)
+//!        │
+//!        ▼
+//!   InvariantMonitor hook (after_*, on_transmit, on_decided)
+//!        │
+//!        ▼
+//!   NodeStats / fault log / trace events
+//! ```
+//!
+//! The legacy `run_*` / `run_*_monitored` functions survive as
+//! one-line shims over [`SimDriver::run`] and are bit-identical to it
+//! (enforced by `tests/driver_identity.rs`).
+
+use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
+use crate::channel::{BuiltinChannel, ChannelModel, Contention, Reception};
+use crate::monitor::InvariantMonitor;
+use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
+use crate::rng::node_rng;
+use crate::trace::Event;
+use radio_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// What an [`Engine::drive`] implementation reports back to
+/// [`SimDriver::run`] when the slot-advance loop ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// `true` if every node woke and decided before the slot budget ran
+    /// out (the driver still vetoes this when a protocol error stopped
+    /// the run).
+    pub all_decided: bool,
+    /// The highest slot processed.
+    pub slots_run: Slot,
+}
+
+/// A slot-advance strategy: how simulated time moves forward.
+///
+/// Implementors are unit structs ([`Lockstep`](super::lockstep::Lockstep),
+/// [`EventSkip`](super::event::EventSkip),
+/// [`Jittered`](super::jittered::Jittered)) selected statically via
+/// [`SimDriver::run`]; all protocol, channel, monitor and bookkeeping
+/// semantics live in the driver, so an engine only decides *which node
+/// acts at which slot* — never *what acting means*.
+pub trait Engine {
+    /// Extra per-run input the strategy needs beyond the common
+    /// arguments: `()` for the aligned engines, the per-node phase bits
+    /// for [`Jittered`](super::jittered::Jittered).
+    type Aux<'a>: Copy;
+
+    /// Advances the simulation to completion, calling back into the
+    /// driver for every wake-up, deadline, transmission and delivery.
+    fn drive<P: RadioProtocol, M: InvariantMonitor<P>>(
+        driver: &mut SimDriver<'_, P, M>,
+        aux: Self::Aux<'_>,
+    ) -> Completion;
+}
+
+/// Shared simulation state and hook threading for all engines.
+///
+/// Constructed internally by [`SimDriver::run`]; engines receive
+/// `&mut SimDriver` in [`Engine::drive`] and use the accessor and
+/// stepping methods below. See the module docs for the hook stack.
+pub struct SimDriver<'a, P: RadioProtocol, M: InvariantMonitor<P>> {
+    graph: &'a Graph,
+    wake: &'a [Slot],
+    max_slots: Slot,
+    monitor: &'a mut M,
+    protocols: Vec<P>,
+    rngs: Vec<SmallRng>,
+    behaviors: Vec<Option<Behavior>>,
+    stats: Vec<NodeStats>,
+    decided: Vec<bool>,
+    undecided: usize,
+    channel: BuiltinChannel,
+    air: Vec<Option<P::Message>>,
+    faults: Vec<Event>,
+    faults_dropped: u64,
+    error: Option<ProtocolError>,
+}
+
+impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
+    /// Runs `protocols` on `graph` under slot-advance strategy `E`.
+    ///
+    /// This is the single code path behind every `run_*` /
+    /// `run_*_monitored` entry point: it builds the shared state (RNG
+    /// streams, channel model, stats, fault log), hands control to
+    /// [`Engine::drive`], and assembles the [`SimOutcome`] epilogue
+    /// (canonically sorted violations mirrored into the fault log).
+    ///
+    /// # Panics
+    /// Panics if `wake.len()` or `protocols.len()` differ from
+    /// `graph.len()` (and, for [`Jittered`](super::jittered::Jittered),
+    /// if the phase vector length differs).
+    pub fn run<E: Engine>(
+        graph: &'a Graph,
+        wake: &'a [Slot],
+        protocols: Vec<P>,
+        aux: E::Aux<'_>,
+        seed: u64,
+        cfg: &SimConfig,
+        monitor: &'a mut M,
+    ) -> SimOutcome<P> {
+        let n = graph.len();
+        assert_eq!(wake.len(), n, "wake schedule length mismatch");
+        assert_eq!(protocols.len(), n, "protocol vector length mismatch");
+        let mut driver = SimDriver {
+            graph,
+            wake,
+            max_slots: cfg.max_slots,
+            monitor,
+            protocols,
+            rngs: (0..n as u32).map(|i| node_rng(seed, i)).collect(),
+            behaviors: vec![None; n],
+            stats: wake
+                .iter()
+                .map(|&w| NodeStats {
+                    wake: w,
+                    ..NodeStats::default()
+                })
+                .collect(),
+            decided: vec![false; n],
+            undecided: n,
+            channel: cfg.channel.build(n, seed),
+            air: std::iter::repeat_with(|| None).take(n).collect(),
+            faults: Vec::new(),
+            faults_dropped: 0,
+            error: None,
+        };
+        let completion = E::drive(&mut driver, aux);
+        driver.finish(completion)
+    }
+
+    // ---- read-only accessors -------------------------------------------
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.wake.len()
+    }
+
+    /// The network graph (untied from the driver borrow, so engines can
+    /// hold it across mutating driver calls).
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Per-node wake slots, in each node's local slot count.
+    #[inline]
+    pub fn wake(&self) -> &'a [Slot] {
+        self.wake
+    }
+
+    /// The run's slot budget ([`SimConfig::max_slots`]).
+    #[inline]
+    pub fn max_slots(&self) -> Slot {
+        self.max_slots
+    }
+
+    /// Node `v`'s current behavior segment (`None` before wake-up).
+    #[inline]
+    pub fn behavior(&self, v: NodeId) -> Option<Behavior> {
+        self.behaviors[v as usize]
+    }
+
+    /// Node `v`'s current segment deadline, if any.
+    #[inline]
+    pub fn until(&self, v: NodeId) -> Option<Slot> {
+        self.behaviors[v as usize].and_then(|b| b.until())
+    }
+
+    /// Number of nodes that have not yet decided.
+    #[inline]
+    pub fn undecided(&self) -> usize {
+        self.undecided
+    }
+
+    /// `true` once a protocol callback returned a malformed behavior;
+    /// the engine must stop stepping (the stepping methods that can
+    /// observe this return `false` / `Err` at that point).
+    #[inline]
+    pub fn errored(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// `true` when `v` no longer needs per-slot attention: it has
+    /// decided and is permanently silent, so it draws no randomness,
+    /// meets no deadline, and never transmits again. Such nodes can be
+    /// compacted out of an engine's active set (they can still
+    /// *receive*; a reactivating `on_receive` puts them back).
+    #[inline]
+    pub fn retired(&self, v: NodeId) -> bool {
+        self.decided[v as usize]
+            && matches!(
+                self.behaviors[v as usize],
+                Some(Behavior::Silent { until: None })
+            )
+    }
+
+    /// Node `v`'s private RNG stream (for engine-side schedule draws
+    /// such as geometric transmission skips).
+    #[inline]
+    pub fn rng(&mut self, v: NodeId) -> &mut SmallRng {
+        &mut self.rngs[v as usize]
+    }
+
+    // ---- stepping methods ----------------------------------------------
+
+    /// Wakes node `v` at `slot`: fires `on_wake`, validates and installs
+    /// the returned behavior, drives the monitor and decision
+    /// bookkeeping. Returns `false` if the behavior was malformed (the
+    /// error is recorded and the engine must stop).
+    #[inline]
+    pub fn wake_up(&mut self, v: NodeId, slot: Slot) -> bool {
+        let vi = v as usize;
+        let b = self.protocols[vi].on_wake(slot, &mut self.rngs[vi]);
+        self.install(v, slot, b)
+    }
+
+    /// Fires node `v`'s deadline at `slot`: `on_deadline`, validation,
+    /// monitor, decision bookkeeping. Returns `false` on a malformed
+    /// behavior.
+    #[inline]
+    pub fn fire_deadline(&mut self, v: NodeId, slot: Slot) -> bool {
+        let vi = v as usize;
+        let b = self.protocols[vi].on_deadline(slot, &mut self.rngs[vi]);
+        if let Err(fault) = b.validate_at(slot) {
+            self.error = Some(ProtocolError {
+                node: v,
+                slot,
+                fault,
+            });
+            return false;
+        }
+        self.behaviors[vi] = Some(b);
+        self.monitor.after_deadline(v, slot, &self.protocols[vi]);
+        self.note_decided(v, slot);
+        true
+    }
+
+    /// One Bernoulli transmission draw for node `v`'s current segment:
+    /// `true` iff `v` is in a `Transmit { p, .. }` segment and the draw
+    /// with probability `p` succeeds. Draws nothing for silent nodes.
+    #[inline]
+    pub fn bernoulli_tx(&mut self, v: NodeId) -> bool {
+        let vi = v as usize;
+        match self.behaviors[vi] {
+            Some(Behavior::Transmit { p, .. }) => self.rngs[vi].gen_bool(p),
+            _ => false,
+        }
+    }
+
+    /// Builds node `v`'s message for `slot` and fires the transmit-side
+    /// hooks (monitor `on_transmit`, `sent` counter). The caller owns
+    /// the returned message's fate — aligned engines park it on the air
+    /// via [`broadcast`](Self::broadcast), the jittered engine wraps it
+    /// in a packet.
+    #[inline]
+    pub fn compose(&mut self, v: NodeId, slot: Slot) -> P::Message {
+        let vi = v as usize;
+        let msg = self.protocols[vi].message(slot, &mut self.rngs[vi]);
+        self.monitor.on_transmit(v, slot, &msg, &self.protocols[vi]);
+        self.stats[vi].sent += 1;
+        msg
+    }
+
+    /// [`compose`](Self::compose) for aligned-slot engines: the message
+    /// is parked on the air for this slot (read back by
+    /// [`air`](Self::air) during delivery).
+    #[inline]
+    pub fn broadcast(&mut self, v: NodeId, slot: Slot) {
+        let msg = self.compose(v, slot);
+        self.air[v as usize] = Some(msg);
+    }
+
+    /// The message node `w` parked on the air this slot (cloned), if
+    /// any. Aligned engines never clear the air between slots — the
+    /// delivery kernel only ever reports current-slot transmitters.
+    #[inline]
+    pub fn air(&self, w: NodeId) -> Option<P::Message> {
+        self.air[w as usize].clone()
+    }
+
+    /// Lets the channel model decide a contention. On
+    /// [`Reception::Deliver`] returns the winning transmitter; the
+    /// Collide / Drop / Jam outcomes are fully absorbed here (listener
+    /// stats, bounded fault log) and return `None`.
+    #[inline]
+    pub fn resolve(&mut self, c: &Contention) -> Option<NodeId> {
+        let ui = c.listener as usize;
+        match self.channel.decide(c) {
+            Reception::Deliver(w) => return Some(w),
+            Reception::Collide => self.stats[ui].collisions += 1,
+            Reception::Drop => {
+                self.stats[ui].drops += 1;
+                log_fault(
+                    &mut self.faults,
+                    &mut self.faults_dropped,
+                    Event::Drop {
+                        node: c.listener,
+                        slot: c.slot,
+                    },
+                );
+            }
+            Reception::Jam => {
+                self.stats[ui].jams += 1;
+                log_fault(
+                    &mut self.faults,
+                    &mut self.faults_dropped,
+                    Event::Jam {
+                        node: c.listener,
+                        slot: c.slot,
+                    },
+                );
+            }
+        }
+        None
+    }
+
+    /// Delivers `msg` to listener `u` at its local `slot`: `received`
+    /// counter, `on_receive`, validation of any returned behavior,
+    /// monitor `after_receive`, decision bookkeeping. `Ok(true)` means
+    /// the node installed a new behavior segment (engines react by
+    /// re-activating / re-scheduling it); `Err(())` means a malformed
+    /// behavior stopped the run — the unit error is deliberate: the
+    /// typed [`ProtocolError`] is recorded on the driver and surfaces
+    /// in [`SimOutcome::error`], engines only need the stop signal.
+    #[inline]
+    #[allow(clippy::result_unit_err)]
+    pub fn deliver(&mut self, u: NodeId, slot: Slot, msg: &P::Message) -> Result<bool, ()> {
+        let ui = u as usize;
+        self.stats[ui].received += 1;
+        let mut changed = false;
+        if let Some(nb) = self.protocols[ui].on_receive(slot, msg, &mut self.rngs[ui]) {
+            if let Err(fault) = nb.validate_at(slot) {
+                self.error = Some(ProtocolError {
+                    node: u,
+                    slot,
+                    fault,
+                });
+                return Err(());
+            }
+            self.behaviors[ui] = Some(nb);
+            changed = true;
+        }
+        self.monitor
+            .after_receive(u, slot, msg, &self.protocols[ui]);
+        self.note_decided(u, slot);
+        Ok(changed)
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    /// Validates and installs behavior `b` for `v` (wake-up path), then
+    /// fires `after_wake` and decision bookkeeping.
+    #[inline]
+    fn install(&mut self, v: NodeId, slot: Slot, b: Behavior) -> bool {
+        let vi = v as usize;
+        if let Err(fault) = b.validate_at(slot) {
+            self.error = Some(ProtocolError {
+                node: v,
+                slot,
+                fault,
+            });
+            return false;
+        }
+        self.behaviors[vi] = Some(b);
+        self.monitor.after_wake(v, slot, &self.protocols[vi]);
+        self.note_decided(v, slot);
+        true
+    }
+
+    /// Flips `v`'s decided flag (once) when its protocol reports
+    /// decided, recording the slot and firing `on_decided`.
+    #[inline]
+    fn note_decided(&mut self, v: NodeId, slot: Slot) {
+        let vi = v as usize;
+        if !self.decided[vi] && self.protocols[vi].is_decided() {
+            self.decided[vi] = true;
+            self.stats[vi].decided_at = Some(slot);
+            self.undecided -= 1;
+            self.monitor.on_decided(v, slot, &self.protocols[vi]);
+        }
+    }
+
+    /// The engine epilogue: drains + sorts monitor violations, mirrors
+    /// them into the fault log, and assembles the outcome.
+    fn finish(self, completion: Completion) -> SimOutcome<P> {
+        let SimDriver {
+            monitor,
+            protocols,
+            stats,
+            mut faults,
+            mut faults_dropped,
+            error,
+            ..
+        } = self;
+        let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
+        SimOutcome {
+            protocols,
+            stats,
+            all_decided: completion.all_decided && error.is_none(),
+            slots_run: completion.slots_run,
+            error,
+            faults,
+            faults_dropped,
+            violations,
+        }
+    }
+}

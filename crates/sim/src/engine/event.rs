@@ -9,16 +9,19 @@
 //! engine (memorylessness of Bernoulli trials makes geometric skipping
 //! and per-slot draws distributionally equal, including after behavior
 //! changes, which simply re-draw).
+//!
+//! Since the [`SimDriver`] refactor this module only contains the
+//! slot-advance strategy ([`EventSkip`]) and the legacy entry-point
+//! shims; all protocol/channel/monitor threading lives in
+//! [`super::driver`].
 
-use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
-use crate::channel::{ChannelModel, Reception};
+use super::driver::{Completion, Engine, SimDriver};
+use super::{SimConfig, SimOutcome};
 use crate::delivery::DeliveryKernel;
 use crate::monitor::{InvariantMonitor, NullMonitor};
-use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
-use crate::rng::{geometric_failures, node_rng};
-use crate::trace::Event;
+use crate::protocol::{Behavior, RadioProtocol, Slot};
+use crate::rng::geometric_failures;
 use radio_graph::{Graph, NodeId};
-use rand::rngs::SmallRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -35,14 +38,161 @@ enum EventKind {
 
 type HeapEvent = Reverse<(Slot, EventKind, NodeId, u32)>;
 
-struct NodeRec {
-    behavior: Option<Behavior>,
-    /// Generation counter: heap entries with a stale generation are
-    /// ignored when popped (lazy invalidation).
-    gen: u32,
+/// The event-skipping strategy: a min-heap of (slot, kind, node, gen)
+/// events with geometric transmission skips and lazy generation-counter
+/// invalidation.
+pub struct EventSkip;
+
+/// Pushes the events implied by node `v`'s current behavior, starting
+/// from slot `from` (inclusive for transmissions). Stale entries are
+/// invalidated lazily via the generation counter in `gens`.
+fn schedule<P: RadioProtocol, M: InvariantMonitor<P>>(
+    heap: &mut BinaryHeap<HeapEvent>,
+    d: &mut SimDriver<'_, P, M>,
+    gens: &[u32],
+    v: NodeId,
+    from: Slot,
+) {
+    let Some(b) = d.behavior(v) else { return };
+    let gen = gens[v as usize];
+    if let Some(u) = b.until() {
+        heap.push(Reverse((u, EventKind::Deadline, v, gen)));
+    }
+    if let Behavior::Transmit { p, .. } = b {
+        let next = from.saturating_add(geometric_failures(p, d.rng(v)));
+        heap.push(Reverse((next, EventKind::Tx, v, gen)));
+    }
+}
+
+impl Engine for EventSkip {
+    type Aux<'a> = ();
+
+    fn drive<P: RadioProtocol, M: InvariantMonitor<P>>(
+        d: &mut SimDriver<'_, P, M>,
+        _aux: (),
+    ) -> Completion {
+        let n = d.n();
+        let wake = d.wake();
+        // Generation counter per node: heap entries carrying a stale
+        // generation are ignored when popped (lazy invalidation).
+        let mut gens: Vec<u32> = vec![0; n];
+        let mut woken = 0usize;
+
+        let mut heap: BinaryHeap<HeapEvent> = wake
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| Reverse((w, EventKind::Wake, v as NodeId, 0)))
+            .collect();
+        let mut kernel = DeliveryKernel::new(n);
+
+        let mut slots_run: Slot = 0;
+        let mut all_decided = n == 0;
+
+        'run: while let Some(&Reverse((slot, _, _, _))) = heap.peek() {
+            if slot > d.max_slots() {
+                slots_run = d.max_slots();
+                break;
+            }
+            slots_run = slot;
+            kernel.begin_slot();
+
+            // Drain every event scheduled for this slot. The heap orders
+            // by (slot, kind), so wake-ups run before deadlines before
+            // transmissions; events pushed for this same slot during the
+            // drain are picked up too.
+            while let Some(&Reverse((s, kind, v, gen))) = heap.peek() {
+                if s != slot {
+                    break;
+                }
+                heap.pop();
+                let vi = v as usize;
+                match kind {
+                    EventKind::Wake => {
+                        if !d.wake_up(v, slot) {
+                            break 'run;
+                        }
+                        woken += 1;
+                        schedule(&mut heap, d, &gens, v, slot);
+                    }
+                    EventKind::Deadline => {
+                        if gen != gens[vi] {
+                            continue; // stale
+                        }
+                        if !d.fire_deadline(v, slot) {
+                            break 'run;
+                        }
+                        gens[vi] += 1;
+                        schedule(&mut heap, d, &gens, v, slot);
+                    }
+                    EventKind::Tx => {
+                        if gen != gens[vi] {
+                            continue; // stale
+                        }
+                        debug_assert!(matches!(d.behavior(v), Some(Behavior::Transmit { .. })));
+                        d.broadcast(v, slot);
+                        kernel.transmit(d.graph(), v);
+                        // Next transmission of the same segment.
+                        if let Some(Behavior::Transmit { p, .. }) = d.behavior(v) {
+                            let next = (slot + 1).saturating_add(geometric_failures(p, d.rng(v)));
+                            heap.push(Reverse((next, EventKind::Tx, v, gen)));
+                        }
+                    }
+                }
+            }
+
+            // Deliveries (identical semantics to the lock-step engine):
+            // the kernel scattered per-listener counts as transmissions
+            // fired, and the channel model decides each touched
+            // listener's outcome. Channel draws are counter-based (pure
+            // in (listener, slot)), so skipping idle slots cannot
+            // perturb them — no per-slot fallback is needed even for
+            // non-trivial models; see `crate::channel`.
+            for &u in kernel.touched() {
+                if kernel.is_transmitter(u) {
+                    continue; // transmitting: cannot receive
+                }
+                if wake[u as usize] > slot {
+                    continue; // asleep
+                }
+                if let Some(w) = d.resolve(&kernel.contention(u, slot)) {
+                    // The kernel only reports transmitters, and every
+                    // transmitter parked its message in the air this
+                    // slot; a missing one would be an engine defect, so
+                    // skip the delivery rather than panic on the hot
+                    // path.
+                    let Some(msg) = d.air(w) else {
+                        debug_assert!(false, "transmitter {w} has no message");
+                        continue;
+                    };
+                    match d.deliver(u, slot, &msg) {
+                        Err(()) => break 'run,
+                        // New segment governs from slot + 1.
+                        Ok(true) => {
+                            gens[u as usize] += 1;
+                            schedule(&mut heap, d, &gens, u, slot + 1);
+                        }
+                        Ok(false) => {}
+                    }
+                }
+            }
+
+            if d.undecided() == 0 && woken == n {
+                all_decided = true;
+                break;
+            }
+        }
+
+        Completion {
+            all_decided,
+            slots_run,
+        }
+    }
 }
 
 /// Runs `protocols` on `graph` with the given per-node wake slots.
+///
+/// Legacy shim over [`SimDriver::run`] with the [`EventSkip`] strategy
+/// (bit-identical; kept for one release — prefer the driver directly).
 ///
 /// # Panics
 /// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
@@ -62,241 +212,20 @@ pub fn run_event<P: RadioProtocol>(
 /// monitored outcomes (violations included) stay cross-engine
 /// comparable. The run itself is bit-identical to the unmonitored one.
 ///
+/// Legacy shim over [`SimDriver::run`] with the [`EventSkip`] strategy
+/// (bit-identical; kept for one release — prefer the driver directly).
+///
 /// # Panics
 /// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
 pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
     graph: &Graph,
     wake: &[Slot],
-    mut protocols: Vec<P>,
+    protocols: Vec<P>,
     seed: u64,
     cfg: &SimConfig,
     monitor: &mut M,
 ) -> SimOutcome<P> {
-    let n = graph.len();
-    assert_eq!(wake.len(), n, "wake schedule length mismatch");
-    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
-
-    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
-    let mut recs: Vec<NodeRec> = (0..n)
-        .map(|_| NodeRec {
-            behavior: None,
-            gen: 0,
-        })
-        .collect();
-    let mut stats: Vec<NodeStats> = wake
-        .iter()
-        .map(|&w| NodeStats {
-            wake: w,
-            ..NodeStats::default()
-        })
-        .collect();
-    let mut decided = vec![false; n];
-    let mut undecided = n;
-    let mut woken = 0usize;
-
-    let mut heap: BinaryHeap<HeapEvent> = wake
-        .iter()
-        .enumerate()
-        .map(|(v, &w)| Reverse((w, EventKind::Wake, v as NodeId, 0)))
-        .collect();
-
-    let mut kernel = DeliveryKernel::new(n);
-    let mut channel = cfg.channel.build(n, seed);
-    let mut faults: Vec<Event> = Vec::new();
-    let mut faults_dropped: u64 = 0;
-    let mut error: Option<ProtocolError> = None;
-    let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
-
-    let mut slots_run: Slot = 0;
-    let mut all_decided = n == 0;
-
-    /// Pushes the events implied by node `v`'s current behavior,
-    /// starting from slot `from` (inclusive for transmissions).
-    fn schedule(
-        heap: &mut BinaryHeap<HeapEvent>,
-        recs: &[NodeRec],
-        rngs: &mut [SmallRng],
-        v: NodeId,
-        from: Slot,
-    ) {
-        let rec = &recs[v as usize];
-        let Some(b) = rec.behavior else { return };
-        if let Some(u) = b.until() {
-            heap.push(Reverse((u, EventKind::Deadline, v, rec.gen)));
-        }
-        if let Behavior::Transmit { p, .. } = b {
-            let next = from.saturating_add(geometric_failures(p, &mut rngs[v as usize]));
-            heap.push(Reverse((next, EventKind::Tx, v, rec.gen)));
-        }
-    }
-
-    'run: while let Some(&Reverse((slot, _, _, _))) = heap.peek() {
-        if slot > cfg.max_slots {
-            slots_run = cfg.max_slots;
-            break;
-        }
-        slots_run = slot;
-        kernel.begin_slot();
-
-        // Drain every event scheduled for this slot. The heap orders by
-        // (slot, kind), so wake-ups run before deadlines before
-        // transmissions; events pushed for this same slot during the
-        // drain are picked up too.
-        while let Some(&Reverse((s, kind, v, gen))) = heap.peek() {
-            if s != slot {
-                break;
-            }
-            heap.pop();
-            let vi = v as usize;
-            match kind {
-                EventKind::Wake => {
-                    let b = protocols[vi].on_wake(slot, &mut rngs[vi]);
-                    if let Err(fault) = b.validate_at(slot) {
-                        error = Some(ProtocolError {
-                            node: v,
-                            slot,
-                            fault,
-                        });
-                        break 'run;
-                    }
-                    recs[vi].behavior = Some(b);
-                    woken += 1;
-                    schedule(&mut heap, &recs, &mut rngs, v, slot);
-                    monitor.after_wake(v, slot, &protocols[vi]);
-                    if !decided[vi] && protocols[vi].is_decided() {
-                        decided[vi] = true;
-                        stats[vi].decided_at = Some(slot);
-                        undecided -= 1;
-                        monitor.on_decided(v, slot, &protocols[vi]);
-                    }
-                }
-                EventKind::Deadline => {
-                    if gen != recs[vi].gen {
-                        continue; // stale
-                    }
-                    let b = protocols[vi].on_deadline(slot, &mut rngs[vi]);
-                    if let Err(fault) = b.validate_at(slot) {
-                        error = Some(ProtocolError {
-                            node: v,
-                            slot,
-                            fault,
-                        });
-                        break 'run;
-                    }
-                    recs[vi].gen += 1;
-                    recs[vi].behavior = Some(b);
-                    schedule(&mut heap, &recs, &mut rngs, v, slot);
-                    monitor.after_deadline(v, slot, &protocols[vi]);
-                    if !decided[vi] && protocols[vi].is_decided() {
-                        decided[vi] = true;
-                        stats[vi].decided_at = Some(slot);
-                        undecided -= 1;
-                        monitor.on_decided(v, slot, &protocols[vi]);
-                    }
-                }
-                EventKind::Tx => {
-                    if gen != recs[vi].gen {
-                        continue; // stale
-                    }
-                    debug_assert!(matches!(recs[vi].behavior, Some(Behavior::Transmit { .. })));
-                    let msg = protocols[vi].message(slot, &mut rngs[vi]);
-                    monitor.on_transmit(v, slot, &msg, &protocols[vi]);
-                    air[vi] = Some(msg);
-                    stats[vi].sent += 1;
-                    kernel.transmit(graph, v);
-                    // Next transmission of the same segment.
-                    if let Some(Behavior::Transmit { p, .. }) = recs[vi].behavior {
-                        let next = (slot + 1).saturating_add(geometric_failures(p, &mut rngs[vi]));
-                        heap.push(Reverse((next, EventKind::Tx, v, gen)));
-                    }
-                }
-            }
-        }
-
-        // Deliveries (identical semantics to the lock-step engine): the
-        // kernel scattered per-listener counts as transmissions fired,
-        // and the channel model decides each touched listener's outcome.
-        // Channel draws are counter-based (pure in (listener, slot)), so
-        // skipping idle slots cannot perturb them — no per-slot fallback
-        // is needed even for non-trivial models; see `crate::channel`.
-        for &u in kernel.touched() {
-            let ui = u as usize;
-            if kernel.is_transmitter(u) {
-                continue; // transmitting: cannot receive
-            }
-            if wake[ui] > slot {
-                continue; // asleep
-            }
-            match channel.decide(&kernel.contention(u, slot)) {
-                Reception::Deliver(w) => {
-                    // The kernel only reports transmitters, and every
-                    // transmitter parked its message in `air` this slot;
-                    // a missing one would be an engine defect, so skip
-                    // the delivery rather than panic on the hot path.
-                    let Some(msg) = air[w as usize].clone() else {
-                        debug_assert!(false, "transmitter {w} has no message");
-                        continue;
-                    };
-                    stats[ui].received += 1;
-                    if let Some(nb) = protocols[ui].on_receive(slot, &msg, &mut rngs[ui]) {
-                        if let Err(fault) = nb.validate_at(slot) {
-                            error = Some(ProtocolError {
-                                node: u,
-                                slot,
-                                fault,
-                            });
-                            break 'run;
-                        }
-                        recs[ui].gen += 1;
-                        recs[ui].behavior = Some(nb);
-                        // New segment governs from slot + 1.
-                        schedule(&mut heap, &recs, &mut rngs, u, slot + 1);
-                    }
-                    monitor.after_receive(u, slot, &msg, &protocols[ui]);
-                    if !decided[ui] && protocols[ui].is_decided() {
-                        decided[ui] = true;
-                        stats[ui].decided_at = Some(slot);
-                        undecided -= 1;
-                        monitor.on_decided(u, slot, &protocols[ui]);
-                    }
-                }
-                Reception::Collide => stats[ui].collisions += 1,
-                Reception::Drop => {
-                    stats[ui].drops += 1;
-                    log_fault(
-                        &mut faults,
-                        &mut faults_dropped,
-                        Event::Drop { node: u, slot },
-                    );
-                }
-                Reception::Jam => {
-                    stats[ui].jams += 1;
-                    log_fault(
-                        &mut faults,
-                        &mut faults_dropped,
-                        Event::Jam { node: u, slot },
-                    );
-                }
-            }
-        }
-
-        if undecided == 0 && woken == n {
-            all_decided = true;
-            break;
-        }
-    }
-
-    let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
-    SimOutcome {
-        protocols,
-        stats,
-        all_decided: all_decided && error.is_none(),
-        slots_run,
-        error,
-        faults,
-        faults_dropped,
-        violations,
-    }
+    SimDriver::run::<EventSkip>(graph, wake, protocols, (), seed, cfg, monitor)
 }
 
 #[cfg(test)]
@@ -304,6 +233,7 @@ mod tests {
     use super::*;
     use crate::engine::lockstep::run_lockstep;
     use radio_graph::generators::special::{path, star};
+    use rand::rngs::SmallRng;
 
     /// Transmits with probability `p` forever; decides after receiving
     /// `need` messages.

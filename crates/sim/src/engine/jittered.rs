@@ -22,16 +22,19 @@
 //! aligned lock-step engine (cross-validated in tests); with mixed
 //! phases, experiment E16 measures the constant-factor slowdown the
 //! paper predicts.
+//!
+//! Since the [`SimDriver`] refactor this module only contains the
+//! slot-advance strategy ([`Jittered`]) and the legacy entry-point
+//! shims; all protocol/channel/monitor threading lives in
+//! [`super::driver`].
 
-use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
-use crate::channel::{ChannelModel, Reception};
+use super::driver::{Completion, Engine, SimDriver};
+use super::{SimConfig, SimOutcome};
 use crate::delivery::OverlapKernel;
 use crate::monitor::{InvariantMonitor, NullMonitor};
-use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
+use crate::protocol::{RadioProtocol, Slot};
 use crate::rng::node_rng;
-use crate::trace::Event;
 use radio_graph::{Graph, NodeId};
-use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -43,9 +46,156 @@ struct Packet<M> {
     msg: M,
 }
 
+/// The half-slot strategy: per-node phase bits (passed as the driver
+/// aux), an in-flight packet queue and the overlap kernel for the
+/// two-slot vulnerability window. Hooks fire at each node's *local*
+/// slot numbers, so with all phase bits `false` runs match the
+/// lock-step engine exactly.
+pub struct Jittered;
+
+impl Engine for Jittered {
+    type Aux<'a> = &'a [bool];
+
+    fn drive<P: RadioProtocol, M: InvariantMonitor<P>>(
+        d: &mut SimDriver<'_, P, M>,
+        phases: &[bool],
+    ) -> Completion {
+        let n = d.n();
+        assert_eq!(phases.len(), n, "phase vector length mismatch");
+        let graph = d.graph();
+        let wake = d.wake();
+
+        let mut wake_order: Vec<NodeId> = (0..n as NodeId).collect();
+        // Order by absolute wake half-slot so mixed phases interleave right.
+        wake_order.sort_by_key(|&v| 2 * wake[v as usize] + u64::from(phases[v as usize]));
+        let mut next_wake = 0usize;
+        let mut awake: Vec<NodeId> = Vec::with_capacity(n);
+
+        // The two most recent transmission starts per node (−10 = never),
+        // used for the listener's own "was I transmitting?" check. Two
+        // suffice: a node starts at most one packet per local slot, so
+        // anything older than the previous start cannot overlap a packet
+        // evaluated now. Neighbor interference is answered in O(1) by the
+        // scatter kernel instead of re-scanning every neighbor's starts.
+        let mut tx_starts: Vec<[i64; 2]> = vec![[-10, -10]; n];
+        let overlaps =
+            |starts: &[i64; 2], s: i64| (starts[0] - s).abs() <= 1 || (starts[1] - s).abs() <= 1;
+        let mut kernel = OverlapKernel::new(n);
+        let mut pending: VecDeque<Packet<P::Message>> = VecDeque::new();
+
+        let mut slots_run = 0;
+        let mut all_decided = n == 0;
+        let max_half = d.max_slots().saturating_mul(2);
+        let mut half: u64 = 0;
+        'outer: loop {
+            if half > max_half {
+                break;
+            }
+            slots_run = half / 2;
+
+            // 1. Deliver packets that ended at this half-slot boundary
+            //    (started at half − 2).
+            while pending.front().is_some_and(|p| p.start + 2 <= half) {
+                let Some(p) = pending.pop_front() else { break };
+                let s = p.start as i64;
+                for &v in graph.neighbors(p.node) {
+                    let vi = v as usize;
+                    let delta = u64::from(phases[vi]);
+                    // The listener's local slot containing the packet's end.
+                    let local_end = (p.start + 1).saturating_sub(delta) / 2;
+                    if wake[vi] > local_end {
+                        continue; // asleep for (part of) the packet
+                    }
+                    // (a) v transmitted during an overlapping half-slot?
+                    if overlaps(&tx_starts[vi], s) {
+                        continue;
+                    }
+                    // (b) the channel decides: collision iff another
+                    //     neighbor's packet overlaps (under `Ideal`), and
+                    //     fault models may drop or jam clean packets.
+                    if d.resolve(&kernel.contention(v, p.start, p.node, local_end))
+                        .is_some()
+                        && d.deliver(v, local_end, &p.msg).is_err()
+                    {
+                        break 'outer;
+                    }
+                }
+            }
+
+            // Termination after deliveries, before the next slot's
+            // transmissions — matching the lock-step engine, where the last
+            // delivery and the break happen within the same slot iteration.
+            if d.undecided() == 0 && next_wake == n {
+                all_decided = true;
+                break 'outer;
+            }
+
+            // 2. Local slot starts for nodes whose parity matches.
+            // Wake-ups first.
+            while next_wake < n {
+                let v = wake_order[next_wake];
+                let vi = v as usize;
+                let wake_half = 2 * wake[vi] + u64::from(phases[vi]);
+                if wake_half != half {
+                    break;
+                }
+                next_wake += 1;
+                awake.push(v);
+                if !d.wake_up(v, wake[vi]) {
+                    break 'outer;
+                }
+            }
+            // Deadlines, then transmission draws, for this parity class.
+            for &v in &awake {
+                let vi = v as usize;
+                let delta = u64::from(phases[vi]);
+                if half < delta || !(half - delta).is_multiple_of(2) {
+                    continue; // not a slot boundary for v
+                }
+                let t = (half - delta) / 2;
+                if t < wake[vi] {
+                    continue;
+                }
+                if d.until(v) == Some(t) && !d.fire_deadline(v, t) {
+                    break 'outer;
+                }
+                if d.bernoulli_tx(v) {
+                    let msg = d.compose(v, t);
+                    tx_starts[vi] = [half as i64, tx_starts[vi][0]];
+                    kernel.transmit(graph, v, half);
+                    pending.push_back(Packet {
+                        start: half,
+                        node: v,
+                        msg,
+                    });
+                }
+            }
+
+            // 3. Termination: all woke and decided. Packets still in flight
+            //    can no longer change any decision.
+            if d.undecided() == 0 && next_wake == n {
+                all_decided = true;
+                break 'outer;
+            }
+            if next_wake == n && awake.is_empty() {
+                break; // nothing will ever happen (n == 0 handled above)
+            }
+            half += 1;
+        }
+
+        Completion {
+            all_decided,
+            slots_run,
+        }
+    }
+}
+
 /// Runs `protocols` with per-node phase bits (`false` = offset 0,
 /// `true` = offset ½ slot). Wake slots are in the node's *local* slot
 /// count, as everywhere else.
+///
+/// Legacy shim over [`SimDriver::run`] with the [`Jittered`] strategy
+/// (bit-identical; kept for one release — prefer the driver directly).
 ///
 /// # Panics
 /// Panics if `wake`, `protocols` or `phases` length differs from
@@ -66,246 +216,22 @@ pub fn run_jittered<P: RadioProtocol>(
 /// engines would use), so with all phase bits `false` monitored
 /// outcomes — violations included — match the lock-step engine exactly.
 ///
+/// Legacy shim over [`SimDriver::run`] with the [`Jittered`] strategy
+/// (bit-identical; kept for one release — prefer the driver directly).
+///
 /// # Panics
 /// Panics if `wake`, `protocols` or `phases` length differs from
 /// `graph.len()`.
 pub fn run_jittered_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
     graph: &Graph,
     wake: &[Slot],
-    mut protocols: Vec<P>,
+    protocols: Vec<P>,
     phases: &[bool],
     seed: u64,
     cfg: &SimConfig,
     monitor: &mut M,
 ) -> SimOutcome<P> {
-    let n = graph.len();
-    assert_eq!(wake.len(), n, "wake schedule length mismatch");
-    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
-    assert_eq!(phases.len(), n, "phase vector length mismatch");
-
-    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
-    let mut behaviors: Vec<Option<Behavior>> = vec![None; n];
-    let mut stats: Vec<NodeStats> = wake
-        .iter()
-        .map(|&w| NodeStats {
-            wake: w,
-            ..NodeStats::default()
-        })
-        .collect();
-    let mut decided = vec![false; n];
-    let mut undecided = n;
-
-    let mut wake_order: Vec<NodeId> = (0..n as NodeId).collect();
-    // Order by absolute wake half-slot so mixed phases interleave right.
-    wake_order.sort_by_key(|&v| 2 * wake[v as usize] + u64::from(phases[v as usize]));
-    let mut next_wake = 0usize;
-    let mut awake: Vec<NodeId> = Vec::with_capacity(n);
-
-    // The two most recent transmission starts per node (−10 = never),
-    // used for the listener's own "was I transmitting?" check. Two
-    // suffice: a node starts at most one packet per local slot, so
-    // anything older than the previous start cannot overlap a packet
-    // evaluated now. Neighbor interference is answered in O(1) by the
-    // scatter kernel instead of re-scanning every neighbor's starts.
-    let mut tx_starts: Vec<[i64; 2]> = vec![[-10, -10]; n];
-    let overlaps =
-        |starts: &[i64; 2], s: i64| (starts[0] - s).abs() <= 1 || (starts[1] - s).abs() <= 1;
-    let mut kernel = OverlapKernel::new(n);
-    let mut channel = cfg.channel.build(n, seed);
-    let mut faults: Vec<Event> = Vec::new();
-    let mut faults_dropped: u64 = 0;
-    let mut error: Option<ProtocolError> = None;
-    let mut pending: VecDeque<Packet<P::Message>> = VecDeque::new();
-
-    let mut slots_run = 0;
-    let mut all_decided = n == 0;
-    let max_half = cfg.max_slots.saturating_mul(2);
-    let mut half: u64 = 0;
-    'outer: loop {
-        if half > max_half {
-            break;
-        }
-        slots_run = half / 2;
-
-        // 1. Deliver packets that ended at this half-slot boundary
-        //    (started at half − 2).
-        while pending.front().is_some_and(|p| p.start + 2 <= half) {
-            let Some(p) = pending.pop_front() else { break };
-            let s = p.start as i64;
-            for &v in graph.neighbors(p.node) {
-                let vi = v as usize;
-                let delta = u64::from(phases[vi]);
-                // The listener's local slot containing the packet's end.
-                let local_end = (p.start + 1).saturating_sub(delta) / 2;
-                if wake[vi] > local_end {
-                    continue; // asleep for (part of) the packet
-                }
-                // (a) v transmitted during an overlapping half-slot?
-                if overlaps(&tx_starts[vi], s) {
-                    continue;
-                }
-                // (b) the channel decides: collision iff another
-                //     neighbor's packet overlaps (under `Ideal`), and
-                //     fault models may drop or jam clean packets.
-                match channel.decide(&kernel.contention(v, p.start, p.node, local_end)) {
-                    Reception::Deliver(_) => {
-                        stats[vi].received += 1;
-                        if let Some(nb) = protocols[vi].on_receive(local_end, &p.msg, &mut rngs[vi])
-                        {
-                            if let Err(fault) = nb.validate_at(local_end) {
-                                error = Some(ProtocolError {
-                                    node: v,
-                                    slot: local_end,
-                                    fault,
-                                });
-                                break 'outer;
-                            }
-                            behaviors[vi] = Some(nb);
-                        }
-                        monitor.after_receive(v, local_end, &p.msg, &protocols[vi]);
-                        if !decided[vi] && protocols[vi].is_decided() {
-                            decided[vi] = true;
-                            stats[vi].decided_at = Some(local_end);
-                            undecided -= 1;
-                            monitor.on_decided(v, local_end, &protocols[vi]);
-                        }
-                    }
-                    Reception::Collide => stats[vi].collisions += 1,
-                    Reception::Drop => {
-                        stats[vi].drops += 1;
-                        log_fault(
-                            &mut faults,
-                            &mut faults_dropped,
-                            Event::Drop {
-                                node: v,
-                                slot: local_end,
-                            },
-                        );
-                    }
-                    Reception::Jam => {
-                        stats[vi].jams += 1;
-                        log_fault(
-                            &mut faults,
-                            &mut faults_dropped,
-                            Event::Jam {
-                                node: v,
-                                slot: local_end,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-
-        // Termination after deliveries, before the next slot's
-        // transmissions — matching the lock-step engine, where the last
-        // delivery and the break happen within the same slot iteration.
-        if undecided == 0 && next_wake == n {
-            all_decided = true;
-            break 'outer;
-        }
-
-        // 2. Local slot starts for nodes whose parity matches.
-        // Wake-ups first.
-        while next_wake < n {
-            let v = wake_order[next_wake];
-            let vi = v as usize;
-            let wake_half = 2 * wake[vi] + u64::from(phases[vi]);
-            if wake_half != half {
-                break;
-            }
-            next_wake += 1;
-            awake.push(v);
-            let t = wake[vi];
-            let b = protocols[vi].on_wake(t, &mut rngs[vi]);
-            if let Err(fault) = b.validate_at(t) {
-                error = Some(ProtocolError {
-                    node: v,
-                    slot: t,
-                    fault,
-                });
-                break 'outer;
-            }
-            behaviors[vi] = Some(b);
-            monitor.after_wake(v, t, &protocols[vi]);
-            if !decided[vi] && protocols[vi].is_decided() {
-                decided[vi] = true;
-                stats[vi].decided_at = Some(t);
-                undecided -= 1;
-                monitor.on_decided(v, t, &protocols[vi]);
-            }
-        }
-        // Deadlines, then transmission draws, for this parity class.
-        for &v in &awake {
-            let vi = v as usize;
-            let delta = u64::from(phases[vi]);
-            if half < delta || !(half - delta).is_multiple_of(2) {
-                continue; // not a slot boundary for v
-            }
-            let t = (half - delta) / 2;
-            if t < wake[vi] {
-                continue;
-            }
-            if let Some(b) = behaviors[vi] {
-                if b.until() == Some(t) {
-                    let nb = protocols[vi].on_deadline(t, &mut rngs[vi]);
-                    if let Err(fault) = nb.validate_at(t) {
-                        error = Some(ProtocolError {
-                            node: v,
-                            slot: t,
-                            fault,
-                        });
-                        break 'outer;
-                    }
-                    behaviors[vi] = Some(nb);
-                    monitor.after_deadline(v, t, &protocols[vi]);
-                    if !decided[vi] && protocols[vi].is_decided() {
-                        decided[vi] = true;
-                        stats[vi].decided_at = Some(t);
-                        undecided -= 1;
-                        monitor.on_decided(v, t, &protocols[vi]);
-                    }
-                }
-            }
-            if let Some(Behavior::Transmit { p, .. }) = behaviors[vi] {
-                if rngs[vi].gen_bool(p) {
-                    let msg = protocols[vi].message(t, &mut rngs[vi]);
-                    monitor.on_transmit(v, t, &msg, &protocols[vi]);
-                    tx_starts[vi] = [half as i64, tx_starts[vi][0]];
-                    stats[vi].sent += 1;
-                    kernel.transmit(graph, v, half);
-                    pending.push_back(Packet {
-                        start: half,
-                        node: v,
-                        msg,
-                    });
-                }
-            }
-        }
-
-        // 3. Termination: all woke and decided. Packets still in flight
-        //    can no longer change any decision.
-        if undecided == 0 && next_wake == n {
-            all_decided = true;
-            break 'outer;
-        }
-        if next_wake == n && awake.is_empty() {
-            break; // nothing will ever happen (n == 0 handled above)
-        }
-        half += 1;
-    }
-
-    let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
-    SimOutcome {
-        protocols,
-        stats,
-        all_decided: all_decided && error.is_none(),
-        slots_run,
-        error,
-        faults,
-        faults_dropped,
-        violations,
-    }
+    SimDriver::run::<Jittered>(graph, wake, protocols, phases, seed, cfg, monitor)
 }
 
 /// Random phase bits for `n` nodes.
@@ -318,7 +244,9 @@ pub fn random_phases(n: usize, seed: u64) -> Vec<bool> {
 mod tests {
     use super::*;
     use crate::engine::lockstep::run_lockstep;
+    use crate::protocol::Behavior;
     use radio_graph::generators::special::{path, star};
+    use rand::rngs::SmallRng;
 
     /// Transmits with probability `p` forever; decides after `need`
     /// receptions.

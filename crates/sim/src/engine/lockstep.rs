@@ -1,33 +1,146 @@
 //! The lock-step reference engine: every awake node is visited every
 //! slot; transmission decisions are independent Bernoulli draws — a
 //! direct transcription of the model in Sect. 2 of the paper.
+//!
+//! Since the [`SimDriver`] refactor this module only contains the
+//! slot-advance strategy ([`Lockstep`]) and the legacy entry-point
+//! shims; all protocol/channel/monitor threading lives in
+//! [`super::driver`].
 
-use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
-use crate::channel::{ChannelModel, Reception};
+use super::driver::{Completion, Engine, SimDriver};
+use super::{SimConfig, SimOutcome};
 use crate::delivery::DeliveryKernel;
 use crate::monitor::{InvariantMonitor, NullMonitor};
-use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
-use crate::rng::node_rng;
-use crate::trace::Event;
+use crate::protocol::{RadioProtocol, Slot};
 use radio_graph::{Graph, NodeId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
-/// `true` when `v` no longer needs per-slot attention: it has decided
-/// and is permanently silent, so it draws no randomness, meets no
-/// deadline, and never transmits again. Such nodes are compacted out of
-/// the active set (they can still *receive*; a reactivating
-/// `on_receive` puts them back).
-#[inline]
-fn retired(decided: &[bool], behaviors: &[Option<Behavior>], v: NodeId) -> bool {
-    decided[v as usize]
-        && matches!(
-            behaviors[v as usize],
-            Some(Behavior::Silent { until: None })
-        )
+/// The per-slot reference strategy: walk the active set every slot.
+///
+/// Maintains an active set with retirement compaction (decided,
+/// permanently silent nodes are dropped from the per-slot loops and
+/// re-inserted if a reception gives them a new behavior segment).
+pub struct Lockstep;
+
+impl Engine for Lockstep {
+    type Aux<'a> = ();
+
+    fn drive<P: RadioProtocol, M: InvariantMonitor<P>>(
+        d: &mut SimDriver<'_, P, M>,
+        _aux: (),
+    ) -> Completion {
+        let n = d.n();
+        let wake = d.wake();
+        // Nodes ordered by wake slot, consumed as the clock advances.
+        let mut wake_order: Vec<NodeId> = (0..n as NodeId).collect();
+        wake_order.sort_by_key(|&v| wake[v as usize]);
+        let mut next_wake = 0usize;
+        // Active set: awake nodes that still need per-slot attention.
+        // Retired nodes (see `SimDriver::retired`) are compacted out;
+        // `in_active` tracks membership so a reactivating receive can
+        // re-insert.
+        let mut active: Vec<NodeId> = Vec::with_capacity(n);
+        let mut in_active: Vec<bool> = vec![false; n];
+        let mut kernel = DeliveryKernel::new(n);
+
+        let mut slots_run = 0;
+        let mut all_decided = n == 0;
+        let mut slot: Slot = 0;
+        'run: while slot <= d.max_slots() {
+            slots_run = slot;
+
+            // 1. Wake-ups.
+            while next_wake < n && wake[wake_order[next_wake] as usize] == slot {
+                let v = wake_order[next_wake];
+                next_wake += 1;
+                active.push(v);
+                in_active[v as usize] = true;
+                if !d.wake_up(v, slot) {
+                    break 'run;
+                }
+            }
+
+            // 2. Deadlines.
+            for &v in &active {
+                if d.until(v) == Some(slot) && !d.fire_deadline(v, slot) {
+                    break 'run;
+                }
+            }
+
+            // 3. Transmission decisions: scatter each transmission to the
+            //    neighbors' delivery accumulators as it happens.
+            kernel.begin_slot();
+            for &v in &active {
+                if d.bernoulli_tx(v) {
+                    d.broadcast(v, slot);
+                    kernel.transmit(d.graph(), v);
+                }
+            }
+
+            // 4. Deliveries: the channel model decides each touched
+            //    listener's outcome from the kernel's per-listener counts
+            //    (under `Ideal` this is exactly "receive iff one neighbor
+            //    transmitted"). Sleeping nodes receive nothing; this is a
+            //    flat pass over the touched listeners — no neighborhood
+            //    re-scan.
+            for &u in kernel.touched() {
+                if kernel.is_transmitter(u) {
+                    continue; // transmitting itself: cannot receive
+                }
+                if wake[u as usize] > slot {
+                    continue; // still asleep
+                }
+                if let Some(w) = d.resolve(&kernel.contention(u, slot)) {
+                    // The kernel only reports transmitters, and every
+                    // transmitter parked its message in the air this slot;
+                    // a missing one would be an engine defect, so skip
+                    // the delivery rather than panic on the hot path.
+                    let Some(msg) = d.air(w) else {
+                        debug_assert!(false, "transmitter {w} has no message");
+                        continue;
+                    };
+                    match d.deliver(u, slot, &msg) {
+                        Err(()) => break 'run,
+                        // A retired node that picked up a new behavior
+                        // needs per-slot attention again.
+                        Ok(true) => {
+                            if !in_active[u as usize] {
+                                in_active[u as usize] = true;
+                                active.push(u);
+                            }
+                        }
+                        Ok(false) => {}
+                    }
+                }
+            }
+
+            // 5. Termination: everyone woke and decided.
+            if d.undecided() == 0 && next_wake == n {
+                all_decided = true;
+                break;
+            }
+
+            // 6. Compaction: drop retired nodes from the active set. They
+            //    draw no randomness and never transmit, so removal cannot
+            //    change any outcome — it only shrinks the per-slot loops.
+            active.retain(|&v| {
+                let keep = !d.retired(v);
+                in_active[v as usize] = keep;
+                keep
+            });
+            slot += 1;
+        }
+
+        Completion {
+            all_decided,
+            slots_run,
+        }
+    }
 }
 
 /// Runs `protocols` on `graph` with the given per-node wake slots.
+///
+/// Legacy shim over [`SimDriver::run`] with the [`Lockstep`] strategy
+/// (bit-identical; kept for one release — prefer the driver directly).
 ///
 /// # Panics
 /// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
@@ -45,241 +158,22 @@ pub fn run_lockstep<P: RadioProtocol>(
 /// pure observers (no randomness, no protocol mutation), so the run is
 /// bit-identical to the unmonitored one; detected violations land in
 /// [`SimOutcome::violations`] (canonically sorted) and are mirrored
-/// into the fault log as [`Event::Violation`].
+/// into the fault log as [`crate::trace::Event::Violation`].
+///
+/// Legacy shim over [`SimDriver::run`] with the [`Lockstep`] strategy
+/// (bit-identical; kept for one release — prefer the driver directly).
 ///
 /// # Panics
 /// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
 pub fn run_lockstep_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
     graph: &Graph,
     wake: &[Slot],
-    mut protocols: Vec<P>,
+    protocols: Vec<P>,
     seed: u64,
     cfg: &SimConfig,
     monitor: &mut M,
 ) -> SimOutcome<P> {
-    let n = graph.len();
-    assert_eq!(wake.len(), n, "wake schedule length mismatch");
-    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
-
-    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|i| node_rng(seed, i)).collect();
-    let mut behaviors: Vec<Option<Behavior>> = vec![None; n];
-    let mut stats: Vec<NodeStats> = wake
-        .iter()
-        .map(|&w| NodeStats {
-            wake: w,
-            ..NodeStats::default()
-        })
-        .collect();
-    let mut decided = vec![false; n];
-    let mut undecided = n;
-
-    // Nodes ordered by wake slot, consumed as the clock advances.
-    let mut wake_order: Vec<NodeId> = (0..n as NodeId).collect();
-    wake_order.sort_by_key(|&v| wake[v as usize]);
-    let mut next_wake = 0usize;
-    // Active set: awake nodes that still need per-slot attention.
-    // Retired nodes (see `retired`) are compacted out; `in_active`
-    // tracks membership so a reactivating receive can re-insert.
-    let mut active: Vec<NodeId> = Vec::with_capacity(n);
-    let mut in_active: Vec<bool> = vec![false; n];
-
-    let mut kernel = DeliveryKernel::new(n);
-    let mut channel = cfg.channel.build(n, seed);
-    let mut faults: Vec<Event> = Vec::new();
-    let mut faults_dropped: u64 = 0;
-    let mut error: Option<ProtocolError> = None;
-    let mut air: Vec<Option<P::Message>> = std::iter::repeat_with(|| None).take(n).collect();
-
-    let mut slots_run = 0;
-    let mut all_decided = n == 0;
-    let mut slot: Slot = 0;
-    'run: while slot <= cfg.max_slots {
-        slots_run = slot;
-        let note = |v: NodeId,
-                    protocols: &[P],
-                    decided: &mut [bool],
-                    undecided: &mut usize,
-                    stats: &mut [NodeStats],
-                    monitor: &mut M| {
-            if !decided[v as usize] && protocols[v as usize].is_decided() {
-                decided[v as usize] = true;
-                stats[v as usize].decided_at = Some(slot);
-                *undecided -= 1;
-                monitor.on_decided(v, slot, &protocols[v as usize]);
-            }
-        };
-
-        // 1. Wake-ups.
-        while next_wake < n && wake[wake_order[next_wake] as usize] == slot {
-            let v = wake_order[next_wake];
-            next_wake += 1;
-            active.push(v);
-            in_active[v as usize] = true;
-            let b = protocols[v as usize].on_wake(slot, &mut rngs[v as usize]);
-            if let Err(fault) = b.validate_at(slot) {
-                error = Some(ProtocolError {
-                    node: v,
-                    slot,
-                    fault,
-                });
-                break 'run;
-            }
-            behaviors[v as usize] = Some(b);
-            monitor.after_wake(v, slot, &protocols[v as usize]);
-            note(
-                v,
-                &protocols,
-                &mut decided,
-                &mut undecided,
-                &mut stats,
-                monitor,
-            );
-        }
-
-        // 2. Deadlines.
-        for &v in &active {
-            let Some(b) = behaviors[v as usize] else {
-                continue;
-            };
-            if b.until() == Some(slot) {
-                let nb = protocols[v as usize].on_deadline(slot, &mut rngs[v as usize]);
-                if let Err(fault) = nb.validate_at(slot) {
-                    error = Some(ProtocolError {
-                        node: v,
-                        slot,
-                        fault,
-                    });
-                    break 'run;
-                }
-                behaviors[v as usize] = Some(nb);
-                monitor.after_deadline(v, slot, &protocols[v as usize]);
-                note(
-                    v,
-                    &protocols,
-                    &mut decided,
-                    &mut undecided,
-                    &mut stats,
-                    monitor,
-                );
-            }
-        }
-
-        // 3. Transmission decisions: scatter each transmission to the
-        //    neighbors' delivery accumulators as it happens.
-        kernel.begin_slot();
-        for &v in &active {
-            if let Some(Behavior::Transmit { p, .. }) = behaviors[v as usize] {
-                if rngs[v as usize].gen_bool(p) {
-                    let msg = protocols[v as usize].message(slot, &mut rngs[v as usize]);
-                    monitor.on_transmit(v, slot, &msg, &protocols[v as usize]);
-                    air[v as usize] = Some(msg);
-                    stats[v as usize].sent += 1;
-                    kernel.transmit(graph, v);
-                }
-            }
-        }
-
-        // 4. Deliveries: the channel model decides each touched
-        //    listener's outcome from the kernel's per-listener counts
-        //    (under `Ideal` this is exactly "receive iff one neighbor
-        //    transmitted"). Sleeping nodes receive nothing; this is a
-        //    flat pass over the touched listeners — no neighborhood
-        //    re-scan.
-        for &u in kernel.touched() {
-            if kernel.is_transmitter(u) {
-                continue; // transmitting itself: cannot receive
-            }
-            if wake[u as usize] > slot {
-                continue; // still asleep
-            }
-            match channel.decide(&kernel.contention(u, slot)) {
-                Reception::Deliver(w) => {
-                    // The kernel only reports transmitters, and every
-                    // transmitter parked its message in `air` this slot;
-                    // a missing one would be an engine defect, so skip
-                    // the delivery rather than panic on the hot path.
-                    let Some(msg) = air[w as usize].clone() else {
-                        debug_assert!(false, "transmitter {w} has no message");
-                        continue;
-                    };
-                    stats[u as usize].received += 1;
-                    if let Some(nb) =
-                        protocols[u as usize].on_receive(slot, &msg, &mut rngs[u as usize])
-                    {
-                        if let Err(fault) = nb.validate_at(slot) {
-                            error = Some(ProtocolError {
-                                node: u,
-                                slot,
-                                fault,
-                            });
-                            break 'run;
-                        }
-                        behaviors[u as usize] = Some(nb);
-                        // A retired node that picked up a new behavior
-                        // needs per-slot attention again.
-                        if !in_active[u as usize] {
-                            in_active[u as usize] = true;
-                            active.push(u);
-                        }
-                    }
-                    monitor.after_receive(u, slot, &msg, &protocols[u as usize]);
-                    note(
-                        u,
-                        &protocols,
-                        &mut decided,
-                        &mut undecided,
-                        &mut stats,
-                        monitor,
-                    );
-                }
-                Reception::Collide => stats[u as usize].collisions += 1,
-                Reception::Drop => {
-                    stats[u as usize].drops += 1;
-                    log_fault(
-                        &mut faults,
-                        &mut faults_dropped,
-                        Event::Drop { node: u, slot },
-                    );
-                }
-                Reception::Jam => {
-                    stats[u as usize].jams += 1;
-                    log_fault(
-                        &mut faults,
-                        &mut faults_dropped,
-                        Event::Jam { node: u, slot },
-                    );
-                }
-            }
-        }
-
-        // 5. Termination: everyone woke and decided.
-        if undecided == 0 && next_wake == n {
-            all_decided = true;
-            break;
-        }
-
-        // 6. Compaction: drop retired nodes from the active set. They
-        //    draw no randomness and never transmit, so removal cannot
-        //    change any outcome — it only shrinks the per-slot loops.
-        active.retain(|&v| {
-            let keep = !retired(&decided, &behaviors, v);
-            in_active[v as usize] = keep;
-            keep
-        });
-        slot += 1;
-    }
-
-    let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
-    SimOutcome {
-        protocols,
-        stats,
-        all_decided: all_decided && error.is_none(),
-        slots_run,
-        error,
-        faults,
-        faults_dropped,
-        violations,
-    }
+    SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, monitor)
 }
 
 #[cfg(test)]
@@ -288,6 +182,7 @@ mod tests {
     use crate::monitor::EngineOrderMonitor;
     use crate::protocol::Behavior;
     use radio_graph::generators::special::{path, star};
+    use rand::rngs::SmallRng;
 
     /// Transmits with probability `p` forever; decides after receiving
     /// `need` messages (or immediately if `need == 0`).

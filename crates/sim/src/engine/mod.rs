@@ -14,7 +14,14 @@
 //! third, model-extension engine lives in [`jittered`]: non-aligned
 //! slots with half-slot phase offsets (paper Sect. 2's remark), which
 //! reduces exactly to the lock-step engine when all phases agree.
+//!
+//! All three are *slot-advance strategies* ([`driver::Engine`]
+//! implementors) over the shared generic [`driver::SimDriver`], which
+//! owns every cross-cutting concern: channel model, invariant monitor,
+//! per-node stats, fault log and protocol-error handling. See the
+//! [`driver`] module docs for the hook stack.
 
+pub mod driver;
 pub mod event;
 pub mod jittered;
 pub mod lockstep;

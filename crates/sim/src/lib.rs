@@ -64,9 +64,10 @@ pub use channel::{
     ProbabilisticLoss, Reception,
 };
 pub use delivery::{DeliveryKernel, OverlapKernel};
-pub use engine::event::{run_event, run_event_monitored};
-pub use engine::jittered::{random_phases, run_jittered, run_jittered_monitored};
-pub use engine::lockstep::{run_lockstep, run_lockstep_monitored};
+pub use engine::driver::{Completion, Engine, SimDriver};
+pub use engine::event::{run_event, run_event_monitored, EventSkip};
+pub use engine::jittered::{random_phases, run_jittered, run_jittered_monitored, Jittered};
+pub use engine::lockstep::{run_lockstep, run_lockstep_monitored, Lockstep};
 pub use engine::{NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
 pub use monitor::{
     sort_violations, EngineOrderMonitor, InvariantMonitor, NullMonitor, Violation, MAX_VIOLATIONS,
@@ -75,16 +76,50 @@ pub use protocol::{Behavior, BehaviorFault, ProtocolError, RadioProtocol, Slot};
 pub use trace::{render_timeline, Event, Recorded, Recorder};
 pub use wakeup::{wake_wave, WakePattern};
 
-/// Which engine executes a run — lets experiments sweep both.
+/// Which slot-advance strategy executes a run — the dynamic
+/// (value-level) selector used by experiments, scenario specs and the
+/// repro corpus. The static counterpart is the [`Engine`] trait; each
+/// variant dispatches to the matching unit struct ([`Lockstep`],
+/// [`EventSkip`], [`Jittered`]) through [`SimDriver::run`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Engine {
+pub enum EngineKind {
     /// The per-slot reference engine.
     Lockstep,
     /// The event-driven fast engine.
     Event,
+    /// The non-aligned half-slot engine, with phase bits drawn from the
+    /// run seed via [`random_phases`].
+    Jittered,
 }
 
-impl Engine {
+impl EngineKind {
+    /// Every selectable engine, in canonical order.
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Lockstep,
+        EngineKind::Event,
+        EngineKind::Jittered,
+    ];
+
+    /// Stable lowercase name, used in scenario specs and the repro
+    /// corpus JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Lockstep => "lockstep",
+            EngineKind::Event => "event",
+            EngineKind::Jittered => "jittered",
+        }
+    }
+
+    /// Inverse of [`EngineKind::name`].
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        match name {
+            "lockstep" => Some(EngineKind::Lockstep),
+            "event" => Some(EngineKind::Event),
+            "jittered" => Some(EngineKind::Jittered),
+            _ => None,
+        }
+    }
+
     /// Runs `protocols` on `graph` under this engine.
     pub fn run<P: RadioProtocol>(
         self,
@@ -94,15 +129,12 @@ impl Engine {
         seed: u64,
         cfg: &SimConfig,
     ) -> SimOutcome<P> {
-        match self {
-            Engine::Lockstep => run_lockstep(graph, wake, protocols, seed, cfg),
-            Engine::Event => run_event(graph, wake, protocols, seed, cfg),
-        }
+        self.run_monitored(graph, wake, protocols, seed, cfg, &mut NullMonitor)
     }
 
     /// Runs `protocols` on `graph` under this engine with an
     /// [`InvariantMonitor`] attached (see the `run_*_monitored` entry
-    /// points; outcomes are bit-identical to [`Engine::run`]).
+    /// points; outcomes are bit-identical to [`EngineKind::run`]).
     pub fn run_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
         self,
         graph: &radio_graph::Graph,
@@ -113,8 +145,16 @@ impl Engine {
         monitor: &mut M,
     ) -> SimOutcome<P> {
         match self {
-            Engine::Lockstep => run_lockstep_monitored(graph, wake, protocols, seed, cfg, monitor),
-            Engine::Event => run_event_monitored(graph, wake, protocols, seed, cfg, monitor),
+            EngineKind::Lockstep => {
+                SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, monitor)
+            }
+            EngineKind::Event => {
+                SimDriver::run::<EventSkip>(graph, wake, protocols, (), seed, cfg, monitor)
+            }
+            EngineKind::Jittered => {
+                let phases = random_phases(graph.len(), seed);
+                SimDriver::run::<Jittered>(graph, wake, protocols, &phases, seed, cfg, monitor)
+            }
         }
     }
 }

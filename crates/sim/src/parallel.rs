@@ -8,12 +8,16 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Runs `f(seed)` for every seed in `seeds` across `threads` worker
-/// threads and returns the results in seed order.
+/// Runs `f(seed)` for every seed in `seeds` across worker threads and
+/// returns the results in seed order (regardless of thread count).
+///
+/// `threads` is the worker count; `None` uses [`default_threads`]
+/// (available parallelism minus one). Either way the count is clamped
+/// to `[1, seeds.len()]`.
 ///
 /// `f` is shared by reference, so it must be `Sync`; it is typically a
 /// closure capturing the immutable experiment configuration.
-pub fn run_seeds<T, F>(seeds: &[u64], threads: usize, f: F) -> Vec<T>
+pub fn run_seeds<T, F>(seeds: &[u64], threads: Option<usize>, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
@@ -21,7 +25,10 @@ where
     if seeds.is_empty() {
         return Vec::new();
     }
-    let threads = threads.max(1).min(seeds.len());
+    let threads = threads
+        .unwrap_or_else(default_threads)
+        .max(1)
+        .min(seeds.len());
     let cursor = AtomicUsize::new(0);
     // One message per worker, not per seed: each worker accumulates its
     // results locally and ships them in a single batched send, so
@@ -76,20 +83,49 @@ mod tests {
     #[test]
     fn preserves_seed_order() {
         let seeds: Vec<u64> = (0..100).collect();
-        let out = run_seeds(&seeds, 8, |s| s * 2);
+        let out = run_seeds(&seeds, Some(8), |s| s * 2);
         assert_eq!(out, (0..100).map(|s| s * 2).collect::<Vec<_>>());
     }
 
     #[test]
+    fn seed_order_invariant_across_thread_counts() {
+        // Same inputs, wildly different worker counts (including the
+        // available-parallelism default): results must always come back
+        // in seed order, not completion order.
+        let seeds: Vec<u64> = (0..64).collect();
+        let work = |s: u64| {
+            // Uneven, deterministic busywork so completion order differs
+            // from seed order under real contention.
+            let iters = 50 + (s % 5) * 400;
+            (0..iters).fold(s, |acc, x| {
+                acc.wrapping_mul(6364136223846793005).wrapping_add(x)
+            })
+        };
+        let reference: Vec<u64> = seeds.iter().map(|&s| work(s)).collect();
+        for threads in [
+            Some(1),
+            Some(2),
+            Some(3),
+            Some(7),
+            Some(64),
+            Some(1000),
+            None,
+        ] {
+            let out = run_seeds(&seeds, threads, work);
+            assert_eq!(out, reference, "threads = {threads:?}");
+        }
+    }
+
+    #[test]
     fn works_single_threaded_and_empty() {
-        assert_eq!(run_seeds(&[7], 1, |s| s + 1), vec![8]);
-        assert_eq!(run_seeds::<u64, _>(&[], 4, |s| s), Vec::<u64>::new());
+        assert_eq!(run_seeds(&[7], Some(1), |s| s + 1), vec![8]);
+        assert_eq!(run_seeds::<u64, _>(&[], Some(4), |s| s), Vec::<u64>::new());
     }
 
     #[test]
     fn uneven_workloads_all_complete() {
         let seeds: Vec<u64> = (0..32).collect();
-        let out = run_seeds(&seeds, 4, |s| {
+        let out = run_seeds(&seeds, Some(4), |s| {
             let iters = 100 + (s % 7) * 500;
             (0..iters).fold(s, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
         });

@@ -1,0 +1,135 @@
+//! Shim ↔ driver bit-identity: the legacy `run_*` / `run_*_monitored`
+//! entry points are one-line shims over [`SimDriver::run`], kept for
+//! one release. This suite pins the shims *bit-identical* to driving
+//! the strategies directly, across the full matrix of
+//! 3 engines × {Ideal, ProbabilisticLoss, GilbertElliott} ×
+//! {NullMonitor, ColoringMonitor}: per-node stats, slots run, fault
+//! logs and violation lists must all match exactly, so the shims can
+//! be retired without any observable change.
+
+use proptest::prelude::*;
+use radio_graph::generators::gnp;
+use radio_graph::Graph;
+use radio_sim::{
+    random_phases, run_event, run_event_monitored, run_jittered, run_jittered_monitored,
+    run_lockstep, run_lockstep_monitored, ChannelSpec, EventSkip, Jittered, Lockstep, NullMonitor,
+    SimConfig, SimDriver, SimOutcome, Slot,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use urn_coloring::{AlgorithmParams, ColoringMonitor, ColoringNode, ProtoId};
+
+fn mk_nodes(n: usize, params: AlgorithmParams) -> Vec<ColoringNode> {
+    (1..=n as ProtoId)
+        .map(|id| ColoringNode::new(id, params))
+        .collect()
+}
+
+fn assert_identical(
+    a: &SimOutcome<ColoringNode>,
+    b: &SimOutcome<ColoringNode>,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.stats, &b.stats, "{}: per-node stats", label);
+    prop_assert_eq!(a.all_decided, b.all_decided, "{}: all_decided", label);
+    prop_assert_eq!(a.slots_run, b.slots_run, "{}: slots_run", label);
+    prop_assert_eq!(&a.error, &b.error, "{}: error", label);
+    prop_assert_eq!(&a.faults, &b.faults, "{}: fault log", label);
+    prop_assert_eq!(
+        a.faults_dropped,
+        b.faults_dropped,
+        "{}: faults_dropped",
+        label
+    );
+    prop_assert_eq!(&a.violations, &b.violations, "{}: violations", label);
+    Ok(())
+}
+
+/// One case of the matrix: runs the shim and the direct driver call
+/// for `engine` (0 = lockstep, 1 = event, 2 = jittered), with and
+/// without the coloring monitor, and demands bit-identity.
+fn check_case(
+    engine: usize,
+    g: &Graph,
+    wake: &[Slot],
+    params: AlgorithmParams,
+    seed: u64,
+    cfg: &SimConfig,
+) -> Result<(), TestCaseError> {
+    let n = g.len();
+    let mk = || mk_nodes(n, params);
+    let phases = random_phases(n, seed);
+
+    // NullMonitor column: plain shims vs the driver with a NullMonitor.
+    let (shim, driver) = match engine {
+        0 => (
+            run_lockstep(g, wake, mk(), seed, cfg),
+            SimDriver::run::<Lockstep>(g, wake, mk(), (), seed, cfg, &mut NullMonitor),
+        ),
+        1 => (
+            run_event(g, wake, mk(), seed, cfg),
+            SimDriver::run::<EventSkip>(g, wake, mk(), (), seed, cfg, &mut NullMonitor),
+        ),
+        _ => (
+            run_jittered(g, wake, mk(), &phases, seed, cfg),
+            SimDriver::run::<Jittered>(g, wake, mk(), &phases, seed, cfg, &mut NullMonitor),
+        ),
+    };
+    assert_identical(&shim, &driver, "unmonitored")?;
+
+    // ColoringMonitor column: monitored shims vs the driver with a
+    // fresh monitor each side.
+    let (mut ma, mut mb) = (ColoringMonitor::new(g), ColoringMonitor::new(g));
+    let (shim, driver) = match engine {
+        0 => (
+            run_lockstep_monitored(g, wake, mk(), seed, cfg, &mut ma),
+            SimDriver::run::<Lockstep>(g, wake, mk(), (), seed, cfg, &mut mb),
+        ),
+        1 => (
+            run_event_monitored(g, wake, mk(), seed, cfg, &mut ma),
+            SimDriver::run::<EventSkip>(g, wake, mk(), (), seed, cfg, &mut mb),
+        ),
+        _ => (
+            run_jittered_monitored(g, wake, mk(), &phases, seed, cfg, &mut ma),
+            SimDriver::run::<Jittered>(g, wake, mk(), &phases, seed, cfg, &mut mb),
+        ),
+    };
+    assert_identical(&shim, &driver, "monitored")?;
+
+    // Monitoring must also be outcome-invisible: the monitored run's
+    // stats match the unmonitored driver run's exactly.
+    prop_assert_eq!(&shim.stats, &driver.stats, "monitored vs unmonitored stats");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(18))]
+
+    #[test]
+    fn shims_are_bit_identical_to_the_driver(
+        n in 2usize..14,
+        wake_span in 1u64..20,
+        chan in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let channel = [
+            ChannelSpec::Ideal,
+            ChannelSpec::ProbabilisticLoss { p: 0.25 },
+            ChannelSpec::GilbertElliott {
+                p_bad: 0.05,
+                p_good: 0.15,
+                loss_good: 0.02,
+                loss_bad: 0.9,
+            },
+        ][chan];
+        let mut setup = SmallRng::seed_from_u64(seed ^ 0x1DEA_7157);
+        let g = gnp(n, 0.4, &mut setup);
+        let wake: Vec<Slot> = (0..n).map(|_| setup.gen_range(0..wake_span)).collect();
+        let delta = g.max_closed_degree().max(2);
+        let params = AlgorithmParams::practical(2, delta, 64);
+        let cfg = SimConfig::with_max_slots(400_000).with_channel(channel);
+        for engine in 0..3 {
+            check_case(engine, &g, &wake, params, seed, &cfg)?;
+        }
+    }
+}

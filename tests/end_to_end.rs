@@ -8,7 +8,7 @@ use radio_graph::generators::special::{complete, complete_bipartite, cycle, path
 use radio_graph::generators::{build_udg, gnp, uniform_square};
 use radio_graph::Graph;
 use radio_sim::rng::node_rng;
-use radio_sim::{Engine, SimConfig, WakePattern};
+use radio_sim::{EngineKind, SimConfig, WakePattern};
 use urn_coloring::{
     color_graph, verify_outcome, AlgorithmParams, ColoringConfig, IdAssignment, TdmaSchedule,
 };
@@ -20,7 +20,7 @@ fn params_for(g: &Graph, kappa2: usize) -> AlgorithmParams {
 fn run(
     g: &Graph,
     kappa2: usize,
-    engine: Engine,
+    engine: EngineKind,
     wake: &[u64],
     seed: u64,
 ) -> urn_coloring::ColoringOutcome {
@@ -41,7 +41,7 @@ fn special_topologies_all_theorems_both_engines() {
     ];
     for (name, g) in &graphs {
         let k = kappa(g);
-        for engine in [Engine::Event, Engine::Lockstep] {
+        for engine in [EngineKind::Event, EngineKind::Lockstep] {
             let out = run(g, k.k2, engine, &vec![0; g.len()], 11);
             assert!(out.all_decided, "{name} {engine:?}");
             let v = verify_outcome(g, &out, k.k2.max(2));
@@ -61,7 +61,7 @@ fn udg_pipeline_with_random_wakeup() {
         window: 3 * params.waiting_slots(),
     }
     .generate(g.len(), &mut rng);
-    let out = run(&g, k.k2, Engine::Event, &wake, 23);
+    let out = run(&g, k.k2, EngineKind::Event, &wake, 23);
     assert!(out.all_decided);
     let v = verify_outcome(&g, &out, k.k2.max(2));
     assert!(v.all_hold(), "{v:?}");
@@ -79,7 +79,7 @@ fn gnp_graph_is_colored_correctly() {
     let mut rng = node_rng(2, 2);
     let g = gnp(60, 0.08, &mut rng);
     let k = kappa(&g);
-    let out = run(&g, k.k2, Engine::Event, &vec![0; g.len()], 31);
+    let out = run(&g, k.k2, EngineKind::Event, &vec![0; g.len()], 31);
     assert!(out.all_decided);
     assert!(out.valid(), "{:?}", out.report.conflicts);
 }
@@ -95,7 +95,7 @@ fn disconnected_graph_components_color_independently() {
         }
     }
     let g = Graph::from_edges(10, edges);
-    let out = run(&g, 2, Engine::Event, &[0; 10], 41);
+    let out = run(&g, 2, EngineKind::Event, &[0; 10], 41);
     assert!(out.all_decided);
     assert!(out.valid());
     // Isolated nodes all become leaders with color 0.
@@ -166,7 +166,7 @@ fn failure_injection_tiny_constants_are_detected() {
 #[test]
 fn outcome_accounting_is_consistent() {
     let g = path(5);
-    let out = run(&g, 2, Engine::Event, &[0, 3, 9, 2, 7], 71);
+    let out = run(&g, 2, EngineKind::Event, &[0, 3, 9, 2, 7], 71);
     assert!(out.all_decided);
     for (v, s) in out.stats.iter().enumerate() {
         assert_eq!(s.wake, [0, 3, 9, 2, 7][v]);

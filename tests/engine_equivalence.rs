@@ -11,12 +11,42 @@
 //! intra-slot ordering, or the active-set compaction — shows up as a
 //! stats mismatch. This is the determinism contract the delivery-kernel
 //! refactor must preserve (DESIGN.md §sim, "Delivery kernel").
+//!
+//! These tests drive [`SimDriver::run`] directly with the strategy
+//! types ([`Lockstep`], [`EventSkip`]) — the unified entry point the
+//! legacy `run_*` shims delegate to; `tests/driver_identity.rs` pins
+//! the shims bit-identical to these direct calls.
 
 use proptest::prelude::*;
-use radio_graph::generators::gnp;
-use radio_sim::{run_event, run_lockstep, Behavior, ChannelSpec, RadioProtocol, SimConfig, Slot};
+use radio_graph::{generators::gnp, Graph};
+use radio_sim::{
+    Behavior, ChannelSpec, EventSkip, Lockstep, NullMonitor, RadioProtocol, SimConfig, SimDriver,
+    SimOutcome, Slot,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Drives the lock-step strategy through the unified driver.
+fn run_lockstep(
+    g: &Graph,
+    wake: &[Slot],
+    protocols: Vec<Pulse>,
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<Pulse> {
+    SimDriver::run::<Lockstep>(g, wake, protocols, (), seed, cfg, &mut NullMonitor)
+}
+
+/// Drives the event-skip strategy through the unified driver.
+fn run_event(
+    g: &Graph,
+    wake: &[Slot],
+    protocols: Vec<Pulse>,
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimOutcome<Pulse> {
+    SimDriver::run::<EventSkip>(g, wake, protocols, (), seed, cfg, &mut NullMonitor)
+}
 
 /// Deterministic-schedule stress protocol: alternates p = 1 bursts and
 /// silences with RNG-drawn lengths, reacts to receptions by sometimes

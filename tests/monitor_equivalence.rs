@@ -17,8 +17,8 @@
 use radio_graph::generators::special::{complete, path, star};
 use radio_graph::Graph;
 use radio_sim::{
-    run_event_monitored, run_jittered_monitored, run_lockstep_monitored, Behavior, ChannelSpec,
-    RadioProtocol, SimConfig, Slot, Violation,
+    Behavior, ChannelSpec, EventSkip, Jittered, Lockstep, RadioProtocol, SimConfig, SimDriver,
+    Slot, Violation,
 };
 use rand::rngs::SmallRng;
 use urn_coloring::{
@@ -61,11 +61,11 @@ fn violations_under(
     let cfg = SimConfig::with_max_slots(400_000).with_channel(channel);
     let mut monitor = ColoringMonitor::new(graph);
     let out = match which {
-        0 => run_lockstep_monitored(graph, wake, protocols, seed, &cfg, &mut monitor),
-        1 => run_event_monitored(graph, wake, protocols, seed, &cfg, &mut monitor),
+        0 => SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, &cfg, &mut monitor),
+        1 => SimDriver::run::<EventSkip>(graph, wake, protocols, (), seed, &cfg, &mut monitor),
         _ => {
             let phases = vec![false; n];
-            run_jittered_monitored(graph, wake, protocols, &phases, seed, &cfg, &mut monitor)
+            SimDriver::run::<Jittered>(graph, wake, protocols, &phases, seed, &cfg, &mut monitor)
         }
     };
     assert!(out.error.is_none());
@@ -164,11 +164,17 @@ fn deterministic_violator_yields_identical_violations_across_engines() {
         for which in 0..3 {
             let mut monitor = ColoringMonitor::new(&graph);
             let out = match which {
-                0 => run_lockstep_monitored(&graph, &wake, mk(), 7, &cfg, &mut monitor),
-                1 => run_event_monitored(&graph, &wake, mk(), 7, &cfg, &mut monitor),
-                _ => {
-                    run_jittered_monitored(&graph, &wake, mk(), &[false; 4], 7, &cfg, &mut monitor)
-                }
+                0 => SimDriver::run::<Lockstep>(&graph, &wake, mk(), (), 7, &cfg, &mut monitor),
+                1 => SimDriver::run::<EventSkip>(&graph, &wake, mk(), (), 7, &cfg, &mut monitor),
+                _ => SimDriver::run::<Jittered>(
+                    &graph,
+                    &wake,
+                    mk(),
+                    &[false; 4],
+                    7,
+                    &cfg,
+                    &mut monitor,
+                ),
             };
             assert!(
                 !out.violations.is_empty(),
@@ -197,7 +203,10 @@ fn deterministic_violator_yields_identical_violations_across_engines() {
 
 #[test]
 fn mutated_runs_are_detected_by_both_replay_engines() {
-    for engine in [radio_sim::Engine::Lockstep, radio_sim::Engine::Event] {
+    for engine in [
+        radio_sim::EngineKind::Lockstep,
+        radio_sim::EngineKind::Event,
+    ] {
         let graph = path(4);
         let case = ReproCase {
             label: "equivalence copycat".to_string(),

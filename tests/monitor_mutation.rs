@@ -10,7 +10,7 @@
 //! honest.
 
 use radio_graph::generators::special::path;
-use radio_sim::{ChannelSpec, Engine};
+use radio_sim::{ChannelSpec, EngineKind};
 use std::path::Path;
 use urn_coloring::{shrink, write_artifact, AlgorithmParams, MutationKind, ReproCase};
 
@@ -24,7 +24,7 @@ fn seeded(mutation: MutationKind, label: &str) -> ReproCase {
         edges: g.edges().collect(),
         wake: vec![0, 3, 6, 9],
         seed: 42,
-        engine: Engine::Event,
+        engine: EngineKind::Event,
         channel: ChannelSpec::ProbabilisticLoss { p: 0.125 },
         params: AlgorithmParams::practical(2, 3, 16),
         mutation,

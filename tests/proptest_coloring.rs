@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use radio_graph::analysis::kappa;
 use radio_graph::{Graph, NodeId};
-use radio_sim::{Engine, SimConfig};
+use radio_sim::{EngineKind, SimConfig};
 use urn_coloring::{color_graph, verify_outcome, AlgorithmParams, ColoringConfig, TdmaSchedule};
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -16,7 +16,7 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     })
 }
 
-fn run(g: &Graph, wake: &[u64], engine: Engine, seed: u64) -> urn_coloring::ColoringOutcome {
+fn run(g: &Graph, wake: &[u64], engine: EngineKind, seed: u64) -> urn_coloring::ColoringOutcome {
     let k = kappa(g);
     let params = AlgorithmParams::practical(k.k2.max(2), g.max_closed_degree().max(2), 256);
     let mut config = ColoringConfig::new(params);
@@ -31,7 +31,7 @@ proptest! {
 
     #[test]
     fn random_graphs_color_properly(g in arb_graph(14), seed in 0u64..1000) {
-        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        let out = run(&g, &vec![0; g.len()], EngineKind::Event, seed);
         prop_assert!(out.all_decided);
         prop_assert!(out.valid(), "conflicts: {:?}", out.report.conflicts);
         let k = kappa(&g);
@@ -46,7 +46,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let wake: Vec<u64> = wake_raw[..g.len()].to_vec();
-        let out = run(&g, &wake, Engine::Event, seed);
+        let out = run(&g, &wake, EngineKind::Event, seed);
         prop_assert!(out.all_decided);
         prop_assert!(out.valid(), "conflicts: {:?}", out.report.conflicts);
         // T_v accounting: decisions never precede wake-ups.
@@ -57,7 +57,7 @@ proptest! {
 
     #[test]
     fn both_engines_produce_valid_colorings(g in arb_graph(10), seed in 0u64..500) {
-        for engine in [Engine::Event, Engine::Lockstep] {
+        for engine in [EngineKind::Event, EngineKind::Lockstep] {
             let out = run(&g, &vec![0; g.len()], engine, seed);
             prop_assert!(out.all_decided, "{engine:?}");
             prop_assert!(out.valid(), "{engine:?}: {:?}", out.report.conflicts);
@@ -66,7 +66,7 @@ proptest! {
 
     #[test]
     fn leaders_form_maximal_structure(g in arb_graph(12), seed in 0u64..500) {
-        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        let out = run(&g, &vec![0; g.len()], EngineKind::Event, seed);
         prop_assert!(out.all_decided);
         // Leaders are an independent set…
         for &a in &out.leaders {
@@ -88,7 +88,7 @@ proptest! {
     #[test]
     fn color_classes_are_independent_sets(g in arb_graph(12), seed in 0u64..500) {
         // Theorem 2, stated directly on classes.
-        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        let out = run(&g, &vec![0; g.len()], EngineKind::Event, seed);
         prop_assert!(out.all_decided);
         let max = out.report.max_color.unwrap_or(0);
         for c in 0..=max {
@@ -103,7 +103,7 @@ proptest! {
 
     #[test]
     fn tdma_schedule_from_any_valid_run(g in arb_graph(10), seed in 0u64..500) {
-        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        let out = run(&g, &vec![0; g.len()], EngineKind::Event, seed);
         prop_assert!(out.all_decided && out.valid());
         let sched = TdmaSchedule::from_coloring(&out.colors);
         prop_assert!(sched.direct_interference_free(&g));
@@ -118,7 +118,7 @@ proptest! {
 
     #[test]
     fn node_traces_are_sane(g in arb_graph(10), seed in 0u64..500) {
-        let out = run(&g, &vec![0; g.len()], Engine::Event, seed);
+        let out = run(&g, &vec![0; g.len()], EngineKind::Event, seed);
         prop_assert!(out.all_decided);
         for (v, tr) in out.traces.iter().enumerate() {
             prop_assert!(tr.states_entered >= 1, "node {v} never entered A_0");

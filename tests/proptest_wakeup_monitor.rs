@@ -14,7 +14,7 @@ use radio_graph::generators::special::{complete, cycle, star};
 use radio_graph::generators::{build_udg, gnp, uniform_square};
 use radio_graph::Graph;
 use radio_sim::rng::node_rng;
-use radio_sim::{ChannelSpec, Engine, SimConfig, WakePattern};
+use radio_sim::{ChannelSpec, EngineKind, SimConfig, WakePattern};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -97,7 +97,7 @@ proptest! {
             edges: graph.edges().collect(),
             wake,
             seed,
-            engine: [Engine::Event, Engine::Lockstep][engine_pick],
+            engine: [EngineKind::Event, EngineKind::Lockstep][engine_pick],
             channel: ChannelSpec::Ideal,
             params: AlgorithmParams::practical(2, delta, 16),
             mutation: MutationKind::None,
