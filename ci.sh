@@ -78,7 +78,10 @@ if [[ $quick -eq 0 ]]; then
     # behind the Ideal channel model — ever drops below 2x the
     # reference listener-side re-scan at Δ=128, or if the monitored
     # kernel+Ideal path drops below 1.8x (monitoring must stay cheap
-    # enough to leave on).
+    # enough to leave on). Also times the sharded slot-parallel driver
+    # end-to-end (sharded_slots_per_sec / sharded_vs_kernel fields) and
+    # — on hosts with ≥4 threads — gates it at ≥2x the kernel leg at
+    # n=1024, Δ*=128.
     echo "==> slot_throughput microbench"
     ./target/release/slot_throughput BENCH_sim.json
 fi

@@ -198,7 +198,7 @@ pub fn mw_mis(
     let protos: Vec<MwMisNode> = (0..graph.len())
         .map(|v| MwMisNode::new(v as u64 + 1, params))
         .collect();
-    let out = radio_sim::run_event(
+    let out = radio_sim::EngineKind::Event.run(
         graph,
         wake,
         protos,

@@ -249,14 +249,14 @@ mod tests {
     use radio_graph::analysis::check_coloring;
     use radio_graph::generators::special::{complete, cycle, path, star};
     use radio_graph::Graph;
-    use radio_sim::{run_event, run_lockstep, SimConfig};
+    use radio_sim::{EngineKind, SimConfig};
 
     fn run(g: &Graph, seed: u64) -> Vec<Option<u32>> {
         let params = VerifyParams::new(g.max_closed_degree().max(2), g.len().max(4));
         let protos: Vec<VerifyNode> = (0..g.len())
             .map(|v| VerifyNode::new(v as u64 + 1, params))
             .collect();
-        let out = run_event(
+        let out = EngineKind::Event.run(
             g,
             &vec![0; g.len()],
             protos,
@@ -288,7 +288,7 @@ mod tests {
         let g = Graph::empty(1);
         let params = VerifyParams::new(2, 4);
         let protos = vec![VerifyNode::new(1, params)];
-        let out = run_lockstep(&g, &[0], protos, 1, &SimConfig::default());
+        let out = EngineKind::Lockstep.run(&g, &[0], protos, 1, &SimConfig::default());
         assert!(out.all_decided);
         assert_eq!(out.protocols[0].attempts(), 1);
         assert!(out.protocols[0].color().unwrap() < params.palette());
@@ -309,7 +309,7 @@ mod tests {
         let g = complete(6);
         let params = VerifyParams::new(6, 8);
         let protos: Vec<VerifyNode> = (0..6).map(|v| VerifyNode::new(v + 1, params)).collect();
-        let out = run_event(
+        let out = EngineKind::Event.run(
             &g,
             &[0; 6],
             protos,

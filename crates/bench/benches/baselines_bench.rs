@@ -8,7 +8,7 @@ use radio_baselines::{
 };
 use radio_bench::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{run_event, SimConfig, WakePattern};
+use radio_sim::{EngineKind, SimConfig, WakePattern};
 
 fn bench_baselines(c: &mut Criterion) {
     let w = udg_workload(96, 10.0, 0xBA);
@@ -62,7 +62,7 @@ fn bench_baselines(c: &mut Criterion) {
             seed += 1;
             let protos: Vec<VerifyNode> =
                 (0..n).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
-            let out = run_event(
+            let out = EngineKind::Event.run(
                 &w.graph,
                 &wake,
                 protos,

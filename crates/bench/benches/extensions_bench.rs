@@ -7,7 +7,7 @@ use radio_baselines::mw_mis::mw_mis;
 use radio_bench::experiments::slot_cap;
 use radio_bench::workloads::udg_workload;
 use radio_sim::rng::node_rng;
-use radio_sim::{random_phases, run_event, run_jittered, SimConfig, WakePattern};
+use radio_sim::{EngineKind, SimConfig, WakePattern};
 use urn_coloring::{ColoringNode, DegreeEstimator, EstimatorParams};
 
 fn bench_extensions(c: &mut Criterion) {
@@ -27,7 +27,7 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let protos: Vec<DegreeEstimator> = (0..n).map(|_| DegreeEstimator::new(est)).collect();
-            let out = run_event(&w.graph, &wake, protos, seed, &SimConfig::default());
+            let out = EngineKind::Event.run(&w.graph, &wake, protos, seed, &SimConfig::default());
             assert!(out.all_decided);
             out.slots_run
         });
@@ -50,12 +50,10 @@ fn bench_extensions(c: &mut Criterion) {
             let protos: Vec<ColoringNode> = (0..n)
                 .map(|v| ColoringNode::new(v as u64 + 1, params))
                 .collect();
-            let phases = random_phases(n, seed);
-            let out = run_jittered(
+            let out = EngineKind::Jittered.run(
                 &w.graph,
                 &wake,
                 protos,
-                &phases,
                 seed,
                 &SimConfig::with_max_slots(slot_cap(&params)),
             );

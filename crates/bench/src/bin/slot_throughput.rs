@@ -20,7 +20,12 @@
 //! an attached [`EngineOrderMonitor`] firing on every transmit and
 //! delivery — the invariant-monitor layer must keep that path ≥1.8×
 //! the reference at Δ* = 128, so monitoring stays cheap enough to
-//! leave on in CI.
+//! leave on in CI. A fifth, end-to-end leg times the slot-parallel
+//! sharded driver on the lock-step beacon workload (one shard per
+//! worker thread): on hosts with ≥ 4 threads it must reach ≥ 2× the
+//! dense kernel micro-loop at n = 1024, Δ* = 128; on smaller hosts the
+//! ratio is recorded in `BENCH_sim.json` (next to a `threads` field)
+//! but not asserted, since the driver falls back to sequential there.
 //!
 //! ```text
 //! slot_throughput [OUT.json]        # default: BENCH_sim.json
@@ -31,7 +36,7 @@ use radio_graph::{Graph, NodeId};
 use radio_sim::delivery::{DeliveryKernel, ReferenceSweep};
 use radio_sim::rng::node_rng;
 use radio_sim::{
-    run_lockstep, Behavior, ChannelModel, ChannelSpec, EngineOrderMonitor, InvariantMonitor,
+    Behavior, ChannelModel, ChannelSpec, EngineKind, EngineOrderMonitor, InvariantMonitor,
     RadioProtocol, Reception, SimConfig, Slot,
 };
 use rand::rngs::SmallRng;
@@ -213,7 +218,25 @@ fn time_lockstep(graph: &Graph, delta: usize) -> f64 {
         .collect();
     let cfg = SimConfig::with_max_slots(E2E_SLOTS);
     let start = Instant::now();
-    let out = run_lockstep(graph, &vec![0; n], protos, 7, &cfg);
+    let out = EngineKind::Lockstep.run(graph, &vec![0; n], protos, 7, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    (out.slots_run + 1) as f64 / secs
+}
+
+/// End-to-end sharded-driver leg on the same beacon workload as
+/// [`time_lockstep`]: `shards = 0` lets the driver pick one shard per
+/// available worker thread (on a single-core host that degenerates to
+/// the sequential fallback, which is exactly what users get there).
+fn time_sharded(graph: &Graph, delta: usize, shards: u32) -> f64 {
+    let n = graph.len();
+    let protos: Vec<Beacon> = (0..n)
+        .map(|_| Beacon {
+            p: (1.0 / delta as f64).max(1e-3),
+        })
+        .collect();
+    let cfg = SimConfig::with_max_slots(E2E_SLOTS).with_shards(shards);
+    let start = Instant::now();
+    let out = EngineKind::Sharded.run(graph, &vec![0; n], protos, 7, &cfg);
     let secs = start.elapsed().as_secs_f64();
     (out.slots_run + 1) as f64 / secs
 }
@@ -231,6 +254,8 @@ struct Row {
     monitored_sps: f64,
     monitor_speedup: f64,
     lockstep_sps: f64,
+    sharded_sps: f64,
+    sharded_vs_kernel: f64,
 }
 
 fn main() {
@@ -238,6 +263,7 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
 
+    let threads = radio_sim::parallel::default_threads();
     let mut rows: Vec<Row> = Vec::new();
     for &n in &[256usize, 1024] {
         for &target_delta in &[16usize, 64, 128] {
@@ -275,6 +301,7 @@ fn main() {
             let kernel_sps = MICRO_SLOTS as f64 / ker_secs;
             let kernel_ideal_sps = MICRO_SLOTS as f64 / ideal_secs;
             let monitored_sps = MICRO_SLOTS as f64 / mon_secs;
+            let sharded_sps = time_sharded(&graph, measured_delta, 0);
             let row = Row {
                 n,
                 target_delta,
@@ -288,9 +315,11 @@ fn main() {
                 monitored_sps,
                 monitor_speedup: monitored_sps / reference_sps,
                 lockstep_sps: time_lockstep(&graph, measured_delta),
+                sharded_sps,
+                sharded_vs_kernel: sharded_sps / kernel_sps,
             };
             println!(
-                "n={:5} Δ*={:3} (measured {:3}): reference {:>12.0} slots/s, kernel {:>12.0} slots/s ({:4.1}x), +ideal channel {:>12.0} slots/s ({:4.1}x), +lossy {:>12.0} slots/s, +monitor {:>12.0} slots/s ({:4.1}x), lockstep e2e {:>10.0} slots/s",
+                "n={:5} Δ*={:3} (measured {:3}): reference {:>12.0} slots/s, kernel {:>12.0} slots/s ({:4.1}x), +ideal channel {:>12.0} slots/s ({:4.1}x), +lossy {:>12.0} slots/s, +monitor {:>12.0} slots/s ({:4.1}x), lockstep e2e {:>10.0} slots/s, sharded e2e {:>10.0} slots/s ({:4.1}x kernel)",
                 row.n,
                 row.target_delta,
                 row.measured_delta,
@@ -303,6 +332,8 @@ fn main() {
                 row.monitored_sps,
                 row.monitor_speedup,
                 row.lockstep_sps,
+                row.sharded_sps,
+                row.sharded_vs_kernel,
             );
             rows.push(row);
         }
@@ -312,11 +343,12 @@ fn main() {
     json.push_str("{\n  \"bench\": \"slot_throughput\",\n");
     let _ = writeln!(json, "  \"tx_probability\": {TX_P},");
     let _ = writeln!(json, "  \"micro_slots\": {MICRO_SLOTS},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"target_delta\": {}, \"measured_delta\": {}, \"reference_slots_per_sec\": {:.1}, \"kernel_slots_per_sec\": {:.1}, \"speedup\": {:.2}, \"kernel_ideal_channel_slots_per_sec\": {:.1}, \"ideal_channel_speedup\": {:.2}, \"kernel_lossy_channel_slots_per_sec\": {:.1}, \"kernel_monitored_slots_per_sec\": {:.1}, \"monitor_speedup\": {:.2}, \"lockstep_slots_per_sec\": {:.1}}}",
+            "    {{\"n\": {}, \"target_delta\": {}, \"measured_delta\": {}, \"reference_slots_per_sec\": {:.1}, \"kernel_slots_per_sec\": {:.1}, \"speedup\": {:.2}, \"kernel_ideal_channel_slots_per_sec\": {:.1}, \"ideal_channel_speedup\": {:.2}, \"kernel_lossy_channel_slots_per_sec\": {:.1}, \"kernel_monitored_slots_per_sec\": {:.1}, \"monitor_speedup\": {:.2}, \"lockstep_slots_per_sec\": {:.1}, \"sharded_slots_per_sec\": {:.1}, \"sharded_vs_kernel\": {:.2}}}",
             r.n,
             r.target_delta,
             r.measured_delta,
@@ -329,6 +361,8 @@ fn main() {
             r.monitored_sps,
             r.monitor_speedup,
             r.lockstep_sps,
+            r.sharded_sps,
+            r.sharded_vs_kernel,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -358,5 +392,15 @@ fn main() {
             r.monitor_speedup,
             r.n
         );
+        // The sharded-driver gate only bites where parallelism exists:
+        // with < 4 worker threads the leg degenerates to the sequential
+        // fallback and the ratio merely gets recorded, not asserted.
+        if threads >= 4 && r.n == 1024 {
+            assert!(
+                r.sharded_vs_kernel >= 2.0,
+                "sharded e2e {:.2}x < 2x kernel on n=1024 Δ*=128 with {threads} threads",
+                r.sharded_vs_kernel,
+            );
+        }
     }
 }

@@ -29,7 +29,7 @@ use radio_graph::analysis::check_coloring;
 use radio_graph::analysis::coloring_check::locality_points;
 use radio_sim::parallel::run_seeds;
 use radio_sim::rng::node_rng;
-use radio_sim::{run_event, EngineKind, SimConfig, WakePattern};
+use radio_sim::{EngineKind, SimConfig, WakePattern};
 
 struct SvResult {
     valid: bool,
@@ -102,7 +102,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             .generate(n, &mut node_rng(seed, 18));
             let protos: Vec<VerifyNode> =
                 (0..n).map(|v| VerifyNode::new(v as u64 + 1, vp)).collect();
-            let out = run_event(
+            let out = EngineKind::Event.run(
                 graph,
                 &wake,
                 protos,
@@ -248,7 +248,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         let protos: Vec<VerifyNode> = (0..hw.n())
             .map(|v| VerifyNode::new(v as u64 + 1, vp))
             .collect();
-        let svo = run_event(
+        let svo = EngineKind::Event.run(
             &hw.graph,
             &wake,
             protos,

@@ -11,7 +11,7 @@ use crate::workloads::udg_workload;
 use radio_graph::analysis::check_coloring;
 use radio_sim::parallel::run_seeds;
 use radio_sim::rng::node_rng;
-use radio_sim::{run_event, SimConfig, WakePattern};
+use radio_sim::{EngineKind, SimConfig, WakePattern};
 use urn_coloring::{AdaptiveNode, DegreeEstimator, EstimatorParams};
 
 /// Runs E15 and returns its tables.
@@ -44,7 +44,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
             let protos: Vec<DegreeEstimator> = (0..graph.len())
                 .map(|_| DegreeEstimator::new(est))
                 .collect();
-            let out = run_event(
+            let out = EngineKind::Event.run(
                 &graph,
                 &vec![0; graph.len()],
                 protos,
@@ -103,7 +103,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         let protos: Vec<AdaptiveNode> = (0..graph.len())
             .map(|v| AdaptiveNode::new(v as u64 + 1, base, est))
             .collect();
-        let out = run_event(
+        let out = EngineKind::Event.run(
             &graph,
             &wake,
             protos,

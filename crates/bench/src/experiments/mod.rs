@@ -130,6 +130,11 @@ pub fn registry() -> Vec<Scenario> {
             default: true,
         },
         Scenario {
+            spec: e18_scalability::sharded_spec,
+            run: |o| vec![e18_scalability::run_sharded_leg(o)],
+            default: true,
+        },
+        Scenario {
             spec: e19_faults::spec,
             run: e19_faults::run,
             default: true,

@@ -280,7 +280,7 @@ mod tests {
     use radio_graph::analysis::check_coloring;
     use radio_graph::generators::special::{complete, path, star};
     use radio_graph::Graph;
-    use radio_sim::{run_event, run_lockstep, SimConfig};
+    use radio_sim::{EngineKind, SimConfig};
     use rand::SeedableRng;
 
     #[test]
@@ -297,7 +297,7 @@ mod tests {
         let g = Graph::empty(1);
         let params = EstimatorParams::new(64, 32);
         let protos = vec![DegreeEstimator::new(params)];
-        let out = run_lockstep(&g, &[0], protos, 1, &SimConfig::default());
+        let out = EngineKind::Lockstep.run(&g, &[0], protos, 1, &SimConfig::default());
         assert!(out.all_decided);
         assert_eq!(out.protocols[0].estimate(), Some(1));
     }
@@ -310,7 +310,7 @@ mod tests {
         let g = complete(d + 1);
         let params = EstimatorParams::new(256, 64);
         let protos: Vec<DegreeEstimator> = (0..=d).map(|_| DegreeEstimator::new(params)).collect();
-        let out = run_event(&g, &vec![0; d + 1], protos, 3, &SimConfig::default());
+        let out = EngineKind::Event.run(&g, &vec![0; d + 1], protos, 3, &SimConfig::default());
         assert!(out.all_decided);
         for (v, p) in out.protocols.iter().enumerate() {
             let est = p.estimate().unwrap();
@@ -327,7 +327,7 @@ mod tests {
         let g = star(17); // center degree 16, leaves degree 1
         let params = EstimatorParams::new(256, 64);
         let protos: Vec<DegreeEstimator> = (0..17).map(|_| DegreeEstimator::new(params)).collect();
-        let out = run_event(&g, &[0; 17], protos, 5, &SimConfig::default());
+        let out = EngineKind::Event.run(&g, &[0; 17], protos, 5, &SimConfig::default());
         assert!(out.all_decided);
         let center = out.protocols[0].estimate().unwrap();
         let leaf = out.protocols[1].estimate().unwrap();
@@ -344,7 +344,7 @@ mod tests {
         let protos: Vec<AdaptiveNode> = (0..6)
             .map(|v| AdaptiveNode::new(v as u64 + 1, base, est))
             .collect();
-        let out = run_event(
+        let out = EngineKind::Event.run(
             &g,
             &[0; 6],
             protos,

@@ -76,6 +76,7 @@ impl ReproCase {
         let cfg = SimConfig {
             max_slots: self.max_slots,
             channel: self.channel,
+            ..SimConfig::default()
         };
         let mut monitor = ColoringMonitor::new(&graph);
         let _ =

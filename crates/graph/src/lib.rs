@@ -34,8 +34,10 @@ pub mod geometry;
 pub mod graph;
 pub mod io;
 pub mod obstacle;
+pub mod partition;
 pub mod spatial;
 
 pub use analysis::{check_coloring, kappa, Coloring, ColoringReport, Kappa};
 pub use geometry::Point2;
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use partition::Partition;

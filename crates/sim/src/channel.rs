@@ -386,6 +386,22 @@ impl ChannelSpec {
         matches!(self, ChannelSpec::Ideal)
     }
 
+    /// `true` for specs the sharded driver can run without serializing.
+    ///
+    /// A model is shardable when its `decide` outcome for a
+    /// `(listener, slot)` pair does not depend on `decide` calls for
+    /// *other* listeners: shards then evaluate identical per-shard model
+    /// clones for their own listeners only and still reproduce the
+    /// sequential run bit for bit. [`Ideal`] draws nothing;
+    /// [`ProbabilisticLoss`] and [`GilbertElliott`] draw counter-based
+    /// per-listener streams. [`AdversarialJam`] is *globally*
+    /// order-sensitive (one budget spent in decide-call order across all
+    /// listeners), so the sharded driver falls back to the sequential
+    /// path for it.
+    pub fn is_shardable(&self) -> bool {
+        !matches!(self, ChannelSpec::AdversarialJam { .. })
+    }
+
     /// Builds the per-run model instance for an `n`-node graph. The
     /// channel derives its own seed from the run seed, so its draws are
     /// independent of the per-node protocol RNG streams.

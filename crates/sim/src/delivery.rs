@@ -155,6 +155,123 @@ impl DeliveryKernel {
     }
 }
 
+/// Scatter-accumulate delivery for **one shard** of the sharded driver
+/// ([`crate::engine::sharded`]).
+///
+/// Listener accumulators are indexed by *shard-local* index (dense in
+/// the shard's member count, so a shard of an n-node graph touches only
+/// its own cache-resident arrays), while senders are identified by
+/// *global* node id — the winner of a contention may live in another
+/// shard, reaching this one through the boundary exchange. Local
+/// transmissions land via [`add`](Self::add) during the shard's own
+/// scatter phase; remote ones via the same `add` when the boundary
+/// queues are merged. As in [`DeliveryKernel`], per-slot state is
+/// invalidated in O(1) by an epoch bump.
+#[derive(Clone, Debug)]
+pub struct ShardKernel {
+    /// Current slot epoch; 0 means "no slot started yet".
+    epoch: u64,
+    /// Epoch at which each local node last transmitted.
+    tx_epoch: Vec<u64>,
+    /// Epoch at which each local listener's accumulator was last reset.
+    stamp: Vec<u64>,
+    /// Number of transmitting neighbors this slot (local + remote).
+    count: Vec<u32>,
+    /// Most recent transmitting neighbor this slot (global id).
+    sender: Vec<NodeId>,
+    /// Local listeners with `count > 0` this slot, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl ShardKernel {
+    /// A kernel for a shard owning `len` nodes.
+    pub fn new(len: usize) -> Self {
+        ShardKernel {
+            epoch: 0,
+            tx_epoch: vec![0; len],
+            stamp: vec![0; len],
+            count: vec![0; len],
+            sender: vec![0; len],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts a new slot, invalidating all per-slot state in O(1).
+    #[inline]
+    pub fn begin_slot(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Records that the local node `lt` transmits this slot (a
+    /// transmitter cannot receive). Scattering to its neighbors is the
+    /// caller's job — the caller knows which neighbors are local
+    /// ([`add`](Self::add)) and which must cross the boundary.
+    #[inline]
+    pub fn mark_transmitter(&mut self, lt: u32) {
+        self.tx_epoch[lt as usize] = self.epoch;
+    }
+
+    /// Accumulates one transmission from `sender` (global id) at the
+    /// local listener `lu`. Returns `true` iff this was the slot's
+    /// *first* contribution at `lu` — the caller stores the boundary
+    /// message exactly then, so a remote unique winner's payload is at
+    /// hand without buffering every colliding message.
+    #[inline]
+    pub fn add(&mut self, lu: u32, sender: NodeId) -> bool {
+        let ui = lu as usize;
+        let first = self.stamp[ui] != self.epoch;
+        if first {
+            self.stamp[ui] = self.epoch;
+            self.count[ui] = 0;
+            self.touched.push(lu);
+        }
+        self.count[ui] += 1;
+        self.sender[ui] = sender;
+        first
+    }
+
+    /// `true` if local node `lv` transmitted this slot.
+    #[inline]
+    pub fn is_transmitter(&self, lv: u32) -> bool {
+        self.tx_epoch[lv as usize] == self.epoch
+    }
+
+    /// Local listeners with at least one transmitting neighbor this
+    /// slot, in first-touch order.
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// For a touched local listener: `Some(global sender)` iff exactly
+    /// one neighbor transmitted.
+    #[inline]
+    pub fn unique_sender(&self, lu: u32) -> Option<NodeId> {
+        debug_assert_eq!(
+            self.stamp[lu as usize], self.epoch,
+            "query of an untouched listener"
+        );
+        if self.count[lu as usize] == 1 {
+            Some(self.sender[lu as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The [`Contention`] for touched local listener `lu`, whose global
+    /// id is `u`, at `slot`.
+    #[inline]
+    pub fn contention(&self, u: NodeId, lu: u32, slot: Slot) -> Contention {
+        Contention {
+            listener: u,
+            slot,
+            transmitters: self.count[lu as usize],
+            winner: self.unique_sender(lu),
+        }
+    }
+}
+
 /// The pre-kernel listener-side delivery algorithm, preserved verbatim
 /// as a differential oracle for the kernels and as the baseline leg of
 /// the `slot_throughput` microbenchmark. Do not use in engines.
@@ -590,6 +707,94 @@ mod tests {
             !k.interferes(0, 5, 2),
             "start at half 3 ended before half 5 packet"
         );
+    }
+
+    /// Differential: running one slot through per-shard [`ShardKernel`]s
+    /// with a manual boundary exchange must reproduce the global
+    /// [`DeliveryKernel`]'s per-listener counts, unique senders and
+    /// transmitter flags exactly, for any shard assignment.
+    #[test]
+    fn shard_kernels_with_boundary_exchange_match_global_kernel() {
+        let mut rng = SmallRng::seed_from_u64(0x5AAD);
+        for case in 0..120 {
+            let n = rng.gen_range(1..48);
+            let k = rng.gen_range(1..=4usize);
+            let g = gnp(n, [0.1, 0.3, 0.7][case % 3], &mut rng);
+            // Arbitrary (id-scrambled) shard assignment.
+            let shard_of: Vec<usize> = (0..n).map(|v| (v * 7 + case) % k).collect();
+            let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+            let mut local_of = vec![0u32; n];
+            for v in 0..n {
+                local_of[v] = members[shard_of[v]].len() as u32;
+                members[shard_of[v]].push(v as NodeId);
+            }
+            let transmitters: Vec<NodeId> =
+                (0..n as NodeId).filter(|_| rng.gen_bool(0.3)).collect();
+
+            let mut global = DeliveryKernel::new(n);
+            global.begin_slot();
+            let mut shards: Vec<ShardKernel> =
+                members.iter().map(|m| ShardKernel::new(m.len())).collect();
+            let mut boundary: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); k];
+            for s in &mut shards {
+                s.begin_slot();
+            }
+            for &t in &transmitters {
+                global.transmit(&g, t);
+                let ts = shard_of[t as usize];
+                shards[ts].mark_transmitter(local_of[t as usize]);
+                for &u in g.neighbors(t) {
+                    let us = shard_of[u as usize];
+                    if us == ts {
+                        shards[us].add(local_of[u as usize], t);
+                    } else {
+                        boundary[us].push((u, t));
+                    }
+                }
+            }
+            for (s, queue) in boundary.iter().enumerate() {
+                for &(u, t) in queue {
+                    shards[s].add(local_of[u as usize], t);
+                }
+            }
+
+            // Same touched set (as a set — first-touch order is
+            // shard-local), same outcome per touched listener.
+            let mut global_touched: Vec<NodeId> = global.touched().to_vec();
+            global_touched.sort_unstable();
+            let mut shard_touched: Vec<NodeId> = shards
+                .iter()
+                .enumerate()
+                .flat_map(|(s, sk)| {
+                    let shard_members = &members[s];
+                    sk.touched()
+                        .iter()
+                        .map(move |&lu| shard_members[lu as usize])
+                })
+                .collect();
+            shard_touched.sort_unstable();
+            assert_eq!(global_touched, shard_touched, "case {case}");
+            for &u in &global_touched {
+                let (s, lu) = (shard_of[u as usize], local_of[u as usize]);
+                assert_eq!(
+                    global.tx_count(u),
+                    shards[s].contention(u, lu, 3).transmitters,
+                    "count at {u}"
+                );
+                assert_eq!(
+                    global.unique_sender(u),
+                    shards[s].unique_sender(lu),
+                    "winner at {u}"
+                );
+            }
+            for v in 0..n as NodeId {
+                assert_eq!(
+                    global.is_transmitter(v),
+                    shards[shard_of[v as usize]].is_transmitter(local_of[v as usize]),
+                    "tx flag at {v}"
+                );
+            }
+        }
     }
 
     /// Multi-slot differential: the kernel + channel delivery path must

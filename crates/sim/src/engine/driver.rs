@@ -42,9 +42,13 @@
 //!   NodeStats / fault log / trace events
 //! ```
 //!
-//! The legacy `run_*` / `run_*_monitored` functions survive as
-//! one-line shims over [`SimDriver::run`] and are bit-identical to it
-//! (enforced by `tests/driver_identity.rs`).
+//! [`SimDriver::run`] is the only entry point: the legacy `run_*` /
+//! `run_*_monitored` shims were retired one release after the driver
+//! unification, exactly as announced. A fourth execution strategy — the
+//! slot-parallel sharded driver in [`super::sharded`] — shares the same
+//! per-node semantics but runs its own SPMD loop; the bit-identity pin
+//! in `tests/driver_identity.rs` now compares it against this
+//! sequential driver.
 
 use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
 use crate::channel::{BuiltinChannel, ChannelModel, Contention, Reception};
@@ -52,9 +56,113 @@ use crate::monitor::InvariantMonitor;
 use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
 use crate::rng::node_rng;
 use crate::trace::Event;
+use radio_graph::bitset::BitSet;
 use radio_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// Struct-of-arrays storage for per-node behavior segments.
+///
+/// The driver's hot sweeps (transmission draws, deadline scans, retired
+/// checks) used to pointer-chase a `Vec<Option<Behavior>>` whose
+/// three-word entries straddle cache lines. This table splits the same
+/// information into parallel arrays — two [`BitSet`] words answer
+/// "woken?" and "transmitting?" for 64 nodes per load, and the `f64`
+/// probabilities / deadline slots are dense arrays the sweep walks
+/// linearly. [`BehaviorTable::get`]/[`BehaviorTable::set`] round-trip
+/// [`Behavior`] values exactly (a `has_deadline` bitset keeps
+/// `until: Some(Slot::MAX)` distinct from `until: None`), so the
+/// enum-facing driver API is unchanged.
+pub(crate) struct BehaviorTable {
+    /// Node has a behavior installed (woke up).
+    present: BitSet,
+    /// Node's current segment is `Transmit { .. }`.
+    transmit: BitSet,
+    /// Node's current segment carries a deadline (`until` is `Some`).
+    has_deadline: BitSet,
+    /// Transmission probability; meaningful iff the transmit bit is set.
+    p: Vec<f64>,
+    /// Segment deadline; meaningful iff the has_deadline bit is set.
+    until: Vec<Slot>,
+}
+
+impl BehaviorTable {
+    /// An empty table for `n` nodes (no behaviors installed).
+    pub(crate) fn new(n: usize) -> Self {
+        BehaviorTable {
+            present: BitSet::new(n),
+            transmit: BitSet::new(n),
+            has_deadline: BitSet::new(n),
+            p: vec![0.0; n],
+            until: vec![0; n],
+        }
+    }
+
+    /// Node `v`'s behavior (`None` before wake-up).
+    #[inline]
+    pub(crate) fn get(&self, v: NodeId) -> Option<Behavior> {
+        let vi = v as usize;
+        if !self.present.contains(vi) {
+            return None;
+        }
+        let until = self.has_deadline.contains(vi).then(|| self.until[vi]);
+        Some(if self.transmit.contains(vi) {
+            Behavior::Transmit {
+                p: self.p[vi],
+                until,
+            }
+        } else {
+            Behavior::Silent { until }
+        })
+    }
+
+    /// Installs behavior `b` for node `v`.
+    #[inline]
+    pub(crate) fn set(&mut self, v: NodeId, b: Behavior) {
+        let vi = v as usize;
+        self.present.insert(vi);
+        let until = match b {
+            Behavior::Transmit { p, until } => {
+                self.transmit.insert(vi);
+                self.p[vi] = p;
+                until
+            }
+            Behavior::Silent { until } => {
+                self.transmit.remove(vi);
+                until
+            }
+        };
+        match until {
+            Some(u) => {
+                self.has_deadline.insert(vi);
+                self.until[vi] = u;
+            }
+            None => self.has_deadline.remove(vi),
+        }
+    }
+
+    /// Node `v`'s segment deadline, if present and set.
+    #[inline]
+    pub(crate) fn until(&self, v: NodeId) -> Option<Slot> {
+        let vi = v as usize;
+        (self.present.contains(vi) && self.has_deadline.contains(vi)).then(|| self.until[vi])
+    }
+
+    /// Transmission probability iff `v` is in a transmit segment.
+    #[inline]
+    pub(crate) fn tx_p(&self, v: NodeId) -> Option<f64> {
+        let vi = v as usize;
+        self.transmit.contains(vi).then(|| self.p[vi])
+    }
+
+    /// `true` iff `v` is installed as `Silent { until: None }` — the
+    /// permanently-quiet state [`SimDriver::retired`] looks for.
+    #[inline]
+    pub(crate) fn silent_forever(&self, v: NodeId) -> bool {
+        let vi = v as usize;
+        self.present.contains(vi) && !self.transmit.contains(vi) && !self.has_deadline.contains(vi)
+    }
+}
 
 /// What an [`Engine::drive`] implementation reports back to
 /// [`SimDriver::run`] when the slot-advance loop ends.
@@ -102,9 +210,9 @@ pub struct SimDriver<'a, P: RadioProtocol, M: InvariantMonitor<P>> {
     monitor: &'a mut M,
     protocols: Vec<P>,
     rngs: Vec<SmallRng>,
-    behaviors: Vec<Option<Behavior>>,
+    behaviors: BehaviorTable,
     stats: Vec<NodeStats>,
-    decided: Vec<bool>,
+    decided: BitSet,
     undecided: usize,
     channel: BuiltinChannel,
     air: Vec<Option<P::Message>>,
@@ -145,7 +253,7 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
             monitor,
             protocols,
             rngs: (0..n as u32).map(|i| node_rng(seed, i)).collect(),
-            behaviors: vec![None; n],
+            behaviors: BehaviorTable::new(n),
             stats: wake
                 .iter()
                 .map(|&w| NodeStats {
@@ -153,7 +261,7 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
                     ..NodeStats::default()
                 })
                 .collect(),
-            decided: vec![false; n],
+            decided: BitSet::new(n),
             undecided: n,
             channel: cfg.channel.build(n, seed),
             air: std::iter::repeat_with(|| None).take(n).collect(),
@@ -195,13 +303,13 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     /// Node `v`'s current behavior segment (`None` before wake-up).
     #[inline]
     pub fn behavior(&self, v: NodeId) -> Option<Behavior> {
-        self.behaviors[v as usize]
+        self.behaviors.get(v)
     }
 
     /// Node `v`'s current segment deadline, if any.
     #[inline]
     pub fn until(&self, v: NodeId) -> Option<Slot> {
-        self.behaviors[v as usize].and_then(|b| b.until())
+        self.behaviors.until(v)
     }
 
     /// Number of nodes that have not yet decided.
@@ -225,11 +333,7 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     /// *receive*; a reactivating `on_receive` puts them back).
     #[inline]
     pub fn retired(&self, v: NodeId) -> bool {
-        self.decided[v as usize]
-            && matches!(
-                self.behaviors[v as usize],
-                Some(Behavior::Silent { until: None })
-            )
+        self.decided.contains(v as usize) && self.behaviors.silent_forever(v)
     }
 
     /// Node `v`'s private RNG stream (for engine-side schedule draws
@@ -267,7 +371,7 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
             });
             return false;
         }
-        self.behaviors[vi] = Some(b);
+        self.behaviors.set(v, b);
         self.monitor.after_deadline(v, slot, &self.protocols[vi]);
         self.note_decided(v, slot);
         true
@@ -278,10 +382,9 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     /// with probability `p` succeeds. Draws nothing for silent nodes.
     #[inline]
     pub fn bernoulli_tx(&mut self, v: NodeId) -> bool {
-        let vi = v as usize;
-        match self.behaviors[vi] {
-            Some(Behavior::Transmit { p, .. }) => self.rngs[vi].gen_bool(p),
-            _ => false,
+        match self.behaviors.tx_p(v) {
+            Some(p) => self.rngs[v as usize].gen_bool(p),
+            None => false,
         }
     }
 
@@ -375,7 +478,7 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
                 });
                 return Err(());
             }
-            self.behaviors[ui] = Some(nb);
+            self.behaviors.set(u, nb);
             changed = true;
         }
         self.monitor
@@ -399,7 +502,7 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
             });
             return false;
         }
-        self.behaviors[vi] = Some(b);
+        self.behaviors.set(v, b);
         self.monitor.after_wake(v, slot, &self.protocols[vi]);
         self.note_decided(v, slot);
         true
@@ -410,16 +513,17 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     #[inline]
     fn note_decided(&mut self, v: NodeId, slot: Slot) {
         let vi = v as usize;
-        if !self.decided[vi] && self.protocols[vi].is_decided() {
-            self.decided[vi] = true;
+        if !self.decided.contains(vi) && self.protocols[vi].is_decided() {
+            self.decided.insert(vi);
             self.stats[vi].decided_at = Some(slot);
             self.undecided -= 1;
             self.monitor.on_decided(v, slot, &self.protocols[vi]);
         }
     }
 
-    /// The engine epilogue: drains + sorts monitor violations, mirrors
-    /// them into the fault log, and assembles the outcome.
+    /// The engine epilogue: canonicalizes the channel-fault log, drains
+    /// and sorts monitor violations, mirrors them into the fault log,
+    /// and assembles the outcome.
     fn finish(self, completion: Completion) -> SimOutcome<P> {
         let SimDriver {
             monitor,
@@ -430,6 +534,14 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
             error,
             ..
         } = self;
+        // Channel faults are logged in delivery-visit order, which is an
+        // engine-internal detail (the lock-step engine walks its active
+        // set, the sharded driver merges per-shard logs). Sort them into
+        // the canonical (slot, node) order — unique per fault, since a
+        // listener records at most one Drop/Jam per slot — *before* the
+        // monitor's violations are mirrored in, so outcomes compare
+        // across execution strategies.
+        faults.sort_by_key(|e| (e.slot(), e.node()));
         let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
         SimOutcome {
             protocols,

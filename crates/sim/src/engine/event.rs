@@ -10,18 +10,16 @@
 //! and per-slot draws distributionally equal, including after behavior
 //! changes, which simply re-draw).
 //!
-//! Since the [`SimDriver`] refactor this module only contains the
-//! slot-advance strategy ([`EventSkip`]) and the legacy entry-point
-//! shims; all protocol/channel/monitor threading lives in
-//! [`super::driver`].
+//! Since the [`SimDriver`] refactor this
+//! module only contains the slot-advance strategy ([`EventSkip`]); all
+//! protocol/channel/monitor threading lives in [`super::driver`].
 
 use super::driver::{Completion, Engine, SimDriver};
-use super::{SimConfig, SimOutcome};
 use crate::delivery::DeliveryKernel;
-use crate::monitor::{InvariantMonitor, NullMonitor};
+use crate::monitor::InvariantMonitor;
 use crate::protocol::{Behavior, RadioProtocol, Slot};
 use crate::rng::geometric_failures;
-use radio_graph::{Graph, NodeId};
+use radio_graph::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -189,51 +187,44 @@ impl Engine for EventSkip {
     }
 }
 
-/// Runs `protocols` on `graph` with the given per-node wake slots.
-///
-/// Legacy shim over [`SimDriver::run`] with the [`EventSkip`] strategy
-/// (bit-identical; kept for one release — prefer the driver directly).
-///
-/// # Panics
-/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
-pub fn run_event<P: RadioProtocol>(
-    graph: &Graph,
-    wake: &[Slot],
-    protocols: Vec<P>,
-    seed: u64,
-    cfg: &SimConfig,
-) -> SimOutcome<P> {
-    run_event_monitored(graph, wake, protocols, seed, cfg, &mut NullMonitor)
-}
-
-/// [`run_event`] with an [`InvariantMonitor`] attached. Channel draws
-/// and transmission skips are counter-based, so slot skipping replays
-/// monitor checks at exactly the slots the lock-step engine would —
-/// monitored outcomes (violations included) stay cross-engine
-/// comparable. The run itself is bit-identical to the unmonitored one.
-///
-/// Legacy shim over [`SimDriver::run`] with the [`EventSkip`] strategy
-/// (bit-identical; kept for one release — prefer the driver directly).
-///
-/// # Panics
-/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
-pub fn run_event_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
-    graph: &Graph,
-    wake: &[Slot],
-    protocols: Vec<P>,
-    seed: u64,
-    cfg: &SimConfig,
-    monitor: &mut M,
-) -> SimOutcome<P> {
-    SimDriver::run::<EventSkip>(graph, wake, protocols, (), seed, cfg, monitor)
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::{SimConfig, SimOutcome};
     use super::*;
-    use crate::engine::lockstep::run_lockstep;
+    use crate::monitor::NullMonitor;
     use radio_graph::generators::special::{path, star};
+    use radio_graph::Graph;
     use rand::rngs::SmallRng;
+
+    /// Test-local wrappers over the driver (the public `run_event*` /
+    /// `run_lockstep` shims were retired after the driver unification).
+    fn run_event<P: RadioProtocol>(
+        graph: &Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        seed: u64,
+        cfg: &SimConfig,
+    ) -> SimOutcome<P> {
+        SimDriver::run::<EventSkip>(graph, wake, protocols, (), seed, cfg, &mut NullMonitor)
+    }
+
+    fn run_lockstep<P: RadioProtocol>(
+        graph: &Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        seed: u64,
+        cfg: &SimConfig,
+    ) -> SimOutcome<P> {
+        SimDriver::run::<crate::engine::lockstep::Lockstep>(
+            graph,
+            wake,
+            protocols,
+            (),
+            seed,
+            cfg,
+            &mut NullMonitor,
+        )
+    }
 
     /// Transmits with probability `p` forever; decides after receiving
     /// `need` messages.

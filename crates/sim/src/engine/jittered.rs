@@ -23,18 +23,17 @@
 //! phases, experiment E16 measures the constant-factor slowdown the
 //! paper predicts.
 //!
-//! Since the [`SimDriver`] refactor this module only contains the
-//! slot-advance strategy ([`Jittered`]) and the legacy entry-point
-//! shims; all protocol/channel/monitor threading lives in
-//! [`super::driver`].
+//! Since the [`SimDriver`] refactor this
+//! module only contains the slot-advance strategy ([`Jittered`]) and
+//! the [`random_phases`] helper; all protocol/channel/monitor threading
+//! lives in [`super::driver`].
 
 use super::driver::{Completion, Engine, SimDriver};
-use super::{SimConfig, SimOutcome};
 use crate::delivery::OverlapKernel;
-use crate::monitor::{InvariantMonitor, NullMonitor};
-use crate::protocol::{RadioProtocol, Slot};
+use crate::monitor::InvariantMonitor;
+use crate::protocol::RadioProtocol;
 use crate::rng::node_rng;
-use radio_graph::{Graph, NodeId};
+use radio_graph::NodeId;
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -190,50 +189,6 @@ impl Engine for Jittered {
     }
 }
 
-/// Runs `protocols` with per-node phase bits (`false` = offset 0,
-/// `true` = offset ½ slot). Wake slots are in the node's *local* slot
-/// count, as everywhere else.
-///
-/// Legacy shim over [`SimDriver::run`] with the [`Jittered`] strategy
-/// (bit-identical; kept for one release — prefer the driver directly).
-///
-/// # Panics
-/// Panics if `wake`, `protocols` or `phases` length differs from
-/// `graph.len()`.
-pub fn run_jittered<P: RadioProtocol>(
-    graph: &Graph,
-    wake: &[Slot],
-    protocols: Vec<P>,
-    phases: &[bool],
-    seed: u64,
-    cfg: &SimConfig,
-) -> SimOutcome<P> {
-    run_jittered_monitored(graph, wake, protocols, phases, seed, cfg, &mut NullMonitor)
-}
-
-/// [`run_jittered`] with an [`InvariantMonitor`] attached. Hooks fire
-/// at the node's *local* slots (the same slot numbers the aligned
-/// engines would use), so with all phase bits `false` monitored
-/// outcomes — violations included — match the lock-step engine exactly.
-///
-/// Legacy shim over [`SimDriver::run`] with the [`Jittered`] strategy
-/// (bit-identical; kept for one release — prefer the driver directly).
-///
-/// # Panics
-/// Panics if `wake`, `protocols` or `phases` length differs from
-/// `graph.len()`.
-pub fn run_jittered_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
-    graph: &Graph,
-    wake: &[Slot],
-    protocols: Vec<P>,
-    phases: &[bool],
-    seed: u64,
-    cfg: &SimConfig,
-    monitor: &mut M,
-) -> SimOutcome<P> {
-    SimDriver::run::<Jittered>(graph, wake, protocols, phases, seed, cfg, monitor)
-}
-
 /// Random phase bits for `n` nodes.
 pub fn random_phases(n: usize, seed: u64) -> Vec<bool> {
     let mut rng = node_rng(seed, 0x9A5E);
@@ -242,11 +197,46 @@ pub fn random_phases(n: usize, seed: u64) -> Vec<bool> {
 
 #[cfg(test)]
 mod tests {
+    use super::super::{SimConfig, SimOutcome};
     use super::*;
-    use crate::engine::lockstep::run_lockstep;
-    use crate::protocol::Behavior;
+    use crate::monitor::NullMonitor;
+    use crate::protocol::{Behavior, Slot};
     use radio_graph::generators::special::{path, star};
+    use radio_graph::Graph;
     use rand::rngs::SmallRng;
+
+    /// Test-local wrappers over the driver (the public `run_jittered*`
+    /// / `run_lockstep` shims were retired after the driver
+    /// unification). Phase bits: `false` = offset 0, `true` = ½ slot;
+    /// wake slots are in the node's *local* slot count.
+    fn run_jittered<P: RadioProtocol>(
+        graph: &Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        phases: &[bool],
+        seed: u64,
+        cfg: &SimConfig,
+    ) -> SimOutcome<P> {
+        SimDriver::run::<Jittered>(graph, wake, protocols, phases, seed, cfg, &mut NullMonitor)
+    }
+
+    fn run_lockstep<P: RadioProtocol>(
+        graph: &Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        seed: u64,
+        cfg: &SimConfig,
+    ) -> SimOutcome<P> {
+        SimDriver::run::<crate::engine::lockstep::Lockstep>(
+            graph,
+            wake,
+            protocols,
+            (),
+            seed,
+            cfg,
+            &mut NullMonitor,
+        )
+    }
 
     /// Transmits with probability `p` forever; decides after `need`
     /// receptions.

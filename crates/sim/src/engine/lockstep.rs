@@ -2,17 +2,15 @@
 //! slot; transmission decisions are independent Bernoulli draws — a
 //! direct transcription of the model in Sect. 2 of the paper.
 //!
-//! Since the [`SimDriver`] refactor this module only contains the
-//! slot-advance strategy ([`Lockstep`]) and the legacy entry-point
-//! shims; all protocol/channel/monitor threading lives in
-//! [`super::driver`].
+//! Since the [`SimDriver`] refactor this
+//! module only contains the slot-advance strategy ([`Lockstep`]); all
+//! protocol/channel/monitor threading lives in [`super::driver`].
 
 use super::driver::{Completion, Engine, SimDriver};
-use super::{SimConfig, SimOutcome};
 use crate::delivery::DeliveryKernel;
-use crate::monitor::{InvariantMonitor, NullMonitor};
+use crate::monitor::InvariantMonitor;
 use crate::protocol::{RadioProtocol, Slot};
-use radio_graph::{Graph, NodeId};
+use radio_graph::NodeId;
 
 /// The per-slot reference strategy: walk the active set every slot.
 ///
@@ -137,52 +135,38 @@ impl Engine for Lockstep {
     }
 }
 
-/// Runs `protocols` on `graph` with the given per-node wake slots.
-///
-/// Legacy shim over [`SimDriver::run`] with the [`Lockstep`] strategy
-/// (bit-identical; kept for one release — prefer the driver directly).
-///
-/// # Panics
-/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
-pub fn run_lockstep<P: RadioProtocol>(
-    graph: &Graph,
-    wake: &[Slot],
-    protocols: Vec<P>,
-    seed: u64,
-    cfg: &SimConfig,
-) -> SimOutcome<P> {
-    run_lockstep_monitored(graph, wake, protocols, seed, cfg, &mut NullMonitor)
-}
-
-/// [`run_lockstep`] with an [`InvariantMonitor`] attached. Monitors are
-/// pure observers (no randomness, no protocol mutation), so the run is
-/// bit-identical to the unmonitored one; detected violations land in
-/// [`SimOutcome::violations`] (canonically sorted) and are mirrored
-/// into the fault log as [`crate::trace::Event::Violation`].
-///
-/// Legacy shim over [`SimDriver::run`] with the [`Lockstep`] strategy
-/// (bit-identical; kept for one release — prefer the driver directly).
-///
-/// # Panics
-/// Panics if `wake.len()` or `protocols.len()` differ from `graph.len()`.
-pub fn run_lockstep_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
-    graph: &Graph,
-    wake: &[Slot],
-    protocols: Vec<P>,
-    seed: u64,
-    cfg: &SimConfig,
-    monitor: &mut M,
-) -> SimOutcome<P> {
-    SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, monitor)
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::{SimConfig, SimOutcome};
     use super::*;
-    use crate::monitor::EngineOrderMonitor;
+    use crate::monitor::{EngineOrderMonitor, NullMonitor};
     use crate::protocol::Behavior;
     use radio_graph::generators::special::{path, star};
+    use radio_graph::Graph;
     use rand::rngs::SmallRng;
+
+    /// Test-local wrappers over the driver (the public `run_lockstep*`
+    /// shims were retired after the driver unification).
+    fn run_lockstep<P: RadioProtocol>(
+        graph: &Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        seed: u64,
+        cfg: &SimConfig,
+    ) -> SimOutcome<P> {
+        SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, &mut NullMonitor)
+    }
+
+    fn run_lockstep_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
+        graph: &Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        seed: u64,
+        cfg: &SimConfig,
+        monitor: &mut M,
+    ) -> SimOutcome<P> {
+        SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, monitor)
+    }
 
     /// Transmits with probability `p` forever; decides after receiving
     /// `need` messages (or immediately if `need == 0`).

@@ -20,11 +20,18 @@
 //! owns every cross-cutting concern: channel model, invariant monitor,
 //! per-node stats, fault log and protocol-error handling. See the
 //! [`driver`] module docs for the hook stack.
+//!
+//! A fourth execution strategy, the slot-parallel driver in
+//! [`sharded`], partitions the node set spatially and steps the shards
+//! concurrently within each slot — same per-node semantics, verified
+//! bit-identical to the sequential driver in `tests/driver_identity.rs`
+//! and sized for million-node runs.
 
 pub mod driver;
 pub mod event;
 pub mod jittered;
 pub mod lockstep;
+pub mod sharded;
 
 use crate::channel::ChannelSpec;
 use crate::monitor::{sort_violations, InvariantMonitor, Violation};
@@ -41,6 +48,10 @@ pub struct SimConfig {
     /// [`ChannelSpec::Ideal`] is the paper's model and is bit-identical
     /// to the pre-channel-layer engines.
     pub channel: ChannelSpec,
+    /// Shard count for the sharded driver
+    /// ([`crate::EngineKind::Sharded`]); `0` picks one shard per
+    /// available worker thread. Ignored by the sequential engines.
+    pub shards: u32,
 }
 
 impl Default for SimConfig {
@@ -48,6 +59,7 @@ impl Default for SimConfig {
         SimConfig {
             max_slots: 50_000_000,
             channel: ChannelSpec::Ideal,
+            shards: 0,
         }
     }
 }
@@ -64,6 +76,13 @@ impl SimConfig {
     /// Replaces the channel model (builder style).
     pub fn with_channel(mut self, channel: ChannelSpec) -> Self {
         self.channel = channel;
+        self
+    }
+
+    /// Sets the shard count for the sharded driver (builder style);
+    /// `0` means auto (one shard per available worker thread).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
         self
     }
 }

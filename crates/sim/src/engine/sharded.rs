@@ -1,0 +1,1079 @@
+//! The spatially-sharded slot-parallel driver: shards of the node set
+//! run concurrently within each slot, with a deterministic boundary
+//! exchange merging cross-shard transmissions — bit-identical to the
+//! sequential [`SimDriver`] running the
+//! [`Lockstep`] strategy.
+//!
+//! # Execution model
+//!
+//! The node set is split by a [`Partition`] (spatial for UDG workloads,
+//! contiguous otherwise). Each shard owns struct-of-arrays state for
+//! its members — protocols, per-node RNG streams, a
+//! `BehaviorTable`, stats, a local [`ShardKernel`] — and one thread
+//! per shard steps the slot loop in lock-step, synchronized by a
+//! `SpinBarrier`. Per slot:
+//!
+//! ```text
+//!   phase A   wake-ups + deadlines (shard-local; no cross-node reads)
+//!   phase B   transmission draws; local scatter into the shard kernel,
+//!             boundary scatter into per-(src,dst) mailboxes
+//!   --------- barrier: all transmissions visible ----------
+//!   phase C   mailbox merge (ascending source shard) + delivery sweep:
+//!             channel decides each touched local listener
+//!   --------- barrier: evaluate global termination ----------
+//! ```
+//!
+//! # Why this is bit-identical to the sequential driver
+//!
+//! * **RNG privacy.** Every random draw a node makes (`on_wake`,
+//!   `on_deadline`, Bernoulli transmission, `message`, `on_receive`)
+//!   comes from its private [`node_rng`] stream, and the draw sequence
+//!   is a function of the node's own event timeline only. Sharding
+//!   changes which thread performs a draw, never its position in the
+//!   node's stream.
+//! * **Exact contention counts.** The per-listener transmitter counts a
+//!   shard accumulates (local adds + merged boundary adds) equal the
+//!   sequential kernel's counts — addition is commutative, and the
+//!   built-in channel models only distinguish `1` from `≥ 2`.
+//! * **Channel privacy.** Every shard builds the same full-size channel
+//!   model from the same run seed; the built-in models keep per-listener
+//!   state (counter-keyed draws, per-listener Markov chains), and each
+//!   listener is decided only on its home shard, in the same
+//!   (listener, slot) query sequence as the sequential run. The one
+//!   globally order-dependent model,
+//!   [`AdversarialJam`](crate::channel::ChannelSpec::AdversarialJam),
+//!   reports [`is_shardable`](crate::channel::ChannelSpec::is_shardable)
+//!   `= false` and the entry point falls back to the sequential driver.
+//! * **Canonical logs.** Channel faults are merged and sorted into the
+//!   same `(slot, node)` order the sequential driver now emits, and
+//!   monitor violations were already canonically sorted by the shared
+//!   epilogue.
+//!
+//! # Monitor replay
+//!
+//! [`InvariantMonitor`]s are not required to be [`Send`], and the
+//! monitor contract only guarantees hook-order independence *within* a
+//! slot. The sharded driver therefore never calls the monitor from a
+//! worker: shards record their hook events per phase, and the main
+//! thread replays them (sorted by node id, phases in sequential order)
+//! between barrier pairs while the workers are parked. Unmonitored runs
+//! ([`InvariantMonitor::is_null`]) skip the replay windows entirely and
+//! run two barriers per slot instead of six.
+//!
+//! # Divergence on protocol errors
+//!
+//! The sequential driver stops mid-slot at the first malformed
+//! behavior, in engine visit order. The sharded driver halts the
+//! erroring shard but lets the other shards finish the slot's phases,
+//! then stops; when several shards error in the same slot the smallest
+//! `(slot, node)` error is reported. Stats of *error* runs can thus
+//! differ between the two drivers (`all_decided` is `false` and
+//! [`SimOutcome::error`] is `Some` either way); error-free runs — the
+//! only ones the identity pin exercises — are bit-identical.
+
+use super::driver::{BehaviorTable, SimDriver};
+use super::lockstep::Lockstep;
+use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
+use crate::channel::{BuiltinChannel, ChannelModel, Reception};
+use crate::delivery::ShardKernel;
+use crate::monitor::InvariantMonitor;
+use crate::protocol::{BehaviorFault, ProtocolError, RadioProtocol, Slot};
+use crate::rng::node_rng;
+use crate::trace::Event;
+use parking_lot::Mutex;
+use radio_graph::bitset::BitSet;
+use radio_graph::{Graph, NodeId, Partition};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::MutexGuard;
+
+/// A reusable spinning barrier with a leader closure.
+///
+/// `std::sync::Barrier` parks threads through the OS on every wait; at
+/// six waits per simulated slot that dominates the slot loop. This
+/// barrier spins briefly (the phases it separates are microseconds
+/// long) and then yields, so it stays correct — if slow — when shards
+/// outnumber cores. The closure passed to [`wait`](SpinBarrier::wait)
+/// runs exactly once per generation, on the last-arriving thread,
+/// strictly before any thread is released.
+struct SpinBarrier {
+    /// Threads arrived in the current generation.
+    count: AtomicUsize,
+    /// Generation counter; incremented by the leader to release waiters.
+    gen: AtomicUsize,
+    /// Number of participating threads.
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            gen: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Blocks until all `total` threads have arrived. The last arriver
+    /// runs `leader`, resets the barrier and releases everyone.
+    ///
+    /// Memory ordering: every arriver's prior writes are published by
+    /// the `AcqRel` increment of `count`; the leader's release-store of
+    /// `gen` (after running `leader`) is observed by the waiters'
+    /// acquire-loads, so all phase-N writes happen-before any phase-N+1
+    /// read.
+    fn wait(&self, leader: impl FnOnce()) {
+        let g = self.gen.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            leader();
+            self.count.store(0, Ordering::Relaxed);
+            self.gen.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.gen.load(Ordering::Acquire) == g {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// One boundary delivery: `(listener, sender, message)`, all ids global.
+type Delivery<P> = (NodeId, NodeId, <P as RadioProtocol>::Message);
+
+/// Cross-shard coordination state (all counters `Relaxed`: the barrier
+/// provides the ordering, see [`SpinBarrier::wait`]).
+struct Shared {
+    /// Nodes that have not yet decided (starts at `n`).
+    undecided: AtomicUsize,
+    /// Nodes that have woken so far.
+    woken: AtomicUsize,
+    /// Set by the termination evaluation; all threads leave the slot
+    /// loop at the end of the slot in which it is raised.
+    stop: AtomicBool,
+    /// Every node woke and decided (pending the error veto).
+    all_decided: AtomicBool,
+    /// A shard hit a protocol error and halted.
+    aborted: AtomicBool,
+    /// The canonical (smallest `(slot, node)`) protocol error.
+    error: Mutex<Option<ProtocolError>>,
+}
+
+/// Read-only per-run context shared by all shard threads.
+struct Ctx<'a, P: RadioProtocol> {
+    graph: &'a Graph,
+    wake: &'a [Slot],
+    /// Global node id → owning shard.
+    shard_of: &'a [u32],
+    /// Global node id → index within its shard's arrays.
+    local_of: &'a [u32],
+    shared: &'a Shared,
+    /// `mailbox[src][dst]`: boundary deliveries scattered by shard
+    /// `src` in phase B, drained by shard `dst` in phase C. Each cell
+    /// has exactly one writer and one reader per slot, on opposite
+    /// sides of a barrier.
+    mailbox: &'a [Vec<Mutex<Vec<Delivery<P>>>>],
+    /// Record hook events for the main thread's monitor replay.
+    record: bool,
+}
+
+/// Struct-of-arrays state for one shard, indexed by local node index
+/// (the position in `members`, which is sorted by global id).
+struct ShardState<P: RadioProtocol> {
+    /// This shard's index.
+    id: usize,
+    /// Global ids of owned nodes, ascending.
+    members: Vec<NodeId>,
+    protocols: Vec<P>,
+    /// Private per-node streams, identical to the sequential driver's.
+    rngs: Vec<SmallRng>,
+    behaviors: BehaviorTable,
+    stats: Vec<NodeStats>,
+    decided: BitSet,
+    /// Full-size channel clone; only local listeners are ever decided.
+    channel: BuiltinChannel,
+    kernel: ShardKernel,
+    /// Message a local node parked on the air (valid for the current
+    /// slot iff the node transmitted; never cleared, like the
+    /// sequential driver's air).
+    air: Vec<Option<P::Message>>,
+    /// Message of the slot's first *remote* contributor per local
+    /// listener; only read when the slot's unique winner is remote, in
+    /// which case that sole contribution wrote it this slot.
+    pending: Vec<Option<P::Message>>,
+    /// Local indices stable-sorted by wake slot (ties: ascending id).
+    wake_order: Vec<u32>,
+    next_wake: usize,
+    /// Local indices needing per-slot attention (see `Lockstep`).
+    active: Vec<u32>,
+    in_active: Vec<bool>,
+    /// Per-destination-shard staging buffers, flushed once per slot.
+    outgoing: Vec<Vec<Delivery<P>>>,
+    faults: Vec<Event>,
+    faults_dropped: u64,
+    /// Replay records: `(global id, decided-now)` per hook class.
+    rec_woken: Vec<(NodeId, bool)>,
+    rec_fired: Vec<(NodeId, bool)>,
+    rec_sent: Vec<NodeId>,
+    rec_received: Vec<(NodeId, P::Message, bool)>,
+    /// A protocol error occurred here: skip all remaining phases (the
+    /// owning thread keeps hitting the barriers).
+    halted: bool,
+}
+
+impl<P: RadioProtocol> ShardState<P> {
+    /// Flips the local node's decided flag (once), mirroring
+    /// `SimDriver::note_decided`; returns `true` on the transition (the
+    /// replay fires `on_decided` then).
+    #[inline]
+    fn note_decided(&mut self, li: usize, slot: Slot, shared: &Shared) -> bool {
+        if !self.decided.contains(li) && self.protocols[li].is_decided() {
+            self.decided.insert(li);
+            self.stats[li].decided_at = Some(slot);
+            shared.undecided.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a malformed behavior: keeps the smallest `(slot, node)`
+    /// error globally and halts this shard.
+    fn fail(&mut self, shared: &Shared, node: NodeId, slot: Slot, fault: BehaviorFault) {
+        let mut e = shared.error.lock();
+        let better = match &*e {
+            None => true,
+            Some(prev) => (slot, node) < (prev.slot, prev.node),
+        };
+        if better {
+            *e = Some(ProtocolError { node, slot, fault });
+        }
+        shared.aborted.store(true, Ordering::Relaxed);
+        self.halted = true;
+    }
+
+    /// Phase A: wake-ups due this slot (ascending global id), then
+    /// deadline firings over the active set — same per-node call
+    /// sequence as the sequential driver's phases 1–2.
+    fn phase_wakes_deadlines(&mut self, slot: Slot, ctx: &Ctx<'_, P>) {
+        if self.halted {
+            return;
+        }
+        while self.next_wake < self.members.len()
+            && ctx.wake[self.members[self.wake_order[self.next_wake] as usize] as usize] == slot
+        {
+            let l = self.wake_order[self.next_wake];
+            self.next_wake += 1;
+            let li = l as usize;
+            self.active.push(l);
+            self.in_active[li] = true;
+            ctx.shared.woken.fetch_add(1, Ordering::Relaxed);
+            let g = self.members[li];
+            let b = self.protocols[li].on_wake(slot, &mut self.rngs[li]);
+            if let Err(fault) = b.validate_at(slot) {
+                self.fail(ctx.shared, g, slot, fault);
+                return;
+            }
+            self.behaviors.set(l, b);
+            let newly = self.note_decided(li, slot, ctx.shared);
+            if ctx.record {
+                self.rec_woken.push((g, newly));
+            }
+        }
+        for idx in 0..self.active.len() {
+            let l = self.active[idx];
+            let li = l as usize;
+            if self.behaviors.until(l) != Some(slot) {
+                continue;
+            }
+            let g = self.members[li];
+            let b = self.protocols[li].on_deadline(slot, &mut self.rngs[li]);
+            if let Err(fault) = b.validate_at(slot) {
+                self.fail(ctx.shared, g, slot, fault);
+                return;
+            }
+            self.behaviors.set(l, b);
+            let newly = self.note_decided(li, slot, ctx.shared);
+            if ctx.record {
+                self.rec_fired.push((g, newly));
+            }
+        }
+    }
+
+    /// Phase B: Bernoulli transmission draws; local transmissions
+    /// scatter into the shard kernel, boundary transmissions into the
+    /// staging buffers, flushed to the mailboxes at the end.
+    fn phase_tx(&mut self, slot: Slot, ctx: &Ctx<'_, P>) {
+        if self.halted {
+            return;
+        }
+        self.kernel.begin_slot();
+        for idx in 0..self.active.len() {
+            let l = self.active[idx];
+            let li = l as usize;
+            let Some(p) = self.behaviors.tx_p(l) else {
+                continue;
+            };
+            if !self.rngs[li].gen_bool(p) {
+                continue;
+            }
+            let g = self.members[li];
+            let msg = self.protocols[li].message(slot, &mut self.rngs[li]);
+            self.stats[li].sent += 1;
+            if ctx.record {
+                self.rec_sent.push(g);
+            }
+            self.kernel.mark_transmitter(l);
+            for &u in ctx.graph.neighbors(g) {
+                let us = ctx.shard_of[u as usize] as usize;
+                if us == self.id {
+                    self.kernel.add(ctx.local_of[u as usize], g);
+                } else if ctx.wake[u as usize] <= slot {
+                    // Sleeping remote listeners receive nothing and
+                    // record no collisions; skipping them sheds
+                    // boundary traffic without changing any outcome.
+                    self.outgoing[us].push((u, g, msg.clone()));
+                }
+            }
+            self.air[li] = Some(msg);
+        }
+        for (dst, q) in self.outgoing.iter_mut().enumerate() {
+            if !q.is_empty() {
+                ctx.mailbox[self.id][dst].lock().append(q);
+            }
+        }
+    }
+
+    /// Phase C: merge boundary deliveries (ascending source shard),
+    /// then let the channel decide every touched local listener — the
+    /// sequential driver's phase 4 restricted to this shard's members.
+    fn phase_deliver(&mut self, slot: Slot, ctx: &Ctx<'_, P>) {
+        if self.halted {
+            return;
+        }
+        for row in ctx.mailbox {
+            let mut q = row[self.id].lock();
+            for (u, t, msg) in q.drain(..) {
+                let lu = ctx.local_of[u as usize];
+                // Local contributions were added in phase B, so a
+                // first-contribution boundary add means the winner (if
+                // unique) is remote and this is its message.
+                if self.kernel.add(lu, t) {
+                    self.pending[lu as usize] = Some(msg);
+                }
+            }
+        }
+        let touched = self.kernel.touched().len();
+        for ti in 0..touched {
+            let lu = self.kernel.touched()[ti];
+            let li = lu as usize;
+            if self.kernel.is_transmitter(lu) {
+                continue; // transmitting itself: cannot receive
+            }
+            let g = self.members[li];
+            if ctx.wake[g as usize] > slot {
+                continue; // still asleep
+            }
+            let c = self.kernel.contention(g, lu, slot);
+            match self.channel.decide(&c) {
+                Reception::Deliver(w) => {
+                    let msg = if ctx.shard_of[w as usize] as usize == self.id {
+                        self.air[ctx.local_of[w as usize] as usize].clone()
+                    } else {
+                        self.pending[li].take()
+                    };
+                    let Some(msg) = msg else {
+                        debug_assert!(false, "winner {w} has no message at listener {g}");
+                        continue;
+                    };
+                    self.stats[li].received += 1;
+                    let mut changed = false;
+                    if let Some(nb) = self.protocols[li].on_receive(slot, &msg, &mut self.rngs[li])
+                    {
+                        if let Err(fault) = nb.validate_at(slot) {
+                            self.fail(ctx.shared, g, slot, fault);
+                            return;
+                        }
+                        self.behaviors.set(lu, nb);
+                        changed = true;
+                    }
+                    let newly = self.note_decided(li, slot, ctx.shared);
+                    if changed && !self.in_active[li] {
+                        self.in_active[li] = true;
+                        self.active.push(lu);
+                    }
+                    if ctx.record {
+                        self.rec_received.push((g, msg, newly));
+                    }
+                }
+                Reception::Collide => self.stats[li].collisions += 1,
+                Reception::Drop => {
+                    self.stats[li].drops += 1;
+                    log_fault(
+                        &mut self.faults,
+                        &mut self.faults_dropped,
+                        Event::Drop { node: g, slot },
+                    );
+                }
+                Reception::Jam => {
+                    self.stats[li].jams += 1;
+                    log_fault(
+                        &mut self.faults,
+                        &mut self.faults_dropped,
+                        Event::Jam { node: g, slot },
+                    );
+                }
+            }
+        }
+    }
+
+    /// End-of-slot compaction: drop retired nodes from the active set
+    /// (decided, permanently silent — removal cannot change outcomes).
+    fn compact(&mut self) {
+        if self.halted {
+            return;
+        }
+        let behaviors = &self.behaviors;
+        let decided = &self.decided;
+        let in_active = &mut self.in_active;
+        self.active.retain(|&l| {
+            let keep = !(decided.contains(l as usize) && behaviors.silent_forever(l));
+            in_active[l as usize] = keep;
+            keep
+        });
+    }
+}
+
+/// Global termination evaluation, run once per slot strictly between
+/// the delivery barrier and the slot-end release.
+fn evaluate(shared: &Shared, n: usize) {
+    if shared.aborted.load(Ordering::Relaxed) {
+        shared.stop.store(true, Ordering::Relaxed);
+    } else if shared.undecided.load(Ordering::Relaxed) == 0
+        && shared.woken.load(Ordering::Relaxed) == n
+    {
+        shared.all_decided.store(true, Ordering::Relaxed);
+        shared.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Worker slot loop for shards `1..k` (the main thread runs shard 0
+/// inline so the non-`Send` monitor never leaves it). The barrier
+/// schedule must mirror the main thread's exactly: six waits per
+/// monitored slot (two per phase, bracketing the main thread's replay
+/// windows), two per unmonitored slot.
+fn worker_loop<P: RadioProtocol>(
+    i: usize,
+    max_slots: Slot,
+    ctx: &Ctx<'_, P>,
+    cells: &[Mutex<ShardState<P>>],
+    barrier: &SpinBarrier,
+    monitored: bool,
+) {
+    let n = ctx.wake.len();
+    let mut slot: Slot = 0;
+    while slot <= max_slots {
+        {
+            let mut s = cells[i].lock();
+            s.phase_wakes_deadlines(slot, ctx);
+            if !monitored {
+                s.phase_tx(slot, ctx);
+            }
+        }
+        if monitored {
+            barrier.wait(|| {});
+            barrier.wait(|| {}); // main: replay wakes + deadlines
+            cells[i].lock().phase_tx(slot, ctx);
+            barrier.wait(|| {});
+            barrier.wait(|| {}); // main: replay transmissions
+            cells[i].lock().phase_deliver(slot, ctx);
+            barrier.wait(|| {});
+            barrier.wait(|| {}); // main: replay receptions, evaluate
+        } else {
+            barrier.wait(|| {});
+            cells[i].lock().phase_deliver(slot, ctx);
+            barrier.wait(|| evaluate(ctx.shared, n));
+        }
+        if ctx.shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        cells[i].lock().compact();
+        slot += 1;
+    }
+}
+
+/// Locks every shard cell for a main-thread replay window. The workers
+/// are parked between two barriers while these guards are held, so the
+/// locks never contend.
+fn lock_all<'a, P: RadioProtocol>(
+    cells: &'a [Mutex<ShardState<P>>],
+) -> Vec<MutexGuard<'a, ShardState<P>>> {
+    cells.iter().map(|c| c.lock()).collect()
+}
+
+/// Replays phase A hooks in the sequential driver's order: all
+/// wake-ups (ascending node id — exactly the sequential tie-break),
+/// then all deadline firings.
+fn replay_phase_a<P: RadioProtocol, M: InvariantMonitor<P>>(
+    monitor: &mut M,
+    slot: Slot,
+    guards: &mut [MutexGuard<'_, ShardState<P>>],
+    ctx: &Ctx<'_, P>,
+) {
+    let mut woken: Vec<(NodeId, bool)> = Vec::new();
+    let mut fired: Vec<(NodeId, bool)> = Vec::new();
+    for s in guards.iter_mut() {
+        woken.append(&mut s.rec_woken);
+        fired.append(&mut s.rec_fired);
+    }
+    woken.sort_unstable_by_key(|&(g, _)| g);
+    fired.sort_unstable_by_key(|&(g, _)| g);
+    for (g, newly) in woken {
+        let (s, l) = (
+            ctx.shard_of[g as usize] as usize,
+            ctx.local_of[g as usize] as usize,
+        );
+        monitor.after_wake(g, slot, &guards[s].protocols[l]);
+        if newly {
+            monitor.on_decided(g, slot, &guards[s].protocols[l]);
+        }
+    }
+    for (g, newly) in fired {
+        let (s, l) = (
+            ctx.shard_of[g as usize] as usize,
+            ctx.local_of[g as usize] as usize,
+        );
+        monitor.after_deadline(g, slot, &guards[s].protocols[l]);
+        if newly {
+            monitor.on_decided(g, slot, &guards[s].protocols[l]);
+        }
+    }
+}
+
+/// Replays `on_transmit` for every transmitter, ascending node id.
+fn replay_phase_tx<P: RadioProtocol, M: InvariantMonitor<P>>(
+    monitor: &mut M,
+    slot: Slot,
+    guards: &mut [MutexGuard<'_, ShardState<P>>],
+    ctx: &Ctx<'_, P>,
+) {
+    let mut sent: Vec<NodeId> = Vec::new();
+    for s in guards.iter_mut() {
+        sent.append(&mut s.rec_sent);
+    }
+    sent.sort_unstable();
+    for g in sent {
+        let (s, l) = (
+            ctx.shard_of[g as usize] as usize,
+            ctx.local_of[g as usize] as usize,
+        );
+        let cell = &guards[s];
+        let Some(msg) = cell.air[l].as_ref() else {
+            debug_assert!(false, "transmitter {g} has no message");
+            continue;
+        };
+        monitor.on_transmit(g, slot, msg, &cell.protocols[l]);
+    }
+}
+
+/// Replays `after_receive` (+ `on_decided`) for every delivered
+/// listener, ascending node id.
+fn replay_phase_deliver<P: RadioProtocol, M: InvariantMonitor<P>>(
+    monitor: &mut M,
+    slot: Slot,
+    guards: &mut [MutexGuard<'_, ShardState<P>>],
+    ctx: &Ctx<'_, P>,
+) {
+    let mut recv: Vec<(NodeId, P::Message, bool)> = Vec::new();
+    for s in guards.iter_mut() {
+        recv.append(&mut s.rec_received);
+    }
+    recv.sort_by_key(|r| r.0);
+    for (g, msg, newly) in &recv {
+        let (s, l) = (
+            ctx.shard_of[*g as usize] as usize,
+            ctx.local_of[*g as usize] as usize,
+        );
+        monitor.after_receive(*g, slot, msg, &guards[s].protocols[l]);
+        if *newly {
+            monitor.on_decided(*g, slot, &guards[s].protocols[l]);
+        }
+    }
+}
+
+/// Runs `protocols` on `graph` with the shards of `partition` stepped
+/// in parallel — bit-identical to
+/// `SimDriver::run::<Lockstep>` for error-free runs (see the module
+/// docs for the argument, `tests/driver_identity.rs` for the pin).
+///
+/// Falls back to the sequential driver when the partition has a single
+/// shard or the channel model is not shardable
+/// ([`crate::channel::ChannelSpec::is_shardable`]).
+///
+/// # Panics
+/// Panics if `wake.len()`, `protocols.len()` or `partition.len()`
+/// differ from `graph.len()`.
+pub fn run_sharded<P, M>(
+    graph: &Graph,
+    wake: &[Slot],
+    protocols: Vec<P>,
+    seed: u64,
+    cfg: &SimConfig,
+    monitor: &mut M,
+    partition: &Partition,
+) -> SimOutcome<P>
+where
+    P: RadioProtocol + Send,
+    P::Message: Send,
+    M: InvariantMonitor<P>,
+{
+    let n = graph.len();
+    assert_eq!(wake.len(), n, "wake schedule length mismatch");
+    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
+    assert_eq!(partition.len(), n, "partition length mismatch");
+    let k = partition.shards();
+    if k <= 1 || !cfg.channel.is_shardable() {
+        return SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, monitor);
+    }
+
+    // Global id → local index within the owning shard.
+    let mut local_of = vec![0u32; n];
+    for members in &partition.members {
+        for (l, &g) in members.iter().enumerate() {
+            local_of[g as usize] = l as u32;
+        }
+    }
+
+    // Distribute the protocols to their shards without cloning.
+    let mut pool: Vec<Option<P>> = protocols.into_iter().map(Some).collect();
+    let cells: Vec<Mutex<ShardState<P>>> = partition
+        .members
+        .iter()
+        .enumerate()
+        .map(|(id, members)| {
+            let protos: Vec<P> = members
+                .iter()
+                .filter_map(|&g| pool[g as usize].take())
+                .collect();
+            assert_eq!(
+                protos.len(),
+                members.len(),
+                "partition covers each node once"
+            );
+            let m = members.len();
+            let mut wake_order: Vec<u32> = (0..m as u32).collect();
+            wake_order.sort_by_key(|&l| wake[members[l as usize] as usize]);
+            Mutex::new(ShardState {
+                id,
+                members: members.clone(),
+                protocols: protos,
+                rngs: members.iter().map(|&g| node_rng(seed, g)).collect(),
+                behaviors: BehaviorTable::new(m),
+                stats: members
+                    .iter()
+                    .map(|&g| NodeStats {
+                        wake: wake[g as usize],
+                        ..NodeStats::default()
+                    })
+                    .collect(),
+                decided: BitSet::new(m),
+                channel: cfg.channel.build(n, seed),
+                kernel: ShardKernel::new(m),
+                air: std::iter::repeat_with(|| None).take(m).collect(),
+                pending: std::iter::repeat_with(|| None).take(m).collect(),
+                wake_order,
+                next_wake: 0,
+                active: Vec::with_capacity(m),
+                in_active: vec![false; m],
+                outgoing: (0..k).map(|_| Vec::new()).collect(),
+                faults: Vec::new(),
+                faults_dropped: 0,
+                rec_woken: Vec::new(),
+                rec_fired: Vec::new(),
+                rec_sent: Vec::new(),
+                rec_received: Vec::new(),
+                halted: false,
+            })
+        })
+        .collect();
+
+    let shared = Shared {
+        undecided: AtomicUsize::new(n),
+        woken: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        all_decided: AtomicBool::new(false),
+        aborted: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+    let mailbox: Vec<Vec<Mutex<Vec<Delivery<P>>>>> = (0..k)
+        .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let monitored = !monitor.is_null();
+    let ctx = Ctx {
+        graph,
+        wake,
+        shard_of: &partition.shard_of,
+        local_of: &local_of,
+        shared: &shared,
+        mailbox: &mailbox,
+        record: monitored,
+    };
+    let barrier = SpinBarrier::new(k);
+
+    let mut slots_run: Slot = 0;
+    std::thread::scope(|scope| {
+        for i in 1..k {
+            let (ctx, cells, barrier) = (&ctx, &cells, &barrier);
+            scope.spawn(move || worker_loop(i, cfg.max_slots, ctx, cells, barrier, monitored));
+        }
+        // Main thread: shard 0, plus every monitor call (replay windows
+        // while the workers are parked between paired barriers).
+        let mut slot: Slot = 0;
+        while slot <= cfg.max_slots {
+            slots_run = slot;
+            {
+                let mut s = cells[0].lock();
+                s.phase_wakes_deadlines(slot, &ctx);
+                if !monitored {
+                    s.phase_tx(slot, &ctx);
+                }
+            }
+            if monitored {
+                barrier.wait(|| {});
+                {
+                    let mut guards = lock_all(&cells);
+                    replay_phase_a(monitor, slot, &mut guards, &ctx);
+                }
+                barrier.wait(|| {});
+                cells[0].lock().phase_tx(slot, &ctx);
+                barrier.wait(|| {});
+                {
+                    let mut guards = lock_all(&cells);
+                    replay_phase_tx(monitor, slot, &mut guards, &ctx);
+                }
+                barrier.wait(|| {});
+                cells[0].lock().phase_deliver(slot, &ctx);
+                barrier.wait(|| {});
+                {
+                    let mut guards = lock_all(&cells);
+                    replay_phase_deliver(monitor, slot, &mut guards, &ctx);
+                    evaluate(&shared, n);
+                }
+                barrier.wait(|| {});
+            } else {
+                barrier.wait(|| {});
+                cells[0].lock().phase_deliver(slot, &ctx);
+                barrier.wait(|| evaluate(&shared, n));
+            }
+            if shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            cells[0].lock().compact();
+            slot += 1;
+        }
+    });
+
+    // Merge the shards back into global node order and run the shared
+    // epilogue (canonical fault sort, violation collection).
+    let mut faults: Vec<Event> = Vec::new();
+    let mut faults_dropped: u64 = 0;
+    let mut rows: Vec<(NodeId, P, NodeStats)> = Vec::with_capacity(n);
+    for cell in cells {
+        let s = cell.into_inner();
+        faults_dropped += s.faults_dropped;
+        faults.extend(s.faults);
+        for ((g, p), st) in s.members.into_iter().zip(s.protocols).zip(s.stats) {
+            rows.push((g, p, st));
+        }
+    }
+    rows.sort_by_key(|r| r.0);
+    faults.sort_by_key(|e| (e.slot(), e.node()));
+    if faults.len() > MAX_FAULT_LOG {
+        faults_dropped += (faults.len() - MAX_FAULT_LOG) as u64;
+        faults.truncate(MAX_FAULT_LOG);
+    }
+    let violations = collect_violations::<P, M>(monitor, &mut faults, &mut faults_dropped);
+    let error = shared.error.into_inner();
+    let (protocols, stats): (Vec<P>, Vec<NodeStats>) =
+        rows.into_iter().map(|(_, p, st)| (p, st)).unzip();
+    SimOutcome {
+        protocols,
+        stats,
+        all_decided: shared.all_decided.load(Ordering::Relaxed) && error.is_none(),
+        slots_run,
+        error,
+        faults,
+        faults_dropped,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelSpec;
+    use crate::monitor::{EngineOrderMonitor, NullMonitor};
+    use crate::protocol::Behavior;
+    use radio_graph::generators::gnp;
+    use rand::{Rng, SeedableRng};
+
+    /// Exercises every phase: random-length transmit/silent segments
+    /// switched by deadlines, receive-driven behavior changes, decision
+    /// after enough traffic. All randomness flows through the per-node
+    /// stream, so any drift between drivers desynchronizes everything.
+    struct Hopper {
+        id: u32,
+        need: u64,
+        got: u64,
+        phases: u64,
+    }
+
+    impl Hopper {
+        fn new(id: u32, need: u64) -> Self {
+            Hopper {
+                id,
+                need,
+                got: 0,
+                phases: 0,
+            }
+        }
+    }
+
+    impl RadioProtocol for Hopper {
+        type Message = u32;
+
+        fn on_wake(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
+            Behavior::Transmit {
+                p: rng.gen_range(0.05..0.6),
+                until: Some(now + rng.gen_range(1..6)),
+            }
+        }
+
+        fn on_deadline(&mut self, now: Slot, rng: &mut SmallRng) -> Behavior {
+            self.phases += 1;
+            if self.phases.is_multiple_of(2) {
+                Behavior::Transmit {
+                    p: rng.gen_range(0.05..0.6),
+                    until: Some(now + rng.gen_range(1..6)),
+                }
+            } else {
+                Behavior::Silent {
+                    until: Some(now + rng.gen_range(1..4)),
+                }
+            }
+        }
+
+        fn message(&mut self, _now: Slot, rng: &mut SmallRng) -> u32 {
+            self.id ^ (rng.gen_range(0..16) << 8)
+        }
+
+        fn on_receive(&mut self, now: Slot, _msg: &u32, rng: &mut SmallRng) -> Option<Behavior> {
+            self.got += 1;
+            if self.got >= self.need {
+                Some(Behavior::Silent { until: None })
+            } else if rng.gen_bool(0.3) {
+                Some(Behavior::Transmit {
+                    p: rng.gen_range(0.05..0.6),
+                    until: Some(now + rng.gen_range(1..6)),
+                })
+            } else {
+                None
+            }
+        }
+
+        fn is_decided(&self) -> bool {
+            self.got >= self.need
+        }
+    }
+
+    fn workload(n: usize, seed: u64) -> (Graph, Vec<Slot>, Vec<Hopper>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gnp(n, 0.3, &mut rng);
+        let wake: Vec<Slot> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+        let protos: Vec<Hopper> = (0..n as u32).map(|v| Hopper::new(v, 2)).collect();
+        (g, wake, protos)
+    }
+
+    fn fresh(protos: &[Hopper]) -> Vec<Hopper> {
+        protos.iter().map(|h| Hopper::new(h.id, h.need)).collect()
+    }
+
+    fn assert_identical(a: &SimOutcome<Hopper>, b: &SimOutcome<Hopper>, what: &str) {
+        assert_eq!(a.stats, b.stats, "{what}: stats");
+        assert_eq!(a.all_decided, b.all_decided, "{what}: all_decided");
+        assert_eq!(a.slots_run, b.slots_run, "{what}: slots_run");
+        assert_eq!(a.error, b.error, "{what}: error");
+        assert_eq!(a.faults, b.faults, "{what}: faults");
+        assert_eq!(a.faults_dropped, b.faults_dropped, "{what}: faults_dropped");
+        assert_eq!(a.violations, b.violations, "{what}: violations");
+    }
+
+    #[test]
+    fn matches_sequential_across_shards_and_channels() {
+        let channels = [
+            ChannelSpec::Ideal,
+            ChannelSpec::ProbabilisticLoss { p: 0.25 },
+            ChannelSpec::GilbertElliott {
+                p_bad: 0.05,
+                p_good: 0.15,
+                loss_good: 0.02,
+                loss_bad: 0.9,
+            },
+        ];
+        for n in [1usize, 2, 5, 17, 48] {
+            let (g, wake, protos) = workload(n, 0x5AADED ^ n as u64);
+            for (ci, channel) in channels.iter().enumerate() {
+                let cfg = SimConfig::with_max_slots(3_000).with_channel(*channel);
+                let seq = SimDriver::run::<Lockstep>(
+                    &g,
+                    &wake,
+                    fresh(&protos),
+                    (),
+                    7 + ci as u64,
+                    &cfg,
+                    &mut NullMonitor,
+                );
+                for k in [2usize, 3, 8] {
+                    let part = Partition::contiguous(n, k);
+                    let shd = run_sharded(
+                        &g,
+                        &wake,
+                        fresh(&protos),
+                        7 + ci as u64,
+                        &cfg,
+                        &mut NullMonitor,
+                        &part,
+                    );
+                    assert_identical(&seq, &shd, &format!("n={n} ch={ci} k={k}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_monitored() {
+        for n in [5usize, 23] {
+            let (g, wake, protos) = workload(n, 0xC0FFEE ^ n as u64);
+            let cfg = SimConfig::with_max_slots(3_000)
+                .with_channel(ChannelSpec::ProbabilisticLoss { p: 0.2 });
+            let mut seq_mon = EngineOrderMonitor::new();
+            let seq =
+                SimDriver::run::<Lockstep>(&g, &wake, fresh(&protos), (), 11, &cfg, &mut seq_mon);
+            for k in [2usize, 4] {
+                let part = Partition::contiguous(n, k);
+                let mut mon = EngineOrderMonitor::new();
+                let shd = run_sharded(&g, &wake, fresh(&protos), 11, &cfg, &mut mon, &part);
+                assert_identical(&seq, &shd, &format!("monitored n={n} k={k}"));
+            }
+        }
+    }
+
+    #[test]
+    fn unshardable_channel_falls_back_to_sequential() {
+        let (g, wake, protos) = workload(9, 0xBAD);
+        let cfg = SimConfig::with_max_slots(500).with_channel(ChannelSpec::AdversarialJam {
+            window: 16,
+            budget: 2,
+        });
+        let seq =
+            SimDriver::run::<Lockstep>(&g, &wake, fresh(&protos), (), 3, &cfg, &mut NullMonitor);
+        let shd = run_sharded(
+            &g,
+            &wake,
+            fresh(&protos),
+            3,
+            &cfg,
+            &mut NullMonitor,
+            &Partition::contiguous(9, 4),
+        );
+        assert_identical(&seq, &shd, "adversarial fallback");
+    }
+
+    #[test]
+    fn single_shard_and_empty_graph_take_the_sequential_path() {
+        let (g, wake, protos) = workload(6, 0x0411);
+        let cfg = SimConfig::with_max_slots(500);
+        let seq =
+            SimDriver::run::<Lockstep>(&g, &wake, fresh(&protos), (), 5, &cfg, &mut NullMonitor);
+        let shd = run_sharded(
+            &g,
+            &wake,
+            fresh(&protos),
+            5,
+            &cfg,
+            &mut NullMonitor,
+            &Partition::contiguous(6, 1),
+        );
+        assert_identical(&seq, &shd, "k=1");
+
+        let empty = Graph::empty(0);
+        let out = run_sharded::<Hopper, _>(
+            &empty,
+            &[],
+            vec![],
+            1,
+            &cfg,
+            &mut NullMonitor,
+            &Partition::contiguous(0, 4),
+        );
+        assert!(out.all_decided);
+        assert_eq!(out.slots_run, 0);
+    }
+
+    /// Node 3 returns an out-of-range probability on wake: the run must
+    /// stop gracefully with the error surfaced, never panic or hang.
+    struct BadApple {
+        id: u32,
+    }
+
+    impl RadioProtocol for BadApple {
+        type Message = ();
+
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Transmit {
+                p: if self.id == 3 { 2.0 } else { 0.5 },
+                until: None,
+            }
+        }
+
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Silent { until: None }
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) {}
+
+        fn on_receive(&mut self, _now: Slot, _msg: &(), _rng: &mut SmallRng) -> Option<Behavior> {
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn protocol_error_stops_the_parallel_run() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = gnp(12, 0.4, &mut rng);
+        let wake = vec![0; 12];
+        let protos: Vec<BadApple> = (0..12).map(|id| BadApple { id }).collect();
+        let out = run_sharded(
+            &g,
+            &wake,
+            protos,
+            2,
+            &SimConfig::with_max_slots(100),
+            &mut NullMonitor,
+            &Partition::contiguous(12, 4),
+        );
+        assert!(!out.all_decided);
+        let err = out.error.expect("error must surface");
+        assert_eq!(err.node, 3);
+        assert_eq!(err.slot, 0);
+    }
+}

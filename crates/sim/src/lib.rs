@@ -10,10 +10,10 @@
 //!   worst-case) schedule; sleeping nodes neither send nor receive;
 //! * there is a single communication channel.
 //!
-//! Protocols implement [`protocol::RadioProtocol`] and run under either
-//! the lock-step reference engine or the event-driven fast engine; both
-//! implement identical semantics (cross-validated in tests and in
-//! experiment E14).
+//! Protocols implement [`protocol::RadioProtocol`] and run under the
+//! lock-step reference engine, the event-driven fast engine, or the
+//! slot-parallel sharded driver; all implement identical semantics
+//! (cross-validated in tests and in experiment E14).
 //!
 //! # Example: a minimal protocol
 //!
@@ -21,7 +21,7 @@
 //! three neighbors:
 //!
 //! ```
-//! use radio_sim::{run_event, Behavior, RadioProtocol, SimConfig, Slot};
+//! use radio_sim::{Behavior, EngineKind, RadioProtocol, SimConfig, Slot};
 //! use rand::rngs::SmallRng;
 //!
 //! struct Hello { heard: u32 }
@@ -44,7 +44,7 @@
 //!
 //! let g = radio_graph::generators::special::complete(5);
 //! let protos = (0..5).map(|_| Hello { heard: 0 }).collect();
-//! let out = run_event(&g, &[0; 5], protos, 7, &SimConfig::default());
+//! let out = EngineKind::Event.run(&g, &[0; 5], protos, 7, &SimConfig::default());
 //! assert!(out.all_decided);
 //! assert!(out.stats.iter().all(|s| s.received >= 3));
 //! ```
@@ -65,9 +65,10 @@ pub use channel::{
 };
 pub use delivery::{DeliveryKernel, OverlapKernel};
 pub use engine::driver::{Completion, Engine, SimDriver};
-pub use engine::event::{run_event, run_event_monitored, EventSkip};
-pub use engine::jittered::{random_phases, run_jittered, run_jittered_monitored, Jittered};
-pub use engine::lockstep::{run_lockstep, run_lockstep_monitored, Lockstep};
+pub use engine::event::EventSkip;
+pub use engine::jittered::{random_phases, Jittered};
+pub use engine::lockstep::Lockstep;
+pub use engine::sharded::run_sharded;
 pub use engine::{NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
 pub use monitor::{
     sort_violations, EngineOrderMonitor, InvariantMonitor, NullMonitor, Violation, MAX_VIOLATIONS,
@@ -78,9 +79,11 @@ pub use wakeup::{wake_wave, WakePattern};
 
 /// Which slot-advance strategy executes a run — the dynamic
 /// (value-level) selector used by experiments, scenario specs and the
-/// repro corpus. The static counterpart is the [`Engine`] trait; each
-/// variant dispatches to the matching unit struct ([`Lockstep`],
-/// [`EventSkip`], [`Jittered`]) through [`SimDriver::run`].
+/// repro corpus. The static counterpart is the [`Engine`] trait; the
+/// sequential variants dispatch to the matching unit struct
+/// ([`Lockstep`], [`EventSkip`], [`Jittered`]) through
+/// [`SimDriver::run`], the [`Sharded`](EngineKind::Sharded) variant to
+/// [`run_sharded`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
     /// The per-slot reference engine.
@@ -90,14 +93,20 @@ pub enum EngineKind {
     /// The non-aligned half-slot engine, with phase bits drawn from the
     /// run seed via [`random_phases`].
     Jittered,
+    /// The slot-parallel sharded driver: a contiguous partition with
+    /// [`SimConfig::shards`] shards (`0` = one per worker thread),
+    /// bit-identical to [`Lockstep`](EngineKind::Lockstep). Spatial
+    /// partitions are available through [`run_sharded`] directly.
+    Sharded,
 }
 
 impl EngineKind {
     /// Every selectable engine, in canonical order.
-    pub const ALL: [EngineKind; 3] = [
+    pub const ALL: [EngineKind; 4] = [
         EngineKind::Lockstep,
         EngineKind::Event,
         EngineKind::Jittered,
+        EngineKind::Sharded,
     ];
 
     /// Stable lowercase name, used in scenario specs and the repro
@@ -107,6 +116,7 @@ impl EngineKind {
             EngineKind::Lockstep => "lockstep",
             EngineKind::Event => "event",
             EngineKind::Jittered => "jittered",
+            EngineKind::Sharded => "sharded",
         }
     }
 
@@ -116,26 +126,31 @@ impl EngineKind {
             "lockstep" => Some(EngineKind::Lockstep),
             "event" => Some(EngineKind::Event),
             "jittered" => Some(EngineKind::Jittered),
+            "sharded" => Some(EngineKind::Sharded),
             _ => None,
         }
     }
 
     /// Runs `protocols` on `graph` under this engine.
-    pub fn run<P: RadioProtocol>(
+    pub fn run<P>(
         self,
         graph: &radio_graph::Graph,
         wake: &[Slot],
         protocols: Vec<P>,
         seed: u64,
         cfg: &SimConfig,
-    ) -> SimOutcome<P> {
+    ) -> SimOutcome<P>
+    where
+        P: RadioProtocol + Send,
+        P::Message: Send,
+    {
         self.run_monitored(graph, wake, protocols, seed, cfg, &mut NullMonitor)
     }
 
     /// Runs `protocols` on `graph` under this engine with an
-    /// [`InvariantMonitor`] attached (see the `run_*_monitored` entry
-    /// points; outcomes are bit-identical to [`EngineKind::run`]).
-    pub fn run_monitored<P: RadioProtocol, M: InvariantMonitor<P>>(
+    /// [`InvariantMonitor`] attached (monitors are pure observers, so
+    /// outcomes are bit-identical to [`EngineKind::run`]).
+    pub fn run_monitored<P, M>(
         self,
         graph: &radio_graph::Graph,
         wake: &[Slot],
@@ -143,7 +158,12 @@ impl EngineKind {
         seed: u64,
         cfg: &SimConfig,
         monitor: &mut M,
-    ) -> SimOutcome<P> {
+    ) -> SimOutcome<P>
+    where
+        P: RadioProtocol + Send,
+        P::Message: Send,
+        M: InvariantMonitor<P>,
+    {
         match self {
             EngineKind::Lockstep => {
                 SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, monitor)
@@ -154,6 +174,14 @@ impl EngineKind {
             EngineKind::Jittered => {
                 let phases = random_phases(graph.len(), seed);
                 SimDriver::run::<Jittered>(graph, wake, protocols, &phases, seed, cfg, monitor)
+            }
+            EngineKind::Sharded => {
+                let k = match cfg.shards {
+                    0 => parallel::default_threads(),
+                    k => k as usize,
+                };
+                let partition = radio_graph::Partition::contiguous(graph.len(), k);
+                run_sharded(graph, wake, protocols, seed, cfg, monitor, &partition)
             }
         }
     }

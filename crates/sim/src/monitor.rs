@@ -114,6 +114,16 @@ pub trait InvariantMonitor<P: RadioProtocol> {
     fn take_violations(&mut self) -> Vec<Violation> {
         Vec::new()
     }
+
+    /// `true` when every hook is statically known to be a no-op.
+    ///
+    /// The sharded driver uses this to pick its fast loop: with a
+    /// [`NullMonitor`] it skips the hook-replay barriers entirely (two
+    /// synchronization points per slot instead of six). Real monitors
+    /// keep the default `false`.
+    fn is_null(&self) -> bool {
+        false
+    }
 }
 
 /// The no-op monitor: every hook is empty, so the monitored engine
@@ -121,7 +131,11 @@ pub trait InvariantMonitor<P: RadioProtocol> {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullMonitor;
 
-impl<P: RadioProtocol> InvariantMonitor<P> for NullMonitor {}
+impl<P: RadioProtocol> InvariantMonitor<P> for NullMonitor {
+    fn is_null(&self) -> bool {
+        true
+    }
+}
 
 /// Cap on violations a built-in monitor retains (a hopelessly broken
 /// protocol would otherwise flood the heap; the *first* violations are

@@ -310,9 +310,24 @@ pub fn render_timeline(events: &[Event], nodes: usize, columns: usize) -> String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::lockstep::run_lockstep;
-    use crate::engine::SimConfig;
+    use crate::engine::driver::SimDriver;
+    use crate::engine::lockstep::Lockstep;
+    use crate::engine::{SimConfig, SimOutcome};
+    use crate::monitor::NullMonitor;
     use radio_graph::generators::special::path;
+    use radio_graph::Graph;
+
+    /// Test-local wrapper over the driver (the public `run_lockstep`
+    /// shim was retired after the driver unification).
+    fn run_lockstep<P: RadioProtocol>(
+        graph: &Graph,
+        wake: &[Slot],
+        protocols: Vec<P>,
+        seed: u64,
+        cfg: &SimConfig,
+    ) -> SimOutcome<P> {
+        SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, &mut NullMonitor)
+    }
 
     /// Minimal protocol: transmit always, decide after 2 receptions.
     struct Echo {

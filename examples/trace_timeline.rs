@@ -11,7 +11,7 @@
 //! decided (within the column's slot bucket).
 
 use radio_graph::generators::special::cycle;
-use radio_sim::{render_timeline, run_lockstep, Recorder, SimConfig, WakePattern};
+use radio_sim::{render_timeline, EngineKind, Recorder, SimConfig, WakePattern};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use urn_coloring::{AlgorithmParams, ColoringNode};
@@ -30,7 +30,8 @@ fn main() {
     let protos: Vec<_> = (0..n)
         .map(|v| recorder.wrap(v as u32, ColoringNode::new(v as u64 + 1, params)))
         .collect();
-    let out = run_lockstep(&g, &wake, protos, 3, &SimConfig::with_max_slots(10_000_000));
+    let out =
+        EngineKind::Lockstep.run(&g, &wake, protos, 3, &SimConfig::with_max_slots(10_000_000));
     assert!(out.all_decided);
 
     println!(

@@ -1,28 +1,42 @@
-//! Shim ↔ driver bit-identity: the legacy `run_*` / `run_*_monitored`
-//! entry points are one-line shims over [`SimDriver::run`], kept for
-//! one release. This suite pins the shims *bit-identical* to driving
-//! the strategies directly, across the full matrix of
-//! 3 engines × {Ideal, ProbabilisticLoss, GilbertElliott} ×
+//! Sharded ↔ sequential bit-identity: the slot-parallel driver in
+//! `radio_sim::engine::sharded` must be an *observationally invisible*
+//! execution strategy. This suite pins [`run_sharded`] bit-identical to
+//! the sequential [`SimDriver`] across the full matrix of
+//! {1, 2, 4, 8} shards × {Ideal, ProbabilisticLoss, GilbertElliott} ×
 //! {NullMonitor, ColoringMonitor}: per-node stats, slots run, fault
-//! logs and violation lists must all match exactly, so the shims can
-//! be retired without any observable change.
+//! logs and violation lists must all match exactly, on both contiguous
+//! and spatial (grid) partitions.
 
 use proptest::prelude::*;
-use radio_graph::generators::gnp;
-use radio_graph::Graph;
+use radio_graph::generators::{build_udg, gnp, uniform_square};
+use radio_graph::{Graph, Partition};
+use radio_sim::rng::node_rng;
 use radio_sim::{
-    random_phases, run_event, run_event_monitored, run_jittered, run_jittered_monitored,
-    run_lockstep, run_lockstep_monitored, ChannelSpec, EventSkip, Jittered, Lockstep, NullMonitor,
-    SimConfig, SimDriver, SimOutcome, Slot,
+    run_sharded, ChannelSpec, Lockstep, NullMonitor, SimConfig, SimDriver, SimOutcome, Slot,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use urn_coloring::{AlgorithmParams, ColoringMonitor, ColoringNode, ProtoId};
 
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
 fn mk_nodes(n: usize, params: AlgorithmParams) -> Vec<ColoringNode> {
     (1..=n as ProtoId)
         .map(|id| ColoringNode::new(id, params))
         .collect()
+}
+
+fn channel_for(chan: usize) -> ChannelSpec {
+    [
+        ChannelSpec::Ideal,
+        ChannelSpec::ProbabilisticLoss { p: 0.25 },
+        ChannelSpec::GilbertElliott {
+            p_bad: 0.05,
+            p_good: 0.15,
+            loss_good: 0.02,
+            loss_bad: 0.9,
+        },
+    ][chan]
 }
 
 fn assert_identical(
@@ -42,14 +56,18 @@ fn assert_identical(
         label
     );
     prop_assert_eq!(&a.violations, &b.violations, "{}: violations", label);
+    // Protocol end states must agree too — colors are the actual output.
+    let ca: Vec<Option<u32>> = a.protocols.iter().map(ColoringNode::color).collect();
+    let cb: Vec<Option<u32>> = b.protocols.iter().map(ColoringNode::color).collect();
+    prop_assert_eq!(ca, cb, "{}: final colors", label);
     Ok(())
 }
 
-/// One case of the matrix: runs the shim and the direct driver call
-/// for `engine` (0 = lockstep, 1 = event, 2 = jittered), with and
-/// without the coloring monitor, and demands bit-identity.
-fn check_case(
-    engine: usize,
+/// One cell of the matrix: runs the sequential driver and the sharded
+/// driver over `partition`, with and without the coloring monitor, and
+/// demands bit-identity.
+fn check_partition(
+    partition: &Partition,
     g: &Graph,
     wake: &[Slot],
     params: AlgorithmParams,
@@ -58,78 +76,75 @@ fn check_case(
 ) -> Result<(), TestCaseError> {
     let n = g.len();
     let mk = || mk_nodes(n, params);
-    let phases = random_phases(n, seed);
+    let label = format!("k={}", partition.shards());
 
-    // NullMonitor column: plain shims vs the driver with a NullMonitor.
-    let (shim, driver) = match engine {
-        0 => (
-            run_lockstep(g, wake, mk(), seed, cfg),
-            SimDriver::run::<Lockstep>(g, wake, mk(), (), seed, cfg, &mut NullMonitor),
-        ),
-        1 => (
-            run_event(g, wake, mk(), seed, cfg),
-            SimDriver::run::<EventSkip>(g, wake, mk(), (), seed, cfg, &mut NullMonitor),
-        ),
-        _ => (
-            run_jittered(g, wake, mk(), &phases, seed, cfg),
-            SimDriver::run::<Jittered>(g, wake, mk(), &phases, seed, cfg, &mut NullMonitor),
-        ),
-    };
-    assert_identical(&shim, &driver, "unmonitored")?;
+    // NullMonitor column.
+    let seq = SimDriver::run::<Lockstep>(g, wake, mk(), (), seed, cfg, &mut NullMonitor);
+    let shd = run_sharded(g, wake, mk(), seed, cfg, &mut NullMonitor, partition);
+    assert_identical(&seq, &shd, &format!("{label} unmonitored"))?;
 
-    // ColoringMonitor column: monitored shims vs the driver with a
-    // fresh monitor each side.
+    // ColoringMonitor column: a fresh monitor on each side.
     let (mut ma, mut mb) = (ColoringMonitor::new(g), ColoringMonitor::new(g));
-    let (shim, driver) = match engine {
-        0 => (
-            run_lockstep_monitored(g, wake, mk(), seed, cfg, &mut ma),
-            SimDriver::run::<Lockstep>(g, wake, mk(), (), seed, cfg, &mut mb),
-        ),
-        1 => (
-            run_event_monitored(g, wake, mk(), seed, cfg, &mut ma),
-            SimDriver::run::<EventSkip>(g, wake, mk(), (), seed, cfg, &mut mb),
-        ),
-        _ => (
-            run_jittered_monitored(g, wake, mk(), &phases, seed, cfg, &mut ma),
-            SimDriver::run::<Jittered>(g, wake, mk(), &phases, seed, cfg, &mut mb),
-        ),
-    };
-    assert_identical(&shim, &driver, "monitored")?;
+    let seq_m = SimDriver::run::<Lockstep>(g, wake, mk(), (), seed, cfg, &mut ma);
+    let shd_m = run_sharded(g, wake, mk(), seed, cfg, &mut mb, partition);
+    assert_identical(&seq_m, &shd_m, &format!("{label} monitored"))?;
 
-    // Monitoring must also be outcome-invisible: the monitored run's
-    // stats match the unmonitored driver run's exactly.
-    prop_assert_eq!(&shim.stats, &driver.stats, "monitored vs unmonitored stats");
+    // Monitoring must also be outcome-invisible on the sharded path.
+    prop_assert_eq!(
+        &shd.stats,
+        &shd_m.stats,
+        "{} monitored vs unmonitored stats",
+        label
+    );
     Ok(())
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(18))]
 
+    /// Contiguous partitions on Erdős–Rényi graphs: the worst case for
+    /// the boundary exchange, since shards share edges everywhere.
     #[test]
-    fn shims_are_bit_identical_to_the_driver(
+    fn sharded_is_bit_identical_on_contiguous_partitions(
         n in 2usize..14,
         wake_span in 1u64..20,
         chan in 0usize..3,
         seed in 0u64..1_000_000,
     ) {
-        let channel = [
-            ChannelSpec::Ideal,
-            ChannelSpec::ProbabilisticLoss { p: 0.25 },
-            ChannelSpec::GilbertElliott {
-                p_bad: 0.05,
-                p_good: 0.15,
-                loss_good: 0.02,
-                loss_bad: 0.9,
-            },
-        ][chan];
+        let channel = channel_for(chan);
         let mut setup = SmallRng::seed_from_u64(seed ^ 0x1DEA_7157);
         let g = gnp(n, 0.4, &mut setup);
         let wake: Vec<Slot> = (0..n).map(|_| setup.gen_range(0..wake_span)).collect();
         let delta = g.max_closed_degree().max(2);
         let params = AlgorithmParams::practical(2, delta, 64);
         let cfg = SimConfig::with_max_slots(400_000).with_channel(channel);
-        for engine in 0..3 {
-            check_case(engine, &g, &wake, params, seed, &cfg)?;
+        for k in SHARD_COUNTS {
+            let partition = Partition::contiguous(n, k);
+            check_partition(&partition, &g, &wake, params, seed, &cfg)?;
+        }
+    }
+
+    /// Spatial (grid) partitions on unit-disk graphs: the partition the
+    /// sharded driver is actually built for (bounded boundary by the
+    /// paper's Lemma 1 packing argument).
+    #[test]
+    fn sharded_is_bit_identical_on_spatial_partitions(
+        n in 4usize..32,
+        wake_span in 1u64..16,
+        chan in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let channel = channel_for(chan);
+        let pts = uniform_square(n, (n as f64).sqrt() * 1.2, &mut node_rng(seed, 0x51D));
+        let g = build_udg(&pts, 1.0);
+        let mut setup = SmallRng::seed_from_u64(seed ^ 0x51DE_CAFE);
+        let wake: Vec<Slot> = (0..n).map(|_| setup.gen_range(0..wake_span)).collect();
+        let delta = g.max_closed_degree().max(2);
+        let params = AlgorithmParams::practical(2, delta, 64);
+        let cfg = SimConfig::with_max_slots(400_000).with_channel(channel);
+        for k in SHARD_COUNTS {
+            let partition = Partition::spatial(&pts, k);
+            check_partition(&partition, &g, &wake, params, seed, &cfg)?;
         }
     }
 }

@@ -13,9 +13,9 @@
 //! refactor must preserve (DESIGN.md §sim, "Delivery kernel").
 //!
 //! These tests drive [`SimDriver::run`] directly with the strategy
-//! types ([`Lockstep`], [`EventSkip`]) — the unified entry point the
-//! legacy `run_*` shims delegate to; `tests/driver_identity.rs` pins
-//! the shims bit-identical to these direct calls.
+//! types ([`Lockstep`], [`EventSkip`]) — the unified entry point behind
+//! [`radio_sim::EngineKind`]; `tests/driver_identity.rs` pins the
+//! slot-parallel sharded driver bit-identical to these direct calls.
 
 use proptest::prelude::*;
 use radio_graph::{generators::gnp, Graph};

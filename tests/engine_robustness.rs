@@ -7,10 +7,7 @@ use proptest::prelude::*;
 use radio_graph::generators::gnp;
 use radio_graph::Graph;
 use radio_sim::rng::node_rng;
-use radio_sim::{
-    random_phases, run_event, run_jittered, run_lockstep, Behavior, BehaviorFault, RadioProtocol,
-    SimConfig, Slot,
-};
+use radio_sim::{Behavior, BehaviorFault, EngineKind, RadioProtocol, SimConfig, Slot};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -126,12 +123,11 @@ proptest! {
         let cfg = SimConfig::with_max_slots(200_000);
         let mk = || (0..n).map(|v| Chaos::new(budget, v as u8)).collect::<Vec<_>>();
 
-        let a = run_lockstep(&g, &wake, mk(), seed, &cfg);
+        let a = EngineKind::Lockstep.run(&g, &wake, mk(), seed, &cfg);
         stats_invariants(&a, &wake, "lockstep")?;
-        let b = run_event(&g, &wake, mk(), seed, &cfg);
+        let b = EngineKind::Event.run(&g, &wake, mk(), seed, &cfg);
         stats_invariants(&b, &wake, "event")?;
-        let phases = random_phases(n, seed);
-        let c = run_jittered(&g, &wake, mk(), &phases, seed, &cfg);
+        let c = EngineKind::Jittered.run(&g, &wake, mk(), seed, &cfg);
         stats_invariants(&c, &wake, "jittered")?;
     }
 }
@@ -140,7 +136,7 @@ proptest! {
 fn max_slots_zero_is_honored() {
     let g = Graph::empty(2);
     let protos = vec![Chaos::new(100, 0), Chaos::new(100, 1)];
-    let out = run_lockstep(&g, &[0, 0], protos, 1, &SimConfig::with_max_slots(0));
+    let out = EngineKind::Lockstep.run(&g, &[0, 0], protos, 1, &SimConfig::with_max_slots(0));
     assert!(!out.all_decided);
     assert!(out.slots_run <= 1);
 }
@@ -150,7 +146,7 @@ fn event_engine_with_all_far_future_wakes() {
     // No node wakes within the cap: zero work, clean abort.
     let g = Graph::empty(3);
     let protos = vec![Chaos::new(1, 0), Chaos::new(1, 1), Chaos::new(1, 2)];
-    let out = run_event(
+    let out = EngineKind::Event.run(
         &g,
         &[10_000, 20_000, 30_000],
         protos,
@@ -185,7 +181,7 @@ fn engines_reject_invalid_probability() {
     }
     // All engines stop gracefully with a typed error, never panic.
     let g = Graph::empty(1);
-    let out = run_lockstep(&g, &[0], vec![Bad], 1, &SimConfig::default());
+    let out = EngineKind::Lockstep.run(&g, &[0], vec![Bad], 1, &SimConfig::default());
     let err = out.error.expect("lockstep reports the error");
     assert!(!out.all_decided);
     assert_eq!(err.node, 0);
@@ -194,10 +190,10 @@ fn engines_reject_invalid_probability() {
         BehaviorFault::InvalidProbability { p: 1.5 },
         "{err}"
     );
-    let out = run_event(&g, &[0], vec![Bad], 1, &SimConfig::default());
+    let out = EngineKind::Event.run(&g, &[0], vec![Bad], 1, &SimConfig::default());
     assert_eq!(out.error.map(|e| e.fault), Some(err.fault));
     assert!(!out.all_decided);
-    let out = run_jittered(&g, &[0], vec![Bad], &[false], 1, &SimConfig::default());
+    let out = EngineKind::Jittered.run(&g, &[0], vec![Bad], 1, &SimConfig::default());
     assert_eq!(out.error.map(|e| e.fault), Some(err.fault));
     assert!(!out.all_decided);
 }
@@ -228,7 +224,7 @@ fn engines_reject_stale_deadlines() {
         }
     }
     let g = Graph::empty(1);
-    let out = run_lockstep(
+    let out = EngineKind::Lockstep.run(
         &g,
         &[0],
         vec![Stale { phase: 0 }],
@@ -239,7 +235,7 @@ fn engines_reject_stale_deadlines() {
     assert!(!out.all_decided);
     assert_eq!(err.slot, 2);
     assert_eq!(err.fault, BehaviorFault::StaleDeadline { now: 2, until: 2 });
-    let out = run_event(
+    let out = EngineKind::Event.run(
         &g,
         &[0],
         vec![Stale { phase: 0 }],

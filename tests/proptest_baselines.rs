@@ -9,7 +9,7 @@ use radio_graph::analysis::check_coloring;
 use radio_graph::analysis::independence::is_maximal_independent_set;
 use radio_graph::generators::special::cycle;
 use radio_graph::{Graph, NodeId};
-use radio_sim::{run_event, SimConfig};
+use radio_sim::{EngineKind, SimConfig};
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(|n| {
@@ -95,7 +95,7 @@ proptest! {
         let params = VerifyParams::new(g.max_closed_degree().max(2), 256);
         let protos: Vec<VerifyNode> =
             (0..g.len()).map(|v| VerifyNode::new(v as u64 + 1, params)).collect();
-        let out = run_event(&g, &vec![0; g.len()], protos, seed, &SimConfig::with_max_slots(10_000_000));
+        let out = EngineKind::Event.run(&g, &vec![0; g.len()], protos, seed, &SimConfig::with_max_slots(10_000_000));
         prop_assert!(out.all_decided);
         let colors: Vec<Option<u32>> = out.protocols.iter().map(VerifyNode::color).collect();
         let r = check_coloring(&g, &colors);

@@ -8,7 +8,7 @@ use radio_graph::analysis::square::{is_distance2_coloring, square};
 use radio_graph::geometry::Point2;
 use radio_graph::io::{to_dot, to_svg};
 use radio_graph::{Graph, NodeId};
-use radio_sim::{random_phases, run_jittered, SimConfig};
+use radio_sim::{EngineKind, SimConfig};
 use urn_coloring::{AdaptiveNode, AlgorithmParams, ColoringNode, EstimatorParams};
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -27,12 +27,10 @@ proptest! {
         let params = AlgorithmParams::practical(k.k2.max(2), g.max_closed_degree().max(2), 256);
         let protos: Vec<ColoringNode> =
             (0..g.len()).map(|v| ColoringNode::new(v as u64 + 1, params)).collect();
-        let phases = random_phases(g.len(), seed);
-        let out = run_jittered(
+        let out = EngineKind::Jittered.run(
             &g,
             &vec![0; g.len()],
             protos,
-            &phases,
             seed,
             &SimConfig::with_max_slots(30_000_000),
         );
@@ -50,7 +48,7 @@ proptest! {
         let protos: Vec<AdaptiveNode> = (0..g.len())
             .map(|v| AdaptiveNode::new(v as u64 + 1, base, est))
             .collect();
-        let out = radio_sim::run_event(
+        let out = EngineKind::Event.run(
             &g,
             &vec![0; g.len()],
             protos,
