@@ -3,9 +3,10 @@
 # cheapest to most expensive so failures surface fast.
 #
 #   ./ci.sh                # full gate: lint, fmt, clippy, build, tests, perf smoke
-#   ./ci.sh --quick        # skip the release build and perf smoke
+#   ./ci.sh --quick        # skip the release build, perf smoke and colord smoke
 #   ./ci.sh --no-lint      # skip the radio-lint static-analysis gate
 #   ./ci.sh --no-dry-run   # skip the scenario-registry dry-run gate
+#   ./ci.sh --no-colord    # skip the colord TCP service smoke gate
 #   ./ci.sh --repro-corpus # only replay results/repros/ through the monitor
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -13,12 +14,14 @@ cd "$(dirname "$0")"
 quick=0
 lint=1
 dry_run=1
+colord=1
 repro_only=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --no-lint) lint=0 ;;
         --no-dry-run) dry_run=0 ;;
+        --no-colord) colord=0 ;;
         --repro-corpus) repro_only=1 ;;
         *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
     esac
@@ -50,8 +53,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Vendored crates (vendor/) are excluded: their docs are not ours to fix.
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
-    -p radio-graph -p radio-sim -p urn-coloring -p radio-baselines \
-    -p radio-bench -p radio-lint -p unstructured-radio-coloring
+    -p radio-graph -p radio-transport -p radio-sim -p urn-coloring \
+    -p radio-baselines -p radio-bench -p radio-lint -p colord \
+    -p unstructured-radio-coloring
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
@@ -84,6 +88,38 @@ if [[ $quick -eq 0 ]]; then
     # n=1024, Δ*=128.
     echo "==> slot_throughput microbench"
     ./target/release/slot_throughput BENCH_sim.json
+
+    # colord end-to-end smoke: boot the real TCP coloring service on an
+    # ephemeral loopback port, drive 64 client sessions (with churn)
+    # through colord-load, and require a complete, conflict-free
+    # coloring plus a clean shutdown — all offline, all inside the
+    # timeout. Merges colord_clients / colord_messages /
+    # colord_msgs_per_sec into BENCH_sim.json for the perf trajectory.
+    if [[ $colord -eq 1 ]]; then
+        echo "==> colord smoke (TCP service gate)"
+        rm -f colord_smoke.out
+        # κ̂₂ = 7: the load generator's 0.75-spacing lattice is
+        # triangle-free, so its cliques are edges (see colord-load docs).
+        ./target/release/colord --seed 7 --kappa2 7 > colord_smoke.out &
+        colord_pid=$!
+        port=""
+        for _ in $(seq 100); do
+            port=$(sed -n 's/^colord: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' colord_smoke.out)
+            [[ -n "$port" ]] && break
+            sleep 0.1
+        done
+        if [[ -z "$port" ]]; then
+            echo "ci.sh: colord did not report a listening port" >&2
+            kill "$colord_pid" 2>/dev/null || true
+            exit 1
+        fi
+        timeout 300 ./target/release/colord-load --addr "127.0.0.1:$port" \
+            --clients 64 --messages 20000 --workers 4 --spacing 0.75 \
+            --churn 0.05 --settle-seconds 120 --bench-out BENCH_sim.json \
+            --shutdown
+        wait "$colord_pid"
+        rm -f colord_smoke.out
+    fi
 fi
 
 echo "CI gate passed."

@@ -1,0 +1,280 @@
+//! Load generator for `colord`: many simulated clients over a few
+//! multiplexed connections.
+//!
+//! Sessions are identified by tokens, not connections, so `--workers`
+//! TCP connections comfortably carry tens of thousands of client
+//! sessions. Each worker joins its share of the clients on a unit-disk
+//! lattice, churns a fraction of them (leave + rejoin), then pumps
+//! heartbeats round-robin until the global message budget is spent.
+//! The run ends by polling the snapshot until the coloring is complete
+//! and conflict-free, asserting validity, and printing a summary line
+//! (plus an optional merge into a benchmark JSON file).
+//!
+//! ```text
+//! colord-load --addr 127.0.0.1:PORT [--clients N] [--messages M]
+//!             [--workers W] [--spacing S] [--churn F]
+//!             [--settle-seconds T] [--bench-out FILE] [--shutdown]
+//! ```
+//!
+//! Every request frame written by this binary counts as one message;
+//! with the default flags a run drives ≥ 10⁴ concurrent sessions and
+//! ≥ 10⁶ messages.
+//!
+//! The default 0.75-spacing lattice (radius 1) has no triangles — its
+//! cliques are single edges — so its κ₂ is 7, not the dense-deployment
+//! default of 2. Start the server with `--kappa2 7` for this workload:
+//! underestimating κ̂₂ shrinks every verification window and erodes
+//! the w.h.p. correctness guarantee (measurably, at 10⁴ nodes).
+
+use colord::Client;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+use urn_coloring::json::{self, Value};
+
+struct Opts {
+    addr: SocketAddr,
+    clients: usize,
+    messages: u64,
+    workers: usize,
+    spacing: f64,
+    churn: f64,
+    settle_seconds: u64,
+    bench_out: Option<String>,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: colord-load --addr HOST:PORT [--clients N] [--messages M] [--workers W] \
+         [--spacing S] [--churn F] [--settle-seconds T] [--bench-out FILE] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(raw) = args.next() else {
+        eprintln!("colord-load: {flag} needs a value");
+        usage();
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("colord-load: bad value {raw:?} for {flag}");
+        usage();
+    })
+}
+
+fn opts() -> Opts {
+    let mut addr: Option<SocketAddr> = None;
+    let mut o = Opts {
+        addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+        clients: 10_000,
+        messages: 1_000_000,
+        workers: 16,
+        spacing: 0.75,
+        churn: 0.01,
+        settle_seconds: 300,
+        bench_out: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = Some(parse(&mut args, "--addr")),
+            "--clients" => o.clients = parse(&mut args, "--clients"),
+            "--messages" => o.messages = parse(&mut args, "--messages"),
+            "--workers" => o.workers = parse(&mut args, "--workers"),
+            "--spacing" => o.spacing = parse(&mut args, "--spacing"),
+            "--churn" => o.churn = parse(&mut args, "--churn"),
+            "--settle-seconds" => o.settle_seconds = parse(&mut args, "--settle-seconds"),
+            "--bench-out" => o.bench_out = Some(parse(&mut args, "--bench-out")),
+            "--shutdown" => o.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("colord-load: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("colord-load: --addr is required");
+        usage();
+    };
+    o.addr = addr;
+    o.workers = o.workers.clamp(1, o.clients.max(1));
+    o
+}
+
+/// Lattice position of global client `i`: a √n × √n grid with the
+/// given spacing, so the membership is a connected-enough unit disk
+/// graph with bounded degree (spacing 0.75 at radius 1 gives the
+/// 4-neighborhood lattice, Δ+1 = 5).
+fn position(i: usize, side: usize, spacing: f64) -> (f64, f64) {
+    ((i % side) as f64 * spacing, (i / side) as f64 * spacing)
+}
+
+fn worker(
+    w: usize,
+    o: &Opts,
+    side: usize,
+    sent: &AtomicU64,
+    failed: &AtomicBool,
+) -> std::io::Result<(u64, u64)> {
+    let mut client = Client::connect(o.addr)?;
+    let lo = w * o.clients / o.workers;
+    let hi = (w + 1) * o.clients / o.workers;
+    let mut tokens: Vec<u64> = Vec::with_capacity(hi - lo);
+    let mut sends: u64 = 0;
+    let mut decided_seen: u64 = 0;
+
+    for i in lo..hi {
+        let (x, y) = position(i, side, o.spacing);
+        tokens.push(client.join(x, y)?);
+        sends += 1;
+    }
+
+    // Churn: the first `churn` fraction of this worker's sessions
+    // leave and rejoin at the same position (as brand-new protocol
+    // nodes — their old colors die with the old tokens).
+    let churned = ((hi - lo) as f64 * o.churn) as usize;
+    for (k, token) in tokens.iter_mut().enumerate().take(churned) {
+        client.leave(*token)?;
+        let (x, y) = position(lo + k, side, o.spacing);
+        *token = client.join(x, y)?;
+        sends += 2;
+    }
+    sent.fetch_add(sends, Ordering::Relaxed);
+    sends = 0;
+
+    // Heartbeat round-robin until the global budget is spent.
+    let mut at = 0usize;
+    loop {
+        let so_far = sent.fetch_add(sends, Ordering::Relaxed) + sends;
+        sends = 0;
+        if so_far >= o.messages || failed.load(Ordering::Relaxed) {
+            break;
+        }
+        for _ in 0..64 {
+            let (_slot, color, _leader) = client.heartbeat(tokens[at])?;
+            sends += 1;
+            if color.is_some() {
+                decided_seen += 1;
+            }
+            at = (at + 1) % tokens.len();
+        }
+    }
+    sent.fetch_add(sends, Ordering::Relaxed);
+    Ok((tokens.len() as u64, decided_seen))
+}
+
+fn merge_bench(path: &str, entries: &[(&str, f64)]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed = json::parse(&text)?;
+    let Value::Obj(mut obj) = parsed else {
+        return Err(format!("{path}: expected a JSON object"));
+    };
+    for &(key, val) in entries {
+        match obj.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = Value::Num(val),
+            None => obj.push((key.to_string(), Value::Num(val))),
+        }
+    }
+    std::fs::write(path, json::dump(&Value::Obj(obj)) + "\n")
+        .map_err(|e| format!("write {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let o = opts();
+    let side = (o.clients as f64).sqrt().ceil() as usize;
+    let sent = AtomicU64::new(0);
+    let failed = AtomicBool::new(false);
+    let start = Instant::now();
+
+    let (joined, _decided_seen) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..o.workers)
+            .map(|w| {
+                let (o, sent, failed) = (&o, &sent, &failed);
+                scope.spawn(move || match worker(w, o, side, sent, failed) {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        eprintln!("colord-load: worker {w} failed: {e}");
+                        failed.store(true, Ordering::Relaxed);
+                        None
+                    }
+                })
+            })
+            .collect();
+        let mut joined = 0u64;
+        let mut decided = 0u64;
+        for h in handles {
+            if let Some((j, d)) = h.join().expect("worker panicked") {
+                joined += j;
+                decided += d;
+            }
+        }
+        (joined, decided)
+    });
+    if failed.load(Ordering::Relaxed) {
+        return ExitCode::FAILURE;
+    }
+    let pump_secs = start.elapsed().as_secs_f64();
+    let messages = sent.load(Ordering::Relaxed);
+
+    // Settle: poll the snapshot until the coloring is complete and
+    // conflict-free (the slot clock keeps running server-side).
+    let settle = Instant::now();
+    let verdict = (|| -> Result<String, String> {
+        let mut client = Client::connect(o.addr).map_err(|e| e.to_string())?;
+        loop {
+            let text = client.snapshot().map_err(|e| e.to_string())?;
+            let v = json::parse(&text)?;
+            let obj = v.as_obj("snapshot")?;
+            let live = json::get(obj, "live")?.as_u64("live")?;
+            let decided = json::get(obj, "decided")?.as_u64("decided")?;
+            let conflicts = json::get(obj, "conflicts")?.as_u64("conflicts")?;
+            if live == decided && conflicts == 0 {
+                if o.shutdown {
+                    client.shutdown().map_err(|e| e.to_string())?;
+                }
+                return Ok(text);
+            }
+            if settle.elapsed().as_secs() > o.settle_seconds {
+                return Err(format!(
+                    "coloring did not settle within {}s: live={live} decided={decided} \
+                     conflicts={conflicts}",
+                    o.settle_seconds
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+    })();
+
+    let snapshot = match verdict {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("colord-load: FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let msgs_per_sec = messages as f64 / pump_secs;
+    println!("colord-load: snapshot {snapshot}");
+    println!(
+        "colord-load: OK clients={joined} messages={messages} pump_secs={pump_secs:.2} \
+         settle_secs={:.2} msgs_per_sec={msgs_per_sec:.0}",
+        settle.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = &o.bench_out {
+        let entries = [
+            ("colord_clients", joined as f64),
+            ("colord_messages", messages as f64),
+            ("colord_msgs_per_sec", msgs_per_sec.round()),
+        ];
+        if let Err(e) = merge_bench(path, &entries) {
+            eprintln!("colord-load: bench merge failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

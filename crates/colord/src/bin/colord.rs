@@ -1,0 +1,95 @@
+//! The `colord` service binary.
+//!
+//! Binds a TCP listener (ephemeral port by default), prints the bound
+//! address on stdout — `colord: listening on 127.0.0.1:PORT` — and
+//! serves until a client sends the shutdown request.
+//!
+//! ```text
+//! colord [--port N] [--radius R] [--seed S] [--kappa2 K] \
+//!        [--delta D] [--ncap N] [--max-clients M] [--batch B] \
+//!        [--stall SLOTS]
+//! ```
+//!
+//! `--stall` bounds how long an undecided session may run before the
+//! watchdog re-admits it as a fresh protocol node (0 disables; see
+//! [`ServiceConfig::stall_slots`]).
+
+use colord::{run_server, ServerConfig, ServiceConfig};
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: colord [--port N] [--radius R] [--seed S] [--kappa2 K] \
+         [--delta D] [--ncap N] [--max-clients M] [--batch B] [--stall SLOTS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(raw) = args.next() else {
+        eprintln!("colord: {flag} needs a value");
+        usage();
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("colord: bad value {raw:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let mut port: u16 = 0;
+    let mut service = ServiceConfig::default();
+    let mut batch: u64 = 128;
+
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--port" => port = parse(&mut args, "--port"),
+            "--radius" => service.radius = parse(&mut args, "--radius"),
+            "--seed" => service.seed = parse(&mut args, "--seed"),
+            "--kappa2" => service.kappa2 = parse(&mut args, "--kappa2"),
+            "--delta" => service.delta_cap = parse(&mut args, "--delta"),
+            "--ncap" => service.n_cap = parse(&mut args, "--ncap"),
+            "--max-clients" => service.max_live = parse(&mut args, "--max-clients"),
+            "--batch" => batch = parse(&mut args, "--batch"),
+            "--stall" => service.stall_slots = parse(&mut args, "--stall"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("colord: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("colord: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            println!("colord: listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("colord: local_addr failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match run_server(listener, ServerConfig { service, batch }) {
+        Ok(()) => {
+            println!("colord: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("colord: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `colord` — a long-running coloring service over real sockets.
+//!
+//! The simulator (`radio-sim`) answers "what does the MW-2005 protocol
+//! do on a fixed graph with a fixed wake schedule"; this crate answers
+//! "what does it take to *operate* that protocol as a network service":
+//! nodes join and leave while the algorithm runs, the membership is a
+//! mutating unit disk graph ([`radio_graph::DynamicUdg`]), and clients
+//! observe the coloring through a request/response wire protocol
+//! instead of a returned outcome struct.
+//!
+//! The layering is deliberate:
+//!
+//! * [`service`] — the pure, deterministic core. One [`ColoringNode`]
+//!   FSM per joined node (the *same* FSM type the simulator runs — no
+//!   forked protocol logic), stepped slot-by-slot with exactly the
+//!   simulator's intra-slot ordering and per-node RNG streams. No
+//!   sockets, no clocks; fully unit-testable.
+//! * [`wire`] — the framed request/response vocabulary
+//!   ([`radio_transport::WireMessage`] codecs) plus a small blocking
+//!   client.
+//! * [`server`] — glue: a TCP accept loop, one handler thread per
+//!   connection, and a ticker thread that advances the service's slot
+//!   clock while any node is still undecided.
+//!
+//! [`ColoringNode`]: urn_coloring::ColoringNode
+
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use server::{run_server, ServerConfig};
+pub use service::{Service, ServiceConfig, ServiceError, ServiceStats, Snapshot};
+pub use wire::{Client, Request, Response};

@@ -1,0 +1,207 @@
+//! The TCP face of the service: accept loop, per-connection handlers,
+//! and the ticker thread that owns the slot clock.
+//!
+//! Concurrency model: a single [`Service`] behind a `std::sync::Mutex`.
+//! Handler threads take the lock per request (requests are cheap:
+//! O(log live) joins, O(1) heartbeats); the ticker takes it per batch
+//! of slots. A condition variable parks the ticker whenever the
+//! service is [idle](Service::idle) — an all-decided membership costs
+//! zero CPU until the next join — and wakes it on joins. Wall-clock
+//! pacing is deliberately absent: the slot clock runs as fast as the
+//! machine allows, because MW-2005 time complexity is measured in
+//! slots, not seconds.
+//!
+//! Shutdown: any client may send [`Request::Shutdown`]; the handler
+//! sets the stop flag, wakes the ticker, and makes a throwaway
+//! connection to the listener to unblock `accept`. [`run_server`] then
+//! joins the ticker and returns; handler threads drain as their
+//! connections close.
+
+use crate::service::{Service, ServiceConfig};
+use crate::wire::{read_message, write_message, Request, Response};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Server-level options on top of the service parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// The service core's parameters.
+    pub service: ServiceConfig,
+    /// Slots the ticker advances per lock acquisition. Larger batches
+    /// cost request latency while a batch runs; smaller ones cost lock
+    /// churn.
+    pub batch: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            service: ServiceConfig::default(),
+            batch: 128,
+        }
+    }
+}
+
+struct Shared {
+    svc: Mutex<Service>,
+    tick: Condvar,
+    shutdown: AtomicBool,
+    /// Handler threads currently waiting for (or holding) the service
+    /// lock. The ticker defers to them between batches — `std::sync`
+    /// mutexes are unfair, and a hot ticker can otherwise starve
+    /// request handlers for seconds.
+    waiters: AtomicUsize,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Takes the service lock as a request handler: counted, so the
+    /// ticker yields between batches while any request is waiting.
+    fn lock_for_request(&self) -> std::sync::MutexGuard<'_, Service> {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let guard = self.svc.lock().expect("service lock");
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        guard
+    }
+}
+
+/// Serves `colord` on `listener` until a client sends
+/// [`Request::Shutdown`].
+///
+/// Blocking; spawn it on a thread (or let the `colord` binary's main
+/// thread sit in it). Returns once the shutdown handshake completes
+/// and the ticker thread has exited.
+///
+/// # Errors
+/// Propagates listener failures (`local_addr`, fatal `accept` errors
+/// before shutdown was requested).
+pub fn run_server(listener: TcpListener, cfg: ServerConfig) -> io::Result<()> {
+    let shared = Arc::new(Shared {
+        svc: Mutex::new(Service::new(cfg.service)),
+        tick: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        waiters: AtomicUsize::new(0),
+        addr: listener.local_addr()?,
+    });
+
+    let ticker = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || ticker_loop(&shared, cfg.batch))
+    };
+
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    // A handler error (bad frame, broken pipe) only
+                    // kills its own connection.
+                    let _ = handle(&shared, stream);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+            Err(e) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.tick.notify_all();
+                let _ = ticker.join();
+                return Err(e);
+            }
+        }
+    }
+
+    shared.tick.notify_all();
+    let _ = ticker.join();
+    Ok(())
+}
+
+fn ticker_loop(shared: &Shared, batch: u64) {
+    let mut guard = shared.svc.lock().expect("service lock");
+    loop {
+        while guard.idle() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            guard = shared.tick.wait(guard).expect("service lock");
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        guard.step(batch);
+        // Release between batches so handlers interleave; spin-yield
+        // until every waiting request has been served, since the bare
+        // mutex hands the lock back to whoever runs first.
+        drop(guard);
+        while shared.waiters.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+        guard = shared.svc.lock().expect("service lock");
+    }
+}
+
+fn handle(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(req) = read_message::<Request>(&mut reader)? {
+        let rsp = match req {
+            Request::Join { x, y } => {
+                let mut svc = shared.lock_for_request();
+                match svc.join(x, y) {
+                    Ok(token) => {
+                        // A join always leaves the service non-idle.
+                        shared.tick.notify_all();
+                        Response::Joined { token }
+                    }
+                    Err(e) => Response::Err {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+            Request::Leave { token } => {
+                let mut svc = shared.lock_for_request();
+                match svc.leave(token) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+            Request::Heartbeat { token } => {
+                let mut svc = shared.lock_for_request();
+                match svc.heartbeat(token) {
+                    Ok(hb) => Response::State {
+                        slot: hb.slot,
+                        color: hb.color,
+                        leader: hb.leader,
+                    },
+                    Err(e) => Response::Err {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+            Request::Snapshot => {
+                let svc = shared.lock_for_request();
+                Response::Snapshot {
+                    json: svc.snapshot().to_json().into_bytes(),
+                }
+            }
+            Request::Shutdown => {
+                write_message(&mut writer, &Response::Bye)?;
+                writer.flush()?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.tick.notify_all();
+                // Unblock the accept loop so run_server can return.
+                let _ = TcpStream::connect(shared.addr);
+                return Ok(());
+            }
+        };
+        write_message(&mut writer, &rsp)?;
+        writer.flush()?;
+    }
+    Ok(())
+}

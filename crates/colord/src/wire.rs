@@ -1,0 +1,361 @@
+//! The framed request/response vocabulary and a blocking client.
+//!
+//! Frames ride the transport crate's length-prefixed framing
+//! ([`read_frame`]/[`write_frame`]); payloads are [`WireMessage`]
+//! codecs, one byte of variant tag followed by fixed-width
+//! little-endian fields. Sessions are identified by server-issued
+//! tokens, *not* by connections: one TCP connection may multiplex any
+//! number of sessions (the load generator drives thousands per
+//! socket), and a token stays valid until its session leaves.
+
+use radio_transport::{
+    read_frame, write_frame, FrameError, FramePayload, FrameReader, WireMessage,
+};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const REQ_JOIN: u8 = 0x01;
+const REQ_LEAVE: u8 = 0x02;
+const REQ_HEARTBEAT: u8 = 0x03;
+const REQ_SNAPSHOT: u8 = 0x04;
+const REQ_SHUTDOWN: u8 = 0x05;
+
+const RSP_JOINED: u8 = 0x81;
+const RSP_OK: u8 = 0x82;
+const RSP_STATE: u8 = 0x83;
+const RSP_SNAPSHOT: u8 = 0x84;
+const RSP_ERR: u8 = 0x85;
+const RSP_BYE: u8 = 0x86;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Join the membership at a position; answered with
+    /// [`Response::Joined`].
+    Join {
+        /// X coordinate.
+        x: f64,
+        /// Y coordinate.
+        y: f64,
+    },
+    /// Leave the membership; answered with [`Response::Ok`].
+    Leave {
+        /// Session token from [`Response::Joined`].
+        token: u64,
+    },
+    /// Query one node's protocol state; answered with
+    /// [`Response::State`].
+    Heartbeat {
+        /// Session token from [`Response::Joined`].
+        token: u64,
+    },
+    /// Query the whole coloring; answered with [`Response::Snapshot`].
+    Snapshot,
+    /// Stop the server; answered with [`Response::Bye`].
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The join was admitted.
+    Joined {
+        /// Session token for subsequent requests (also the node's
+        /// protocol ID).
+        token: u64,
+    },
+    /// The request succeeded with nothing to report.
+    Ok,
+    /// One node's protocol state.
+    State {
+        /// The service's slot clock at answer time.
+        slot: u64,
+        /// The node's color; `None` while undecided.
+        color: Option<u32>,
+        /// `true` if the node is a cluster leader.
+        leader: bool,
+    },
+    /// The coloring snapshot as a JSON document
+    /// (see [`crate::service::Snapshot::to_json`]).
+    Snapshot {
+        /// UTF-8 JSON bytes.
+        json: Vec<u8>,
+    },
+    /// The request was refused.
+    Err {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The server acknowledged shutdown; the connection closes next.
+    Bye,
+}
+
+impl WireMessage for Request {
+    fn encode(&self, out: &mut FramePayload) {
+        match *self {
+            Request::Join { x, y } => {
+                out.put_u8(REQ_JOIN);
+                out.put_f64(x);
+                out.put_f64(y);
+            }
+            Request::Leave { token } => {
+                out.put_u8(REQ_LEAVE);
+                out.put_u64(token);
+            }
+            Request::Heartbeat { token } => {
+                out.put_u8(REQ_HEARTBEAT);
+                out.put_u64(token);
+            }
+            Request::Snapshot => {
+                out.put_u8(REQ_SNAPSHOT);
+            }
+            Request::Shutdown => {
+                out.put_u8(REQ_SHUTDOWN);
+            }
+        }
+    }
+
+    fn decode(r: &mut FrameReader<'_>) -> Result<Self, FrameError> {
+        Ok(match r.take_u8()? {
+            REQ_JOIN => Request::Join {
+                x: r.take_f64()?,
+                y: r.take_f64()?,
+            },
+            REQ_LEAVE => Request::Leave {
+                token: r.take_u64()?,
+            },
+            REQ_HEARTBEAT => Request::Heartbeat {
+                token: r.take_u64()?,
+            },
+            REQ_SNAPSHOT => Request::Snapshot,
+            REQ_SHUTDOWN => Request::Shutdown,
+            other => return Err(FrameError::BadTag(other)),
+        })
+    }
+}
+
+impl WireMessage for Response {
+    fn encode(&self, out: &mut FramePayload) {
+        match self {
+            Response::Joined { token } => {
+                out.put_u8(RSP_JOINED);
+                out.put_u64(*token);
+            }
+            Response::Ok => {
+                out.put_u8(RSP_OK);
+            }
+            Response::State {
+                slot,
+                color,
+                leader,
+            } => {
+                out.put_u8(RSP_STATE);
+                out.put_u64(*slot);
+                match color {
+                    Some(c) => out.put_u8(1).put_u32(*c),
+                    None => out.put_u8(0),
+                };
+                out.put_u8(u8::from(*leader));
+            }
+            Response::Snapshot { json } => {
+                out.put_u8(RSP_SNAPSHOT);
+                out.put_bytes(json);
+            }
+            Response::Err { reason } => {
+                out.put_u8(RSP_ERR);
+                out.put_bytes(reason.as_bytes());
+            }
+            Response::Bye => {
+                out.put_u8(RSP_BYE);
+            }
+        }
+    }
+
+    fn decode(r: &mut FrameReader<'_>) -> Result<Self, FrameError> {
+        Ok(match r.take_u8()? {
+            RSP_JOINED => Response::Joined {
+                token: r.take_u64()?,
+            },
+            RSP_OK => Response::Ok,
+            RSP_STATE => {
+                let slot = r.take_u64()?;
+                let color = match r.take_u8()? {
+                    0 => None,
+                    _ => Some(r.take_u32()?),
+                };
+                let leader = r.take_u8()? != 0;
+                Response::State {
+                    slot,
+                    color,
+                    leader,
+                }
+            }
+            RSP_SNAPSHOT => Response::Snapshot {
+                json: r.take_bytes()?.to_vec(),
+            },
+            RSP_ERR => Response::Err {
+                reason: String::from_utf8_lossy(r.take_bytes()?).into_owned(),
+            },
+            RSP_BYE => Response::Bye,
+            other => return Err(FrameError::BadTag(other)),
+        })
+    }
+}
+
+fn bad_data(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Reads one [`WireMessage`] frame; `Ok(None)` on clean EOF.
+pub fn read_message<M: WireMessage>(r: &mut impl io::Read) -> io::Result<Option<M>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(bytes) => M::from_payload(&bytes).map(Some).map_err(bad_data),
+    }
+}
+
+/// Writes one [`WireMessage`] frame (caller flushes).
+pub fn write_message<M: WireMessage>(w: &mut impl io::Write, msg: &M) -> io::Result<()> {
+    write_frame(w, &msg.to_payload())
+}
+
+/// A blocking request/response client for one `colord` connection.
+///
+/// Methods map one-to-one onto [`Request`] variants; unexpected
+/// response variants surface as `InvalidData` errors.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a `colord` server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn roundtrip(&mut self, req: &Request) -> io::Result<Response> {
+        write_message(&mut self.writer, req)?;
+        self.writer.flush()?;
+        read_message(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Joins at `(x, y)`, returning the session token.
+    pub fn join(&mut self, x: f64, y: f64) -> io::Result<u64> {
+        match self.roundtrip(&Request::Join { x, y })? {
+            Response::Joined { token } => Ok(token),
+            Response::Err { reason } => Err(bad_data(format!("join refused: {reason}"))),
+            other => Err(bad_data(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Leaves the session.
+    pub fn leave(&mut self, token: u64) -> io::Result<()> {
+        match self.roundtrip(&Request::Leave { token })? {
+            Response::Ok => Ok(()),
+            Response::Err { reason } => Err(bad_data(format!("leave refused: {reason}"))),
+            other => Err(bad_data(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Heartbeats the session, returning `(slot, color, leader)`.
+    pub fn heartbeat(&mut self, token: u64) -> io::Result<(u64, Option<u32>, bool)> {
+        match self.roundtrip(&Request::Heartbeat { token })? {
+            Response::State {
+                slot,
+                color,
+                leader,
+            } => Ok((slot, color, leader)),
+            Response::Err { reason } => Err(bad_data(format!("heartbeat refused: {reason}"))),
+            other => Err(bad_data(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches the coloring snapshot as JSON text.
+    pub fn snapshot(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Snapshot)? {
+            Response::Snapshot { json } => {
+                String::from_utf8(json).map_err(|_| bad_data("snapshot is not UTF-8"))
+            }
+            other => Err(bad_data(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Asks the server to stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(bad_data(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Join { x: -1.25, y: 3.5 },
+            Request::Leave { token: 7 },
+            Request::Heartbeat { token: u64::MAX },
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::from_payload(&r.to_payload()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let rsps = [
+            Response::Joined { token: 42 },
+            Response::Ok,
+            Response::State {
+                slot: 9,
+                color: Some(3),
+                leader: false,
+            },
+            Response::State {
+                slot: 10,
+                color: None,
+                leader: true,
+            },
+            Response::Snapshot {
+                json: b"{\"live\":0}".to_vec(),
+            },
+            Response::Err {
+                reason: "membership full".into(),
+            },
+            Response::Bye,
+        ];
+        for r in rsps {
+            assert_eq!(Response::from_payload(&r.to_payload()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(matches!(
+            Request::from_payload(&[0x7F]),
+            Err(FrameError::BadTag(0x7F))
+        ));
+        assert!(Request::from_payload(&[REQ_JOIN, 0, 0]).is_err());
+        let mut bytes = Request::Snapshot.to_payload();
+        bytes.push(9);
+        assert!(matches!(
+            Request::from_payload(&bytes),
+            Err(FrameError::Trailing)
+        ));
+    }
+}

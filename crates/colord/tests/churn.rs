@@ -1,0 +1,169 @@
+//! End-to-end checks: join/leave churn always settles into a valid
+//! coloring, and the TCP server serves the same service faithfully.
+
+use colord::{run_server, Client, ServerConfig, Service, ServiceConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::TcpListener;
+
+fn cfg(seed: u64) -> ServiceConfig {
+    ServiceConfig {
+        radius: 1.0,
+        kappa2: 2,
+        delta_cap: 8,
+        n_cap: 256,
+        seed,
+        max_live: 256,
+        // These tests pin exact protocol behavior; the watchdog is
+        // covered by the service unit tests and the load run.
+        stall_slots: 0,
+    }
+}
+
+/// Steps until idle; panics if `bound` slots pass first.
+fn settle(svc: &mut Service, bound: u64) {
+    let mut left = bound;
+    while !svc.idle() {
+        assert!(left > 0, "service did not settle within {bound} slots");
+        let batch = left.min(512);
+        svc.step(batch);
+        left -= batch;
+    }
+}
+
+/// Random join/leave churn interleaved with stepping, across several
+/// seeds: whatever the history, once the membership stops changing the
+/// coloring must complete and be conflict-free.
+#[test]
+fn random_churn_always_ends_in_valid_coloring() {
+    for seed in 0..5u64 {
+        let mut driver = SmallRng::seed_from_u64(0xC41C ^ seed);
+        let mut svc = Service::new(cfg(seed));
+        let mut tokens: Vec<u64> = Vec::new();
+
+        for round in 0..30 {
+            // Mutate membership: mostly joins early, mixed later.
+            let act_joins = tokens.len() < 4 || driver.gen_bool(0.6);
+            if act_joins && tokens.len() < 40 {
+                let x = driver.gen_range(0.0..4.0_f64);
+                let y = driver.gen_range(0.0..4.0_f64);
+                tokens.push(svc.join(x, y).unwrap());
+            } else if !tokens.is_empty() {
+                let at = driver.gen_range(0..tokens.len());
+                svc.leave(tokens.swap_remove(at)).unwrap();
+            }
+            // Step a random, possibly zero, burst between mutations.
+            svc.step(driver.gen_range(0..2_000));
+            let snap = svc.snapshot();
+            assert_eq!(snap.live, tokens.len(), "seed {seed} round {round}");
+            assert_eq!(
+                snap.conflicts, 0,
+                "seed {seed} round {round}: conflict mid-run"
+            );
+        }
+
+        settle(&mut svc, 30_000_000);
+        let snap = svc.snapshot();
+        assert!(
+            snap.valid(),
+            "seed {seed}: {} live, {} decided, {} conflicts",
+            snap.live,
+            snap.decided,
+            snap.conflicts
+        );
+        assert!(
+            snap.live == 0 || snap.leaders > 0,
+            "seed {seed}: no leaders"
+        );
+        // Every surviving session answers its heartbeat with a color.
+        for &t in &tokens {
+            assert!(svc.heartbeat(t).unwrap().color.is_some(), "seed {seed}");
+        }
+    }
+}
+
+/// The full TCP path: spawn the server on an ephemeral port, drive a
+/// small membership through the wire protocol, check the snapshot and
+/// a clean shutdown.
+#[test]
+fn tcp_server_end_to_end() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        run_server(
+            listener,
+            ServerConfig {
+                service: cfg(99),
+                batch: 64,
+            },
+        )
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    // 3×3 lattice at spacing 0.75: the 4-neighborhood grid.
+    let mut tokens = Vec::new();
+    for i in 0..9 {
+        let (x, y) = ((i % 3) as f64 * 0.75, (i / 3) as f64 * 0.75);
+        tokens.push(client.join(x, y).unwrap());
+    }
+    // One session churns through the wire protocol.
+    client.leave(tokens[4]).unwrap();
+    tokens[4] = client.join(0.75, 0.75).unwrap();
+
+    // Bad requests are refused, not fatal.
+    assert!(client.leave(0xDEAD_BEEF).is_err());
+    let err = client.roundtrip(&colord::Request::Heartbeat { token: 0xDEAD_BEEF });
+    assert!(matches!(err.unwrap(), colord::Response::Err { .. }));
+
+    // Wait (bounded) for every session to decide.
+    let mut colors = vec![None; tokens.len()];
+    for _ in 0..10_000 {
+        for (k, &t) in tokens.iter().enumerate() {
+            colors[k] = client.heartbeat(t).unwrap().1;
+        }
+        if colors.iter().all(Option::is_some) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(
+        colors.iter().all(Option::is_some),
+        "membership did not settle: {colors:?}"
+    );
+
+    let snapshot = client.snapshot().unwrap();
+    let v = urn_coloring::json::parse(&snapshot).unwrap();
+    let obj = v.as_obj("snapshot").unwrap();
+    let get_u64 = |k: &str| urn_coloring::json::get(obj, k).unwrap().as_u64(k).unwrap();
+    assert_eq!(get_u64("live"), 9);
+    assert_eq!(get_u64("decided"), 9);
+    assert_eq!(get_u64("conflicts"), 0);
+    assert_eq!(get_u64("joins"), 10);
+    assert_eq!(get_u64("leaves"), 1);
+    assert!(urn_coloring::json::get(obj, "valid")
+        .unwrap()
+        .as_bool("valid")
+        .unwrap());
+
+    // Adjacent lattice nodes got distinct colors end-to-end.
+    let c_center = client.heartbeat(tokens[4]).unwrap().1.unwrap();
+    for &k in &[1usize, 3, 5, 7] {
+        let c = client.heartbeat(tokens[k]).unwrap().1.unwrap();
+        assert_ne!(
+            c, c_center,
+            "lattice neighbor {k} shares the center's color"
+        );
+    }
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    // The listener is gone after a clean shutdown.
+    assert!(
+        Client::connect(addr).is_err() || {
+            // A TIME_WAIT race can let one more connect through; a request
+            // on it must then fail.
+            let mut c = Client::connect(addr).unwrap();
+            c.snapshot().is_err()
+        }
+    );
+}

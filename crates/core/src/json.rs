@@ -103,6 +103,57 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
+/// Serializes a [`Value`] back into compact JSON text.
+///
+/// Integral numbers within the exact-`f64` range print without a
+/// fractional part, so `parse` → edit → `dump` round-trips the
+/// workspace's artifact files (all-integer fields) byte-stably. `NaN`
+/// and infinities (unrepresentable in JSON) dump as `null`.
+pub fn dump(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(x) => {
+            if !x.is_finite() {
+                out.push_str("null");
+            } else if x.fract() == 0.0 && x.abs() <= 9.007_199_254_740_992e15 {
+                out.push_str(&format!("{}", *x as i64));
+            } else {
+                out.push_str(&format!("{x}"));
+            }
+        }
+        Value::Str(s) => out.push_str(&json_string(s)),
+        Value::Arr(a) => {
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(e, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(o) => {
+            out.push('{');
+            for (i, (k, e)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(k));
+                out.push(':');
+                write_value(e, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parses one JSON document (trailing whitespace allowed).
 pub fn parse(text: &str) -> Result<Value, String> {
     let b = text.as_bytes();
@@ -283,6 +334,17 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse(r#"{"k": }"#).is_err());
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        let text = r#"{"run":{"seed":7,"ok":true,"rate":0.25,"tags":["a","b\n"],"none":null},"list":[-3,0,9007199254740992]}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(dump(&v), text);
+        assert_eq!(parse(&dump(&v)).unwrap(), v);
+        assert_eq!(dump(&Value::Num(f64::NAN)), "null");
+        assert_eq!(dump(&Value::Arr(vec![])), "[]");
+        assert_eq!(dump(&Value::Obj(vec![])), "{}");
     }
 
     #[test]

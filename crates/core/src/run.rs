@@ -7,7 +7,7 @@ use crate::params::AlgorithmParams;
 use radio_graph::analysis::{check_coloring, Coloring, ColoringReport};
 use radio_graph::{Graph, NodeId};
 use radio_sim::rng::{node_rng, random_ids};
-use radio_sim::{EngineKind, NodeStats, ProtocolError, SimConfig, Slot};
+use radio_sim::{EngineKind, ExecutedEngine, NodeStats, ProtocolError, SimConfig, Slot};
 
 /// How protocol-level node IDs are assigned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -95,6 +95,12 @@ pub struct ColoringOutcome {
     /// run broke a paper invariant *while it happened* (see
     /// [`crate::invariants`]).
     pub violations: Vec<InvariantViolation>,
+    /// The execution strategy that actually stepped the run. A
+    /// [`radio_sim::EngineKind::Sharded`] request can legally fall back
+    /// to the sequential driver (single shard, unshardable channel);
+    /// scaling sweeps must check this field before attributing timings
+    /// to the parallel driver.
+    pub executed: ExecutedEngine,
 }
 
 impl ColoringOutcome {
@@ -207,6 +213,7 @@ pub fn color_graph(
         total_jams,
         faults_dropped: out.faults_dropped,
         violations,
+        executed: out.executed,
     }
 }
 

@@ -29,6 +29,7 @@
 
 pub mod analysis;
 pub mod bitset;
+pub mod dynamic;
 pub mod generators;
 pub mod geometry;
 pub mod graph;
@@ -38,6 +39,7 @@ pub mod partition;
 pub mod spatial;
 
 pub use analysis::{check_coloring, kappa, Coloring, ColoringReport, Kappa};
+pub use dynamic::DynamicUdg;
 pub use geometry::Point2;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use partition::Partition;

@@ -11,6 +11,13 @@
 //! | R3   | `no-panic`         | no `unwrap`/`expect`/`panic!` in engine hot paths & protocol transitions |
 //! | R4   | `hook-parity`      | every `run_*` engine entry has a `run_*_monitored` sibling threading channel + monitor hooks |
 //! | R5   | `transition-table` | `LEGAL_TRANSITIONS`, `node.rs` and `invariants.rs` agree on the Fig. 2 edge set |
+//! | R6   | `service-ambient-rng` | `crates/{transport,colord}` may read the wall clock (real servers pace in seconds) but still may not use ambient RNG |
+//!
+//! R1 and R6 partition the scanned tree: simulation crates get the
+//! full ambient ban, real-network service crates get only its RNG
+//! half. The split is a scope decision in this file — not a pile of
+//! per-line waivers in transport code, which would have also silenced
+//! the RNG ban.
 //!
 //! Waive a finding inline with `// lint:allow(<slug>): <reason>` on the
 //! offending line or the line above; the reason is mandatory and the
@@ -43,7 +50,27 @@ pub struct Report {
 /// The directories scanned, relative to the workspace root. Everything
 /// outside (benches, tests, fixtures, vendored crates, the linter
 /// itself) is out of scope by construction.
-const SCAN_DIRS: &[&str] = &["crates/core/src", "crates/graph/src", "crates/sim/src"];
+const SCAN_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/graph/src",
+    "crates/sim/src",
+    "crates/transport/src",
+    "crates/colord/src",
+];
+
+/// R1 scope: simulation-side library code, where *any* ambient
+/// nondeterminism (wall clock included) breaks replay.
+fn in_sim_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src")
+        || rel.starts_with("crates/graph/src")
+        || rel.starts_with("crates/sim/src")
+}
+
+/// R6 scope: real-network service code, where the wall clock is a
+/// feature but ambient RNG still breaks protocol replay.
+fn in_service_scope(rel: &str) -> bool {
+    rel.starts_with("crates/transport/src") || rel.starts_with("crates/colord/src")
+}
 
 /// R3 scope: engine hot paths and the protocol state machine.
 fn in_panic_scope(rel: &str) -> bool {
@@ -81,7 +108,11 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
         violations.extend(facts.diags);
 
         let mut raw: Vec<Diagnostic> = Vec::new();
-        raw.extend(rules::check_ambient(rel, &toks));
+        if in_sim_scope(rel) {
+            raw.extend(rules::check_ambient(rel, &toks));
+        } else if in_service_scope(rel) {
+            raw.extend(rules::check_service_ambient(rel, &toks));
+        }
         raw.extend(rules::check_hash(rel, &toks));
         if in_panic_scope(rel) {
             raw.extend(rules::check_panic(rel, &toks));

@@ -136,11 +136,12 @@ OPTIONS:
     -h, --help          this help
 
 RULES:
-    R1 ambient-time-rng   no Instant/SystemTime/thread_rng in library code
-    R2 hash-iteration     no HashMap/HashSet on deterministic paths
-    R3 no-panic           no unwrap/expect/panic! in engine hot paths
-    R4 hook-parity        run_* entry points need run_*_monitored siblings
-    R5 transition-table   LEGAL_TRANSITIONS <-> node.rs <-> invariants.rs
+    R1 ambient-time-rng     no Instant/SystemTime/thread_rng in sim library code
+    R2 hash-iteration       no HashMap/HashSet on deterministic paths
+    R3 no-panic             no unwrap/expect/panic! in engine hot paths
+    R4 hook-parity          run_* entry points need run_*_monitored siblings
+    R5 transition-table     LEGAL_TRANSITIONS <-> node.rs <-> invariants.rs
+    R6 service-ambient-rng  transport/colord: wall clock ok, ambient RNG banned
 
 Waive inline: // lint:allow(<rule>): <reason>
 Exit codes: 0 clean, 1 violations, 2 waiver drift, 3 usage/I-O error.

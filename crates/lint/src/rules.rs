@@ -26,12 +26,18 @@ pub enum Rule {
     /// R5: `LEGAL_TRANSITIONS`, the `node.rs` transition markers and
     /// the `invariants.rs` legality arms agree on the Fig. 2 edge set.
     TransitionTable,
+    /// R6: the narrower R1 for real-network service code
+    /// (`crates/transport`, `crates/colord`): wall-clock time is fine —
+    /// servers pace and report in seconds — but ambient RNG is still
+    /// banned, because protocol coin flips must replay from
+    /// `node_rng(seed, id)` regardless of which transport carries them.
+    ServiceAmbientRng,
     /// A malformed `lint:allow` waiver comment.
     WaiverSyntax,
 }
 
 impl Rule {
-    /// Short stable ID (`R1`…`R5`, `W0`).
+    /// Short stable ID (`R1`…`R6`, `W0`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::AmbientTimeRng => "R1",
@@ -39,6 +45,7 @@ impl Rule {
             Rule::NoPanic => "R3",
             Rule::HookParity => "R4",
             Rule::TransitionTable => "R5",
+            Rule::ServiceAmbientRng => "R6",
             Rule::WaiverSyntax => "W0",
         }
     }
@@ -51,6 +58,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::HookParity => "hook-parity",
             Rule::TransitionTable => "transition-table",
+            Rule::ServiceAmbientRng => "service-ambient-rng",
             Rule::WaiverSyntax => "waiver-syntax",
         }
     }
@@ -63,6 +71,7 @@ impl Rule {
             Rule::NoPanic,
             Rule::HookParity,
             Rule::TransitionTable,
+            Rule::ServiceAmbientRng,
             Rule::WaiverSyntax,
         ]
         .into_iter()
@@ -266,6 +275,43 @@ pub fn check_ambient(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
                 file: file.to_string(),
                 line: t.line,
                 rule: Rule::AmbientTimeRng,
+                message: format!("`{name}`: {why}"),
+            });
+        }
+    }
+    out
+}
+
+/// R6: ambient RNG in real-network service code.
+///
+/// Deliberately narrower than [`check_ambient`]: `Instant`/`SystemTime`
+/// are legitimate in a server (pacing, timeouts, throughput reporting),
+/// so only the RNG half of R1 applies. This is a scoped rule, not a
+/// waiver — blanket `lint:allow(ambient-time-rng)` waivers in transport
+/// code would also have silenced the RNG ban.
+pub fn check_service_ambient(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    const BANNED: &[(&str, &str)] = &[
+        (
+            "thread_rng",
+            "ambient RNG in service code: protocol coin flips must replay \
+             from `node_rng(seed, id)` under any transport",
+        ),
+        (
+            "from_entropy",
+            "OS-entropy seeding in service code: protocol coin flips must \
+             replay from `node_rng(seed, id)` under any transport",
+        ),
+    ];
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some((name, why)) = BANNED.iter().find(|(n, _)| t.text == *n) {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::ServiceAmbientRng,
                 message: format!("`{name}`: {why}"),
             });
         }

@@ -26,6 +26,10 @@ fn clean_corpus_is_green() {
         "clean corpus must be violation-free, got: {:#?}",
         report.violations
     );
+    // `transport/src/pacing.rs` uses `Instant` twice and still comes
+    // back green: the R1/R6 scope split (not a waiver) is what lets
+    // service code read the wall clock.
+    assert_eq!(report.files_scanned, 6, "pacing.rs must be in scope");
     // The one deliberate, justified waiver in `engine/good.rs` — it
     // both proves waiver application suppresses a real finding and
     // that waivers are counted.
@@ -36,8 +40,12 @@ fn clean_corpus_is_green() {
 #[test]
 fn violation_corpus_is_red_per_rule() {
     let report = run_lint(&fixture_root("violations")).expect("scan violation corpus");
-    // R1: `Instant` (use + call site) and `thread_rng` (call + def).
+    // R1: `Instant` (use + call site) and `thread_rng` (call + def) in
+    // sim scope. The `Instant`s in `colord/src/entropy.rs` do NOT
+    // count — service scope swaps R1 for the narrower R6.
     assert_eq!(count(&report, Rule::AmbientTimeRng), 4);
+    // R6: `thread_rng` + `from_entropy` in `colord/src/entropy.rs`.
+    assert_eq!(count(&report, Rule::ServiceAmbientRng), 2);
     // R2: `HashMap` x2 and `HashSet` x2 in `hashy.rs`.
     assert_eq!(count(&report, Rule::HashIteration), 4);
     // R3: unwrap, expect, panic!, unreachable! in `engine/panicky.rs`.

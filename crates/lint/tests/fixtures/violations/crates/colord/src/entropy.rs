@@ -1,0 +1,17 @@
+//! Red fixture for R6: ambient RNG in service code. The wall-clock
+//! `Instant` below is deliberately present and must NOT flag — only
+//! the two RNG sources are violations in service scope.
+
+use std::time::Instant;
+
+/// Draws a "random" slot jitter the forbidden way.
+pub fn bad_jitter() -> u64 {
+    let _when = Instant::now();
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..16)
+}
+
+/// Seeds a per-connection stream from OS entropy — unreplayable.
+pub fn bad_stream_seed() -> SmallRng {
+    SmallRng::from_entropy()
+}

@@ -50,7 +50,7 @@
 //! in `tests/driver_identity.rs` now compares it against this
 //! sequential driver.
 
-use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome};
+use super::{collect_violations, log_fault, ExecutedEngine, NodeStats, SimConfig, SimOutcome};
 use crate::channel::{BuiltinChannel, ChannelModel, Contention, Reception};
 use crate::monitor::InvariantMonitor;
 use crate::protocol::{Behavior, ProtocolError, RadioProtocol, Slot};
@@ -552,6 +552,7 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
             faults,
             faults_dropped,
             violations,
+            executed: ExecutedEngine::Sequential,
         }
     }
 }

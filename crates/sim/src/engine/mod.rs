@@ -161,6 +161,43 @@ impl NodeStats {
     }
 }
 
+/// Which execution strategy actually stepped the run.
+///
+/// [`crate::EngineKind::Sharded`] silently degrades to the sequential
+/// driver when the partition has a single shard or the channel model is
+/// not shardable ([`ChannelSpec::is_shardable`]). Scaling sweeps that
+/// read wall-clock numbers off such a run would misattribute them to
+/// the parallel driver, so every outcome carries the engine that truly
+/// executed it ([`SimOutcome::executed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutedEngine {
+    /// A sequential slot-advance strategy ran on one thread (lock-step,
+    /// event-driven, jittered, or a sharded request that fell back).
+    Sequential,
+    /// The slot-parallel sharded driver ran with this many shards
+    /// (always ≥ 2; a 1-shard request executes sequentially).
+    Sharded {
+        /// Number of shards stepped concurrently.
+        shards: u32,
+    },
+}
+
+impl ExecutedEngine {
+    /// `true` iff the slot-parallel driver actually ran.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ExecutedEngine::Sharded { .. })
+    }
+}
+
+impl std::fmt::Display for ExecutedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutedEngine::Sequential => write!(f, "sequential"),
+            ExecutedEngine::Sharded { shards } => write!(f, "sharded({shards})"),
+        }
+    }
+}
+
 /// Result of a simulation run.
 #[derive(Clone, Debug)]
 pub struct SimOutcome<P> {
@@ -191,6 +228,10 @@ pub struct SimOutcome<P> {
     /// across engines. Empty for unmonitored runs (the plain `run_*`
     /// entry points) and for monitored runs that stayed clean.
     pub violations: Vec<Violation>,
+    /// The execution strategy that actually stepped the run — in
+    /// particular, whether a sharded request really ran in parallel or
+    /// fell back to the sequential driver (see [`ExecutedEngine`]).
+    pub executed: ExecutedEngine,
 }
 
 impl<P> SimOutcome<P> {
@@ -276,6 +317,7 @@ mod tests {
             faults: Vec::new(),
             faults_dropped: 0,
             violations: Vec::new(),
+            executed: ExecutedEngine::Sequential,
         };
         assert_eq!(out.max_decision_time(), Some(7));
         assert_eq!(out.total_sent(), 7);
@@ -299,6 +341,7 @@ mod tests {
             faults: Vec::new(),
             faults_dropped: 0,
             violations: Vec::new(),
+            executed: ExecutedEngine::Sharded { shards: 4 },
         };
         assert_eq!(out.max_decision_time(), None);
     }

@@ -73,7 +73,9 @@
 
 use super::driver::{BehaviorTable, SimDriver};
 use super::lockstep::Lockstep;
-use super::{collect_violations, log_fault, NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
+use super::{
+    collect_violations, log_fault, ExecutedEngine, NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG,
+};
 use crate::channel::{BuiltinChannel, ChannelModel, Reception};
 use crate::delivery::ShardKernel;
 use crate::monitor::InvariantMonitor;
@@ -638,6 +640,15 @@ where
     assert_eq!(partition.len(), n, "partition length mismatch");
     let k = partition.shards();
     if k <= 1 || !cfg.channel.is_shardable() {
+        // Not a silent degradation: scaling sweeps must be able to tell
+        // that this run was sequential (the outcome's `executed` field
+        // says so too; this line leaves a trace in the run log).
+        let why = if k <= 1 {
+            "partition has a single shard"
+        } else {
+            "channel model is not shardable"
+        };
+        eprintln!("radio-sim: sharded driver falling back to sequential ({why}; n={n}, k={k})");
         return SimDriver::run::<Lockstep>(graph, wake, protocols, (), seed, cfg, monitor);
     }
 
@@ -810,6 +821,7 @@ where
         faults,
         faults_dropped,
         violations,
+        executed: ExecutedEngine::Sharded { shards: k as u32 },
     }
 }
 
@@ -950,6 +962,15 @@ mod tests {
                         &part,
                     );
                     assert_identical(&seq, &shd, &format!("n={n} ch={ci} k={k}"));
+                    let expect = if part.shards() <= 1 {
+                        ExecutedEngine::Sequential
+                    } else {
+                        ExecutedEngine::Sharded {
+                            shards: part.shards() as u32,
+                        }
+                    };
+                    assert_eq!(shd.executed, expect, "n={n} ch={ci} k={k}: executed");
+                    assert_eq!(seq.executed, ExecutedEngine::Sequential);
                 }
             }
         }
@@ -992,6 +1013,9 @@ mod tests {
             &Partition::contiguous(9, 4),
         );
         assert_identical(&seq, &shd, "adversarial fallback");
+        // The fallback must be visible to callers, not silent.
+        assert_eq!(shd.executed, ExecutedEngine::Sequential);
+        assert!(!shd.executed.is_parallel());
     }
 
     #[test]
@@ -1010,6 +1034,7 @@ mod tests {
             &Partition::contiguous(6, 1),
         );
         assert_identical(&seq, &shd, "k=1");
+        assert_eq!(shd.executed, ExecutedEngine::Sequential);
 
         let empty = Graph::empty(0);
         let out = run_sharded::<Hopper, _>(

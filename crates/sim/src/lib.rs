@@ -69,7 +69,7 @@ pub use engine::event::EventSkip;
 pub use engine::jittered::{random_phases, Jittered};
 pub use engine::lockstep::Lockstep;
 pub use engine::sharded::run_sharded;
-pub use engine::{NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
+pub use engine::{ExecutedEngine, NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
 pub use monitor::{
     sort_violations, EngineOrderMonitor, InvariantMonitor, NullMonitor, Violation, MAX_VIOLATIONS,
 };

@@ -1,0 +1,544 @@
+//! The in-process loopback medium: the paper's radio channel as a
+//! shared-memory slot clock.
+//!
+//! A [`LoopbackHub`] owns the graph and the slot clock; each node holds
+//! a [`LoopbackEndpoint`] (one per graph node, typically one OS thread
+//! per node) and drives its protocol through
+//! [`crate::pump::pump_node`]. The hub advances the clock in
+//! two phases per slot:
+//!
+//! 1. **Offer** — every live endpoint declares transmit-or-listen; when
+//!    the last one arrives the hub resolves contention: a listener is
+//!    delivered a frame iff **exactly one** of its graph neighbors
+//!    offered one (the ideal rule of [`crate::medium`]; a transmitter
+//!    never receives). Resolution is a pure function of the offer set,
+//!    so thread arrival order cannot affect outcomes.
+//! 2. **Collect/commit** — endpoints pick up their deliveries and
+//!    commit the slot with their decided flag; when the last commit
+//!    arrives the hub stops (every live node decided, or the slot
+//!    budget ran out) or ticks the next slot.
+//!
+//! Endpoints may be dropped mid-run (a crashed node): the hub detaches
+//! them — permanently silent, counted as decided — so survivors never
+//! deadlock. The vendored `parking_lot` stand-in has no condvar, so the
+//! hub synchronizes on `std::sync::{Mutex, Condvar}`.
+
+use crate::frame::WireMessage;
+use crate::protocol::{RadioProtocol, Slot};
+use crate::pump::{pump_node, NodeReport, Transport};
+use crate::rng::node_rng;
+use radio_graph::{Graph, NodeId};
+use std::convert::Infallible;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Which half of the slot the hub is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for every live endpoint's transmit-or-listen offer.
+    Offer,
+    /// Offers resolved; waiting for every live endpoint's commit.
+    Collect,
+}
+
+/// Mutable hub state, guarded by one mutex.
+struct HubState {
+    slot: Slot,
+    phase: Phase,
+    /// Per node: `Some(frame)` = transmitting this slot.
+    offers: Vec<Option<Vec<u8>>>,
+    /// Per node: the frame resolution delivered, if any.
+    delivered: Vec<Option<Vec<u8>>>,
+    offered: Vec<bool>,
+    committed: Vec<bool>,
+    /// Live endpoints that have not yet offered / committed this slot.
+    pending_offer: usize,
+    pending_commit: usize,
+    /// AND over this slot's live commits (detached nodes count decided).
+    decided_all: bool,
+    detached: Vec<bool>,
+    claimed: Vec<bool>,
+    live: usize,
+    stopped: bool,
+    all_decided: bool,
+    /// Transmitters this slot, in offer-arrival order (resolution sorts
+    /// nothing — the outcome is order-independent).
+    txs: Vec<NodeId>,
+    /// Scratch: per-listener transmitting-neighbor counts, reset via
+    /// `touched` after each resolution.
+    counts: Vec<u32>,
+    winner: Vec<NodeId>,
+    touched: Vec<NodeId>,
+}
+
+struct HubCore {
+    graph: Graph,
+    max_slots: Slot,
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
+impl HubCore {
+    /// Resolves the offer set into deliveries (ideal rule). Caller holds
+    /// the lock and has checked `pending_offer == 0`.
+    fn resolve(&self, s: &mut HubState) {
+        for i in 0..s.txs.len() {
+            let v = s.txs[i];
+            for &u in self.graph.neighbors(v) {
+                let ui = u as usize;
+                if s.counts[ui] == 0 {
+                    s.touched.push(u);
+                    s.winner[ui] = v;
+                }
+                s.counts[ui] += 1;
+            }
+        }
+        for i in 0..s.touched.len() {
+            let u = s.touched[i] as usize;
+            // Deliver iff exactly one transmitting neighbor and the
+            // listener itself is not transmitting.
+            if s.counts[u] == 1 && s.offers[u].is_none() {
+                s.delivered[u] = s.offers[s.winner[u] as usize].clone();
+            }
+            s.counts[u] = 0;
+        }
+        s.touched.clear();
+        s.phase = Phase::Collect;
+    }
+
+    /// Ends the slot once every live endpoint committed: stop the clock
+    /// or tick the next slot. Caller holds the lock.
+    fn end_slot(&self, s: &mut HubState) {
+        if s.live == 0 {
+            s.stopped = true;
+            s.all_decided = false;
+            return;
+        }
+        if s.decided_all {
+            s.stopped = true;
+            s.all_decided = true;
+            return;
+        }
+        if s.slot >= self.max_slots {
+            s.stopped = true;
+            s.all_decided = false;
+            return;
+        }
+        s.slot += 1;
+        s.phase = Phase::Offer;
+        for o in &mut s.offers {
+            *o = None;
+        }
+        for d in &mut s.delivered {
+            *d = None;
+        }
+        s.txs.clear();
+        let n = s.offered.len();
+        for i in 0..n {
+            let gone = s.detached[i];
+            s.offered[i] = gone;
+            s.committed[i] = gone;
+        }
+        s.pending_offer = s.live;
+        s.pending_commit = s.live;
+        s.decided_all = true;
+    }
+
+    /// Detaches endpoint `v`: permanently silent, counted decided. Runs
+    /// whatever phase transition its absence completes.
+    fn detach(&self, v: NodeId) {
+        let mut s = self.state.lock().expect("hub lock poisoned");
+        let vi = v as usize;
+        if s.detached[vi] || s.stopped {
+            s.detached[vi] = true;
+            return;
+        }
+        s.detached[vi] = true;
+        s.live -= 1;
+        if !s.offered[vi] {
+            s.offered[vi] = true;
+            s.offers[vi] = None;
+            s.pending_offer -= 1;
+        }
+        if !s.committed[vi] {
+            s.committed[vi] = true;
+            s.pending_commit -= 1;
+        }
+        if s.phase == Phase::Offer && s.pending_offer == 0 {
+            self.resolve(&mut s);
+        }
+        if s.phase == Phase::Collect && s.pending_commit == 0 {
+            self.end_slot(&mut s);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// The shared medium: graph, slot clock, offer/delivery state.
+///
+/// Cheaply clonable (an [`Arc`] handle); create one endpoint per graph
+/// node via [`LoopbackHub::endpoint`].
+#[derive(Clone)]
+pub struct LoopbackHub {
+    core: Arc<HubCore>,
+}
+
+impl LoopbackHub {
+    /// A hub for `graph` stopping after `max_slots` at the latest.
+    pub fn new(graph: Graph, max_slots: Slot) -> Self {
+        let n = graph.len();
+        let state = HubState {
+            slot: 0,
+            phase: Phase::Offer,
+            offers: std::iter::repeat_with(|| None).take(n).collect(),
+            delivered: std::iter::repeat_with(|| None).take(n).collect(),
+            offered: vec![false; n],
+            committed: vec![false; n],
+            pending_offer: n,
+            pending_commit: n,
+            decided_all: true,
+            detached: vec![false; n],
+            claimed: vec![false; n],
+            live: n,
+            stopped: n == 0,
+            all_decided: n == 0,
+            txs: Vec::new(),
+            counts: vec![0; n],
+            winner: vec![0; n],
+            touched: Vec::new(),
+        };
+        LoopbackHub {
+            core: Arc::new(HubCore {
+                graph,
+                max_slots,
+                state: Mutex::new(state),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The endpoint for graph node `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range or its endpoint was already
+    /// claimed — the medium needs exactly one driver per node.
+    pub fn endpoint(&self, node: NodeId) -> LoopbackEndpoint {
+        let mut s = self.core.state.lock().expect("hub lock poisoned");
+        let ni = node as usize;
+        assert!(ni < s.claimed.len(), "node {node} out of range");
+        assert!(!s.claimed[ni], "endpoint for node {node} already claimed");
+        s.claimed[ni] = true;
+        LoopbackEndpoint {
+            core: Arc::clone(&self.core),
+            node,
+            active: true,
+        }
+    }
+
+    /// `true` once the clock stopped with every live node decided.
+    pub fn all_decided(&self) -> bool {
+        self.core
+            .state
+            .lock()
+            .expect("hub lock poisoned")
+            .all_decided
+    }
+
+    /// The last slot the medium processed (valid after the run stops;
+    /// mirrors the simulator's `slots_run`).
+    pub fn slots_run(&self) -> Slot {
+        self.core.state.lock().expect("hub lock poisoned").slot
+    }
+}
+
+/// One node's handle on a [`LoopbackHub`] — implements [`Transport`].
+///
+/// Dropping the endpoint mid-run detaches the node (permanently silent,
+/// counted decided) instead of deadlocking the other endpoints.
+pub struct LoopbackEndpoint {
+    core: Arc<HubCore>,
+    node: NodeId,
+    active: bool,
+}
+
+impl Transport for LoopbackEndpoint {
+    type Error = Infallible;
+
+    fn next_slot(&mut self) -> Result<Option<Slot>, Infallible> {
+        let mut s = self.core.state.lock().expect("hub lock poisoned");
+        loop {
+            if s.stopped {
+                return Ok(None);
+            }
+            if s.phase == Phase::Offer && !s.offered[self.node as usize] {
+                return Ok(Some(s.slot));
+            }
+            s = self.core.cv.wait(s).expect("hub lock poisoned");
+        }
+    }
+
+    fn offer(&mut self, slot: Slot, tx: Option<Vec<u8>>) -> Result<(), Infallible> {
+        let mut s = self.core.state.lock().expect("hub lock poisoned");
+        let vi = self.node as usize;
+        debug_assert_eq!(s.slot, slot, "offer for a stale slot");
+        debug_assert!(s.phase == Phase::Offer && !s.offered[vi]);
+        if tx.is_some() {
+            s.txs.push(self.node);
+        }
+        s.offers[vi] = tx;
+        s.offered[vi] = true;
+        s.pending_offer -= 1;
+        if s.pending_offer == 0 {
+            self.core.resolve(&mut s);
+            self.core.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn collect(&mut self, slot: Slot) -> Result<Option<Vec<u8>>, Infallible> {
+        let mut s = self.core.state.lock().expect("hub lock poisoned");
+        while !(s.phase == Phase::Collect && s.slot == slot) {
+            s = self.core.cv.wait(s).expect("hub lock poisoned");
+        }
+        Ok(s.delivered[self.node as usize].take())
+    }
+
+    fn commit(&mut self, slot: Slot, decided: bool) -> Result<(), Infallible> {
+        let mut s = self.core.state.lock().expect("hub lock poisoned");
+        let vi = self.node as usize;
+        debug_assert_eq!(s.slot, slot, "commit for a stale slot");
+        debug_assert!(s.phase == Phase::Collect && !s.committed[vi]);
+        s.committed[vi] = true;
+        s.decided_all &= decided;
+        s.pending_commit -= 1;
+        if s.pending_commit == 0 {
+            self.core.end_slot(&mut s);
+            self.core.cv.notify_all();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for LoopbackEndpoint {
+    fn drop(&mut self) {
+        if self.active {
+            self.core.detach(self.node);
+        }
+    }
+}
+
+/// The outcome of [`run_loopback`].
+#[derive(Clone, Debug)]
+pub struct LoopbackOutcome<P> {
+    /// Final protocol states, indexed by node.
+    pub protocols: Vec<P>,
+    /// Per-node pump reports (wake, decided slot, sent/received counts).
+    pub reports: Vec<NodeReport>,
+    /// `true` if every node decided before `max_slots`.
+    pub all_decided: bool,
+    /// The last slot the medium processed.
+    pub slots_run: Slot,
+    /// Pump failures (`"node N: ..."`); empty on clean runs. A failed
+    /// node detaches and the rest of the run continues.
+    pub errors: Vec<String>,
+}
+
+/// Runs `protocols` over an in-process loopback medium: one OS thread
+/// per node, each pumping its protocol with the private RNG stream
+/// `node_rng(seed, index)` — bit-identical to the simulator's lock-step
+/// engine for the same `(graph, wake, seed)`.
+///
+/// # Panics
+/// Panics if `wake.len()` or `protocols.len()` differ from
+/// `graph.len()`.
+pub fn run_loopback<P>(
+    graph: &Graph,
+    wake: &[Slot],
+    mut protocols: Vec<P>,
+    seed: u64,
+    max_slots: Slot,
+) -> LoopbackOutcome<P>
+where
+    P: RadioProtocol + Send,
+    P::Message: WireMessage,
+{
+    let n = graph.len();
+    assert_eq!(wake.len(), n, "wake schedule length mismatch");
+    assert_eq!(protocols.len(), n, "protocol vector length mismatch");
+    let hub = LoopbackHub::new(graph.clone(), max_slots);
+    let mut reports = vec![NodeReport::default(); n];
+    let mut errors = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = protocols
+            .iter_mut()
+            .enumerate()
+            .map(|(i, protocol)| {
+                let mut endpoint = hub.endpoint(i as NodeId);
+                let w = wake[i];
+                scope.spawn(move || {
+                    let mut rng = node_rng(seed, i as u32);
+                    pump_node(i as NodeId, w, protocol, &mut rng, &mut endpoint)
+                        .map_err(|e| format!("node {i}: {e}"))
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.join().expect("pump thread panicked") {
+                Ok(r) => reports[i] = r,
+                Err(e) => errors.push(e),
+            }
+        }
+    });
+    LoopbackOutcome {
+        protocols,
+        reports,
+        all_decided: hub.all_decided() && errors.is_empty(),
+        slots_run: hub.slots_run(),
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Behavior;
+    use rand::rngs::SmallRng;
+
+    /// Transmits with probability `p` forever; decides after receiving
+    /// `need` messages (mirrors the simulator's lock-step test rig).
+    struct Chatter {
+        p: f64,
+        need: u64,
+        got: u64,
+        last: Option<u32>,
+        id: u32,
+    }
+
+    impl Chatter {
+        fn new(id: u32, p: f64, need: u64) -> Self {
+            Chatter {
+                p,
+                need,
+                got: 0,
+                last: None,
+                id,
+            }
+        }
+    }
+
+    impl RadioProtocol for Chatter {
+        type Message = u32;
+
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Transmit {
+                p: self.p,
+                until: None,
+            }
+        }
+
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            unreachable!("Chatter sets no deadline")
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+            self.id
+        }
+
+        fn on_receive(&mut self, _now: Slot, msg: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+            self.got += 1;
+            self.last = Some(*msg);
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.got >= self.need
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (1..n).map(|v| ((v - 1) as NodeId, v as NodeId)))
+    }
+
+    #[test]
+    fn single_transmitter_delivers_every_slot() {
+        // Path 0-1-2: node 0 transmits always; 1 and 2 near-silent.
+        let g = path(3);
+        let protos = vec![
+            Chatter::new(0, 1.0, 0),
+            Chatter::new(1, f64::MIN_POSITIVE, 5),
+            Chatter::new(2, f64::MIN_POSITIVE, 0),
+        ];
+        let out = run_loopback(&g, &[0, 0, 0], protos, 1, 1000);
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert!(out.all_decided);
+        assert_eq!(out.protocols[1].got, 5);
+        assert_eq!(out.protocols[1].last, Some(0));
+        assert_eq!(out.reports[1].received, 5);
+        assert_eq!(out.reports[1].decided_at, Some(4));
+        assert_eq!(out.reports[2].received, 0);
+    }
+
+    #[test]
+    fn collision_blocks_reception() {
+        // Star center 0 with two always-transmitting leaves.
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]);
+        let protos = vec![
+            Chatter::new(0, f64::MIN_POSITIVE, 0),
+            Chatter::new(1, 1.0, 0),
+            Chatter::new(2, 1.0, 0),
+        ];
+        let out = run_loopback(&g, &[0, 0, 0], protos, 2, 50);
+        assert!(out.all_decided);
+        assert_eq!(out.reports[0].received, 0, "collisions every slot");
+    }
+
+    #[test]
+    fn transmitter_cannot_receive() {
+        let g = path(2);
+        let protos = vec![Chatter::new(0, 1.0, 1), Chatter::new(1, 1.0, 1)];
+        let out = run_loopback(&g, &[0, 0], protos, 3, 100);
+        assert!(!out.all_decided);
+        assert_eq!(out.reports[0].received + out.reports[1].received, 0);
+        assert_eq!(out.slots_run, 100, "budget exhausted");
+    }
+
+    #[test]
+    fn sleeping_nodes_receive_nothing() {
+        let g = path(2);
+        let protos = vec![
+            Chatter::new(0, 1.0, 0),
+            Chatter::new(1, f64::MIN_POSITIVE, 3),
+        ];
+        let out = run_loopback(&g, &[0, 10], protos, 4, 100);
+        assert!(out.all_decided);
+        assert_eq!(out.reports[1].decided_at, Some(12)); // receives 10..=12
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let g = Graph::empty(0);
+        let out = run_loopback::<Chatter>(&g, &[], vec![], 1, 10);
+        assert!(out.all_decided);
+        assert_eq!(out.slots_run, 0);
+    }
+
+    #[test]
+    fn dropped_endpoint_detaches_instead_of_deadlocking() {
+        let g = path(2);
+        let hub = LoopbackHub::new(g, 100);
+        let ep0 = hub.endpoint(0);
+        let mut ep1 = hub.endpoint(1);
+        drop(ep0); // node 0 crashes before slot 0
+        let t = std::thread::spawn(move || {
+            let mut slots = 0;
+            while let Some(s) = ep1.next_slot().unwrap() {
+                ep1.offer(s, None).unwrap();
+                let _ = ep1.collect(s).unwrap();
+                ep1.commit(s, true).unwrap();
+                slots += 1;
+            }
+            slots
+        });
+        assert_eq!(t.join().unwrap(), 1, "decided on the first slot");
+        assert!(hub.all_decided());
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic randomness: per-node RNG streams and protocol-level IDs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step — used to derive statistically independent per-node
+/// seeds from a single run seed.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An independent RNG stream for node `index` under run seed `seed`.
+pub fn node_rng(seed: u64, index: u32) -> SmallRng {
+    let mut s = seed ^ (u64::from(index).wrapping_mul(0xA076_1D64_78BD_642F));
+    let a = splitmix64(&mut s);
+    let b = splitmix64(&mut s);
+    SmallRng::seed_from_u64(a ^ b.rotate_left(32))
+}
+
+/// Samples the number of *failures* before the first success of a
+/// Bernoulli(`p`) sequence (a geometric variate with support `{0,1,…}`).
+///
+/// Used by the event engine to skip directly to a node's next
+/// transmission slot; distributionally identical to per-slot draws.
+///
+/// # Panics
+/// Panics if `p` is not in `(0, 1]`.
+pub fn geometric_failures(p: f64, rng: &mut impl Rng) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "p={p} not in (0,1]");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen(); // in [0, 1)
+                            // k = floor(ln(1-u) / ln(1-p)); 1-u in (0, 1] so ln ≤ 0, ratio ≥ 0.
+                            // ln_1p keeps the denominator accurate (and nonzero) for tiny p,
+                            // where (1.0 - p).ln() would underflow to 0 and yield -inf.
+    let denom = (-p).ln_1p();
+    debug_assert!(denom < 0.0, "p > 0 implies ln(1-p) < 0");
+    let k = ((1.0 - u).ln() / denom).floor();
+    if k >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        k as u64
+    }
+}
+
+/// Draws protocol-level node identifiers uniformly from `[1, n³]`, as the
+/// paper suggests for networks without built-in IDs (Sect. 2). The
+/// probability that any two of the `n` draws collide is `O(1/n)` —
+/// experiment E11 measures this.
+pub fn random_ids(n: usize, rng: &mut impl Rng) -> Vec<u64> {
+    let cube = (n as u64).saturating_pow(3).max(1);
+    (0..n).map(|_| rng.gen_range(1..=cube)).collect()
+}
+
+/// `true` if `ids` contains at least one duplicate.
+pub fn has_duplicate_ids(ids: &[u64]) -> bool {
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).any(|w| w[0] == w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_streams_differ() {
+        let mut a = node_rng(1, 0);
+        let mut b = node_rng(1, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+        // Same (seed, index) reproduces.
+        let mut a2 = node_rng(1, 0);
+        let va2: Vec<u64> = (0..8).map(|_| a2.gen()).collect();
+        assert_eq!(va, va2);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = 0.05;
+        let n = 40_000;
+        let mean = (0..n)
+            .map(|_| geometric_failures(p, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let expected = (1.0 - p) / p; // 19
+        assert!(
+            (mean - expected).abs() < 0.5,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn geometric_tiny_p_is_effectively_never() {
+        // Regression: with denormal p, ln(1-p) must not underflow to 0
+        // (that made "silent" nodes transmit every slot).
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let k = geometric_failures(f64::MIN_POSITIVE, &mut rng);
+            assert!(k > 1 << 40, "k = {k} far too small for p = MIN_POSITIVE");
+        }
+        // And a merely-small p still has the right mean.
+        let p = 1e-6;
+        let mean = (0..2000)
+            .map(|_| geometric_failures(p, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean / 1e6 - 1.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(geometric_failures(1.0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0,1]")]
+    fn geometric_rejects_zero() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = geometric_failures(0.0, &mut rng);
+    }
+
+    #[test]
+    fn random_ids_in_range_and_rarely_collide() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 500;
+        let ids = random_ids(n, &mut rng);
+        assert_eq!(ids.len(), n);
+        let cube = (n as u64).pow(3);
+        assert!(ids.iter().all(|&id| (1..=cube).contains(&id)));
+        // Collision probability ≤ C(n,2)/n³ ≈ 1/(2n) = 0.1%; with one
+        // sample a collision would be extraordinary.
+        assert!(!has_duplicate_ids(&ids));
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        assert!(has_duplicate_ids(&[3, 1, 3]));
+        assert!(!has_duplicate_ids(&[1, 2, 3]));
+        assert!(!has_duplicate_ids(&[]));
+    }
+}

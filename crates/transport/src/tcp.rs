@@ -1,0 +1,406 @@
+//! The TCP medium: the slot protocol over real `std::net` sockets.
+//!
+//! The server side ([`TcpHub`]) accepts one connection per graph node
+//! and bridges each onto a [`LoopbackHub`] endpoint — the contention
+//! resolution and slot clock are byte-for-byte the same medium the
+//! in-process loopback uses; only the endpoint calls travel over a
+//! socket. One thread per connection (no async runtime — the container
+//! builds offline, so the vendored std-only stack is the whole stack).
+//!
+//! Wire format: length-prefixed [`frame`](crate::frame)s, one message
+//! per frame, single-byte tag first:
+//!
+//! ```text
+//!  client → server   HELLO  { u32 node }
+//!  server → client   TICK   { u64 slot }            (next_slot)
+//!  client → server   OFFER  { u64 slot, u8 has, bytes payload? }
+//!  server → client   DELIVER{ u64 slot, u8 has, bytes payload? }
+//!  client → server   COMMIT { u64 slot, u8 decided }
+//!  server → client   STOP   {}                      (medium shut down)
+//! ```
+//!
+//! A connection that drops mid-run detaches its node on the hub —
+//! survivors keep running, exactly as with an in-process endpoint.
+
+use crate::frame::{read_frame, write_frame, FramePayload, FrameReader};
+use crate::loopback::LoopbackHub;
+use crate::protocol::Slot;
+use crate::pump::Transport;
+use radio_graph::{Graph, NodeId};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_OFFER: u8 = 0x02;
+const TAG_COMMIT: u8 = 0x03;
+const TAG_TICK: u8 = 0x10;
+const TAG_DELIVER: u8 = 0x12;
+const TAG_STOP: u8 = 0x13;
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one frame, failing on EOF (the slot protocol never ends
+/// between frames from the client's side mid-run).
+fn expect_frame(r: &mut impl io::Read) -> io::Result<Vec<u8>> {
+    read_frame(r)?.ok_or_else(|| proto_err("peer closed mid-run"))
+}
+
+/// What one [`TcpHub::serve`] run produced.
+#[derive(Clone, Debug)]
+pub struct TcpRunReport {
+    /// `true` if every surviving node decided before the slot budget.
+    pub all_decided: bool,
+    /// The last slot the medium processed.
+    pub slots_run: Slot,
+    /// Per-connection failures (`"node N: ..."`); a failed connection
+    /// detaches its node and the run continues without it.
+    pub errors: Vec<String>,
+}
+
+/// The server side of the TCP medium.
+pub struct TcpHub {
+    listener: TcpListener,
+}
+
+impl TcpHub {
+    /// A hub serving on an already-bound listener (bind to port 0 for
+    /// an ephemeral port; [`TcpHub::local_addr`] reports it).
+    pub fn new(listener: TcpListener) -> Self {
+        TcpHub { listener }
+    }
+
+    /// The address clients should connect to.
+    ///
+    /// # Errors
+    /// Propagates the socket error if the listener has no local address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts exactly `graph.len()` connections, then runs the slot
+    /// medium to completion: every connection is bridged onto a
+    /// loopback-hub endpoint by its own thread.
+    ///
+    /// # Errors
+    /// Fails if accepting a connection or reading a HELLO fails before
+    /// the medium starts; per-connection failures *during* the run are
+    /// collected in [`TcpRunReport::errors`] instead.
+    pub fn serve(&self, graph: Graph, max_slots: Slot) -> io::Result<TcpRunReport> {
+        let n = graph.len();
+        let hub = LoopbackHub::new(graph, max_slots);
+        let mut conns: Vec<(NodeId, TcpStream)> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let (stream, _) = self.listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut r = BufReader::new(stream.try_clone()?);
+            let payload = expect_frame(&mut r)?;
+            let mut fr = FrameReader::new(&payload);
+            let tag = fr.take_u8().map_err(|e| proto_err(e.to_string()))?;
+            if tag != TAG_HELLO {
+                return Err(proto_err(format!("expected HELLO, got tag {tag}")));
+            }
+            let node = fr.take_u32().map_err(|e| proto_err(e.to_string()))?;
+            fr.finish().map_err(|e| proto_err(e.to_string()))?;
+            if node as usize >= n || seen[node as usize] {
+                return Err(proto_err(format!("bad or duplicate HELLO node {node}")));
+            }
+            seen[node as usize] = true;
+            conns.push((node, stream));
+        }
+
+        let mut errors = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = conns
+                .into_iter()
+                .map(|(node, stream)| {
+                    let endpoint = hub.endpoint(node);
+                    scope.spawn(move || {
+                        bridge(endpoint, stream).map_err(|e| format!("node {node}: {e}"))
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(e) = h.join().expect("bridge thread panicked") {
+                    errors.push(e);
+                }
+            }
+        });
+        errors.sort();
+        Ok(TcpRunReport {
+            all_decided: hub.all_decided() && errors.is_empty(),
+            slots_run: hub.slots_run(),
+            errors,
+        })
+    }
+}
+
+/// Relays one connection onto its loopback endpoint until the medium
+/// stops. Dropping the endpoint on any error detaches the node.
+fn bridge(mut endpoint: crate::loopback::LoopbackEndpoint, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let Some(slot) = endpoint.next_slot().unwrap_or(None) else {
+            let mut p = FramePayload::new();
+            p.put_u8(TAG_STOP);
+            write_frame(&mut writer, p.as_slice())?;
+            writer.flush()?;
+            return Ok(());
+        };
+        let mut tick = FramePayload::new();
+        tick.put_u8(TAG_TICK).put_u64(slot);
+        write_frame(&mut writer, tick.as_slice())?;
+        writer.flush()?;
+
+        let payload = expect_frame(&mut reader)?;
+        let mut fr = FrameReader::new(&payload);
+        let tag = fr.take_u8().map_err(|e| proto_err(e.to_string()))?;
+        if tag != TAG_OFFER {
+            return Err(proto_err(format!("expected OFFER, got tag {tag}")));
+        }
+        let got_slot = fr.take_u64().map_err(|e| proto_err(e.to_string()))?;
+        if got_slot != slot {
+            return Err(proto_err(format!(
+                "OFFER for slot {got_slot}, expected {slot}"
+            )));
+        }
+        let has = fr.take_u8().map_err(|e| proto_err(e.to_string()))?;
+        let tx = if has != 0 {
+            Some(
+                fr.take_bytes()
+                    .map_err(|e| proto_err(e.to_string()))?
+                    .to_vec(),
+            )
+        } else {
+            None
+        };
+        fr.finish().map_err(|e| proto_err(e.to_string()))?;
+        let _ = endpoint.offer(slot, tx);
+
+        let delivered = endpoint.collect(slot).unwrap_or(None);
+        let mut d = FramePayload::new();
+        d.put_u8(TAG_DELIVER).put_u64(slot);
+        match &delivered {
+            Some(bytes) => {
+                d.put_u8(1).put_bytes(bytes);
+            }
+            None => {
+                d.put_u8(0);
+            }
+        }
+        write_frame(&mut writer, d.as_slice())?;
+        writer.flush()?;
+
+        let payload = expect_frame(&mut reader)?;
+        let mut fr = FrameReader::new(&payload);
+        let tag = fr.take_u8().map_err(|e| proto_err(e.to_string()))?;
+        if tag != TAG_COMMIT {
+            return Err(proto_err(format!("expected COMMIT, got tag {tag}")));
+        }
+        let got_slot = fr.take_u64().map_err(|e| proto_err(e.to_string()))?;
+        if got_slot != slot {
+            return Err(proto_err(format!(
+                "COMMIT for slot {got_slot}, expected {slot}"
+            )));
+        }
+        let decided = fr.take_u8().map_err(|e| proto_err(e.to_string()))? != 0;
+        fr.finish().map_err(|e| proto_err(e.to_string()))?;
+        let _ = endpoint.commit(slot, decided);
+    }
+}
+
+/// The client side of the TCP medium — a [`Transport`] over a socket.
+pub struct TcpEndpoint {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpEndpoint {
+    /// Connects to a [`TcpHub`] and introduces itself as graph node
+    /// `node`.
+    ///
+    /// # Errors
+    /// Propagates connection and handshake I/O errors.
+    pub fn connect(addr: impl ToSocketAddrs, node: NodeId) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        let mut hello = FramePayload::new();
+        hello.put_u8(TAG_HELLO).put_u32(node);
+        write_frame(&mut writer, hello.as_slice())?;
+        writer.flush()?;
+        Ok(TcpEndpoint { reader, writer })
+    }
+}
+
+impl Transport for TcpEndpoint {
+    type Error = io::Error;
+
+    fn next_slot(&mut self) -> io::Result<Option<Slot>> {
+        let payload = expect_frame(&mut self.reader)?;
+        let mut fr = FrameReader::new(&payload);
+        match fr.take_u8().map_err(|e| proto_err(e.to_string()))? {
+            TAG_TICK => {
+                let slot = fr.take_u64().map_err(|e| proto_err(e.to_string()))?;
+                fr.finish().map_err(|e| proto_err(e.to_string()))?;
+                Ok(Some(slot))
+            }
+            TAG_STOP => Ok(None),
+            t => Err(proto_err(format!("expected TICK/STOP, got tag {t}"))),
+        }
+    }
+
+    fn offer(&mut self, slot: Slot, tx: Option<Vec<u8>>) -> io::Result<()> {
+        let mut p = FramePayload::new();
+        p.put_u8(TAG_OFFER).put_u64(slot);
+        match &tx {
+            Some(bytes) => {
+                p.put_u8(1).put_bytes(bytes);
+            }
+            None => {
+                p.put_u8(0);
+            }
+        }
+        write_frame(&mut self.writer, p.as_slice())?;
+        self.writer.flush()
+    }
+
+    fn collect(&mut self, slot: Slot) -> io::Result<Option<Vec<u8>>> {
+        let payload = expect_frame(&mut self.reader)?;
+        let mut fr = FrameReader::new(&payload);
+        let tag = fr.take_u8().map_err(|e| proto_err(e.to_string()))?;
+        if tag != TAG_DELIVER {
+            return Err(proto_err(format!("expected DELIVER, got tag {tag}")));
+        }
+        let got_slot = fr.take_u64().map_err(|e| proto_err(e.to_string()))?;
+        if got_slot != slot {
+            return Err(proto_err(format!(
+                "DELIVER for slot {got_slot}, expected {slot}"
+            )));
+        }
+        let has = fr.take_u8().map_err(|e| proto_err(e.to_string()))?;
+        let out = if has != 0 {
+            Some(
+                fr.take_bytes()
+                    .map_err(|e| proto_err(e.to_string()))?
+                    .to_vec(),
+            )
+        } else {
+            None
+        };
+        fr.finish().map_err(|e| proto_err(e.to_string()))?;
+        Ok(out)
+    }
+
+    fn commit(&mut self, slot: Slot, decided: bool) -> io::Result<()> {
+        let mut p = FramePayload::new();
+        p.put_u8(TAG_COMMIT).put_u64(slot).put_u8(u8::from(decided));
+        write_frame(&mut self.writer, p.as_slice())?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Behavior, RadioProtocol};
+    use crate::pump::pump_node;
+    use crate::rng::node_rng;
+    use crate::run_loopback;
+    use rand::rngs::SmallRng;
+
+    /// Beacons with probability p; decides after `need` receptions.
+    struct Beacon {
+        id: u32,
+        p: f64,
+        need: u64,
+        got: u64,
+    }
+
+    impl RadioProtocol for Beacon {
+        type Message = u32;
+
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Transmit {
+                p: self.p,
+                until: None,
+            }
+        }
+
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            unreachable!()
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+            self.id
+        }
+
+        fn on_receive(&mut self, _now: Slot, _m: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+            self.got += 1;
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            self.got >= self.need
+        }
+    }
+
+    fn mk(n: usize) -> Vec<Beacon> {
+        (0..n)
+            .map(|i| Beacon {
+                id: i as u32,
+                p: 0.3,
+                need: 4,
+                got: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tcp_medium_matches_loopback_bit_for_bit() {
+        // Path 0-1-2-3, staggered wakes, identical seeds: the TCP medium
+        // must reproduce the in-process loopback run exactly.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let wake = [0u64, 2, 4, 6];
+        let seed = 11;
+        let lb = run_loopback(&g, &wake, mk(4), seed, 10_000);
+        assert!(lb.all_decided, "loopback run must finish");
+
+        let hub = TcpHub::new(TcpListener::bind("127.0.0.1:0").unwrap());
+        let addr = hub.local_addr().unwrap();
+        let server_graph = g.clone();
+        let server = std::thread::spawn(move || hub.serve(server_graph, 10_000).unwrap());
+        let clients: Vec<_> = mk(4)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut proto)| {
+                std::thread::spawn(move || {
+                    let mut ep = TcpEndpoint::connect(addr, i as NodeId).unwrap();
+                    let mut rng = node_rng(seed, i as u32);
+                    let report = pump_node(
+                        i as NodeId,
+                        [0u64, 2, 4, 6][i],
+                        &mut proto,
+                        &mut rng,
+                        &mut ep,
+                    )
+                    .unwrap();
+                    (proto, report)
+                })
+            })
+            .collect();
+        let report = server.join().unwrap();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert!(report.all_decided);
+        assert_eq!(report.slots_run, lb.slots_run, "same stop slot");
+        for (i, c) in clients.into_iter().enumerate() {
+            let (proto, node_report) = c.join().unwrap();
+            assert_eq!(proto.got, lb.protocols[i].got, "node {i} receptions");
+            assert_eq!(node_report, lb.reports[i], "node {i} report");
+        }
+    }
+}
