@@ -7,7 +7,9 @@
 #   ./ci.sh --no-lint      # skip the radio-lint static-analysis gate
 #   ./ci.sh --no-dry-run   # skip the scenario-registry dry-run gate
 #   ./ci.sh --no-colord    # skip the colord TCP service smoke gate
+#   ./ci.sh --no-mc        # skip the radio-mc exhaustive model-check gate
 #   ./ci.sh --repro-corpus # only replay results/repros/ through the monitor
+#   ./ci.sh --model-check  # only run the radio-mc gate (writes MC.json)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,17 +17,38 @@ quick=0
 lint=1
 dry_run=1
 colord=1
+model_check=1
 repro_only=0
+mc_only=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --no-lint) lint=0 ;;
         --no-dry-run) dry_run=0 ;;
         --no-colord) colord=0 ;;
+        --no-mc) model_check=0 ;;
         --repro-corpus) repro_only=1 ;;
+        --model-check) mc_only=1 ;;
         *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
     esac
 done
+
+# Exhaustive model check: every execution of the small-n catalog within
+# one deviation of the fair schedule passes the Lemma 4–9 monitor and
+# covers all 13 legality-table edges; then every witness-carrying
+# corpus artifact replays red. Writes MC.json (see DESIGN.md §Model
+# checking). State-dedup keeps this subsecond, so it runs by default.
+run_model_check() {
+    echo "==> radio-mc --check (exhaustive model-check gate)"
+    cargo run -q -p radio-mc -- --check --max-n 4 \
+        --corpus results/repros --json MC.json
+}
+
+if [[ $mc_only -eq 1 ]]; then
+    run_model_check
+    echo "Model check passed."
+    exit 0
+fi
 
 if [[ $repro_only -eq 1 ]]; then
     # Replay every shrunk failure artifact and assert the invariant
@@ -54,8 +77,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p radio-graph -p radio-transport -p radio-sim -p urn-coloring \
-    -p radio-baselines -p radio-bench -p radio-lint -p colord \
-    -p unstructured-radio-coloring
+    -p radio-baselines -p radio-bench -p radio-lint -p radio-mc \
+    -p colord -p unstructured-radio-coloring
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
@@ -64,6 +87,10 @@ cargo test --workspace -q
 # re-run is the named gate so its failure is unambiguous in CI logs.
 echo "==> repro corpus replay"
 cargo test -q --test repro_corpus
+
+if [[ $model_check -eq 1 ]]; then
+    run_model_check
+fi
 
 # Scenario registry health: smoke-execute every registered experiment
 # spec at tiny n with the invariant monitor on (exits non-zero on any

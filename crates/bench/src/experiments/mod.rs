@@ -24,6 +24,7 @@ pub mod e17_mis;
 pub mod e18_scalability;
 pub mod e19_faults;
 pub mod e20_monitor;
+pub mod e22_model_check;
 
 use crate::workloads::Workload;
 use radio_sim::parallel::run_seeds;
@@ -147,6 +148,11 @@ pub fn registry() -> Vec<Scenario> {
         Scenario {
             spec: ablation::spec,
             run: ablation::run,
+            default: true,
+        },
+        Scenario {
+            spec: e22_model_check::spec,
+            run: e22_model_check::run,
             default: true,
         },
     ]

@@ -248,6 +248,7 @@ enum DedupKey {
 /// docs for the rule list). Attach with
 /// [`radio_sim::EngineKind::run_monitored`] or via
 /// [`crate::ColoringConfig::with_monitor`].
+#[derive(Clone)]
 pub struct ColoringMonitor<'g> {
     graph: &'g Graph,
     seen: Vec<Option<Snapshot>>,
@@ -263,6 +264,41 @@ impl<'g> ColoringMonitor<'g> {
             graph,
             seen: vec![None; graph.len()],
             colors: vec![None; graph.len()],
+            typed: Vec::new(),
+            dedup: BTreeSet::new(),
+        }
+    }
+
+    /// A monitor resumed mid-run from externally reconstructed
+    /// per-node observations (`None` = not yet woken; otherwise the
+    /// state and the slot it was observed at).
+    ///
+    /// The model checker (`radio-mc`) re-checks each explored slot from
+    /// a parent-state snapshot rather than carrying one monitor per
+    /// path, so it needs to seed the previous-snapshot table directly.
+    /// Commit colors are derived from the observations, so the
+    /// commit-conflict rule keeps working across the seam. Seeding is
+    /// verdict-invariant: counters and competitor copies both tick one
+    /// per slot, so the elapsed-time extrapolation in the checks gives
+    /// the same answers from a reseeded snapshot as from the original.
+    ///
+    /// # Panics
+    ///
+    /// If `observed.len() != graph.len()`.
+    pub fn resume(graph: &'g Graph, observed: Vec<Option<(ObservedState, Slot)>>) -> Self {
+        assert_eq!(observed.len(), graph.len(), "one observation per node");
+        let colors = observed
+            .iter()
+            .map(|o| o.as_ref().and_then(|(s, _)| s.committed_class()))
+            .collect();
+        let seen = observed
+            .into_iter()
+            .map(|o| o.map(|(state, slot)| Snapshot { state, slot }))
+            .collect();
+        ColoringMonitor {
+            graph,
+            seen,
+            colors,
             typed: Vec::new(),
             dedup: BTreeSet::new(),
         }

@@ -39,6 +39,7 @@
 //! | reset target `χ(P_v)` (Alg. 1 line 15) | [`chi`] |
 //! | Algorithms 1–3 state machine | [`node`] |
 //! | Fig. 2 legal edge set, as data | [`transitions`] |
+//! | explicit-choice slot stepper (model checking / replay) | [`step`] |
 //! | one-call runner | [`run`] |
 //! | Theorems 2/4/5 + Corollary 1 checks | [`verify`] |
 //! | TDMA application (Sect. 1) | [`tdma`] |
@@ -53,6 +54,7 @@ pub mod node;
 pub mod params;
 pub mod repro;
 pub mod run;
+pub mod step;
 pub mod tdma;
 pub mod transitions;
 pub mod verify;
@@ -65,6 +67,7 @@ pub use node::{ColoringNode, NodeTrace, ObservedState};
 pub use params::{AlgorithmParams, ResetPolicy};
 pub use repro::{load_corpus, shrink, write_artifact, ReproCase};
 pub use run::{color_graph, ColoringConfig, ColoringOutcome, IdAssignment};
+pub use step::{round_robin, SlotChoice, SlotStepper, Witness};
 pub use tdma::{compare_with_distance2, ScheduleComparison, TdmaSchedule};
 pub use transitions::{Transition, LEGAL_TRANSITIONS};
 pub use verify::{verify_outcome, Verdict};

@@ -157,6 +157,21 @@ impl ObservedState {
             _ => None,
         }
     }
+
+    /// The node label in the abstract Fig. 2 machine
+    /// ([`crate::transitions::LEGAL_TRANSITIONS`]): collapses the
+    /// per-class detail of `tag()` onto the five protocol-state labels
+    /// the legality table is written over (`"Wake"`, the sixth label,
+    /// is the pseudo-state of a not-yet-woken node and never observed).
+    pub fn abstract_tag(&self) -> &'static str {
+        match self {
+            ObservedState::Verify { active: false, .. } => "VerifyWaiting",
+            ObservedState::Verify { active: true, .. } => "VerifyActive",
+            ObservedState::Request { .. } => "Request",
+            ObservedState::Colored { .. } => "Colored",
+            ObservedState::Leader { .. } => "Leader",
+        }
+    }
 }
 
 /// One node running the coloring algorithm.

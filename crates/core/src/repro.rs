@@ -25,6 +25,7 @@ use crate::invariants::{ColoringMonitor, InvariantViolation};
 use crate::mutation::{MutatedNode, MutationKind};
 use crate::node::ColoringNode;
 use crate::params::{AlgorithmParams, ResetPolicy};
+use crate::step::{self, SlotChoice, Witness};
 use radio_graph::{Graph, NodeId};
 
 use crate::json::{self, json_string};
@@ -58,6 +59,12 @@ pub struct ReproCase {
     pub mutation: MutationKind,
     /// Slot cap for the replay.
     pub max_slots: Slot,
+    /// For model-checker-originated cases: the explored path, as an
+    /// explicit per-slot choice schedule. When present,
+    /// [`detect`](Self::detect) replays it through the deterministic
+    /// [`crate::step`] stepper (no seed, no engine nondeterminism);
+    /// when absent the case replays through `engine` as before.
+    pub witness: Option<Witness>,
 }
 
 impl ReproCase {
@@ -68,17 +75,25 @@ impl ReproCase {
 
     /// Replays the configuration under the invariant monitor and
     /// returns the typed violations (empty = clean run).
+    ///
+    /// A case carrying a [`Witness`] replays the recorded choice
+    /// schedule through the deterministic stepper; otherwise the
+    /// seeded engine run is used.
     pub fn detect(&self) -> Vec<InvariantViolation> {
         let graph = self.graph();
         let protocols: Vec<MutatedNode> = (1..=self.n as u64)
             .map(|id| MutatedNode::new(ColoringNode::new(id, self.params), self.mutation))
             .collect();
+        let mut monitor = ColoringMonitor::new(&graph);
+        if let Some(witness) = &self.witness {
+            step::replay(&graph, &self.wake, protocols, witness, &mut monitor);
+            return monitor.into_typed();
+        }
         let cfg = SimConfig {
             max_slots: self.max_slots,
             channel: self.channel,
             ..SimConfig::default()
         };
-        let mut monitor = ColoringMonitor::new(&graph);
         let _ =
             self.engine
                 .run_monitored(&graph, &self.wake, protocols, self.seed, &cfg, &mut monitor);
@@ -102,6 +117,7 @@ impl ReproCase {
             .map(|&(u, v)| (remap(u), remap(v)))
             .collect();
         c.wake.remove(k);
+        c.witness = self.witness.as_ref().map(|w| w.without_node(k as NodeId));
         c
     }
 
@@ -125,6 +141,19 @@ impl ReproCase {
             None => "null".to_string(),
         };
         let engine = self.engine.name();
+        // The witness field is omitted (not null) when absent, so
+        // pre-witness artifacts round-trip byte-stably.
+        let witness = match &self.witness {
+            None => String::new(),
+            Some(w) => {
+                let pairs: Vec<String> = w
+                    .schedule
+                    .iter()
+                    .map(|c| format!("[{},{}]", c.tx, c.drop))
+                    .collect();
+                format!("  \"witness\": {{\"schedule\":[{}]}},\n", pairs.join(","))
+            }
+        };
         format!(
             concat!(
                 "{{\n",
@@ -140,6 +169,7 @@ impl ReproCase {
                 "\"delta_est\":{delta_est},\"reset_policy\":\"{reset}\",",
                 "\"announce_slots\":{announce}}},\n",
                 "  \"mutation\": \"{mutation}\",\n",
+                "{witness}",
                 "  \"max_slots\": {max_slots}\n",
                 "}}\n"
             ),
@@ -160,6 +190,7 @@ impl ReproCase {
             reset = reset,
             announce = announce,
             mutation = self.mutation.as_str(),
+            witness = witness,
             max_slots = self.max_slots,
         )
     }
@@ -218,6 +249,29 @@ impl ReproCase {
             .iter()
             .map(|w| w.as_u64("wake slot"))
             .collect::<Result<Vec<_>, String>>()?;
+        // Optional field (json::get errors on absence): pre-witness
+        // artifacts simply lack the key.
+        let witness = match obj.iter().find(|(k, _)| k == "witness") {
+            None => None,
+            Some((_, v)) => {
+                let wobj = v.as_obj("witness")?;
+                let schedule = json::get(wobj, "schedule")?
+                    .as_arr("witness.schedule")?
+                    .iter()
+                    .map(|c| {
+                        let pair = c.as_arr("witness slot choice")?;
+                        if pair.len() != 2 {
+                            return Err("slot choice must be a [tx, drop] 2-array".to_string());
+                        }
+                        Ok(SlotChoice {
+                            tx: pair[0].as_u64("choice tx mask")?,
+                            drop: pair[1].as_u64("choice drop mask")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Some(Witness { schedule })
+            }
+        };
         let case = ReproCase {
             label: json::get(obj, "label")?.as_str("label")?.to_string(),
             n: json::get(obj, "n")?.as_u64("n")? as usize,
@@ -229,6 +283,7 @@ impl ReproCase {
             params,
             mutation,
             max_slots: json::get(obj, "max_slots")?.as_u64("max_slots")?,
+            witness,
         };
         if case.wake.len() != case.n {
             return Err(format!("wake length {} != n {}", case.wake.len(), case.n));
@@ -437,6 +492,7 @@ mod tests {
             params: AlgorithmParams::practical(2, 3, 16),
             mutation,
             max_slots: 200_000,
+            witness: None,
         }
     }
 
@@ -461,6 +517,51 @@ mod tests {
             let back = ReproCase::from_json(&case.to_json()).unwrap();
             assert_eq!(back, case);
         }
+    }
+
+    #[test]
+    fn witness_round_trips_and_absence_stays_absent() {
+        let mut case = sample(MutationKind::LyingCounter);
+        // Absent witness: no "witness" key in the artifact at all.
+        assert!(!case.to_json().contains("witness"));
+        case.witness = Some(Witness {
+            schedule: vec![
+                SlotChoice { tx: 0b01, drop: 0 },
+                SlotChoice {
+                    tx: 0b10,
+                    drop: 0b01,
+                },
+            ],
+        });
+        let text = case.to_json();
+        assert!(text.contains("\"witness\""));
+        let back = ReproCase::from_json(&text).unwrap();
+        assert_eq!(back, case);
+        // A malformed choice pair is rejected.
+        let bad = text.replace("[1,0],[2,1]", "[1,0],[2]");
+        assert!(ReproCase::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn witness_detect_replays_deterministically() {
+        // A lone honest node with an all-silent 3-slot schedule: clean,
+        // and the replay never consults engine or seed.
+        let case = ReproCase {
+            label: "witness unit".to_string(),
+            n: 1,
+            edges: vec![],
+            wake: vec![0],
+            seed: 0,
+            engine: EngineKind::Lockstep,
+            channel: ChannelSpec::Ideal,
+            params: AlgorithmParams::practical(2, 2, 4),
+            mutation: MutationKind::None,
+            max_slots: 3,
+            witness: Some(Witness {
+                schedule: vec![SlotChoice::default(); 3],
+            }),
+        };
+        assert!(case.detect().is_empty());
     }
 
     #[test]

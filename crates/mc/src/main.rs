@@ -1,0 +1,286 @@
+//! The `radio-mc` command-line driver.
+//!
+//! ```text
+//! radio-mc --check [--max-n N] [--budget B] [--max-states M]
+//!          [--json PATH] [--corpus DIR]
+//!     Exhaustively explore the standard catalog up to N nodes,
+//!     asserting zero invariant violations and full reachable-edge
+//!     coverage; replay witness-carrying corpus artifacts (they must
+//!     stay red); optionally write a machine-readable summary.
+//!
+//! radio-mc --mutants [--out DIR]
+//!     Run the seeded mutants under the explorer, shrink each
+//!     counterexample and write the witness-carrying repro artifacts.
+//!
+//! radio-mc --diagram [--out PATH]
+//!     Render LEGAL_TRANSITIONS as Graphviz dot (stdout by default).
+//! ```
+//!
+//! Exit status is non-zero on any violation, coverage shortfall,
+//! truncated search, artifact that fails to reproduce, or usage error.
+
+use radio_mc::{
+    engine_seed_search, expected_reachable, explore, mutant_scenario, standard_scenarios,
+    state_machine_dot, to_repro_case, ExploreReport,
+};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use urn_coloring::{load_corpus, shrink, write_artifact, MutationKind, Transition};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let code = match mode {
+        Some("--check") => check(&args[1..]),
+        Some("--mutants") => mutants(&args[1..]),
+        Some("--diagram") => diagram(&args[1..]),
+        _ => {
+            eprintln!("usage: radio-mc --check|--mutants|--diagram [options]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn diagram(args: &[String]) -> i32 {
+    let dot = state_machine_dot();
+    match opt_value(args, "--out") {
+        Some(path) => match std::fs::write(&path, &dot) {
+            Ok(()) => {
+                println!("wrote {path}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                1
+            }
+        },
+        None => {
+            print!("{dot}");
+            0
+        }
+    }
+}
+
+fn check(args: &[String]) -> i32 {
+    let max_n: usize = opt_value(args, "--max-n")
+        .map(|v| v.parse().expect("--max-n takes a number"))
+        .unwrap_or(4);
+    let budget: u8 = opt_value(args, "--budget")
+        .map(|v| v.parse().expect("--budget takes a number"))
+        .unwrap_or(1);
+    let max_states: u64 = opt_value(args, "--max-states")
+        .map(|v| v.parse().expect("--max-states takes a number"))
+        .unwrap_or(20_000_000);
+    let mut failed = false;
+    let mut covered: BTreeSet<Transition> = BTreeSet::new();
+    let mut reports: Vec<ExploreReport> = Vec::new();
+    let mut violations = 0usize;
+    for sc in standard_scenarios(max_n, budget) {
+        let report = explore(&sc, max_states);
+        println!(
+            "{:<14} n={} expansions={} states={} paths={} dedup={} covered={}{}",
+            report.scenario,
+            sc.n,
+            report.expansions,
+            report.unique_states,
+            report.paths,
+            report.dedup_hits,
+            report.covered.len(),
+            if report.truncated { " TRUNCATED" } else { "" },
+        );
+        if report.truncated {
+            eprintln!("error: {} hit the expansion cap {max_states}", sc.name);
+            failed = true;
+        }
+        if let Some(cx) = &report.counterexample {
+            violations += cx.violations.len();
+            eprintln!(
+                "error: violation in {} (wake {:?}, {} slots):",
+                cx.scenario,
+                cx.wake,
+                cx.witness.schedule.len()
+            );
+            for v in &cx.violations {
+                eprintln!(
+                    "  slot {} node {} [{}] {}",
+                    v.slot, v.node, v.rule, v.detail
+                );
+            }
+            failed = true;
+        }
+        covered.extend(report.covered.iter().copied());
+        reports.push(report);
+    }
+    let expected = expected_reachable(max_n);
+    let missing: Vec<Transition> = expected.difference(&covered).copied().collect();
+    let extra: Vec<Transition> = covered.difference(&expected).copied().collect();
+    if !missing.is_empty() {
+        eprintln!("error: reachable edges never covered (dead table rows): {missing:?}");
+        failed = true;
+    }
+    if !extra.is_empty() {
+        eprintln!("error: edges covered beyond the expected reachable set: {extra:?}");
+        failed = true;
+    }
+    println!(
+        "coverage: {}/{} edges at n<={max_n}, budget {budget}",
+        covered.len(),
+        expected.len()
+    );
+    let mut corpus_replayed = 0usize;
+    if let Some(dir) = opt_value(args, "--corpus") {
+        match replay_witness_corpus(Path::new(&dir)) {
+            Ok(count) => {
+                corpus_replayed = count;
+                println!("corpus: {count} witness artifact(s) replayed red");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = opt_value(args, "--json") {
+        let json = summary_json(
+            max_n,
+            budget,
+            &reports,
+            &covered,
+            &expected,
+            &missing,
+            violations,
+            corpus_replayed,
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            failed = true;
+        } else {
+            println!("wrote {path}");
+        }
+    }
+    i32::from(failed)
+}
+
+/// Replays every witness-carrying artifact in `dir` (the
+/// model-checker-originated corpus entries); each must still fail.
+fn replay_witness_corpus(dir: &Path) -> Result<usize, String> {
+    let mut count = 0;
+    for (path, case) in load_corpus(dir)? {
+        if case.witness.is_none() {
+            continue; // engine-originated artifacts: tests replay those
+        }
+        if !case.fails() {
+            return Err(format!(
+                "witness artifact {} replays clean — stale counterexample",
+                path.display()
+            ));
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn summary_json(
+    max_n: usize,
+    budget: u8,
+    reports: &[ExploreReport],
+    covered: &BTreeSet<Transition>,
+    expected: &BTreeSet<Transition>,
+    missing: &[Transition],
+    violations: usize,
+    corpus_replayed: usize,
+) -> String {
+    let expansions: u64 = reports.iter().map(|r| r.expansions).sum();
+    let states: u64 = reports.iter().map(|r| r.unique_states).sum();
+    let paths: u64 = reports.iter().map(|r| r.paths).sum();
+    let scenario_rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\":\"{}\",\"expansions\":{},\"unique_states\":{},\"paths\":{},\"covered\":{}}}",
+                r.scenario,
+                r.expansions,
+                r.unique_states,
+                r.paths,
+                r.covered.len()
+            )
+        })
+        .collect();
+    let missing_rows: Vec<String> = missing
+        .iter()
+        .map(|(f, t)| format!("[\"{f}\",\"{t}\"]"))
+        .collect();
+    format!(
+        "{{\n  \"max_n\": {max_n},\n  \"budget\": {budget},\n  \"expansions\": {expansions},\n  \"unique_states\": {states},\n  \"paths\": {paths},\n  \"violations\": {violations},\n  \"edges_covered\": {},\n  \"edges_expected\": {},\n  \"missing_edges\": [{}],\n  \"corpus_replayed\": {corpus_replayed},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        covered.len(),
+        expected.len(),
+        missing_rows.join(","),
+        scenario_rows.join(",\n")
+    )
+}
+
+fn mutants(args: &[String]) -> i32 {
+    let out: PathBuf = opt_value(args, "--out")
+        .unwrap_or_else(|| "results/repros".to_string())
+        .into();
+    let mut failed = false;
+    for kind in [MutationKind::LyingCounter, MutationKind::CopycatLeader] {
+        let label = format!("mc_{}", kind.as_str().replace('-', "_"));
+        let sc = mutant_scenario(kind);
+        let report = explore(&sc, 20_000_000);
+        let Some(cx) = report.counterexample else {
+            eprintln!(
+                "error: explorer missed the {} mutant ({} expansions)",
+                kind.as_str(),
+                report.expansions
+            );
+            failed = true;
+            continue;
+        };
+        let case = to_repro_case(&sc, &cx, &label);
+        let mut small = shrink(&case);
+        if !small.fails() {
+            eprintln!("error: shrunk {} case replays clean", kind.as_str());
+            failed = true;
+            continue;
+        }
+        match engine_seed_search(&small, 64) {
+            Some(seed) => small.seed = seed,
+            None => {
+                eprintln!(
+                    "error: no engine seed reproduces the shrunk {} case",
+                    kind.as_str()
+                );
+                failed = true;
+                continue;
+            }
+        }
+        match write_artifact(&out, &small) {
+            Ok(path) => println!(
+                "{}: n={} witness_slots={} seed={} -> {}",
+                label,
+                small.n,
+                small
+                    .witness
+                    .as_ref()
+                    .map(|w| w.schedule.len())
+                    .unwrap_or(0),
+                small.seed,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write artifact: {e}");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}

@@ -1,0 +1,109 @@
+//! The standard exploration catalog: the small topologies and wake
+//! schedules that, together, reach every abstract edge reachable at a
+//! given network size (see [`crate::expected_reachable`]).
+//!
+//! Each entry is chosen for a reason, recorded on the scenario:
+//!
+//! * `lone` — the degenerate self-election path.
+//! * `pair` — leader election plus one served requester: color-class
+//!   verification, assignment, and the `VerifyActive → Request` hand-off.
+//! * `late-joiner` — a node waking *after* its neighbor committed
+//!   color 0, the only way to observe `VerifyWaiting → Request`.
+//! * `triangle` / `line` — three-node contention: competitor copies,
+//!   counter resets, sequential serving of two requesters.
+//! * `two-clusters` — two independent leaders each serving one of two
+//!   *adjacent* requesters, which therefore verify the same color
+//!   class; the only n ≤ 5 way to produce `VerifyActive →
+//!   VerifyWaiting` (losing a verification of class i ≥ 1).
+//! * `star` — n = 5 hub-and-spokes, the largest catalog entry.
+
+use crate::explore::Scenario;
+use urn_coloring::{AlgorithmParams, MutationKind};
+
+/// The parameter point the model checker explores at: the smallest
+/// `practical` configuration (κ₂ = 2, Δ̂ = 2, n̂ = 4), giving a
+/// 4-slot waiting phase, a 40-slot verification threshold and an
+/// 8-slot leader critical range — horizons of a few hundred slots.
+pub fn mc_params() -> AlgorithmParams {
+    AlgorithmParams::practical(2, 2, 4)
+}
+
+fn scenario(
+    name: &str,
+    n: usize,
+    edges: &[(u32, u32)],
+    wakes: &[&[u64]],
+    horizon: u64,
+    budget: u8,
+) -> Scenario {
+    Scenario {
+        name: name.to_string(),
+        n,
+        edges: edges.to_vec(),
+        wakes: wakes.iter().map(|w| w.to_vec()).collect(),
+        horizon,
+        budget,
+        params: mc_params(),
+        mutation: MutationKind::None,
+    }
+}
+
+/// The honest-protocol catalog, restricted to scenarios with at most
+/// `max_n` nodes, with deviation budget `budget` applied uniformly.
+pub fn standard_scenarios(max_n: usize, budget: u8) -> Vec<Scenario> {
+    let all = vec![
+        scenario("lone", 1, &[], &[&[0]], 80, budget),
+        scenario("pair", 2, &[(0, 1)], &[&[0, 0], &[0, 1]], 260, budget),
+        scenario(
+            "late-joiner",
+            2,
+            &[(0, 1)],
+            &[&[0, 42], &[0, 46]],
+            320,
+            budget,
+        ),
+        scenario(
+            "triangle",
+            3,
+            &[(0, 1), (0, 2), (1, 2)],
+            &[&[0, 0, 0], &[0, 1, 2]],
+            420,
+            budget,
+        ),
+        scenario(
+            "line",
+            3,
+            &[(0, 1), (1, 2)],
+            &[&[0, 0, 0], &[0, 4, 44]],
+            420,
+            budget,
+        ),
+        scenario(
+            "two-clusters",
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            &[&[0, 8, 8, 0]],
+            560,
+            budget,
+        ),
+        scenario(
+            "star",
+            5,
+            &[(0, 1), (0, 2), (0, 3), (0, 4)],
+            &[&[0, 2, 4, 6, 8]],
+            700,
+            budget,
+        ),
+    ];
+    all.into_iter().filter(|s| s.n <= max_n).collect()
+}
+
+/// The seeded-mutant scenario for `kind`: a pair, woken together, with
+/// every node running the mutated protocol — the configuration the
+/// negative tests and the `--mutants` pipeline explore.
+pub fn mutant_scenario(kind: MutationKind) -> Scenario {
+    let mut sc = scenario("mutant-pair", 2, &[(0, 1)], &[&[0, 0]], 240, 1);
+    sc.name = format!("mutant-{}", kind.as_str());
+    sc.mutation = kind;
+    sc
+}

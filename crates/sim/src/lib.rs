@@ -71,7 +71,8 @@ pub use engine::lockstep::Lockstep;
 pub use engine::sharded::run_sharded;
 pub use engine::{ExecutedEngine, NodeStats, SimConfig, SimOutcome, MAX_FAULT_LOG};
 pub use monitor::{
-    sort_violations, EngineOrderMonitor, InvariantMonitor, NullMonitor, Violation, MAX_VIOLATIONS,
+    sort_violations, EngineOrderMonitor, Fanout, InvariantMonitor, NullMonitor, Violation,
+    MAX_VIOLATIONS,
 };
 pub use protocol::{Behavior, BehaviorFault, ProtocolError, RadioProtocol, Slot};
 pub use trace::{render_timeline, Event, Recorded, Recorder};

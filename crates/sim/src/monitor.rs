@@ -142,6 +142,66 @@ impl<P: RadioProtocol> InvariantMonitor<P> for NullMonitor {
 /// the informative ones).
 pub const MAX_VIOLATIONS: usize = 4096;
 
+/// Two monitors driven from the same hook stream.
+///
+/// Both see every hook in order; `take_violations` concatenates (first
+/// monitor's findings first, before the engine's canonical sort).
+/// Composes further by nesting: `Fanout(a, Fanout(b, c))`. The model
+/// checker runs the Lemma checks and the Fig. 2 trace projection side
+/// by side this way, and the projection tests stack a projection
+/// monitor on top of whatever monitor the scenario already uses.
+#[derive(Clone, Debug, Default)]
+pub struct Fanout<A, B>(
+    /// The first monitor.
+    pub A,
+    /// The second monitor.
+    pub B,
+);
+
+impl<P, A, B> InvariantMonitor<P> for Fanout<A, B>
+where
+    P: RadioProtocol,
+    A: InvariantMonitor<P>,
+    B: InvariantMonitor<P>,
+{
+    fn after_wake(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        self.0.after_wake(node, slot, proto);
+        self.1.after_wake(node, slot, proto);
+    }
+
+    fn after_deadline(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        self.0.after_deadline(node, slot, proto);
+        self.1.after_deadline(node, slot, proto);
+    }
+
+    fn on_transmit(&mut self, node: NodeId, slot: Slot, msg: &P::Message, proto: &P) {
+        self.0.on_transmit(node, slot, msg, proto);
+        self.1.on_transmit(node, slot, msg, proto);
+    }
+
+    fn after_receive(&mut self, node: NodeId, slot: Slot, msg: &P::Message, proto: &P) {
+        self.0.after_receive(node, slot, msg, proto);
+        self.1.after_receive(node, slot, msg, proto);
+    }
+
+    fn on_decided(&mut self, node: NodeId, slot: Slot, proto: &P) {
+        self.0.on_decided(node, slot, proto);
+        self.1.on_decided(node, slot, proto);
+    }
+
+    fn take_violations(&mut self) -> Vec<Violation> {
+        let mut out = self.0.take_violations();
+        out.extend(self.1.take_violations());
+        out
+    }
+
+    fn is_null(&self) -> bool {
+        // Null only if both halves are; the sharded driver's fast loop
+        // may then skip the hook barriers for the whole pair.
+        self.0.is_null() && self.1.is_null()
+    }
+}
+
 #[derive(Clone, Copy, Default)]
 struct OrderState {
     woken: bool,

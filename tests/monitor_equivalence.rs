@@ -219,6 +219,7 @@ fn mutated_runs_are_detected_by_both_replay_engines() {
             params: AlgorithmParams::practical(2, 3, 16),
             mutation: MutationKind::CopycatLeader,
             max_slots: 200_000,
+            witness: None,
         };
         assert!(case.fails(), "{engine:?} replay missed the copycat");
     }

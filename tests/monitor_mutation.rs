@@ -29,6 +29,7 @@ fn seeded(mutation: MutationKind, label: &str) -> ReproCase {
         params: AlgorithmParams::practical(2, 3, 16),
         mutation,
         max_slots: 200_000,
+        witness: None,
     }
 }
 

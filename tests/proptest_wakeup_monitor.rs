@@ -102,6 +102,7 @@ proptest! {
             params: AlgorithmParams::practical(2, delta, 16),
             mutation: MutationKind::None,
             max_slots: 400_000,
+            witness: None,
         };
         assert_monitor_clean(case)?;
     }
