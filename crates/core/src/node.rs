@@ -182,6 +182,10 @@ pub struct ColoringNode {
     state: State,
     decided: Option<u32>,
     trace: NodeTrace,
+    /// Driver-contract breach recorded by the last callback, drained by
+    /// [`RadioProtocol::take_breach`]. `Some` only after a callback was
+    /// invoked in a state its contract rules out.
+    breach: Option<&'static str>,
 }
 
 impl ColoringNode {
@@ -198,6 +202,7 @@ impl ColoringNode {
             },
             decided: None,
             trace: NodeTrace::default(),
+            breach: None,
         }
     }
 
@@ -396,9 +401,17 @@ impl RadioProtocol for ColoringNode {
                 Behavior::Silent { until: None }
             }
             // `R` runs `Behavior::Transmit { until: None }`: the engine
-            // contract guarantees no deadline can fire here.
-            // lint:allow(no-panic): state R sets no deadline; reaching this is an engine defect, not recoverable protocol state
-            State::Request { .. } => unreachable!("state R sets no deadline"),
+            // contract guarantees no deadline can fire here. If a
+            // defective driver fires one anyway, record the breach for
+            // `take_breach` and re-install the behavior `R` runs — the
+            // driver surfaces the breach as a typed `ProtocolError`.
+            State::Request { .. } => {
+                self.breach = Some("deadline fired in state R, which sets no deadline");
+                Behavior::Transmit {
+                    p: self.params.p_active(),
+                    until: None,
+                }
+            }
         }
     }
 
@@ -416,12 +429,20 @@ impl RadioProtocol for ColoringNode {
             },
             State::Verify {
                 phase: VerifyPhase::Waiting,
+                class,
+                anchor,
                 ..
             } => {
                 // Waiting nodes run `Behavior::Silent`; the engines only
-                // call `message` on transmitting nodes.
-                // lint:allow(no-panic): waiting nodes are silent; the engine never requests a message from them
-                unreachable!("waiting nodes are silent")
+                // call `message` on transmitting nodes. A defective
+                // driver asking anyway gets a well-formed competition
+                // message and a recorded breach for `take_breach`.
+                self.breach = Some("message requested from a silent waiting node");
+                ColoringMsg::Compete {
+                    class: *class,
+                    sender: self.id,
+                    counter: now as i64 - anchor,
+                }
             }
             State::Request { leader } => ColoringMsg::Request {
                 sender: self.id,
@@ -581,6 +602,12 @@ impl RadioProtocol for ColoringNode {
     fn is_decided(&self) -> bool {
         self.decided.is_some()
     }
+
+    fn take_breach(&mut self) -> Option<radio_sim::BehaviorFault> {
+        self.breach
+            .take()
+            .map(|context| radio_sim::BehaviorFault::ContractBreach { context })
+    }
 }
 
 #[cfg(test)]
@@ -665,6 +692,66 @@ mod tests {
                 sender: 2,
                 leader: 77
             }
+        );
+    }
+
+    #[test]
+    fn deadline_in_state_r_records_a_typed_breach() {
+        use radio_sim::BehaviorFault;
+        let p = params();
+        let mut node = ColoringNode::new(2, p);
+        node.on_wake(0, &mut rng());
+        node.on_receive(
+            3,
+            &ColoringMsg::Decided {
+                class: 0,
+                sender: 77,
+            },
+            &mut rng(),
+        )
+        .expect("behavior change");
+        // State R sets no deadline; a defective driver firing one gets
+        // R's own behavior back plus a drained breach — no panic.
+        let b = node.on_deadline(10, &mut rng());
+        assert_eq!(
+            b,
+            Behavior::Transmit {
+                p: p.p_active(),
+                until: None
+            }
+        );
+        assert_eq!(
+            node.take_breach(),
+            Some(BehaviorFault::ContractBreach {
+                context: "deadline fired in state R, which sets no deadline"
+            })
+        );
+        // Drained: a second poll reports nothing.
+        assert_eq!(node.take_breach(), None);
+    }
+
+    #[test]
+    fn message_while_waiting_records_a_typed_breach() {
+        use radio_sim::BehaviorFault;
+        let p = params();
+        let mut node = ColoringNode::new(5, p);
+        node.on_wake(0, &mut rng());
+        // Waiting nodes are silent; the benign fallback is a well-formed
+        // competition message for the class under verification.
+        let msg = node.message(2, &mut rng());
+        assert!(matches!(
+            msg,
+            ColoringMsg::Compete {
+                class: 0,
+                sender: 5,
+                ..
+            }
+        ));
+        assert_eq!(
+            node.take_breach(),
+            Some(BehaviorFault::ContractBreach {
+                context: "message requested from a silent waiting node"
+            })
         );
     }
 

@@ -1,0 +1,246 @@
+//! Intra-crate call graph over the parsed item structure.
+//!
+//! Resolution is name-based and deliberately modest: a call site
+//! `name(...)` resolves to a `fn name` declared in the same crate,
+//! preferring the same file, then the same directory, then the first
+//! declaring file in sorted scan order. Method receivers are not
+//! typed — for the handful of names the semantic rules chase
+//! (driver phases, monitor hooks, `run_*` wrappers) this is exact,
+//! and for everything else an occasional wrong-but-same-crate target
+//! only adds identifiers to a closure, which the rules treat as
+//! evidence *for* conformance, never against it.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{is_keyword, FileItems};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scanned file: its workspace-relative path, (test-stripped)
+/// token stream, and extracted items.
+pub struct ParsedFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// Token stream with test code stripped.
+    pub toks: Vec<Tok>,
+    /// Item structure extracted by [`crate::parse::parse_items`].
+    pub items: FileItems,
+}
+
+/// The transitive closure [`CallGraph::closure`] computes from a root
+/// function.
+#[derive(Clone, Debug, Default)]
+pub struct Closure {
+    /// Every identifier appearing in any reached function body.
+    pub idents: BTreeSet<String>,
+    /// Names of every function reached (including the root).
+    pub fn_names: BTreeSet<String>,
+}
+
+/// A name-resolution index over all scanned files, keyed by crate.
+pub struct CallGraph<'a> {
+    files: &'a [ParsedFile],
+    /// Per-file crate key (`"crates/sim"` for `"crates/sim/src/…"`).
+    crate_keys: Vec<String>,
+    /// `(crate key, fn name)` → declaring `(file, fn)` indices in
+    /// sorted scan order.
+    defs: BTreeMap<(String, String), Vec<(usize, usize)>>,
+}
+
+/// The first two path components — the crate a scanned file belongs to.
+pub fn crate_key(rel: &str) -> String {
+    rel.split('/').take(2).collect::<Vec<_>>().join("/")
+}
+
+fn dir_of(rel: &str) -> &str {
+    rel.rsplit_once('/').map_or("", |(d, _)| d)
+}
+
+impl<'a> CallGraph<'a> {
+    /// Indexes every function declaration in `files`.
+    pub fn build(files: &'a [ParsedFile]) -> Self {
+        let crate_keys: Vec<String> = files.iter().map(|f| crate_key(&f.rel)).collect();
+        let mut defs: BTreeMap<(String, String), Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ni, f) in file.items.fns.iter().enumerate() {
+                defs.entry((crate_keys[fi].clone(), f.name.clone()))
+                    .or_default()
+                    .push((fi, ni));
+            }
+        }
+        CallGraph {
+            files,
+            crate_keys,
+            defs,
+        }
+    }
+
+    /// The files this graph was built over.
+    pub fn files(&self) -> &[ParsedFile] {
+        self.files
+    }
+
+    /// Resolves a call to `name` made from `from_file` to a declaring
+    /// `(file, fn)` pair: same file, else same directory, else the
+    /// first declaring file in scan order. `None` when the name is not
+    /// declared in the caller's crate (an external or method call).
+    pub fn resolve(&self, from_file: usize, name: &str) -> Option<(usize, usize)> {
+        let key = (self.crate_keys[from_file].clone(), name.to_string());
+        let cands = self.defs.get(&key)?;
+        cands
+            .iter()
+            .copied()
+            .find(|&(f, _)| f == from_file)
+            .or_else(|| {
+                let dir = dir_of(&self.files[from_file].rel);
+                cands
+                    .iter()
+                    .copied()
+                    .find(|&(f, _)| dir_of(&self.files[f].rel) == dir)
+            })
+            .or_else(|| cands.first().copied())
+    }
+
+    /// Transitive closure from `start`: union of body identifiers and
+    /// the set of reached function names.
+    pub fn closure(&self, start: (usize, usize)) -> Closure {
+        let mut out = Closure::default();
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some((fi, ni)) = stack.pop() {
+            if !seen.insert((fi, ni)) {
+                continue;
+            }
+            let file = &self.files[fi];
+            out.fn_names.insert(file.items.fns[ni].name.clone());
+            let Some(body) = file.items.fns[ni].body else {
+                continue;
+            };
+            for t in &file.toks[body.0..=body.1] {
+                if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                    out.idents.insert(t.text.clone());
+                }
+            }
+            for (_, name) in calls_in(&file.toks, body) {
+                if let Some(target) = self.resolve(fi, &name) {
+                    stack.push(target);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Call sites inside a body token range, in token order: identifiers
+/// immediately followed by `(` (or a turbofish then `(`), excluding
+/// keywords, macro invocations (`name!`), and nested `fn` headers.
+/// Returns `(token index, name)` pairs.
+pub fn calls_in(toks: &[Tok], range: (usize, usize)) -> Vec<(usize, String)> {
+    let (open, close) = range;
+    let sig: Vec<usize> = (open..=close.min(toks.len().saturating_sub(1)))
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut out = Vec::new();
+    for (w, &i) in sig.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        if w > 0 && toks[sig[w - 1]].is_ident("fn") {
+            continue;
+        }
+        let mut k = w + 1;
+        // Skip a turbofish: `name::<T>(…)`.
+        if sig.get(k).is_some_and(|&j| toks[j].is_punct(':'))
+            && sig.get(k + 1).is_some_and(|&j| toks[j].is_punct(':'))
+            && sig.get(k + 2).is_some_and(|&j| toks[j].is_punct('<'))
+        {
+            let mut angle = 0i32;
+            k += 2;
+            while let Some(&j) = sig.get(k) {
+                match toks[j].kind {
+                    TokKind::Punct('<') => angle += 1,
+                    TokKind::Punct('>') => {
+                        angle -= 1;
+                        if angle == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if sig.get(k).is_some_and(|&j| toks[j].is_punct('(')) {
+            out.push((i, t.text.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parse::parse_items;
+
+    fn pf(rel: &str, src: &str) -> ParsedFile {
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        ParsedFile {
+            rel: rel.to_string(),
+            toks,
+            items,
+        }
+    }
+
+    #[test]
+    fn closure_crosses_files_within_a_crate() {
+        let files = vec![
+            pf(
+                "crates/sim/src/engine/a.rs",
+                "pub fn run_x() { helper(); }\n",
+            ),
+            pf(
+                "crates/sim/src/engine/b.rs",
+                "pub fn helper() { SimDriver::touch(); }\n",
+            ),
+            pf(
+                "crates/core/src/c.rs",
+                "pub fn helper() { Other::nope(); }\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        let cl = g.closure((0, 0));
+        assert!(cl.idents.contains("SimDriver"), "cross-file delegation");
+        assert!(!cl.idents.contains("Other"), "never crosses crates");
+        assert!(cl.fn_names.contains("helper"));
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_same_dir() {
+        let files = vec![
+            pf("crates/sim/src/delivery.rs", "pub fn begin() { A(); }\n"),
+            pf(
+                "crates/sim/src/engine/driver.rs",
+                "pub fn begin() { B(); }\n",
+            ),
+            pf(
+                "crates/sim/src/engine/lockstep.rs",
+                "pub fn drive() { begin(); }\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        assert_eq!(g.resolve(2, "begin"), Some((1, 0)), "same dir wins");
+        assert_eq!(g.resolve(0, "begin"), Some((0, 0)), "same file wins");
+    }
+
+    #[test]
+    fn calls_skip_macros_and_definitions_but_take_turbofish() {
+        let src = "fn outer() { panic!(\"x\"); fn inner() {} run::<L>(1); plain(); }";
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        let body = items.fns[0].body.unwrap();
+        let names: Vec<String> = calls_in(&toks, body).into_iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["run", "plain"]);
+    }
+}

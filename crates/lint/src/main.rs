@@ -1,7 +1,8 @@
 //! `radio-lint` CLI — the CI red/green gate.
 //!
 //! ```text
-//! radio-lint [--root DIR] [--json PATH] [--expect-waivers N | --no-waiver-check]
+//! radio-lint [--root DIR] [--json PATH] [--only RULE]
+//!            [--expect-waivers N | --no-waiver-check]
 //! ```
 //!
 //! Prints one `file:line` diagnostic per unwaived violation, then a
@@ -9,7 +10,7 @@
 //! stdout. Exit codes: 0 clean, 1 violations found, 2 waiver-count
 //! drift, 3 usage or I/O error.
 
-use radio_lint::{run_lint, Report};
+use radio_lint::{run_lint_with, LintOptions, Report, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,18 +19,17 @@ use std::process::ExitCode;
 /// matching bump here (and a justification in the diff) — silent
 /// waiver creep fails CI.
 ///
-/// Current waivers (both in `crates/core/src/node.rs`):
-/// 1. `no-panic` on the Request-deadline arm: state R sets no
-///    deadline, so reaching it is an engine defect, not a recoverable
-///    protocol state.
-/// 2. `no-panic` on `message()` for waiting verify nodes: the engines
-///    never request a message from a silent node.
-const EXPECTED_WAIVERS: usize = 2;
+/// The budget is zero: the two historical `no-panic` waivers in
+/// `crates/core/src/node.rs` were burned down by replacing the panics
+/// with typed `BehaviorFault::ContractBreach` faults drained through
+/// `RadioProtocol::take_breach`.
+const EXPECTED_WAIVERS: usize = 0;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
     let mut expect_waivers: Option<usize> = Some(EXPECTED_WAIVERS);
+    let mut only: Option<Rule> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,6 +41,16 @@ fn main() -> ExitCode {
             "--json" => match args.next() {
                 Some(p) => json_out = Some(PathBuf::from(p)),
                 None => return usage("--json needs a path"),
+            },
+            "--only" => match args.next().as_deref().and_then(Rule::from_name) {
+                Some(r) => {
+                    only = Some(r);
+                    // A single-rule run is a focused query, not the CI
+                    // gate — the workspace-wide waiver budget does not
+                    // apply to it.
+                    expect_waivers = None;
+                }
+                None => return usage("--only needs a rule ID or slug (e.g. R7 or shard-phase)"),
             },
             "--expect-waivers" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => expect_waivers = Some(n),
@@ -63,7 +73,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run_lint(&root) {
+    let report = match run_lint_with(&root, &LintOptions { only }) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("radio-lint: scan failed: {e}");
@@ -125,23 +135,30 @@ const HELP: &str = "\
 radio-lint: offline determinism & protocol-conformance linter
 
 USAGE:
-    radio-lint [--root DIR] [--json PATH]
+    radio-lint [--root DIR] [--json PATH] [--only RULE]
                [--expect-waivers N | --no-waiver-check]
 
 OPTIONS:
     --root DIR          workspace root (default: walk up to [workspace])
     --json PATH         write the full report as JSON
+    --only RULE         run one rule (ID or slug); disables the waiver gate
     --expect-waivers N  override the committed waiver budget
     --no-waiver-check   skip the waiver-count gate
     -h, --help          this help
 
 RULES:
-    R1 ambient-time-rng     no Instant/SystemTime/thread_rng in sim library code
-    R2 hash-iteration       no HashMap/HashSet on deterministic paths
-    R3 no-panic             no unwrap/expect/panic! in engine hot paths
-    R4 hook-parity          run_* entry points need run_*_monitored siblings
-    R5 transition-table     LEGAL_TRANSITIONS <-> node.rs <-> invariants.rs
-    R6 service-ambient-rng  transport/colord: wall clock ok, ambient RNG banned
+    R1  ambient-time-rng     no Instant/SystemTime/thread_rng in sim library code
+    R2  hash-iteration       no HashMap/HashSet on deterministic paths
+    R3  no-panic             no unwrap/expect/panic! in engine hot paths
+    R4  hook-parity          run_* entries route through SimDriver or delegate
+                             (transitively) to their run_*_monitored sibling
+    R5  transition-table     LEGAL_TRANSITIONS <-> node.rs <-> invariants.rs
+    R6  service-ambient-rng  transport/colord: wall clock ok, ambient RNG banned
+    R7  shard-phase          sharded engine: cross-shard state only in phase_*
+                             fns behind Mutex/atomics; 6/2 barrier schedule
+    R8  hook-order           the three slot loops fire hooks in one order
+    R9  wire-exhaustive      wire enums covered in encode/decode/dispatch
+    R10 interior-mutability  no Cell/RefCell/unsafe in shard-shared types
 
 Waive inline: // lint:allow(<rule>): <reason>
 Exit codes: 0 clean, 1 violations, 2 waiver drift, 3 usage/I-O error.
@@ -180,6 +197,16 @@ fn report_json(report: &Report) -> String {
         report.waivers.len(),
         report.files_scanned
     ));
+    s.push_str("  \"timings_ms\": {");
+    for (i, (id, ms)) in report.timings_ms.iter().enumerate() {
+        s.push_str(&format!(
+            "{}{}: {:.3}",
+            if i == 0 { "" } else { ", " },
+            json_str(id),
+            ms
+        ));
+    }
+    s.push_str("},\n");
     s.push_str("  \"diagnostics\": [\n");
     for (i, d) in report.violations.iter().enumerate() {
         s.push_str(&format!(

@@ -5,7 +5,7 @@
 //! ID; inline waivers (`// lint:allow(<rule>): <reason>`) are applied
 //! by [`crate::run_lint`], not here.
 
-use crate::lexer::{fn_body, Tok, TokKind};
+use crate::lexer::{Tok, TokKind};
 use std::fmt;
 
 /// The enforced rules (plus the waiver-syntax meta rule).
@@ -32,6 +32,24 @@ pub enum Rule {
     /// banned, because protocol coin flips must replay from
     /// `node_rng(seed, id)` regardless of which transport carries them.
     ServiceAmbientRng,
+    /// R7: in the sharded engine, cross-shard state (`Ctx::mailbox`,
+    /// the `Shared` block) is touched only inside `phase_*` functions
+    /// and only through its synchronization, and the `SpinBarrier`
+    /// schedule keeps the documented 6-wait monitored / 2-wait
+    /// unmonitored shape in both slot loops.
+    ShardPhase,
+    /// R8: the three slot loops (`lockstep::drive`,
+    /// `SlotStepper::step`, `pump_node`) fire monitor/channel hooks in
+    /// the same event-class order.
+    HookOrder,
+    /// R9: every wire-enum variant is covered in `encode`, `decode`,
+    /// and the colord server dispatch; `EventKind` variants each have
+    /// a producer and a consumer.
+    WireExhaustive,
+    /// R10: no `Cell`-family types, `unsafe`, or mutable statics in
+    /// engine code or in any type reachable from the sharded engine's
+    /// shared state.
+    InteriorMutability,
     /// A malformed `lint:allow` waiver comment.
     WaiverSyntax,
 }
@@ -46,6 +64,10 @@ impl Rule {
             Rule::HookParity => "R4",
             Rule::TransitionTable => "R5",
             Rule::ServiceAmbientRng => "R6",
+            Rule::ShardPhase => "R7",
+            Rule::HookOrder => "R8",
+            Rule::WireExhaustive => "R9",
+            Rule::InteriorMutability => "R10",
             Rule::WaiverSyntax => "W0",
         }
     }
@@ -59,6 +81,10 @@ impl Rule {
             Rule::HookParity => "hook-parity",
             Rule::TransitionTable => "transition-table",
             Rule::ServiceAmbientRng => "service-ambient-rng",
+            Rule::ShardPhase => "shard-phase",
+            Rule::HookOrder => "hook-order",
+            Rule::WireExhaustive => "wire-exhaustive",
+            Rule::InteriorMutability => "interior-mutability",
             Rule::WaiverSyntax => "waiver-syntax",
         }
     }
@@ -72,6 +98,10 @@ impl Rule {
             Rule::HookParity,
             Rule::TransitionTable,
             Rule::ServiceAmbientRng,
+            Rule::ShardPhase,
+            Rule::HookOrder,
+            Rule::WireExhaustive,
+            Rule::InteriorMutability,
             Rule::WaiverSyntax,
         ]
         .into_iter()
@@ -363,100 +393,6 @@ pub fn check_panic(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
                 if bang.is_punct('!') {
                     out.push(diag(t.line, format!("`{}!`", t.text)));
                 }
-            }
-        }
-    }
-    out
-}
-
-/// R4: `run_*` / `run_*_monitored` hook parity within one engine file.
-///
-/// Under the unified-driver architecture every entry point must route
-/// through `SimDriver` (which threads `ChannelModel` and
-/// `InvariantMonitor` by construction), either directly or by
-/// delegating to a sibling that does:
-///
-/// * a `run_*_monitored` body must mention `SimDriver`, or — for an
-///   engine that still hand-threads its hooks — both `monitor` and
-///   `channel`;
-/// * a plain `run_*` body must mention `SimDriver` or delegate to its
-///   `run_*_monitored` sibling in the same file (which must exist).
-pub fn check_hook_parity(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
-    // Collect `pub fn run_*` definitions.
-    let mut fns: Vec<(String, usize, u32)> = Vec::new();
-    for i in 0..toks.len() {
-        if toks[i].is_ident("pub")
-            && toks.get(i + 1).is_some_and(|t| t.is_ident("fn"))
-            && toks
-                .get(i + 2)
-                .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("run_"))
-        {
-            fns.push((toks[i + 2].text.clone(), i + 1, toks[i + 2].line));
-        }
-    }
-    let mut out = Vec::new();
-    let names: Vec<&str> = fns.iter().map(|(n, _, _)| n.as_str()).collect();
-    for (name, fn_idx, line) in &fns {
-        let body_idents = |fn_idx: usize| -> Vec<&str> {
-            match fn_body(toks, fn_idx) {
-                Some((open, close)) => toks[open..close]
-                    .iter()
-                    .filter(|t| t.kind == TokKind::Ident)
-                    .map(|t| t.text.as_str())
-                    .collect(),
-                None => Vec::new(),
-            }
-        };
-        let idents = body_idents(*fn_idx);
-        let via_driver = idents.contains(&"SimDriver");
-        if name.ends_with("_monitored") {
-            // The monitored entry must route through the unified driver
-            // or thread both hook layers itself.
-            if via_driver {
-                continue;
-            }
-            for hook in ["monitor", "channel"] {
-                if !idents.contains(&hook) {
-                    out.push(Diagnostic {
-                        file: file.to_string(),
-                        line: *line,
-                        rule: Rule::HookParity,
-                        message: format!(
-                            "`{name}` neither routes through `SimDriver` nor \
-                             threads the `{hook}` hook (monitored entry points \
-                             must drive both `ChannelModel` and \
-                             `InvariantMonitor`)"
-                        ),
-                    });
-                }
-            }
-        } else if via_driver {
-            // Routing through the driver gives plain and monitored runs
-            // the same code path by construction.
-            continue;
-        } else {
-            let sibling = format!("{name}_monitored");
-            if !names.contains(&sibling.as_str()) {
-                out.push(Diagnostic {
-                    file: file.to_string(),
-                    line: *line,
-                    rule: Rule::HookParity,
-                    message: format!(
-                        "engine entry point `{name}` routes around `SimDriver` \
-                         and has no `{sibling}` sibling"
-                    ),
-                });
-            } else if !idents.contains(&sibling.as_str()) {
-                out.push(Diagnostic {
-                    file: file.to_string(),
-                    line: *line,
-                    rule: Rule::HookParity,
-                    message: format!(
-                        "`{name}` neither routes through `SimDriver` nor \
-                         delegates to `{sibling}` (plain and monitored runs \
-                         must share one code path)"
-                    ),
-                });
             }
         }
     }

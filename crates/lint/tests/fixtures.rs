@@ -1,8 +1,9 @@
 //! Runs the linter over the red/green fixture corpora under
 //! `tests/fixtures/` and pins the exact per-rule outcome. Each rule
-//! R1–R5 has at least one red (violations) and one green (clean)
+//! R1–R10 has at least one red (violations) and one green (clean)
 //! fixture; the corpora mirror real workspace-relative paths so the
-//! scope logic in `run_lint` is exercised identically.
+//! scope logic (and the path-anchored semantic rules R7–R9) in
+//! `run_lint` is exercised identically.
 
 use radio_lint::{run_lint, Rule};
 use std::path::PathBuf;
@@ -28,8 +29,11 @@ fn clean_corpus_is_green() {
     );
     // `transport/src/pacing.rs` uses `Instant` twice and still comes
     // back green: the R1/R6 scope split (not a waiver) is what lets
-    // service code read the wall clock.
-    assert_eq!(report.files_scanned, 6, "pacing.rs must be in scope");
+    // service code read the wall clock. The corpus also carries green
+    // anchors for the semantic rules: a disciplined `engine/sharded.rs`
+    // (R7/R10), the three conforming slot loops (R8), and a fully
+    // covered wire enum + dispatch + event kinds (R9).
+    assert_eq!(report.files_scanned, 13, "full green corpus in scope");
     // The one deliberate, justified waiver in `engine/good.rs` — it
     // both proves waiver application suppresses a real finding and
     // that waivers are counted.
@@ -59,6 +63,21 @@ fn violation_corpus_is_red_per_rule() {
     // R5: unmarked assignment + illegal node edge + malformed marker,
     // illegal monitor edge, unadjudicated table edge, duplicate entry.
     assert_eq!(count(&report, Rule::TransitionTable), 6);
+    // R7, all in `engine/sharded.rs`: unlocked mailbox touch in
+    // `phase_tx`, mailbox traffic in non-phase `collect_all`, raw
+    // write + raw read of `Shared` fields in `phase_report`, a 5-wait
+    // monitored barrier schedule, and only one barrier site.
+    assert_eq!(count(&report, Rule::ShardPhase), 6);
+    // R8: `transport/src/pump.rs` delivers before it transmits while
+    // the lockstep reference and the core stepper agree.
+    assert_eq!(count(&report, Rule::HookOrder), 1);
+    // R9: `decode` hole in `colord/src/wire.rs`, a dropped variant in
+    // the server dispatch, and a consumer-less `EventKind::Tx`.
+    assert_eq!(count(&report, Rule::WireExhaustive), 3);
+    // R10: RefCell + `unsafe` + `static mut` directly in
+    // `engine/cells.rs`, plus the RefCell in `sim/src/side.rs` reached
+    // only through the sharded engine's `ShardState::outbox` field.
+    assert_eq!(count(&report, Rule::InteriorMutability), 4);
     // W0: unknown rule name, missing justification.
     assert_eq!(count(&report, Rule::WaiverSyntax), 2);
     // Malformed waivers never count as waivers.

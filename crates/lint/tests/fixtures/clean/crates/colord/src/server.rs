@@ -1,0 +1,10 @@
+//! Fixture: the service dispatch routes every wire `Request` variant
+//! — R9's dispatch check comes back green.
+
+pub fn handle(req: Request) -> u8 {
+    match req {
+        Request::Join => 1,
+        Request::Leave => 2,
+        Request::Heartbeat => 3,
+    }
+}

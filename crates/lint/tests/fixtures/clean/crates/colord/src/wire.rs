@@ -1,0 +1,27 @@
+//! Fixture: a wire enum whose `WireMessage` impl covers every variant
+//! in both `encode` and `decode` — R9 comes back green.
+
+pub enum Request {
+    Join,
+    Leave,
+    Heartbeat,
+}
+
+impl WireMessage for Request {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Join => out.push(1),
+            Request::Leave => out.push(2),
+            Request::Heartbeat => out.push(3),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Request> {
+        match bytes.first() {
+            Some(1) => Some(Request::Join),
+            Some(2) => Some(Request::Leave),
+            Some(3) => Some(Request::Heartbeat),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: the honest-FSM slot stepper for R8 — hooks split across
+//! two helpers but still firing in the canonical event-class order.
+
+pub struct SlotStepper;
+
+impl SlotStepper {
+    pub fn step(&mut self, slot: u64) {
+        self.begin_slot(slot);
+        self.finish_slot(slot);
+    }
+
+    fn begin_slot(&mut self, slot: u64) {
+        self.node.on_wake(slot);
+        self.monitor.after_wake(slot);
+        self.node.on_deadline(slot);
+        self.monitor.after_deadline(slot);
+    }
+
+    fn finish_slot(&mut self, slot: u64) {
+        let msg = self.node.message(slot);
+        self.monitor.on_transmit(slot, msg);
+        self.node.on_receive(slot, msg);
+        self.monitor.after_receive(slot);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: every event kind has both a producer (heap push) and a
+//! consumer (match arm) — R9's symmetric coverage check comes back
+//! green.
+
+pub enum EventKind {
+    Wake,
+    Deadline,
+}
+
+pub fn schedule(heap: &mut Vec<(u64, EventKind)>, slot: u64) {
+    heap.push((slot, EventKind::Wake));
+    heap.push((slot, EventKind::Deadline));
+}
+
+pub fn consume(ev: EventKind) -> u64 {
+    match ev {
+        EventKind::Wake => 1,
+        EventKind::Deadline => 2,
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: the reference slot loop for R8 — monitored hooks fired in
+//! the canonical Wake, Deadline, Transmit, Receive order, with the
+//! wake phase behind a helper to exercise the call-graph walk.
+
+pub fn drive(nodes: &mut [Node], m: &mut Monitor, slot: u64) {
+    wake_phase(nodes, m, slot);
+    for n in nodes.iter_mut() {
+        n.on_deadline(slot);
+        m.after_deadline(slot);
+    }
+    for n in nodes.iter_mut() {
+        let msg = n.message(slot);
+        m.on_transmit(slot, msg);
+    }
+    for n in nodes.iter_mut() {
+        n.on_receive(slot);
+        m.after_receive(slot);
+    }
+}
+
+fn wake_phase(nodes: &mut [Node], m: &mut Monitor, slot: u64) {
+    for n in nodes.iter_mut() {
+        n.on_wake(slot);
+        m.after_wake(slot);
+    }
+}

@@ -1,0 +1,78 @@
+//! Fixture: a miniature sharded engine that obeys the shard-phase
+//! discipline (R7) — mailbox traffic only in `phase_*` functions
+//! behind a lock, `Shared` fields only through atomics / `Mutex`, and
+//! the 6/2 barrier schedule in both slot loops.
+
+pub struct Shared {
+    pub stop: AtomicBool,
+    pub undecided: AtomicUsize,
+    pub error: Mutex<Option<u32>>,
+    pub all_decided: AtomicBool,
+}
+
+pub struct Ctx<'a> {
+    pub shared: &'a Shared,
+    pub mailbox: &'a [Vec<Mutex<Vec<u64>>>],
+}
+
+pub struct ShardState {
+    pub id: usize,
+    pub staged: Vec<u64>,
+}
+
+impl ShardState {
+    fn phase_tx(&mut self, ctx: &Ctx<'_>, dst: usize) {
+        let mut q = ctx.mailbox[self.id][dst].lock();
+        q.append(&mut self.staged);
+        ctx.shared.undecided.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn phase_deliver(&mut self, ctx: &Ctx<'_>) {
+        for row in ctx.mailbox {
+            let mut q = row[self.id].lock();
+            self.staged.append(&mut q);
+        }
+        if ctx.shared.stop.load(Ordering::Relaxed) {
+            ctx.shared.all_decided.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(state: &mut ShardState, ctx: &Ctx<'_>, barrier: &SpinBarrier, monitored: bool) {
+    loop {
+        state.phase_tx(ctx, 0);
+        state.phase_deliver(ctx);
+        if monitored {
+            barrier.wait();
+            barrier.wait();
+            barrier.wait();
+            barrier.wait();
+            barrier.wait();
+            barrier.wait();
+        } else {
+            barrier.wait();
+            barrier.wait();
+        }
+        if ctx.shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+}
+
+fn main_loop(state: &mut ShardState, ctx: &Ctx<'_>, barrier: &SpinBarrier, monitored: bool) {
+    state.phase_tx(ctx, 0);
+    state.phase_deliver(ctx);
+    if monitored {
+        barrier.wait();
+        barrier.wait();
+        barrier.wait();
+        barrier.wait();
+        barrier.wait();
+        barrier.wait();
+    } else {
+        barrier.wait();
+        barrier.wait();
+    }
+    let e = ctx.shared.error.lock();
+    drop(e);
+}

@@ -1,0 +1,16 @@
+//! Fixture: the transport pump for R8 — a single-layer hook sequence
+//! (no monitor mirror calls) that still collapses to the canonical
+//! Wake, Deadline, Transmit, Receive class order.
+
+pub fn pump_node(p: &mut Proto, slot: u64) -> u64 {
+    p.on_wake(slot);
+    p.on_deadline(slot);
+    let msg = p.message(slot);
+    let sent = send(msg);
+    p.on_receive(slot, msg);
+    sent
+}
+
+fn send(msg: u64) -> u64 {
+    msg
+}

@@ -1,0 +1,10 @@
+//! Fixture: the service dispatch silently drops a wire variant — R9
+//! must flag the `Request` the server never routes.
+
+pub fn handle(req: Request) -> u8 {
+    match req {
+        Request::Join => 1,
+        Request::Leave => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: the `WireMessage` impl's `decode` has a hole — R9 must
+//! flag the variant `encode` can produce but `decode` never returns.
+
+pub enum Request {
+    Join,
+    Leave,
+    Heartbeat,
+}
+
+impl WireMessage for Request {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Join => out.push(1),
+            Request::Leave => out.push(2),
+            Request::Heartbeat => out.push(3),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Request> {
+        match bytes.first() {
+            Some(1) => Some(Request::Join),
+            Some(2) => Some(Request::Leave),
+            _ => None,
+        }
+    }
+}

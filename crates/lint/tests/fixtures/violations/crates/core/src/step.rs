@@ -1,0 +1,14 @@
+//! Fixture: a conforming slot stepper — R8's violation is in the
+//! transport pump, not here.
+
+pub struct SlotStepper;
+
+impl SlotStepper {
+    pub fn step(&mut self, slot: u64) {
+        self.node.on_wake(slot);
+        self.node.on_deadline(slot);
+        let msg = self.node.message(slot);
+        self.sink.on_transmit(slot, msg);
+        self.node.on_receive(slot, msg);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: interior mutability, `unsafe`, and a mutable static
+//! directly in engine code — three R10 blanket findings.
+
+pub struct CellBank {
+    pub counter: RefCell<u64>,
+}
+
+pub static mut GLOBAL_SLOT: u64 = 0;
+
+pub fn bump(bank: &CellBank) -> u64 {
+    let v = bank.counter.borrow_mut();
+    unsafe { GLOBAL_SLOT += 1 };
+    *v
+}

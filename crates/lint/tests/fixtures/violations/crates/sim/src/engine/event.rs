@@ -1,0 +1,22 @@
+//! Fixture: `EventKind::Tx` has a producer but no consumer — R9's
+//! symmetric coverage check must flag it.
+
+pub enum EventKind {
+    Wake,
+    Deadline,
+    Tx,
+}
+
+pub fn schedule(heap: &mut Vec<(u64, EventKind)>, slot: u64) {
+    heap.push((slot, EventKind::Wake));
+    heap.push((slot, EventKind::Deadline));
+    heap.push((slot, EventKind::Tx));
+}
+
+pub fn consume(ev: EventKind) -> u64 {
+    match ev {
+        EventKind::Wake => 1,
+        EventKind::Deadline => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,62 @@
+//! Fixture: breaks the shard-phase discipline in every way R7
+//! catches — an unlocked mailbox touch, mailbox traffic outside a
+//! `phase_*` function, raw `Shared` field access, a short barrier
+//! schedule, and only one barrier site.
+
+pub struct Shared {
+    pub stop: AtomicBool,
+    pub error: Mutex<Option<u32>>,
+    pub count: usize,
+    pub done: bool,
+}
+
+pub struct Ctx<'a> {
+    pub shared: &'a Shared,
+    pub mailbox: &'a [Vec<Mutex<Vec<u64>>>],
+}
+
+pub struct ShardState {
+    pub id: usize,
+    pub outbox: SideBuffer,
+}
+
+impl ShardState {
+    fn phase_tx(&mut self, ctx: &Ctx<'_>) {
+        let row = &ctx.mailbox[self.id];
+        let n = row.len();
+        self.id += n;
+    }
+
+    fn collect_all(&mut self, ctx: &Ctx<'_>) {
+        for row in ctx.mailbox {
+            let q = row[self.id].lock();
+            self.id += q.len();
+        }
+    }
+
+    fn phase_report(&mut self, ctx: &Ctx<'_>) {
+        ctx.shared.done = true;
+        let w = ctx.shared.count;
+        self.id = w;
+    }
+}
+
+fn worker_loop(state: &mut ShardState, ctx: &Ctx<'_>, barrier: &SpinBarrier, monitored: bool) {
+    state.phase_tx(ctx);
+    state.collect_all(ctx);
+    state.phase_report(ctx);
+    if monitored {
+        barrier.wait();
+        barrier.wait();
+        barrier.wait();
+        barrier.wait();
+        barrier.wait();
+    } else {
+        barrier.wait();
+        barrier.wait();
+    }
+    if ctx.shared.stop.load(Ordering::Relaxed) {
+        let e = ctx.shared.error.lock();
+        drop(e);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: interior mutability that is only *reachable* from the
+//! sharded engine's state — `ShardState::outbox` in
+//! `engine/sharded.rs` is a `SideBuffer`, so R10's type closure must
+//! walk across files and flag the `RefCell` here.
+
+pub struct SideBuffer {
+    pub cache: RefCell<Vec<u64>>,
+}

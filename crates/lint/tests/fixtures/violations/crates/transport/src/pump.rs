@@ -1,0 +1,11 @@
+//! Fixture: a slot loop that delivers before it transmits — R8 must
+//! flag the Receive/Transmit inversion against the lockstep
+//! reference.
+
+pub fn pump_node(p: &mut Proto, slot: u64) -> u64 {
+    p.on_wake(slot);
+    p.on_deadline(slot);
+    p.on_receive(slot, 0);
+    let msg = p.message(slot);
+    msg
+}

@@ -1,18 +1,24 @@
 //! The linter's own dogfood gate: the real workspace must be
-//! lint-clean at exactly the committed waiver budget. This is the same
-//! check `ci.sh` runs via the binary, kept as a test so plain
-//! `cargo test` catches regressions without invoking the CLI.
+//! lint-clean at exactly the committed waiver budget, and the
+//! semantic rules must be demonstrably *engaged* — R8's three hook
+//! sequences extracted and equal, R7/R9/R10 anchored on files that
+//! exist. This is the same check `ci.sh` runs via the binary, kept as
+//! a test so plain `cargo test` catches regressions without invoking
+//! the CLI.
 
-use radio_lint::{run_lint, Rule};
+use radio_lint::{hook_order_sequences, run_lint, run_lint_with, LintOptions, Rule};
 use std::path::PathBuf;
 
 /// Must match `EXPECTED_WAIVERS` in `src/main.rs`.
-const EXPECTED_WAIVERS: usize = 2;
+const EXPECTED_WAIVERS: usize = 0;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
 
 #[test]
 fn workspace_is_lint_clean() {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let report = run_lint(&root).expect("scan workspace");
+    let report = run_lint(&workspace_root()).expect("scan workspace");
     assert!(
         report.files_scanned > 20,
         "expected to scan the full crates/ tree, got {} files",
@@ -34,10 +40,43 @@ fn workspace_is_lint_clean() {
         "waiver count drifted — update the budget (with justification) in \
          crates/lint/src/main.rs AND crates/lint/tests/self_check.rs"
     );
-    // The committed waivers are both no-panic waivers in node.rs.
-    for w in &report.waivers {
-        assert_eq!(w.rule, Rule::NoPanic);
-        assert_eq!(w.file, "crates/core/src/node.rs");
-        assert!(!w.reason.is_empty());
+    // Every rule reports a wall-time entry (R1..R10 + W0).
+    assert_eq!(report.timings_ms.len(), 11);
+    assert!(report.timings_ms.iter().any(|(id, _)| *id == "R7"));
+}
+
+/// R8 is only meaningful if all three slot loops were actually found
+/// and walked: the sequences must exist, be non-trivial, and agree.
+#[test]
+fn hook_sequences_extracted_and_equal() {
+    let seqs = hook_order_sequences(&workspace_root()).expect("scan workspace");
+    assert_eq!(
+        seqs.len(),
+        3,
+        "expected the lockstep, stepper and pump slot loops, got: {:?}",
+        seqs.iter().map(|s| &s.file).collect::<Vec<_>>()
+    );
+    for s in &seqs {
+        assert_eq!(
+            s.classes,
+            ["Wake", "Deadline", "Transmit", "Receive"],
+            "`{}::{}` drives hooks out of order",
+            s.file,
+            s.fn_name
+        );
     }
+}
+
+/// `--only` narrows the report to one rule without breaking the scan.
+#[test]
+fn only_filter_narrows_to_one_rule() {
+    let report = run_lint_with(
+        &workspace_root(),
+        &LintOptions {
+            only: Some(Rule::ShardPhase),
+        },
+    )
+    .expect("scan workspace");
+    assert!(report.violations.iter().all(|d| d.rule == Rule::ShardPhase));
+    assert!(report.violations.is_empty());
 }

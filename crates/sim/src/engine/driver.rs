@@ -363,6 +363,9 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     pub fn fire_deadline(&mut self, v: NodeId, slot: Slot) -> bool {
         let vi = v as usize;
         let b = self.protocols[vi].on_deadline(slot, &mut self.rngs[vi]);
+        if self.check_breach(v, slot) {
+            return false;
+        }
         if let Err(fault) = b.validate_at(slot) {
             self.error = Some(ProtocolError {
                 node: v,
@@ -397,6 +400,10 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     pub fn compose(&mut self, v: NodeId, slot: Slot) -> P::Message {
         let vi = v as usize;
         let msg = self.protocols[vi].message(slot, &mut self.rngs[vi]);
+        // A breach here cannot stop composition (the engine owns the
+        // message's fate); the recorded error vetoes `all_decided` and
+        // surfaces in the outcome like any other protocol error.
+        self.check_breach(v, slot);
         self.monitor.on_transmit(v, slot, &msg, &self.protocols[vi]);
         self.stats[vi].sent += 1;
         msg
@@ -468,8 +475,12 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     pub fn deliver(&mut self, u: NodeId, slot: Slot, msg: &P::Message) -> Result<bool, ()> {
         let ui = u as usize;
         self.stats[ui].received += 1;
+        let nb = self.protocols[ui].on_receive(slot, msg, &mut self.rngs[ui]);
+        if self.check_breach(u, slot) {
+            return Err(());
+        }
         let mut changed = false;
-        if let Some(nb) = self.protocols[ui].on_receive(slot, msg, &mut self.rngs[ui]) {
+        if let Some(nb) = nb {
             if let Err(fault) = nb.validate_at(slot) {
                 self.error = Some(ProtocolError {
                     node: u,
@@ -494,6 +505,9 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
     #[inline]
     fn install(&mut self, v: NodeId, slot: Slot, b: Behavior) -> bool {
         let vi = v as usize;
+        if self.check_breach(v, slot) {
+            return false;
+        }
         if let Err(fault) = b.validate_at(slot) {
             self.error = Some(ProtocolError {
                 node: v,
@@ -506,6 +520,24 @@ impl<'a, P: RadioProtocol, M: InvariantMonitor<P>> SimDriver<'a, P, M> {
         self.monitor.after_wake(v, slot, &self.protocols[vi]);
         self.note_decided(v, slot);
         true
+    }
+
+    /// Polls [`RadioProtocol::take_breach`] after a callback on `v`:
+    /// records the typed error and returns `true` if the last callback
+    /// was invoked outside the driver contract.
+    #[inline]
+    fn check_breach(&mut self, v: NodeId, slot: Slot) -> bool {
+        match self.protocols[v as usize].take_breach() {
+            Some(fault) => {
+                self.error = Some(ProtocolError {
+                    node: v,
+                    slot,
+                    fault,
+                });
+                true
+            }
+            None => false,
+        }
     }
 
     /// Flips `v`'s decided flag (once) when its protocol reports

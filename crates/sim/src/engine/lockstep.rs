@@ -219,6 +219,57 @@ mod tests {
         }
     }
 
+    /// Reports a contract breach from its first `on_wake`.
+    struct Breacher {
+        pending: Option<&'static str>,
+    }
+
+    impl RadioProtocol for Breacher {
+        type Message = u32;
+
+        fn on_wake(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            self.pending = Some("test breach");
+            Behavior::Silent { until: None }
+        }
+
+        fn on_deadline(&mut self, _now: Slot, _rng: &mut SmallRng) -> Behavior {
+            Behavior::Silent { until: None }
+        }
+
+        fn message(&mut self, _now: Slot, _rng: &mut SmallRng) -> u32 {
+            0
+        }
+
+        fn on_receive(&mut self, _now: Slot, _msg: &u32, _rng: &mut SmallRng) -> Option<Behavior> {
+            None
+        }
+
+        fn is_decided(&self) -> bool {
+            false
+        }
+
+        fn take_breach(&mut self) -> Option<crate::protocol::BehaviorFault> {
+            self.pending
+                .take()
+                .map(|context| crate::protocol::BehaviorFault::ContractBreach { context })
+        }
+    }
+
+    #[test]
+    fn contract_breach_surfaces_as_typed_error() {
+        let g = path(2);
+        let protos = vec![Breacher { pending: None }, Breacher { pending: None }];
+        let out = run_lockstep(&g, &[0, 0], protos, 7, &SimConfig::default());
+        let err = out.error.expect("breach must surface as a protocol error");
+        assert_eq!(
+            err.fault,
+            crate::protocol::BehaviorFault::ContractBreach {
+                context: "test breach"
+            }
+        );
+        assert!(!out.all_decided);
+    }
+
     #[test]
     fn single_transmitter_delivers_every_slot() {
         // Path 0-1-2: node 0 transmits always, 1 and 2 silent listeners.

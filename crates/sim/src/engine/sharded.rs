@@ -277,6 +277,10 @@ impl<P: RadioProtocol> ShardState<P> {
             ctx.shared.woken.fetch_add(1, Ordering::Relaxed);
             let g = self.members[li];
             let b = self.protocols[li].on_wake(slot, &mut self.rngs[li]);
+            if let Some(fault) = self.protocols[li].take_breach() {
+                self.fail(ctx.shared, g, slot, fault);
+                return;
+            }
             if let Err(fault) = b.validate_at(slot) {
                 self.fail(ctx.shared, g, slot, fault);
                 return;
@@ -295,6 +299,10 @@ impl<P: RadioProtocol> ShardState<P> {
             }
             let g = self.members[li];
             let b = self.protocols[li].on_deadline(slot, &mut self.rngs[li]);
+            if let Some(fault) = self.protocols[li].take_breach() {
+                self.fail(ctx.shared, g, slot, fault);
+                return;
+            }
             if let Err(fault) = b.validate_at(slot) {
                 self.fail(ctx.shared, g, slot, fault);
                 return;
@@ -326,6 +334,10 @@ impl<P: RadioProtocol> ShardState<P> {
             }
             let g = self.members[li];
             let msg = self.protocols[li].message(slot, &mut self.rngs[li]);
+            if let Some(fault) = self.protocols[li].take_breach() {
+                self.fail(ctx.shared, g, slot, fault);
+                return;
+            }
             self.stats[li].sent += 1;
             if ctx.record {
                 self.rec_sent.push(g);
@@ -394,9 +406,13 @@ impl<P: RadioProtocol> ShardState<P> {
                         continue;
                     };
                     self.stats[li].received += 1;
+                    let nb = self.protocols[li].on_receive(slot, &msg, &mut self.rngs[li]);
+                    if let Some(fault) = self.protocols[li].take_breach() {
+                        self.fail(ctx.shared, g, slot, fault);
+                        return;
+                    }
                     let mut changed = false;
-                    if let Some(nb) = self.protocols[li].on_receive(slot, &msg, &mut self.rngs[li])
-                    {
+                    if let Some(nb) = nb {
                         if let Err(fault) = nb.validate_at(slot) {
                             self.fail(ctx.shared, g, slot, fault);
                             return;

@@ -49,6 +49,15 @@ pub enum BehaviorFault {
         /// The (non-future) deadline it carried.
         until: Slot,
     },
+    /// A driver called a callback outside the documented intra-slot
+    /// contract (e.g. fired a deadline in a state that set none, or
+    /// requested a message from a silent node). The protocol answered
+    /// with a benign fallback and recorded the breach via
+    /// [`RadioProtocol::take_breach`].
+    ContractBreach {
+        /// A static description of the violated contract clause.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for BehaviorFault {
@@ -59,6 +68,9 @@ impl fmt::Display for BehaviorFault {
             }
             BehaviorFault::StaleDeadline { now, until } => {
                 write!(f, "deadline {until} not after current slot {now}")
+            }
+            BehaviorFault::ContractBreach { context } => {
+                write!(f, "driver breached the protocol contract: {context}")
             }
         }
     }
@@ -189,6 +201,22 @@ pub trait RadioProtocol {
     /// final decision). A decided node may keep transmitting — e.g.
     /// nodes in `C_i` broadcast until the protocol is stopped.
     fn is_decided(&self) -> bool;
+
+    /// Drains the contract breach recorded by the last callback, if any.
+    ///
+    /// A protocol driven outside its documented contract (a deadline
+    /// fired in a state that set none, a message requested from a
+    /// silent node) must not panic: it returns a benign, well-formed
+    /// value from the callback and records a
+    /// [`BehaviorFault::ContractBreach`] here. Every driver polls this
+    /// immediately after each callback and converts a recorded breach
+    /// into a typed [`ProtocolError`] at the exact `(node, slot)`, so a
+    /// driver defect surfaces as a structured error instead of a
+    /// process abort. The default implementation (for protocols with no
+    /// unreachable callback states) reports no breach.
+    fn take_breach(&mut self) -> Option<BehaviorFault> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,19 @@ where
     P::Message: WireMessage,
     T: Transport,
 {
+    // Drains a contract breach recorded by the last protocol callback
+    // into the typed error every driver reports for one.
+    fn breach_check<P: RadioProtocol, E>(
+        protocol: &mut P,
+        node: NodeId,
+        slot: Slot,
+    ) -> Result<(), PumpError<E>> {
+        match protocol.take_breach() {
+            Some(fault) => Err(PumpError::Protocol(ProtocolError { node, slot, fault })),
+            None => Ok(()),
+        }
+    }
+
     let mut behavior: Option<Behavior> = None;
     let mut report = NodeReport {
         wake,
@@ -155,6 +168,7 @@ where
         // (a fresh segment's deadline is strictly in the future).
         if awake && behavior.is_none() {
             let b = protocol.on_wake(slot, rng);
+            breach_check(protocol, node, slot)?;
             b.validate_at(slot)
                 .map_err(|fault| PumpError::Protocol(ProtocolError { node, slot, fault }))?;
             behavior = Some(b);
@@ -162,6 +176,7 @@ where
         } else if let Some(b) = behavior {
             if b.until() == Some(slot) {
                 let nb = protocol.on_deadline(slot, rng);
+                breach_check(protocol, node, slot)?;
                 nb.validate_at(slot)
                     .map_err(|fault| PumpError::Protocol(ProtocolError { node, slot, fault }))?;
                 behavior = Some(nb);
@@ -178,6 +193,7 @@ where
                 transmitted = true;
                 report.sent += 1;
                 let msg = protocol.message(slot, rng);
+                breach_check(protocol, node, slot)?;
                 Some(msg.to_payload())
             }
             _ => None,
@@ -195,7 +211,9 @@ where
                     error,
                 })?;
                 report.received += 1;
-                if let Some(nb) = protocol.on_receive(slot, &msg, rng) {
+                let nb = protocol.on_receive(slot, &msg, rng);
+                breach_check(protocol, node, slot)?;
+                if let Some(nb) = nb {
                     nb.validate_at(slot).map_err(|fault| {
                         PumpError::Protocol(ProtocolError { node, slot, fault })
                     })?;
