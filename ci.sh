@@ -183,29 +183,72 @@ if [[ $quick -eq 0 ]]; then
     # timeout. Merges colord_clients / colord_messages /
     # colord_msgs_per_sec into BENCH_sim.json for the perf trajectory.
     if [[ $colord -eq 1 ]]; then
-        echo "==> colord smoke (TCP service gate)"
-        rm -f colord_smoke.out
-        # κ̂₂ = 7: the load generator's 0.75-spacing lattice is
-        # triangle-free, so its cliques are edges (see colord-load docs).
-        ./target/release/colord --seed 7 --kappa2 7 > colord_smoke.out &
-        colord_pid=$!
-        port=""
-        for _ in $(seq 100); do
-            port=$(sed -n 's/^colord: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' colord_smoke.out)
-            [[ -n "$port" ]] && break
-            sleep 0.1
-        done
-        if [[ -z "$port" ]]; then
-            echo "ci.sh: colord did not report a listening port" >&2
-            kill "$colord_pid" 2>/dev/null || true
+        # One smoke leg: boot colord with the given extra server flags,
+        # drive colord-load with the given extra generator flags, and
+        # require a complete, conflict-free coloring plus a clean
+        # shutdown. No --kappa2 on the server: the online estimator
+        # must discover the 0.75-spacing lattice's clique bound by
+        # itself (the E21 acceptance), so every leg doubles as the
+        # estimator gate.
+        colord_smoke_leg() {
+            local server_flags="$1" load_flags="$2"
+            rm -f colord_smoke.out
+            # shellcheck disable=SC2086
+            ./target/release/colord --seed 7 $server_flags > colord_smoke.out &
+            colord_pid=$!
+            port=""
+            for _ in $(seq 100); do
+                port=$(sed -n 's/^colord: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' colord_smoke.out)
+                [[ -n "$port" ]] && break
+                sleep 0.1
+            done
+            if [[ -z "$port" ]]; then
+                echo "ci.sh: colord did not report a listening port" >&2
+                kill "$colord_pid" 2>/dev/null || true
+                exit 1
+            fi
+            # shellcheck disable=SC2086
+            timeout 300 ./target/release/colord-load --addr "127.0.0.1:$port" \
+                --clients 64 --messages 20000 --spacing 0.75 \
+                --churn 0.05 --settle-seconds 120 --bench-out BENCH_sim.json \
+                --shutdown $load_flags
+            wait "$colord_pid"
+            rm -f colord_smoke.out
+        }
+
+        echo "==> colord smoke (TCP service gate, single shard)"
+        colord_smoke_leg "" "--workers 4"
+
+        # Sharded leg: two strip-parallel shards stepped by worker
+        # threads, loaded by two forked generator processes (the
+        # single-host rehearsal for multi-host load). Merges
+        # colord_sharded_clients / colord_sharded_messages /
+        # colord_sharded_msgs_per_sec into BENCH_sim.json.
+        echo "==> colord smoke (TCP service gate, 2 shards)"
+        colord_smoke_leg "--shards 2" "--workers 4 --procs 2 --bench-prefix colord_sharded"
+
+        # Perf trajectory: on hosts with enough parallelism to mean
+        # anything (>= 4 threads) the sharded service must at least
+        # double single-lock pump throughput. Smaller hosts still
+        # record both numbers for the trajectory.
+        single=$(sed -n 's/.*"colord_msgs_per_sec":\([0-9.eE+-]*\).*/\1/p' BENCH_sim.json)
+        sharded=$(sed -n 's/.*"colord_sharded_msgs_per_sec":\([0-9.eE+-]*\).*/\1/p' BENCH_sim.json)
+        if [[ -z "$single" || -z "$sharded" ]]; then
+            echo "ci.sh: colord bench fields missing from BENCH_sim.json" >&2
             exit 1
         fi
-        timeout 300 ./target/release/colord-load --addr "127.0.0.1:$port" \
-            --clients 64 --messages 20000 --workers 4 --spacing 0.75 \
-            --churn 0.05 --settle-seconds 120 --bench-out BENCH_sim.json \
-            --shutdown
-        wait "$colord_pid"
-        rm -f colord_smoke.out
+        if [[ "$(nproc)" -ge 4 ]]; then
+            awk -v s="$single" -v p="$sharded" 'BEGIN {
+                ratio = p / s
+                printf "colord sharded/single pump throughput: %.2fx\n", ratio
+                exit !(ratio >= 2.0)
+            }' || {
+                echo "ci.sh: sharded colord below 2x single-lock pump throughput" >&2
+                exit 1
+            }
+        else
+            echo "colord sharded gate recorded only ($(nproc) threads < 4)"
+        fi
     fi
 fi
 

@@ -1,5 +1,5 @@
 //! Load generator for `colord`: many simulated clients over a few
-//! multiplexed connections.
+//! multiplexed connections, optionally forked across processes.
 //!
 //! Sessions are identified by tokens, not connections, so `--workers`
 //! TCP connections comfortably carry tens of thousands of client
@@ -12,23 +12,35 @@
 //!
 //! ```text
 //! colord-load --addr 127.0.0.1:PORT [--clients N] [--messages M]
-//!             [--workers W] [--spacing S] [--churn F]
-//!             [--settle-seconds T] [--bench-out FILE] [--shutdown]
+//!             [--workers W] [--spacing S] [--churn F] [--procs K]
+//!             [--settle-seconds T] [--bench-out FILE]
+//!             [--bench-prefix P] [--shutdown]
 //! ```
+//!
+//! `--procs K` forks the generator into K child processes, each
+//! covering one contiguous slice of the session id range with its own
+//! connections and message share; the parent merges the per-process
+//! stats into one report. This is the single-host rehearsal for
+//! multi-host load: a slice neither knows nor cares that the other
+//! slices exist. (Internally the children are invoked with `--slice
+//! i/K --emit FILE`; both flags are implementation details.)
 //!
 //! Every request frame written by this binary counts as one message;
 //! with the default flags a run drives ≥ 10⁴ concurrent sessions and
 //! ≥ 10⁶ messages.
 //!
 //! The default 0.75-spacing lattice (radius 1) has no triangles — its
-//! cliques are single edges — so its κ₂ is 7, not the dense-deployment
-//! default of 2. Start the server with `--kappa2 7` for this workload:
-//! underestimating κ̂₂ shrinks every verification window and erodes
-//! the w.h.p. correctness guarantee (measurably, at 10⁴ nodes).
+//! cliques are single edges — so its κ₂ is 9, far above the
+//! dense-deployment floor of 2. The server's online estimator
+//! discovers that from the join announcements (no flag needed);
+//! `--kappa2 9` pins it instead. Underestimating κ̂₂ shrinks every
+//! verification window and erodes the w.h.p. correctness guarantee
+//! (measurably, at 10⁴ nodes — experiment E21).
 
 use colord::Client;
 use std::net::SocketAddr;
-use std::process::ExitCode;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 use urn_coloring::json::{self, Value};
@@ -40,15 +52,24 @@ struct Opts {
     workers: usize,
     spacing: f64,
     churn: f64,
+    procs: usize,
     settle_seconds: u64,
     bench_out: Option<String>,
+    bench_prefix: String,
     shutdown: bool,
+    /// Internal (`--slice i/K`): pump only the i-th of K client
+    /// slices, as one forked child of a `--procs K` parent.
+    slice: Option<(usize, usize)>,
+    /// Internal (`--emit FILE`): write per-process stats JSON and skip
+    /// the settle poll (the parent owns it).
+    emit: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: colord-load --addr HOST:PORT [--clients N] [--messages M] [--workers W] \
-         [--spacing S] [--churn F] [--settle-seconds T] [--bench-out FILE] [--shutdown]"
+         [--spacing S] [--churn F] [--procs K] [--settle-seconds T] [--bench-out FILE] \
+         [--bench-prefix P] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -64,6 +85,20 @@ fn parse<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
     })
 }
 
+fn parse_slice(args: &mut std::env::Args) -> (usize, usize) {
+    let raw: String = parse(args, "--slice");
+    let parsed = raw
+        .split_once('/')
+        .and_then(|(i, k)| Some((i.parse().ok()?, k.parse().ok()?)));
+    match parsed {
+        Some((i, k)) if k > 0 && i < k => (i, k),
+        _ => {
+            eprintln!("colord-load: bad value {raw:?} for --slice (want I/K, I < K)");
+            usage();
+        }
+    }
+}
+
 fn opts() -> Opts {
     let mut addr: Option<SocketAddr> = None;
     let mut o = Opts {
@@ -73,9 +108,13 @@ fn opts() -> Opts {
         workers: 16,
         spacing: 0.75,
         churn: 0.01,
+        procs: 1,
         settle_seconds: 300,
         bench_out: None,
+        bench_prefix: "colord".into(),
         shutdown: false,
+        slice: None,
+        emit: None,
     };
     let mut args = std::env::args();
     let _ = args.next();
@@ -87,9 +126,13 @@ fn opts() -> Opts {
             "--workers" => o.workers = parse(&mut args, "--workers"),
             "--spacing" => o.spacing = parse(&mut args, "--spacing"),
             "--churn" => o.churn = parse(&mut args, "--churn"),
+            "--procs" => o.procs = parse(&mut args, "--procs"),
             "--settle-seconds" => o.settle_seconds = parse(&mut args, "--settle-seconds"),
             "--bench-out" => o.bench_out = Some(parse(&mut args, "--bench-out")),
+            "--bench-prefix" => o.bench_prefix = parse(&mut args, "--bench-prefix"),
             "--shutdown" => o.shutdown = true,
+            "--slice" => o.slice = Some(parse_slice(&mut args)),
+            "--emit" => o.emit = Some(parse(&mut args, "--emit")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("colord-load: unknown flag {other:?}");
@@ -102,6 +145,7 @@ fn opts() -> Opts {
         usage();
     };
     o.addr = addr;
+    o.procs = o.procs.clamp(1, o.clients.max(1));
     o.workers = o.workers.clamp(1, o.clients.max(1));
     o
 }
@@ -115,15 +159,14 @@ fn position(i: usize, side: usize, spacing: f64) -> (f64, f64) {
 }
 
 fn worker(
-    w: usize,
+    range: (usize, usize),
     o: &Opts,
     side: usize,
     sent: &AtomicU64,
     failed: &AtomicBool,
 ) -> std::io::Result<(u64, u64)> {
     let mut client = Client::connect(o.addr)?;
-    let lo = w * o.clients / o.workers;
-    let hi = (w + 1) * o.clients / o.workers;
+    let (lo, hi) = range;
     let mut tokens: Vec<u64> = Vec::with_capacity(hi - lo);
     let mut sends: u64 = 0;
     let mut decided_seen: u64 = 0;
@@ -147,7 +190,7 @@ fn worker(
     sent.fetch_add(sends, Ordering::Relaxed);
     sends = 0;
 
-    // Heartbeat round-robin until the global budget is spent.
+    // Heartbeat round-robin until the (per-process) budget is spent.
     let mut at = 0usize;
     loop {
         let so_far = sent.fetch_add(sends, Ordering::Relaxed) + sends;
@@ -168,34 +211,42 @@ fn worker(
     Ok((tokens.len() as u64, decided_seen))
 }
 
-fn merge_bench(path: &str, entries: &[(&str, f64)]) -> Result<(), String> {
+fn merge_bench(path: &str, entries: &[(String, f64)]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let parsed = json::parse(&text)?;
     let Value::Obj(mut obj) = parsed else {
         return Err(format!("{path}: expected a JSON object"));
     };
-    for &(key, val) in entries {
+    for (key, val) in entries {
         match obj.iter_mut().find(|(k, _)| k == key) {
-            Some((_, slot)) => *slot = Value::Num(val),
-            None => obj.push((key.to_string(), Value::Num(val))),
+            Some((_, slot)) => *slot = Value::Num(*val),
+            None => obj.push((key.clone(), Value::Num(*val))),
         }
     }
     std::fs::write(path, json::dump(&Value::Obj(obj)) + "\n")
         .map_err(|e| format!("write {path}: {e}"))
 }
 
-fn main() -> ExitCode {
-    let o = opts();
+/// Pumps this process's slice of the session range. Returns
+/// `(joined, messages, pump_secs)`.
+fn pump(o: &Opts) -> Result<(u64, u64, f64), ExitCode> {
     let side = (o.clients as f64).sqrt().ceil() as usize;
+    let (slo, shi) = match o.slice {
+        Some((i, k)) => (i * o.clients / k, (i + 1) * o.clients / k),
+        None => (0, o.clients),
+    };
+    let span = shi - slo;
+    let workers = o.workers.clamp(1, span.max(1));
     let sent = AtomicU64::new(0);
     let failed = AtomicBool::new(false);
     let start = Instant::now();
 
-    let (joined, _decided_seen) = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..o.workers)
+    let joined = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
             .map(|w| {
+                let range = (slo + w * span / workers, slo + (w + 1) * span / workers);
                 let (o, sent, failed) = (&o, &sent, &failed);
-                scope.spawn(move || match worker(w, o, side, sent, failed) {
+                scope.spawn(move || match worker(range, o, side, sent, failed) {
                     Ok(r) => Some(r),
                     Err(e) => {
                         eprintln!("colord-load: worker {w} failed: {e}");
@@ -206,20 +257,125 @@ fn main() -> ExitCode {
             })
             .collect();
         let mut joined = 0u64;
-        let mut decided = 0u64;
         for h in handles {
-            if let Some((j, d)) = h.join().expect("worker panicked") {
+            if let Some((j, _decided_seen)) = h.join().expect("worker panicked") {
                 joined += j;
-                decided += d;
             }
         }
-        (joined, decided)
+        joined
     });
     if failed.load(Ordering::Relaxed) {
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
-    let pump_secs = start.elapsed().as_secs_f64();
-    let messages = sent.load(Ordering::Relaxed);
+    Ok((
+        joined,
+        sent.load(Ordering::Relaxed),
+        start.elapsed().as_secs_f64(),
+    ))
+}
+
+/// Parent of a `--procs K` run: fork K children over the id slices,
+/// merge their stats files.
+fn fork_children(o: &Opts) -> Result<(u64, u64, f64), ExitCode> {
+    let exe = std::env::current_exe().map_err(|e| {
+        eprintln!("colord-load: current_exe: {e}");
+        ExitCode::FAILURE
+    })?;
+    let mut children = Vec::new();
+    for i in 0..o.procs {
+        let stats: PathBuf =
+            std::env::temp_dir().join(format!("colord-load-{}-{i}.json", std::process::id()));
+        let share =
+            o.messages * (i as u64 + 1) / o.procs as u64 - o.messages * i as u64 / o.procs as u64;
+        let child = Command::new(&exe)
+            .arg("--addr")
+            .arg(o.addr.to_string())
+            .arg("--clients")
+            .arg(o.clients.to_string())
+            .arg("--messages")
+            .arg(share.to_string())
+            .arg("--workers")
+            .arg((o.workers / o.procs).max(1).to_string())
+            .arg("--spacing")
+            .arg(o.spacing.to_string())
+            .arg("--churn")
+            .arg(o.churn.to_string())
+            .arg("--slice")
+            .arg(format!("{i}/{}", o.procs))
+            .arg("--emit")
+            .arg(&stats)
+            .spawn();
+        match child {
+            Ok(c) => children.push((c, stats)),
+            Err(e) => {
+                eprintln!("colord-load: spawn child {i}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    let mut joined = 0u64;
+    let mut messages = 0u64;
+    let mut pump_secs = 0f64;
+    let mut ok = true;
+    for (i, (mut child, stats)) in children.into_iter().enumerate() {
+        let exited = child.wait().map_err(|e| {
+            eprintln!("colord-load: wait child {i}: {e}");
+            ExitCode::FAILURE
+        })?;
+        let merged = std::fs::read_to_string(&stats)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                let v = json::parse(&text)?;
+                let obj = v.as_obj("stats")?;
+                joined += json::get(obj, "joined")?.as_u64("joined")?;
+                messages += json::get(obj, "messages")?.as_u64("messages")?;
+                let secs = json::get(obj, "pump_secs")?.as_f64("pump_secs")?;
+                pump_secs = pump_secs.max(secs);
+                Ok(())
+            });
+        let _ = std::fs::remove_file(&stats);
+        if !exited.success() {
+            eprintln!("colord-load: child {i} exited with {exited}");
+            ok = false;
+        } else if let Err(e) = merged {
+            eprintln!("colord-load: child {i} stats: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        Ok((joined, messages, pump_secs))
+    } else {
+        Err(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let o = opts();
+
+    let pumped = if o.procs > 1 && o.slice.is_none() {
+        fork_children(&o)
+    } else {
+        pump(&o)
+    };
+    let (joined, messages, pump_secs) = match pumped {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+
+    // Child of a --procs parent: report and get out of the way — the
+    // parent owns the settle poll and the summary.
+    if let Some(path) = &o.emit {
+        let stats = Value::Obj(vec![
+            ("joined".into(), Value::Num(joined as f64)),
+            ("messages".into(), Value::Num(messages as f64)),
+            ("pump_secs".into(), Value::Num(pump_secs)),
+        ]);
+        if let Err(e) = std::fs::write(path, json::dump(&stats) + "\n") {
+            eprintln!("colord-load: emit {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     // Settle: poll the snapshot until the coloring is complete and
     // conflict-free (the slot clock keeps running server-side).
@@ -260,16 +416,20 @@ fn main() -> ExitCode {
     let msgs_per_sec = messages as f64 / pump_secs;
     println!("colord-load: snapshot {snapshot}");
     println!(
-        "colord-load: OK clients={joined} messages={messages} pump_secs={pump_secs:.2} \
+        "colord-load: OK clients={joined} messages={messages} procs={} pump_secs={pump_secs:.2} \
          settle_secs={:.2} msgs_per_sec={msgs_per_sec:.0}",
+        o.procs,
         settle.elapsed().as_secs_f64()
     );
 
     if let Some(path) = &o.bench_out {
         let entries = [
-            ("colord_clients", joined as f64),
-            ("colord_messages", messages as f64),
-            ("colord_msgs_per_sec", msgs_per_sec.round()),
+            (format!("{}_clients", o.bench_prefix), joined as f64),
+            (format!("{}_messages", o.bench_prefix), messages as f64),
+            (
+                format!("{}_msgs_per_sec", o.bench_prefix),
+                msgs_per_sec.round(),
+            ),
         ];
         if let Err(e) = merge_bench(path, &entries) {
             eprintln!("colord-load: bench merge failed: {e}");

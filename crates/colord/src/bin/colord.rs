@@ -7,12 +7,16 @@
 //! ```text
 //! colord [--port N] [--radius R] [--seed S] [--kappa2 K] \
 //!        [--delta D] [--ncap N] [--max-clients M] [--batch B] \
-//!        [--stall SLOTS]
+//!        [--stall SLOTS] [--shards K]
 //! ```
 //!
 //! `--stall` bounds how long an undecided session may run before the
 //! watchdog re-admits it as a fresh protocol node (0 disables; see
-//! [`ServiceConfig::stall_slots`]).
+//! [`ServiceConfig::stall_slots`]). `--kappa2` pins the operator's κ̂₂
+//! estimate; without it the service estimates κ₂ online from join
+//! announcements (see [`ServiceConfig::kappa2`]). `--shards` steps the
+//! membership on K strip-parallel threads ([`ServiceConfig::shards`]);
+//! the coloring is identical for every K.
 
 use colord::{run_server, ServerConfig, ServiceConfig};
 use std::io::Write;
@@ -22,7 +26,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: colord [--port N] [--radius R] [--seed S] [--kappa2 K] \
-         [--delta D] [--ncap N] [--max-clients M] [--batch B] [--stall SLOTS]"
+         [--delta D] [--ncap N] [--max-clients M] [--batch B] [--stall SLOTS] \
+         [--shards K]"
     );
     std::process::exit(2);
 }
@@ -50,12 +55,13 @@ fn main() -> ExitCode {
             "--port" => port = parse(&mut args, "--port"),
             "--radius" => service.radius = parse(&mut args, "--radius"),
             "--seed" => service.seed = parse(&mut args, "--seed"),
-            "--kappa2" => service.kappa2 = parse(&mut args, "--kappa2"),
+            "--kappa2" => service.kappa2 = Some(parse(&mut args, "--kappa2")),
             "--delta" => service.delta_cap = parse(&mut args, "--delta"),
             "--ncap" => service.n_cap = parse(&mut args, "--ncap"),
             "--max-clients" => service.max_live = parse(&mut args, "--max-clients"),
             "--batch" => batch = parse(&mut args, "--batch"),
             "--stall" => service.stall_slots = parse(&mut args, "--stall"),
+            "--shards" => service.shards = parse(&mut args, "--shards"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("colord: unknown flag {other:?}");

@@ -10,22 +10,35 @@
 //!
 //! The layering is deliberate:
 //!
-//! * [`service`] — the pure, deterministic core. One [`ColoringNode`]
-//!   FSM per joined node (the *same* FSM type the simulator runs — no
-//!   forked protocol logic), stepped slot-by-slot with exactly the
-//!   simulator's intra-slot ordering and per-node RNG streams. No
-//!   sockets, no clocks; fully unit-testable.
+//! * [`service`] — the deterministic core, a facade over the spatial
+//!   sharding: one [`ColoringNode`] FSM per joined node (the *same*
+//!   FSM type the simulator runs — no forked protocol logic), stepped
+//!   slot-by-slot with exactly the simulator's intra-slot ordering and
+//!   per-node RNG streams, plus the incrementally patched TDMA view.
+//!   No sockets, no clocks; fully unit-testable.
+//! * `router` (internal) — session→shard placement (Lemma 1 strips over the
+//!   join x-coordinate), the mutating unit disk graph with its cached
+//!   adjacency, the boundary-node registry, and the online κ₂
+//!   estimator feeding `AlgorithmParams`.
+//! * `shard` (internal) — the per-strip slot engine: each shard owns its
+//!   strip's FSMs and steps them in barrier-separated phases, with
+//!   boundary frames exchanged through per-pair mailboxes (mirroring
+//!   the sharded sim engine). Single- and k-shard runs of the same
+//!   session schedule settle to bit-identical colorings.
 //! * [`wire`] — the framed request/response vocabulary
 //!   ([`radio_transport::WireMessage`] codecs) plus a small blocking
 //!   client.
 //! * [`server`] — glue: a TCP accept loop, one handler thread per
-//!   connection, and a ticker thread that advances the service's slot
-//!   clock while any node is still undecided.
+//!   connection (locking only the router plus its target shard), and a
+//!   ticker thread that advances the slot clock while any node is
+//!   still undecided.
 //!
 //! [`ColoringNode`]: urn_coloring::ColoringNode
 
+mod router;
 pub mod server;
 pub mod service;
+mod shard;
 pub mod wire;
 
 pub use server::{run_server, ServerConfig};

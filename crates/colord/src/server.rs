@@ -1,15 +1,20 @@
 //! The TCP face of the service: accept loop, per-connection handlers,
 //! and the ticker thread that owns the slot clock.
 //!
-//! Concurrency model: a single [`Service`] behind a `std::sync::Mutex`.
-//! Handler threads take the lock per request (requests are cheap:
-//! O(log live) joins, O(1) heartbeats); the ticker takes it per batch
-//! of slots. A condition variable parks the ticker whenever the
-//! service is [idle](Service::idle) — an all-decided membership costs
-//! zero CPU until the next join — and wakes it on joins. Wall-clock
-//! pacing is deliberately absent: the slot clock runs as fast as the
-//! machine allows, because MW-2005 time complexity is measured in
-//! slots, not seconds.
+//! Concurrency model (since the sharding refactor): there is no
+//! service-wide mutex. [`Service`] methods take `&self`; a handler
+//! thread touches the router lock (shared, for heartbeats) plus the
+//! one shard mutex owning its node, so requests against different
+//! strips proceed in parallel with each other *and* with the slot
+//! loop. The ticker simply calls [`Service::step`] per batch — the
+//! service's own router read-lock freezes membership for the batch,
+//! and join/leave writers interleave between batches. A condition
+//! variable (paired with a dedicated parking mutex, not the service)
+//! parks the ticker whenever the service is [idle](Service::idle) — an
+//! all-decided membership costs zero CPU until the next join — and
+//! wakes it on joins. Wall-clock pacing is deliberately absent: the
+//! slot clock runs as fast as the machine allows, because MW-2005 time
+//! complexity is measured in slots, not seconds.
 //!
 //! Shutdown: any client may send [`Request::Shutdown`]; the handler
 //! sets the stop flag, wakes the ticker, and makes a throwaway
@@ -21,7 +26,7 @@ use crate::service::{Service, ServiceConfig};
 use crate::wire::{read_message, write_message, Request, Response};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Server-level options on top of the service parameters.
@@ -29,8 +34,9 @@ use std::sync::{Arc, Condvar, Mutex};
 pub struct ServerConfig {
     /// The service core's parameters.
     pub service: ServiceConfig,
-    /// Slots the ticker advances per lock acquisition. Larger batches
-    /// cost request latency while a batch runs; smaller ones cost lock
+    /// Slots the ticker advances per [`Service::step`] call. A batch
+    /// holds the router's read lock throughout, so larger batches cost
+    /// join/leave latency; smaller ones cost per-batch thread and lock
     /// churn.
     pub batch: u64,
 }
@@ -45,25 +51,22 @@ impl Default for ServerConfig {
 }
 
 struct Shared {
-    svc: Mutex<Service>,
+    svc: Service,
+    /// Parking mutex for `tick` — guards nothing but the ticker's
+    /// idle-check-then-wait, closing the missed-wakeup window: a join
+    /// acquires it (after making the service non-idle) before
+    /// notifying.
+    park: Mutex<()>,
     tick: Condvar,
     shutdown: AtomicBool,
-    /// Handler threads currently waiting for (or holding) the service
-    /// lock. The ticker defers to them between batches — `std::sync`
-    /// mutexes are unfair, and a hot ticker can otherwise starve
-    /// request handlers for seconds.
-    waiters: AtomicUsize,
     addr: SocketAddr,
 }
 
 impl Shared {
-    /// Takes the service lock as a request handler: counted, so the
-    /// ticker yields between batches while any request is waiting.
-    fn lock_for_request(&self) -> std::sync::MutexGuard<'_, Service> {
-        self.waiters.fetch_add(1, Ordering::SeqCst);
-        let guard = self.svc.lock().expect("service lock");
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
-        guard
+    /// Wakes the ticker after an event that made the service non-idle.
+    fn wake_ticker(&self) {
+        let _park = self.park.lock().expect("park lock");
+        self.tick.notify_all();
     }
 }
 
@@ -79,10 +82,10 @@ impl Shared {
 /// before shutdown was requested).
 pub fn run_server(listener: TcpListener, cfg: ServerConfig) -> io::Result<()> {
     let shared = Arc::new(Shared {
-        svc: Mutex::new(Service::new(cfg.service)),
+        svc: Service::new(cfg.service),
+        park: Mutex::new(()),
         tick: Condvar::new(),
         shutdown: AtomicBool::new(false),
-        waiters: AtomicUsize::new(0),
         addr: listener.local_addr()?,
     });
 
@@ -107,39 +110,33 @@ pub fn run_server(listener: TcpListener, cfg: ServerConfig) -> io::Result<()> {
             Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
             Err(e) => {
                 shared.shutdown.store(true, Ordering::SeqCst);
-                shared.tick.notify_all();
+                shared.wake_ticker();
                 let _ = ticker.join();
                 return Err(e);
             }
         }
     }
 
-    shared.tick.notify_all();
+    shared.wake_ticker();
     let _ = ticker.join();
     Ok(())
 }
 
 fn ticker_loop(shared: &Shared, batch: u64) {
-    let mut guard = shared.svc.lock().expect("service lock");
     loop {
-        while guard.idle() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
+        {
+            let mut park = shared.park.lock().expect("park lock");
+            while shared.svc.idle() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                park = shared.tick.wait(park).expect("park lock");
             }
-            guard = shared.tick.wait(guard).expect("service lock");
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        guard.step(batch);
-        // Release between batches so handlers interleave; spin-yield
-        // until every waiting request has been served, since the bare
-        // mutex hands the lock back to whoever runs first.
-        drop(guard);
-        while shared.waiters.load(Ordering::SeqCst) > 0 {
-            std::thread::yield_now();
-        }
-        guard = shared.svc.lock().expect("service lock");
+        shared.svc.step(batch);
     }
 }
 
@@ -149,52 +146,40 @@ fn handle(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     let mut writer = BufWriter::new(stream);
     while let Some(req) = read_message::<Request>(&mut reader)? {
         let rsp = match req {
-            Request::Join { x, y } => {
-                let mut svc = shared.lock_for_request();
-                match svc.join(x, y) {
-                    Ok(token) => {
-                        // A join always leaves the service non-idle.
-                        shared.tick.notify_all();
-                        Response::Joined { token }
-                    }
-                    Err(e) => Response::Err {
-                        reason: e.to_string(),
-                    },
+            Request::Join { x, y } => match shared.svc.join(x, y) {
+                Ok(token) => {
+                    // A join always leaves the service non-idle.
+                    shared.wake_ticker();
+                    Response::Joined { token }
                 }
-            }
-            Request::Leave { token } => {
-                let mut svc = shared.lock_for_request();
-                match svc.leave(token) {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Err {
-                        reason: e.to_string(),
-                    },
-                }
-            }
-            Request::Heartbeat { token } => {
-                let mut svc = shared.lock_for_request();
-                match svc.heartbeat(token) {
-                    Ok(hb) => Response::State {
-                        slot: hb.slot,
-                        color: hb.color,
-                        leader: hb.leader,
-                    },
-                    Err(e) => Response::Err {
-                        reason: e.to_string(),
-                    },
-                }
-            }
-            Request::Snapshot => {
-                let svc = shared.lock_for_request();
-                Response::Snapshot {
-                    json: svc.snapshot().to_json().into_bytes(),
-                }
-            }
+                Err(e) => Response::Err {
+                    reason: e.to_string(),
+                },
+            },
+            Request::Leave { token } => match shared.svc.leave(token) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err {
+                    reason: e.to_string(),
+                },
+            },
+            Request::Heartbeat { token } => match shared.svc.heartbeat(token) {
+                Ok(hb) => Response::State {
+                    slot: hb.slot,
+                    color: hb.color,
+                    leader: hb.leader,
+                },
+                Err(e) => Response::Err {
+                    reason: e.to_string(),
+                },
+            },
+            Request::Snapshot => Response::Snapshot {
+                json: shared.svc.snapshot().to_json().into_bytes(),
+            },
             Request::Shutdown => {
                 write_message(&mut writer, &Response::Bye)?;
                 writer.flush()?;
                 shared.shutdown.store(true, Ordering::SeqCst);
-                shared.tick.notify_all();
+                shared.wake_ticker();
                 // Unblock the accept loop so run_server can return.
                 let _ = TcpStream::connect(shared.addr);
                 return Ok(());

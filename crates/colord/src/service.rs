@@ -11,28 +11,46 @@
 //! forever — that is what lets a late joiner compete against, and defer
 //! to, an already-colored neighborhood.
 //!
+//! Since the sharding refactor this type is a facade over three
+//! layers: the router (placement, topology, tokens, κ̂₂), k spatial
+//! shards stepped in lockstep (see the `crate::shard` module docs for
+//! the phase structure and the bit-identity argument), and an
+//! incrementally patched `TdmaState`. Requests lock the router
+//! (shared for heartbeats) plus one shard; only membership changes
+//! take the router exclusively. `shards: 1` (the default) runs the
+//! identical slot loop single-threaded — and a k-shard run settles to
+//! the bit-identical coloring, which the equivalence tests pin.
+//!
 //! Everything here is pure state + the seeded per-node RNG streams
 //! (`node_rng`): no sockets, no wall clock, no ambient randomness. The
 //! server layer decides *when* to call [`Service::step`]; replaying the
 //! same call sequence replays the same coloring bit-for-bit.
+//!
+//! [`ColoringNode`]: urn_coloring::ColoringNode
 
-use radio_graph::{DynamicUdg, NodeId, Point2};
+use crate::router::Router;
+use crate::shard::{worker_loop, Frame, Shard, Shared, SpinBarrier, StepCtx};
+use radio_graph::NodeId;
 use radio_transport::rng::node_rng;
-use radio_transport::{Behavior, RadioProtocol, Slot};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use radio_transport::Slot;
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex, RwLock};
 use urn_coloring::json::{self, Value};
-use urn_coloring::{AlgorithmParams, ColoringNode, ProtoId};
+use urn_coloring::{ColoringNode, ProtoId};
 
 /// Static service parameters, fixed at startup.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// Unit-disk connection radius for the live membership.
     pub radius: f64,
-    /// κ̂₂ estimate handed to every FSM (see
-    /// [`AlgorithmParams::practical`]).
-    pub kappa2: usize,
+    /// κ̂₂ handed to every FSM (see `AlgorithmParams::practical`).
+    /// `Some(k)` pins the operator's estimate, exactly the old
+    /// `--kappa2` flag. `None` — the default — estimates κ₂ online
+    /// from join-time neighborhood announcements (Sect. 6 style) and
+    /// re-admits under-provisioned FSMs when the estimate grows; this
+    /// is what lets E21's lattice converge without operator tuning.
+    pub kappa2: Option<usize>,
     /// Δ̂ (max closed degree) estimate handed to every FSM. Joins that
     /// would exceed it are still accepted — the estimate governs the
     /// FSM's color-class count, not admission.
@@ -53,18 +71,24 @@ pub struct ServiceConfig {
     /// left the membership waits forever (state `R` sets no deadline).
     /// `0` disables the watchdog.
     pub stall_slots: u64,
+    /// Spatial shards. Each owns one set of strips of the plane
+    /// (width = `radius`, round-robin by strip index) and steps its
+    /// nodes on its own thread; `1` (the default) is the sequential
+    /// service. Shard count changes throughput, never the coloring.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             radius: 1.0,
-            kappa2: 2,
+            kappa2: None,
             delta_cap: 16,
             n_cap: 1 << 16,
             seed: 0xC0104D,
             max_live: 1 << 20,
             stall_slots: 300_000,
+            shards: 1,
         }
     }
 }
@@ -113,6 +137,9 @@ pub struct ServiceStats {
     /// Stalled sessions reset by the watchdog
     /// (see [`ServiceConfig::stall_slots`]).
     pub resets: u64,
+    /// FSMs re-admitted because the online κ̂₂ grew past the value they
+    /// were provisioned with (always 0 when `kappa2` is pinned).
+    pub reprovisions: u64,
 }
 
 /// What a heartbeat tells the client about its node.
@@ -143,6 +170,12 @@ pub struct Snapshot {
     pub frame_len: u32,
     /// Cluster leaders among the decided nodes.
     pub leaders: usize,
+    /// The κ̂₂ currently provisioning new FSMs (the pinned value, or
+    /// the online estimate after its last refresh).
+    pub kappa2_est: usize,
+    /// Undecided nodes per shard — the per-strip progress/livelock
+    /// signal (E21's rate, observable instead of anecdotal).
+    pub shard_undecided: Vec<usize>,
     /// Service counters at snapshot time.
     pub stats: ServiceStats,
 }
@@ -165,6 +198,7 @@ impl Snapshot {
             ("conflicts".into(), num(self.conflicts as u64)),
             ("frame_len".into(), num(u64::from(self.frame_len))),
             ("leaders".into(), num(self.leaders as u64)),
+            ("kappa2_est".into(), num(self.kappa2_est as u64)),
             ("joins".into(), num(self.stats.joins)),
             ("leaves".into(), num(self.stats.leaves)),
             ("heartbeats".into(), num(self.stats.heartbeats)),
@@ -173,77 +207,153 @@ impl Snapshot {
             ("deliveries".into(), num(self.stats.deliveries)),
             ("collisions".into(), num(self.stats.collisions)),
             ("resets".into(), num(self.stats.resets)),
+            ("reprovisions".into(), num(self.stats.reprovisions)),
+            (
+                "shard_undecided".into(),
+                Value::Arr(
+                    self.shard_undecided
+                        .iter()
+                        .map(|&u| num(u as u64))
+                        .collect(),
+                ),
+            ),
             ("valid".into(), Value::Bool(self.valid())),
         ]))
     }
 }
 
-/// One joined node: the FSM, its private RNG stream, and the pump
-/// state the simulator keeps per node.
-struct LiveNode {
-    token: u64,
-    proto: ColoringNode,
-    rng: SmallRng,
-    behavior: Option<Behavior>,
-    wake: Slot,
+/// Sentinel color for "not decided / not live".
+const UNDECIDED: u32 = u32::MAX;
+
+/// The incrementally maintained TDMA view of the live coloring:
+/// per-node colors, a color histogram (frame length + decided count),
+/// the monochromatic-edge count, and the leader count. Decide events
+/// patch the affected neighborhood's entries; leaves reverse the patch
+/// — the snapshot never rebuilds from the FSMs.
+pub(crate) struct TdmaState {
+    colors: Vec<u32>,
+    leader: Vec<bool>,
+    /// Color → how many live decided nodes hold it.
+    hist: BTreeMap<u32, usize>,
+    conflicts: usize,
+    leaders: usize,
+}
+
+impl TdmaState {
+    fn new() -> TdmaState {
+        TdmaState {
+            colors: Vec::new(),
+            leader: Vec::new(),
+            hist: BTreeMap::new(),
+            conflicts: 0,
+            leaders: 0,
+        }
+    }
+
+    /// Grows the id-indexed tables to the router's capacity.
+    fn ensure(&mut self, cap: usize) {
+        if self.colors.len() < cap {
+            self.colors.resize(cap, UNDECIDED);
+            self.leader.resize(cap, false);
+        }
+    }
+
+    /// A node decided: patch its neighborhood's conflict count and the
+    /// histogram. `nbrs` is the node's live neighbor list at commit
+    /// time.
+    pub(crate) fn decide(&mut self, v: NodeId, color: u32, leader: bool, nbrs: &[NodeId]) {
+        debug_assert_eq!(self.colors[v as usize], UNDECIDED, "double decide");
+        for &w in nbrs {
+            if self.colors[w as usize] == color {
+                self.conflicts += 1;
+            }
+        }
+        self.colors[v as usize] = color;
+        self.leader[v as usize] = leader;
+        *self.hist.entry(color).or_insert(0) += 1;
+        if leader {
+            self.leaders += 1;
+        }
+    }
+
+    /// A decided node left (or is being re-admitted): reverse
+    /// [`decide`](Self::decide)'s patch. `nbrs` is the neighbor list
+    /// the node had while it was live. No-op for undecided ids.
+    pub(crate) fn retire(&mut self, v: NodeId, nbrs: &[NodeId]) {
+        let c = self.colors[v as usize];
+        if c == UNDECIDED {
+            return;
+        }
+        for &w in nbrs {
+            if self.colors[w as usize] == c {
+                self.conflicts -= 1;
+            }
+        }
+        self.colors[v as usize] = UNDECIDED;
+        if self.leader[v as usize] {
+            self.leader[v as usize] = false;
+            self.leaders -= 1;
+        }
+        match self.hist.get_mut(&c) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                self.hist.remove(&c);
+            }
+        }
+    }
+
+    fn frame_len(&self) -> u32 {
+        self.hist.keys().next_back().map_or(0, |&c| c + 1)
+    }
 }
 
 /// The service: live membership, one FSM per node, a slot clock.
 pub struct Service {
-    params: AlgorithmParams,
     cfg: ServiceConfig,
-    slot: Slot,
-    udg: DynamicUdg,
-    /// Slot-table of nodes; vacant entries are reusable IDs.
-    nodes: Vec<Option<LiveNode>>,
-    /// Sorted adjacency lists, maintained incrementally on join/leave.
-    /// The grid query (`DynamicUdg::neighbors`) costs a cell scan plus
-    /// a sort per call; the slot loop asks for a transmitter's
-    /// neighbors every slot, so membership changes (rare) pay the
-    /// geometry and slots (hot) read a cached slice.
-    nbrs: Vec<Vec<NodeId>>,
-    free: Vec<NodeId>,
-    by_token: BTreeMap<u64, NodeId>,
-    /// Next session token; tokens double as protocol IDs, so they are
-    /// unique forever (a rejoining client is a *new* protocol node).
-    next_token: u64,
-    undecided: usize,
-    stats: ServiceStats,
-    // Per-slot delivery scratch, reused across slots.
-    counts: Vec<u32>,
-    winner: Vec<NodeId>,
-    touched: Vec<NodeId>,
-    /// Node → index into this slot's transmitter list, or `u32::MAX`.
-    /// Keeps delivery resolution O(deliveries), not O(deliveries·txs).
-    tx_of: Vec<u32>,
+    /// Placement, topology, tokens, κ̂₂. Read-locked by heartbeats and
+    /// the whole slot loop; write-locked by join/leave/reprovision.
+    router: RwLock<Router>,
+    /// The per-strip FSM engines; `shards[router.shard_of(v)]` owns
+    /// node `v`.
+    shards: Vec<Mutex<Shard>>,
+    /// Incrementally patched TDMA schedule (colors, conflicts, frame).
+    tdma: Mutex<TdmaState>,
+    /// Atomic cross-shard state (slot clock, undecided, token counter).
+    shared: Shared,
+    /// `mailbox[src][dst]`: boundary frames in flight between shards.
+    mailbox: Vec<Vec<Mutex<Vec<Frame>>>>,
 }
 
 impl Service {
     /// An empty service.
     pub fn new(cfg: ServiceConfig) -> Self {
-        let params = AlgorithmParams::practical(cfg.kappa2.max(2), cfg.delta_cap.max(2), cfg.n_cap);
+        let k = cfg.shards.max(1);
+        let mut mailbox = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut lane = Vec::with_capacity(k);
+            for _ in 0..k {
+                lane.push(Mutex::new(Vec::new()));
+            }
+            mailbox.push(lane);
+        }
         Service {
-            params,
+            router: RwLock::new(Router::new(&cfg)),
+            shards: (0..k).map(|_| Mutex::new(Shard::new(k))).collect(),
+            tdma: Mutex::new(TdmaState::new()),
+            shared: Shared::new(),
+            mailbox,
             cfg,
-            slot: 0,
-            udg: DynamicUdg::new(cfg.radius),
-            nodes: Vec::new(),
-            nbrs: Vec::new(),
-            free: Vec::new(),
-            by_token: BTreeMap::new(),
-            next_token: 1,
-            undecided: 0,
-            stats: ServiceStats::default(),
-            counts: Vec::new(),
-            winner: Vec::new(),
-            touched: Vec::new(),
-            tx_of: Vec::new(),
         }
     }
 
     /// The current slot clock.
     pub fn slot(&self) -> Slot {
-        self.slot
+        self.shared.slot.load(Ordering::Relaxed)
+    }
+
+    /// How many shards this service steps in parallel.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// `true` when stepping the clock cannot change anything: no node
@@ -251,268 +361,221 @@ impl Service {
     /// matter to undecided listeners). The server parks its ticker on
     /// this.
     pub fn idle(&self) -> bool {
-        self.undecided == 0
+        self.shared.undecided.load(Ordering::Relaxed) == 0
     }
 
     /// Admits a node at position `(x, y)`; it wakes at the next slot.
     /// Returns the session token (also the node's protocol ID).
-    pub fn join(&mut self, x: f64, y: f64) -> Result<u64, ServiceError> {
+    pub fn join(&self, x: f64, y: f64) -> Result<u64, ServiceError> {
         if !(x.is_finite() && y.is_finite()) {
             return Err(ServiceError::BadPosition);
         }
-        if self.udg.len() >= self.cfg.max_live {
+        let mut router = self.router.write().expect("router lock");
+        if router.len() >= self.cfg.max_live {
             return Err(ServiceError::Full);
         }
-        let token = self.next_token;
-        self.next_token += 1;
-        let id = match self.free.pop() {
-            Some(id) => id,
-            None => {
-                self.nodes.push(None);
-                self.nbrs.push(Vec::new());
-                (self.nodes.len() - 1) as NodeId
-            }
-        };
-        self.udg.insert(id, Point2::new(x, y));
-        // Incremental adjacency: one grid query for the joiner, then a
-        // sorted insert into each neighbor's cached list.
-        let nbrs = self.udg.neighbors(id);
-        for &w in &nbrs {
-            let list = &mut self.nbrs[w as usize];
-            if let Err(at) = list.binary_search(&id) {
-                list.insert(at, id);
-            }
-        }
-        self.nbrs[id as usize] = nbrs;
-        // The token is unique per join, so a reused slot gets a fresh,
+        // The token is unique per join, so a reused id gets a fresh,
         // never-reused RNG stream — exactly like a new simulated node.
-        let rng = node_rng(self.cfg.seed, token as u32);
-        self.nodes[id as usize] = Some(LiveNode {
-            token,
-            proto: ColoringNode::new(token as ProtoId, self.params),
-            rng,
-            behavior: None,
-            wake: self.slot + 1,
-        });
-        self.by_token.insert(token, id);
-        self.undecided += 1;
-        self.stats.joins += 1;
+        let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
+        let (id, at) = router.admit(token, x, y);
+        let params = router.params(&self.cfg);
+        let wake = self.shared.slot.load(Ordering::Relaxed) + 1;
+        {
+            let mut shard = self.shards[at as usize].lock().expect("shard lock");
+            shard.nodes.insert(
+                id,
+                crate::shard::LiveNode {
+                    token,
+                    proto: ColoringNode::new(token as ProtoId, params),
+                    rng: node_rng(self.cfg.seed, token as u32),
+                    behavior: None,
+                    wake,
+                },
+            );
+            shard.undecided += 1;
+        }
+        self.tdma
+            .lock()
+            .expect("tdma lock")
+            .ensure(router.capacity());
+        self.shared.undecided.fetch_add(1, Ordering::Relaxed);
         Ok(token)
     }
 
-    fn resolve(&self, token: u64) -> Result<NodeId, ServiceError> {
-        self.by_token
-            .get(&token)
-            .copied()
-            .ok_or(ServiceError::UnknownToken)
-    }
-
     /// Removes the session's node from the membership.
-    pub fn leave(&mut self, token: u64) -> Result<(), ServiceError> {
-        let id = self.resolve(token)?;
-        self.by_token.remove(&token);
-        self.udg.remove(id);
-        for w in std::mem::take(&mut self.nbrs[id as usize]) {
-            let list = &mut self.nbrs[w as usize];
-            if let Ok(at) = list.binary_search(&id) {
-                list.remove(at);
+    pub fn leave(&self, token: u64) -> Result<(), ServiceError> {
+        let mut router = self.router.write().expect("router lock");
+        let (id, at, old_nbrs) = router.evict(token)?;
+        let decided;
+        {
+            let mut shard = self.shards[at as usize].lock().expect("shard lock");
+            let node = shard.nodes.remove(&id).expect("token maps to live node");
+            debug_assert_eq!(node.token, token, "token table consistent");
+            decided = node.proto.color().is_some();
+            if !decided {
+                shard.undecided -= 1;
             }
         }
-        let node = self.nodes[id as usize]
-            .take()
-            .expect("token maps to live node");
-        debug_assert_eq!(node.token, token, "token table consistent");
-        if node.proto.color().is_none() {
-            self.undecided -= 1;
+        if decided {
+            // Reverse-patch the schedule with the adjacency the node
+            // had while live (the router already forgot it).
+            self.tdma.lock().expect("tdma lock").retire(id, &old_nbrs);
+        } else {
+            self.shared.undecided.fetch_sub(1, Ordering::Relaxed);
         }
-        self.free.push(id);
-        self.stats.leaves += 1;
+        drop(router);
         Ok(())
     }
 
-    /// Reports the session's node state.
-    pub fn heartbeat(&mut self, token: u64) -> Result<Heartbeat, ServiceError> {
-        let id = self.resolve(token)?;
-        let node = self.nodes[id as usize].as_ref().expect("live node");
-        self.stats.heartbeats += 1;
+    /// Reports the session's node state. Takes the router lock shared
+    /// and one shard mutex — heartbeats from different strips never
+    /// serialize on each other.
+    pub fn heartbeat(&self, token: u64) -> Result<Heartbeat, ServiceError> {
+        let router = self.router.read().expect("router lock");
+        let id = router.resolve(token)?;
+        let at = router.shard_of(id) as usize;
+        let shard = self.shards[at].lock().expect("shard lock");
+        let node = shard.nodes.get(&id).expect("live node");
+        self.shared.heartbeats.fetch_add(1, Ordering::Relaxed);
         Ok(Heartbeat {
-            slot: self.slot,
+            slot: self.shared.slot.load(Ordering::Relaxed),
             color: node.proto.color(),
             leader: node.proto.is_leader(),
         })
     }
 
-    /// Advances the slot clock by `slots`, stepping every live FSM with
-    /// the simulator's intra-slot ordering.
-    pub fn step(&mut self, slots: u64) {
-        for _ in 0..slots {
-            self.step_one();
+    /// κ̂₂ maintenance, run before each step batch: refresh the online
+    /// estimate, and if it grew, sweep the membership and re-admit
+    /// every FSM provisioned under a smaller κ̂₂ as a fresh protocol
+    /// node — decided ones included, since their colors were chosen
+    /// with verification windows now known to be too short (E21's
+    /// standing-conflict mode). Session tokens are untouched; to its
+    /// neighborhood a re-admitted node is simply a late joiner.
+    fn reprovision(&self) {
+        let mut router = self.router.write().expect("router lock");
+        let Some(kappa2) = router.refresh_kappa2() else {
+            return;
+        };
+        let params = router.params(&self.cfg);
+        let wake = self.shared.slot.load(Ordering::Relaxed) + 1;
+        for id in router.live_ids() {
+            let at = router.shard_of(id) as usize;
+            let was_decided;
+            {
+                let mut shard = self.shards[at].lock().expect("shard lock");
+                let node = shard.nodes.get_mut(&id).expect("live node");
+                if node.proto.params().kappa2 >= kappa2 {
+                    continue;
+                }
+                was_decided = node.proto.color().is_some();
+                let fresh = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
+                node.proto = ColoringNode::new(fresh as ProtoId, params);
+                node.rng = node_rng(self.cfg.seed, fresh as u32);
+                node.behavior = None;
+                node.wake = wake;
+                if was_decided {
+                    shard.undecided += 1;
+                }
+            }
+            if was_decided {
+                self.shared.undecided.fetch_add(1, Ordering::Relaxed);
+                self.tdma
+                    .lock()
+                    .expect("tdma lock")
+                    .retire(id, router.neighbors(id));
+            }
+            router.reprovisions += 1;
         }
     }
 
-    fn step_one(&mut self) {
-        let s = self.slot;
-        let cap = self.udg.capacity();
-        self.counts.resize(cap, 0);
-        self.winner.resize(cap, 0);
-        self.tx_of.resize(cap, u32::MAX);
-
-        // Phase 1+2: wake-ups / deadlines, then transmission draws.
-        // Transmitters are collected with their drawn messages; their
-        // neighbors' counts decide deliveries below.
-        let mut txs: Vec<(NodeId, urn_coloring::ColoringMsg)> = Vec::new();
-        for id in 0..cap as NodeId {
-            let Some(node) = self.nodes[id as usize].as_mut() else {
-                continue;
-            };
-            // Stall watchdog: under churn the paper's FSM can wait on a
-            // neighbor that no longer exists (a requester's leader that
-            // left — state `R` sets no deadline), so an undecided node
-            // that outlives the bound is restarted as a brand-new
-            // protocol node. Same session token; fresh protocol ID and
-            // RNG stream, so to its neighbors it is simply a late
-            // joiner.
-            if self.cfg.stall_slots > 0
-                && node.proto.color().is_none()
-                && s >= node.wake
-                && s - node.wake > self.cfg.stall_slots
-            {
-                let fresh = self.next_token;
-                self.next_token += 1;
-                node.proto = ColoringNode::new(fresh as ProtoId, self.params);
-                node.rng = node_rng(self.cfg.seed, fresh as u32);
-                node.behavior = None;
-                node.wake = s + 1;
-                self.stats.resets += 1;
-                continue;
-            }
-            let was_decided = node.proto.color().is_some();
-            if s >= node.wake && node.behavior.is_none() {
-                let b = node.proto.on_wake(s, &mut node.rng);
-                debug_assert!(b.validate_at(s).is_ok());
-                node.behavior = Some(b);
-            } else if let Some(b) = node.behavior {
-                if b.until() == Some(s) {
-                    let nb = node.proto.on_deadline(s, &mut node.rng);
-                    debug_assert!(nb.validate_at(s).is_ok());
-                    node.behavior = Some(nb);
+    /// Advances the slot clock by `slots`, stepping every live FSM with
+    /// the simulator's intra-slot ordering. With `shards: 1` the loop
+    /// runs on the calling thread; otherwise k − 1 workers are scoped
+    /// in and the caller drives shard 0. Either way the coloring is
+    /// bit-identical (see the `crate::shard` module docs).
+    pub fn step(&self, slots: u64) {
+        if slots == 0 {
+            return;
+        }
+        self.reprovision();
+        let router = self.router.read().expect("router lock");
+        let cap = router.capacity();
+        for cell in &self.shards {
+            cell.lock().expect("shard lock").reserve(cap);
+        }
+        let ctx = StepCtx {
+            router: &router,
+            shared: &self.shared,
+            mailbox: &self.mailbox,
+            params: router.params(&self.cfg),
+            seed: self.cfg.seed,
+            stall_slots: self.cfg.stall_slots,
+        };
+        let k = self.shards.len();
+        let barrier = SpinBarrier::new(k);
+        if k == 1 {
+            worker_loop(0, &self.shards, &self.tdma, &ctx, &barrier, slots);
+        } else {
+            std::thread::scope(|scope| {
+                for at in 1..k {
+                    let ctx = &ctx;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        worker_loop(at, &self.shards, &self.tdma, ctx, barrier, slots)
+                    });
                 }
-            }
-            if !was_decided && node.proto.color().is_some() {
-                self.undecided -= 1;
-            }
-            if let Some(Behavior::Transmit { p, .. }) = node.behavior {
-                if node.rng.gen_bool(p) {
-                    let msg = node.proto.message(s, &mut node.rng);
-                    self.tx_of[id as usize] = txs.len() as u32;
-                    txs.push((id, msg));
-                }
-            }
+                worker_loop(0, &self.shards, &self.tdma, &ctx, &barrier, slots);
+            });
         }
-        self.stats.transmissions += txs.len() as u64;
-
-        // Phase 3: contention. A listener hears a frame iff exactly one
-        // neighbor transmitted (and it is awake and not transmitting
-        // itself) — the ideal channel rule shared with the engines.
-        for &(v, _) in &txs {
-            for &w in &self.nbrs[v as usize] {
-                let wi = w as usize;
-                if self.counts[wi] == 0 {
-                    self.touched.push(w);
-                }
-                self.counts[wi] += 1;
-                self.winner[wi] = v;
-            }
-        }
-        let mut delivered: Vec<(NodeId, NodeId)> = Vec::new(); // (listener, transmitter)
-        for &w in &self.touched {
-            let wi = w as usize;
-            if self.counts[wi] == 1 {
-                delivered.push((w, self.winner[wi]));
-            } else {
-                self.stats.collisions += 1;
-            }
-            self.counts[wi] = 0;
-        }
-        self.touched.clear();
-
-        for (w, v) in delivered {
-            if self.tx_of[w as usize] != u32::MAX {
-                continue; // transmitters never receive
-            }
-            let msg = txs[self.tx_of[v as usize] as usize].1;
-            let node = self.nodes[w as usize].as_mut().expect("listener is live");
-            if s < node.wake {
-                continue; // still asleep
-            }
-            let was_decided = node.proto.color().is_some();
-            if let Some(nb) = node.proto.on_receive(s, &msg, &mut node.rng) {
-                debug_assert!(nb.validate_at(s).is_ok());
-                // Effective next slot: this slot's tx phase already ran.
-                node.behavior = Some(nb);
-            }
-            self.stats.deliveries += 1;
-            if !was_decided && node.proto.color().is_some() {
-                self.undecided -= 1;
-            }
-        }
-
-        for &(v, _) in &txs {
-            self.tx_of[v as usize] = u32::MAX;
-        }
-
-        // `undecided` is tracked exactly: a protocol can only decide
-        // inside on_wake / on_deadline (phase 1+2 above) or on_receive
-        // (the delivery loop), and every call site compares the color
-        // before and after. Cross-check the bookkeeping in debug runs.
         #[cfg(debug_assertions)]
         {
-            let decided_now = self
-                .nodes
-                .iter()
-                .flatten()
-                .filter(|n| n.proto.color().is_some())
-                .count();
-            debug_assert_eq!(self.undecided, self.udg.len() - decided_now);
+            let mut undecided = 0usize;
+            for cell in &self.shards {
+                undecided += cell.lock().expect("shard lock").undecided;
+            }
+            debug_assert_eq!(
+                undecided,
+                self.shared.undecided.load(Ordering::Relaxed),
+                "per-shard undecided partitions the global count"
+            );
         }
-
-        self.stats.slots += 1;
-        self.slot += 1;
     }
 
     /// A consistent view of the live coloring at the current slot.
+    /// O(shards + colors), not O(nodes): the TDMA state is patched
+    /// incrementally by decide/leave events.
     pub fn snapshot(&self) -> Snapshot {
-        let mut decided = 0usize;
-        let mut conflicts = 0usize;
-        let mut frame_len = 0u32;
-        let mut leaders = 0usize;
-        for v in self.udg.live_nodes() {
-            let node = self.nodes[v as usize].as_ref().expect("live node");
-            let Some(c) = node.proto.color() else {
-                continue;
-            };
-            decided += 1;
-            frame_len = frame_len.max(c + 1);
-            if node.proto.is_leader() {
-                leaders += 1;
-            }
-            for &w in &self.nbrs[v as usize] {
-                if w > v {
-                    let other = self.nodes[w as usize].as_ref().expect("live node");
-                    if other.proto.color() == Some(c) {
-                        conflicts += 1;
-                    }
-                }
-            }
+        let router = self.router.read().expect("router lock");
+        let mut stats = ServiceStats {
+            joins: router.joins,
+            leaves: router.leaves,
+            reprovisions: router.reprovisions,
+            heartbeats: self.shared.heartbeats.load(Ordering::Relaxed),
+            slots: self.shared.slot.load(Ordering::Relaxed),
+            ..ServiceStats::default()
+        };
+        let mut shard_undecided = Vec::with_capacity(self.shards.len());
+        for cell in &self.shards {
+            let shard = cell.lock().expect("shard lock");
+            stats.transmissions += shard.stats.transmissions;
+            stats.deliveries += shard.stats.deliveries;
+            stats.collisions += shard.stats.collisions;
+            stats.resets += shard.stats.resets;
+            shard_undecided.push(shard.undecided);
         }
+        let tdma = self.tdma.lock().expect("tdma lock");
+        let live = router.len();
+        let undecided = self.shared.undecided.load(Ordering::Relaxed);
         Snapshot {
-            slot: self.slot,
-            live: self.udg.len(),
-            decided,
-            conflicts,
-            frame_len,
-            leaders,
-            stats: self.stats,
+            slot: stats.slots,
+            live,
+            decided: live - undecided,
+            conflicts: tdma.conflicts,
+            frame_len: tdma.frame_len(),
+            leaders: tdma.leaders,
+            kappa2_est: router.kappa2(),
+            shard_undecided,
+            stats,
         }
     }
 }
@@ -524,18 +587,19 @@ mod tests {
     fn cfg(seed: u64) -> ServiceConfig {
         ServiceConfig {
             radius: 1.0,
-            kappa2: 2,
+            kappa2: Some(2),
             delta_cap: 8,
             n_cap: 256,
             seed,
             max_live: 64,
             // Watchdog off: these tests pin exact protocol behavior.
             stall_slots: 0,
+            shards: 1,
         }
     }
 
     /// Steps until idle or the bound; panics if the bound is hit.
-    fn settle(svc: &mut Service, bound: u64) {
+    fn settle(svc: &Service, bound: u64) {
         let mut left = bound;
         while !svc.idle() {
             assert!(left > 0, "service did not settle within {bound} slots");
@@ -547,9 +611,9 @@ mod tests {
 
     #[test]
     fn isolated_node_becomes_leader() {
-        let mut svc = Service::new(cfg(1));
+        let svc = Service::new(cfg(1));
         let t = svc.join(0.0, 0.0).unwrap();
-        settle(&mut svc, 200_000);
+        settle(&svc, 200_000);
         let hb = svc.heartbeat(t).unwrap();
         assert_eq!(hb.color, Some(0));
         assert!(hb.leader);
@@ -561,10 +625,10 @@ mod tests {
 
     #[test]
     fn adjacent_pair_gets_distinct_colors() {
-        let mut svc = Service::new(cfg(2));
+        let svc = Service::new(cfg(2));
         let a = svc.join(0.0, 0.0).unwrap();
         let b = svc.join(0.5, 0.0).unwrap();
-        settle(&mut svc, 2_000_000);
+        settle(&svc, 2_000_000);
         let ca = svc.heartbeat(a).unwrap().color.unwrap();
         let cb = svc.heartbeat(b).unwrap().color.unwrap();
         assert_ne!(ca, cb);
@@ -573,14 +637,14 @@ mod tests {
 
     #[test]
     fn late_joiner_against_settled_neighborhood() {
-        let mut svc = Service::new(cfg(3));
+        let svc = Service::new(cfg(3));
         let a = svc.join(0.0, 0.0).unwrap();
-        settle(&mut svc, 200_000);
+        settle(&svc, 200_000);
         // Join next to the settled leader; the leader beacons keep
         // flowing, so the newcomer must end up with a different color.
         let b = svc.join(0.4, 0.0).unwrap();
         assert!(!svc.idle());
-        settle(&mut svc, 2_000_000);
+        settle(&svc, 2_000_000);
         let ca = svc.heartbeat(a).unwrap().color.unwrap();
         let cb = svc.heartbeat(b).unwrap().color.unwrap();
         assert_ne!(ca, cb);
@@ -589,7 +653,7 @@ mod tests {
 
     #[test]
     fn leave_frees_slot_and_tokens_stay_dead() {
-        let mut svc = Service::new(cfg(4));
+        let svc = Service::new(cfg(4));
         let a = svc.join(0.0, 0.0).unwrap();
         let b = svc.join(3.0, 0.0).unwrap();
         svc.leave(a).unwrap();
@@ -598,7 +662,7 @@ mod tests {
         // Slot reuse must issue a fresh token.
         let c = svc.join(0.0, 0.0).unwrap();
         assert_ne!(c, a);
-        settle(&mut svc, 2_000_000);
+        settle(&svc, 2_000_000);
         assert!(svc.heartbeat(b).unwrap().color.is_some());
         assert!(svc.heartbeat(c).unwrap().color.is_some());
         assert!(svc.snapshot().valid());
@@ -607,7 +671,7 @@ mod tests {
 
     #[test]
     fn join_guards() {
-        let mut svc = Service::new(ServiceConfig {
+        let svc = Service::new(ServiceConfig {
             max_live: 1,
             ..cfg(5)
         });
@@ -618,9 +682,9 @@ mod tests {
 
     #[test]
     fn snapshot_json_parses() {
-        let mut svc = Service::new(cfg(6));
+        let svc = Service::new(cfg(6));
         svc.join(0.0, 0.0).unwrap();
-        settle(&mut svc, 200_000);
+        settle(&svc, 200_000);
         let text = svc.snapshot().to_json();
         let v = urn_coloring::json::parse(&text).unwrap();
         let obj = v.as_obj("snapshot").unwrap();
@@ -635,6 +699,15 @@ mod tests {
             .unwrap()
             .as_bool("valid")
             .unwrap());
+        // The sharding fields are on the wire too.
+        assert_eq!(
+            urn_coloring::json::get(obj, "kappa2_est")
+                .unwrap()
+                .as_u64("kappa2_est")
+                .unwrap(),
+            2
+        );
+        assert!(urn_coloring::json::get(obj, "shard_undecided").is_ok());
     }
 
     #[test]
@@ -658,7 +731,7 @@ mod tests {
         // With the bound out of the way the pair still settles to a
         // proper coloring — a reset node is just a late joiner.
         svc.cfg.stall_slots = 0;
-        settle(&mut svc, 2_000_000);
+        settle(&svc, 2_000_000);
         let ca = svc.heartbeat(a).unwrap().color.unwrap();
         let cb = svc.heartbeat(b).unwrap().color.unwrap();
         assert_ne!(ca, cb);
@@ -670,14 +743,14 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let run = || {
-            let mut svc = Service::new(cfg(7));
+            let svc = Service::new(cfg(7));
             let mut tokens = Vec::new();
             for i in 0..6 {
                 tokens.push(svc.join(f64::from(i) * 0.45, 0.0).unwrap());
             }
             svc.step(500);
             svc.leave(tokens[2]).unwrap();
-            settle(&mut svc, 4_000_000);
+            settle(&svc, 4_000_000);
             let colors: Vec<Option<u32>> = tokens
                 .iter()
                 .map(|&t| svc.heartbeat(t).ok().and_then(|h| h.color))
@@ -692,5 +765,41 @@ mod tests {
         // are identical — the whole snapshot must match.
         assert_eq!(snap1, snap2);
         assert!(snap1.valid());
+    }
+
+    #[test]
+    fn online_estimator_reprovisions_and_converges() {
+        // The E21 failure in miniature: a 3×3 lattice at spacing 0.75
+        // has κ₂ = 5, far above the old default of 2 — pinning 2 left
+        // standing conflicts on the full experiment. With `kappa2:
+        // None` the estimator must discover the value from join
+        // announcements, re-admit the under-provisioned FSMs, and
+        // settle to a proper coloring with no operator tuning.
+        let svc = Service::new(ServiceConfig {
+            kappa2: None,
+            ..cfg(11)
+        });
+        let mut tokens = Vec::new();
+        for i in 0..9 {
+            let (x, y) = ((i % 3) as f64 * 0.75, (i / 3) as f64 * 0.75);
+            tokens.push(svc.join(x, y).unwrap());
+        }
+        settle(&svc, 30_000_000);
+        let snap = svc.snapshot();
+        assert!(
+            snap.valid(),
+            "{} live, {} decided, {} conflicts",
+            snap.live,
+            snap.decided,
+            snap.conflicts
+        );
+        assert_eq!(snap.kappa2_est, 5, "estimator found the lattice κ₂");
+        assert!(
+            snap.stats.reprovisions > 0,
+            "early joiners were provisioned at the floor and re-admitted"
+        );
+        for &t in &tokens {
+            assert!(svc.heartbeat(t).unwrap().color.is_some());
+        }
     }
 }

@@ -9,7 +9,7 @@ use std::net::TcpListener;
 fn cfg(seed: u64) -> ServiceConfig {
     ServiceConfig {
         radius: 1.0,
-        kappa2: 2,
+        kappa2: Some(2),
         delta_cap: 8,
         n_cap: 256,
         seed,
@@ -17,11 +17,12 @@ fn cfg(seed: u64) -> ServiceConfig {
         // These tests pin exact protocol behavior; the watchdog is
         // covered by the service unit tests and the load run.
         stall_slots: 0,
+        shards: 1,
     }
 }
 
 /// Steps until idle; panics if `bound` slots pass first.
-fn settle(svc: &mut Service, bound: u64) {
+fn settle(svc: &Service, bound: u64) {
     let mut left = bound;
     while !svc.idle() {
         assert!(left > 0, "service did not settle within {bound} slots");
@@ -38,7 +39,7 @@ fn settle(svc: &mut Service, bound: u64) {
 fn random_churn_always_ends_in_valid_coloring() {
     for seed in 0..5u64 {
         let mut driver = SmallRng::seed_from_u64(0xC41C ^ seed);
-        let mut svc = Service::new(cfg(seed));
+        let svc = Service::new(cfg(seed));
         let mut tokens: Vec<u64> = Vec::new();
 
         for round in 0..30 {
@@ -62,7 +63,7 @@ fn random_churn_always_ends_in_valid_coloring() {
             );
         }
 
-        settle(&mut svc, 30_000_000);
+        settle(&svc, 30_000_000);
         let snap = svc.snapshot();
         assert!(
             snap.valid(),

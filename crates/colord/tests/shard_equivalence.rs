@@ -1,0 +1,192 @@
+//! Shard-count transparency: a k-shard service is an *implementation*
+//! of the single-shard service, not a variant of it. Random
+//! join/leave/heartbeat/step interleavings must produce bit-identical
+//! observable behavior — every snapshot along the way, every heartbeat
+//! answer, every final color — for k ∈ {2, 4, 8} against the k = 1
+//! oracle. The only field allowed to differ is `shard_undecided`
+//! (its *sum* is pinned; its split obviously depends on k).
+
+use colord::{Service, ServiceConfig, Snapshot};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg(shards: usize, kappa2: Option<usize>) -> ServiceConfig {
+    ServiceConfig {
+        radius: 1.0,
+        kappa2,
+        delta_cap: 8,
+        n_cap: 256,
+        seed: 0x5EED,
+        max_live: 64,
+        // Low enough that bursts of stepping trip the watchdog: the
+        // reset-token issue order is part of what equivalence pins.
+        stall_slots: 150,
+        shards,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Join(f64, f64),
+    /// Leave the i-th (mod live) session.
+    Leave(usize),
+    /// Heartbeat the i-th (mod live) session.
+    Heartbeat(usize),
+    Step(u64),
+}
+
+/// A deterministic op schedule: joins on a jittered grid spanning
+/// several strips, leaves/heartbeats by index, step bursts.
+fn schedule(seed: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    for _ in 0..30 {
+        match rng.gen_range(0..10) {
+            0..=3 => {
+                // Positions span ~5 radius-wide strips so every k > 1
+                // actually exercises boundary exchange.
+                let x = rng.gen_range(0.0..4.5_f64);
+                let y = rng.gen_range(0.0..2.0_f64);
+                ops.push(Op::Join(x, y));
+            }
+            4 => ops.push(Op::Leave(rng.gen_range(0..64))),
+            5..=6 => ops.push(Op::Heartbeat(rng.gen_range(0..64))),
+            _ => ops.push(Op::Step(rng.gen_range(1..400))),
+        }
+    }
+    ops
+}
+
+/// Everything observable after one op.
+#[derive(Debug, PartialEq)]
+struct Obs {
+    snap: Snapshot,
+    beat: Option<(Option<u32>, bool)>,
+}
+
+/// Runs a schedule and records the full observable trace plus the
+/// final color of every session that ever joined.
+fn run(shards: usize, kappa2: Option<usize>, ops: &[Op]) -> (Vec<Obs>, Vec<(u64, Option<u32>)>) {
+    let svc = Service::new(cfg(shards, kappa2));
+    let mut live: Vec<u64> = Vec::new();
+    let mut ever: Vec<u64> = Vec::new();
+    let mut trace = Vec::new();
+    for op in ops {
+        let mut beat = None;
+        match *op {
+            Op::Join(x, y) => {
+                let t = svc.join(x, y).expect("join under max_live");
+                live.push(t);
+                ever.push(t);
+            }
+            Op::Leave(i) => {
+                if !live.is_empty() {
+                    let t = live.remove(i % live.len());
+                    svc.leave(t).expect("live token");
+                }
+            }
+            Op::Heartbeat(i) => {
+                if !live.is_empty() {
+                    let t = live[i % live.len()];
+                    let hb = svc.heartbeat(t).expect("live token");
+                    beat = Some((hb.color, hb.leader));
+                }
+            }
+            Op::Step(slots) => svc.step(slots),
+        }
+        let mut snap = svc.snapshot();
+        // The per-shard split is the one legitimately k-dependent
+        // field; its sum is pinned through `decided = live − Σ`.
+        snap.shard_undecided.clear();
+        trace.push(Obs { snap, beat });
+    }
+    let colors = ever
+        .iter()
+        .map(|&t| (t, svc.heartbeat(t).ok().and_then(|h| h.color)))
+        .collect();
+    (trace, colors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn sharded_service_matches_single_shard_oracle(seed in 0u64..u64::MAX) {
+        let ops = schedule(seed);
+        let oracle = run(1, Some(2), &ops);
+        for k in [2usize, 4, 8] {
+            let got = run(k, Some(2), &ops);
+            prop_assert_eq!(&oracle.0, &got.0, "trace diverged at k={}", k);
+            prop_assert_eq!(&oracle.1, &got.1, "colors diverged at k={}", k);
+        }
+    }
+
+    #[test]
+    fn sharded_estimator_matches_single_shard_oracle(seed in 0u64..u64::MAX) {
+        // Same property with the online κ₂ estimator active: the
+        // refresh + reprovision sweep happens under the router write
+        // lock before workers start, so it too must be k-independent.
+        let ops = schedule(seed);
+        let oracle = run(1, None, &ops);
+        for k in [2usize, 4, 8] {
+            let got = run(k, None, &ops);
+            prop_assert_eq!(&oracle.0, &got.0, "trace diverged at k={}", k);
+            prop_assert_eq!(&oracle.1, &got.1, "colors diverged at k={}", k);
+        }
+    }
+}
+
+/// Steps until idle; panics if `bound` slots pass first.
+fn settle(svc: &Service, bound: u64) {
+    let mut left = bound;
+    while !svc.idle() {
+        assert!(left > 0, "service did not settle within {bound} slots");
+        let batch = left.min(512);
+        svc.step(batch);
+        left -= batch;
+    }
+}
+
+/// The acceptance pin: an identical session schedule *settled to
+/// completion* ends in the bit-identical coloring for every shard
+/// count, estimator on.
+#[test]
+fn settled_coloring_is_bit_identical_across_shard_counts() {
+    let colorings: Vec<_> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|k| {
+            // The aggressive proptest watchdog would re-admit nodes
+            // faster than MW-2005 decides; settling wants the
+            // production stall bound.
+            let mut c = cfg(k, None);
+            c.stall_slots = 300_000;
+            let svc = Service::new(c);
+            let mut tokens = Vec::new();
+            // A 4×2 lattice spanning four strips, plus one mid-run churn.
+            for i in 0..8 {
+                let (x, y) = ((i % 4) as f64 * 0.75, (i / 4) as f64 * 0.75);
+                tokens.push(svc.join(x, y).unwrap());
+            }
+            svc.step(300);
+            svc.leave(tokens[2]).unwrap();
+            tokens[2] = svc.join(1.5, 0.0).unwrap();
+            settle(&svc, 30_000_000);
+            let colors: Vec<(u64, Option<u32>)> = tokens
+                .iter()
+                .map(|&t| (t, svc.heartbeat(t).unwrap().color))
+                .collect();
+            let mut snap = svc.snapshot();
+            snap.shard_undecided.clear();
+            assert!(snap.valid(), "k={k}: invalid settled coloring");
+            (colors, snap)
+        })
+        .collect();
+    for (k, other) in colorings.iter().enumerate().skip(1) {
+        assert_eq!(
+            &colorings[0],
+            other,
+            "shard count {} diverged",
+            [1, 2, 4, 8][k]
+        );
+    }
+}

@@ -22,12 +22,22 @@
 //! *its own* estimate, and runs [`ColoringNode`] with those per-node
 //! parameters. Experiment E15 measures both the estimator's accuracy
 //! and the end-to-end validity of the adaptive pipeline.
+//!
+//! [`Kappa2Estimator`] applies the same Sect. 6 philosophy to the
+//! *other* provisioned parameter, κ₂: a coordinator that observes
+//! neighborhood announcements (the `colord` service sees each
+//! joiner's adjacency as it forms) maintains a running exact maximum
+//! independent set over the closed 2-hop balls the announcements
+//! touch, and hands the resulting κ̂₂ to [`AlgorithmParams`] instead
+//! of an operator flag. Experiment E21's lattice converges with the
+//! default config through it.
 
 use crate::messages::{ColoringMsg, ProtoId};
 use crate::node::ColoringNode;
 use crate::params::AlgorithmParams;
 use radio_sim::{Behavior, RadioProtocol, Slot};
 use rand::rngs::SmallRng;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the probing phase.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -153,6 +163,188 @@ impl RadioProtocol for DegreeEstimator {
 
     fn is_decided(&self) -> bool {
         self.estimate.is_some()
+    }
+}
+
+/// Online κ₂ estimation from observed neighborhood announcements.
+///
+/// The coloring algorithm's windows and probabilities all scale with
+/// κ₂ — the largest independent set in any closed 2-hop neighborhood
+/// (Sect. 2) — and an *under*-estimate shrinks every verification
+/// window, eroding the w.h.p. guarantee (measurably: E21's lattice
+/// stands 8 conflicts at κ̂₂ = 2). The paper's Sect. 6 future-work
+/// direction is to estimate such parameters from what nodes actually
+/// observe instead of trusting an operator-provisioned bound; this
+/// estimator does exactly that for a coordinator (the `colord`
+/// service) that sees each joiner's adjacency as it forms.
+///
+/// Feed it one [`observe`](Kappa2Estimator::observe) call per
+/// announced neighborhood (idempotent per node — re-announcing
+/// replaces); it maintains the union adjacency, marks every node whose
+/// closed 2-hop ball the announcement touched as dirty, and on
+/// [`refresh`](Kappa2Estimator::refresh) re-solves the exact maximum
+/// independent set (branch-and-bound, greedy warm start, fuel-bounded)
+/// over just the dirty balls. The estimate is a running maximum:
+/// departures ([`retract`](Kappa2Estimator::retract)) never lower it,
+/// because a parameter that was once justified stays safe — κ̂₂ may
+/// only over-provision, never under-provision, after shrinkage.
+#[derive(Clone, Debug)]
+pub struct Kappa2Estimator {
+    /// Union adjacency over every currently-announced node, sorted.
+    adj: BTreeMap<u64, Vec<u64>>,
+    /// Centers whose closed 2-hop ball changed since the last refresh.
+    dirty: BTreeSet<u64>,
+    /// Largest ball MIS seen so far (running maximum).
+    best: usize,
+    /// Branch-and-bound fuel per ball; exhaustion falls back to the
+    /// greedy lower bound for that ball.
+    fuel: u64,
+}
+
+impl Default for Kappa2Estimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kappa2Estimator {
+    /// An empty estimator with the default per-ball solver fuel.
+    /// Radio neighborhoods are dense, which keeps the exact solver
+    /// comfortably inside this budget; pathological sparse balls fall
+    /// back to the greedy lower bound instead of stalling the caller.
+    pub fn new() -> Self {
+        Self::with_fuel(1 << 20)
+    }
+
+    /// An empty estimator with an explicit per-ball solver fuel.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Kappa2Estimator {
+            adj: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            best: 0,
+            fuel: fuel.max(1),
+        }
+    }
+
+    /// Current κ̂₂: the largest refreshed ball MIS, floored at 2 (the
+    /// smallest value [`AlgorithmParams::practical`] accepts — an
+    /// empty or silent network still needs well-formed windows).
+    pub fn estimate(&self) -> usize {
+        self.best.max(2)
+    }
+
+    /// Nodes currently announced.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` when no node is announced.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Records (or replaces) node `v`'s announced neighborhood and
+    /// marks every closed 2-hop ball the change touches as dirty. The
+    /// adjacency is kept symmetric: `v` is inserted into each
+    /// neighbor's list even if that neighbor never announced `v` back.
+    pub fn observe(&mut self, v: u64, neighbors: &[u64]) {
+        // Dropping a previous announcement first keeps re-announcement
+        // idempotent (the service re-announces on watchdog resets).
+        if self.adj.contains_key(&v) {
+            self.retract(v);
+        }
+        let mut list: Vec<u64> = neighbors.iter().copied().filter(|&w| w != v).collect();
+        list.sort_unstable();
+        list.dedup();
+        for &w in &list {
+            let wl = self.adj.entry(w).or_default();
+            if let Err(at) = wl.binary_search(&v) {
+                wl.insert(at, v);
+            }
+        }
+        // Dirty set: v, N(v), and N²(v) — every center whose closed
+        // 2-hop ball gained a member or an edge.
+        self.dirty.insert(v);
+        for &w in &list {
+            self.dirty.insert(w);
+            if let Some(wl) = self.adj.get(&w) {
+                self.dirty.extend(wl.iter().copied());
+            }
+        }
+        self.adj.insert(v, list);
+    }
+
+    /// Removes node `v` from the adjacency. Shrinkage never dirties:
+    /// the estimate is a running maximum, so losing members can only
+    /// leave κ̂₂ an over-estimate — which is the safe direction.
+    pub fn retract(&mut self, v: u64) {
+        let Some(list) = self.adj.remove(&v) else {
+            return;
+        };
+        for w in list {
+            if let Some(wl) = self.adj.get_mut(&w) {
+                if let Ok(at) = wl.binary_search(&v) {
+                    wl.remove(at);
+                }
+            }
+        }
+        self.dirty.remove(&v);
+    }
+
+    /// Re-solves every dirty ball and returns the (possibly raised)
+    /// [`estimate`](Kappa2Estimator::estimate). Cost is proportional
+    /// to the membership churn since the last call, not to the whole
+    /// network: an unchanged graph refreshes for free.
+    pub fn refresh(&mut self) -> usize {
+        let centers: Vec<u64> = std::mem::take(&mut self.dirty).into_iter().collect();
+        for c in centers {
+            if self.adj.contains_key(&c) {
+                self.best = self.best.max(self.ball_mis(c));
+            }
+        }
+        self.estimate()
+    }
+
+    /// Exact MIS size of the closed 2-hop ball around `c` (greedy
+    /// lower bound if the solver's fuel runs out).
+    fn ball_mis(&self, c: u64) -> usize {
+        use radio_graph::analysis::independence::{
+            greedy_independent_set, max_independent_set_size_bounded,
+        };
+        use radio_graph::{Graph, NodeId};
+
+        let mut ball: BTreeSet<u64> = BTreeSet::new();
+        ball.insert(c);
+        if let Some(nbrs) = self.adj.get(&c) {
+            for &w in nbrs {
+                ball.insert(w);
+                if let Some(wl) = self.adj.get(&w) {
+                    ball.extend(wl.iter().copied());
+                }
+            }
+        }
+        let index: BTreeMap<u64, NodeId> = ball
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as NodeId))
+            .collect();
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (&v, &vi) in &index {
+            if let Some(vl) = self.adj.get(&v) {
+                for &w in vl {
+                    if let Some(&wi) = index.get(&w) {
+                        if vi < wi {
+                            edges.push((vi, wi));
+                        }
+                    }
+                }
+            }
+        }
+        let g = Graph::from_edges(ball.len(), edges);
+        max_independent_set_size_bounded(&g, self.fuel).unwrap_or_else(|| {
+            let order: Vec<NodeId> = g.nodes().collect();
+            greedy_independent_set(&g, &order).len()
+        })
     }
 }
 
@@ -282,6 +474,95 @@ mod tests {
     use radio_graph::Graph;
     use radio_sim::{EngineKind, SimConfig};
     use rand::SeedableRng;
+
+    /// Feeds a static graph to the estimator the way the service
+    /// would: one announcement per node, neighbors by id.
+    fn announce_whole_graph(g: &Graph) -> Kappa2Estimator {
+        let mut est = Kappa2Estimator::new();
+        for v in g.nodes() {
+            let nbrs: Vec<u64> = g.neighbors(v).iter().map(|&u| u as u64).collect();
+            est.observe(v as u64, &nbrs);
+        }
+        est
+    }
+
+    #[test]
+    fn kappa2_estimator_matches_exact_kappa_on_lattice() {
+        // The load generator's workload: a 0.75-spacing lattice at
+        // radius 1 (triangle-free, 4-neighborhood). Its true κ₂ is 9
+        // once the grid is at least 5×5 — the estimator must find it
+        // from announcements alone.
+        use radio_graph::generators::build_udg;
+        use radio_graph::Point2;
+        let side = 6usize;
+        let points: Vec<Point2> = (0..side * side)
+            .map(|i| Point2::new((i % side) as f64 * 0.75, (i / side) as f64 * 0.75))
+            .collect();
+        let g = build_udg(&points, 1.0);
+        let exact = radio_graph::analysis::kappa(&g);
+        let mut est = announce_whole_graph(&g);
+        assert_eq!(est.refresh(), exact.k2);
+        assert_eq!(exact.k2, 9, "0.75-lattice κ₂");
+        // A second refresh with nothing dirty is free and stable.
+        assert_eq!(est.refresh(), 9);
+    }
+
+    #[test]
+    fn kappa2_estimator_agrees_with_kappa_on_special_graphs() {
+        for g in [path(7), star(9), complete(5)] {
+            let mut est = announce_whole_graph(&g);
+            let exact = radio_graph::analysis::kappa(&g).k2;
+            assert_eq!(est.refresh(), exact.max(2), "{exact}");
+        }
+    }
+
+    #[test]
+    fn kappa2_estimate_grows_monotonically_and_survives_retraction() {
+        let mut est = Kappa2Estimator::new();
+        assert_eq!(est.estimate(), 2, "silence floors at 2");
+        // A star center with 5 leaves: every leaf is in the center's
+        // 2-hop ball and the leaves are mutually independent.
+        for leaf in 1..=5u64 {
+            est.observe(leaf, &[0]);
+        }
+        est.observe(0, &[1, 2, 3, 4, 5]);
+        assert_eq!(est.refresh(), 5);
+        // Departures never lower the estimate: once justified, κ̂₂
+        // stays safe (over-provisioning only).
+        for leaf in 2..=5u64 {
+            est.retract(leaf);
+        }
+        assert_eq!(est.refresh(), 5);
+        assert_eq!(est.len(), 2);
+        // Growth past the old maximum is picked up incrementally.
+        for leaf in 6..=8u64 {
+            est.observe(leaf, &[0]);
+        }
+        est.observe(0, &[1, 6, 7, 8]);
+        assert_eq!(est.refresh(), 5, "4 leaves stay below the high-water mark");
+        for leaf in 9..=12u64 {
+            est.observe(leaf, &[0]);
+        }
+        est.observe(0, &[1, 6, 7, 8, 9, 10, 11, 12]);
+        assert_eq!(est.refresh(), 8);
+    }
+
+    #[test]
+    fn kappa2_estimator_reannouncement_is_idempotent() {
+        let mut est = Kappa2Estimator::new();
+        est.observe(1, &[2]);
+        est.observe(2, &[1]);
+        assert_eq!(est.refresh(), 2);
+        // The same announcement again must not double edges or nodes.
+        est.observe(1, &[2]);
+        assert_eq!(est.len(), 2);
+        assert_eq!(est.refresh(), 2);
+        // Moving node 1 away from 2 replaces, not accretes.
+        est.observe(1, &[]);
+        est.observe(2, &[]);
+        assert_eq!(est.refresh(), 2);
+        assert!(!est.is_empty());
+    }
 
     #[test]
     fn estimator_phases_and_probabilities() {

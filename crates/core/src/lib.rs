@@ -59,7 +59,7 @@ pub mod tdma;
 pub mod transitions;
 pub mod verify;
 
-pub use estimate::{AdaptiveNode, DegreeEstimator, EstimatorParams};
+pub use estimate::{AdaptiveNode, DegreeEstimator, EstimatorParams, Kappa2Estimator};
 pub use invariants::{ColoringMonitor, ConflictEdge, InvariantViolation, ObservableColoring};
 pub use messages::{ColoringMsg, ProtoId};
 pub use mutation::{MutatedNode, MutationKind};

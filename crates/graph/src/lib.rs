@@ -42,4 +42,4 @@ pub use analysis::{check_coloring, kappa, Coloring, ColoringReport, Kappa};
 pub use dynamic::DynamicUdg;
 pub use geometry::Point2;
 pub use graph::{Graph, GraphBuilder, NodeId};
-pub use partition::Partition;
+pub use partition::{Partition, StripMap};

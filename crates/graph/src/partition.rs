@@ -145,6 +145,65 @@ impl Partition {
     }
 }
 
+/// Deterministic shard placement for *dynamic* membership: fixed-width
+/// vertical strips assigned round-robin to `k` shards.
+///
+/// [`Partition`] ranks a complete, static point set — unusable when
+/// nodes join and leave over time, because every membership change
+/// would reshuffle ranks (and therefore shard ownership). `StripMap`
+/// instead makes placement a pure function of the *coordinates alone*:
+/// the x-axis is divided into strips of a fixed `width`, and strip `i`
+/// belongs to shard `i mod k`. A node's shard never changes while it is
+/// live, two runs that join the same positions place identically
+/// whatever the join order, and — by the module-level Lemma 1
+/// argument — when `width ≥` the connection radius every edge either
+/// stays inside a strip or crosses into one of its two adjacent strips,
+/// so the cross-shard boundary per strip is a bounded band.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StripMap {
+    /// Strip width along the x-axis. Placement quality wants
+    /// `width ≥ radius` (one strip only ever talks to its neighbors);
+    /// correctness only needs `width > 0`.
+    width: f64,
+    /// Number of shards the strips are dealt to, ≥ 1.
+    shards: u32,
+}
+
+impl StripMap {
+    /// A strip map dealing `width`-wide x-strips to `shards` shards.
+    /// `shards` is clamped to ≥ 1; `width` must be positive and finite.
+    pub fn new(width: f64, shards: usize) -> StripMap {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "strip width must be positive and finite, got {width}"
+        );
+        StripMap {
+            width,
+            shards: shards.clamp(1, u32::MAX as usize) as u32,
+        }
+    }
+
+    /// Number of shards strips are assigned to.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Shard owning x-coordinate `x`. Total over all finite `x`
+    /// (negative coordinates wrap via Euclidean remainder; the cast
+    /// saturates on magnitudes beyond `i64`, which is far outside any
+    /// meaningful deployment area).
+    pub fn shard_of_x(&self, x: f64) -> u32 {
+        let strip = (x / self.width).floor() as i64;
+        strip.rem_euclid(i64::from(self.shards)) as u32
+    }
+
+    /// Shard owning `p` (strips run along the y-axis, so only `p.x`
+    /// matters).
+    pub fn shard_of(&self, p: Point2) -> u32 {
+        self.shard_of_x(p.x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +319,63 @@ mod tests {
         let p = Partition::spatial(&points, 4);
         // Ranks follow ids exactly, so the partition equals contiguous.
         assert_eq!(p, Partition::contiguous(8, 4));
+    }
+
+    #[test]
+    fn strip_map_is_membership_independent() {
+        // Placement depends only on the coordinate: the same x maps to
+        // the same shard no matter what else exists or in what order
+        // anything was asked.
+        let m = StripMap::new(1.0, 4);
+        for x in [-7.25, -1.0, -0.5, 0.0, 0.3, 0.999, 1.0, 2.5, 123.75] {
+            let s = m.shard_of_x(x);
+            assert!(s < 4);
+            assert_eq!(s, m.shard_of_x(x));
+            assert_eq!(s, m.shard_of(Point2::new(x, 42.0)));
+        }
+        // Round-robin: consecutive strips cycle through the shards.
+        assert_eq!(m.shard_of_x(0.5), 0);
+        assert_eq!(m.shard_of_x(1.5), 1);
+        assert_eq!(m.shard_of_x(2.5), 2);
+        assert_eq!(m.shard_of_x(3.5), 3);
+        assert_eq!(m.shard_of_x(4.5), 0);
+        // Negative strips wrap (Euclidean remainder, not truncation).
+        assert_eq!(m.shard_of_x(-0.5), 3);
+        assert_eq!(m.shard_of_x(-1.5), 2);
+    }
+
+    #[test]
+    fn strip_map_neighbors_land_in_adjacent_strips() {
+        // width ≥ radius ⇒ every UDG edge stays within one strip of
+        // its endpoint's strip (the Lemma 1 bounded-boundary shape).
+        let mut rng = SmallRng::seed_from_u64(23);
+        let points = uniform_square(300, 8.0, &mut rng);
+        let g = build_udg(&points, 1.0);
+        let m = StripMap::new(1.0, 5);
+        let strip = |x: f64| (x / 1.0).floor() as i64;
+        for v in 0..g.len() as NodeId {
+            for &u in g.neighbors(v) {
+                let d = (strip(points[v as usize].x) - strip(points[u as usize].x)).abs();
+                assert!(d <= 1, "edge {v}-{u} spans {d} strips");
+            }
+        }
+        // And the map agrees with the raw strip arithmetic.
+        for p in &points {
+            assert_eq!(
+                m.shard_of(*p),
+                strip(p.x).rem_euclid(5) as u32,
+                "at x={}",
+                p.x
+            );
+        }
+    }
+
+    #[test]
+    fn strip_map_clamps_and_single_shard_is_total() {
+        let m = StripMap::new(0.5, 0);
+        assert_eq!(m.shards(), 1);
+        for x in [-3.0, 0.0, 7.7] {
+            assert_eq!(m.shard_of_x(x), 0);
+        }
     }
 }

@@ -12,10 +12,10 @@
 //! | R4   | `hook-parity`      | every `run_*` engine entry routes through `SimDriver` or (transitively) shares a code path with its `run_*_monitored` sibling |
 //! | R5   | `transition-table` | `LEGAL_TRANSITIONS`, `node.rs` and `invariants.rs` agree on the Fig. 2 edge set |
 //! | R6   | `service-ambient-rng` | `crates/{transport,colord}` may read the wall clock (real servers pace in seconds) but still may not use ambient RNG |
-//! | R7   | `shard-phase`      | the sharded engine touches cross-shard state only in `phase_*` functions, behind `Mutex`/atomics, with the 6/2 barrier schedule |
+//! | R7   | `shard-phase`      | shard-parallel code (the sharded engine and colord's shard/router) touches cross-shard state only in `phase_*` functions, behind `Mutex`/atomics, with the 6/2 engine barrier schedule and colord's 3-wait worker loop |
 //! | R8   | `hook-order`       | the three slot loops (`lockstep::drive`, `SlotStepper::step`, `pump_node`) fire hooks in the same event-class order |
 //! | R9   | `wire-exhaustive`  | wire enums are covered in `encode`, `decode` and the colord dispatch; `EventKind` variants each have a producer and consumer |
-//! | R10  | `interior-mutability` | no `Cell`/`RefCell`/`unsafe`/`static mut` in engine code or in types reachable from the sharded engine's state |
+//! | R10  | `interior-mutability` | no `Cell`/`RefCell`/`unsafe`/`static mut` in shard-parallel code (engine + colord shard/router) or in types reachable from its state |
 //!
 //! R1–R3, R6 and W0 are per-line token rules ([`rules`]). R4 and
 //! R7–R10 are semantic: they run over an item-level parse of every

@@ -14,6 +14,18 @@ use std::collections::{BTreeMap, BTreeSet};
 /// The sharded engine file R7 and R10's closure are anchored on.
 const SHARDED_FILE: &str = "crates/sim/src/engine/sharded.rs";
 
+/// colord's shard worker module — anchored by R7 and R10 since the
+/// service grew strip-parallel stepping; it must honor the same
+/// phase/synchronization discipline as the engine.
+const COLORD_SHARD_FILE: &str = "crates/colord/src/shard.rs";
+
+/// colord's membership router, the other half of the sharded service.
+const COLORD_ROUTER_FILE: &str = "crates/colord/src/router.rs";
+
+/// Every file R7's phase discipline is anchored on. Each file's own
+/// `Shared` struct (if any) defines the guarded field set.
+const SHARD_PHASE_FILES: &[&str] = &[SHARDED_FILE, COLORD_ROUTER_FILE, COLORD_SHARD_FILE];
+
 /// Synchronized accessors through which shard-shared state may be
 /// touched: atomics, mutex locks, and the post-join drain.
 const APPROVED_ACCESSORS: &[&str] = &[
@@ -135,17 +147,28 @@ pub fn check_hook_parity(
 // R7 — shard-phase discipline.
 // ---------------------------------------------------------------------------
 
-/// R7: in the sharded engine, cross-shard state may only be touched
-/// inside `phase_*` functions and only through its synchronization:
-/// `mailbox` rows behind a `Mutex` lock, `Shared` fields behind
-/// atomics / locks, and the `SpinBarrier` schedule at exactly 6 waits
-/// on the monitored slot path and 2 on the unmonitored one, in both
-/// the worker loop and the main-thread fallback.
+/// R7: in shard-parallel code (the sharded engine and colord's
+/// shard/router modules), cross-shard state may only be touched inside
+/// `phase_*` functions and only through its synchronization: `mailbox`
+/// rows behind a `Mutex` lock, `Shared` fields behind atomics / locks,
+/// and the `SpinBarrier` schedule pinned per file — the engine runs
+/// exactly 6 waits on the monitored slot path and 2 on the unmonitored
+/// one (in both the worker loop and the main-thread fallback); the
+/// colord worker runs exactly 3 (detect / transmit / commit).
 pub fn check_shard_phase(files: &[ParsedFile]) -> Vec<Diagnostic> {
-    let Some(fi) = file_index(files, SHARDED_FILE) else {
-        return Vec::new();
-    };
-    let file = &files[fi];
+    let mut out = Vec::new();
+    for &rel in SHARD_PHASE_FILES {
+        if let Some(fi) = file_index(files, rel) {
+            scan_shard_file(&files[fi], &mut out);
+        }
+    }
+    out
+}
+
+/// One anchored file's R7 scan: parts (a) and (b) everywhere, the 6/2
+/// monitored/unmonitored barrier schedule in the engine file, the
+/// 3-wait `worker_loop` pin in the colord shard file.
+fn scan_shard_file(file: &ParsedFile, out: &mut Vec<Diagnostic>) {
     let toks = &file.toks;
     let sig: Vec<usize> = (0..toks.len())
         .filter(|&i| toks[i].kind != TokKind::Comment)
@@ -158,7 +181,6 @@ pub fn check_shard_phase(files: &[ParsedFile]) -> Vec<Diagnostic> {
         .map(|s| s.fields.iter().map(String::as_str).collect())
         .unwrap_or_default();
 
-    let mut out = Vec::new();
     let mut barrier_sites = 0usize;
     let mut first_site_line = 0u32;
     for (w, &i) in sig.iter().enumerate() {
@@ -227,8 +249,10 @@ pub fn check_shard_phase(files: &[ParsedFile]) -> Vec<Diagnostic> {
                 ));
             }
         }
-        // (c) `if monitored { … } else { … }` barrier schedules.
-        if t.text == "if"
+        // (c) `if monitored { … } else { … }` barrier schedules — the
+        // engine's slot loops only; colord has no monitored path.
+        if file.rel == SHARDED_FILE
+            && t.text == "if"
             && sig
                 .get(w + 1)
                 .is_some_and(|&j| toks[j].is_ident("monitored"))
@@ -279,7 +303,7 @@ pub fn check_shard_phase(files: &[ParsedFile]) -> Vec<Diagnostic> {
             }
         }
     }
-    if barrier_sites < 2 {
+    if file.rel == SHARDED_FILE && barrier_sites < 2 {
         out.push(diag(
             &file.rel,
             first_site_line.max(1),
@@ -290,7 +314,46 @@ pub fn check_shard_phase(files: &[ParsedFile]) -> Vec<Diagnostic> {
             ),
         ));
     }
-    out
+    // (d) colord's slot schedule: `worker_loop` synchronizes each slot
+    // with exactly 3 barrier waits (token issue / exchange / commit) —
+    // the k = 1 ↔ k > 1 equivalence proof counts on that shape.
+    if file.rel == COLORD_SHARD_FILE {
+        match file
+            .items
+            .fn_named("worker_loop")
+            .and_then(|ni| file.items.fns[ni].body.map(|b| (ni, b)))
+        {
+            Some((ni, body)) => {
+                let f = &file.items.fns[ni];
+                let span: Vec<usize> = sig
+                    .iter()
+                    .copied()
+                    .filter(|&j| body.0 <= j && j <= body.1)
+                    .collect();
+                let waits = count_waits(toks, &span);
+                if waits != 3 {
+                    out.push(diag(
+                        &file.rel,
+                        f.line,
+                        Rule::ShardPhase,
+                        format!(
+                            "colord `worker_loop` runs {waits} barrier waits \
+                             per slot (the documented schedule is 3: token \
+                             issue, boundary exchange, commit)"
+                        ),
+                    ));
+                }
+            }
+            None => out.push(diag(
+                &file.rel,
+                1,
+                Rule::ShardPhase,
+                "colord shard module has no `worker_loop` slot driver to \
+                 check the 3-wait barrier schedule"
+                    .to_string(),
+            )),
+        }
+    }
 }
 
 /// Matching `}` for the `{` at sig position `open`; sig positions.
@@ -609,17 +672,27 @@ fn body_idents(file: &ParsedFile, body: (usize, usize)) -> BTreeSet<&str> {
 // R10 — no interior mutability in shard-shared types.
 // ---------------------------------------------------------------------------
 
-/// R10: engine code may not use `Cell`-family types, `unsafe`, or
-/// mutable statics (the waivered `SpinBarrier` internals are the one
-/// sanctioned exception, carried by an explicit waiver, not by this
-/// rule); and no type reachable from the sharded engine's struct
-/// fields — anywhere in the sim crate — may embed interior
-/// mutability.
+/// Files under R10's blanket ban: engine code plus colord's
+/// shard-parallel modules (`Mutex` + atomics are the approved
+/// cross-shard mechanisms in both).
+fn in_shared_state_scope(rel: &str) -> bool {
+    rel.starts_with("crates/sim/src/engine/")
+        || rel == COLORD_SHARD_FILE
+        || rel == COLORD_ROUTER_FILE
+}
+
+/// R10: shard-parallel code (see `in_shared_state_scope`) may not
+/// use `Cell`-family types, `unsafe`, or mutable statics (the waivered
+/// `SpinBarrier` internals are the one sanctioned exception, carried
+/// by an explicit waiver, not by this rule); and no type reachable
+/// from the sharded engine's struct fields (anywhere in the sim crate)
+/// or from colord's shard/router state (anywhere in the colord crate)
+/// may embed interior mutability.
 pub fn check_interior_mutability(files: &[ParsedFile]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    // (a) Blanket scan of engine files.
+    // (a) Blanket scan of shard-parallel files.
     for file in files {
-        if !file.rel.starts_with("crates/sim/src/engine/") {
+        if !in_shared_state_scope(&file.rel) {
             continue;
         }
         let toks = &file.toks;
@@ -633,8 +706,8 @@ pub fn check_interior_mutability(files: &[ParsedFile]) -> Vec<Diagnostic> {
                     t.line,
                     Rule::InteriorMutability,
                     format!(
-                        "interior-mutability type `{}` in engine code — \
-                         cross-shard state must use `Mutex` or atomics",
+                        "interior-mutability type `{}` in shard-parallel code \
+                         — cross-shard state must use `Mutex` or atomics",
                         t.text
                     ),
                 ));
@@ -643,8 +716,8 @@ pub fn check_interior_mutability(files: &[ParsedFile]) -> Vec<Diagnostic> {
                     &file.rel,
                     t.line,
                     Rule::InteriorMutability,
-                    "`unsafe` in engine code (only the waivered `SpinBarrier` \
-                     internals may carry one)"
+                    "`unsafe` in shard-parallel code (only the waivered \
+                     `SpinBarrier` internals may carry one)"
                         .to_string(),
                 ));
             } else if t.text == "static"
@@ -658,21 +731,54 @@ pub fn check_interior_mutability(files: &[ParsedFile]) -> Vec<Diagnostic> {
                     &file.rel,
                     t.line,
                     Rule::InteriorMutability,
-                    "mutable static in engine code".to_string(),
+                    "mutable static in shard-parallel code".to_string(),
                 ));
             }
         }
     }
     // (b) Type closure: walk field types from every struct/enum the
-    // sharded engine declares, across the whole sim crate.
-    let Some(si) = file_index(files, SHARDED_FILE) else {
-        return out;
-    };
+    // shard anchors declare, across their whole crate — the sharded
+    // engine over crates/sim, colord's shard + router over
+    // crates/colord.
+    closure_scan(
+        files,
+        &[SHARDED_FILE],
+        "crates/sim",
+        "the sharded engine",
+        &mut out,
+    );
+    closure_scan(
+        files,
+        &[COLORD_SHARD_FILE, COLORD_ROUTER_FILE],
+        "crates/colord",
+        "colord's sharded service",
+        &mut out,
+    );
+    out
+}
+
+/// One anchor set's R10 type-closure scan: seeds the walk with every
+/// struct/enum the anchor files declare and follows embedded type
+/// names through `crate_rel`'s declarations.
+fn closure_scan(
+    files: &[ParsedFile],
+    anchors: &[&str],
+    crate_rel: &str,
+    what: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let anchor_idx: Vec<usize> = anchors
+        .iter()
+        .filter_map(|rel| file_index(files, rel))
+        .collect();
+    if anchor_idx.is_empty() {
+        return;
+    }
     // type name -> (declaring file index, typed fields, embedded type names)
     type Decl = (usize, Vec<(String, u32)>, Vec<String>);
     let mut decls: BTreeMap<&str, Decl> = BTreeMap::new();
     for (fi, file) in files.iter().enumerate() {
-        if crate::graph::crate_key(&file.rel) != "crates/sim" {
+        if crate::graph::crate_key(&file.rel) != crate_rel {
             continue;
         }
         for s in &file.items.structs {
@@ -688,12 +794,16 @@ pub fn check_interior_mutability(files: &[ParsedFile]) -> Vec<Diagnostic> {
                 .or_insert((fi, e.embedded_types.clone(), embedded));
         }
     }
-    let mut queue: Vec<String> = files[si]
-        .items
-        .structs
+    let mut queue: Vec<String> = anchor_idx
         .iter()
-        .map(|s| s.name.clone())
-        .chain(files[si].items.enums.iter().map(|e| e.name.clone()))
+        .flat_map(|&si| {
+            files[si]
+                .items
+                .structs
+                .iter()
+                .map(|s| s.name.clone())
+                .chain(files[si].items.enums.iter().map(|e| e.name.clone()))
+        })
         .collect();
     let mut seen: BTreeSet<String> = queue.iter().cloned().collect();
     while let Some(name) = queue.pop() {
@@ -702,17 +812,15 @@ pub fn check_interior_mutability(files: &[ParsedFile]) -> Vec<Diagnostic> {
         };
         let rel = &files[*fi].rel;
         for (t, line) in typed_fields {
-            // Engine files were already blanket-scanned above.
-            if INTERIOR_MUTABILITY.contains(&t.as_str())
-                && !rel.starts_with("crates/sim/src/engine/")
-            {
+            // Shard-parallel files were already blanket-scanned above.
+            if INTERIOR_MUTABILITY.contains(&t.as_str()) && !in_shared_state_scope(rel) {
                 out.push(diag(
                     rel,
                     *line,
                     Rule::InteriorMutability,
                     format!(
                         "interior-mutability type `{t}` inside `{name}`, \
-                         which is reachable from the sharded engine's state"
+                         which is reachable from {what}'s state"
                     ),
                 ));
             }
@@ -723,5 +831,4 @@ pub fn check_interior_mutability(files: &[ParsedFile]) -> Vec<Diagnostic> {
             }
         }
     }
-    out
 }

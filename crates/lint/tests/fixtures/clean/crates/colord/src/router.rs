@@ -1,0 +1,21 @@
+//! Fixture: a clean colord router — anchored by R7/R10 but with no
+//! `Shared` struct, no mailbox traffic, and no interior mutability;
+//! the rules must accept an anchor file that simply has nothing to
+//! check.
+
+pub struct Router {
+    pub owner: Vec<u32>,
+    pub free: Vec<u64>,
+}
+
+impl Router {
+    pub fn shard_of(&self, v: u64) -> u32 {
+        self.owner[v as usize]
+    }
+
+    pub fn admit(&mut self, strip: u32) -> u64 {
+        let id = self.free.pop().unwrap_or(self.owner.len() as u64);
+        self.owner.push(strip);
+        id
+    }
+}

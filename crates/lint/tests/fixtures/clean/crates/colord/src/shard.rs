@@ -1,0 +1,50 @@
+//! Fixture: a miniature colord shard worker that obeys the
+//! shard-phase discipline (R7) — mailbox traffic only in `phase_*`
+//! functions behind a lock, `Shared` fields only through atomics, and
+//! the 3-wait slot schedule (token issue / boundary exchange /
+//! commit) in `worker_loop`.
+
+pub struct Shared {
+    pub slot: AtomicU64,
+    pub undecided: AtomicUsize,
+    pub next_token: AtomicU64,
+}
+
+pub struct Ctx<'a> {
+    pub shared: &'a Shared,
+    pub mailbox: &'a [Vec<Mutex<Vec<u64>>>],
+}
+
+pub struct Shard {
+    pub at: usize,
+    pub staged: Vec<u64>,
+}
+
+impl Shard {
+    fn phase_transmit(&mut self, ctx: &Ctx<'_>, dst: usize) {
+        let mut q = ctx.mailbox[self.at][dst].lock();
+        q.append(&mut self.staged);
+    }
+
+    fn phase_deliver(&mut self, ctx: &Ctx<'_>) {
+        for row in ctx.mailbox {
+            let mut q = row[self.at].lock();
+            self.staged.append(&mut q);
+        }
+        ctx.shared.undecided.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(shard: &mut Shard, ctx: &Ctx<'_>, barrier: &SpinBarrier, slots: u64) {
+    for _ in 0..slots {
+        barrier.wait(|| {
+            ctx.shared.next_token.fetch_add(1, Ordering::Relaxed);
+        });
+        shard.phase_transmit(ctx, 0);
+        barrier.wait(|| {});
+        shard.phase_deliver(ctx);
+        barrier.wait(|| {
+            ctx.shared.slot.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+}

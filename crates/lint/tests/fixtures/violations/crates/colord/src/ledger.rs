@@ -1,0 +1,8 @@
+//! Fixture: an interior-mutability type that is clean on its own but
+//! reachable from colord's shard state (`Shard::ledger`) — the R10
+//! type closure must follow the embedding across files.
+
+pub struct SideLedger {
+    pub committed: Vec<u64>,
+    pub pending: RefCell<Vec<u64>>,
+}

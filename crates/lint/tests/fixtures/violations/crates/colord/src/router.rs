@@ -1,0 +1,20 @@
+//! Fixture: colord's router module reaching for the two escape
+//! hatches R10's blanket ban closes — a mutable static and an
+//! `unsafe` block to poke it.
+
+static mut PLACEMENTS: u64 = 0;
+
+pub struct Router {
+    pub owner: Vec<u32>,
+}
+
+impl Router {
+    pub fn place(&mut self, x: f64) -> u32 {
+        let strip = x as u32;
+        unsafe {
+            PLACEMENTS += 1;
+        }
+        self.owner.push(strip);
+        strip
+    }
+}

@@ -1,0 +1,54 @@
+//! Fixture: breaks the shard-phase discipline in colord's worker
+//! module — an unlocked mailbox touch in a phase function, mailbox
+//! traffic outside one, raw `Shared` field access, a worker loop one
+//! barrier wait short of the 3-wait schedule, and a `RefCell` both
+//! directly in shard state and reachable through an embedded type.
+
+pub struct Shared {
+    pub slot: AtomicU64,
+    pub undecided: AtomicUsize,
+    pub flag: bool,
+}
+
+pub struct Ctx<'a> {
+    pub shared: &'a Shared,
+    pub mailbox: &'a [Vec<Mutex<Vec<u64>>>],
+}
+
+pub struct Shard {
+    pub at: usize,
+    pub scratch: RefCell<Vec<u64>>,
+    pub ledger: SideLedger,
+}
+
+impl Shard {
+    fn phase_transmit(&mut self, ctx: &Ctx<'_>) {
+        let row = &ctx.mailbox[self.at];
+        self.at += row.len();
+    }
+
+    fn drain_all(&mut self, ctx: &Ctx<'_>) {
+        for row in ctx.mailbox {
+            let q = row[self.at].lock();
+            self.at += q.len();
+        }
+    }
+
+    fn phase_commit(&mut self, ctx: &Ctx<'_>) {
+        ctx.shared.flag = true;
+        let _ = ctx.shared.undecided;
+    }
+}
+
+fn worker_loop(shard: &mut Shard, ctx: &Ctx<'_>, barrier: &SpinBarrier) {
+    loop {
+        shard.phase_transmit(ctx);
+        barrier.wait();
+        shard.drain_all(ctx);
+        shard.phase_commit(ctx);
+        barrier.wait();
+        if ctx.shared.slot.load(Ordering::Relaxed) > 8 {
+            break;
+        }
+    }
+}
